@@ -1,0 +1,74 @@
+// Ablation — the community-detection menu: PLM vs PLM-R vs Leiden vs
+// map-equation Louvain vs PLP. Question from DESIGN.md: quality
+// (modularity + NMI vs planted truth) and speed trade-offs of the widget's
+// options. Expected: Louvain family similar quality, PLP fastest/worst;
+// Leiden never produces disconnected communities.
+#include <benchmark/benchmark.h>
+
+#include "src/community/leiden.hpp"
+#include "src/community/mapequation.hpp"
+#include "src/community/plm.hpp"
+#include "src/community/plp.hpp"
+#include "src/community/quality.hpp"
+#include "src/community/similarity.hpp"
+#include "src/graph/generators.hpp"
+
+namespace {
+
+using namespace rinkit;
+
+struct Workload {
+    Graph g;
+    Partition truth;
+};
+
+const Workload& planted(count communities, count blockSize) {
+    static std::map<std::pair<count, count>, Workload> cache;
+    auto key = std::make_pair(communities, blockSize);
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+        std::vector<index> truth;
+        Graph g = generators::plantedPartition(communities, blockSize, 0.3, 0.005, 3, &truth);
+        it = cache.emplace(key, Workload{std::move(g), Partition(truth)}).first;
+    }
+    return it->second;
+}
+
+template <typename Detector, typename... Args>
+void runDetector(benchmark::State& state, Args&&... args) {
+    const auto& w = planted(static_cast<count>(state.range(0)),
+                            static_cast<count>(state.range(1)));
+    double q = 0.0, similarity = 0.0;
+    count runs = 0;
+    for (auto _ : state) {
+        Detector det(w.g, std::forward<Args>(args)...);
+        det.run();
+        q = modularity(det.getPartition(), w.g);
+        similarity = nmi(det.getPartition(), w.truth);
+        ++runs;
+    }
+    (void)runs;
+    state.counters["modularity"] = q;
+    state.counters["nmi_vs_truth"] = similarity;
+    state.counters["edges"] = static_cast<double>(w.g.numberOfEdges());
+}
+
+void BM_Plm(benchmark::State& s) { runDetector<Plm>(s); }
+void BM_PlmRefined(benchmark::State& s) { runDetector<Plm>(s, true); }
+void BM_Leiden(benchmark::State& s) { runDetector<ParallelLeiden>(s); }
+void BM_MapEquation(benchmark::State& s) { runDetector<LouvainMapEquation>(s); }
+void BM_Plp(benchmark::State& s) { runDetector<Plp>(s); }
+
+void sizes(benchmark::internal::Benchmark* b) {
+    b->Args({8, 25})->Args({16, 50})->Args({25, 80})->Unit(benchmark::kMillisecond);
+}
+
+BENCHMARK(BM_Plm)->Apply(sizes);
+BENCHMARK(BM_PlmRefined)->Apply(sizes);
+BENCHMARK(BM_Leiden)->Apply(sizes);
+BENCHMARK(BM_MapEquation)->Apply(sizes);
+BENCHMARK(BM_Plp)->Apply(sizes);
+
+} // namespace
+
+BENCHMARK_MAIN();

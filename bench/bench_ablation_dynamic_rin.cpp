@@ -1,0 +1,77 @@
+// Ablation — incremental edge diff (DynamicRin) vs full graph rebuild per
+// slider event. Question from DESIGN.md: does the widget's in-place update
+// pay off? Expected: for small cutoff nudges the diff wins (few changed
+// edges); for frame jumps across an unfolding event the two converge
+// (most edges change anyway).
+#include <benchmark/benchmark.h>
+
+#include "src/md/synthetic.hpp"
+#include "src/md/trajectory.hpp"
+#include "src/rin/dynamic_rin.hpp"
+#include "src/rin/rin_builder.hpp"
+
+namespace {
+
+using namespace rinkit;
+
+md::Trajectory trajectoryOf(count residues) {
+    md::TrajectoryGenerator::Parameters gen;
+    gen.frames = 6;
+    gen.thermalSigma = 0.2;
+    return md::TrajectoryGenerator(gen).generate(md::helixBundle(residues));
+}
+
+// Small cutoff nudges (6.0 <-> 6.2 A): the incremental path.
+void BM_IncrementalCutoffNudge(benchmark::State& state) {
+    const auto traj = trajectoryOf(static_cast<count>(state.range(0)));
+    rin::DynamicRin dyn(traj, rin::DistanceCriterion::MinimumAtomDistance, 6.0);
+    bool up = false;
+    for (auto _ : state) {
+        up = !up;
+        benchmark::DoNotOptimize(dyn.setCutoff(up ? 6.2 : 6.0).edgesTotal);
+    }
+}
+
+// The same nudges via full rebuild.
+void BM_RebuildCutoffNudge(benchmark::State& state) {
+    const auto traj = trajectoryOf(static_cast<count>(state.range(0)));
+    const rin::RinBuilder builder(rin::DistanceCriterion::MinimumAtomDistance);
+    const auto protein = traj.proteinAtFrame(0);
+    bool up = false;
+    for (auto _ : state) {
+        up = !up;
+        auto g = builder.build(protein, up ? 6.2 : 6.0);
+        benchmark::DoNotOptimize(g.numberOfEdges());
+    }
+}
+
+// Frame jumps with thermal noise only (moderate edge churn).
+void BM_IncrementalFrameStep(benchmark::State& state) {
+    const auto traj = trajectoryOf(static_cast<count>(state.range(0)));
+    rin::DynamicRin dyn(traj, rin::DistanceCriterion::MinimumAtomDistance, 6.0);
+    index f = 0;
+    for (auto _ : state) {
+        f = (f + 1) % traj.frameCount();
+        benchmark::DoNotOptimize(dyn.setFrame(f).edgesTotal);
+    }
+}
+
+void BM_RebuildFrameStep(benchmark::State& state) {
+    const auto traj = trajectoryOf(static_cast<count>(state.range(0)));
+    const rin::RinBuilder builder(rin::DistanceCriterion::MinimumAtomDistance);
+    index f = 0;
+    for (auto _ : state) {
+        f = (f + 1) % traj.frameCount();
+        auto g = builder.build(traj.proteinAtFrame(f), 6.0);
+        benchmark::DoNotOptimize(g.numberOfEdges());
+    }
+}
+
+BENCHMARK(BM_IncrementalCutoffNudge)->Unit(benchmark::kMillisecond)->Arg(250)->Arg(1000);
+BENCHMARK(BM_RebuildCutoffNudge)->Unit(benchmark::kMillisecond)->Arg(250)->Arg(1000);
+BENCHMARK(BM_IncrementalFrameStep)->Unit(benchmark::kMillisecond)->Arg(250)->Arg(1000);
+BENCHMARK(BM_RebuildFrameStep)->Unit(benchmark::kMillisecond)->Arg(250)->Arg(1000);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// Ablation — layout solvers: Maxent-Stress (the paper's choice) vs
+// Fruchterman-Reingold vs ForceAtlas2. Question from DESIGN.md: the
+// stress/time trade-off. Expected: Maxent-Stress reaches the lowest
+// normalized stress on contact graphs (it optimizes distances directly),
+// justifying its role in the widget; FR/FA2 are competitive in time.
+#include <benchmark/benchmark.h>
+
+#include "src/graph/generators.hpp"
+#include "src/layout/fruchterman_reingold.hpp"
+#include "src/layout/maxent_stress.hpp"
+#include "src/md/synthetic.hpp"
+#include "src/rin/rin_builder.hpp"
+
+namespace {
+
+using namespace rinkit;
+
+const Graph& rinGraph(count residues) {
+    static std::map<count, Graph> cache;
+    auto it = cache.find(residues);
+    if (it == cache.end()) {
+        const auto protein = residues == 73 ? md::alpha3D() : md::helixBundle(residues);
+        it = cache
+                 .emplace(residues, rin::RinBuilder(rin::DistanceCriterion::MinimumAtomDistance)
+                                        .build(protein, 6.0))
+                 .first;
+    }
+    return it->second;
+}
+
+void BM_MaxentStressLayout(benchmark::State& state) {
+    const Graph& g = rinGraph(static_cast<count>(state.range(0)));
+    double stress = 0.0;
+    for (auto _ : state) {
+        MaxentStress layout(g);
+        layout.run();
+        stress = layoutStress(g, layout.getCoordinates());
+    }
+    state.counters["stress"] = stress;
+}
+
+void BM_FruchtermanReingoldLayout(benchmark::State& state) {
+    const Graph& g = rinGraph(static_cast<count>(state.range(0)));
+    double stress = 0.0;
+    for (auto _ : state) {
+        FruchtermanReingold layout(g);
+        layout.run();
+        stress = layoutStress(g, layout.getCoordinates());
+    }
+    state.counters["stress"] = stress;
+}
+
+void BM_ForceAtlas2Layout(benchmark::State& state) {
+    const Graph& g = rinGraph(static_cast<count>(state.range(0)));
+    double stress = 0.0;
+    for (auto _ : state) {
+        ForceAtlas2 layout(g);
+        layout.run();
+        stress = layoutStress(g, layout.getCoordinates());
+    }
+    state.counters["stress"] = stress;
+}
+
+BENCHMARK(BM_MaxentStressLayout)->Unit(benchmark::kMillisecond)->Arg(73)->Arg(250)->Arg(1000);
+BENCHMARK(BM_FruchtermanReingoldLayout)->Unit(benchmark::kMillisecond)->Arg(73)->Arg(250)->Arg(1000);
+BENCHMARK(BM_ForceAtlas2Layout)->Unit(benchmark::kMillisecond)->Arg(73)->Arg(250)->Arg(1000);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+// Ablation — control-plane scaling of the Section III deployment
+// simulator: time to admit N users (spawn + route) against worker count,
+// and routing throughput under load. Expected: admission is linear in N
+// until capacity saturates; routing stays flat (hash + prefix match).
+#include <benchmark/benchmark.h>
+
+#include "src/cloud/cluster.hpp"
+#include "src/cloud/jupyterhub.hpp"
+
+namespace {
+
+using namespace rinkit::cloud;
+using rinkit::count;
+
+void BM_UserAdmission(benchmark::State& state) {
+    const count users = static_cast<count>(state.range(0));
+    const count workers = static_cast<count>(state.range(1));
+
+    count admitted = 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        auto cluster = Cluster::paperReferenceCluster(workers, Resources{64000, 262144});
+        state.ResumeTiming();
+        JupyterHub hub(cluster);
+        admitted = 0;
+        for (count u = 0; u < users; ++u) {
+            if (hub.login("user" + std::to_string(u))) ++admitted;
+        }
+        benchmark::DoNotOptimize(admitted);
+    }
+    state.counters["admitted"] = static_cast<double>(admitted);
+    // Capacity model check: each worker fits 6 user pods (64 cores / 10),
+    // minus the hub pod's core on one worker.
+    state.counters["capacity"] = static_cast<double>(workers * 6);
+}
+
+void BM_RoutingThroughput(benchmark::State& state) {
+    auto cluster = Cluster::paperReferenceCluster(4, Resources{64000, 262144});
+    JupyterHub hub(cluster);
+    for (count u = 0; u < 20; ++u) hub.login("user" + std::to_string(u));
+
+    count i = 0;
+    for (auto _ : state) {
+        const auto pod = hub.routeUserRequest("user" + std::to_string(i % 20),
+                                              "10.1." + std::to_string(i % 254) + ".7");
+        benchmark::DoNotOptimize(pod);
+        ++i;
+    }
+}
+
+BENCHMARK(BM_UserAdmission)->Unit(benchmark::kMillisecond)->Apply([](auto* b) {
+    for (long users : {10L, 50L, 200L}) {
+        for (long workers : {2L, 8L}) b->Args({users, workers});
+    }
+});
+BENCHMARK(BM_RoutingThroughput)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+// Fig. 4 — plotlybridge scaling: "a graph with 4941 nodes and 6594 edges
+// ... this allows to draw graphs with up to 50k nodes in a few seconds on
+// commodity hardware."
+//
+// Reproduces the end-to-end server-side drawing path for generated graphs
+// of growing size: Maxent-Stress 3D layout + scene build + plotly-JSON
+// serialization. Expected shape: the 4941-node point and even the 50k-node
+// point complete within seconds.
+#include <benchmark/benchmark.h>
+
+#include "src/graph/generators.hpp"
+#include "src/layout/maxent_stress.hpp"
+#include "src/viz/colormap.hpp"
+#include "src/viz/figure.hpp"
+#include "src/viz/scene.hpp"
+
+namespace {
+
+using namespace rinkit;
+
+Graph figureGraph(count n) {
+    if (n == 4941) {
+        // The paper's exact demo size: 4941 nodes / ~6594 edges. A sparse
+        // Erdős–Rényi graph hits the edge count in expectation.
+        const double p = 2.0 * 6594.0 / (4941.0 * 4940.0);
+        return generators::erdosRenyi(4941, p, 42);
+    }
+    // Random geometric graphs: contact-graph structure like a RIN.
+    const double radius = std::cbrt(10.0 / static_cast<double>(n));
+    return generators::randomGeometric3D(n, radius, 42);
+}
+
+void BM_LayoutSceneSerialize(benchmark::State& state) {
+    const count n = static_cast<count>(state.range(0));
+    const Graph g = figureGraph(n);
+
+    for (auto _ : state) {
+        MaxentStress::Parameters params;
+        params.iterations = 30;
+        MaxentStress layout(g, 3, params);
+        layout.run();
+
+        std::vector<double> scores(g.numberOfNodes());
+        for (node u = 0; u < g.numberOfNodes(); ++u) {
+            scores[u] = static_cast<double>(g.degree(u));
+        }
+        viz::Figure fig;
+        fig.addScene(viz::makeScene(g, layout.getCoordinates(), scores,
+                                    viz::Palette::Spectral, "fig4"));
+        const auto json = fig.toJson();
+        benchmark::DoNotOptimize(json.data());
+    }
+    state.counters["nodes"] = static_cast<double>(g.numberOfNodes());
+    state.counters["edges"] = static_cast<double>(g.numberOfEdges());
+}
+
+// 1k .. 50k nodes, plus the paper's exact 4941-node figure.
+BENCHMARK(BM_LayoutSceneSerialize)
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(1000)
+    ->Arg(4941)
+    ->Arg(10000)
+    ->Arg(50000)
+    ->Iterations(1);
+
+void BM_SerializeOnly(benchmark::State& state) {
+    const count n = static_cast<count>(state.range(0));
+    const Graph g = figureGraph(n);
+    MaxentStress::Parameters params;
+    params.iterations = 10;
+    MaxentStress layout(g, 3, params);
+    layout.run();
+    std::vector<double> scores(g.numberOfNodes(), 1.0);
+    viz::Figure fig;
+    fig.addScene(
+        viz::makeScene(g, layout.getCoordinates(), scores, viz::Palette::Spectral, "s"));
+
+    for (auto _ : state) {
+        const auto json = fig.toJson();
+        benchmark::DoNotOptimize(json.data());
+        state.counters["bytes"] = static_cast<double>(json.size());
+    }
+}
+
+BENCHMARK(BM_SerializeOnly)
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(1000)
+    ->Arg(4941)
+    ->Arg(10000);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,120 @@
+// Fig. 6 — "Time (ms) it takes to recalculate popular centrality and
+// community detection measures on different RIN-networks."
+//   (a) measure recompute at LOW cutoff (4.5 A)   - server side
+//   (b) measure recompute at HIGH cutoff (7.5 A)  - server side
+//   (c) whole update cycle as perceived on the client
+//
+// Paper shape to confirm: (a)/(b) are single-digit milliseconds for
+// 100-1000-node RINs; (c) is roughly 10x larger; higher cutoff (more
+// edges) is slower.
+#include <benchmark/benchmark.h>
+
+#include "src/md/synthetic.hpp"
+#include "src/md/trajectory.hpp"
+#include "src/rin/rin_builder.hpp"
+#include "src/viz/measures.hpp"
+#include "src/viz/widget.hpp"
+
+namespace {
+
+using namespace rinkit;
+
+md::Protein proteinOfSize(count residues) {
+    if (residues == 73) return md::alpha3D();
+    return md::helixBundle(residues);
+}
+
+const char* kMeasureLabels[] = {"Degree",      "Closeness", "Betweenness",
+                                "PageRank",    "Eigenvector", "Katz",
+                                "PLM",         "PLP"};
+
+viz::Measure measureFromIndex(int i) {
+    switch (i) {
+    case 0: return viz::Measure::Degree;
+    case 1: return viz::Measure::Closeness;
+    case 2: return viz::Measure::Betweenness;
+    case 3: return viz::Measure::PageRank;
+    case 4: return viz::Measure::Eigenvector;
+    case 5: return viz::Measure::Katz;
+    case 6: return viz::Measure::PlmCommunities;
+    default: return viz::Measure::PlpCommunities;
+    }
+}
+
+// (a) + (b): pure measure recompute on the RIN (server side).
+void BM_MeasureRecompute(benchmark::State& state) {
+    const count residues = static_cast<count>(state.range(0));
+    const int measureIdx = static_cast<int>(state.range(1));
+    const bool highCutoff = state.range(2) != 0;
+    const double cutoff = highCutoff ? 7.5 : 4.5;
+
+    const auto protein = proteinOfSize(residues);
+    const auto g =
+        rin::RinBuilder(rin::DistanceCriterion::MinimumAtomDistance).build(protein, cutoff);
+
+    for (auto _ : state) {
+        auto scores = viz::computeMeasure(g, measureFromIndex(measureIdx));
+        benchmark::DoNotOptimize(scores.data());
+    }
+    state.SetLabel(std::string(kMeasureLabels[measureIdx]) +
+                   (highCutoff ? " @7.5A" : " @4.5A"));
+    state.counters["nodes"] = static_cast<double>(g.numberOfNodes());
+    state.counters["edges"] = static_cast<double>(g.numberOfEdges());
+}
+
+// (c): the whole update cycle as perceived on the client — widget event
+// "measure changed": recompute + scene build + serialize + client update.
+void BM_ClientPerceivedMeasureUpdate(benchmark::State& state) {
+    const count residues = static_cast<count>(state.range(0));
+    const int measureIdx = static_cast<int>(state.range(1));
+    const bool highCutoff = state.range(2) != 0;
+
+    md::TrajectoryGenerator::Parameters gen;
+    gen.frames = 2;
+    const auto traj = md::TrajectoryGenerator(gen).generate(proteinOfSize(residues));
+    viz::RinWidget::Options opts;
+    opts.initialCutoff = highCutoff ? 7.5 : 4.5;
+    viz::RinWidget widget(traj, opts);
+
+    double serverMs = 0.0, clientMs = 0.0;
+    count cycles = 0;
+    for (auto _ : state) {
+        const auto t = widget.setMeasure(measureFromIndex(measureIdx));
+        benchmark::DoNotOptimize(widget.figureJson().data());
+        serverMs += t.measureMs;
+        clientMs += t.clientMs;
+        ++cycles;
+    }
+    state.SetLabel(std::string(kMeasureLabels[measureIdx]) +
+                   (highCutoff ? " @7.5A" : " @4.5A"));
+    state.counters["server_ms"] = serverMs / static_cast<double>(cycles);
+    state.counters["client_ms"] = clientMs / static_cast<double>(cycles);
+    state.counters["edges"] = static_cast<double>(widget.graph().numberOfEdges());
+}
+
+void configure(benchmark::internal::Benchmark* b) {
+    for (long residues : {73L, 250L, 1000L}) {
+        for (long measure = 0; measure < 8; ++measure) {
+            for (long high : {0L, 1L}) {
+                b->Args({residues, measure, high});
+            }
+        }
+    }
+    b->Unit(benchmark::kMillisecond);
+}
+
+BENCHMARK(BM_MeasureRecompute)->Apply(configure);
+BENCHMARK(BM_ClientPerceivedMeasureUpdate)->Apply([](auto* b) {
+    // The client-cycle variant is slower per iteration; restrict to the
+    // paper-typical sizes and a measure subset to keep runtime sane.
+    for (long residues : {73L, 250L, 1000L}) {
+        for (long measure : {1L, 2L, 6L}) { // Closeness, Betweenness, PLM
+            for (long high : {0L, 1L}) b->Args({residues, measure, high});
+        }
+    }
+    b->Unit(benchmark::kMillisecond)->Iterations(3);
+});
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,110 @@
+// Fig. 7 — "Time (ms) it takes to switch between different cut-off
+// distances on different RIN-networks. Each switch consists of an edge
+// update and a layout generation phase."
+//   (d) NetworKit edge update           - DynamicRin::setCutoff
+//   (e) Maxent-Stress layout generation - the dominant phase (paper:
+//       300-400 ms on their hardware)
+//   (f) whole update cycle as perceived on the client (+ ~100 ms)
+//
+// Shape to confirm: (e) dominates (d); (f) adds a client margin smaller
+// than the frame-switch one (nodes don't move on a cutoff switch).
+#include <benchmark/benchmark.h>
+
+#include "src/layout/maxent_stress.hpp"
+#include "src/md/synthetic.hpp"
+#include "src/md/trajectory.hpp"
+#include "src/rin/dynamic_rin.hpp"
+#include "src/viz/widget.hpp"
+
+namespace {
+
+using namespace rinkit;
+
+md::Protein proteinOfSize(count residues) {
+    if (residues == 73) return md::alpha3D();
+    return md::helixBundle(residues);
+}
+
+md::Trajectory shortTrajectory(count residues) {
+    md::TrajectoryGenerator::Parameters gen;
+    gen.frames = 2;
+    return md::TrajectoryGenerator(gen).generate(proteinOfSize(residues));
+}
+
+// (d): pure edge update, toggling low <-> high cutoff.
+void BM_EdgeUpdate(benchmark::State& state) {
+    const count residues = static_cast<count>(state.range(0));
+    const auto traj = shortTrajectory(residues);
+    rin::DynamicRin dyn(traj, rin::DistanceCriterion::MinimumAtomDistance, 4.5);
+
+    bool high = false;
+    for (auto _ : state) {
+        high = !high;
+        const auto stats = dyn.setCutoff(high ? 7.5 : 4.5);
+        benchmark::DoNotOptimize(stats.edgesTotal);
+    }
+    state.counters["nodes"] = static_cast<double>(dyn.graph().numberOfNodes());
+}
+
+// (e): Maxent-Stress layout generation on the switched network.
+void BM_LayoutGeneration(benchmark::State& state) {
+    const count residues = static_cast<count>(state.range(0));
+    const bool high = state.range(1) != 0;
+    const auto traj = shortTrajectory(residues);
+    rin::DynamicRin dyn(traj, rin::DistanceCriterion::MinimumAtomDistance,
+                        high ? 7.5 : 4.5);
+
+    for (auto _ : state) {
+        MaxentStress::Parameters params;
+        params.iterations = 30;
+        MaxentStress layout(dyn.graph(), 3, params);
+        layout.run();
+        benchmark::DoNotOptimize(layout.getCoordinates().data());
+    }
+    state.SetLabel(high ? "@7.5A" : "@4.5A");
+    state.counters["edges"] = static_cast<double>(dyn.graph().numberOfEdges());
+}
+
+// (f): the whole widget cutoff-switch cycle incl. simulated client.
+void BM_ClientPerceivedCutoffSwitch(benchmark::State& state) {
+    const count residues = static_cast<count>(state.range(0));
+    const auto traj = shortTrajectory(residues);
+    viz::RinWidget widget(traj);
+
+    bool high = false;
+    double edgeMs = 0, layoutMs = 0, clientMs = 0;
+    count cycles = 0;
+    for (auto _ : state) {
+        high = !high;
+        const auto t = widget.setCutoff(high ? 7.5 : 4.5);
+        edgeMs += t.networkUpdateMs;
+        layoutMs += t.layoutMs;
+        clientMs += t.clientMs;
+        ++cycles;
+    }
+    state.counters["edge_ms"] = edgeMs / static_cast<double>(cycles);
+    state.counters["layout_ms"] = layoutMs / static_cast<double>(cycles);
+    state.counters["client_ms"] = clientMs / static_cast<double>(cycles);
+}
+
+BENCHMARK(BM_EdgeUpdate)
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(73)
+    ->Arg(250)
+    ->Arg(1000);
+BENCHMARK(BM_LayoutGeneration)->Unit(benchmark::kMillisecond)->Apply([](auto* b) {
+    for (long r : {73L, 250L, 1000L}) {
+        b->Args({r, 0L});
+        b->Args({r, 1L});
+    }
+});
+BENCHMARK(BM_ClientPerceivedCutoffSwitch)
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(73)
+    ->Arg(250)
+    ->Arg(1000)
+    ->Iterations(4);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+// Fig. 8 — "Time (ms) it takes to switch between different trajectory
+// frames on different RIN-networks."
+//   (g) network update at LOW cutoff   - DynamicRin::setFrame @ 4.5 A
+//   (h) network update at HIGH cutoff  - same @ 7.5 A (more edges, slower)
+//   (i) whole update cycle as perceived on the client; worst case when a
+//       network measure is selected (paper: up to ~600 ms total for
+//       ~1000-edge networks).
+//
+// Shape to confirm: frame switches cost like cutoff switches server-side,
+// but the client adds MORE than for cutoff switches (every node moved, so
+// all DOM elements update), and measure-selected frame switches are the
+// maximum of the whole widget.
+#include <benchmark/benchmark.h>
+
+#include "src/md/synthetic.hpp"
+#include "src/md/trajectory.hpp"
+#include "src/rin/dynamic_rin.hpp"
+#include "src/viz/widget.hpp"
+
+namespace {
+
+using namespace rinkit;
+
+md::Protein proteinOfSize(count residues) {
+    if (residues == 73) return md::alpha3D();
+    return md::helixBundle(residues);
+}
+
+md::Trajectory wigglyTrajectory(count residues, count frames = 8) {
+    md::TrajectoryGenerator::Parameters gen;
+    gen.frames = frames;
+    gen.thermalSigma = 0.3;
+    return md::TrajectoryGenerator(gen).generate(proteinOfSize(residues));
+}
+
+// (g) + (h): pure network update on a frame switch.
+void BM_FrameNetworkUpdate(benchmark::State& state) {
+    const count residues = static_cast<count>(state.range(0));
+    const bool high = state.range(1) != 0;
+    const auto traj = wigglyTrajectory(residues);
+    rin::DynamicRin dyn(traj, rin::DistanceCriterion::MinimumAtomDistance,
+                        high ? 7.5 : 4.5);
+
+    index f = 0;
+    for (auto _ : state) {
+        f = (f + 1) % traj.frameCount();
+        const auto stats = dyn.setFrame(f);
+        benchmark::DoNotOptimize(stats.edgesTotal);
+    }
+    state.SetLabel(high ? "@7.5A" : "@4.5A");
+    state.counters["edges"] = static_cast<double>(dyn.graph().numberOfEdges());
+}
+
+// (i): full widget frame-switch cycle, with and without an active measure.
+void BM_ClientPerceivedFrameSwitch(benchmark::State& state) {
+    const count residues = static_cast<count>(state.range(0));
+    const bool withMeasure = state.range(1) != 0;
+
+    const auto traj = wigglyTrajectory(residues);
+    viz::RinWidget::Options opts;
+    if (!withMeasure) opts.initialMeasure = std::nullopt;
+    viz::RinWidget widget(traj, opts);
+
+    index f = 0;
+    double netMs = 0, layoutMs = 0, measureMs = 0, clientMs = 0;
+    count cycles = 0;
+    for (auto _ : state) {
+        f = (f + 1) % traj.frameCount();
+        const auto t = widget.setFrame(f);
+        netMs += t.networkUpdateMs;
+        layoutMs += t.layoutMs;
+        measureMs += t.measureMs;
+        clientMs += t.clientMs;
+        ++cycles;
+    }
+    state.SetLabel(withMeasure ? "with measure (worst case)" : "no measure");
+    state.counters["net_ms"] = netMs / static_cast<double>(cycles);
+    state.counters["layout_ms"] = layoutMs / static_cast<double>(cycles);
+    state.counters["measure_ms"] = measureMs / static_cast<double>(cycles);
+    state.counters["client_ms"] = clientMs / static_cast<double>(cycles);
+}
+
+BENCHMARK(BM_FrameNetworkUpdate)->Unit(benchmark::kMillisecond)->Apply([](auto* b) {
+    for (long r : {73L, 250L, 1000L}) {
+        b->Args({r, 0L});
+        b->Args({r, 1L});
+    }
+});
+BENCHMARK(BM_ClientPerceivedFrameSwitch)
+    ->Unit(benchmark::kMillisecond)
+    ->Apply([](auto* b) {
+        for (long r : {73L, 250L, 1000L}) {
+            b->Args({r, 0L});
+            b->Args({r, 1L});
+        }
+        b->Iterations(4);
+    });
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+// Trajectory-level RIN analysis — the paper's motivating workflow beyond
+// single frames ("interactively explore entire simulation data sets and
+// their graph-based features"): contact frequency maps, the persistent
+// contact core, frame-to-frame topology similarity, RMSD folding traces,
+// and top-k closeness on the consensus RIN.
+//
+//   $ ./contact_map_analysis
+#include <cstdio>
+#include <iostream>
+
+#include "src/centrality/top_closeness.hpp"
+#include "src/md/align.hpp"
+#include "src/md/synthetic.hpp"
+#include "src/md/trajectory.hpp"
+#include "src/rin/contact_analysis.hpp"
+
+int main() {
+    using namespace rinkit;
+
+    // A lambda-repressor-like bundle through one unfolding/refolding event.
+    md::TrajectoryGenerator::Parameters gen;
+    gen.frames = 15;
+    gen.unfoldingEvents = 1;
+    const auto traj = md::TrajectoryGenerator(gen).generate(md::lambdaRepressor());
+
+    rin::ContactAnalysis ca(traj, rin::DistanceCriterion::MinimumAtomDistance, 5.0);
+    const auto rmsds = md::rmsdSeries(traj);
+
+    std::cout << "frame | RMSD to frame 0 | mean contacts | Jaccard vs frame 0\n";
+    for (index f = 0; f < traj.frameCount(); ++f) {
+        std::printf("%5u | %12.2f A | %13.2f | %18.3f\n", f, rmsds[f],
+                    ca.meanContactNumber(f), ca.jaccard(0, f));
+    }
+
+    const auto core = ca.consensusGraph(1.0);
+    const auto majority = ca.consensusGraph(0.5);
+    std::cout << "\npersistent contact core: " << core.numberOfEdges()
+              << " edges; majority contacts: " << majority.numberOfEdges() << " edges\n";
+
+    const auto transients = ca.transientContacts(5);
+    std::cout << "most transient contacts (flickering tertiary structure):\n";
+    for (const auto& [u, v] : transients) {
+        std::printf("  residues %3u - %3u  (present %2.0f%% of frames)\n", u, v,
+                    100.0 * ca.contactFrequency(u, v));
+    }
+
+    TopCloseness top(majority, 5);
+    top.run();
+    std::cout << "\ntop-5 closeness residues on the majority RIN "
+              << "(candidate active-site residues, cf. Chea & Livesay 2007):\n";
+    for (count i = 0; i < top.topkNodes().size(); ++i) {
+        std::printf("  residue %3u: closeness %.4f\n", top.topkNodes()[i],
+                    top.topkScores()[i]);
+    }
+    std::cout << "pruned BFS visited " << top.visitedNodes() << " nodes vs naive "
+              << majority.numberOfNodes() * majority.numberOfNodes() << "\n";
+    return 0;
+}

@@ -1,0 +1,74 @@
+// Future-work reproduction — the paper's conclusions: "Graph embeddings,
+// like node2vec - which is already part of NetworKit - ... could be
+// applied to reduce the complexity of the protein simulation data."
+//
+// Downstream-ML pipeline: build RINs across a trajectory, embed each frame
+// with node2vec, and show that (1) residues of the same helix embed closer
+// than cross-helix pairs and (2) a simple frame fingerprint built from the
+// embeddings separates folded from unfolded conformations.
+//
+//   $ ./embedding_pipeline
+#include <cmath>
+#include <iostream>
+
+#include "src/embedding/node2vec.hpp"
+#include "src/md/synthetic.hpp"
+#include "src/md/trajectory.hpp"
+#include "src/rin/rin_builder.hpp"
+
+int main() {
+    using namespace rinkit;
+
+    const auto protein = md::alpha3D();
+    md::TrajectoryGenerator::Parameters gen;
+    gen.frames = 9;
+    gen.unfoldingEvents = 1;
+    const auto traj = md::TrajectoryGenerator(gen).generate(protein);
+    const rin::RinBuilder builder(rin::DistanceCriterion::MinimumAtomDistance);
+
+    // (1) Structure in the embedding space of the folded frame.
+    const Graph g0 = builder.build(traj.proteinAtFrame(0), 5.0);
+    Node2Vec::Parameters n2vParams;
+    n2vParams.dimensions = 24;
+    n2vParams.walksPerNode = 6;
+    n2vParams.epochs = 2;
+    Node2Vec n2v(g0, n2vParams);
+    n2v.run();
+
+    const auto ss = protein.secondaryStructureLabels();
+    double intra = 0.0, inter = 0.0;
+    count nIntra = 0, nInter = 0;
+    for (node u = 0; u < g0.numberOfNodes(); ++u) {
+        for (node v = u + 1; v < g0.numberOfNodes(); ++v) {
+            if (ss[u] == ss[v]) {
+                intra += n2v.cosineSimilarity(u, v);
+                ++nIntra;
+            } else {
+                inter += n2v.cosineSimilarity(u, v);
+                ++nInter;
+            }
+        }
+    }
+    std::cout << "folded-frame embedding: mean cosine similarity intra-segment "
+              << intra / nIntra << " vs inter-segment " << inter / nInter << '\n';
+
+    // (2) Frame fingerprints: mean embedding norm tracks the folding state
+    // (unfolded chains have sparser RINs -> weaker co-occurrence signal).
+    std::cout << "\nframe fingerprints (RIN edges / mean |embedding|):\n";
+    for (index f = 0; f < traj.frameCount(); ++f) {
+        const Graph g = builder.build(traj.proteinAtFrame(f), 5.0);
+        Node2Vec frameEmb(g, n2vParams);
+        frameEmb.run();
+        double norm = 0.0;
+        for (const auto& row : frameEmb.features()) {
+            double s = 0.0;
+            for (double x : row) s += x * x;
+            norm += std::sqrt(s);
+        }
+        norm /= static_cast<double>(g.numberOfNodes());
+        std::cout << "  frame " << f << ": " << g.numberOfEdges() << " edges, |emb| = "
+                  << norm << (f == traj.frameCount() / 2 ? "   <- unfolded apex" : "")
+                  << '\n';
+    }
+    return (intra / nIntra > inter / nInter) ? 0 : 1;
+}

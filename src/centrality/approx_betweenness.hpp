@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+
+#include "src/centrality/centrality.hpp"
+
+namespace rinkit {
+
+/// Approximate betweenness via shortest-path sampling
+/// (Riondato & Kornaropoulos, WSDM 2014).
+///
+/// Samples r = (c / eps^2) * (floor(log2(VD - 2)) + 1 + ln(1/delta))
+/// node pairs (VD = vertex diameter); for each pair one shortest path is
+/// drawn uniformly and its interior nodes are credited 1/r. Every estimate
+/// is then within eps of the normalized betweenness with probability
+/// >= 1 - delta. This is the "approximation for larger networks" path the
+/// paper's Section II highlights.
+class ApproxBetweenness final : public CentralityAlgorithm {
+public:
+    ApproxBetweenness(const Graph& g, double epsilon = 0.05, double delta = 0.1,
+                      std::uint64_t seed = 1);
+
+    void run() override;
+
+    /// Number of samples the error bound requires for this graph.
+    count numberOfSamples() const { return samples_; }
+
+private:
+    double epsilon_;
+    double delta_;
+    std::uint64_t seed_;
+    count samples_ = 0;
+};
+
+} // namespace rinkit

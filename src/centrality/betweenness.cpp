@@ -1,0 +1,59 @@
+#include "src/centrality/betweenness.hpp"
+
+#include <omp.h>
+
+#include "src/components/bfs.hpp"
+
+namespace rinkit {
+
+void Betweenness::run() {
+    const count n = g_.numberOfNodes();
+    scores_.assign(n, 0.0);
+    if (n == 0) {
+        hasRun_ = true;
+        return;
+    }
+
+    const int threads = omp_get_max_threads();
+    std::vector<std::vector<double>> local(static_cast<size_t>(threads),
+                                           std::vector<double>(n, 0.0));
+
+#pragma omp parallel
+    {
+        auto& bc = local[static_cast<size_t>(omp_get_thread_num())];
+        Bfs bfs(g_, 0);
+        std::vector<double> delta(n);
+#pragma omp for schedule(dynamic, 8)
+        for (long long si = 0; si < static_cast<long long>(n); ++si) {
+            const node s = static_cast<node>(si);
+            bfs.setSource(s);
+            bfs.run();
+            std::fill(delta.begin(), delta.end(), 0.0);
+            const auto& order = bfs.visitOrder();
+            const auto& sigma = bfs.numberOfPaths();
+            // Dependency accumulation in reverse BFS order.
+            for (auto it = order.rbegin(); it != order.rend(); ++it) {
+                const node w = *it;
+                const double coeff = (1.0 + delta[w]) / sigma[w];
+                for (node v : bfs.predecessors(w)) {
+                    delta[v] += sigma[v] * coeff;
+                }
+                if (w != s) bc[w] += delta[w];
+            }
+        }
+    }
+
+    for (const auto& bc : local) {
+        for (node u = 0; u < n; ++u) scores_[u] += bc[u];
+    }
+    // Each unordered pair {s, t} was counted twice (once per direction).
+    for (auto& s : scores_) s /= 2.0;
+
+    if (normalized_ && n > 2) {
+        const double norm = 2.0 / (static_cast<double>(n - 1) * static_cast<double>(n - 2));
+        for (auto& s : scores_) s *= norm;
+    }
+    hasRun_ = true;
+}
+
+} // namespace rinkit

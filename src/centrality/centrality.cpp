@@ -1,0 +1,26 @@
+#include "src/centrality/centrality.hpp"
+
+#include <algorithm>
+
+namespace rinkit {
+
+std::vector<std::pair<node, double>> CentralityAlgorithm::ranking() const {
+    requireRun();
+    std::vector<std::pair<node, double>> r;
+    r.reserve(scores_.size());
+    for (node u = 0; u < scores_.size(); ++u) r.emplace_back(u, scores_[u]);
+    std::sort(r.begin(), r.end(), [](const auto& a, const auto& b) {
+        if (a.second != b.second) return a.second > b.second;
+        return a.first < b.first;
+    });
+    return r;
+}
+
+double CentralityAlgorithm::maximum() const {
+    requireRun();
+    double best = 0.0;
+    for (double s : scores_) best = std::max(best, s);
+    return best;
+}
+
+} // namespace rinkit

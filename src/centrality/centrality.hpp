@@ -1,0 +1,59 @@
+#pragma once
+
+#include <stdexcept>
+#include <vector>
+
+#include "src/graph/graph.hpp"
+
+namespace rinkit {
+
+/// Base class for node-centrality algorithms.
+///
+/// Mirrors the NetworKit API the paper builds on (Listing 1:
+/// `Betweenness(G); run(); scores()`): construct with a graph, run(), then
+/// read per-node scores. The RIN widget treats every measure through this
+/// interface, which is what lets users plug new measures into the GUI
+/// "through simple modifications of Python code" — here, through a factory
+/// registration (see viz/measures.hpp).
+class CentralityAlgorithm {
+public:
+    explicit CentralityAlgorithm(const Graph& g) : g_(g) {}
+    virtual ~CentralityAlgorithm() = default;
+
+    CentralityAlgorithm(const CentralityAlgorithm&) = delete;
+    CentralityAlgorithm& operator=(const CentralityAlgorithm&) = delete;
+
+    /// Computes the scores; may be called again after the graph changed.
+    virtual void run() = 0;
+
+    bool hasRun() const { return hasRun_; }
+
+    /// Score of every node. Requires run().
+    const std::vector<double>& scores() const {
+        requireRun();
+        return scores_;
+    }
+
+    /// Score of node @p u. Requires run().
+    double score(node u) const {
+        requireRun();
+        return scores_.at(u);
+    }
+
+    /// Nodes sorted by descending score (ties by ascending id).
+    std::vector<std::pair<node, double>> ranking() const;
+
+    /// Largest score (0 on the empty graph).
+    double maximum() const;
+
+protected:
+    void requireRun() const {
+        if (!hasRun_) throw std::logic_error("CentralityAlgorithm: call run() first");
+    }
+
+    const Graph& g_;
+    std::vector<double> scores_;
+    bool hasRun_ = false;
+};
+
+} // namespace rinkit

@@ -1,0 +1,56 @@
+#include "src/centrality/closeness.hpp"
+
+#include "src/components/bfs.hpp"
+
+namespace rinkit {
+
+void ClosenessCentrality::run() {
+    const count n = g_.numberOfNodes();
+    scores_.assign(n, 0.0);
+    if (n == 0) {
+        hasRun_ = true;
+        return;
+    }
+
+#pragma omp parallel
+    {
+        Bfs bfs(g_, 0);
+#pragma omp for schedule(dynamic, 8)
+        for (long long ui = 0; ui < static_cast<long long>(n); ++ui) {
+            const node u = static_cast<node>(ui);
+            bfs.setSource(u);
+            bfs.run();
+            if (variant_ == Variant::Harmonic) {
+                double sum = 0.0;
+                for (node v = 0; v < n; ++v) {
+                    const double d = bfs.distance(v);
+                    if (v != u && d != infdist) sum += 1.0 / d;
+                }
+                scores_[u] = normalized_ && n > 1 ? sum / static_cast<double>(n - 1) : sum;
+            } else {
+                double sum = 0.0;
+                count reached = 0;
+                for (node v = 0; v < n; ++v) {
+                    const double d = bfs.distance(v);
+                    if (d != infdist) {
+                        sum += d;
+                        ++reached;
+                    }
+                }
+                if (reached <= 1 || sum == 0.0) {
+                    scores_[u] = 0.0;
+                } else {
+                    // Wasserman-Faust composite closeness for (possibly)
+                    // disconnected graphs.
+                    const double r = static_cast<double>(reached);
+                    double c = (r - 1.0) / sum;
+                    if (normalized_ && n > 1) c *= (r - 1.0) / static_cast<double>(n - 1);
+                    scores_[u] = c;
+                }
+            }
+        }
+    }
+    hasRun_ = true;
+}
+
+} // namespace rinkit

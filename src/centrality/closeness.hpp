@@ -1,0 +1,33 @@
+#pragma once
+
+#include "src/centrality/centrality.hpp"
+
+namespace rinkit {
+
+/// Closeness centrality.
+///
+/// High closeness flags residues near a protein's active or ligand-binding
+/// site (Chea & Livesay 2007; Amitai et al. 2004) — it is one of the two
+/// centralities the paper's widget exposes by name.
+///
+/// Variants:
+///  - Standard: (r - 1) / sum(d) scaled by (r - 1)/(n - 1), where r is the
+///    number of reachable nodes (Wasserman–Faust composite, well defined on
+///    the disconnected RINs produced by small cut-offs).
+///  - Harmonic: sum(1 / d), unreachable nodes contribute 0.
+class ClosenessCentrality final : public CentralityAlgorithm {
+public:
+    enum class Variant { Standard, Harmonic };
+
+    explicit ClosenessCentrality(const Graph& g, Variant variant = Variant::Standard,
+                                 bool normalized = true)
+        : CentralityAlgorithm(g), variant_(variant), normalized_(normalized) {}
+
+    void run() override;
+
+private:
+    Variant variant_;
+    bool normalized_;
+};
+
+} // namespace rinkit

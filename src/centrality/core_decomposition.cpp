@@ -1,0 +1,65 @@
+#include "src/centrality/core_decomposition.hpp"
+
+#include <algorithm>
+
+namespace rinkit {
+
+void CoreDecomposition::run() {
+    const count n = g_.numberOfNodes();
+    scores_.assign(n, 0.0);
+    maxCore_ = 0;
+    if (n == 0) {
+        hasRun_ = true;
+        return;
+    }
+
+    // Batagelj-Zaversnik bucket sort peeling.
+    std::vector<count> deg(n);
+    count maxDeg = 0;
+    for (node u = 0; u < n; ++u) {
+        deg[u] = g_.degree(u);
+        maxDeg = std::max(maxDeg, deg[u]);
+    }
+    std::vector<count> bin(maxDeg + 2, 0);
+    for (node u = 0; u < n; ++u) ++bin[deg[u]];
+    count start = 0;
+    for (count d = 0; d <= maxDeg; ++d) {
+        const count c = bin[d];
+        bin[d] = start;
+        start += c;
+    }
+    std::vector<node> order(n);
+    std::vector<count> pos(n);
+    for (node u = 0; u < n; ++u) {
+        pos[u] = bin[deg[u]];
+        order[pos[u]] = u;
+        ++bin[deg[u]];
+    }
+    for (count d = maxDeg + 1; d > 0; --d) bin[d] = bin[d - 1];
+    bin[0] = 0;
+
+    for (count i = 0; i < n; ++i) {
+        const node u = order[i];
+        scores_[u] = static_cast<double>(deg[u]);
+        maxCore_ = std::max(maxCore_, deg[u]);
+        g_.forNeighborsOf(u, [&](node, node v) {
+            if (deg[v] > deg[u]) {
+                // Move v to the front of its bucket, then shrink its degree.
+                const count dv = deg[v];
+                const count pv = pos[v];
+                const count pw = bin[dv];
+                const node w = order[pw];
+                if (v != w) {
+                    std::swap(order[pv], order[pw]);
+                    pos[v] = pw;
+                    pos[w] = pv;
+                }
+                ++bin[dv];
+                --deg[v];
+            }
+        });
+    }
+    hasRun_ = true;
+}
+
+} // namespace rinkit

@@ -1,0 +1,27 @@
+#pragma once
+
+#include "src/centrality/centrality.hpp"
+
+namespace rinkit {
+
+/// k-core decomposition: score(u) is the largest k such that u belongs to a
+/// subgraph of minimum degree k. Bucket-queue peeling, O(n + m).
+/// In RIN analysis, high-core residues form the densely packed structural
+/// core of the protein.
+class CoreDecomposition final : public CentralityAlgorithm {
+public:
+    explicit CoreDecomposition(const Graph& g) : CentralityAlgorithm(g) {}
+
+    void run() override;
+
+    /// Largest core number found.
+    count maxCore() const {
+        requireRun();
+        return maxCore_;
+    }
+
+private:
+    count maxCore_ = 0;
+};
+
+} // namespace rinkit

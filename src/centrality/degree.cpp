@@ -1,0 +1,15 @@
+#include "src/centrality/degree.hpp"
+
+namespace rinkit {
+
+void DegreeCentrality::run() {
+    const count n = g_.numberOfNodes();
+    scores_.assign(n, 0.0);
+    const double norm = (normalized_ && n > 1) ? 1.0 / static_cast<double>(n - 1) : 1.0;
+    g_.parallelForNodes([&](node u) {
+        scores_[u] = static_cast<double>(g_.degree(u)) * norm;
+    });
+    hasRun_ = true;
+}
+
+} // namespace rinkit

@@ -1,0 +1,19 @@
+#pragma once
+
+#include "src/centrality/centrality.hpp"
+
+namespace rinkit {
+
+/// Degree centrality; optionally normalized by (n - 1).
+class DegreeCentrality final : public CentralityAlgorithm {
+public:
+    explicit DegreeCentrality(const Graph& g, bool normalized = false)
+        : CentralityAlgorithm(g), normalized_(normalized) {}
+
+    void run() override;
+
+private:
+    bool normalized_;
+};
+
+} // namespace rinkit

@@ -1,0 +1,48 @@
+#pragma once
+
+#include "src/centrality/centrality.hpp"
+
+namespace rinkit {
+
+/// Eigenvector centrality: dominant eigenvector of the (weighted)
+/// adjacency matrix via power iteration, L2-normalized.
+class EigenvectorCentrality final : public CentralityAlgorithm {
+public:
+    explicit EigenvectorCentrality(const Graph& g, double tol = 1e-9,
+                                   count maxIterations = 1000)
+        : CentralityAlgorithm(g), tol_(tol), maxIterations_(maxIterations) {}
+
+    void run() override;
+
+    count iterations() const { return iterations_; }
+
+private:
+    double tol_;
+    count maxIterations_;
+    count iterations_ = 0;
+};
+
+/// Katz centrality: sum over walks weighted by alpha^length, computed by
+/// the iteration x <- alpha * A x + beta. @p alpha must be below the
+/// reciprocal of the spectral radius for convergence; the default
+/// (alpha = 0) picks 1 / (maxDegree + 1) automatically.
+class KatzCentrality final : public CentralityAlgorithm {
+public:
+    explicit KatzCentrality(const Graph& g, double alpha = 0.0, double beta = 1.0,
+                            double tol = 1e-9, count maxIterations = 1000)
+        : CentralityAlgorithm(g), alpha_(alpha), beta_(beta), tol_(tol),
+          maxIterations_(maxIterations) {}
+
+    void run() override;
+
+    double effectiveAlpha() const { return effectiveAlpha_; }
+
+private:
+    double alpha_;
+    double beta_;
+    double tol_;
+    count maxIterations_;
+    double effectiveAlpha_ = 0.0;
+};
+
+} // namespace rinkit

@@ -1,0 +1,27 @@
+#include "src/centrality/local_clustering.hpp"
+
+#include <algorithm>
+
+namespace rinkit {
+
+void LocalClusteringCoefficient::run() {
+    const count n = g_.numberOfNodes();
+    scores_.assign(n, 0.0);
+    g_.parallelForNodes([&](node u) {
+        const auto nb = g_.neighbors(u);
+        const count d = nb.size();
+        if (d < 2) return; // coefficient 0 by convention
+        count links = 0;
+        for (count i = 0; i < d; ++i) {
+            const auto ni = g_.neighbors(nb[i]);
+            for (count j = i + 1; j < d; ++j) {
+                if (std::binary_search(ni.begin(), ni.end(), nb[j])) ++links;
+            }
+        }
+        scores_[u] = 2.0 * static_cast<double>(links) /
+                     (static_cast<double>(d) * static_cast<double>(d - 1));
+    });
+    hasRun_ = true;
+}
+
+} // namespace rinkit

@@ -1,0 +1,18 @@
+#pragma once
+
+#include "src/centrality/centrality.hpp"
+
+namespace rinkit {
+
+/// Local clustering coefficient as a per-node score: the fraction of a
+/// node's neighbor pairs that are themselves connected. In RIN analysis a
+/// high coefficient marks residues inside rigid, densely packed clusters;
+/// low values mark flexible linkers and hinges.
+class LocalClusteringCoefficient final : public CentralityAlgorithm {
+public:
+    explicit LocalClusteringCoefficient(const Graph& g) : CentralityAlgorithm(g) {}
+
+    void run() override;
+};
+
+} // namespace rinkit

@@ -1,0 +1,69 @@
+#include "src/centrality/pagerank.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/support/parallel.hpp"
+
+namespace rinkit {
+
+PageRank::PageRank(const Graph& g, double damping, double tol, count maxIterations,
+                   Norm norm)
+    : CentralityAlgorithm(g), damping_(damping), tol_(tol),
+      maxIterations_(maxIterations), norm_(norm) {
+    if (damping <= 0.0 || damping >= 1.0) {
+        throw std::invalid_argument("PageRank: damping out of (0,1)");
+    }
+}
+
+void PageRank::run() {
+    const count n = g_.numberOfNodes();
+    scores_.assign(n, 0.0);
+    iterations_ = 0;
+    if (n == 0) {
+        hasRun_ = true;
+        return;
+    }
+
+    const double uniform = 1.0 / static_cast<double>(n);
+    std::vector<double> rank(n, uniform), next(n, 0.0);
+
+    for (iterations_ = 0; iterations_ < maxIterations_; ++iterations_) {
+        // Dangling (isolated) nodes redistribute their mass uniformly.
+        double danglingMass = 0.0;
+#pragma omp parallel for schedule(static) reduction(+ : danglingMass)
+        for (long long ui = 0; ui < static_cast<long long>(n); ++ui) {
+            const node u = static_cast<node>(ui);
+            if (g_.weightedDegree(u) == 0.0) danglingMass += rank[u];
+        }
+
+        const double base = (1.0 - damping_) * uniform + damping_ * danglingMass * uniform;
+        parallelFor(n, [&](index ui) {
+            const node u = static_cast<node>(ui);
+            double in = 0.0;
+            g_.forWeightedNeighborsOf(u, [&](node, node v, edgeweight w) {
+                in += rank[v] * w / g_.weightedDegree(v);
+            });
+            next[u] = base + damping_ * in;
+        });
+
+        double diff = 0.0;
+#pragma omp parallel for schedule(static) reduction(+ : diff)
+        for (long long ui = 0; ui < static_cast<long long>(n); ++ui) {
+            diff += std::abs(next[ui] - rank[ui]);
+        }
+        rank.swap(next);
+        if (diff < tol_) {
+            ++iterations_;
+            break;
+        }
+    }
+
+    if (norm_ == Norm::SizeInvariant) {
+        for (auto& r : rank) r *= static_cast<double>(n);
+    }
+    scores_ = std::move(rank);
+    hasRun_ = true;
+}
+
+} // namespace rinkit

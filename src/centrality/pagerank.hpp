@@ -1,0 +1,38 @@
+#pragma once
+
+#include "src/centrality/centrality.hpp"
+
+namespace rinkit {
+
+/// PageRank by power iteration on the undirected graph.
+///
+/// Includes the size-invariant normalization NetworKit added following
+/// Berberich et al. (WWW 2007): multiplying scores by n rescales them
+/// relative to the uniform distribution, making values comparable across
+/// graphs of different sizes — exactly what a user sweeping RIN cut-offs
+/// (which changes the edge set, and via isolated nodes the effective size)
+/// needs for a stable color scale.
+class PageRank final : public CentralityAlgorithm {
+public:
+    enum class Norm {
+        L1,        ///< classic: scores sum to 1
+        SizeInvariant ///< Berberich-style: score * n, uniform == 1.0
+    };
+
+    explicit PageRank(const Graph& g, double damping = 0.85, double tol = 1e-9,
+                      count maxIterations = 200, Norm norm = Norm::L1);
+
+    void run() override;
+
+    /// Iterations the last run() needed to converge.
+    count iterations() const { return iterations_; }
+
+private:
+    double damping_;
+    double tol_;
+    count maxIterations_;
+    Norm norm_;
+    count iterations_ = 0;
+};
+
+} // namespace rinkit

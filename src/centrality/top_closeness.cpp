@@ -1,0 +1,114 @@
+#include "src/centrality/top_closeness.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rinkit {
+
+TopCloseness::TopCloseness(const Graph& g, count k) : g_(g), k_(k) {
+    if (k == 0) throw std::invalid_argument("TopCloseness: k must be > 0");
+}
+
+void TopCloseness::run() {
+    const count n = g_.numberOfNodes();
+    nodes_.clear();
+    scores_.clear();
+    visited_ = 0;
+
+    // Process in decreasing degree order: high-degree nodes tend to have
+    // high closeness, raising the pruning threshold early.
+    std::vector<node> order(n);
+    for (node u = 0; u < n; ++u) order[u] = u;
+    std::sort(order.begin(), order.end(), [&](node a, node b) {
+        return g_.degree(a) > g_.degree(b);
+    });
+
+    // Min-heap over (score, node) of the current top-k, as sorted vectors.
+    std::vector<std::pair<double, node>> best; // ascending by score
+
+    std::vector<double> dist(n);
+    std::vector<node> frontier, next;
+
+    const double nNorm = n > 1 ? static_cast<double>(n - 1) : 1.0;
+
+    for (node s : order) {
+        const double kth = best.size() == k_ ? best.front().first : -1.0;
+
+        // BFS from s with per-level pruning.
+        std::fill(dist.begin(), dist.end(), infdist);
+        dist[s] = 0.0;
+        frontier.assign(1, s);
+        double sumDist = 0.0;
+        count reached = 1;
+        double level = 0.0;
+        bool pruned = false;
+        ++visited_;
+
+        while (!frontier.empty()) {
+            next.clear();
+            for (node u : frontier) {
+                g_.forNeighborsOf(u, [&](node, node v) {
+                    if (dist[v] == infdist) {
+                        dist[v] = level + 1.0;
+                        next.push_back(v);
+                    }
+                });
+            }
+            if (next.empty()) break;
+            level += 1.0;
+            sumDist += level * static_cast<double>(next.size());
+            reached += next.size();
+            visited_ += next.size();
+
+            // Optimistic bound: every still-unreached node sits at
+            // level + 1. If even that cannot beat the k-th best, abandon.
+            if (kth >= 0.0) {
+                const count unreached = n - reached;
+                const double optimisticSum =
+                    sumDist + (level + 1.0) * static_cast<double>(unreached);
+                const double rOpt = static_cast<double>(n); // reach everything
+                const double bound =
+                    (rOpt - 1.0) / optimisticSum * (rOpt - 1.0) / nNorm;
+                if (bound <= kth) {
+                    pruned = true;
+                    break;
+                }
+            }
+            frontier.swap(next);
+        }
+        if (pruned) continue;
+
+        double score = 0.0;
+        if (reached > 1 && sumDist > 0.0) {
+            const double r = static_cast<double>(reached);
+            score = (r - 1.0) / sumDist * (r - 1.0) / nNorm;
+        }
+        if (best.size() < k_) {
+            best.emplace_back(score, s);
+            std::sort(best.begin(), best.end());
+        } else if (score > best.front().first) {
+            best.front() = {score, s};
+            std::sort(best.begin(), best.end());
+        }
+    }
+
+    // Descending output order.
+    std::sort(best.rbegin(), best.rend());
+    for (const auto& [score, u] : best) {
+        nodes_.push_back(u);
+        scores_.push_back(score);
+    }
+    hasRun_ = true;
+}
+
+const std::vector<node>& TopCloseness::topkNodes() const {
+    if (!hasRun_) throw std::logic_error("TopCloseness: call run() first");
+    return nodes_;
+}
+
+const std::vector<double>& TopCloseness::topkScores() const {
+    if (!hasRun_) throw std::logic_error("TopCloseness: call run() first");
+    return scores_;
+}
+
+} // namespace rinkit

@@ -1,0 +1,236 @@
+#include "src/cloud/cluster.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <stdexcept>
+
+namespace rinkit::cloud {
+
+void Cluster::addNode(const std::string& name, NodeRole role, Resources capacity) {
+    for (const auto& n : nodes_) {
+        if (n.name == name) throw std::invalid_argument("Cluster: duplicate node " + name);
+    }
+    nodes_.push_back({name, role, capacity, {0, 0}});
+    logEvent("node added: " + name);
+}
+
+Cluster Cluster::paperReferenceCluster(count workers, Resources workerCapacity) {
+    Cluster c;
+    for (count i = 0; i < 3; ++i) {
+        c.addNode("master-" + std::to_string(i), NodeRole::Master, kPaperControlPlaneNode);
+    }
+    for (count i = 0; i < workers; ++i) {
+        c.addNode("worker-" + std::to_string(i), NodeRole::Worker, workerCapacity);
+    }
+    c.addNode("service-0", NodeRole::Service, kPaperControlPlaneNode);
+    c.addNode("gateway-0", NodeRole::Gateway, {2000, 4096});
+    return c;
+}
+
+count Cluster::nodeCount(NodeRole role) const {
+    count n = 0;
+    for (const auto& node : nodes_) {
+        if (node.role == role) ++n;
+    }
+    return n;
+}
+
+const ClusterNode& Cluster::node(const std::string& name) const {
+    for (const auto& n : nodes_) {
+        if (n.name == name) return n;
+    }
+    throw std::out_of_range("Cluster: no node " + name);
+}
+
+void Cluster::createNamespace(const std::string& name) {
+    if (namespaces_.count(name)) {
+        throw std::invalid_argument("Cluster: namespace exists: " + name);
+    }
+    namespaces_[name];
+    logEvent("namespace created: " + name);
+}
+
+bool Cluster::hasNamespace(const std::string& name) const {
+    return namespaces_.count(name) > 0;
+}
+
+void Cluster::createServiceAccount(const std::string& namespaceName,
+                                   const std::string& name,
+                                   std::vector<Permission> permissions) {
+    auto it = namespaces_.find(namespaceName);
+    if (it == namespaces_.end()) {
+        throw std::out_of_range("Cluster: no namespace " + namespaceName);
+    }
+    it->second.serviceAccounts[name] = std::move(permissions);
+    logEvent("serviceaccount created: " + namespaceName + "/" + name);
+}
+
+bool Cluster::allowed(const std::string& namespaceName, const std::string& account,
+                      Permission permission) const {
+    const auto nsIt = namespaces_.find(namespaceName);
+    if (nsIt == namespaces_.end()) return false;
+    const auto saIt = nsIt->second.serviceAccounts.find(account);
+    if (saIt == nsIt->second.serviceAccounts.end()) return false;
+    return std::find(saIt->second.begin(), saIt->second.end(), permission) !=
+           saIt->second.end();
+}
+
+std::optional<std::string> Cluster::schedule(const Resources& request) {
+    // Least-allocated worker that fits (spreads load like the default
+    // kube-scheduler scoring).
+    ClusterNode* best = nullptr;
+    for (auto& n : nodes_) {
+        if (n.role != NodeRole::Worker) continue;
+        if (!n.free().fits(request)) continue;
+        if (!best || n.allocated.cpuMillis < best->allocated.cpuMillis) best = &n;
+    }
+    if (!best) return std::nullopt;
+    best->allocated += request;
+    return best->name;
+}
+
+void Cluster::apply(const std::string& namespaceName, const Deployment& deployment) {
+    auto it = namespaces_.find(namespaceName);
+    if (it == namespaces_.end()) {
+        throw std::out_of_range("Cluster: no namespace " + namespaceName);
+    }
+    it->second.deployments[deployment.name] = deployment;
+    for (count r = 0; r < deployment.replicas; ++r) {
+        Pod pod;
+        pod.spec = deployment.podTemplate;
+        pod.spec.name = deployment.name + "-" + std::to_string(r);
+        pod.namespaceName = namespaceName;
+        pod.uid = nextUid_++;
+        if (auto nodeName = schedule(pod.spec.request)) {
+            pod.nodeName = *nodeName;
+            pod.phase = PodPhase::Running;
+            logEvent("pod scheduled: " + namespaceName + "/" + pod.spec.name + " -> " +
+                     *nodeName);
+        } else {
+            logEvent("pod pending (unschedulable): " + namespaceName + "/" + pod.spec.name);
+        }
+        pods_.push_back(std::move(pod));
+    }
+}
+
+std::optional<count> Cluster::spawnPod(const std::string& namespaceName,
+                                       const std::string& account, const PodSpec& spec) {
+    if (!allowed(namespaceName, account, Permission::SpawnPods)) {
+        throw std::runtime_error("Cluster: " + account + " may not spawn pods in " +
+                                 namespaceName);
+    }
+    Pod pod;
+    pod.spec = spec;
+    pod.namespaceName = namespaceName;
+    pod.uid = nextUid_++;
+    if (auto nodeName = schedule(spec.request)) {
+        pod.nodeName = *nodeName;
+        pod.phase = PodPhase::Running;
+        logEvent("pod spawned: " + namespaceName + "/" + spec.name + " -> " + *nodeName);
+        const count uid = pod.uid;
+        pods_.push_back(std::move(pod));
+        return uid;
+    }
+    logEvent("pod spawn failed (no capacity): " + namespaceName + "/" + spec.name);
+    return std::nullopt;
+}
+
+void Cluster::deletePod(const std::string& namespaceName, const std::string& account,
+                        count uid) {
+    if (!allowed(namespaceName, account, Permission::DeletePods)) {
+        throw std::runtime_error("Cluster: " + account + " may not delete pods in " +
+                                 namespaceName);
+    }
+    for (auto& pod : pods_) {
+        if (pod.uid == uid && pod.namespaceName == namespaceName &&
+            pod.phase == PodPhase::Running) {
+            for (auto& n : nodes_) {
+                if (n.name == pod.nodeName) n.allocated -= pod.spec.request;
+            }
+            pod.phase = PodPhase::Terminated;
+            logEvent("pod deleted: " + namespaceName + "/" + pod.spec.name);
+            return;
+        }
+    }
+    throw std::out_of_range("Cluster: no running pod with uid " + std::to_string(uid));
+}
+
+std::vector<Pod> Cluster::pods(const std::string& namespaceName,
+                               const std::string& account) const {
+    if (!account.empty() && !allowed(namespaceName, account, Permission::ListPods)) {
+        throw std::runtime_error("Cluster: " + account + " may not list pods in " +
+                                 namespaceName);
+    }
+    std::vector<Pod> out;
+    for (const auto& pod : pods_) {
+        if (pod.namespaceName == namespaceName && pod.phase != PodPhase::Terminated) {
+            out.push_back(pod);
+        }
+    }
+    return out;
+}
+
+Resources Cluster::totalAllocated() const {
+    Resources total{0, 0};
+    for (const auto& n : nodes_) {
+        if (n.role == NodeRole::Worker) total += n.allocated;
+    }
+    return total;
+}
+
+void Cluster::createService(const std::string& namespaceName, const Service& service) {
+    auto it = namespaces_.find(namespaceName);
+    if (it == namespaces_.end()) {
+        throw std::out_of_range("Cluster: no namespace " + namespaceName);
+    }
+    it->second.services[service.name] = service;
+}
+
+void Cluster::createIngress(const std::string& namespaceName, const Ingress& ingress) {
+    auto it = namespaces_.find(namespaceName);
+    if (it == namespaces_.end()) {
+        throw std::out_of_range("Cluster: no namespace " + namespaceName);
+    }
+    it->second.ingresses.push_back(ingress);
+}
+
+std::optional<count> Cluster::route(const std::string& sourceIp,
+                                    const std::string& path) const {
+    // Longest-prefix ingress match across all namespaces.
+    const Ingress* best = nullptr;
+    const NamespaceState* bestNs = nullptr;
+    for (const auto& [nsName, ns] : namespaces_) {
+        for (const auto& ing : ns.ingresses) {
+            if (path.rfind(ing.prefix, 0) == 0) {
+                if (!best || ing.prefix.size() > best->prefix.size()) {
+                    best = &ing;
+                    bestNs = &ns;
+                }
+            }
+        }
+    }
+    if (!best) return std::nullopt;
+
+    const auto svcIt = bestNs->services.find(best->service);
+    if (svcIt == bestNs->services.end()) return std::nullopt;
+
+    // Running pods of the service's deployment, stable order.
+    std::vector<const Pod*> backends;
+    const std::string& dep = svcIt->second.deployment;
+    for (const auto& pod : pods_) {
+        if (pod.phase != PodPhase::Running) continue;
+        // Replica pods are named "<deployment>-<i>"; directly spawned pods
+        // (KubeSpawner) carry the deployment name itself.
+        if (pod.spec.name == dep || pod.spec.name.rfind(dep + "-", 0) == 0) {
+            backends.push_back(&pod);
+        }
+    }
+    if (backends.empty()) return std::nullopt;
+
+    // Source-balanced policy: the same client IP always lands on the same
+    // backend (session affinity for Jupyter websockets).
+    const size_t h = std::hash<std::string>{}(sourceIp);
+    return backends[h % backends.size()]->uid;
+}
+
+} // namespace rinkit::cloud

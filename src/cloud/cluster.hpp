@@ -1,0 +1,167 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/cloud/resources.hpp"
+
+namespace rinkit::cloud {
+
+/// Discrete-state simulator of the paper's Kubernetes/OpenShift deployment
+/// (Section III): nodes with roles, namespaced deployments, pods scheduled
+/// under resource quotas, services with ingress prefix routing, and
+/// RBAC-checked service accounts. No real containers run; the value is
+/// that the control-plane semantics the paper describes in prose are
+/// executable and testable here.
+
+enum class NodeRole { Master, Worker, Service, Gateway };
+
+enum class PodPhase { Pending, Running, Terminated };
+
+struct PodSpec {
+    std::string name;
+    std::string image = "rinkit/networkit-jupyter:latest";
+    Resources request{1000, 1024};
+};
+
+struct Pod {
+    PodSpec spec;
+    std::string namespaceName;
+    std::string nodeName; ///< empty while Pending
+    PodPhase phase = PodPhase::Pending;
+    count uid = 0;
+};
+
+struct ClusterNode {
+    std::string name;
+    NodeRole role = NodeRole::Worker;
+    Resources capacity;
+    Resources allocated{0, 0};
+
+    Resources free() const {
+        return {capacity.cpuMillis - allocated.cpuMillis,
+                capacity.memoryMb - allocated.memoryMb};
+    }
+};
+
+/// Deployment: a replicated pod template, the paper's Fig. 2 central
+/// entity.
+struct Deployment {
+    std::string name;
+    PodSpec podTemplate;
+    count replicas = 1;
+};
+
+/// Service: stable name in front of a deployment's pods.
+struct Service {
+    std::string name;
+    std::string deployment;
+};
+
+/// Ingress/route: URL prefix -> service (the "prefix-based routing" of the
+/// cluster-internal reverse proxy).
+struct Ingress {
+    std::string prefix;
+    std::string service;
+};
+
+/// Permissions a service account may hold (paper: "view permissions for
+/// Kubernetes events and permissions to spawn, list, and delete pod
+/// resources").
+enum class Permission { ViewEvents, SpawnPods, ListPods, DeletePods };
+
+class Cluster {
+public:
+    // -- infrastructure ----------------------------------------------------
+
+    /// Adds a node; names must be unique.
+    void addNode(const std::string& name, NodeRole role, Resources capacity);
+
+    /// Builds the paper's reference topology: 3 masters, @p workers
+    /// workers, 1 service node (reverse proxy / LB), 1 gateway.
+    static Cluster paperReferenceCluster(count workers = 2,
+                                         Resources workerCapacity = {32000, 131072});
+
+    count nodeCount(NodeRole role) const;
+    const ClusterNode& node(const std::string& name) const;
+
+    /// The control plane is highly available iff >= 3 masters (etcd quorum).
+    bool highAvailability() const { return nodeCount(NodeRole::Master) >= 3; }
+
+    // -- namespaces and RBAC ------------------------------------------------
+
+    void createNamespace(const std::string& name);
+    bool hasNamespace(const std::string& name) const;
+
+    /// Creates a service account in a namespace with given permissions.
+    void createServiceAccount(const std::string& namespaceName, const std::string& name,
+                              std::vector<Permission> permissions);
+
+    /// True iff the SA exists in that namespace and holds @p permission.
+    /// Accounts are namespace-local: the same name in another namespace
+    /// grants nothing (the paper's blast-radius argument).
+    bool allowed(const std::string& namespaceName, const std::string& account,
+                 Permission permission) const;
+
+    // -- workloads -----------------------------------------------------------
+
+    /// Applies a deployment in a namespace: schedules `replicas` pods.
+    /// Throws if the namespace does not exist.
+    void apply(const std::string& namespaceName, const Deployment& deployment);
+
+    /// Spawns a single pod (the KubeSpawner path). Requires @p account to
+    /// hold SpawnPods in the namespace; returns the pod uid.
+    /// Throws std::runtime_error on permission failure; returns nullopt if
+    /// unschedulable (no worker fits).
+    std::optional<count> spawnPod(const std::string& namespaceName,
+                                  const std::string& account, const PodSpec& spec);
+
+    /// Deletes a pod by uid (requires DeletePods); frees its resources.
+    void deletePod(const std::string& namespaceName, const std::string& account,
+                   count uid);
+
+    /// Pods of a namespace (requires ListPods when @p account is non-empty;
+    /// pass empty for the cluster-admin view used by tests).
+    std::vector<Pod> pods(const std::string& namespaceName,
+                          const std::string& account = "") const;
+
+    /// Total resources allocated on all workers.
+    Resources totalAllocated() const;
+
+    // -- services & routing ---------------------------------------------------
+
+    void createService(const std::string& namespaceName, const Service& service);
+    void createIngress(const std::string& namespaceName, const Ingress& ingress);
+
+    /// Routes an external request: the service node's reverse proxy picks a
+    /// backend pod by longest-prefix ingress match, then balances across
+    /// the deployment's running pods by source hash ("source balanced
+    /// policy"). Returns the pod uid, or nullopt if nothing matches.
+    std::optional<count> route(const std::string& sourceIp, const std::string& path) const;
+
+    /// Human-readable event log (scheduling decisions, spawns, deletions).
+    const std::vector<std::string>& events() const { return events_; }
+
+private:
+    struct NamespaceState {
+        std::map<std::string, std::vector<Permission>> serviceAccounts;
+        std::map<std::string, Deployment> deployments;
+        std::map<std::string, Service> services;
+        std::vector<Ingress> ingresses;
+    };
+
+    /// Least-allocated-first scheduling across workers.
+    std::optional<std::string> schedule(const Resources& request);
+
+    void logEvent(std::string msg) { events_.push_back(std::move(msg)); }
+
+    std::vector<ClusterNode> nodes_;
+    std::map<std::string, NamespaceState> namespaces_;
+    std::vector<Pod> pods_;
+    count nextUid_ = 1;
+    std::vector<std::string> events_;
+};
+
+} // namespace rinkit::cloud

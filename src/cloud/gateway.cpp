@@ -1,0 +1,30 @@
+#include "src/cloud/gateway.hpp"
+
+namespace rinkit::cloud {
+
+void Gateway::addRule(AclRule rule) {
+    rules_.push_back({std::move(rule), 0, 0});
+}
+
+bool Gateway::egress(const std::string& destinationIp, count port, count bytes) {
+    for (auto& entry : rules_) {
+        const auto& r = entry.rule;
+        const bool prefixMatch =
+            r.destinationPrefix.empty() || destinationIp.rfind(r.destinationPrefix, 0) == 0;
+        const bool portMatch = r.port == 0 || r.port == port;
+        if (prefixMatch && portMatch) {
+            ++entry.hits;
+            entry.bytes += bytes;
+            if (r.action == Action::Allow) {
+                allowedBytes_ += bytes;
+                return true;
+            }
+            return false;
+        }
+    }
+    ++defaultDeniedPackets_;
+    defaultDeniedBytes_ += bytes;
+    return false;
+}
+
+} // namespace rinkit::cloud

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/support/types.hpp"
+
+namespace rinkit::cloud {
+
+/// The gateway node of the paper's Fig. 1: "handles the reverse route from
+/// within the cluster to WAN, equipped with an additional ACL-based
+/// firewall and filter mechanism to monitor traffic."
+///
+/// Models egress filtering with ordered ACL rules (first match wins,
+/// default deny) over destination prefix + port, plus per-rule traffic
+/// accounting so operators can monitor what leaves the cluster.
+class Gateway {
+public:
+    enum class Action { Allow, Deny };
+
+    struct AclRule {
+        Action action = Action::Deny;
+        std::string destinationPrefix; ///< e.g. "140.82." or "" (any)
+        count port = 0;                ///< 0 = any port
+        std::string comment;
+    };
+
+    struct RuleStats {
+        AclRule rule;
+        count hits = 0;
+        count bytes = 0;
+    };
+
+    /// Appends a rule; evaluation order is insertion order.
+    void addRule(AclRule rule);
+
+    count ruleCount() const { return rules_.size(); }
+
+    /// Evaluates an egress packet: first matching rule decides; no match
+    /// means deny (and is accounted separately). Returns true iff allowed.
+    bool egress(const std::string& destinationIp, count port, count bytes);
+
+    /// Per-rule traffic counters (monitoring).
+    const std::vector<RuleStats>& ruleStats() const { return rules_; }
+
+    /// Packets/bytes that matched no rule and were default-denied.
+    count defaultDeniedPackets() const { return defaultDeniedPackets_; }
+    count defaultDeniedBytes() const { return defaultDeniedBytes_; }
+
+    /// Total bytes allowed through.
+    count allowedBytes() const { return allowedBytes_; }
+
+private:
+    std::vector<RuleStats> rules_;
+    count defaultDeniedPackets_ = 0;
+    count defaultDeniedBytes_ = 0;
+    count allowedBytes_ = 0;
+};
+
+} // namespace rinkit::cloud

@@ -1,0 +1,82 @@
+#include "src/cloud/jupyterhub.hpp"
+
+#include <stdexcept>
+
+namespace rinkit::cloud {
+
+JupyterHub::JupyterHub(Cluster& cluster, Config config)
+    : cluster_(cluster), config_(std::move(config)) {
+    cluster_.createNamespace(config_.namespaceName);
+    cluster_.createServiceAccount(
+        config_.namespaceName, "hub-sa",
+        {Permission::ViewEvents, Permission::SpawnPods, Permission::ListPods,
+         Permission::DeletePods});
+
+    Deployment hub;
+    hub.name = "jupyterhub";
+    hub.replicas = 1;
+    hub.podTemplate.image = "jupyterhub/k8s-hub:custom";
+    hub.podTemplate.request = {1000, 2048};
+    cluster_.apply(config_.namespaceName, hub);
+
+    cluster_.createService(config_.namespaceName, {"hub-svc", "jupyterhub"});
+    cluster_.createIngress(config_.namespaceName, {"/hub", "hub-svc"});
+
+    pv_["jupyterhub_config.py"] =
+        "c.KubeSpawner.image = '" + config_.image + "'\n" +
+        "c.KubeSpawner.cpu_limit = " + std::to_string(config_.userPodLimit.cpuMillis) +
+        "\nc.KubeSpawner.mem_limit = " + std::to_string(config_.userPodLimit.memoryMb);
+}
+
+bool JupyterHub::login(const std::string& user) {
+    if (user.empty()) throw std::invalid_argument("JupyterHub: empty user name");
+    if (sessions_.count(user)) return true; // session reuse
+
+    PodSpec spec;
+    spec.name = userPodName(user);
+    spec.image = config_.image;
+    spec.request = config_.userPodLimit;
+    const auto uid = cluster_.spawnPod(config_.namespaceName, "hub-sa", spec);
+    if (!uid) return false; // out of capacity
+
+    sessions_[user] = *uid;
+    pv_["userdb/" + user] = "pod=" + std::to_string(*uid);
+
+    // Per-user deployment-style service + route so the proxy can reach it.
+    cluster_.createService(config_.namespaceName, {"svc-" + user, "jupyter-" + user});
+    cluster_.createIngress(config_.namespaceName, {"/user/" + user, "svc-" + user});
+    return true;
+}
+
+bool JupyterHub::hasSession(const std::string& user) const {
+    return sessions_.count(user) > 0;
+}
+
+void JupyterHub::logout(const std::string& user) {
+    const auto it = sessions_.find(user);
+    if (it == sessions_.end()) return;
+    cluster_.deletePod(config_.namespaceName, "hub-sa", it->second);
+    sessions_.erase(it);
+    pv_.erase("userdb/" + user);
+}
+
+std::optional<count> JupyterHub::routeUserRequest(const std::string& user,
+                                                  const std::string& sourceIp) const {
+    if (!hasSession(user)) return std::nullopt;
+    return cluster_.route(sourceIp, "/user/" + user);
+}
+
+void JupyterHub::restartHub() {
+    // Sessions in memory are lost; the user database on the PV restores
+    // them (pods themselves kept running in the cluster).
+    sessions_.clear();
+    for (const auto& [key, value] : pv_) {
+        if (key.rfind("userdb/", 0) == 0) {
+            const std::string user = key.substr(7);
+            const count uid = std::stoull(value.substr(value.find('=') + 1));
+            sessions_[user] = uid;
+        }
+    }
+}
+
+} // namespace rinkit::cloud

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "src/cloud/cluster.hpp"
+
+namespace rinkit::cloud {
+
+/// The multi-user JupyterHub service of Section III-B: a hub deployment in
+/// its own namespace, a KubeSpawner-style spawner that starts one
+/// single-user pod per login through a namespace-local service account,
+/// prefix-routed ingress (/hub, /user/<name>), cgroup limits per user
+/// instance, and a persistent volume carrying configuration and the user
+/// database across hub restarts.
+class JupyterHub {
+public:
+    struct Config {
+        std::string namespaceName = "rin-vis";
+        std::string image = "rinkit/networkit-rin:latest";
+        Resources userPodLimit = kPaperInstanceLimit; ///< 10 vCores / 16 GB
+        count maxUsersPerWorker = 0; ///< 0 = bounded by resources only
+    };
+
+    /// Installs the hub into @p cluster: namespace, service account (spawn/
+    /// list/delete/view), hub deployment + service + ingress, and the PV.
+    JupyterHub(Cluster& cluster, Config config);
+    JupyterHub(Cluster& cluster) : JupyterHub(cluster, Config{}) {}
+
+    /// Logs a user in: spawns their pod on demand (idempotent — an
+    /// existing session is reused). Returns false if the cluster is out of
+    /// capacity.
+    bool login(const std::string& user);
+
+    /// True iff the user has a running single-user pod.
+    bool hasSession(const std::string& user) const;
+
+    /// Stops the user's pod and frees its resources.
+    void logout(const std::string& user);
+
+    /// Routes an HTTP request for @p user from @p sourceIp through the
+    /// load balancer; returns the backing pod uid.
+    std::optional<count> routeUserRequest(const std::string& user,
+                                          const std::string& sourceIp) const;
+
+    /// Number of live user sessions.
+    count activeSessions() const { return sessions_.size(); }
+
+    /// Simulated hub restart: live sessions are recovered from the
+    /// persistent volume's user database (paper: "persistence concerning
+    /// configuration and accounting is achieved by adding physical
+    /// volumes").
+    void restartHub();
+
+    /// The persistent volume contents (config + user database).
+    const std::map<std::string, std::string>& persistentVolume() const { return pv_; }
+
+    const Config& config() const { return config_; }
+
+private:
+    std::string userPodName(const std::string& user) const { return "jupyter-" + user; }
+
+    Cluster& cluster_;
+    Config config_;
+    std::map<std::string, count> sessions_; ///< user -> pod uid
+    std::map<std::string, std::string> pv_; ///< persisted config + user db
+};
+
+} // namespace rinkit::cloud

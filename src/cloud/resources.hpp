@@ -1,0 +1,47 @@
+#pragma once
+
+#include <string>
+
+#include "src/support/types.hpp"
+
+namespace rinkit::cloud {
+
+/// CPU/memory bundle, in the units Kubernetes uses (millicores, MiB).
+struct Resources {
+    count cpuMillis = 0;
+    count memoryMb = 0;
+
+    Resources operator+(const Resources& o) const {
+        return {cpuMillis + o.cpuMillis, memoryMb + o.memoryMb};
+    }
+    Resources& operator+=(const Resources& o) {
+        cpuMillis += o.cpuMillis;
+        memoryMb += o.memoryMb;
+        return *this;
+    }
+    Resources& operator-=(const Resources& o) {
+        cpuMillis -= o.cpuMillis;
+        memoryMb -= o.memoryMb;
+        return *this;
+    }
+
+    /// True if this bundle can accommodate @p o.
+    bool fits(const Resources& o) const {
+        return o.cpuMillis <= cpuMillis && o.memoryMb <= memoryMb;
+    }
+
+    bool operator==(const Resources&) const = default;
+
+    std::string toString() const {
+        return std::to_string(cpuMillis) + "m/" + std::to_string(memoryMb) + "Mi";
+    }
+};
+
+/// The per-instance limit the paper benchmarks under: "a limit of 10
+/// vCores and 16 GB of memory for each instance" (Section III-A).
+inline constexpr Resources kPaperInstanceLimit{10000, 16384};
+
+/// Master/service node sizing from the paper: "at least 4 CPUs and 16 GB".
+inline constexpr Resources kPaperControlPlaneNode{4000, 16384};
+
+} // namespace rinkit::cloud

@@ -1,0 +1,35 @@
+#pragma once
+
+#include "src/community/partition.hpp"
+#include "src/graph/graph.hpp"
+
+namespace rinkit {
+
+/// Base class for community-detection algorithms (PLM, Leiden, map-equation
+/// Louvain, PLP). Mirrors the NetworKit community module interface: run(),
+/// then getPartition().
+class CommunityDetector {
+public:
+    explicit CommunityDetector(const Graph& g) : g_(g) {}
+    virtual ~CommunityDetector() = default;
+
+    CommunityDetector(const CommunityDetector&) = delete;
+    CommunityDetector& operator=(const CommunityDetector&) = delete;
+
+    virtual void run() = 0;
+
+    bool hasRun() const { return hasRun_; }
+
+    /// The detected communities, compacted to ids [0, k). Requires run().
+    const Partition& getPartition() const {
+        if (!hasRun_) throw std::logic_error("CommunityDetector: call run() first");
+        return zeta_;
+    }
+
+protected:
+    const Graph& g_;
+    Partition zeta_;
+    bool hasRun_ = false;
+};
+
+} // namespace rinkit

@@ -1,0 +1,93 @@
+#include "src/community/leiden.hpp"
+
+#include <vector>
+
+#include "src/community/plm.hpp"
+
+namespace rinkit {
+
+count ParallelLeiden::splitDisconnected(const Graph& g, Partition& zeta) {
+    const count n = g.numberOfNodes();
+    // BFS within each community; nodes reached from the community's first
+    // visited seed keep its label, later seeds open fresh labels.
+    index nextLabel = 0;
+    for (node u = 0; u < n; ++u) nextLabel = std::max(nextLabel, zeta[u] + 1);
+
+    std::vector<bool> visited(n, false);
+    std::vector<bool> labelUsed(nextLabel, false);
+    std::vector<node> stack;
+    count splits = 0;
+    for (node s = 0; s < n; ++s) {
+        if (visited[s]) continue;
+        const index community = zeta[s];
+        // First component of this community keeps `community`; later
+        // components get fresh labels.
+        index label = community;
+        if (labelUsed[community]) {
+            label = nextLabel++;
+            ++splits;
+        } else {
+            labelUsed[community] = true;
+        }
+        stack.assign(1, s);
+        visited[s] = true;
+        while (!stack.empty()) {
+            const node u = stack.back();
+            stack.pop_back();
+            zeta[u] = label;
+            g.forNeighborsOf(u, [&](node, node v) {
+                if (!visited[v] && zeta[v] == community) {
+                    visited[v] = true;
+                    stack.push_back(v);
+                }
+            });
+        }
+    }
+    return splits;
+}
+
+void ParallelLeiden::run() {
+    const count n = g_.numberOfNodes();
+    zeta_ = Partition(n);
+    zeta_.allToSingletons();
+    if (n == 0) {
+        hasRun_ = true;
+        return;
+    }
+
+    auto cg = louvain::CoarseGraph::fromGraph(g_);
+    std::vector<louvain::CoarseGraph> levels;
+    std::vector<Partition> levelPartitions;
+    std::uint64_t seed = seed_;
+
+    while (true) {
+        // Phase 1: local moving (same engine as PLM).
+        Partition p(cg.g.numberOfNodes());
+        p.allToSingletons();
+        const bool moved = Plm::localMoving(cg, p, gamma_, seed++);
+
+        // Phase 2 (Leiden refinement): break internally disconnected
+        // communities apart before aggregation, so the hierarchy never
+        // contracts a disconnected node set into one super-node.
+        splitDisconnected(cg.g, p);
+        p.compact();
+
+        if (!moved || p.numberOfSubsets() == cg.g.numberOfNodes()) break;
+        levels.push_back(cg);
+        levelPartitions.push_back(p);
+        cg = louvain::coarsen(cg, p);
+    }
+
+    Partition result(cg.g.numberOfNodes());
+    result.allToSingletons();
+    for (count li = levels.size(); li > 0; --li) {
+        result = louvain::prolong(levelPartitions[li - 1], result);
+    }
+    // Final guarantee on the input graph.
+    splitDisconnected(g_, result);
+    result.compact();
+    zeta_ = std::move(result);
+    hasRun_ = true;
+}
+
+} // namespace rinkit

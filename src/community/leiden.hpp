@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+
+#include "src/community/community_detector.hpp"
+#include "src/community/louvain_common.hpp"
+
+namespace rinkit {
+
+/// ParallelLeiden — Louvain with a refinement phase (Traag, Waltman &
+/// van Eck 2019), added to NetworKit shortly before the paper.
+///
+/// Louvain can produce internally disconnected communities (moving a cut
+/// node can sever the rest of its community). Leiden's refinement phase
+/// re-partitions each community from singletons, merging nodes only within
+/// their community, and aggregates on the *refined* partition; this
+/// guarantees every community is connected — the property this
+/// implementation enforces and tests assert.
+class ParallelLeiden : public CommunityDetector {
+public:
+    explicit ParallelLeiden(const Graph& g, double gamma = 1.0, std::uint64_t seed = 1)
+        : CommunityDetector(g), gamma_(gamma), seed_(seed) {}
+
+    void run() override;
+
+    /// Splits internally disconnected subsets of @p zeta into their
+    /// connected components (on the subgraph induced by each subset).
+    /// Exposed for tests; returns the number of splits performed.
+    static count splitDisconnected(const Graph& g, Partition& zeta);
+
+private:
+    double gamma_;
+    std::uint64_t seed_;
+};
+
+} // namespace rinkit

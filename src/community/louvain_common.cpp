@@ -1,0 +1,62 @@
+#include "src/community/louvain_common.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include "src/graph/graph_builder.hpp"
+
+namespace rinkit::louvain {
+
+CoarseGraph CoarseGraph::fromGraph(const Graph& g) {
+    CoarseGraph cg{Graph(g.numberOfNodes(), true), std::vector<double>(g.numberOfNodes(), 0.0)};
+    g.forWeightedEdges([&](node u, node v, edgeweight w) { cg.g.addEdge(u, v, w); });
+    return cg;
+}
+
+CoarseGraph coarsen(const CoarseGraph& fine, const Partition& zeta) {
+    index k = 0;
+    for (node u = 0; u < fine.g.numberOfNodes(); ++u) k = std::max(k, zeta[u] + 1);
+
+    CoarseGraph coarse{Graph(k, true), std::vector<double>(k, 0.0)};
+    for (node u = 0; u < fine.g.numberOfNodes(); ++u) {
+        coarse.selfLoop[zeta[u]] += fine.selfLoop[u];
+    }
+
+    // Accumulate inter-community weights by sorting the contracted edge list.
+    std::vector<std::tuple<node, node, double>> edges;
+    edges.reserve(fine.g.numberOfEdges());
+    fine.g.forWeightedEdges([&](node u, node v, edgeweight w) {
+        const index cu = zeta[u], cv = zeta[v];
+        if (cu == cv) {
+            coarse.selfLoop[cu] += w;
+        } else {
+            edges.emplace_back(std::min(cu, cv), std::max(cu, cv), w);
+        }
+    });
+    std::sort(edges.begin(), edges.end(), [](const auto& a, const auto& b) {
+        return std::tie(std::get<0>(a), std::get<1>(a)) <
+               std::tie(std::get<0>(b), std::get<1>(b));
+    });
+    for (count i = 0; i < edges.size();) {
+        const auto [u, v, w0] = edges[i];
+        double w = w0;
+        count j = i + 1;
+        while (j < edges.size() && std::get<0>(edges[j]) == u && std::get<1>(edges[j]) == v) {
+            w += std::get<2>(edges[j]);
+            ++j;
+        }
+        coarse.g.addEdge(u, v, w);
+        i = j;
+    }
+    return coarse;
+}
+
+Partition prolong(const Partition& zeta, const Partition& coarseZeta) {
+    Partition out(zeta.numberOfElements());
+    for (node u = 0; u < zeta.numberOfElements(); ++u) {
+        out[u] = coarseZeta[zeta[u]];
+    }
+    return out;
+}
+
+} // namespace rinkit::louvain

@@ -1,0 +1,43 @@
+#pragma once
+
+// Internal machinery shared by the Louvain-family algorithms (PLM, Leiden,
+// LouvainMapEquation): the coarse-graph representation and the
+// coarsen/prolong operations of the multi-level scheme.
+//
+// Coarse graphs carry intra-community weight as an explicit per-node
+// self-loop array because rinkit::Graph itself stores simple graphs only.
+
+#include <vector>
+
+#include "src/community/partition.hpp"
+#include "src/graph/graph.hpp"
+
+namespace rinkit::louvain {
+
+/// One level of the multi-level hierarchy.
+struct CoarseGraph {
+    Graph g;                      ///< weighted simple graph between super-nodes
+    std::vector<double> selfLoop; ///< folded intra-community weight per super-node
+
+    /// Volume of node u: weighted degree plus twice the folded self-loop
+    /// (a self-loop contributes 2 to the volume of its endpoint).
+    double volume(node u) const { return g.weightedDegree(u) + 2.0 * selfLoop[u]; }
+
+    /// Total edge weight including self-loops.
+    double totalWeight() const {
+        double t = g.totalEdgeWeight();
+        for (double s : selfLoop) t += s;
+        return t;
+    }
+
+    static CoarseGraph fromGraph(const Graph& g);
+};
+
+/// Contracts @p fine by @p zeta (must be compacted to [0, k)).
+CoarseGraph coarsen(const CoarseGraph& fine, const Partition& zeta);
+
+/// Lifts a partition of the coarse graph back to the fine level:
+/// result[u] = coarseZeta[zeta[u]].
+Partition prolong(const Partition& zeta, const Partition& coarseZeta);
+
+} // namespace rinkit::louvain

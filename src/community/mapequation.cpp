@@ -1,0 +1,146 @@
+#include "src/community/mapequation.hpp"
+
+#include <cmath>
+
+#include "src/support/random.hpp"
+
+namespace rinkit {
+
+namespace {
+
+double plogp(double p) { return p > 0.0 ? p * std::log2(p) : 0.0; }
+
+} // namespace
+
+bool LouvainMapEquation::localMoving(const louvain::CoarseGraph& cg, Partition& zeta,
+                                     std::uint64_t seed) {
+    const count n = cg.g.numberOfNodes();
+    if (n == 0) return false;
+    const double m2 = 2.0 * cg.totalWeight();
+    if (m2 == 0.0) return false;
+
+    // Module statistics, maintained incrementally:
+    //   vol[c]  = p_c  : visit rate of module c (sum of node volumes / m2)
+    //   exit[c] = q_c  : exit rate (cut weight of module c / m2)
+    std::vector<double> vol(n, 0.0), exit(n, 0.0);
+    for (node u = 0; u < n; ++u) vol[zeta[u]] += cg.volume(u) / m2;
+    cg.g.forWeightedEdges([&](node u, node v, edgeweight w) {
+        if (zeta[u] != zeta[v]) {
+            exit[zeta[u]] += w / m2;
+            exit[zeta[v]] += w / m2;
+        }
+    });
+    double qTotal = 0.0;
+    for (node c = 0; c < n; ++c) qTotal += exit[c];
+
+    std::vector<double> weightTo(n, 0.0);
+    std::vector<index> touched;
+    touched.reserve(64);
+
+    std::vector<node> order(n);
+    for (node u = 0; u < n; ++u) order[u] = u;
+    Rng rng(seed);
+    rng.shuffle(order);
+
+    bool movedAny = false;
+    bool movedThisRound = true;
+    count rounds = 0;
+    while (movedThisRound && rounds < 32) {
+        movedThisRound = false;
+        ++rounds;
+        for (node oi = 0; oi < n; ++oi) {
+            const node u = order[oi];
+            const index cu = zeta[u];
+            const double pU = cg.volume(u) / m2;
+            const double degU = cg.g.weightedDegree(u) / m2; // external capacity
+
+            touched.clear();
+            double wUC = 0.0;
+            cg.g.forWeightedNeighborsOf(u, [&](node, node v, edgeweight w) {
+                const index c = zeta[v];
+                if (c == cu) {
+                    wUC += w / m2;
+                } else {
+                    if (weightTo[c] == 0.0) touched.push_back(c);
+                    weightTo[c] += w / m2;
+                }
+            });
+
+            // Leaving C: its cut gains u's external edges and loses u's
+            // intra edges (which become cut for the rest of C).
+            const double exitCNew = exit[cu] - degU + 2.0 * wUC;
+            const double volCNew = vol[cu] - pU;
+
+            index bestCom = cu;
+            double bestDelta = -1e-15;
+            double bestExitD = 0.0;
+
+            for (index d : touched) {
+                const double wUD = weightTo[d];
+                const double exitDNew = exit[d] + degU - 2.0 * wUD;
+                const double volDNew = vol[d] + pU;
+                const double qTotalNew = qTotal + (exitCNew - exit[cu]) + (exitDNew - exit[d]);
+
+                // Only the module-dependent terms of L change.
+                const double before = plogp(qTotal) - 2.0 * (plogp(exit[cu]) + plogp(exit[d])) +
+                                      plogp(exit[cu] + vol[cu]) + plogp(exit[d] + vol[d]);
+                const double after = plogp(qTotalNew) -
+                                     2.0 * (plogp(exitCNew) + plogp(exitDNew)) +
+                                     plogp(exitCNew + volCNew) + plogp(exitDNew + volDNew);
+                const double delta = after - before; // want decrease
+                if (delta < bestDelta) {
+                    bestDelta = delta;
+                    bestCom = d;
+                    bestExitD = exitDNew;
+                }
+            }
+
+            if (bestCom != cu) {
+                qTotal += (exitCNew - exit[cu]) + (bestExitD - exit[bestCom]);
+                exit[cu] = exitCNew;
+                vol[cu] = volCNew;
+                exit[bestCom] = bestExitD;
+                vol[bestCom] += pU;
+                zeta[u] = bestCom;
+                movedThisRound = true;
+                movedAny = true;
+            }
+            for (index d : touched) weightTo[d] = 0.0;
+        }
+    }
+    return movedAny;
+}
+
+void LouvainMapEquation::run() {
+    const count n = g_.numberOfNodes();
+    zeta_ = Partition(n);
+    zeta_.allToSingletons();
+    if (n == 0) {
+        hasRun_ = true;
+        return;
+    }
+
+    auto cg = louvain::CoarseGraph::fromGraph(g_);
+    std::vector<Partition> levelPartitions;
+    std::uint64_t seed = seed_;
+    while (true) {
+        Partition p(cg.g.numberOfNodes());
+        p.allToSingletons();
+        const bool moved = localMoving(cg, p, seed++);
+        p.compact();
+        if (!moved || p.numberOfSubsets() == cg.g.numberOfNodes()) break;
+        levelPartitions.push_back(p);
+        cg = louvain::coarsen(cg, p);
+    }
+
+    Partition result(cg.g.numberOfNodes());
+    result.allToSingletons();
+    for (count li = levelPartitions.size(); li > 0; --li) {
+        result = louvain::prolong(levelPartitions[li - 1], result);
+    }
+    zeta_ = std::move(result);
+    zeta_.compact();
+    hasRun_ = true;
+}
+
+} // namespace rinkit

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+
+#include "src/community/community_detector.hpp"
+#include "src/community/louvain_common.hpp"
+
+namespace rinkit {
+
+/// LouvainMapEquation — Louvain-style local moving that minimizes the
+/// two-level map equation (Rosvall & Bergstrom; Bohlin et al. 2014)
+/// instead of maximizing modularity. This is the "parallel Louvain based on
+/// map equation" NetworKit addition the paper's Section II-A reports.
+///
+/// The map equation measures the expected per-step description length of a
+/// random walk under a two-level Huffman coding; good modules trap the walk
+/// and shorten the code. Unlike modularity it has no resolution limit
+/// parameter and tends to capture flow-based structure.
+class LouvainMapEquation : public CommunityDetector {
+public:
+    explicit LouvainMapEquation(const Graph& g, std::uint64_t seed = 1)
+        : CommunityDetector(g), seed_(seed) {}
+
+    void run() override;
+
+    /// Map-equation local moving on a coarse graph: improves @p zeta in
+    /// place; returns true iff at least one node moved.
+    static bool localMoving(const louvain::CoarseGraph& cg, Partition& zeta,
+                            std::uint64_t seed);
+
+private:
+    std::uint64_t seed_;
+};
+
+} // namespace rinkit

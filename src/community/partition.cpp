@@ -1,0 +1,48 @@
+#include "src/community/partition.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+namespace rinkit {
+
+void Partition::allToSingletons() {
+    std::iota(assignment_.begin(), assignment_.end(), 0u);
+}
+
+count Partition::numberOfSubsets() const {
+    std::unordered_map<index, bool> seen;
+    seen.reserve(assignment_.size());
+    for (index s : assignment_) seen.emplace(s, true);
+    return seen.size();
+}
+
+count Partition::compact() {
+    std::unordered_map<index, index> remap;
+    remap.reserve(assignment_.size());
+    index next = 0;
+    for (auto& s : assignment_) {
+        auto [it, inserted] = remap.emplace(s, next);
+        if (inserted) ++next;
+        s = it->second;
+    }
+    return next;
+}
+
+std::vector<count> Partition::subsetSizes() const {
+    index maxId = 0;
+    for (index s : assignment_) maxId = std::max(maxId, s);
+    std::vector<count> sizes(assignment_.empty() ? 0 : maxId + 1, 0);
+    for (index s : assignment_) ++sizes[s];
+    return sizes;
+}
+
+std::vector<node> Partition::members(index s) const {
+    std::vector<node> out;
+    for (node u = 0; u < assignment_.size(); ++u) {
+        if (assignment_[u] == s) out.push_back(u);
+    }
+    return out;
+}
+
+} // namespace rinkit

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <stdexcept>
+#include <vector>
+
+#include "src/support/types.hpp"
+
+namespace rinkit {
+
+/// A partition of the node set [0, n) into disjoint subsets (communities).
+///
+/// Subset ids are arbitrary until compact() maps them onto
+/// [0, numberOfSubsets()). All community-detection algorithms return
+/// compacted partitions.
+class Partition {
+public:
+    Partition() = default;
+
+    /// Creates a partition of @p n elements, all in subset 0.
+    explicit Partition(count n) : assignment_(n, 0) {}
+
+    /// Creates a partition from an explicit assignment vector.
+    explicit Partition(std::vector<index> assignment)
+        : assignment_(std::move(assignment)) {}
+
+    count numberOfElements() const { return assignment_.size(); }
+
+    /// Puts every element into its own subset (subset id == element id).
+    void allToSingletons();
+
+    index subsetOf(node u) const {
+        if (u >= assignment_.size()) throw std::out_of_range("Partition: invalid element");
+        return assignment_[u];
+    }
+
+    index& operator[](node u) { return assignment_[u]; }
+    index operator[](node u) const { return assignment_[u]; }
+
+    void moveToSubset(node u, index subset) {
+        if (u >= assignment_.size()) throw std::out_of_range("Partition: invalid element");
+        assignment_[u] = subset;
+    }
+
+    bool inSameSubset(node u, node v) const {
+        return subsetOf(u) == subsetOf(v);
+    }
+
+    /// Number of distinct subsets actually used.
+    count numberOfSubsets() const;
+
+    /// Renames subsets to [0, numberOfSubsets()) preserving the partition.
+    /// Returns the number of subsets.
+    count compact();
+
+    /// Size of each subset, indexed by subset id; requires a compacted
+    /// partition (ids < numberOfSubsets()).
+    std::vector<count> subsetSizes() const;
+
+    /// Members of subset @p s.
+    std::vector<node> members(index s) const;
+
+    const std::vector<index>& vector() const { return assignment_; }
+
+    bool operator==(const Partition& other) const = default;
+
+private:
+    std::vector<index> assignment_;
+};
+
+} // namespace rinkit

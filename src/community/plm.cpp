@@ -1,0 +1,148 @@
+#include "src/community/plm.hpp"
+
+#include <omp.h>
+
+#include "src/support/random.hpp"
+
+namespace rinkit {
+
+namespace {
+
+/// Per-thread scratch map for neighbor-community weights, reset in O(touched).
+struct NeighborWeights {
+    std::vector<double> weightTo;
+    std::vector<index> touched;
+
+    explicit NeighborWeights(count communities) : weightTo(communities, 0.0) {
+        touched.reserve(64);
+    }
+
+    void add(index c, double w) {
+        if (weightTo[c] == 0.0) touched.push_back(c);
+        weightTo[c] += w;
+    }
+
+    void reset() {
+        for (index c : touched) weightTo[c] = 0.0;
+        touched.clear();
+    }
+};
+
+} // namespace
+
+bool Plm::localMoving(const louvain::CoarseGraph& cg, Partition& zeta, double gamma,
+                      std::uint64_t seed) {
+    const count n = cg.g.numberOfNodes();
+    if (n == 0) return false;
+    const double m = cg.totalWeight();
+    if (m == 0.0) return false;
+    const double m2sqInv = 1.0 / (2.0 * m * m);
+
+    // Community volumes; updated with atomics as nodes move.
+    std::vector<double> volCom(n, 0.0);
+    for (node u = 0; u < n; ++u) volCom[zeta[u]] += cg.volume(u);
+
+    // Randomized node order decorrelates parallel moves across rounds.
+    std::vector<node> order(n);
+    for (node u = 0; u < n; ++u) order[u] = u;
+    Rng orderRng(seed);
+    orderRng.shuffle(order);
+
+    bool movedAny = false;
+    bool movedThisRound = true;
+    count rounds = 0;
+    const count maxRounds = 32; // safety net; convergence is typical in < 10
+
+    while (movedThisRound && rounds < maxRounds) {
+        movedThisRound = false;
+        ++rounds;
+#pragma omp parallel
+        {
+            NeighborWeights nw(n);
+#pragma omp for schedule(dynamic, 64) reduction(|| : movedThisRound)
+            for (long long i = 0; i < static_cast<long long>(n); ++i) {
+                const node u = order[static_cast<size_t>(i)];
+                const index cu = zeta[u];
+                const double volU = cg.volume(u);
+
+                nw.reset();
+                cg.g.forWeightedNeighborsOf(u, [&](node, node v, edgeweight w) {
+                    nw.add(zeta[v], w);
+                });
+
+                // delta(u: C->D) = (w(u,D) - w(u,C\u))/m
+                //                  - gamma * volU * (volD - (volC - volU)) / (2 m^2)
+                const double wUC = nw.weightTo[cu];
+                const double volCWithoutU = volCom[cu] - volU;
+                index bestCom = cu;
+                double bestDelta = 0.0;
+                for (index d : nw.touched) {
+                    if (d == cu) continue;
+                    const double delta = (nw.weightTo[d] - wUC) / m -
+                                         gamma * volU * (volCom[d] - volCWithoutU) * m2sqInv;
+                    if (delta > bestDelta + 1e-15) {
+                        bestDelta = delta;
+                        bestCom = d;
+                    }
+                }
+
+                if (bestCom != cu) {
+#pragma omp atomic
+                    volCom[cu] -= volU;
+#pragma omp atomic
+                    volCom[bestCom] += volU;
+                    zeta[u] = bestCom;
+                    movedThisRound = true;
+                }
+            }
+        }
+        movedAny = movedAny || movedThisRound;
+    }
+    return movedAny;
+}
+
+void Plm::run() {
+    const count n = g_.numberOfNodes();
+    zeta_ = Partition(n);
+    zeta_.allToSingletons();
+    if (n == 0) {
+        hasRun_ = true;
+        return;
+    }
+
+    auto cg = louvain::CoarseGraph::fromGraph(g_);
+    Partition level(n);
+    level.allToSingletons();
+
+    // Descend: local moving + contraction until the partition stabilizes.
+    std::vector<louvain::CoarseGraph> levels;
+    std::vector<Partition> levelPartitions;
+    std::uint64_t seed = seed_;
+    while (true) {
+        Partition p(cg.g.numberOfNodes());
+        p.allToSingletons();
+        const bool moved = localMoving(cg, p, gamma_, seed++);
+        p.compact();
+        if (!moved || p.numberOfSubsets() == cg.g.numberOfNodes()) {
+            break;
+        }
+        levels.push_back(cg);
+        levelPartitions.push_back(p);
+        cg = louvain::coarsen(cg, p);
+    }
+
+    // Ascend: compose the level partitions (with optional refinement).
+    Partition result(cg.g.numberOfNodes());
+    result.allToSingletons();
+    for (count li = levels.size(); li > 0; --li) {
+        result = louvain::prolong(levelPartitions[li - 1], result);
+        if (refine_) {
+            localMoving(levels[li - 1], result, gamma_, seed++);
+        }
+    }
+    zeta_ = std::move(result);
+    zeta_.compact();
+    hasRun_ = true;
+}
+
+} // namespace rinkit

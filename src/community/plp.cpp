@@ -1,0 +1,74 @@
+#include "src/community/plp.hpp"
+
+#include "src/support/random.hpp"
+
+namespace rinkit {
+
+void Plp::run() {
+    const count n = g_.numberOfNodes();
+    zeta_ = Partition(n);
+    zeta_.allToSingletons();
+    iterations_ = 0;
+    if (n == 0) {
+        hasRun_ = true;
+        return;
+    }
+
+    std::vector<node> order(n);
+    for (node u = 0; u < n; ++u) order[u] = u;
+    Rng rng(seed_);
+    rng.shuffle(order);
+    RandomPool pool(seed_);
+
+    const count threshold = std::max<count>(1, n / 100000);
+    count updated = n;
+    while (updated > threshold && iterations_ < maxIterations_) {
+        updated = 0;
+        ++iterations_;
+#pragma omp parallel
+        {
+            std::vector<double> weightTo(n, 0.0);
+            std::vector<index> touched;
+            touched.reserve(64);
+            auto& rngLocal = pool.local();
+#pragma omp for schedule(dynamic, 64) reduction(+ : updated)
+            for (long long i = 0; i < static_cast<long long>(n); ++i) {
+                const node u = order[static_cast<size_t>(i)];
+                if (g_.degree(u) == 0) continue;
+
+                touched.clear();
+                g_.forWeightedNeighborsOf(u, [&](node, node v, edgeweight w) {
+                    const index lab = zeta_[v];
+                    if (weightTo[lab] == 0.0) touched.push_back(lab);
+                    weightTo[lab] += w;
+                });
+
+                // Heaviest label; ties broken uniformly at random so that
+                // symmetric structures don't deadlock in a checkerboard.
+                double best = 0.0;
+                count tieCount = 0;
+                index bestLab = zeta_[u];
+                for (index lab : touched) {
+                    if (weightTo[lab] > best) {
+                        best = weightTo[lab];
+                        bestLab = lab;
+                        tieCount = 1;
+                    } else if (weightTo[lab] == best) {
+                        ++tieCount;
+                        if (rngLocal.integer(tieCount) == 0) bestLab = lab;
+                    }
+                }
+                for (index lab : touched) weightTo[lab] = 0.0;
+
+                if (bestLab != zeta_[u]) {
+                    zeta_[u] = bestLab;
+                    ++updated;
+                }
+            }
+        }
+    }
+    zeta_.compact();
+    hasRun_ = true;
+}
+
+} // namespace rinkit

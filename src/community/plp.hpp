@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+
+#include "src/community/community_detector.hpp"
+
+namespace rinkit {
+
+/// PLP — parallel label propagation (Raghavan et al. 2007) as in
+/// NetworKit: every node adopts the label with the largest total edge
+/// weight among its neighbors, asynchronously and in parallel, until fewer
+/// than @p updateThreshold nodes change per round.
+///
+/// Near-linear work per round and very fast in practice, at the price of
+/// lower modularity than the Louvain family — which is exactly the
+/// trade-off the widget's measure menu exposes.
+class Plp : public CommunityDetector {
+public:
+    explicit Plp(const Graph& g, count maxIterations = 100, std::uint64_t seed = 1)
+        : CommunityDetector(g), maxIterations_(maxIterations), seed_(seed) {}
+
+    void run() override;
+
+    /// Rounds the last run() needed.
+    count iterations() const { return iterations_; }
+
+private:
+    count maxIterations_;
+    std::uint64_t seed_;
+    count iterations_ = 0;
+};
+
+} // namespace rinkit

@@ -1,0 +1,81 @@
+#include "src/community/quality.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rinkit {
+
+namespace {
+
+void checkSizes(const Partition& zeta, const Graph& g, const char* who) {
+    if (zeta.numberOfElements() != g.numberOfNodes()) {
+        throw std::invalid_argument(std::string(who) + ": partition/graph size mismatch");
+    }
+}
+
+double plogp(double p) { return p > 0.0 ? p * std::log2(p) : 0.0; }
+
+} // namespace
+
+double modularity(const Partition& zeta, const Graph& g, double gamma) {
+    checkSizes(zeta, g, "modularity");
+    const double m = g.totalEdgeWeight();
+    if (m == 0.0) return 0.0;
+
+    index maxId = 0;
+    for (node u = 0; u < g.numberOfNodes(); ++u) maxId = std::max(maxId, zeta[u]);
+    std::vector<double> volume(maxId + 1, 0.0);
+    std::vector<double> intra(maxId + 1, 0.0);
+
+    g.forNodes([&](node u) { volume[zeta[u]] += g.weightedDegree(u); });
+    g.forWeightedEdges([&](node u, node v, edgeweight w) {
+        if (zeta[u] == zeta[v]) intra[zeta[u]] += w;
+    });
+
+    double q = 0.0;
+    for (index c = 0; c <= maxId; ++c) {
+        q += intra[c] / m - gamma * (volume[c] / (2.0 * m)) * (volume[c] / (2.0 * m));
+    }
+    return q;
+}
+
+double coverage(const Partition& zeta, const Graph& g) {
+    checkSizes(zeta, g, "coverage");
+    const double m = g.totalEdgeWeight();
+    if (m == 0.0) return 0.0;
+    double intra = 0.0;
+    g.forWeightedEdges([&](node u, node v, edgeweight w) {
+        if (zeta[u] == zeta[v]) intra += w;
+    });
+    return intra / m;
+}
+
+double mapEquation(const Partition& zeta, const Graph& g) {
+    checkSizes(zeta, g, "mapEquation");
+    const double m2 = 2.0 * g.totalEdgeWeight();
+    if (m2 == 0.0) return 0.0;
+
+    index maxId = 0;
+    for (node u = 0; u < g.numberOfNodes(); ++u) maxId = std::max(maxId, zeta[u]);
+    std::vector<double> moduleVol(maxId + 1, 0.0); // p_i: visit rate of module
+    std::vector<double> moduleExit(maxId + 1, 0.0); // q_i: exit rate of module
+
+    g.forNodes([&](node u) { moduleVol[zeta[u]] += g.weightedDegree(u) / m2; });
+    g.forWeightedEdges([&](node u, node v, edgeweight w) {
+        if (zeta[u] != zeta[v]) {
+            moduleExit[zeta[u]] += w / m2;
+            moduleExit[zeta[v]] += w / m2;
+        }
+    });
+
+    double qTotal = 0.0;
+    for (index c = 0; c <= maxId; ++c) qTotal += moduleExit[c];
+
+    double L = plogp(qTotal);
+    for (index c = 0; c <= maxId; ++c) L -= 2.0 * plogp(moduleExit[c]);
+    g.forNodes([&](node u) { L -= plogp(g.weightedDegree(u) / m2); });
+    for (index c = 0; c <= maxId; ++c) L += plogp(moduleExit[c] + moduleVol[c]);
+    return L;
+}
+
+} // namespace rinkit

@@ -1,0 +1,21 @@
+#pragma once
+
+#include "src/community/partition.hpp"
+#include "src/graph/graph.hpp"
+
+namespace rinkit {
+
+/// Newman-Girvan modularity of @p zeta on @p g, in [-1/2, 1).
+/// @p gamma is the resolution parameter (1.0 = standard modularity).
+double modularity(const Partition& zeta, const Graph& g, double gamma = 1.0);
+
+/// Fraction of edge weight that is intra-community.
+double coverage(const Partition& zeta, const Graph& g);
+
+/// The two-level map equation L(M) (Rosvall & Bergstrom) in bits, for an
+/// unrecorded-teleportation random walk on the undirected graph. Smaller is
+/// better. Used as the objective of LouvainMapEquation and as a quality
+/// metric in the community ablation bench.
+double mapEquation(const Partition& zeta, const Graph& g);
+
+} // namespace rinkit

@@ -1,0 +1,100 @@
+#include "src/community/similarity.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace rinkit {
+
+namespace {
+
+struct Confusion {
+    std::vector<double> rowSums, colSums;
+    std::unordered_map<std::uint64_t, double> cells; // (row << 32 | col) -> count
+    double n = 0.0;
+};
+
+Confusion confusion(const Partition& a, const Partition& b) {
+    if (a.numberOfElements() != b.numberOfElements()) {
+        throw std::invalid_argument("partition similarity: element counts differ");
+    }
+    Partition ca = a, cb = b;
+    const count ka = ca.compact();
+    const count kb = cb.compact();
+    Confusion c;
+    c.rowSums.assign(ka, 0.0);
+    c.colSums.assign(kb, 0.0);
+    c.n = static_cast<double>(a.numberOfElements());
+    for (node u = 0; u < a.numberOfElements(); ++u) {
+        const std::uint64_t key = (static_cast<std::uint64_t>(ca[u]) << 32) | cb[u];
+        c.cells[key] += 1.0;
+        c.rowSums[ca[u]] += 1.0;
+        c.colSums[cb[u]] += 1.0;
+    }
+    return c;
+}
+
+double entropy(const std::vector<double>& sums, double n) {
+    double h = 0.0;
+    for (double s : sums) {
+        if (s > 0.0) h -= (s / n) * std::log(s / n);
+    }
+    return h;
+}
+
+} // namespace
+
+double nmi(const Partition& a, const Partition& b, NmiNormalization norm) {
+    const auto c = confusion(a, b);
+    if (c.n == 0.0) return 1.0;
+
+    const double ha = entropy(c.rowSums, c.n);
+    const double hb = entropy(c.colSums, c.n);
+    if (ha == 0.0 && hb == 0.0) return 1.0; // both trivial partitions: identical
+
+    double mi = 0.0;
+    double hJoint = 0.0;
+    for (const auto& [key, cnt] : c.cells) {
+        const auto row = static_cast<index>(key >> 32);
+        const auto col = static_cast<index>(key & 0xFFFFFFFFu);
+        const double pij = cnt / c.n;
+        mi += pij * std::log(pij / ((c.rowSums[row] / c.n) * (c.colSums[col] / c.n)));
+        hJoint -= pij * std::log(pij);
+    }
+
+    double denom = 0.0;
+    switch (norm) {
+    case NmiNormalization::Min: denom = std::min(ha, hb); break;
+    case NmiNormalization::Max: denom = std::max(ha, hb); break;
+    case NmiNormalization::Arithmetic: denom = 0.5 * (ha + hb); break;
+    case NmiNormalization::Geometric: denom = std::sqrt(ha * hb); break;
+    case NmiNormalization::Joint: denom = hJoint; break;
+    }
+    if (denom == 0.0) return 0.0; // one trivial, one informative partition
+    return std::clamp(mi / denom, 0.0, 1.0);
+}
+
+double adjustedRandIndex(const Partition& a, const Partition& b) {
+    const auto c = confusion(a, b);
+    const double n = c.n;
+    if (n < 2.0) return 1.0;
+
+    auto choose2 = [](double x) { return x * (x - 1.0) / 2.0; };
+    double sumCells = 0.0;
+    for (const auto& [key, cnt] : c.cells) {
+        (void)key;
+        sumCells += choose2(cnt);
+    }
+    double sumRows = 0.0, sumCols = 0.0;
+    for (double s : c.rowSums) sumRows += choose2(s);
+    for (double s : c.colSums) sumCols += choose2(s);
+
+    const double expected = sumRows * sumCols / choose2(n);
+    const double maxIndex = 0.5 * (sumRows + sumCols);
+    if (maxIndex == expected) return 1.0; // both trivial partitions
+    return (sumCells - expected) / (maxIndex - expected);
+}
+
+} // namespace rinkit

@@ -1,0 +1,22 @@
+#pragma once
+
+#include "src/community/partition.hpp"
+
+namespace rinkit {
+
+/// Normalization variants for NMI. McDaid, Greene & Hurley (2011) — the
+/// measure NetworKit added per the paper's Section II-A — recommend Max:
+/// it is the strictest of the classic normalizations and penalizes
+/// partitions that differ in resolution.
+enum class NmiNormalization { Min, Max, Arithmetic, Geometric, Joint };
+
+/// Normalized mutual information between two partitions of the same node
+/// set, in [0, 1]; 1 iff the partitions are identical up to renaming.
+double nmi(const Partition& a, const Partition& b,
+           NmiNormalization norm = NmiNormalization::Max);
+
+/// Adjusted Rand index: chance-corrected pair-counting agreement,
+/// 1 for identical partitions, ~0 for independent ones (can be negative).
+double adjustedRandIndex(const Partition& a, const Partition& b);
+
+} // namespace rinkit

@@ -1,0 +1,109 @@
+#include "src/components/bfs.hpp"
+
+#include <queue>
+#include <stdexcept>
+
+#include "src/support/parallel.hpp"
+
+namespace rinkit {
+
+Bfs::Bfs(const Graph& g, node source) : g_(g), source_(source) {
+    if (!g.hasNode(source)) throw std::out_of_range("Bfs: invalid source");
+    const count n = g.numberOfNodes();
+    dist_.resize(n);
+    sigma_.resize(n);
+    pred_.resize(n);
+    order_.reserve(n);
+}
+
+void Bfs::setSource(node source) {
+    if (!g_.hasNode(source)) throw std::out_of_range("Bfs: invalid source");
+    source_ = source;
+}
+
+void Bfs::run() {
+    const count n = g_.numberOfNodes();
+    std::fill(dist_.begin(), dist_.end(), infdist);
+    std::fill(sigma_.begin(), sigma_.end(), 0.0);
+    for (auto& p : pred_) p.clear();
+    order_.clear();
+
+    dist_[source_] = 0.0;
+    sigma_[source_] = 1.0;
+    std::vector<node> frontier{source_};
+    std::vector<node> next;
+    double level = 0.0;
+    while (!frontier.empty()) {
+        for (node u : frontier) order_.push_back(u);
+        next.clear();
+        for (node u : frontier) {
+            g_.forNeighborsOf(u, [&](node, node v) {
+                if (dist_[v] == infdist) {
+                    dist_[v] = level + 1.0;
+                    next.push_back(v);
+                }
+                if (dist_[v] == level + 1.0) {
+                    sigma_[v] += sigma_[u];
+                    pred_[v].push_back(u);
+                }
+            });
+        }
+        frontier.swap(next);
+        level += 1.0;
+    }
+    (void)n;
+}
+
+Dijkstra::Dijkstra(const Graph& g, node source) : g_(g), source_(source) {
+    if (!g.hasNode(source)) throw std::out_of_range("Dijkstra: invalid source");
+}
+
+void Dijkstra::run() {
+    const count n = g_.numberOfNodes();
+    dist_.assign(n, infdist);
+    parent_.assign(n, none);
+    using Entry = std::pair<double, node>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+    dist_[source_] = 0.0;
+    pq.emplace(0.0, source_);
+    while (!pq.empty()) {
+        const auto [d, u] = pq.top();
+        pq.pop();
+        if (d > dist_[u]) continue; // stale entry
+        g_.forWeightedNeighborsOf(u, [&](node, node v, edgeweight w) {
+            if (w < 0.0) throw std::invalid_argument("Dijkstra: negative edge weight");
+            if (d + w < dist_[v]) {
+                dist_[v] = d + w;
+                parent_[v] = u;
+                pq.emplace(dist_[v], v);
+            }
+        });
+    }
+}
+
+std::vector<node> Dijkstra::path(node t) const {
+    if (dist_.empty()) throw std::logic_error("Dijkstra: call run() first");
+    if (dist_[t] == infdist) return {};
+    std::vector<node> p;
+    for (node u = t; u != none; u = parent_[u]) p.push_back(u);
+    std::reverse(p.begin(), p.end());
+    return p;
+}
+
+std::vector<std::vector<double>> apspUnweighted(const Graph& g) {
+    const count n = g.numberOfNodes();
+    std::vector<std::vector<double>> d(n);
+#pragma omp parallel
+    {
+        Bfs bfs(g, 0);
+#pragma omp for schedule(dynamic, 8)
+        for (long long s = 0; s < static_cast<long long>(n); ++s) {
+            bfs.setSource(static_cast<node>(s));
+            bfs.run();
+            d[static_cast<size_t>(s)] = bfs.distances();
+        }
+    }
+    return d;
+}
+
+} // namespace rinkit

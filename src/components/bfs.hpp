@@ -1,0 +1,78 @@
+#pragma once
+
+#include <vector>
+
+#include "src/graph/graph.hpp"
+
+namespace rinkit {
+
+/// Breadth-first search from a single source.
+///
+/// Distances are hop counts; unreachable nodes get rinkit::infdist.
+/// Exposes predecessor counts (sigma) needed by Brandes' betweenness and by
+/// the sampling-based approximation, so those algorithms can reuse one
+/// traversal implementation.
+class Bfs {
+public:
+    /// Prepares a BFS on @p g from @p source. Buffers are reusable: call
+    /// run() repeatedly after setSource().
+    Bfs(const Graph& g, node source);
+
+    void setSource(node source);
+
+    /// Runs the traversal.
+    void run();
+
+    /// Hop distance to @p t (infdist if unreachable). Requires run().
+    double distance(node t) const { return dist_[t]; }
+
+    /// All distances. Requires run().
+    const std::vector<double>& distances() const { return dist_; }
+
+    /// Number of shortest s-t paths (sigma values). Requires run().
+    const std::vector<double>& numberOfPaths() const { return sigma_; }
+
+    /// Nodes in non-decreasing distance order (the BFS "stack").
+    const std::vector<node>& visitOrder() const { return order_; }
+
+    /// Direct predecessors of @p t on shortest paths from the source.
+    const std::vector<node>& predecessors(node t) const { return pred_[t]; }
+
+    /// Number of nodes reached (including the source).
+    count reached() const { return order_.size(); }
+
+private:
+    const Graph& g_;
+    node source_;
+    std::vector<double> dist_;
+    std::vector<double> sigma_;
+    std::vector<std::vector<node>> pred_;
+    std::vector<node> order_;
+};
+
+/// Dijkstra single-source shortest paths for weighted graphs.
+/// Edge weights must be non-negative; throws otherwise.
+class Dijkstra {
+public:
+    Dijkstra(const Graph& g, node source);
+
+    void run();
+
+    double distance(node t) const { return dist_[t]; }
+    const std::vector<double>& distances() const { return dist_; }
+
+    /// One shortest path from source to @p t (empty if unreachable).
+    std::vector<node> path(node t) const;
+
+private:
+    const Graph& g_;
+    node source_;
+    std::vector<double> dist_;
+    std::vector<node> parent_;
+};
+
+/// All-pairs BFS distance matrix (row per node). Intended for the small
+/// graphs where Maxent-Stress uses exact graph distances; O(n * m).
+std::vector<std::vector<double>> apspUnweighted(const Graph& g);
+
+} // namespace rinkit

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <vector>
+
+#include "src/graph/graph.hpp"
+
+namespace rinkit {
+
+/// Connected components of an undirected graph.
+///
+/// Two interchangeable engines:
+///  - UnionFind: sequential, O(m alpha(n)); the default.
+///  - LabelPropagation: OpenMP-parallel iterative min-label spreading, the
+///    scheme NetworKit's ParallelConnectedComponents uses.
+/// Component ids are compacted to [0, numberOfComponents).
+class ConnectedComponents {
+public:
+    enum class Engine { UnionFind, LabelPropagation };
+
+    explicit ConnectedComponents(const Graph& g, Engine engine = Engine::UnionFind)
+        : g_(g), engine_(engine) {}
+
+    void run();
+
+    bool hasRun() const { return hasRun_; }
+
+    count numberOfComponents() const {
+        requireRun();
+        return numComponents_;
+    }
+
+    /// Component id of @p u.
+    index componentOf(node u) const {
+        requireRun();
+        return comp_[u];
+    }
+
+    /// Component id per node.
+    const std::vector<index>& components() const {
+        requireRun();
+        return comp_;
+    }
+
+    /// Size of each component, indexed by component id.
+    std::vector<count> componentSizes() const;
+
+    /// Nodes of the largest component.
+    std::vector<node> largestComponent() const;
+
+private:
+    void runUnionFind();
+    void runLabelPropagation();
+    void compactLabels();
+    void requireRun() const {
+        if (!hasRun_) throw std::logic_error("ConnectedComponents: call run() first");
+    }
+
+    const Graph& g_;
+    Engine engine_;
+    std::vector<index> comp_;
+    count numComponents_ = 0;
+    bool hasRun_ = false;
+};
+
+} // namespace rinkit

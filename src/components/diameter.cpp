@@ -1,0 +1,69 @@
+#include "src/components/diameter.hpp"
+
+#include <algorithm>
+
+#include "src/components/bfs.hpp"
+#include "src/support/random.hpp"
+
+namespace rinkit {
+
+namespace {
+
+/// (farthest node, distance) from @p s, ignoring unreachable nodes.
+std::pair<node, count> farthest(const Graph& g, node s) {
+    Bfs bfs(g, s);
+    bfs.run();
+    node best = s;
+    double bestDist = 0.0;
+    for (node u = 0; u < g.numberOfNodes(); ++u) {
+        const double d = bfs.distance(u);
+        if (d != infdist && d > bestDist) {
+            bestDist = d;
+            best = u;
+        }
+    }
+    return {best, static_cast<count>(bestDist)};
+}
+
+} // namespace
+
+count eccentricity(const Graph& g, node u) {
+    return farthest(g, u).second;
+}
+
+count diameterExact(const Graph& g) {
+    count best = 0;
+#pragma omp parallel
+    {
+        count local = 0;
+        Bfs bfs(g, 0);
+#pragma omp for schedule(dynamic, 8) nowait
+        for (long long s = 0; s < static_cast<long long>(g.numberOfNodes()); ++s) {
+            bfs.setSource(static_cast<node>(s));
+            bfs.run();
+            for (node u = 0; u < g.numberOfNodes(); ++u) {
+                const double d = bfs.distance(u);
+                if (d != infdist) local = std::max(local, static_cast<count>(d));
+            }
+        }
+#pragma omp critical
+        best = std::max(best, local);
+    }
+    return best;
+}
+
+count diameterEstimate(const Graph& g, count sweeps, std::uint64_t seed) {
+    if (g.numberOfNodes() == 0) return 0;
+    Rng rng(seed);
+    count best = 0;
+    node start = static_cast<node>(rng.pick(g.numberOfNodes()));
+    for (count i = 0; i < sweeps; ++i) {
+        const auto [far, dist] = farthest(g, start);
+        best = std::max(best, dist);
+        if (far == start) break;
+        start = far;
+    }
+    return best;
+}
+
+} // namespace rinkit

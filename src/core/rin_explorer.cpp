@@ -1,0 +1,70 @@
+#include "src/core/rin_explorer.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "src/community/plm.hpp"
+#include "src/community/similarity.hpp"
+#include "src/graph/graph_tools.hpp"
+#include "src/md/md_io.hpp"
+#include "src/md/synthetic.hpp"
+
+namespace rinkit {
+
+RinExplorer::RinExplorer(std::unique_ptr<md::Trajectory> traj,
+                         viz::RinWidget::Options widgetOptions)
+    : traj_(std::move(traj)),
+      widget_(std::make_unique<viz::RinWidget>(*traj_, widgetOptions)) {}
+
+RinExplorer RinExplorer::forProtein(const std::string& name, Options options) {
+    md::Protein protein;
+    if (name == "alpha3D") protein = md::alpha3D();
+    else if (name == "chignolin") protein = md::chignolin();
+    else if (name == "villin") protein = md::villinHeadpiece();
+    else if (name == "ww-domain") protein = md::wwDomain();
+    else if (name == "lambda-repressor") protein = md::lambdaRepressor();
+    else if (name.rfind("bundle:", 0) == 0) {
+        const count residues = std::stoull(name.substr(7));
+        protein = md::helixBundle(residues);
+    } else {
+        throw std::invalid_argument("RinExplorer: unknown protein '" + name + "'");
+    }
+
+    md::TrajectoryGenerator::Parameters genParams;
+    genParams.frames = options.frames;
+    genParams.unfoldingEvents = options.unfoldingEvents;
+    genParams.thermalSigma = options.thermalSigma;
+    genParams.seed = options.seed;
+    auto traj = std::make_unique<md::Trajectory>(
+        md::TrajectoryGenerator(genParams).generate(protein));
+    return RinExplorer(std::move(traj), options.widget);
+}
+
+RinExplorer RinExplorer::forTrajectory(md::Trajectory traj,
+                                       viz::RinWidget::Options widgetOptions) {
+    return RinExplorer(std::make_unique<md::Trajectory>(std::move(traj)), widgetOptions);
+}
+
+double RinExplorer::communityStructureAgreement() const {
+    const Graph& g = widget_->graph();
+    Plm plm(g, true);
+    plm.run();
+    const auto ssLabels = traj_->topology().secondaryStructureLabels();
+    return nmi(plm.getPartition(), Partition(ssLabels));
+}
+
+count RinExplorer::hubCount(count degreeThreshold) const {
+    return graphtools::hubCount(widget_->graph(), degreeThreshold);
+}
+
+void RinExplorer::exportPdb(const std::string& path) const {
+    md::io::writePdbFile(traj_->proteinAtFrame(widget_->frame()), path);
+}
+
+void RinExplorer::exportFigure(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("cannot open " + path);
+    out << widget_->figureJson();
+}
+
+} // namespace rinkit

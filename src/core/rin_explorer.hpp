@@ -1,0 +1,69 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "src/md/trajectory.hpp"
+#include "src/viz/widget.hpp"
+
+namespace rinkit {
+
+/// Top-level facade: the one-stop entry point a downstream user adopts.
+///
+/// Bundles trajectory acquisition (synthetic catalogue or caller-provided),
+/// the interactive widget session, and the domain analyses the paper
+/// discusses (how well communities track secondary structure, how the
+/// cutoff changes topology). The examples/ directory drives everything
+/// through this class.
+class RinExplorer {
+public:
+    struct Options {
+        count frames = 30;
+        count unfoldingEvents = 0;
+        double thermalSigma = 0.25;
+        viz::RinWidget::Options widget;
+        std::uint64_t seed = 1;
+    };
+
+    /// Creates an explorer for a named synthetic protein from the
+    /// catalogue: "alpha3D", "chignolin", "villin", "ww-domain",
+    /// "lambda-repressor", or "bundle:<residues>" for an arbitrary-size
+    /// helix bundle. Throws std::invalid_argument for unknown names.
+    static RinExplorer forProtein(const std::string& name) {
+        return forProtein(name, Options{});
+    }
+    static RinExplorer forProtein(const std::string& name, Options options);
+
+    /// Wraps an existing trajectory (e.g. read from XYZ).
+    static RinExplorer forTrajectory(md::Trajectory traj,
+                                     viz::RinWidget::Options widgetOptions);
+
+    const md::Trajectory& trajectory() const { return *traj_; }
+    viz::RinWidget& widget() { return *widget_; }
+    const viz::RinWidget& widget() const { return *widget_; }
+
+    /// NMI between the widget's current-network PLM communities and the
+    /// protein's secondary-structure elements — quantifies the paper's
+    /// Fig. 3 observation that "secondary structure elements are
+    /// reflected in the community structure of the RIN".
+    double communityStructureAgreement() const;
+
+    /// Number of hub residues (degree >= threshold) in the current RIN —
+    /// the topology feature the paper notes is drastically cutoff-dependent.
+    count hubCount(count degreeThreshold = 10) const;
+
+    /// Writes the current frame's conformation as PDB.
+    void exportPdb(const std::string& path) const;
+
+    /// Writes the widget's current figure JSON.
+    void exportFigure(const std::string& path) const;
+
+private:
+    RinExplorer(std::unique_ptr<md::Trajectory> traj,
+                viz::RinWidget::Options widgetOptions);
+
+    std::unique_ptr<md::Trajectory> traj_;
+    std::unique_ptr<viz::RinWidget> widget_;
+};
+
+} // namespace rinkit

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.hpp"
+
+namespace rinkit {
+
+/// node2vec (Grover & Leskovec, KDD 2016): biased second-order random
+/// walks + skip-gram with negative sampling.
+///
+/// The paper's conclusions name node2vec as the NetworKit component for
+/// feeding RIN structure into downstream machine-learning workflows
+/// ("Graph embeddings ... could be applied to reduce the complexity of the
+/// protein simulation data"). The embedding_pipeline example exercises
+/// exactly that path.
+class Node2Vec {
+public:
+    struct Parameters {
+        double p = 1.0;           ///< return parameter (1/p weight to backtrack)
+        double q = 1.0;           ///< in-out parameter (1/q weight to explore)
+        count walkLength = 40;    ///< steps per walk
+        count walksPerNode = 8;   ///< walks started at every node
+        count dimensions = 32;    ///< embedding width
+        count windowSize = 5;     ///< skip-gram context radius
+        count epochs = 1;         ///< passes over the walk corpus
+        count negativeSamples = 5;
+        double learningRate = 0.025;
+        std::uint64_t seed = 1;
+    };
+
+    explicit Node2Vec(const Graph& g) : Node2Vec(g, Parameters{}) {}
+    Node2Vec(const Graph& g, Parameters params);
+
+    void run();
+
+    bool hasRun() const { return hasRun_; }
+
+    /// Embedding matrix, one row of `dimensions` values per node.
+    const std::vector<std::vector<double>>& features() const;
+
+    /// Cosine similarity between the embeddings of two nodes.
+    double cosineSimilarity(node u, node v) const;
+
+    /// The sampled walk corpus (exposed for tests).
+    const std::vector<std::vector<node>>& walks() const { return walks_; }
+
+private:
+    void sampleWalks();
+    void train();
+
+    const Graph& g_;
+    Parameters params_;
+    std::vector<std::vector<node>> walks_;
+    std::vector<std::vector<double>> emb_;
+    bool hasRun_ = false;
+};
+
+} // namespace rinkit

@@ -1,0 +1,202 @@
+#include "src/graph/generators.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/graph/graph_builder.hpp"
+#include "src/support/random.hpp"
+
+namespace rinkit::generators {
+
+Graph erdosRenyi(count n, double p, std::uint64_t seed) {
+    if (p < 0.0 || p > 1.0) throw std::invalid_argument("erdosRenyi: p out of [0,1]");
+    Graph g(n);
+    if (p <= 0.0 || n < 2) return g;
+    Rng rng(seed);
+    if (p >= 1.0) {
+        for (node u = 0; u < n; ++u) {
+            for (node v = u + 1; v < n; ++v) g.addEdge(u, v);
+        }
+        return g;
+    }
+    // Walk the strictly-upper-triangular pair sequence with geometric jumps.
+    const double logq = std::log(1.0 - p);
+    std::uint64_t idx = 0;
+    const std::uint64_t total = static_cast<std::uint64_t>(n) * (n - 1) / 2;
+    while (true) {
+        const double r = std::max(rng.real01(), 1e-300);
+        idx += 1 + static_cast<std::uint64_t>(std::floor(std::log(r) / logq));
+        if (idx > total) break;
+        // Map linear index (1-based) to pair (u, v), u < v.
+        const std::uint64_t k = idx - 1;
+        const double nd = static_cast<double>(n);
+        auto u = static_cast<node>(nd - 0.5 -
+                                   std::sqrt((nd - 0.5) * (nd - 0.5) - 2.0 * static_cast<double>(k)));
+        // Guard against floating-point rounding at block boundaries.
+        auto rowStart = [&](node uu) {
+            return static_cast<std::uint64_t>(uu) * (2 * n - uu - 1) / 2;
+        };
+        while (u > 0 && rowStart(u) > k) --u;
+        while (rowStart(u + 1) <= k) ++u;
+        const node v = static_cast<node>(u + 1 + (k - rowStart(u)));
+        g.addEdge(u, v);
+    }
+    return g;
+}
+
+Graph barabasiAlbert(count n, count attached, std::uint64_t seed) {
+    if (attached == 0) throw std::invalid_argument("barabasiAlbert: attached must be > 0");
+    if (n < attached + 1) throw std::invalid_argument("barabasiAlbert: n too small");
+    Rng rng(seed);
+    Graph g(n);
+    // Repeated-endpoint list: sampling uniformly from it is sampling
+    // proportionally to degree.
+    std::vector<node> endpoints;
+    endpoints.reserve(2 * n * attached);
+    // Seed clique over the first (attached + 1) nodes.
+    for (node u = 0; u <= attached; ++u) {
+        for (node v = u + 1; v <= attached; ++v) {
+            g.addEdge(u, v);
+            endpoints.push_back(u);
+            endpoints.push_back(v);
+        }
+    }
+    for (node u = static_cast<node>(attached + 1); u < n; ++u) {
+        count added = 0;
+        while (added < attached) {
+            const node v = endpoints[rng.pick(endpoints.size())];
+            if (v != u && g.addEdge(u, v)) {
+                endpoints.push_back(u);
+                endpoints.push_back(v);
+                ++added;
+            }
+        }
+    }
+    return g;
+}
+
+Graph randomGeometric3D(count n, double radius, std::uint64_t seed,
+                        std::vector<Point3>* outPositions) {
+    if (radius <= 0.0) throw std::invalid_argument("randomGeometric3D: radius must be > 0");
+    Rng rng(seed);
+    std::vector<Point3> pts(n);
+    for (auto& p : pts) p = {rng.real01(), rng.real01(), rng.real01()};
+
+    // Uniform grid with cell size >= radius: candidates live in the 27
+    // surrounding cells only.
+    const count cells = std::max<count>(1, static_cast<count>(1.0 / radius));
+    const double cell = 1.0 / static_cast<double>(cells);
+    auto cellOf = [&](double x) {
+        auto c = static_cast<long>(x / cell);
+        return std::min<long>(std::max<long>(c, 0), static_cast<long>(cells) - 1);
+    };
+    std::vector<std::vector<node>> grid(cells * cells * cells);
+    auto cellIndex = [&](long cx, long cy, long cz) {
+        return static_cast<size_t>((cx * static_cast<long>(cells) + cy) *
+                                       static_cast<long>(cells) + cz);
+    };
+    for (node u = 0; u < n; ++u) {
+        grid[cellIndex(cellOf(pts[u].x), cellOf(pts[u].y), cellOf(pts[u].z))].push_back(u);
+    }
+
+    GraphBuilder builder(n);
+    const double r2 = radius * radius;
+    for (node u = 0; u < n; ++u) {
+        const long cx = cellOf(pts[u].x), cy = cellOf(pts[u].y), cz = cellOf(pts[u].z);
+        for (long dx = -1; dx <= 1; ++dx) {
+            for (long dy = -1; dy <= 1; ++dy) {
+                for (long dz = -1; dz <= 1; ++dz) {
+                    const long nx = cx + dx, ny = cy + dy, nz = cz + dz;
+                    if (nx < 0 || ny < 0 || nz < 0 || nx >= static_cast<long>(cells) ||
+                        ny >= static_cast<long>(cells) || nz >= static_cast<long>(cells)) {
+                        continue;
+                    }
+                    for (node v : grid[cellIndex(nx, ny, nz)]) {
+                        if (v > u && pts[u].squaredDistance(pts[v]) <= r2) {
+                            builder.addEdge(u, v);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if (outPositions) *outPositions = std::move(pts);
+    return builder.build();
+}
+
+Graph wattsStrogatz(count n, count k, double beta, std::uint64_t seed) {
+    if (k == 0 || 2 * k >= n) throw std::invalid_argument("wattsStrogatz: need 0 < 2k < n");
+    Rng rng(seed);
+    Graph g(n);
+    for (node u = 0; u < n; ++u) {
+        for (count j = 1; j <= k; ++j) {
+            node v = static_cast<node>((u + j) % n);
+            if (rng.chance(beta)) {
+                // Rewire to a uniform random non-neighbor.
+                for (int attempts = 0; attempts < 64; ++attempts) {
+                    const node w = static_cast<node>(rng.pick(n));
+                    if (w != u && !g.hasEdge(u, w)) {
+                        v = w;
+                        break;
+                    }
+                }
+            }
+            g.addEdge(u, v);
+        }
+    }
+    return g;
+}
+
+Graph grid3D(count dimX, count dimY, count dimZ) {
+    const count n = dimX * dimY * dimZ;
+    Graph g(n);
+    auto id = [&](count x, count y, count z) {
+        return static_cast<node>((x * dimY + y) * dimZ + z);
+    };
+    for (count x = 0; x < dimX; ++x) {
+        for (count y = 0; y < dimY; ++y) {
+            for (count z = 0; z < dimZ; ++z) {
+                if (x + 1 < dimX) g.addEdge(id(x, y, z), id(x + 1, y, z));
+                if (y + 1 < dimY) g.addEdge(id(x, y, z), id(x, y + 1, z));
+                if (z + 1 < dimZ) g.addEdge(id(x, y, z), id(x, y, z + 1));
+            }
+        }
+    }
+    return g;
+}
+
+Graph plantedPartition(count communities, count blockSize, double pIn, double pOut,
+                       std::uint64_t seed, std::vector<index>* outGroundTruth) {
+    const count n = communities * blockSize;
+    Rng rng(seed);
+    GraphBuilder builder(n);
+    for (node u = 0; u < n; ++u) {
+        for (node v = u + 1; v < n; ++v) {
+            const bool sameBlock = (u / blockSize) == (v / blockSize);
+            if (rng.chance(sameBlock ? pIn : pOut)) builder.addEdge(u, v);
+        }
+    }
+    if (outGroundTruth) {
+        outGroundTruth->resize(n);
+        for (node u = 0; u < n; ++u) (*outGroundTruth)[u] = static_cast<index>(u / blockSize);
+    }
+    return builder.build();
+}
+
+Graph karateClub() {
+    // Zachary (1977); 0-based edge list.
+    static const std::pair<node, node> edges[] = {
+        {0,1},{0,2},{0,3},{0,4},{0,5},{0,6},{0,7},{0,8},{0,10},{0,11},{0,12},{0,13},
+        {0,17},{0,19},{0,21},{0,31},{1,2},{1,3},{1,7},{1,13},{1,17},{1,19},{1,21},
+        {1,30},{2,3},{2,7},{2,8},{2,9},{2,13},{2,27},{2,28},{2,32},{3,7},{3,12},
+        {3,13},{4,6},{4,10},{5,6},{5,10},{5,16},{6,16},{8,30},{8,32},{8,33},{9,33},
+        {13,33},{14,32},{14,33},{15,32},{15,33},{18,32},{18,33},{19,33},{20,32},
+        {20,33},{22,32},{22,33},{23,25},{23,27},{23,29},{23,32},{23,33},{24,25},
+        {24,27},{24,31},{25,31},{26,29},{26,33},{27,33},{28,31},{28,33},{29,32},
+        {29,33},{30,32},{30,33},{31,32},{31,33},{32,33}};
+    Graph g(34);
+    for (auto [u, v] : edges) g.addEdge(u, v);
+    return g;
+}
+
+} // namespace rinkit::generators

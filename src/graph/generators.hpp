@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.hpp"
+#include "src/support/point3.hpp"
+
+/// Synthetic graph generators.
+///
+/// Used by tests (known-structure graphs), by the Fig. 4 scaling bench
+/// (plotlybridge drew generated graphs up to 50k nodes), and by the
+/// community-detection ablations (planted partitions with ground truth).
+namespace rinkit::generators {
+
+/// Erdős–Rényi G(n, p) via geometric edge skipping — O(n + m) expected.
+Graph erdosRenyi(count n, double p, std::uint64_t seed = 1);
+
+/// Barabási–Albert preferential attachment; each new node attaches to
+/// @p attached existing nodes. Produces the hub-dominated degree
+/// distribution typical of the demo graphs in Fig. 4.
+Graph barabasiAlbert(count n, count attached, std::uint64_t seed = 1);
+
+/// Random geometric graph in the unit cube: n points, edge iff distance
+/// <= radius. Structurally the closest generator to a RIN (it IS a contact
+/// graph), so it is the default workload for layout/scene benches.
+/// If @p outPositions is non-null the sampled points are returned.
+Graph randomGeometric3D(count n, double radius, std::uint64_t seed = 1,
+                        std::vector<Point3>* outPositions = nullptr);
+
+/// Watts–Strogatz small world: ring lattice with k neighbors per side,
+/// each edge rewired with probability beta.
+Graph wattsStrogatz(count n, count k, double beta, std::uint64_t seed = 1);
+
+/// 3D grid graph (dimX * dimY * dimZ nodes, 6-neighborhood).
+Graph grid3D(count dimX, count dimY, count dimZ);
+
+/// Planted-partition model: @p communities blocks of @p blockSize nodes,
+/// intra-block edge probability @p pIn, inter-block @p pOut.
+/// @p outGroundTruth (optional) receives the planted community of each node.
+Graph plantedPartition(count communities, count blockSize, double pIn, double pOut,
+                       std::uint64_t seed = 1,
+                       std::vector<index>* outGroundTruth = nullptr);
+
+/// Zachary's karate club (34 nodes, 78 edges) — the graph from the paper's
+/// Listing 1; also a fixture with known community structure.
+Graph karateClub();
+
+} // namespace rinkit::generators

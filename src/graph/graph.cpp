@@ -1,0 +1,119 @@
+#include "src/graph/graph.hpp"
+
+namespace rinkit {
+
+node Graph::addNode() {
+    adj_.emplace_back();
+    if (weighted_) wts_.emplace_back();
+    return static_cast<node>(adj_.size() - 1);
+}
+
+void Graph::addNodes(count k) {
+    adj_.resize(adj_.size() + k);
+    if (weighted_) wts_.resize(adj_.size());
+}
+
+bool Graph::insertArc(node u, node v, edgeweight w) {
+    auto& nb = adj_[u];
+    const auto it = std::lower_bound(nb.begin(), nb.end(), v);
+    if (it != nb.end() && *it == v) return false;
+    const auto pos = static_cast<size_t>(it - nb.begin());
+    nb.insert(it, v);
+    if (weighted_) wts_[u].insert(wts_[u].begin() + static_cast<long>(pos), w);
+    return true;
+}
+
+bool Graph::eraseArc(node u, node v) {
+    auto& nb = adj_[u];
+    const auto it = std::lower_bound(nb.begin(), nb.end(), v);
+    if (it == nb.end() || *it != v) return false;
+    const auto pos = static_cast<size_t>(it - nb.begin());
+    nb.erase(it);
+    if (weighted_) wts_[u].erase(wts_[u].begin() + static_cast<long>(pos));
+    return true;
+}
+
+bool Graph::addEdge(node u, node v, edgeweight w) {
+    checkNode(u);
+    checkNode(v);
+    if (u == v) throw std::invalid_argument("Graph: self-loops are not supported");
+    if (!insertArc(u, v, w)) return false;
+    insertArc(v, u, w);
+    ++m_;
+    return true;
+}
+
+bool Graph::removeEdge(node u, node v) {
+    checkNode(u);
+    checkNode(v);
+    if (!eraseArc(u, v)) return false;
+    eraseArc(v, u);
+    --m_;
+    return true;
+}
+
+edgeweight Graph::weight(node u, node v) const {
+    checkNode(u);
+    checkNode(v);
+    const auto& nb = adj_[u];
+    const auto it = std::lower_bound(nb.begin(), nb.end(), v);
+    if (it == nb.end() || *it != v) {
+        throw std::invalid_argument("Graph: weight() of a non-existing edge");
+    }
+    if (!weighted_) return 1.0;
+    return wts_[u][static_cast<size_t>(it - nb.begin())];
+}
+
+void Graph::setWeight(node u, node v, edgeweight w) {
+    if (!weighted_) throw std::logic_error("Graph: setWeight on unweighted graph");
+    checkNode(u);
+    checkNode(v);
+    auto update = [&](node a, node b) {
+        auto& nb = adj_[a];
+        const auto it = std::lower_bound(nb.begin(), nb.end(), b);
+        if (it == nb.end() || *it != b) {
+            throw std::invalid_argument("Graph: setWeight on a non-existing edge");
+        }
+        wts_[a][static_cast<size_t>(it - nb.begin())] = w;
+    };
+    update(u, v);
+    update(v, u);
+}
+
+void Graph::removeAllEdges() {
+    for (auto& nb : adj_) nb.clear();
+    for (auto& ws : wts_) ws.clear();
+    m_ = 0;
+}
+
+edgeweight Graph::totalEdgeWeight() const {
+    if (!weighted_) return static_cast<edgeweight>(m_);
+    double total = 0.0;
+    forWeightedEdges([&](node, node, edgeweight w) { total += w; });
+    return total;
+}
+
+edgeweight Graph::weightedDegree(node u) const {
+    checkNode(u);
+    if (!weighted_) return static_cast<edgeweight>(adj_[u].size());
+    double total = 0.0;
+    for (edgeweight w : wts_[u]) total += w;
+    return total;
+}
+
+std::vector<std::pair<node, node>> Graph::edges() const {
+    std::vector<std::pair<node, node>> out;
+    out.reserve(m_);
+    forEdges([&](node u, node v) { out.emplace_back(u, v); });
+    return out;
+}
+
+bool Graph::operator==(const Graph& other) const {
+    if (numberOfNodes() != other.numberOfNodes()) return false;
+    if (numberOfEdges() != other.numberOfEdges()) return false;
+    if (adj_ != other.adj_) return false;
+    if (weighted_ && other.weighted_ && wts_ != other.wts_) return false;
+    return true;
+}
+
+} // namespace rinkit

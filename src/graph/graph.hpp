@@ -1,0 +1,168 @@
+#pragma once
+
+#include <algorithm>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "src/support/parallel.hpp"
+#include "src/support/types.hpp"
+
+namespace rinkit {
+
+/// Undirected, optionally weighted graph with dynamic edge updates.
+///
+/// This is the central data structure of rinkit, modelled after the
+/// NetworKit graph: nodes are dense ids [0, n), adjacency lists are kept
+/// sorted so that hasEdge/removeEdge are O(log deg) and neighbor iteration
+/// is cache-friendly. The RIN widget mutates graphs continuously (cut-off
+/// and trajectory-frame switches add/remove edge batches), so edge updates
+/// are first-class operations rather than rebuild-only.
+///
+/// Self-loops are rejected: a residue does not interact with itself in a
+/// RIN, and their absence simplifies every algorithm invariant.
+class Graph {
+public:
+    /// Creates a graph with @p n isolated nodes.
+    explicit Graph(count n = 0, bool weighted = false)
+        : adj_(n), weighted_(weighted) {
+        if (weighted_) wts_.resize(n);
+    }
+
+    // -- topology queries ---------------------------------------------------
+
+    count numberOfNodes() const { return adj_.size(); }
+    count numberOfEdges() const { return m_; }
+    bool isWeighted() const { return weighted_; }
+
+    bool hasNode(node u) const { return u < adj_.size(); }
+
+    count degree(node u) const {
+        checkNode(u);
+        return adj_[u].size();
+    }
+
+    bool hasEdge(node u, node v) const {
+        checkNode(u);
+        checkNode(v);
+        const auto& nb = adj_[u];
+        return std::binary_search(nb.begin(), nb.end(), v);
+    }
+
+    /// Neighbors of @p u in ascending id order.
+    std::span<const node> neighbors(node u) const {
+        checkNode(u);
+        return {adj_[u].data(), adj_[u].size()};
+    }
+
+    /// Weight of edge {u, v}; 1.0 on unweighted graphs; throws if absent.
+    edgeweight weight(node u, node v) const;
+
+    /// Sum of all edge weights (edge count on unweighted graphs).
+    edgeweight totalEdgeWeight() const;
+
+    /// Sum of weights of edges incident to u (degree on unweighted graphs).
+    edgeweight weightedDegree(node u) const;
+
+    // -- mutation -----------------------------------------------------------
+
+    /// Appends one isolated node and returns its id.
+    node addNode();
+
+    /// Appends @p k isolated nodes.
+    void addNodes(count k);
+
+    /// Inserts edge {u, v}; returns false (and changes nothing) if the edge
+    /// already exists. Throws on self-loops and invalid nodes.
+    bool addEdge(node u, node v, edgeweight w = 1.0);
+
+    /// Removes edge {u, v}; returns false if it was not present.
+    bool removeEdge(node u, node v);
+
+    /// Sets the weight of an existing edge (weighted graphs only).
+    void setWeight(node u, node v, edgeweight w);
+
+    /// Removes all edges, keeping the node set.
+    void removeAllEdges();
+
+    /// Reserves per-node adjacency capacity (bulk-build optimization).
+    void reserveDegree(node u, count d) {
+        checkNode(u);
+        adj_[u].reserve(d);
+        if (weighted_) wts_[u].reserve(d);
+    }
+
+    // -- iteration ----------------------------------------------------------
+
+    /// f(u) for every node.
+    template <typename F>
+    void forNodes(F&& f) const {
+        for (node u = 0; u < adj_.size(); ++u) f(u);
+    }
+
+    /// f(u) for every node, OpenMP-parallel.
+    template <typename F>
+    void parallelForNodes(F&& f) const {
+        parallelFor(adj_.size(), [&](index u) { f(static_cast<node>(u)); });
+    }
+
+    /// f(u, v) for every neighbor v of u.
+    template <typename F>
+    void forNeighborsOf(node u, F&& f) const {
+        checkNode(u);
+        for (node v : adj_[u]) f(u, v);
+    }
+
+    /// f(u, v, w) for every neighbor v of u with edge weight w.
+    template <typename F>
+    void forWeightedNeighborsOf(node u, F&& f) const {
+        checkNode(u);
+        const auto& nb = adj_[u];
+        for (count i = 0; i < nb.size(); ++i) {
+            f(u, nb[i], weighted_ ? wts_[u][i] : 1.0);
+        }
+    }
+
+    /// f(u, v) for every undirected edge, visited once with u < v.
+    template <typename F>
+    void forEdges(F&& f) const {
+        for (node u = 0; u < adj_.size(); ++u) {
+            for (node v : adj_[u]) {
+                if (u < v) f(u, v);
+            }
+        }
+    }
+
+    /// f(u, v, w) for every undirected edge (u < v) with its weight.
+    template <typename F>
+    void forWeightedEdges(F&& f) const {
+        for (node u = 0; u < adj_.size(); ++u) {
+            const auto& nb = adj_[u];
+            for (count i = 0; i < nb.size(); ++i) {
+                if (u < nb[i]) f(u, nb[i], weighted_ ? wts_[u][i] : 1.0);
+            }
+        }
+    }
+
+    /// All edges as a (u, v) list with u < v, in lexicographic order.
+    std::vector<std::pair<node, node>> edges() const;
+
+    /// Structural equality (same node count, same edge set and weights).
+    bool operator==(const Graph& other) const;
+
+private:
+    void checkNode(node u) const {
+        if (u >= adj_.size()) throw std::out_of_range("Graph: invalid node id");
+    }
+
+    // Inserts v into u's sorted adjacency; returns false if already present.
+    bool insertArc(node u, node v, edgeweight w);
+    bool eraseArc(node u, node v);
+
+    std::vector<std::vector<node>> adj_;
+    std::vector<std::vector<edgeweight>> wts_; // parallel to adj_ iff weighted_
+    count m_ = 0;
+    bool weighted_ = false;
+};
+
+} // namespace rinkit

@@ -1,0 +1,34 @@
+#include "src/graph/graph_builder.hpp"
+
+#include <numeric>
+
+#include "src/support/parallel.hpp"
+
+namespace rinkit {
+
+Graph GraphBuilder::build() {
+    Graph g(n_, weighted_);
+
+    // Count degrees first so each adjacency list is allocated exactly once.
+    std::vector<count> deg(n_, 0);
+    for (count i = 0; i < us_.size(); ++i) {
+        ++deg[us_[i]];
+        ++deg[vs_[i]];
+    }
+    for (node u = 0; u < n_; ++u) {
+        if (deg[u] > 0) g.reserveDegree(u, deg[u]);
+    }
+    for (count i = 0; i < us_.size(); ++i) {
+        const edgeweight w = weighted_ ? ws_[i] : 1.0;
+        if (!g.addEdge(us_[i], vs_[i], w)) {
+            if (weighted_) g.setWeight(us_[i], vs_[i], w); // duplicate: last weight wins
+        }
+    }
+
+    us_.clear();
+    vs_.clear();
+    ws_.clear();
+    return g;
+}
+
+} // namespace rinkit

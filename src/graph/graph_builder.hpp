@@ -1,0 +1,47 @@
+#pragma once
+
+#include <vector>
+
+#include "src/graph/graph.hpp"
+
+namespace rinkit {
+
+/// Bulk graph construction.
+///
+/// The RIN pipeline rebuilds graphs for every (frame, cutoff) pair the user
+/// sweeps over; inserting edges one by one into sorted adjacency lists would
+/// be O(m * deg). The builder collects an unordered edge list and produces
+/// the final Graph in O(m log deg_max) with exactly one allocation per
+/// adjacency list. Duplicate edges and self-loops are dropped (the last
+/// weight wins for duplicates).
+class GraphBuilder {
+public:
+    explicit GraphBuilder(count n, bool weighted = false)
+        : n_(n), weighted_(weighted) {}
+
+    /// Number of nodes of the graph under construction.
+    count numberOfNodes() const { return n_; }
+
+    /// Queues edge {u, v}; order of calls is irrelevant.
+    void addEdge(node u, node v, edgeweight w = 1.0) {
+        if (u >= n_ || v >= n_) throw std::out_of_range("GraphBuilder: invalid node id");
+        if (u == v) return;
+        us_.push_back(u);
+        vs_.push_back(v);
+        if (weighted_) ws_.push_back(w);
+    }
+
+    /// Number of queued (not yet deduplicated) edges.
+    count queuedEdges() const { return us_.size(); }
+
+    /// Builds the Graph; the builder may be reused afterwards (it is reset).
+    Graph build();
+
+private:
+    count n_;
+    bool weighted_;
+    std::vector<node> us_, vs_;
+    std::vector<edgeweight> ws_;
+};
+
+} // namespace rinkit

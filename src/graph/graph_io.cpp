@@ -1,0 +1,134 @@
+#include "src/graph/graph_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <tuple>
+
+#include "src/graph/graph_builder.hpp"
+
+namespace rinkit::io {
+
+namespace {
+
+// Skips METIS comment lines (starting with '%').
+bool nextContentLine(std::istream& in, std::string& line) {
+    while (std::getline(in, line)) {
+        if (!line.empty() && line[0] != '%') return true;
+    }
+    return false;
+}
+
+} // namespace
+
+Graph readMetis(std::istream& in) {
+    std::string line;
+    if (!nextContentLine(in, line)) {
+        throw std::runtime_error("METIS: missing header line");
+    }
+    std::istringstream header(line);
+    count n = 0, m = 0;
+    int fmt = 0;
+    header >> n >> m;
+    if (header.fail()) throw std::runtime_error("METIS: malformed header");
+    header >> fmt; // optional; absent -> 0
+    const bool weighted = (fmt == 1 || fmt == 11);
+    if (fmt != 0 && fmt != 1) {
+        throw std::runtime_error("METIS: unsupported format flag " + std::to_string(fmt));
+    }
+
+    Graph g(n, weighted);
+    for (node u = 0; u < n; ++u) {
+        if (!nextContentLine(in, line)) {
+            throw std::runtime_error("METIS: premature end of file at node " +
+                                     std::to_string(u));
+        }
+        std::istringstream ls(line);
+        count v1 = 0; // METIS is 1-based
+        while (ls >> v1) {
+            if (v1 == 0 || v1 > n) throw std::runtime_error("METIS: neighbor id out of range");
+            edgeweight w = 1.0;
+            if (weighted && !(ls >> w)) {
+                throw std::runtime_error("METIS: missing edge weight");
+            }
+            const node v = static_cast<node>(v1 - 1);
+            if (u < v) g.addEdge(u, v, w); // each edge appears twice; add once
+        }
+    }
+    if (g.numberOfEdges() != m) {
+        throw std::runtime_error("METIS: header edge count " + std::to_string(m) +
+                                 " does not match body (" +
+                                 std::to_string(g.numberOfEdges()) + ")");
+    }
+    return g;
+}
+
+Graph readMetisFile(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("cannot open " + path);
+    return readMetis(in);
+}
+
+void writeMetis(const Graph& g, std::ostream& out) {
+    out << g.numberOfNodes() << ' ' << g.numberOfEdges();
+    if (g.isWeighted()) out << " 1";
+    out << '\n';
+    g.forNodes([&](node u) {
+        bool first = true;
+        g.forWeightedNeighborsOf(u, [&](node, node v, edgeweight w) {
+            if (!first) out << ' ';
+            first = false;
+            out << (v + 1);
+            if (g.isWeighted()) out << ' ' << w;
+        });
+        out << '\n';
+    });
+}
+
+void writeMetisFile(const Graph& g, const std::string& path) {
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("cannot open " + path);
+    writeMetis(g, out);
+}
+
+Graph readEdgeList(std::istream& in, count n, bool weighted) {
+    std::vector<std::tuple<node, node, edgeweight>> edges;
+    count maxId = 0;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#') continue;
+        std::istringstream ls(line);
+        node u = 0, v = 0;
+        if (!(ls >> u >> v)) throw std::runtime_error("edge list: malformed line: " + line);
+        edgeweight w = 1.0;
+        if (weighted) ls >> w;
+        edges.emplace_back(u, v, w);
+        maxId = std::max<count>(maxId, std::max(u, v));
+    }
+    const count nodes = n > 0 ? n : (edges.empty() ? 0 : maxId + 1);
+    GraphBuilder builder(nodes, weighted);
+    for (auto [u, v, w] : edges) builder.addEdge(u, v, w);
+    return builder.build();
+}
+
+Graph readEdgeListFile(const std::string& path, count n, bool weighted) {
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("cannot open " + path);
+    return readEdgeList(in, n, weighted);
+}
+
+void writeEdgeList(const Graph& g, std::ostream& out) {
+    g.forWeightedEdges([&](node u, node v, edgeweight w) {
+        out << u << ' ' << v;
+        if (g.isWeighted()) out << ' ' << w;
+        out << '\n';
+    });
+}
+
+void writeEdgeListFile(const Graph& g, const std::string& path) {
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("cannot open " + path);
+    writeEdgeList(g, out);
+}
+
+} // namespace rinkit::io

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "src/graph/graph.hpp"
+
+/// Graph readers/writers for the two formats the paper's toolchain touches:
+/// METIS (NetworKit's default exchange format, used for graphs like
+/// "karate.graph" in the paper's Listing 1) and plain edge lists.
+namespace rinkit::io {
+
+/// Reads a graph in METIS format from a stream.
+/// Supported header flags: 0/none (unweighted), 1 (edge weights).
+Graph readMetis(std::istream& in);
+
+/// Reads a METIS file from disk; throws std::runtime_error if unreadable.
+Graph readMetisFile(const std::string& path);
+
+/// Writes METIS format (with weights iff the graph is weighted).
+void writeMetis(const Graph& g, std::ostream& out);
+void writeMetisFile(const Graph& g, const std::string& path);
+
+/// Reads a whitespace-separated edge list ("u v [w]" per line, 0-based ids,
+/// '#' comments). The node count is max id + 1 unless @p n overrides it.
+Graph readEdgeList(std::istream& in, count n = 0, bool weighted = false);
+Graph readEdgeListFile(const std::string& path, count n = 0, bool weighted = false);
+
+/// Writes "u v [w]" per edge.
+void writeEdgeList(const Graph& g, std::ostream& out);
+void writeEdgeListFile(const Graph& g, const std::string& path);
+
+} // namespace rinkit::io

@@ -1,0 +1,141 @@
+#include "src/graph/graph_tools.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rinkit::graphtools {
+
+double density(const Graph& g) {
+    const count n = g.numberOfNodes();
+    if (n < 2) return 0.0;
+    return 2.0 * static_cast<double>(g.numberOfEdges()) /
+           (static_cast<double>(n) * static_cast<double>(n - 1));
+}
+
+count maxDegree(const Graph& g) {
+    count best = 0;
+    g.forNodes([&](node u) { best = std::max(best, g.degree(u)); });
+    return best;
+}
+
+double averageDegree(const Graph& g) {
+    const count n = g.numberOfNodes();
+    if (n == 0) return 0.0;
+    return 2.0 * static_cast<double>(g.numberOfEdges()) / static_cast<double>(n);
+}
+
+std::vector<count> degreeSequence(const Graph& g) {
+    std::vector<count> deg(g.numberOfNodes());
+    g.parallelForNodes([&](node u) { deg[u] = g.degree(u); });
+    return deg;
+}
+
+std::vector<count> degreeDistribution(const Graph& g) {
+    std::vector<count> hist(maxDegree(g) + 1, 0);
+    g.forNodes([&](node u) { ++hist[g.degree(u)]; });
+    return hist;
+}
+
+count hubCount(const Graph& g, count threshold) {
+    count hubs = 0;
+    g.forNodes([&](node u) {
+        if (g.degree(u) >= threshold) ++hubs;
+    });
+    return hubs;
+}
+
+Graph subgraph(const Graph& g, const std::vector<node>& keep) {
+    std::vector<node> mapping(g.numberOfNodes(), none);
+    for (count i = 0; i < keep.size(); ++i) {
+        if (keep[i] >= g.numberOfNodes()) {
+            throw std::out_of_range("subgraph: invalid node id");
+        }
+        if (mapping[keep[i]] != none) {
+            throw std::invalid_argument("subgraph: duplicate node in keep list");
+        }
+        mapping[keep[i]] = static_cast<node>(i);
+    }
+    Graph sub(keep.size(), g.isWeighted());
+    g.forWeightedEdges([&](node u, node v, edgeweight w) {
+        if (mapping[u] != none && mapping[v] != none) {
+            sub.addEdge(mapping[u], mapping[v], w);
+        }
+    });
+    return sub;
+}
+
+Graph unionGraph(const Graph& g, const Graph& h) {
+    if (g.numberOfNodes() != h.numberOfNodes()) {
+        throw std::invalid_argument("unionGraph: node counts differ");
+    }
+    Graph out(g.numberOfNodes(), g.isWeighted() || h.isWeighted());
+    g.forWeightedEdges([&](node u, node v, edgeweight w) { out.addEdge(u, v, w); });
+    h.forWeightedEdges([&](node u, node v, edgeweight w) {
+        if (!out.addEdge(u, v, w) && out.isWeighted()) out.setWeight(u, v, w);
+    });
+    return out;
+}
+
+count symmetricDifferenceSize(const Graph& g, const Graph& h) {
+    if (g.numberOfNodes() != h.numberOfNodes()) {
+        throw std::invalid_argument("symmetricDifferenceSize: node counts differ");
+    }
+    count diff = 0;
+    g.forEdges([&](node u, node v) {
+        if (!h.hasEdge(u, v)) ++diff;
+    });
+    h.forEdges([&](node u, node v) {
+        if (!g.hasEdge(u, v)) ++diff;
+    });
+    return diff;
+}
+
+count triangleCount(const Graph& g) {
+    // For every edge (u, v) with u < v, intersect N(u) and N(v) counting
+    // common neighbors w > v so each triangle is found exactly once.
+    count triangles = 0;
+    g.forEdges([&](node u, node v) {
+        const auto nu = g.neighbors(u);
+        const auto nv = g.neighbors(v);
+        auto iu = std::lower_bound(nu.begin(), nu.end(), v + 1);
+        auto iv = std::lower_bound(nv.begin(), nv.end(), v + 1);
+        while (iu != nu.end() && iv != nv.end()) {
+            if (*iu < *iv) ++iu;
+            else if (*iv < *iu) ++iv;
+            else { ++triangles; ++iu; ++iv; }
+        }
+    });
+    return triangles;
+}
+
+double degreeAssortativity(const Graph& g) {
+    // Newman (2002), eq. 4: Pearson correlation of the degrees at the two
+    // ends of each edge, symmetrized over edge orientation.
+    const auto m = static_cast<double>(g.numberOfEdges());
+    if (m == 0.0) return 0.0;
+    double sumProd = 0.0, sumHalf = 0.0, sumHalfSq = 0.0;
+    g.forEdges([&](node u, node v) {
+        const auto du = static_cast<double>(g.degree(u));
+        const auto dv = static_cast<double>(g.degree(v));
+        sumProd += du * dv;
+        sumHalf += 0.5 * (du + dv);
+        sumHalfSq += 0.5 * (du * du + dv * dv);
+    });
+    const double mean = sumHalf / m;
+    const double num = sumProd / m - mean * mean;
+    const double den = sumHalfSq / m - mean * mean;
+    if (den <= 1e-15) return 0.0; // constant endpoint degree
+    return num / den;
+}
+
+double clusteringCoefficient(const Graph& g) {
+    count triads = 0;
+    g.forNodes([&](node u) {
+        const count d = g.degree(u);
+        triads += d * (d - 1) / 2;
+    });
+    if (triads == 0) return 0.0;
+    return 3.0 * static_cast<double>(triangleCount(g)) / static_cast<double>(triads);
+}
+
+} // namespace rinkit::graphtools

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <vector>
+
+#include "src/graph/graph.hpp"
+
+namespace rinkit::graphtools {
+
+/// 2m / (n (n - 1)): fraction of possible edges present.
+double density(const Graph& g);
+
+/// Largest node degree (0 on the empty graph).
+count maxDegree(const Graph& g);
+
+/// Mean node degree (0 on the empty graph).
+double averageDegree(const Graph& g);
+
+/// Degree of every node.
+std::vector<count> degreeSequence(const Graph& g);
+
+/// Histogram h where h[d] = number of nodes with degree d.
+std::vector<count> degreeDistribution(const Graph& g);
+
+/// Number of nodes with degree >= @p threshold ("hubs" in the RIN
+/// literature; the cutoff choice drastically changes this, cf. Viloria
+/// et al. 2017).
+count hubCount(const Graph& g, count threshold);
+
+/// Node-induced subgraph. @p keep lists the nodes to retain; the result's
+/// node i corresponds to keep[i]. Duplicate entries throw.
+Graph subgraph(const Graph& g, const std::vector<node>& keep);
+
+/// Graph with every edge of @p g plus every edge of @p h (same node count
+/// required); weights from @p h win on conflicts.
+Graph unionGraph(const Graph& g, const Graph& h);
+
+/// Number of edges present in exactly one of the two graphs (topological
+/// distance between two RIN snapshots).
+count symmetricDifferenceSize(const Graph& g, const Graph& h);
+
+/// Global clustering coefficient: 3 * triangles / open triads.
+double clusteringCoefficient(const Graph& g);
+
+/// Degree assortativity (Pearson correlation of endpoint degrees over
+/// edges), in [-1, 1]. RINs are typically weakly assortative; hubs
+/// connecting to hubs changes markedly with the cutoff. Returns 0 on
+/// graphs where the correlation is undefined (no edges / constant degree).
+double degreeAssortativity(const Graph& g);
+
+/// Exact triangle count (sorted-adjacency intersection).
+count triangleCount(const Graph& g);
+
+} // namespace rinkit::graphtools

@@ -1,0 +1,122 @@
+#include "src/layout/fruchterman_reingold.hpp"
+
+#include <cmath>
+
+#include "src/layout/octree.hpp"
+#include "src/support/parallel.hpp"
+
+namespace rinkit {
+
+void FruchtermanReingold::run() {
+    const count n = g_.numberOfNodes();
+    initializeCoordinates(params_.seed);
+    if (n <= 1) {
+        hasRun_ = true;
+        return;
+    }
+
+    // Ideal edge length: sphere volume per node.
+    const double volume = std::pow(std::cbrt(static_cast<double>(n)) * 2.0, 3);
+    const double k = std::cbrt(volume / static_cast<double>(n));
+    double temperature = std::cbrt(volume) * 0.1;
+    const double cooling = temperature / static_cast<double>(params_.iterations + 1);
+
+    std::vector<Point3> disp(n);
+    for (count it = 0; it < params_.iterations; ++it) {
+        const Octree tree(coordinates_);
+#pragma omp parallel for schedule(dynamic, 64)
+        for (long long ui = 0; ui < static_cast<long long>(n); ++ui) {
+            const node u = static_cast<node>(ui);
+            const Point3 xu = coordinates_[u];
+            Point3 d{};
+            // Repulsion k^2 / dist from every other node (approximated).
+            tree.forCells(xu, params_.theta, [&](const Point3& p, double mass, bool) {
+                const Point3 diff = xu - p;
+                const double dist = std::max(diff.norm(), 1e-9);
+                d += diff * (mass * k * k / (dist * dist));
+            });
+            // Attraction dist^2 / k along edges.
+            g_.forNeighborsOf(u, [&](node, node v) {
+                const Point3 diff = coordinates_[v] - xu;
+                const double dist = std::max(diff.norm(), 1e-9);
+                d += diff * (dist / k);
+            });
+            disp[u] = d;
+        }
+        parallelFor(n, [&](index ui) {
+            const double len = disp[ui].norm();
+            if (len > 1e-12) {
+                coordinates_[ui] += disp[ui] * (std::min(len, temperature) / len);
+            }
+        });
+        temperature = std::max(temperature - cooling, 1e-3);
+    }
+    hasRun_ = true;
+}
+
+void ForceAtlas2::run() {
+    const count n = g_.numberOfNodes();
+    initializeCoordinates(params_.seed);
+    if (n <= 1) {
+        hasRun_ = true;
+        return;
+    }
+
+    std::vector<double> mass(n);
+    g_.parallelForNodes([&](node u) { mass[u] = static_cast<double>(g_.degree(u)) + 1.0; });
+
+    std::vector<Point3> force(n), prevForce(n);
+    double speed = 1.0;
+
+    for (count it = 0; it < params_.iterations; ++it) {
+        const Octree tree(coordinates_);
+#pragma omp parallel for schedule(dynamic, 64)
+        for (long long ui = 0; ui < static_cast<long long>(n); ++ui) {
+            const node u = static_cast<node>(ui);
+            const Point3 xu = coordinates_[u];
+            Point3 f{};
+            // Degree-weighted repulsion k_r (deg_u+1)(deg_v+1)/dist. The
+            // octree's cell mass counts nodes; we approximate the far-field
+            // degree factor by the average mass (exact for leaves).
+            tree.forCells(xu, params_.theta, [&](const Point3& p, double m, bool) {
+                const Point3 diff = xu - p;
+                const double dist = std::max(diff.norm(), 1e-9);
+                f += diff * (params_.scaling * mass[u] * m / (dist * dist));
+            });
+            // Attraction: linear (or logarithmic in lin-log mode).
+            g_.forNeighborsOf(u, [&](node, node v) {
+                const Point3 diff = coordinates_[v] - xu;
+                const double dist = std::max(diff.norm(), 1e-9);
+                const double a = params_.linLogMode ? std::log1p(dist) / dist : 1.0;
+                f += diff * a;
+            });
+            // Gravity towards the origin keeps disconnected parts on screen.
+            const double dist = std::max(xu.norm(), 1e-9);
+            f -= xu * (params_.gravity * mass[u] / dist);
+            force[u] = f;
+        }
+
+        // Adaptive speed from global swing (oscillation) vs traction.
+        double swing = 0.0, traction = 0.0;
+#pragma omp parallel for schedule(static) reduction(+ : swing, traction)
+        for (long long ui = 0; ui < static_cast<long long>(n); ++ui) {
+            swing += mass[ui] * (force[ui] - prevForce[ui]).norm();
+            traction += 0.5 * mass[ui] * (force[ui] + prevForce[ui]).norm();
+        }
+        if (swing > 0.0) {
+            speed = std::min(1.5 * traction / swing, speed * 1.5);
+        }
+        speed = std::min(speed, 10.0);
+
+        parallelFor(n, [&](index ui) {
+            const double localSwing =
+                std::max(mass[ui] * (force[ui] - prevForce[ui]).norm(), 1e-9);
+            const double factor = speed / (1.0 + std::sqrt(speed * localSwing));
+            coordinates_[ui] += force[ui] * factor;
+            prevForce[ui] = force[ui];
+        });
+    }
+    hasRun_ = true;
+}
+
+} // namespace rinkit

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+
+#include "src/layout/layout.hpp"
+
+namespace rinkit {
+
+/// Fruchterman-Reingold force-directed layout in 3D (Fruchterman &
+/// Reingold 1991) — one of the two GEPHI drawing algorithms the paper
+/// names; here it serves as a layout baseline in the ablation bench.
+///
+/// Attraction d^2/k along edges, repulsion k^2/d between all pairs
+/// (Barnes-Hut approximated), displacement capped by a linearly cooling
+/// temperature.
+class FruchtermanReingold : public LayoutAlgorithm {
+public:
+    struct Parameters {
+        count iterations = 100;
+        double theta = 0.9;     ///< Barnes-Hut opening angle
+        std::uint64_t seed = 1;
+    };
+
+    explicit FruchtermanReingold(const Graph& g) : FruchtermanReingold(g, Parameters{}) {}
+    FruchtermanReingold(const Graph& g, Parameters params)
+        : LayoutAlgorithm(g), params_(params) {}
+
+    void run() override;
+
+private:
+    Parameters params_;
+};
+
+/// ForceAtlas2 (Jacomy et al. 2014) in 3D — the other GEPHI layout the
+/// paper references. Degree-weighted repulsion keeps hubs apart, linear
+/// attraction, adaptive global speed.
+class ForceAtlas2 : public LayoutAlgorithm {
+public:
+    struct Parameters {
+        count iterations = 100;
+        double scaling = 2.0;     ///< repulsion strength k_r
+        double gravity = 1.0;     ///< pull towards the origin
+        bool linLogMode = false;  ///< log attraction (tighter clusters)
+        double theta = 0.9;
+        std::uint64_t seed = 1;
+    };
+
+    explicit ForceAtlas2(const Graph& g) : ForceAtlas2(g, Parameters{}) {}
+    ForceAtlas2(const Graph& g, Parameters params)
+        : LayoutAlgorithm(g), params_(params) {}
+
+    void run() override;
+
+private:
+    Parameters params_;
+};
+
+} // namespace rinkit

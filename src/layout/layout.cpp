@@ -1,0 +1,56 @@
+#include "src/layout/layout.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/support/random.hpp"
+
+namespace rinkit {
+
+void LayoutAlgorithm::setInitialCoordinates(std::vector<Point3> init) {
+    if (init.size() != g_.numberOfNodes()) {
+        throw std::invalid_argument("LayoutAlgorithm: initial coordinates size mismatch");
+    }
+    initial_ = std::move(init);
+}
+
+void LayoutAlgorithm::initializeCoordinates(std::uint64_t seed) {
+    const count n = g_.numberOfNodes();
+    if (!initial_.empty()) {
+        coordinates_ = initial_;
+        return;
+    }
+    coordinates_.resize(n);
+    Rng rng(seed);
+    const double radius = std::cbrt(static_cast<double>(n) + 1.0);
+    for (auto& p : coordinates_) {
+        // Uniform inside a ball of volume ~ n: keeps initial densities
+        // size-independent.
+        const Point3 dir{rng.normal(), rng.normal(), rng.normal()};
+        const double r = radius * std::cbrt(rng.real01());
+        p = dir.normalized() * r;
+    }
+}
+
+double layoutStress(const Graph& g, const std::vector<Point3>& coords) {
+    if (coords.size() != g.numberOfNodes()) {
+        throw std::invalid_argument("layoutStress: coordinate count mismatch");
+    }
+    if (g.numberOfEdges() == 0) return 0.0;
+    double total = 0.0;
+    g.forWeightedEdges([&](node u, node v, edgeweight w) {
+        const double d = w > 0.0 ? w : 1.0;
+        const double actual = coords[u].distance(coords[v]);
+        const double rel = (actual - d) / d;
+        total += rel * rel;
+    });
+    return total / static_cast<double>(g.numberOfEdges());
+}
+
+Aabb layoutBounds(const std::vector<Point3>& coords) {
+    Aabb box;
+    for (const auto& p : coords) box.expand(p);
+    return box;
+}
+
+} // namespace rinkit

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <vector>
+
+#include "src/graph/graph.hpp"
+#include "src/support/point3.hpp"
+
+namespace rinkit {
+
+/// Base class for 3D graph-layout algorithms.
+///
+/// Mirrors the NetworKit viz module the paper extends (Listing 1:
+/// `MaxentStress(G, 3, 3); run(); getCoordinates()`). Layouts can be
+/// seeded with initial coordinates — the RIN widget seeds the
+/// Maxent-Stress layout with the previous frame's result so that small
+/// trajectory steps produce small visual movements.
+class LayoutAlgorithm {
+public:
+    explicit LayoutAlgorithm(const Graph& g) : g_(g) {}
+    virtual ~LayoutAlgorithm() = default;
+
+    LayoutAlgorithm(const LayoutAlgorithm&) = delete;
+    LayoutAlgorithm& operator=(const LayoutAlgorithm&) = delete;
+
+    virtual void run() = 0;
+
+    bool hasRun() const { return hasRun_; }
+
+    /// One 3D coordinate per node. Requires run().
+    const std::vector<Point3>& getCoordinates() const {
+        if (!hasRun_) throw std::logic_error("LayoutAlgorithm: call run() first");
+        return coordinates_;
+    }
+
+    /// Seeds the layout; must match the node count. Cleared by run() into
+    /// the result.
+    void setInitialCoordinates(std::vector<Point3> init);
+
+protected:
+    /// Random initial coordinates on a sphere scaled to the graph size,
+    /// unless setInitialCoordinates() provided a seed layout.
+    void initializeCoordinates(std::uint64_t seed);
+
+    const Graph& g_;
+    std::vector<Point3> coordinates_;
+    std::vector<Point3> initial_;
+    bool hasRun_ = false;
+};
+
+/// Normalized stress of a layout: sum over edges of
+/// ((||xu - xv|| - d_uv) / d_uv)^2 / m. The quality metric used by the
+/// layout ablation bench (lower = geometry better matches graph distances).
+double layoutStress(const Graph& g, const std::vector<Point3>& coords);
+
+/// Bounding box of a layout (for scene framing and tests).
+Aabb layoutBounds(const std::vector<Point3>& coords);
+
+} // namespace rinkit

@@ -1,0 +1,106 @@
+#include "src/layout/maxent_stress.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/layout/octree.hpp"
+#include "src/support/parallel.hpp"
+
+namespace rinkit {
+
+MaxentStress::MaxentStress(const Graph& g, count dimensions, Parameters params)
+    : LayoutAlgorithm(g), params_(params) {
+    if (dimensions != 3) {
+        throw std::invalid_argument("MaxentStress: only 3D layouts are supported");
+    }
+}
+
+void MaxentStress::run() {
+    const count n = g_.numberOfNodes();
+    iterationsDone_ = 0;
+    initializeCoordinates(params_.seed);
+    if (n <= 1) {
+        hasRun_ = true;
+        return;
+    }
+
+    // Precompute per-node stress weights rho_u = sum_{v in N(u)} 1/d_uv^2.
+    std::vector<double> rho(n, 0.0);
+    g_.parallelForNodes([&](node u) {
+        double sum = 0.0;
+        g_.forWeightedNeighborsOf(u, [&](node, node v, edgeweight w) {
+            (void)v;
+            const double d = w > 0.0 ? w : 1.0;
+            sum += 1.0 / (d * d);
+        });
+        rho[u] = sum;
+    });
+
+    std::vector<Point3> next(n);
+    double alpha = params_.alpha0;
+    const double qExp = params_.q;
+
+    for (count it = 0; it < params_.iterations; ++it) {
+        if (it > 0 && it % params_.phaseLength == 0) alpha *= params_.alphaDecay;
+
+        // Rebuild the octree on current positions for the repulsion term.
+        const Octree tree(coordinates_);
+
+        double totalMove = 0.0;
+#pragma omp parallel for schedule(dynamic, 64) reduction(+ : totalMove)
+        for (long long ui = 0; ui < static_cast<long long>(n); ++ui) {
+            const node u = static_cast<node>(ui);
+            const Point3 xu = coordinates_[u];
+
+            Point3 attract{};
+            g_.forWeightedNeighborsOf(u, [&](node, node v, edgeweight w) {
+                const double d = w > 0.0 ? w : 1.0;
+                const double wuv = 1.0 / (d * d);
+                const Point3 diff = xu - coordinates_[v];
+                const double dist = std::max(diff.norm(), 1e-9);
+                attract += wuv * (coordinates_[v] + diff * (d / dist));
+            });
+
+            if (rho[u] == 0.0) {
+                // Isolated node: only the maxent term acts; nudge away from
+                // the global barycenter approximation.
+                next[u] = xu;
+                continue;
+            }
+
+            // Maxent repulsion over non-neighbors via Barnes-Hut. Neighbor
+            // contributions are subtracted exactly afterwards (cheaper than
+            // filtering inside the tree walk).
+            Point3 repulse{};
+            tree.forCells(xu, params_.theta, [&](const Point3& p, double mass, bool) {
+                const Point3 diff = xu - p;
+                const double dist2 = std::max(diff.squaredNorm(), 1e-12);
+                // (x_u - p) / ||.||^(q+2) ; for q=0 this is the entropy gradient.
+                const double scale =
+                    qExp == 0.0 ? 1.0 / dist2
+                                : 1.0 / std::pow(dist2, 0.5 * qExp + 1.0);
+                repulse += diff * (mass * scale);
+            });
+            g_.forWeightedNeighborsOf(u, [&](node, node v, edgeweight) {
+                const Point3 diff = xu - coordinates_[v];
+                const double dist2 = std::max(diff.squaredNorm(), 1e-12);
+                const double scale =
+                    qExp == 0.0 ? 1.0 / dist2
+                                : 1.0 / std::pow(dist2, 0.5 * qExp + 1.0);
+                repulse -= diff * scale;
+            });
+
+            const Point3 result = (attract + repulse * alpha) / rho[u];
+            next[u] = result;
+            totalMove += result.distance(xu);
+        }
+
+        coordinates_.swap(next);
+        ++iterationsDone_;
+        (void)totalMove;
+        if (totalMove / static_cast<double>(n) < params_.convergenceTol) break;
+    }
+    hasRun_ = true;
+}
+
+} // namespace rinkit

@@ -1,0 +1,70 @@
+#include "src/layout/octree.hpp"
+
+#include <algorithm>
+
+namespace rinkit {
+
+Octree::Octree(const std::vector<Point3>& points, count leafCapacity)
+    : points_(points) {
+    if (points_.empty()) return;
+
+    Aabb box;
+    for (const auto& p : points_) box.expand(p);
+    const Point3 ext = box.extent();
+    const double halfWidth =
+        std::max({ext.x, ext.y, ext.z, 1e-9}) * 0.5 + 1e-9; // cube covering all
+
+    Cell root;
+    root.center = box.center();
+    root.halfWidth = halfWidth;
+    nodes_.push_back(root);
+
+    std::vector<index> all(points_.size());
+    for (index i = 0; i < points_.size(); ++i) all[i] = i;
+    build(0, all, std::max<count>(leafCapacity, 1));
+}
+
+void Octree::build(index cellIdx, std::vector<index>& pts, count leafCapacity) {
+    // Compute mass/barycenter for this cell.
+    {
+        Cell& c = nodes_[cellIdx];
+        c.mass = static_cast<double>(pts.size());
+        Point3 sum;
+        for (index pi : pts) sum += points_[pi];
+        c.barycenter = c.mass > 0.0 ? sum / c.mass : c.center;
+    }
+
+    if (pts.size() <= leafCapacity || nodes_[cellIdx].halfWidth < 1e-12) {
+        nodes_[cellIdx].pointIndices = std::move(pts);
+        return;
+    }
+
+    // Partition points into octants.
+    const Point3 center = nodes_[cellIdx].center;
+    const double childHalf = nodes_[cellIdx].halfWidth * 0.5;
+    std::vector<index> buckets[8];
+    for (index pi : pts) {
+        const Point3& p = points_[pi];
+        const int oct = (p.x >= center.x ? 1 : 0) | (p.y >= center.y ? 2 : 0) |
+                        (p.z >= center.z ? 4 : 0);
+        buckets[oct].push_back(pi);
+    }
+    pts.clear();
+    pts.shrink_to_fit();
+
+    const int firstChild = static_cast<int>(nodes_.size());
+    nodes_[cellIdx].firstChild = firstChild;
+    for (int k = 0; k < 8; ++k) {
+        Cell child;
+        child.center = center + Point3{(k & 1) ? childHalf : -childHalf,
+                                       (k & 2) ? childHalf : -childHalf,
+                                       (k & 4) ? childHalf : -childHalf};
+        child.halfWidth = childHalf;
+        nodes_.push_back(child);
+    }
+    for (int k = 0; k < 8; ++k) {
+        build(static_cast<index>(firstChild + k), buckets[k], leafCapacity);
+    }
+}
+
+} // namespace rinkit

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <vector>
+
+#include "src/support/point3.hpp"
+#include "src/support/types.hpp"
+
+namespace rinkit {
+
+/// Barnes-Hut octree over a point set.
+///
+/// Shared by all force-based layout algorithms: the O(n^2) all-pairs
+/// repulsion term (maxent repulsion in Maxent-Stress, electric repulsion in
+/// FR/FA2) is approximated by treating far-away cells as single
+/// pseudo-points at their barycenter, controlled by the opening angle
+/// theta. This is what lets the plotlybridge path scale to the 50k-node
+/// graphs of Fig. 4.
+class Octree {
+public:
+    /// Builds the tree over @p points. @p leafCapacity bounds points per leaf.
+    explicit Octree(const std::vector<Point3>& points, count leafCapacity = 16);
+
+    /// Calls f(barycenter, mass, isLeafPoint) for every cell that satisfies
+    /// the opening criterion (cellWidth / distance < theta) as seen from
+    /// @p query, descending into cells that do not. Points colocated with
+    /// the query (distance < eps) are skipped.
+    template <typename F>
+    void forCells(const Point3& query, double theta, F&& f) const {
+        if (nodes_.empty()) return;
+        walk(0, query, theta, f);
+    }
+
+    count size() const { return points_.size(); }
+
+    /// Number of tree cells (for white-box tests).
+    count cellCount() const { return nodes_.size(); }
+
+private:
+    struct Cell {
+        Point3 center;     // geometric center of the cell cube
+        double halfWidth;  // half edge length
+        Point3 barycenter; // center of mass of contained points
+        double mass = 0.0; // number of contained points
+        int firstChild = -1; // index of first of 8 children; -1 for leaf
+        std::vector<index> pointIndices; // filled for leaves only
+    };
+
+    void build(index cellIdx, std::vector<index>& pts, count leafCapacity);
+
+    template <typename F>
+    void walk(index cellIdx, const Point3& query, double theta, F&& f) const {
+        const Cell& c = nodes_[cellIdx];
+        if (c.mass == 0.0) return;
+        const double dist = c.barycenter.distance(query);
+        if (c.firstChild < 0) {
+            // Leaf: exact per-point interaction.
+            for (index pi : c.pointIndices) {
+                const Point3& p = points_[pi];
+                if (p.squaredDistance(query) > 1e-18) f(p, 1.0, true);
+            }
+            return;
+        }
+        if (dist > 1e-9 && (2.0 * c.halfWidth) / dist < theta) {
+            f(c.barycenter, c.mass, false);
+            return;
+        }
+        for (int k = 0; k < 8; ++k) {
+            walk(static_cast<index>(c.firstChild + k), query, theta, f);
+        }
+    }
+
+    std::vector<Point3> points_;
+    std::vector<Cell> nodes_;
+};
+
+} // namespace rinkit

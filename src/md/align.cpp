@@ -1,0 +1,190 @@
+#include "src/md/align.hpp"
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+namespace rinkit::md {
+
+namespace {
+
+using Mat3 = std::array<std::array<double, 3>, 3>;
+
+Mat3 multiply(const Mat3& a, const Mat3& b) {
+    Mat3 c{};
+    for (int i = 0; i < 3; ++i) {
+        for (int j = 0; j < 3; ++j) {
+            for (int k = 0; k < 3; ++k) c[i][j] += a[i][k] * b[k][j];
+        }
+    }
+    return c;
+}
+
+Mat3 transpose(const Mat3& a) {
+    Mat3 t{};
+    for (int i = 0; i < 3; ++i) {
+        for (int j = 0; j < 3; ++j) t[i][j] = a[j][i];
+    }
+    return t;
+}
+
+double determinant(const Mat3& m) {
+    return m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1]) -
+           m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0]) +
+           m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0]);
+}
+
+/// Cyclic Jacobi eigendecomposition of a symmetric 3x3 matrix:
+/// A = V diag(w) V^T with V's columns the eigenvectors.
+void jacobiEigen(Mat3 a, std::array<double, 3>& w, Mat3& v) {
+    v = {{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}}};
+    for (int sweep = 0; sweep < 64; ++sweep) {
+        double off = 0.0;
+        for (int p = 0; p < 3; ++p) {
+            for (int q = p + 1; q < 3; ++q) off += a[p][q] * a[p][q];
+        }
+        if (off < 1e-24) break;
+        for (int p = 0; p < 3; ++p) {
+            for (int q = p + 1; q < 3; ++q) {
+                if (std::abs(a[p][q]) < 1e-18) continue;
+                const double theta = (a[q][q] - a[p][p]) / (2.0 * a[p][q]);
+                const double t = (theta >= 0 ? 1.0 : -1.0) /
+                                 (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+                const double c = 1.0 / std::sqrt(t * t + 1.0);
+                const double s = t * c;
+                // Rotate A in the (p, q) plane.
+                for (int k = 0; k < 3; ++k) {
+                    const double akp = a[k][p], akq = a[k][q];
+                    a[k][p] = c * akp - s * akq;
+                    a[k][q] = s * akp + c * akq;
+                }
+                for (int k = 0; k < 3; ++k) {
+                    const double apk = a[p][k], aqk = a[q][k];
+                    a[p][k] = c * apk - s * aqk;
+                    a[q][k] = s * apk + c * aqk;
+                }
+                for (int k = 0; k < 3; ++k) {
+                    const double vkp = v[k][p], vkq = v[k][q];
+                    v[k][p] = c * vkp - s * vkq;
+                    v[k][q] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    for (int i = 0; i < 3; ++i) w[i] = a[i][i];
+}
+
+Point3 centroid(const std::vector<Point3>& pts) {
+    Point3 c;
+    for (const auto& p : pts) c += p;
+    return pts.empty() ? c : c / static_cast<double>(pts.size());
+}
+
+/// Optimal rotation R (proper, det = +1) minimizing |R*mobile - reference|
+/// for centered point sets (Kabsch via eigen-decomposition of H^T H).
+Mat3 kabschRotation(const std::vector<Point3>& refC, const std::vector<Point3>& mobC) {
+    // Covariance H = sum mob_i ref_i^T (so that R = ... maps mobile onto ref).
+    Mat3 h{};
+    for (size_t i = 0; i < refC.size(); ++i) {
+        const double m[3] = {mobC[i].x, mobC[i].y, mobC[i].z};
+        const double r[3] = {refC[i].x, refC[i].y, refC[i].z};
+        for (int a = 0; a < 3; ++a) {
+            for (int b = 0; b < 3; ++b) h[a][b] += m[a] * r[b];
+        }
+    }
+
+    // SVD via eigendecomposition: H^T H = V S^2 V^T, U = H V / s.
+    const Mat3 hth = multiply(transpose(h), h);
+    std::array<double, 3> w{};
+    Mat3 v{};
+    jacobiEigen(hth, w, v);
+
+    // Sort eigenpairs descending so the reflection fix targets the
+    // smallest singular value.
+    std::array<int, 3> order{0, 1, 2};
+    for (int i = 0; i < 3; ++i) {
+        for (int j = i + 1; j < 3; ++j) {
+            if (w[order[j]] > w[order[i]]) std::swap(order[i], order[j]);
+        }
+    }
+
+    Mat3 vs{}, us{};
+    for (int col = 0; col < 3; ++col) {
+        const int src = order[col];
+        const double s = std::sqrt(std::max(w[src], 0.0));
+        double u[3] = {0, 0, 0};
+        if (s > 1e-12) {
+            for (int row = 0; row < 3; ++row) {
+                for (int k = 0; k < 3; ++k) u[row] += h[row][k] * v[k][src];
+                u[row] /= s;
+            }
+        } else {
+            // Degenerate direction (planar/linear point sets): complete an
+            // orthonormal basis via the cross product of the first two.
+            u[0] = us[1][0] * us[2][1] - us[2][0] * us[1][1];
+            u[1] = us[2][0] * us[0][1] - us[0][0] * us[2][1];
+            u[2] = us[0][0] * us[1][1] - us[1][0] * us[0][1];
+        }
+        for (int row = 0; row < 3; ++row) {
+            vs[row][col] = v[row][src];
+            us[row][col] = u[row];
+        }
+    }
+
+    // R = V U^T maps mobile -> reference; fix reflections to keep R proper.
+    Mat3 r = multiply(vs, transpose(us));
+    if (determinant(r) < 0.0) {
+        for (int row = 0; row < 3; ++row) vs[row][2] = -vs[row][2];
+        r = multiply(vs, transpose(us));
+    }
+    return r;
+}
+
+Point3 apply(const Mat3& r, const Point3& p) {
+    return {r[0][0] * p.x + r[0][1] * p.y + r[0][2] * p.z,
+            r[1][0] * p.x + r[1][1] * p.y + r[1][2] * p.z,
+            r[2][0] * p.x + r[2][1] * p.y + r[2][2] * p.z};
+}
+
+} // namespace
+
+std::vector<Point3> superpose(const std::vector<Point3>& reference,
+                              const std::vector<Point3>& mobile) {
+    if (reference.size() != mobile.size()) {
+        throw std::invalid_argument("superpose: point counts differ");
+    }
+    if (reference.empty()) return {};
+    const Point3 cRef = centroid(reference);
+    const Point3 cMob = centroid(mobile);
+    std::vector<Point3> refC(reference.size()), mobC(mobile.size());
+    for (size_t i = 0; i < reference.size(); ++i) {
+        refC[i] = reference[i] - cRef;
+        mobC[i] = mobile[i] - cMob;
+    }
+    const Mat3 r = kabschRotation(refC, mobC);
+    std::vector<Point3> out(mobile.size());
+    for (size_t i = 0; i < mobile.size(); ++i) out[i] = apply(r, mobC[i]) + cRef;
+    return out;
+}
+
+double rmsd(const std::vector<Point3>& reference, const std::vector<Point3>& mobile) {
+    const auto aligned = superpose(reference, mobile);
+    if (aligned.empty()) return 0.0;
+    double sum = 0.0;
+    for (size_t i = 0; i < reference.size(); ++i) {
+        sum += aligned[i].squaredDistance(reference[i]);
+    }
+    return std::sqrt(sum / static_cast<double>(reference.size()));
+}
+
+std::vector<double> rmsdSeries(const Trajectory& traj, index referenceFrame) {
+    const auto ref = traj.proteinAtFrame(referenceFrame).alphaCarbons();
+    std::vector<double> out;
+    out.reserve(traj.frameCount());
+    for (index f = 0; f < traj.frameCount(); ++f) {
+        out.push_back(rmsd(ref, traj.proteinAtFrame(f).alphaCarbons()));
+    }
+    return out;
+}
+
+} // namespace rinkit::md

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <vector>
+
+#include "src/md/trajectory.hpp"
+#include "src/support/point3.hpp"
+
+namespace rinkit::md {
+
+/// Structure superposition and RMSD — the standard MD-analysis pair
+/// (MDTraj's `superpose`/`rmsd` in the paper's pipeline).
+///
+/// Kabsch algorithm: the optimal rotation is found from the covariance
+/// matrix of the centered point sets via a cyclic-Jacobi eigen-solve of
+/// C^T C (no external linear-algebra dependency). Handles the reflection
+/// case so the returned transform is a proper rotation.
+
+/// Root-mean-square deviation after optimal superposition of @p mobile
+/// onto @p reference (same size required).
+double rmsd(const std::vector<Point3>& reference, const std::vector<Point3>& mobile);
+
+/// Returns @p mobile optimally superposed onto @p reference.
+std::vector<Point3> superpose(const std::vector<Point3>& reference,
+                              const std::vector<Point3>& mobile);
+
+/// C-alpha RMSD of every frame of @p traj against frame @p referenceFrame.
+/// The classic folding trace: flat for fluctuation, spiking at unfolding.
+std::vector<double> rmsdSeries(const Trajectory& traj, index referenceFrame = 0);
+
+} // namespace rinkit::md

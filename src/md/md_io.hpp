@@ -1,0 +1,32 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "src/md/protein.hpp"
+#include "src/md/trajectory.hpp"
+
+/// Structure/trajectory file formats: a pragmatic subset of PDB for single
+/// conformations and XYZ for multi-frame trajectories. Enough to exchange
+/// data with standard viewers and to persist synthetic trajectories.
+namespace rinkit::md::io {
+
+/// Writes ATOM records (one MODEL). Residue and atom numbering is 1-based.
+void writePdb(const Protein& p, std::ostream& out);
+void writePdbFile(const Protein& p, const std::string& path);
+
+/// Reads ATOM records; residues are split on the residue sequence number.
+/// HETATM and all other records are ignored.
+Protein readPdb(std::istream& in, const std::string& name = "pdb");
+Protein readPdbFile(const std::string& path);
+
+/// Multi-frame XYZ: per frame "natoms\ncomment\n(elem x y z)*".
+void writeXyzTrajectory(const Trajectory& traj, std::ostream& out);
+void writeXyzTrajectoryFile(const Trajectory& traj, const std::string& path);
+
+/// Reads frames from XYZ into a trajectory over @p topology (atom counts
+/// must match).
+Trajectory readXyzTrajectory(std::istream& in, const Protein& topology);
+Trajectory readXyzTrajectoryFile(const std::string& path, const Protein& topology);
+
+} // namespace rinkit::md::io

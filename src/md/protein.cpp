@@ -1,0 +1,89 @@
+#include "src/md/protein.hpp"
+
+#include <stdexcept>
+
+namespace rinkit::md {
+
+const Point3& Residue::alphaCarbon() const {
+    for (const auto& a : atoms) {
+        if (a.name == "CA") return a.position;
+    }
+    throw std::runtime_error("Residue: no C-alpha atom");
+}
+
+Point3 Residue::centerOfMass() const {
+    if (atoms.empty()) throw std::runtime_error("Residue: no atoms");
+    Point3 sum;
+    for (const auto& a : atoms) sum += a.position;
+    return sum / static_cast<double>(atoms.size());
+}
+
+double Residue::minimumDistance(const Residue& o) const {
+    double best = infdist;
+    for (const auto& a : atoms) {
+        for (const auto& b : o.atoms) {
+            best = std::min(best, a.position.squaredDistance(b.position));
+        }
+    }
+    return best == infdist ? infdist : std::sqrt(best);
+}
+
+count Protein::atomCount() const {
+    count total = 0;
+    for (const auto& r : residues_) total += r.atoms.size();
+    return total;
+}
+
+std::vector<Point3> Protein::alphaCarbons() const {
+    std::vector<Point3> out;
+    out.reserve(residues_.size());
+    for (const auto& r : residues_) out.push_back(r.alphaCarbon());
+    return out;
+}
+
+std::vector<Point3> Protein::atomPositions() const {
+    std::vector<Point3> out;
+    out.reserve(atomCount());
+    for (const auto& r : residues_) {
+        for (const auto& a : r.atoms) out.push_back(a.position);
+    }
+    return out;
+}
+
+void Protein::setAtomPositions(const std::vector<Point3>& flat) {
+    if (flat.size() != atomCount()) {
+        throw std::invalid_argument("Protein: atom position count mismatch");
+    }
+    count i = 0;
+    for (auto& r : residues_) {
+        for (auto& a : r.atoms) a.position = flat[i++];
+    }
+}
+
+Aabb Protein::bounds() const {
+    Aabb box;
+    for (const auto& r : residues_) {
+        for (const auto& a : r.atoms) box.expand(a.position);
+    }
+    return box;
+}
+
+std::vector<index> Protein::secondaryStructureLabels() const {
+    std::vector<index> out;
+    out.reserve(residues_.size());
+    for (const auto& r : residues_) out.push_back(r.ssIndex);
+    return out;
+}
+
+double Protein::radiusOfGyration() const {
+    const auto cas = alphaCarbons();
+    if (cas.empty()) return 0.0;
+    Point3 mean;
+    for (const auto& p : cas) mean += p;
+    mean /= static_cast<double>(cas.size());
+    double sum = 0.0;
+    for (const auto& p : cas) sum += p.squaredDistance(mean);
+    return std::sqrt(sum / static_cast<double>(cas.size()));
+}
+
+} // namespace rinkit::md

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/support/point3.hpp"
+#include "src/support/types.hpp"
+
+namespace rinkit::md {
+
+/// Secondary-structure class of a residue. Used both by the geometry
+/// builders (which place atoms accordingly) and by the Fig. 3 style
+/// analyses ("communities track the alpha-helices").
+enum class SecondaryStructure { Helix, Strand, Coil };
+
+/// One atom: a name (PDB convention: "CA", "CB", "N", "C", "O"), an element
+/// symbol and a position in Angstroms.
+struct Atom {
+    std::string name;
+    std::string element;
+    Point3 position;
+};
+
+/// One amino-acid residue: a 3-letter code, its atoms, and the secondary
+/// structure element it belongs to. `ssIndex` numbers the structure
+/// elements consecutively (helix 0, helix 1, ...) so tests can compare
+/// detected communities against them.
+struct Residue {
+    std::string name = "ALA";
+    std::vector<Atom> atoms;
+    SecondaryStructure ss = SecondaryStructure::Coil;
+    index ssIndex = 0;
+
+    /// Position of the C-alpha atom; throws if the residue has none.
+    const Point3& alphaCarbon() const;
+
+    /// Unweighted centroid of all atoms (all-atom center of mass with unit
+    /// masses; adequate for contact detection).
+    Point3 centerOfMass() const;
+
+    /// Smallest distance between any atom of *this and any atom of @p o.
+    double minimumDistance(const Residue& o) const;
+};
+
+/// A protein conformation: a chain of residues with coordinates.
+///
+/// This is the static structure; time series of conformations live in
+/// md::Trajectory. The RIN pipeline consumes Protein through the three
+/// distance criteria only, so any source (synthetic builder, PDB file)
+/// works interchangeably.
+class Protein {
+public:
+    Protein() = default;
+    Protein(std::string name, std::vector<Residue> residues)
+        : name_(std::move(name)), residues_(std::move(residues)) {}
+
+    const std::string& name() const { return name_; }
+    count size() const { return residues_.size(); }
+    const Residue& residue(index i) const { return residues_.at(i); }
+    Residue& residue(index i) { return residues_.at(i); }
+    const std::vector<Residue>& residues() const { return residues_; }
+
+    /// Total number of atoms.
+    count atomCount() const;
+
+    /// C-alpha positions of all residues, in chain order.
+    std::vector<Point3> alphaCarbons() const;
+
+    /// Flat list of all atom positions (chain order, then atom order).
+    std::vector<Point3> atomPositions() const;
+
+    /// Replaces all atom positions from a flat list (inverse of
+    /// atomPositions()); throws if the count does not match.
+    void setAtomPositions(const std::vector<Point3>& flat);
+
+    /// Geometric bounding box.
+    Aabb bounds() const;
+
+    /// Secondary-structure element index per residue.
+    std::vector<index> secondaryStructureLabels() const;
+
+    /// Radius of gyration of the C-alpha trace — the classic folding
+    /// order parameter; synthetic unfolding visibly increases it.
+    double radiusOfGyration() const;
+
+private:
+    std::string name_;
+    std::vector<Residue> residues_;
+};
+
+} // namespace rinkit::md

@@ -1,0 +1,270 @@
+#include "src/md/synthetic.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rinkit::md {
+
+namespace {
+
+constexpr double kHelixRise = 1.5;    // A per residue along the axis
+constexpr double kHelixTwist = 100.0; // degrees per residue
+constexpr double kHelixRadius = 2.3;  // A, C-alpha radius
+constexpr double kStrandRise = 3.3;   // A per residue
+constexpr double kCoilSpacing = 3.6;  // A between consecutive coil CAs
+constexpr double kLaneSpacing = 9.0;  // A between packed segment axes
+constexpr double kPi = 3.14159265358979323846;
+
+/// The 20 standard residues, cycled through for variety in PDB output.
+const char* kResidueNames[] = {"ALA", "ARG", "ASN", "ASP", "CYS", "GLN", "GLU",
+                               "GLY", "HIS", "ILE", "LEU", "LYS", "MET", "PHE",
+                               "PRO", "SER", "THR", "TRP", "TYR", "VAL"};
+
+/// C-alpha trace of one segment laid along +z or -z in its lane.
+std::vector<Point3> segmentTrace(const Segment& seg, const Point3& laneOrigin,
+                                 bool reversed) {
+    std::vector<Point3> cas;
+    cas.reserve(seg.length);
+    for (count j = 0; j < seg.length; ++j) {
+        const double t = static_cast<double>(j);
+        Point3 p;
+        if (seg.type == SecondaryStructure::Helix) {
+            const double angle = t * kHelixTwist * kPi / 180.0;
+            p = {kHelixRadius * std::cos(angle), kHelixRadius * std::sin(angle),
+                 t * kHelixRise};
+        } else { // Strand (coil handled by the caller as a connector)
+            p = {((j % 2 == 0) ? 0.5 : -0.5), 0.0, t * kStrandRise};
+        }
+        if (reversed) p.z = -p.z;
+        cas.push_back(laneOrigin + p);
+    }
+    return cas;
+}
+
+/// Decorates a C-alpha trace with N, CA, C, O, CB atoms per residue.
+std::vector<Residue> decorate(const std::vector<Point3>& cas,
+                              const std::vector<SecondaryStructure>& ss,
+                              const std::vector<index>& ssIdx) {
+    const count n = cas.size();
+    // Barycenter: side chains (CB) point away from it, mimicking the
+    // hydrophobic core packing of a folded protein.
+    Point3 center;
+    for (const auto& p : cas) center += p;
+    if (n > 0) center /= static_cast<double>(n);
+
+    std::vector<Residue> residues(n);
+    for (count i = 0; i < n; ++i) {
+        // Chain tangent from neighboring CAs.
+        const Point3 prev = i > 0 ? cas[i - 1] : cas[i];
+        const Point3 next = i + 1 < n ? cas[i + 1] : cas[i];
+        Point3 tangent = (next - prev).normalized();
+        if (tangent.norm() == 0.0) tangent = {0, 0, 1};
+        Point3 outward = (cas[i] - center).normalized();
+        if (outward.norm() == 0.0) outward = {1, 0, 0};
+        // Orthogonalize outward against the tangent.
+        Point3 normal = (outward - tangent * outward.dot(tangent)).normalized();
+        if (normal.norm() == 0.0) normal = tangent.cross(Point3{0, 0, 1}).normalized();
+        if (normal.norm() == 0.0) normal = {1, 0, 0};
+
+        Residue& r = residues[i];
+        r.name = kResidueNames[i % 20];
+        r.ss = ss[i];
+        r.ssIndex = ssIdx[i];
+        r.atoms = {
+            {"N", "N", cas[i] - tangent * 1.2},
+            {"CA", "C", cas[i]},
+            {"C", "C", cas[i] + tangent * 1.2},
+            {"O", "O", cas[i] + tangent * 1.2 + normal * 1.0},
+            {"CB", "C", cas[i] + normal * 1.53},
+        };
+    }
+    return residues;
+}
+
+} // namespace
+
+Protein buildProtein(const std::string& name, const std::vector<Segment>& blueprint) {
+    if (blueprint.empty()) throw std::invalid_argument("buildProtein: empty blueprint");
+    for (const auto& seg : blueprint) {
+        if (seg.length == 0) throw std::invalid_argument("buildProtein: empty segment");
+    }
+
+    // Pass 1: place all structured (helix/strand) segments in packed lanes;
+    // antiparallel neighbors so chain ends meet at alternating z sides.
+    std::vector<std::vector<Point3>> traces(blueprint.size());
+    count structuredSeen = 0;
+    for (count si = 0; si < blueprint.size(); ++si) {
+        const Segment& seg = blueprint[si];
+        if (seg.type == SecondaryStructure::Coil) continue;
+        const count lane = structuredSeen++;
+        const bool reversed = (lane % 2 == 1);
+        const double rise = seg.type == SecondaryStructure::Helix ? kHelixRise : kStrandRise;
+        const Point3 origin{static_cast<double>(lane % 3) * kLaneSpacing,
+                            static_cast<double>(lane / 3) * kLaneSpacing,
+                            reversed ? rise * static_cast<double>(seg.length - 1) : 0.0};
+        traces[si] = segmentTrace(seg, origin, reversed);
+    }
+
+    // Pass 2: emit the chain, filling coils between the actual anchor CAs
+    // of their neighboring structured segments.
+    std::vector<Point3> cas;
+    std::vector<SecondaryStructure> ss;
+    std::vector<index> ssIdx;
+
+    auto nextAnchor = [&](count si) -> const Point3* {
+        for (count k = si + 1; k < blueprint.size(); ++k) {
+            if (!traces[k].empty()) return &traces[k].front();
+        }
+        return nullptr;
+    };
+
+    for (count si = 0; si < blueprint.size(); ++si) {
+        const Segment& seg = blueprint[si];
+        if (seg.type != SecondaryStructure::Coil) {
+            for (const auto& p : traces[si]) {
+                cas.push_back(p);
+                ss.push_back(seg.type);
+                ssIdx.push_back(static_cast<index>(si));
+            }
+            continue;
+        }
+        const Point3* after = nextAnchor(si);
+        const Point3* before = cas.empty() ? nullptr : &cas.back();
+        Point3 from, to;
+        if (before && after) {
+            from = *before;
+            to = *after;
+        } else if (after) { // leading coil: dangle below the first segment
+            to = *after;
+            from = to - Point3{0, 0, kCoilSpacing * static_cast<double>(seg.length + 1)};
+        } else if (before) { // trailing coil: dangle beyond the last segment
+            from = *before;
+            to = from + Point3{0, 0, kCoilSpacing * static_cast<double>(seg.length + 1)};
+        } else { // coil-only protein: straight chain
+            from = {0, 0, 0};
+            to = {0, 0, kCoilSpacing * static_cast<double>(seg.length + 1)};
+        }
+        for (count j = 0; j < seg.length; ++j) {
+            const double f =
+                static_cast<double>(j + 1) / static_cast<double>(seg.length + 1);
+            // Interpolate with a perpendicular bulge so the linker arcs
+            // around rather than through the packed segments.
+            Point3 p = from + (to - from) * f;
+            p.z += 2.0 * std::sin(f * kPi);
+            cas.push_back(p);
+            ss.push_back(SecondaryStructure::Coil);
+            ssIdx.push_back(static_cast<index>(si));
+        }
+    }
+
+    // Compact ssIndex values to 0..(#segments-1) in order of appearance.
+    // (They currently equal blueprint indices, which are already unique and
+    // ordered, so renumber densely.)
+    std::vector<index> remap(blueprint.size(), static_cast<index>(-1));
+    index next = 0;
+    for (auto& s : ssIdx) {
+        if (remap[s] == static_cast<index>(-1)) remap[s] = next++;
+        s = remap[s];
+    }
+
+    return Protein(name, decorate(cas, ss, ssIdx));
+}
+
+Protein alpha3D() {
+    // Three ~21-residue helices with short loops: 73 residues total,
+    // matching the real alpha-3D architecture.
+    return buildProtein("alpha3D", {
+                                       {SecondaryStructure::Helix, 21},
+                                       {SecondaryStructure::Coil, 5},
+                                       {SecondaryStructure::Helix, 21},
+                                       {SecondaryStructure::Coil, 5},
+                                       {SecondaryStructure::Helix, 21},
+                                   });
+}
+
+Protein chignolin() {
+    return buildProtein("chignolin", {
+                                         {SecondaryStructure::Strand, 4},
+                                         {SecondaryStructure::Coil, 2},
+                                         {SecondaryStructure::Strand, 4},
+                                     });
+}
+
+Protein villinHeadpiece() {
+    return buildProtein("villin", {
+                                      {SecondaryStructure::Helix, 9},
+                                      {SecondaryStructure::Coil, 3},
+                                      {SecondaryStructure::Helix, 9},
+                                      {SecondaryStructure::Coil, 3},
+                                      {SecondaryStructure::Helix, 11},
+                                  });
+}
+
+Protein wwDomain() {
+    return buildProtein("ww-domain", {
+                                         {SecondaryStructure::Coil, 3},
+                                         {SecondaryStructure::Strand, 7},
+                                         {SecondaryStructure::Coil, 3},
+                                         {SecondaryStructure::Strand, 8},
+                                         {SecondaryStructure::Coil, 3},
+                                         {SecondaryStructure::Strand, 7},
+                                         {SecondaryStructure::Coil, 4},
+                                     });
+}
+
+Protein lambdaRepressor() {
+    return buildProtein("lambda-repressor", {
+                                                {SecondaryStructure::Helix, 14},
+                                                {SecondaryStructure::Coil, 3},
+                                                {SecondaryStructure::Helix, 14},
+                                                {SecondaryStructure::Coil, 3},
+                                                {SecondaryStructure::Helix, 13},
+                                                {SecondaryStructure::Coil, 3},
+                                                {SecondaryStructure::Helix, 14},
+                                                {SecondaryStructure::Coil, 3},
+                                                {SecondaryStructure::Helix, 13},
+                                            });
+}
+
+Protein helixBundle(count residues, count helixLength, const std::string& name) {
+    if (residues < helixLength + 1) {
+        throw std::invalid_argument("helixBundle: too few residues");
+    }
+    constexpr count kLoop = 4;
+    std::vector<Segment> blueprint;
+    count placed = 0;
+    bool first = true;
+    while (placed < residues) {
+        if (!first) {
+            const count loop = std::min<count>(kLoop, residues - placed);
+            blueprint.push_back({SecondaryStructure::Coil, loop});
+            placed += loop;
+            if (placed >= residues) break;
+        }
+        first = false;
+        const count helix = std::min<count>(helixLength, residues - placed);
+        blueprint.push_back({SecondaryStructure::Helix, helix});
+        placed += helix;
+    }
+    return buildProtein(name, blueprint);
+}
+
+Protein extendedConformation(const Protein& p) {
+    const count n = p.size();
+    std::vector<Point3> cas(n);
+    std::vector<SecondaryStructure> ss(n);
+    std::vector<index> ssIdx(n);
+    for (count i = 0; i < n; ++i) {
+        // Fully extended chain with a slight zigzag (mimics an unfolded
+        // polypeptide; no long-range contacts survive).
+        cas[i] = {((i % 2 == 0) ? 1.0 : -1.0), 0.0,
+                  static_cast<double>(i) * kStrandRise};
+        ss[i] = p.residue(static_cast<index>(i)).ss;
+        ssIdx[i] = p.residue(static_cast<index>(i)).ssIndex;
+    }
+    auto residues = decorate(cas, ss, ssIdx);
+    for (count i = 0; i < n; ++i) residues[i].name = p.residue(static_cast<index>(i)).name;
+    return Protein(p.name() + "-extended", std::move(residues));
+}
+
+} // namespace rinkit::md

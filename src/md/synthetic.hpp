@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/md/protein.hpp"
+
+namespace rinkit::md {
+
+/// Synthetic protein structures with idealized secondary-structure
+/// geometry.
+///
+/// SUBSTITUTION (see DESIGN.md): the paper analyses MD trajectories of the
+/// fast-folding proteins of Lindorff-Larsen et al. 2011 (e.g. alpha-3D).
+/// That data is proprietary (D. E. Shaw Research). The RIN pipeline only
+/// consumes per-residue atom coordinates, so we generate proteins with
+/// textbook geometry instead: alpha-helices (1.5 A rise, 100 deg twist,
+/// 2.3 A radius), beta-strands (3.3 A rise, zigzag), and coil linkers;
+/// helix bundles are packed side by side at ~10 A spacing like the real
+/// alpha-3D three-helix bundle. Residues carry five backbone/side-chain
+/// atoms (N, CA, C, O, CB) so that all three RIN distance criteria
+/// (C-alpha / center-of-mass / minimum distance) are meaningfully distinct.
+
+/// Blueprint of one secondary-structure segment.
+struct Segment {
+    SecondaryStructure type = SecondaryStructure::Helix;
+    count length = 10; ///< residues
+};
+
+/// Builds a protein from a segment blueprint: segments are laid out as a
+/// compactly packed bundle (helices/strands side by side, antiparallel,
+/// joined by coil linkers included in the blueprint).
+Protein buildProtein(const std::string& name, const std::vector<Segment>& blueprint);
+
+/// An alpha-3D-like 73-residue three-helix bundle (the protein of the
+/// paper's Fig. 3).
+Protein alpha3D();
+
+/// A chignolin-like 10-residue beta-hairpin (smallest fast folder).
+Protein chignolin();
+
+/// A villin-headpiece-like 35-residue three-helix subdomain.
+Protein villinHeadpiece();
+
+/// A WW-domain-like 35-residue triple-stranded beta sheet.
+Protein wwDomain();
+
+/// A lambda-repressor-like 80-residue five-helix bundle.
+Protein lambdaRepressor();
+
+/// Scalable helix bundle with approximately @p residues residues
+/// (helices of @p helixLength joined by 4-residue loops). This provides
+/// the 100-1000-node RINs of the paper's Figs. 6-8 at any size.
+Protein helixBundle(count residues, count helixLength = 18,
+                    const std::string& name = "bundle");
+
+/// Fully extended (unfolded) copy of @p p: same residues/atom counts, all
+/// segments laid out along one axis. The folding endpoint used by
+/// TrajectoryGenerator.
+Protein extendedConformation(const Protein& p);
+
+} // namespace rinkit::md

@@ -1,0 +1,81 @@
+#include "src/md/trajectory.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/md/synthetic.hpp"
+#include "src/support/random.hpp"
+
+namespace rinkit::md {
+
+void Trajectory::addFrame(std::vector<Point3> positions) {
+    if (positions.size() != topology_.atomCount()) {
+        throw std::invalid_argument("Trajectory: frame atom count mismatch");
+    }
+    frames_.push_back(std::move(positions));
+}
+
+Protein Trajectory::proteinAtFrame(index f) const {
+    Protein p = topology_;
+    p.setAtomPositions(frames_.at(f));
+    return p;
+}
+
+std::vector<double> Trajectory::radiusOfGyrationSeries() const {
+    std::vector<double> out;
+    out.reserve(frames_.size());
+    for (index f = 0; f < frames_.size(); ++f) {
+        out.push_back(proteinAtFrame(f).radiusOfGyration());
+    }
+    return out;
+}
+
+Trajectory TrajectoryGenerator::generate(const Protein& folded) const {
+    if (params_.frames == 0) throw std::invalid_argument("TrajectoryGenerator: 0 frames");
+
+    const Protein extended = extendedConformation(folded);
+    const auto foldedPos = folded.atomPositions();
+    const auto extendedPos = extended.atomPositions();
+    if (foldedPos.size() != extendedPos.size()) {
+        throw std::logic_error("TrajectoryGenerator: conformation atom mismatch");
+    }
+    const Point3 center = folded.bounds().center();
+
+    Rng rng(params_.seed);
+    Trajectory traj(folded);
+    constexpr double kPi = 3.14159265358979323846;
+
+    for (count f = 0; f < params_.frames; ++f) {
+        const double t = static_cast<double>(f) /
+                         static_cast<double>(std::max<count>(params_.frames - 1, 1));
+
+        // Folding coordinate: lambda = 1 folded, 0 extended. Smooth round
+        // trips via a squared cosine.
+        double lambda = 1.0;
+        if (params_.unfoldingEvents > 0) {
+            const double phase = t * static_cast<double>(params_.unfoldingEvents) * kPi;
+            const double c = std::cos(phase);
+            lambda = c * c;
+        }
+
+        // Breathing: slow volume oscillation around the folded center.
+        const double breathe =
+            1.0 + params_.breathingAmplitude *
+                      std::sin(2.0 * kPi * static_cast<double>(f) /
+                               static_cast<double>(std::max<count>(params_.breathingPeriod, 1)));
+
+        std::vector<Point3> pos(foldedPos.size());
+        for (count i = 0; i < pos.size(); ++i) {
+            const Point3 foldedScaled = center + (foldedPos[i] - center) * breathe;
+            Point3 p = foldedScaled * lambda + extendedPos[i] * (1.0 - lambda);
+            p += Point3{rng.normal(0.0, params_.thermalSigma),
+                        rng.normal(0.0, params_.thermalSigma),
+                        rng.normal(0.0, params_.thermalSigma)};
+            pos[i] = p;
+        }
+        traj.addFrame(std::move(pos));
+    }
+    return traj;
+}
+
+} // namespace rinkit::md

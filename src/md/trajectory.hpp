@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/md/protein.hpp"
+
+namespace rinkit::md {
+
+/// A time series of conformations of one protein — the MD "trajectory"
+/// (MDTraj role in the paper's pipeline). Frames store flat atom-position
+/// arrays against a fixed topology (the template protein).
+class Trajectory {
+public:
+    Trajectory() = default;
+    explicit Trajectory(Protein topology) : topology_(std::move(topology)) {}
+
+    const Protein& topology() const { return topology_; }
+
+    count frameCount() const { return frames_.size(); }
+
+    /// Appends a frame; must contain one position per atom of the topology.
+    void addFrame(std::vector<Point3> positions);
+
+    /// Flat atom positions of frame @p f.
+    const std::vector<Point3>& frame(index f) const { return frames_.at(f); }
+
+    /// The protein with frame @p f's coordinates applied.
+    Protein proteinAtFrame(index f) const;
+
+    /// Radius of gyration per frame (folding order parameter).
+    std::vector<double> radiusOfGyrationSeries() const;
+
+private:
+    Protein topology_;
+    std::vector<std::vector<Point3>> frames_;
+};
+
+/// Generates synthetic MD trajectories.
+///
+/// SUBSTITUTION (see DESIGN.md): stands in for the proprietary DESRES
+/// fast-folding simulations. The model superimposes, per frame:
+///   1. thermal fluctuation  - i.i.d. Gaussian displacement per atom,
+///   2. breathing            - a slow global scale oscillation,
+///   3. folding/unfolding    - interpolation between the folded input and
+///      its extended conformation, driven by a smooth folding coordinate
+///      lambda(t) in [0, 1] that performs `unfoldingEvents` round trips.
+/// The result exercises exactly what the widget consumes: per-frame
+/// coordinates whose RIN topology changes over time, drastically so at
+/// unfolding events.
+class TrajectoryGenerator {
+public:
+    struct Parameters {
+        count frames = 50;
+        double thermalSigma = 0.25;     ///< A, per-atom Gaussian noise
+        double breathingAmplitude = 0.03; ///< relative scale oscillation
+        count breathingPeriod = 20;     ///< frames per breathing cycle
+        count unfoldingEvents = 0;      ///< folding round trips over the run
+        std::uint64_t seed = 1;
+    };
+
+    TrajectoryGenerator() : TrajectoryGenerator(Parameters{}) {}
+    explicit TrajectoryGenerator(Parameters params) : params_(params) {}
+
+    /// Simulates a trajectory around the folded conformation @p folded.
+    Trajectory generate(const Protein& folded) const;
+
+private:
+    Parameters params_;
+};
+
+} // namespace rinkit::md

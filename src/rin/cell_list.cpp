@@ -1,0 +1,17 @@
+#include "src/rin/cell_list.hpp"
+
+#include <stdexcept>
+
+namespace rinkit::rin {
+
+CellList::CellList(const std::vector<Point3>& points, double cellSize)
+    : points_(points), cellSize_(cellSize) {
+    if (cellSize <= 0.0) throw std::invalid_argument("CellList: cellSize must be > 0");
+    cells_.reserve(points_.size());
+    for (index i = 0; i < points_.size(); ++i) {
+        cells_[key(coord(points_[i].x), coord(points_[i].y), coord(points_[i].z))]
+            .push_back(i);
+    }
+}
+
+} // namespace rinkit::rin

@@ -1,0 +1,90 @@
+#include "src/rin/contact_analysis.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "src/graph/graph_builder.hpp"
+
+namespace rinkit::rin {
+
+ContactAnalysis::ContactAnalysis(const md::Trajectory& traj, DistanceCriterion criterion,
+                                 double cutoff)
+    : n_(traj.topology().size()), frames_(traj.frameCount()) {
+    const RinBuilder builder(criterion);
+    edges_.resize(frames_);
+    contactNumbers_.assign(frames_, std::vector<count>(n_, 0));
+
+    std::map<std::pair<node, node>, count> counts;
+    for (index f = 0; f < frames_; ++f) {
+        const auto protein = traj.proteinAtFrame(f);
+        for (const auto& c : builder.contacts(protein, cutoff)) {
+            edges_[f].emplace_back(c.u, c.v);
+            ++contactNumbers_[f][c.u];
+            ++contactNumbers_[f][c.v];
+            ++counts[{c.u, c.v}];
+        }
+    }
+    pairCounts_.assign(counts.begin(), counts.end());
+}
+
+double ContactAnalysis::contactFrequency(node u, node v) const {
+    if (u == v || frames_ == 0) return 0.0;
+    const auto key = std::minmax(u, v);
+    const std::pair<node, node> pair{key.first, key.second};
+    const auto it = std::lower_bound(
+        pairCounts_.begin(), pairCounts_.end(), pair,
+        [](const auto& entry, const auto& p) { return entry.first < p; });
+    if (it == pairCounts_.end() || it->first != pair) return 0.0;
+    return static_cast<double>(it->second) / static_cast<double>(frames_);
+}
+
+Graph ContactAnalysis::consensusGraph(double minFraction) const {
+    GraphBuilder builder(n_);
+    const auto threshold =
+        static_cast<count>(std::ceil(minFraction * static_cast<double>(frames_)));
+    for (const auto& [pair, cnt] : pairCounts_) {
+        if (cnt >= std::max<count>(threshold, 1)) builder.addEdge(pair.first, pair.second);
+    }
+    return builder.build();
+}
+
+double ContactAnalysis::meanContactNumber(index f) const {
+    const auto& cn = contactNumbers_.at(f);
+    if (cn.empty()) return 0.0;
+    double sum = 0.0;
+    for (count c : cn) sum += static_cast<double>(c);
+    return sum / static_cast<double>(cn.size());
+}
+
+double ContactAnalysis::jaccard(index a, index b) const {
+    const auto& ea = edges_.at(a);
+    const auto& eb = edges_.at(b);
+    count inter = 0;
+    auto ia = ea.begin();
+    auto ib = eb.begin();
+    while (ia != ea.end() && ib != eb.end()) {
+        if (*ia < *ib) ++ia;
+        else if (*ib < *ia) ++ib;
+        else { ++inter; ++ia; ++ib; }
+    }
+    const count uni = ea.size() + eb.size() - inter;
+    return uni == 0 ? 1.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+std::vector<std::pair<node, node>> ContactAnalysis::transientContacts(count k) const {
+    std::vector<std::pair<double, std::pair<node, node>>> scored;
+    scored.reserve(pairCounts_.size());
+    for (const auto& [pair, cnt] : pairCounts_) {
+        const double freq = static_cast<double>(cnt) / static_cast<double>(frames_);
+        if (freq >= 1.0) continue; // permanent contacts are not transient
+        scored.emplace_back(std::abs(freq - 0.5), pair);
+    }
+    std::sort(scored.begin(), scored.end());
+    std::vector<std::pair<node, node>> out;
+    for (count i = 0; i < std::min<count>(k, scored.size()); ++i) {
+        out.push_back(scored[i].second);
+    }
+    return out;
+}
+
+} // namespace rinkit::rin

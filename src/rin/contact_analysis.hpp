@@ -1,0 +1,65 @@
+#pragma once
+
+#include <vector>
+
+#include "src/graph/graph.hpp"
+#include "src/md/trajectory.hpp"
+#include "src/rin/rin_builder.hpp"
+
+namespace rinkit::rin {
+
+/// Trajectory-level RIN analysis ("explore entire simulation data sets and
+/// their graph-based features", paper Section I).
+///
+/// Aggregates the per-frame RINs of a trajectory into the quantities the
+/// RIN literature works with: contact frequency maps (how often a residue
+/// pair is in contact across the run), per-residue contact-number series,
+/// and frame-to-frame topology similarity.
+class ContactAnalysis {
+public:
+    /// Builds RINs for every frame of @p traj at @p cutoff under
+    /// @p criterion and aggregates them.
+    ContactAnalysis(const md::Trajectory& traj, DistanceCriterion criterion,
+                    double cutoff);
+
+    count frameCount() const { return frames_; }
+    count residueCount() const { return n_; }
+
+    /// Fraction of frames in which residues u and v are in contact, in
+    /// [0, 1]. Symmetric; diagonal is 0.
+    double contactFrequency(node u, node v) const;
+
+    /// The consensus RIN: edges present in at least @p minFraction of the
+    /// frames (e.g. 0.5 = majority contacts; 1.0 = persistent core).
+    Graph consensusGraph(double minFraction) const;
+
+    /// Number of contacts of residue @p u in frame @p f.
+    count contactNumber(index f, node u) const { return contactNumbers_[f][u]; }
+
+    /// Mean number of contacts per residue in frame @p f (a folding order
+    /// parameter: drops sharply on unfolding).
+    double meanContactNumber(index f) const;
+
+    /// Jaccard similarity of the edge sets of frames @p a and @p b —
+    /// frame-to-frame RIN topology distance.
+    double jaccard(index a, index b) const;
+
+    /// Edges of frame @p f (sorted, u < v).
+    const std::vector<std::pair<node, node>>& frameEdges(index f) const {
+        return edges_.at(f);
+    }
+
+    /// Residue pairs whose contact flickers the most: contacts present in
+    /// close to half the frames (max entropy). Returns up to @p k pairs
+    /// sorted by |frequency - 0.5| ascending.
+    std::vector<std::pair<node, node>> transientContacts(count k) const;
+
+private:
+    count n_ = 0;
+    count frames_ = 0;
+    std::vector<std::vector<std::pair<node, node>>> edges_; // per frame, sorted
+    std::vector<std::vector<count>> contactNumbers_;        // per frame, per node
+    std::vector<std::pair<std::pair<node, node>, count>> pairCounts_; // sorted by pair
+};
+
+} // namespace rinkit::rin

@@ -1,0 +1,53 @@
+#include "src/rin/dynamic_rin.hpp"
+
+#include <stdexcept>
+
+namespace rinkit::rin {
+
+DynamicRin::DynamicRin(const md::Trajectory& traj, DistanceCriterion criterion,
+                       double initialCutoff, index initialFrame)
+    : traj_(traj), builder_(criterion), cutoff_(initialCutoff), frame_(initialFrame),
+      protein_(traj.proteinAtFrame(initialFrame)), graph_(protein_.size()) {
+    applyContacts();
+}
+
+DynamicRin::UpdateStats DynamicRin::applyContacts() {
+    const auto contacts = builder_.contacts(protein_, cutoff_);
+
+    // Mark desired edges; remove current edges not marked, add missing ones.
+    UpdateStats stats;
+    Graph desired(graph_.numberOfNodes());
+    for (const auto& c : contacts) desired.addEdge(c.u, c.v);
+
+    std::vector<std::pair<node, node>> toRemove;
+    graph_.forEdges([&](node u, node v) {
+        if (!desired.hasEdge(u, v)) toRemove.emplace_back(u, v);
+    });
+    for (auto [u, v] : toRemove) graph_.removeEdge(u, v);
+    stats.edgesRemoved = toRemove.size();
+
+    desired.forEdges([&](node u, node v) {
+        if (graph_.addEdge(u, v)) ++stats.edgesAdded;
+    });
+    stats.edgesTotal = graph_.numberOfEdges();
+    return stats;
+}
+
+DynamicRin::UpdateStats DynamicRin::setCutoff(double cutoff) {
+    if (cutoff <= 0.0) throw std::invalid_argument("DynamicRin: cutoff must be > 0");
+    cutoff_ = cutoff;
+    return applyContacts();
+}
+
+DynamicRin::UpdateStats DynamicRin::setFrame(index frame) {
+    if (frame >= traj_.frameCount()) throw std::out_of_range("DynamicRin: invalid frame");
+    frame_ = frame;
+    protein_ = traj_.proteinAtFrame(frame);
+    return applyContacts();
+}
+
+void DynamicRin::rebuild() {
+    graph_ = builder_.build(protein_, cutoff_);
+}
+
+} // namespace rinkit::rin

@@ -1,0 +1,58 @@
+#pragma once
+
+#include "src/graph/graph.hpp"
+#include "src/md/trajectory.hpp"
+#include "src/rin/rin_builder.hpp"
+
+namespace rinkit::rin {
+
+/// The RIN of a trajectory under interactive (frame, cutoff) control —
+/// the server-side network state behind the widget's two sliders.
+///
+/// Instead of rebuilding the graph from scratch on every slider event,
+/// DynamicRin diffs the new contact set against the current edge set and
+/// applies only the additions/removals (the "adding/removing edges" phase
+/// the paper measures in Figs. 7-8). The node set never changes — exactly
+/// as in the paper, where frame and cutoff "do not change the number of
+/// nodes in the network".
+class DynamicRin {
+public:
+    /// Statistics of one update, as reported in the paper's benchmarks.
+    struct UpdateStats {
+        count edgesAdded = 0;
+        count edgesRemoved = 0;
+        count edgesTotal = 0;
+    };
+
+    DynamicRin(const md::Trajectory& traj, DistanceCriterion criterion,
+               double initialCutoff, index initialFrame = 0);
+
+    const Graph& graph() const { return graph_; }
+    double cutoff() const { return cutoff_; }
+    index frame() const { return frame_; }
+    DistanceCriterion criterion() const { return builder_.criterion(); }
+
+    /// The protein conformation of the current frame.
+    const md::Protein& protein() const { return protein_; }
+
+    /// Switches the distance cutoff, diffing edges in place.
+    UpdateStats setCutoff(double cutoff);
+
+    /// Switches the trajectory frame (recomputes distances, diffs edges).
+    UpdateStats setFrame(index frame);
+
+    /// Full rebuild (baseline for the ablation bench).
+    void rebuild();
+
+private:
+    UpdateStats applyContacts();
+
+    const md::Trajectory& traj_;
+    RinBuilder builder_;
+    double cutoff_;
+    index frame_;
+    md::Protein protein_;
+    Graph graph_;
+};
+
+} // namespace rinkit::rin

@@ -1,0 +1,73 @@
+#include "src/rin/rin_builder.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/graph/graph_builder.hpp"
+#include "src/rin/cell_list.hpp"
+
+namespace rinkit::rin {
+
+std::vector<Point3> RinBuilder::representativePoints(const md::Protein& protein) const {
+    std::vector<Point3> pts;
+    pts.reserve(protein.size());
+    for (const auto& r : protein.residues()) {
+        pts.push_back(criterion_ == DistanceCriterion::CenterOfMass ? r.centerOfMass()
+                                                                    : r.alphaCarbon());
+    }
+    return pts;
+}
+
+std::vector<Contact> RinBuilder::contacts(const md::Protein& protein, double cutoff) const {
+    if (cutoff <= 0.0) throw std::invalid_argument("RinBuilder: cutoff must be > 0");
+    const count n = protein.size();
+    std::vector<Contact> out;
+    if (n < 2) return out;
+
+    const auto pts = representativePoints(protein);
+
+    if (criterion_ != DistanceCriterion::MinimumAtomDistance) {
+        const CellList cells(pts, cutoff);
+        cells.forAllPairs(cutoff, [&](index i, index j) {
+            out.push_back({static_cast<node>(i), static_cast<node>(j),
+                           pts[i].distance(pts[j])});
+        });
+    } else {
+        // Candidate pairs by C-alpha distance within cutoff + 2 * spread,
+        // where spread bounds how far any atom strays from its C-alpha;
+        // exact minimum atom distance decides.
+        double spread = 0.0;
+        for (const auto& r : protein.residues()) {
+            for (const auto& a : r.atoms) {
+                spread = std::max(spread, a.position.distance(r.alphaCarbon()));
+            }
+        }
+        const double candidateRadius = cutoff + 2.0 * spread;
+        const CellList cells(pts, candidateRadius);
+        cells.forAllPairs(candidateRadius, [&](index i, index j) {
+            const double d = protein.residue(i).minimumDistance(protein.residue(j));
+            if (d <= cutoff) {
+                out.push_back({static_cast<node>(i), static_cast<node>(j), d});
+            }
+        });
+    }
+
+    std::sort(out.begin(), out.end(), [](const Contact& a, const Contact& b) {
+        return std::tie(a.u, a.v) < std::tie(b.u, b.v);
+    });
+    return out;
+}
+
+Graph RinBuilder::build(const md::Protein& protein, double cutoff) const {
+    GraphBuilder builder(protein.size());
+    for (const auto& c : contacts(protein, cutoff)) builder.addEdge(c.u, c.v);
+    return builder.build();
+}
+
+Graph RinBuilder::buildWeighted(const md::Protein& protein, double cutoff) const {
+    GraphBuilder builder(protein.size(), true);
+    for (const auto& c : contacts(protein, cutoff)) builder.addEdge(c.u, c.v, c.distance);
+    return builder.build();
+}
+
+} // namespace rinkit::rin

@@ -1,0 +1,362 @@
+#include "src/support/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace rinkit {
+
+std::string jsonEscape(std::string_view s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+JsonWriter::JsonWriter() {
+    stack_.push_back(Ctx::Top);
+    needComma_.push_back(false);
+}
+
+void JsonWriter::beforeValue() {
+    if (done_) throw std::logic_error("JsonWriter: document already complete");
+    if (top() == Ctx::Object) {
+        throw std::logic_error("JsonWriter: expected key inside object");
+    }
+    if (top() == Ctx::Array) {
+        if (needComma_.back()) out_ << ',';
+        needComma_.back() = true;
+    }
+}
+
+JsonWriter& JsonWriter::beginObject() {
+    beforeValue();
+    if (top() == Ctx::AwaitValue) { stack_.pop_back(); needComma_.pop_back(); }
+    out_ << '{';
+    push(Ctx::Object);
+    needComma_.push_back(false);
+    return *this;
+}
+
+JsonWriter& JsonWriter::endObject() {
+    if (top() != Ctx::Object) throw std::logic_error("JsonWriter: endObject outside object");
+    out_ << '}';
+    stack_.pop_back();
+    needComma_.pop_back();
+    if (top() == Ctx::Top) done_ = true;
+    return *this;
+}
+
+JsonWriter& JsonWriter::beginArray() {
+    beforeValue();
+    if (top() == Ctx::AwaitValue) { stack_.pop_back(); needComma_.pop_back(); }
+    out_ << '[';
+    push(Ctx::Array);
+    needComma_.push_back(false);
+    return *this;
+}
+
+JsonWriter& JsonWriter::endArray() {
+    if (top() != Ctx::Array) throw std::logic_error("JsonWriter: endArray outside array");
+    out_ << ']';
+    stack_.pop_back();
+    needComma_.pop_back();
+    if (top() == Ctx::Top) done_ = true;
+    return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+    if (done_ || top() != Ctx::Object) {
+        throw std::logic_error("JsonWriter: key outside object");
+    }
+    if (needComma_.back()) out_ << ',';
+    needComma_.back() = true;
+    out_ << '"' << jsonEscape(k) << "\":";
+    push(Ctx::AwaitValue);
+    needComma_.push_back(false);
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+    beforeValue();
+    if (top() == Ctx::AwaitValue) { stack_.pop_back(); needComma_.pop_back(); }
+    out_ << '"' << jsonEscape(v) << '"';
+    if (top() == Ctx::Top) done_ = true;
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+    beforeValue();
+    if (top() == Ctx::AwaitValue) { stack_.pop_back(); needComma_.pop_back(); }
+    if (std::isnan(v) || std::isinf(v)) {
+        out_ << "null"; // JSON has no NaN/Inf; plotly treats null as a gap.
+    } else {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.10g", v);
+        out_ << buf;
+    }
+    if (top() == Ctx::Top) done_ = true;
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(long long v) {
+    beforeValue();
+    if (top() == Ctx::AwaitValue) { stack_.pop_back(); needComma_.pop_back(); }
+    out_ << v;
+    if (top() == Ctx::Top) done_ = true;
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(unsigned long long v) {
+    beforeValue();
+    if (top() == Ctx::AwaitValue) { stack_.pop_back(); needComma_.pop_back(); }
+    out_ << v;
+    if (top() == Ctx::Top) done_ = true;
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+    beforeValue();
+    if (top() == Ctx::AwaitValue) { stack_.pop_back(); needComma_.pop_back(); }
+    out_ << (v ? "true" : "false");
+    if (top() == Ctx::Top) done_ = true;
+    return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+    beforeValue();
+    if (top() == Ctx::AwaitValue) { stack_.pop_back(); needComma_.pop_back(); }
+    out_ << "null";
+    if (top() == Ctx::Top) done_ = true;
+    return *this;
+}
+
+JsonWriter& JsonWriter::numberArray(const std::vector<double>& vals) {
+    beginArray();
+    for (double v : vals) value(v);
+    return endArray();
+}
+
+std::string JsonWriter::str() const {
+    if (!done_) throw std::logic_error("JsonWriter: document incomplete");
+    return out_.str();
+}
+
+std::size_t JsonWriter::bytesWritten() const {
+    return out_.str().size();
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+class JsonParser {
+public:
+    explicit JsonParser(std::string_view text) : text_(text) {}
+
+    JsonValue parseDocument() {
+        JsonValue v = parseValue();
+        skipWs();
+        if (pos_ != text_.size()) fail("trailing characters");
+        return v;
+    }
+
+private:
+    [[noreturn]] void fail(const char* msg) {
+        throw std::runtime_error(std::string("JSON parse error at offset ") +
+                                 std::to_string(pos_) + ": " + msg);
+    }
+
+    void skipWs() {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+                text_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    char peek() {
+        if (pos_ >= text_.size()) fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    char get() {
+        char c = peek();
+        ++pos_;
+        return c;
+    }
+
+    void expect(char c) {
+        if (get() != c) fail("unexpected character");
+    }
+
+    void expectLiteral(std::string_view lit) {
+        for (char c : lit) expect(c);
+    }
+
+    JsonValue parseValue() {
+        skipWs();
+        switch (peek()) {
+        case '{': return parseObject();
+        case '[': return parseArray();
+        case '"': {
+            JsonValue v;
+            v.type_ = JsonValue::Type::String;
+            v.string_ = parseString();
+            return v;
+        }
+        case 't': {
+            expectLiteral("true");
+            JsonValue v;
+            v.type_ = JsonValue::Type::Bool;
+            v.boolean_ = true;
+            return v;
+        }
+        case 'f': {
+            expectLiteral("false");
+            JsonValue v;
+            v.type_ = JsonValue::Type::Bool;
+            v.boolean_ = false;
+            return v;
+        }
+        case 'n': {
+            expectLiteral("null");
+            return JsonValue{};
+        }
+        default: return parseNumber();
+        }
+    }
+
+    std::string parseString() {
+        expect('"');
+        std::string out;
+        while (true) {
+            char c = get();
+            if (c == '"') break;
+            if (c == '\\') {
+                char e = get();
+                switch (e) {
+                case '"': out += '"'; break;
+                case '\\': out += '\\'; break;
+                case '/': out += '/'; break;
+                case 'n': out += '\n'; break;
+                case 'r': out += '\r'; break;
+                case 't': out += '\t'; break;
+                case 'b': out += '\b'; break;
+                case 'f': out += '\f'; break;
+                case 'u': {
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        char h = get();
+                        code <<= 4;
+                        if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f') code += static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F') code += static_cast<unsigned>(h - 'A' + 10);
+                        else fail("bad \\u escape");
+                    }
+                    // Basic-multilingual-plane UTF-8 encoding is enough here.
+                    if (code < 0x80) {
+                        out += static_cast<char>(code);
+                    } else if (code < 0x800) {
+                        out += static_cast<char>(0xC0 | (code >> 6));
+                        out += static_cast<char>(0x80 | (code & 0x3F));
+                    } else {
+                        out += static_cast<char>(0xE0 | (code >> 12));
+                        out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+                        out += static_cast<char>(0x80 | (code & 0x3F));
+                    }
+                    break;
+                }
+                default: fail("bad escape");
+                }
+            } else {
+                out += c;
+            }
+        }
+        return out;
+    }
+
+    JsonValue parseNumber() {
+        const std::size_t start = pos_;
+        if (peek() == '-') ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+                text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-')) {
+            ++pos_;
+        }
+        if (pos_ == start) fail("expected number");
+        JsonValue v;
+        v.type_ = JsonValue::Type::Number;
+        v.number_ = std::stod(std::string(text_.substr(start, pos_ - start)));
+        return v;
+    }
+
+    JsonValue parseArray() {
+        expect('[');
+        JsonValue v;
+        v.type_ = JsonValue::Type::Array;
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            v.array_.push_back(parseValue());
+            skipWs();
+            char c = get();
+            if (c == ']') break;
+            if (c != ',') fail("expected ',' or ']'");
+        }
+        return v;
+    }
+
+    JsonValue parseObject() {
+        expect('{');
+        JsonValue v;
+        v.type_ = JsonValue::Type::Object;
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            skipWs();
+            std::string k = parseString();
+            skipWs();
+            expect(':');
+            v.object_.emplace(std::move(k), parseValue());
+            skipWs();
+            char c = get();
+            if (c == '}') break;
+            if (c != ',') fail("expected ',' or '}'");
+        }
+        return v;
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+JsonValue JsonValue::parse(std::string_view text) {
+    return JsonParser(text).parseDocument();
+}
+
+} // namespace rinkit

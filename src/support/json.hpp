@@ -1,0 +1,112 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rinkit {
+
+/// Streaming JSON writer.
+///
+/// The viz module serializes plotly figures with potentially hundreds of
+/// thousands of coordinates; building a DOM-style value tree first would
+/// double memory traffic, so figures are emitted directly through this
+/// writer. Keys/values are validated by a small state machine; misuse
+/// (e.g. a value where a key is required) throws std::logic_error.
+class JsonWriter {
+public:
+    JsonWriter();
+
+    JsonWriter& beginObject();
+    JsonWriter& endObject();
+    JsonWriter& beginArray();
+    JsonWriter& endArray();
+
+    /// Writes an object key; must be followed by exactly one value.
+    JsonWriter& key(std::string_view k);
+
+    JsonWriter& value(std::string_view v);
+    JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+    JsonWriter& value(double v);
+    JsonWriter& value(long long v);
+    JsonWriter& value(unsigned long long v);
+    JsonWriter& value(int v) { return value(static_cast<long long>(v)); }
+    JsonWriter& value(unsigned v) { return value(static_cast<unsigned long long>(v)); }
+    JsonWriter& value(std::size_t v) { return value(static_cast<unsigned long long>(v)); }
+    JsonWriter& value(bool v);
+    JsonWriter& null();
+
+    /// key(k) followed by value(v) in one call.
+    template <typename T>
+    JsonWriter& kv(std::string_view k, T&& v) {
+        key(k);
+        return value(std::forward<T>(v));
+    }
+
+    /// Whole array of numbers in one call (the common plotly case).
+    JsonWriter& numberArray(const std::vector<double>& vals);
+
+    /// Finishes and returns the document. The writer must be balanced.
+    std::string str() const;
+
+    /// Number of bytes emitted so far (drives the client cost model).
+    std::size_t bytesWritten() const;
+
+private:
+    enum class Ctx { Top, Object, Array, AwaitValue };
+
+    void beforeValue();
+    void push(Ctx c) { stack_.push_back(c); }
+    Ctx top() const { return stack_.back(); }
+
+    std::ostringstream out_;
+    std::vector<Ctx> stack_;
+    std::vector<bool> needComma_;
+    bool done_ = false;
+};
+
+/// Minimal JSON value tree + recursive-descent parser.
+///
+/// Used by tests to validate serialized figures round-trip, and by the
+/// client cost model to charge a realistic parse cost.
+class JsonValue {
+public:
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    Type type() const { return type_; }
+
+    bool isNull() const { return type_ == Type::Null; }
+    bool asBool() const { return boolean_; }
+    double asNumber() const { return number_; }
+    const std::string& asString() const { return string_; }
+    const std::vector<JsonValue>& asArray() const { return array_; }
+    const std::map<std::string, JsonValue>& asObject() const { return object_; }
+
+    bool has(const std::string& k) const { return object_.count(k) > 0; }
+    const JsonValue& at(const std::string& k) const { return object_.at(k); }
+    const JsonValue& at(std::size_t i) const { return array_.at(i); }
+    std::size_t size() const {
+        return type_ == Type::Array ? array_.size() : object_.size();
+    }
+
+    /// Parses @p text; throws std::runtime_error on malformed input.
+    static JsonValue parse(std::string_view text);
+
+private:
+    Type type_ = Type::Null;
+    bool boolean_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::vector<JsonValue> array_;
+    std::map<std::string, JsonValue> object_;
+
+    friend class JsonParser;
+};
+
+/// Escapes a string for embedding into a JSON document (without quotes).
+std::string jsonEscape(std::string_view s);
+
+} // namespace rinkit

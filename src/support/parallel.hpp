@@ -1,0 +1,46 @@
+#pragma once
+
+#include <omp.h>
+
+#include "src/support/types.hpp"
+
+/// Thin OpenMP helpers so that call sites read declaratively.
+namespace rinkit {
+
+/// Number of OpenMP threads the process will use.
+inline int maxThreads() { return omp_get_max_threads(); }
+
+/// Id of the calling OpenMP thread (0 outside parallel regions).
+inline int threadId() { return omp_get_thread_num(); }
+
+/// Parallel loop over [0, n) with static scheduling; @p f takes the index.
+template <typename F>
+void parallelFor(count n, F&& f) {
+#pragma omp parallel for schedule(static)
+    for (long long i = 0; i < static_cast<long long>(n); ++i) {
+        f(static_cast<index>(i));
+    }
+}
+
+/// Parallel loop with dynamic scheduling for irregular per-iteration work
+/// (e.g. one BFS per source in Brandes' algorithm).
+template <typename F>
+void parallelForDynamic(count n, F&& f) {
+#pragma omp parallel for schedule(dynamic, 4)
+    for (long long i = 0; i < static_cast<long long>(n); ++i) {
+        f(static_cast<index>(i));
+    }
+}
+
+/// Parallel sum reduction of f(i) over [0, n).
+template <typename F>
+double parallelSum(count n, F&& f) {
+    double total = 0.0;
+#pragma omp parallel for schedule(static) reduction(+ : total)
+    for (long long i = 0; i < static_cast<long long>(n); ++i) {
+        total += f(static_cast<index>(i));
+    }
+    return total;
+}
+
+} // namespace rinkit

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cmath>
+#include <ostream>
+
+namespace rinkit {
+
+/// A point/vector in 3D space. Plain value type used for atom coordinates,
+/// layout positions and force accumulation.
+struct Point3 {
+    double x = 0.0;
+    double y = 0.0;
+    double z = 0.0;
+
+    constexpr Point3() = default;
+    constexpr Point3(double x_, double y_, double z_) : x(x_), y(y_), z(z_) {}
+
+    constexpr Point3 operator+(const Point3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+    constexpr Point3 operator-(const Point3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+    constexpr Point3 operator*(double s) const { return {x * s, y * s, z * s}; }
+    constexpr Point3 operator/(double s) const { return {x / s, y / s, z / s}; }
+    constexpr Point3 operator-() const { return {-x, -y, -z}; }
+
+    Point3& operator+=(const Point3& o) { x += o.x; y += o.y; z += o.z; return *this; }
+    Point3& operator-=(const Point3& o) { x -= o.x; y -= o.y; z -= o.z; return *this; }
+    Point3& operator*=(double s) { x *= s; y *= s; z *= s; return *this; }
+    Point3& operator/=(double s) { x /= s; y /= s; z /= s; return *this; }
+
+    constexpr bool operator==(const Point3& o) const { return x == o.x && y == o.y && z == o.z; }
+
+    constexpr double dot(const Point3& o) const { return x * o.x + y * o.y + z * o.z; }
+
+    constexpr Point3 cross(const Point3& o) const {
+        return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+    }
+
+    double norm() const { return std::sqrt(dot(*this)); }
+    constexpr double squaredNorm() const { return dot(*this); }
+
+    double distance(const Point3& o) const { return (*this - o).norm(); }
+    constexpr double squaredDistance(const Point3& o) const { return (*this - o).squaredNorm(); }
+
+    /// Unit vector in the same direction; the zero vector normalizes to zero.
+    Point3 normalized() const {
+        const double n = norm();
+        return n > 0.0 ? *this / n : Point3{};
+    }
+};
+
+inline constexpr Point3 operator*(double s, const Point3& p) { return p * s; }
+
+inline std::ostream& operator<<(std::ostream& os, const Point3& p) {
+    return os << '(' << p.x << ", " << p.y << ", " << p.z << ')';
+}
+
+/// Axis-aligned bounding box; used by the cell list and the layout octree.
+struct Aabb {
+    Point3 lo{1e300, 1e300, 1e300};
+    Point3 hi{-1e300, -1e300, -1e300};
+
+    void expand(const Point3& p) {
+        lo.x = std::min(lo.x, p.x); lo.y = std::min(lo.y, p.y); lo.z = std::min(lo.z, p.z);
+        hi.x = std::max(hi.x, p.x); hi.y = std::max(hi.y, p.y); hi.z = std::max(hi.z, p.z);
+    }
+
+    bool valid() const { return lo.x <= hi.x && lo.y <= hi.y && lo.z <= hi.z; }
+
+    Point3 extent() const { return hi - lo; }
+    Point3 center() const { return (lo + hi) * 0.5; }
+
+    bool contains(const Point3& p) const {
+        return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y &&
+               p.z >= lo.z && p.z <= hi.z;
+    }
+};
+
+} // namespace rinkit

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <chrono>
+
+namespace rinkit {
+
+/// Monotonic wall-clock timer used by the widget's update-cycle
+/// instrumentation and the benchmarks.
+class Timer {
+public:
+    Timer() : start_(Clock::now()) {}
+
+    /// Restarts the timer.
+    void restart() { start_ = Clock::now(); }
+
+    /// Elapsed time in milliseconds since construction or last restart().
+    double elapsedMs() const {
+        return std::chrono::duration<double, std::milli>(Clock::now() - start_).count();
+    }
+
+    /// Elapsed time in seconds.
+    double elapsedSec() const { return elapsedMs() / 1000.0; }
+
+private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+} // namespace rinkit

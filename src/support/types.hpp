@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+/// Fundamental integer/scalar types used across rinkit.
+///
+/// The conventions mirror large-graph analysis practice: nodes are compact
+/// 32-bit ids (a RIN or layout graph never exceeds 4G nodes), counts are
+/// 64-bit, and edge weights are double precision.
+namespace rinkit {
+
+/// Node identifier. Nodes of a graph with n nodes are the ids [0, n).
+using node = std::uint32_t;
+
+/// Generic index type (positions in arrays, community ids, ...).
+using index = std::uint32_t;
+
+/// Cardinality type for counting nodes/edges/samples.
+using count = std::uint64_t;
+
+/// Weight of an edge; unweighted graphs behave as weight 1.0.
+using edgeweight = double;
+
+/// Sentinel for "no node" / "no index".
+inline constexpr node none = std::numeric_limits<node>::max();
+
+/// Sentinel for "infinite distance".
+inline constexpr double infdist = std::numeric_limits<double>::infinity();
+
+} // namespace rinkit

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <string>
+
+#include "src/support/types.hpp"
+
+namespace rinkit::viz {
+
+/// Simulated browser client for measuring the "whole update cycle as
+/// perceived on the client" (Figs. 6c, 7f, 8i).
+///
+/// SUBSTITUTION (see DESIGN.md): the paper measures Firefox on an M1
+/// MacBook; there is no browser here. The client-side cost is, physically,
+/// (1) parsing the figure JSON and (2) rebuilding/updating DOM elements
+/// for every marker and line segment. Both are reproduced as real work,
+/// not a sleep: the payload is parsed with the rinkit JSON parser, and the
+/// DOM update is modeled by materializing one attribute string per visual
+/// element (plus a fixed per-element bookkeeping overhead calibrated so
+/// that a full update of a ~1000-edge figure lands in the paper's
+/// 300-600 ms regime).
+class ClientCostModel {
+public:
+    struct Parameters {
+        /// Extra bookkeeping charge per DOM element update, in synthetic
+        /// string-build repetitions (calibration knob).
+        count workPerElement = 40;
+        /// Elements rebuilt on a partial update (edges only, e.g. cutoff
+        /// switch without node movement) vs full (all markers + edges).
+        bool fullUpdate = true;
+    };
+
+    ClientCostModel() : ClientCostModel(Parameters{}) {}
+    explicit ClientCostModel(Parameters params) : params_(params) {}
+
+    /// Processes @p figureJson as the browser would; returns elapsed ms.
+    /// @p nodes / @p edges describe the scene for the DOM-update phase.
+    double processUpdate(const std::string& figureJson, count nodes, count edges) const;
+
+    /// Parse-only cost in ms (for instrumentation splits).
+    double parseOnly(const std::string& figureJson) const;
+
+private:
+    Parameters params_;
+};
+
+} // namespace rinkit::viz

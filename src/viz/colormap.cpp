@@ -1,0 +1,102 @@
+#include "src/viz/colormap.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace rinkit::viz {
+
+std::string Color::hex() const {
+    char buf[8];
+    std::snprintf(buf, sizeof(buf), "#%02x%02x%02x", r, g, b);
+    return buf;
+}
+
+namespace {
+
+struct Anchor {
+    double t;
+    Color c;
+};
+
+// Anchor colors of the standard palettes (matplotlib / ColorBrewer values).
+const Anchor kSpectral[] = {
+    {0.0, {94, 79, 162}},  {0.2, {50, 136, 189}}, {0.4, {171, 221, 164}},
+    {0.5, {255, 255, 191}}, {0.6, {254, 224, 139}}, {0.8, {244, 109, 67}},
+    {1.0, {158, 1, 66}},
+};
+const Anchor kViridis[] = {
+    {0.0, {68, 1, 84}},   {0.25, {59, 82, 139}}, {0.5, {33, 145, 140}},
+    {0.75, {94, 201, 98}}, {1.0, {253, 231, 37}},
+};
+const Anchor kPlasma[] = {
+    {0.0, {13, 8, 135}},   {0.25, {126, 3, 168}}, {0.5, {204, 71, 120}},
+    {0.75, {248, 149, 64}}, {1.0, {240, 249, 33}},
+};
+const Anchor kCoolwarm[] = {
+    {0.0, {59, 76, 192}}, {0.5, {221, 221, 221}}, {1.0, {180, 4, 38}},
+};
+
+Color interpolate(const Anchor* anchors, count n, double t) {
+    t = std::clamp(t, 0.0, 1.0);
+    for (count i = 1; i < n; ++i) {
+        if (t <= anchors[i].t) {
+            const double span = anchors[i].t - anchors[i - 1].t;
+            const double f = span > 0.0 ? (t - anchors[i - 1].t) / span : 0.0;
+            const Color& a = anchors[i - 1].c;
+            const Color& b = anchors[i].c;
+            return {static_cast<int>(std::lround(a.r + f * (b.r - a.r))),
+                    static_cast<int>(std::lround(a.g + f * (b.g - a.g))),
+                    static_cast<int>(std::lround(a.b + f * (b.b - a.b)))};
+        }
+    }
+    return anchors[n - 1].c;
+}
+
+} // namespace
+
+Color sample(Palette palette, double t) {
+    switch (palette) {
+    case Palette::Spectral: return interpolate(kSpectral, std::size(kSpectral), t);
+    case Palette::Viridis: return interpolate(kViridis, std::size(kViridis), t);
+    case Palette::Plasma: return interpolate(kPlasma, std::size(kPlasma), t);
+    case Palette::Coolwarm: return interpolate(kCoolwarm, std::size(kCoolwarm), t);
+    }
+    return {};
+}
+
+std::vector<Color> mapScores(const std::vector<double>& scores, Palette palette) {
+    double lo = 1e300, hi = -1e300;
+    for (double s : scores) {
+        if (std::isnan(s)) continue;
+        lo = std::min(lo, s);
+        hi = std::max(hi, s);
+    }
+    std::vector<Color> out(scores.size());
+    const bool constant = !(hi > lo);
+    for (count i = 0; i < scores.size(); ++i) {
+        if (std::isnan(scores[i])) {
+            out[i] = {128, 128, 128};
+        } else {
+            out[i] = sample(palette, constant ? 0.5 : (scores[i] - lo) / (hi - lo));
+        }
+    }
+    return out;
+}
+
+namespace {
+// 12 visually distinct hues (ColorBrewer Set3-like but saturated).
+const Color kCategorical[] = {
+    {31, 119, 180}, {255, 127, 14},  {44, 160, 44},   {214, 39, 40},
+    {148, 103, 189}, {140, 86, 75},  {227, 119, 194}, {127, 127, 127},
+    {188, 189, 34}, {23, 190, 207},  {255, 187, 120}, {152, 223, 138},
+};
+} // namespace
+
+Color categorical(index id) {
+    return kCategorical[id % std::size(kCategorical)];
+}
+
+count categoricalCycle() { return std::size(kCategorical); }
+
+} // namespace rinkit::viz

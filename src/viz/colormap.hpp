@@ -1,0 +1,40 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/support/types.hpp"
+
+namespace rinkit::viz {
+
+/// An sRGB color with 8-bit channels.
+struct Color {
+    int r = 0, g = 0, b = 0;
+
+    bool operator==(const Color&) const = default;
+
+    /// "#rrggbb" (what plotly's marker.color accepts).
+    std::string hex() const;
+};
+
+/// Continuous color palettes for mapping node scores to colors.
+///
+/// Spectral (blue -> red) is the palette of the paper's Fig. 5 ("coloring
+/// of the nodes is done with a spectral color palette (blue - red), whereas
+/// each color is defined by Closeness-value of the node").
+enum class Palette { Spectral, Viridis, Plasma, Coolwarm };
+
+/// Samples @p palette at @p t in [0, 1] (clamped) by piecewise-linear
+/// interpolation of its anchor colors.
+Color sample(Palette palette, double t);
+
+/// Maps raw scores to colors: scores are min-max normalized, then sampled.
+/// Constant score vectors map to the palette midpoint. NaNs map to grey.
+std::vector<Color> mapScores(const std::vector<double>& scores, Palette palette);
+
+/// Categorical colors for community ids: evenly spaced samples with
+/// maximally separated ordering, repeating after `categoricalCycle()` hues.
+Color categorical(index id);
+count categoricalCycle();
+
+} // namespace rinkit::viz

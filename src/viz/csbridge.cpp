@@ -1,0 +1,79 @@
+#include "src/viz/csbridge.hpp"
+
+#include <stdexcept>
+
+#include "src/support/json.hpp"
+
+namespace rinkit::viz {
+
+CytoscapeFigure::CytoscapeFigure(const Graph& g, const std::vector<Point3>& coordinates,
+                                 const std::vector<double>& scores, Palette palette)
+    : g_(g) {
+    if (coordinates.size() != g.numberOfNodes() || scores.size() != g.numberOfNodes()) {
+        throw std::invalid_argument("CytoscapeFigure: size mismatch");
+    }
+    scores_ = scores;
+    colors_ = mapScores(scores, palette);
+
+    // Project onto the two axes with the largest extent so the 2D view
+    // keeps as much of the 3D structure visible as possible.
+    Aabb box;
+    for (const auto& p : coordinates) box.expand(p);
+    const Point3 ext = box.valid() ? box.extent() : Point3{1, 1, 1};
+    int drop; // the axis with the smallest spread is dropped
+    if (ext.x <= ext.y && ext.x <= ext.z) drop = 0;
+    else if (ext.y <= ext.x && ext.y <= ext.z) drop = 1;
+    else drop = 2;
+
+    positions_.reserve(coordinates.size());
+    for (const auto& p : coordinates) {
+        switch (drop) {
+        case 0: positions_.emplace_back(p.y, p.z); break;
+        case 1: positions_.emplace_back(p.x, p.z); break;
+        default: positions_.emplace_back(p.x, p.y); break;
+        }
+    }
+}
+
+std::string CytoscapeFigure::toJson() const {
+    JsonWriter w;
+    w.beginObject();
+    w.key("elements").beginObject();
+
+    w.key("nodes").beginArray();
+    for (node u = 0; u < g_.numberOfNodes(); ++u) {
+        w.beginObject();
+        w.key("data")
+            .beginObject()
+            .kv("id", "n" + std::to_string(u))
+            .kv("score", scores_[u])
+            .kv("color", colors_[u].hex())
+            .endObject();
+        w.key("position")
+            .beginObject()
+            .kv("x", positions_[u].first)
+            .kv("y", positions_[u].second)
+            .endObject();
+        w.endObject();
+    }
+    w.endArray();
+
+    w.key("edges").beginArray();
+    g_.forEdges([&](node u, node v) {
+        w.beginObject();
+        w.key("data")
+            .beginObject()
+            .kv("id", "e" + std::to_string(u) + "_" + std::to_string(v))
+            .kv("source", "n" + std::to_string(u))
+            .kv("target", "n" + std::to_string(v))
+            .endObject();
+        w.endObject();
+    });
+    w.endArray();
+
+    w.endObject(); // elements
+    w.endObject();
+    return w.str();
+}
+
+} // namespace rinkit::viz

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/graph/graph.hpp"
+#include "src/support/point3.hpp"
+#include "src/viz/colormap.hpp"
+
+namespace rinkit::viz {
+
+/// The 2D companion of the plotly bridge: NetworKit's `csbridge` module
+/// ("NETWORKIT implements two modules csbridge (2D graphs) and
+/// plotlybridge (2D and 3D graphs)", paper Section V-A).
+///
+/// Emits Cytoscape.js elements JSON — `{"elements": {"nodes": [...],
+/// "edges": [...]}}` — with positions taken from a 3D layout projected to
+/// the best-spread 2D plane (the two axes with the largest extent), and
+/// node colors from scores. The document loads directly into
+/// cytoscape({elements: ...}) or ipycytoscape.
+class CytoscapeFigure {
+public:
+    /// @p coordinates is a 3D layout; the projection picks the two axes
+    /// with the largest spread.
+    CytoscapeFigure(const Graph& g, const std::vector<Point3>& coordinates,
+                    const std::vector<double>& scores, Palette palette);
+
+    /// Serializes to Cytoscape.js JSON.
+    std::string toJson() const;
+
+    /// The 2D positions actually used (exposed for tests).
+    const std::vector<std::pair<double, double>>& positions2d() const {
+        return positions_;
+    }
+
+private:
+    const Graph& g_;
+    std::vector<std::pair<double, double>> positions_;
+    std::vector<Color> colors_;
+    std::vector<double> scores_;
+};
+
+} // namespace rinkit::viz

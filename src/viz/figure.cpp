@@ -1,0 +1,115 @@
+#include "src/viz/figure.hpp"
+
+#include <cmath>
+
+#include "src/support/json.hpp"
+
+namespace rinkit::viz {
+
+namespace {
+
+void writeAxis(JsonWriter& w, const char* name) {
+    w.key(name);
+    w.beginObject()
+        .kv("visible", false)
+        .kv("showgrid", false)
+        .kv("zeroline", false)
+        .endObject();
+}
+
+void writeSceneTraces(JsonWriter& w, const Scene& s, count sceneIndex) {
+    const std::string sceneRef =
+        sceneIndex == 0 ? "scene" : "scene" + std::to_string(sceneIndex + 1);
+
+    // Edge trace: endpoints of each segment separated by null gaps.
+    w.beginObject()
+        .kv("type", "scatter3d")
+        .kv("mode", "lines")
+        .kv("name", s.title + " edges")
+        .kv("scene", sceneRef)
+        .kv("hoverinfo", "none");
+    const double nan = std::nan("");
+    for (const char* axis : {"x", "y", "z"}) {
+        w.key(axis).beginArray();
+        for (const auto& [u, v] : s.edges) {
+            const Point3& a = s.nodePositions[u];
+            const Point3& b = s.nodePositions[v];
+            const double va = axis[0] == 'x' ? a.x : axis[0] == 'y' ? a.y : a.z;
+            const double vb = axis[0] == 'x' ? b.x : axis[0] == 'y' ? b.y : b.z;
+            w.value(va).value(vb).value(nan); // nan serializes as null = gap
+        }
+        w.endArray();
+    }
+    w.key("line").beginObject().kv("color", "#b0b0b0").kv("width", 1.5).endObject();
+    w.endObject();
+
+    // Node trace.
+    w.beginObject()
+        .kv("type", "scatter3d")
+        .kv("mode", "markers")
+        .kv("name", s.title)
+        .kv("scene", sceneRef)
+        .kv("hoverinfo", "text");
+    for (const char* axis : {"x", "y", "z"}) {
+        w.key(axis).beginArray();
+        for (const auto& p : s.nodePositions) {
+            w.value(axis[0] == 'x' ? p.x : axis[0] == 'y' ? p.y : p.z);
+        }
+        w.endArray();
+    }
+    w.key("marker").beginObject();
+    w.kv("size", s.nodeSizes.size() == 1 ? s.nodeSizes[0] : 6.0);
+    w.key("color").beginArray();
+    for (const auto& c : s.nodeColors) w.value(c.hex());
+    w.endArray();
+    w.endObject(); // marker
+    if (!s.nodeLabels.empty()) {
+        w.key("text").beginArray();
+        for (const auto& t : s.nodeLabels) w.value(t);
+        w.endArray();
+    }
+    w.endObject();
+}
+
+} // namespace
+
+std::string Figure::toJson() const {
+    JsonWriter w;
+    w.beginObject();
+    w.key("data").beginArray();
+    for (count i = 0; i < scenes_.size(); ++i) writeSceneTraces(w, scenes_[i], i);
+    w.endArray();
+
+    w.key("layout").beginObject();
+    w.kv("showlegend", false);
+    w.key("margin")
+        .beginObject()
+        .kv("l", 0)
+        .kv("r", 0)
+        .kv("t", 30)
+        .kv("b", 0)
+        .endObject();
+    for (count i = 0; i < scenes_.size(); ++i) {
+        const std::string sceneKey = i == 0 ? "scene" : "scene" + std::to_string(i + 1);
+        w.key(sceneKey).beginObject();
+        writeAxis(w, "xaxis");
+        writeAxis(w, "yaxis");
+        writeAxis(w, "zaxis");
+        w.key("domain").beginObject();
+        const double x0 = static_cast<double>(i) / static_cast<double>(scenes_.size());
+        const double x1 = static_cast<double>(i + 1) / static_cast<double>(scenes_.size());
+        w.key("x").beginArray().value(x0).value(x1).endArray();
+        w.key("y").beginArray().value(0.0).value(1.0).endArray();
+        w.endObject(); // domain
+        w.kv("aspectmode", "data");
+        w.endObject();
+    }
+    if (!scenes_.empty()) {
+        w.key("title").beginObject().kv("text", scenes_.front().title).endObject();
+    }
+    w.endObject(); // layout
+    w.endObject();
+    return w.str();
+}
+
+} // namespace rinkit::viz

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/viz/scene.hpp"
+
+namespace rinkit::viz {
+
+/// Plotly figure serializer — the C++ counterpart of NetworKit's
+/// plotlybridge module (paper Section V-A).
+///
+/// Every scene becomes one pair of Scatter3d traces: a marker trace for
+/// nodes (with per-node colors and hover text) and a line trace for edges
+/// (consecutive endpoint pairs separated by nulls — plotly's segment-gap
+/// convention). The emitted document is a valid plotly figure object
+/// ({"data": [...], "layout": {...}}) that plotly.js or plotly.py renders
+/// directly; the paper's dual-view widget is two side-by-side scenes.
+class Figure {
+public:
+    /// Appends a scene (a subplot). Multiple scenes render side by side.
+    void addScene(const Scene& scene) { scenes_.push_back(scene); }
+
+    count sceneCount() const { return scenes_.size(); }
+
+    /// Serializes to plotly JSON. This is the payload whose size drives
+    /// the client-perceived update time in Figs. 6-8.
+    std::string toJson() const;
+
+private:
+    std::vector<Scene> scenes_;
+};
+
+} // namespace rinkit::viz

@@ -1,0 +1,103 @@
+#include "src/viz/measures.hpp"
+
+#include <stdexcept>
+
+#include "src/centrality/betweenness.hpp"
+#include "src/centrality/closeness.hpp"
+#include "src/centrality/core_decomposition.hpp"
+#include "src/centrality/degree.hpp"
+#include "src/centrality/eigenvector.hpp"
+#include "src/centrality/local_clustering.hpp"
+#include "src/centrality/pagerank.hpp"
+#include "src/community/leiden.hpp"
+#include "src/community/mapequation.hpp"
+#include "src/community/plm.hpp"
+#include "src/community/plp.hpp"
+
+namespace rinkit::viz {
+
+const std::vector<Measure>& allMeasures() {
+    static const std::vector<Measure> measures = {
+        Measure::Degree,          Measure::Closeness,
+        Measure::HarmonicCloseness, Measure::Betweenness,
+        Measure::PageRank,        Measure::Eigenvector,
+        Measure::Katz,            Measure::CoreNumber,
+        Measure::LocalClustering,
+        Measure::PlmCommunities,  Measure::LeidenCommunities,
+        Measure::MapEquationCommunities, Measure::PlpCommunities,
+    };
+    return measures;
+}
+
+std::string measureName(Measure m) {
+    switch (m) {
+    case Measure::Degree: return "Degree";
+    case Measure::Closeness: return "Closeness";
+    case Measure::HarmonicCloseness: return "Harmonic closeness";
+    case Measure::Betweenness: return "Betweenness";
+    case Measure::PageRank: return "PageRank";
+    case Measure::Eigenvector: return "Eigenvector";
+    case Measure::Katz: return "Katz";
+    case Measure::CoreNumber: return "Core number";
+    case Measure::LocalClustering: return "Local clustering";
+    case Measure::PlmCommunities: return "PLM communities";
+    case Measure::LeidenCommunities: return "Leiden communities";
+    case Measure::MapEquationCommunities: return "Map-equation communities";
+    case Measure::PlpCommunities: return "PLP communities";
+    }
+    throw std::invalid_argument("measureName: unknown measure");
+}
+
+bool isCommunityMeasure(Measure m) {
+    switch (m) {
+    case Measure::PlmCommunities:
+    case Measure::LeidenCommunities:
+    case Measure::MapEquationCommunities:
+    case Measure::PlpCommunities: return true;
+    default: return false;
+    }
+}
+
+namespace {
+
+std::vector<double> fromCentrality(CentralityAlgorithm&& algo) {
+    algo.run();
+    return algo.scores();
+}
+
+std::vector<double> fromDetector(CommunityDetector&& det) {
+    det.run();
+    const auto& p = det.getPartition();
+    std::vector<double> scores(p.numberOfElements());
+    for (node u = 0; u < p.numberOfElements(); ++u) {
+        scores[u] = static_cast<double>(p[u]);
+    }
+    return scores;
+}
+
+} // namespace
+
+std::vector<double> computeMeasure(const Graph& g, Measure m) {
+    switch (m) {
+    case Measure::Degree: return fromCentrality(DegreeCentrality(g));
+    case Measure::Closeness: return fromCentrality(ClosenessCentrality(g));
+    case Measure::HarmonicCloseness:
+        return fromCentrality(
+            ClosenessCentrality(g, ClosenessCentrality::Variant::Harmonic));
+    case Measure::Betweenness: return fromCentrality(Betweenness(g, true));
+    case Measure::PageRank:
+        return fromCentrality(
+            PageRank(g, 0.85, 1e-9, 200, PageRank::Norm::SizeInvariant));
+    case Measure::Eigenvector: return fromCentrality(EigenvectorCentrality(g));
+    case Measure::Katz: return fromCentrality(KatzCentrality(g));
+    case Measure::CoreNumber: return fromCentrality(CoreDecomposition(g));
+    case Measure::LocalClustering: return fromCentrality(LocalClusteringCoefficient(g));
+    case Measure::PlmCommunities: return fromDetector(Plm(g, true));
+    case Measure::LeidenCommunities: return fromDetector(ParallelLeiden(g));
+    case Measure::MapEquationCommunities: return fromDetector(LouvainMapEquation(g));
+    case Measure::PlpCommunities: return fromDetector(Plp(g));
+    }
+    throw std::invalid_argument("computeMeasure: unknown measure");
+}
+
+} // namespace rinkit::viz

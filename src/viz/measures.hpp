@@ -1,0 +1,44 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/graph/graph.hpp"
+
+namespace rinkit::viz {
+
+/// The network measures the widget's measure slider offers ([R1]): the
+/// centralities and community detectors of the paper's Figs. 6-8, computed
+/// through one uniform interface so that the GUI (and the benches) can
+/// iterate over them.
+enum class Measure {
+    Degree,
+    Closeness,
+    HarmonicCloseness,
+    Betweenness,
+    PageRank,
+    Eigenvector,
+    Katz,
+    CoreNumber,
+    LocalClustering,
+    PlmCommunities,
+    LeidenCommunities,
+    MapEquationCommunities,
+    PlpCommunities,
+};
+
+/// All measures in menu order.
+const std::vector<Measure>& allMeasures();
+
+/// Human-readable name ("Closeness", "PLM communities", ...).
+std::string measureName(Measure m);
+
+/// True for community detectors (scores are categorical subset ids and
+/// should be colored with the categorical palette).
+bool isCommunityMeasure(Measure m);
+
+/// Computes per-node scores of @p m on @p g. For community measures the
+/// score is the (compacted) community id.
+std::vector<double> computeMeasure(const Graph& g, Measure m);
+
+} // namespace rinkit::viz

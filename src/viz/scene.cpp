@@ -1,0 +1,59 @@
+#include "src/viz/scene.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace rinkit::viz {
+
+namespace {
+
+void checkSizes(const Graph& g, const std::vector<Point3>& coords, count scoreCount,
+                const char* who) {
+    if (coords.size() != g.numberOfNodes() || scoreCount != g.numberOfNodes()) {
+        throw std::invalid_argument(std::string(who) +
+                                    ": graph/coordinates/scores size mismatch");
+    }
+}
+
+} // namespace
+
+Scene makeScene(const Graph& g, const std::vector<Point3>& coordinates,
+                const std::vector<double>& scores, Palette palette,
+                const std::string& title) {
+    checkSizes(g, coordinates, scores.size(), "makeScene");
+    Scene s;
+    s.title = title;
+    s.nodePositions = coordinates;
+    s.nodeColors = mapScores(scores, palette);
+    s.nodeSizes = {6.0};
+    s.nodeLabels.reserve(g.numberOfNodes());
+    for (node u = 0; u < g.numberOfNodes(); ++u) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "node %u: %.6g", u, scores[u]);
+        s.nodeLabels.emplace_back(buf);
+    }
+    s.edges = g.edges();
+    return s;
+}
+
+Scene makeCommunityScene(const Graph& g, const std::vector<Point3>& coordinates,
+                         const std::vector<index>& communities,
+                         const std::string& title) {
+    checkSizes(g, coordinates, communities.size(), "makeCommunityScene");
+    Scene s;
+    s.title = title;
+    s.nodePositions = coordinates;
+    s.nodeColors.reserve(g.numberOfNodes());
+    s.nodeLabels.reserve(g.numberOfNodes());
+    for (node u = 0; u < g.numberOfNodes(); ++u) {
+        s.nodeColors.push_back(categorical(communities[u]));
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "node %u: community %u", u, communities[u]);
+        s.nodeLabels.emplace_back(buf);
+    }
+    s.nodeSizes = {6.0};
+    s.edges = g.edges();
+    return s;
+}
+
+} // namespace rinkit::viz

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/graph/graph.hpp"
+#include "src/support/point3.hpp"
+#include "src/viz/colormap.hpp"
+
+namespace rinkit::viz {
+
+/// Renderable 3D scene: node markers (position, color, size, hover text)
+/// plus edge segments. The in-memory counterpart of one plotly Scatter3d
+/// pair; Figure serializes it to plotly JSON.
+struct Scene {
+    std::string title;
+    std::vector<Point3> nodePositions;
+    std::vector<Color> nodeColors;
+    std::vector<double> nodeSizes;       ///< marker sizes (same for all if 1 entry)
+    std::vector<std::string> nodeLabels; ///< hover text per node (optional)
+    std::vector<std::pair<node, node>> edges;
+
+    count nodeCount() const { return nodePositions.size(); }
+    count edgeCount() const { return edges.size(); }
+};
+
+/// Builds a scene from a graph, a layout and per-node scores colored with
+/// @p palette. Labels carry "node <id>: <score>" hover text like the
+/// widget's text-box displays.
+Scene makeScene(const Graph& g, const std::vector<Point3>& coordinates,
+                const std::vector<double>& scores, Palette palette,
+                const std::string& title);
+
+/// Builds a community-colored scene (categorical palette over subset ids).
+Scene makeCommunityScene(const Graph& g, const std::vector<Point3>& coordinates,
+                         const std::vector<index>& communities,
+                         const std::string& title);
+
+} // namespace rinkit::viz

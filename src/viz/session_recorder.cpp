@@ -1,0 +1,106 @@
+#include "src/viz/session_recorder.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+namespace rinkit::viz {
+
+std::string eventKindName(SessionRecorder::EventKind kind) {
+    switch (kind) {
+    case SessionRecorder::EventKind::Frame: return "frame";
+    case SessionRecorder::EventKind::Cutoff: return "cutoff";
+    case SessionRecorder::EventKind::Measure: return "measure";
+    case SessionRecorder::EventKind::Refresh: return "refresh";
+    }
+    return "?";
+}
+
+void SessionRecorder::record(EventKind kind, std::string detail,
+                             RinWidget::UpdateTiming timing) {
+    events_.push_back({kind, std::move(detail), timing});
+}
+
+RinWidget::UpdateTiming SessionRecorder::setFrame(RinWidget& w, index f) {
+    auto t = w.setFrame(f);
+    record(EventKind::Frame, "frame=" + std::to_string(f), t);
+    return t;
+}
+
+RinWidget::UpdateTiming SessionRecorder::setCutoff(RinWidget& w, double cutoff) {
+    auto t = w.setCutoff(cutoff);
+    record(EventKind::Cutoff, "cutoff=" + std::to_string(cutoff), t);
+    return t;
+}
+
+RinWidget::UpdateTiming SessionRecorder::setMeasure(RinWidget& w, Measure m) {
+    auto t = w.setMeasure(m);
+    record(EventKind::Measure, "measure=" + measureName(m), t);
+    return t;
+}
+
+namespace {
+
+SessionRecorder::PhaseStats aggregate(std::vector<double> samples) {
+    SessionRecorder::PhaseStats stats;
+    stats.samples = samples.size();
+    if (samples.empty()) return stats;
+    double sum = 0.0;
+    for (double s : samples) {
+        sum += s;
+        stats.maxMs = std::max(stats.maxMs, s);
+    }
+    stats.meanMs = sum / static_cast<double>(samples.size());
+    std::sort(samples.begin(), samples.end());
+    const auto idx = static_cast<size_t>(
+        std::ceil(0.95 * static_cast<double>(samples.size())) - 1);
+    stats.p95Ms = samples[std::min(idx, samples.size() - 1)];
+    return stats;
+}
+
+} // namespace
+
+SessionRecorder::PhaseStats SessionRecorder::totalStats(EventKind kind) const {
+    std::vector<double> samples;
+    for (const auto& e : events_) {
+        if (e.kind == kind) samples.push_back(e.timing.totalMs());
+    }
+    return aggregate(std::move(samples));
+}
+
+SessionRecorder::PhaseStats SessionRecorder::phaseStats(const std::string& phase) const {
+    std::vector<double> samples;
+    for (const auto& e : events_) {
+        const auto& t = e.timing;
+        if (phase == "network") samples.push_back(t.networkUpdateMs);
+        else if (phase == "layout") samples.push_back(t.layoutMs);
+        else if (phase == "measure") samples.push_back(t.measureMs);
+        else if (phase == "scene") samples.push_back(t.sceneBuildMs);
+        else if (phase == "serialize") samples.push_back(t.serializeMs);
+        else if (phase == "client") samples.push_back(t.clientMs);
+        else throw std::invalid_argument("SessionRecorder: unknown phase " + phase);
+    }
+    return aggregate(std::move(samples));
+}
+
+void SessionRecorder::writeCsv(std::ostream& out) const {
+    out << "event,detail,network_ms,layout_ms,measure_ms,scene_ms,serialize_ms,"
+           "client_ms,total_ms,edges_added,edges_removed,edges_total\n";
+    for (const auto& e : events_) {
+        const auto& t = e.timing;
+        out << eventKindName(e.kind) << ',' << e.detail << ',' << t.networkUpdateMs
+            << ',' << t.layoutMs << ',' << t.measureMs << ',' << t.sceneBuildMs << ','
+            << t.serializeMs << ',' << t.clientMs << ',' << t.totalMs() << ','
+            << t.edgeStats.edgesAdded << ',' << t.edgeStats.edgesRemoved << ','
+            << t.edgeStats.edgesTotal << '\n';
+    }
+}
+
+bool SessionRecorder::interactive(double budgetMs) const {
+    for (const auto& e : events_) {
+        if (e.timing.totalMs() > budgetMs) return false;
+    }
+    return true;
+}
+
+} // namespace rinkit::viz

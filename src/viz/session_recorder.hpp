@@ -1,0 +1,64 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/viz/widget.hpp"
+
+namespace rinkit::viz {
+
+/// Records widget update cycles and aggregates them into the statistics
+/// the paper's Section V-B plots — the benchmarking methodology behind
+/// Figs. 6-8, packaged as a reusable component.
+class SessionRecorder {
+public:
+    enum class EventKind { Frame, Cutoff, Measure, Refresh };
+
+    struct Event {
+        EventKind kind;
+        std::string detail; ///< "frame=5", "cutoff=7.5", "measure=Closeness"
+        RinWidget::UpdateTiming timing;
+    };
+
+    /// Per-phase aggregate over recorded events of one kind.
+    struct PhaseStats {
+        double meanMs = 0.0;
+        double maxMs = 0.0;
+        double p95Ms = 0.0;
+        count samples = 0;
+    };
+
+    void record(EventKind kind, std::string detail, RinWidget::UpdateTiming timing);
+
+    // Convenience wrappers that forward to the widget and record.
+    RinWidget::UpdateTiming setFrame(RinWidget& w, index f);
+    RinWidget::UpdateTiming setCutoff(RinWidget& w, double cutoff);
+    RinWidget::UpdateTiming setMeasure(RinWidget& w, Measure m);
+
+    count eventCount() const { return events_.size(); }
+    const std::vector<Event>& events() const { return events_; }
+
+    /// Aggregate of total cycle time for one event kind.
+    PhaseStats totalStats(EventKind kind) const;
+
+    /// Aggregate of a single phase across all events; @p phase is one of
+    /// "network", "layout", "measure", "scene", "serialize", "client".
+    PhaseStats phaseStats(const std::string& phase) const;
+
+    /// CSV with one row per event (header included): the raw data behind a
+    /// Fig. 6-8 style plot.
+    void writeCsv(std::ostream& out) const;
+
+    /// True while every recorded total stays under @p budgetMs — the
+    /// paper's interactivity claim as a checkable predicate.
+    bool interactive(double budgetMs = 1000.0) const;
+
+private:
+    std::vector<Event> events_;
+};
+
+/// Name of an event kind ("frame", "cutoff", ...).
+std::string eventKindName(SessionRecorder::EventKind kind);
+
+} // namespace rinkit::viz

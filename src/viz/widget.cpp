@@ -1,0 +1,130 @@
+#include "src/viz/widget.hpp"
+
+#include "src/support/timer.hpp"
+#include "src/viz/figure.hpp"
+
+namespace rinkit::viz {
+
+RinWidget::RinWidget(const md::Trajectory& traj, Options options)
+    : options_(options),
+      rin_(traj, options.criterion, options.initialCutoff, options.initialFrame),
+      measure_(options.initialMeasure) {
+    refresh();
+}
+
+void RinWidget::recomputeLayout(UpdateTiming& t) {
+    Timer timer;
+    MaxentStress::Parameters params;
+    params.iterations = options_.layoutIterations;
+    params.seed = options_.seed;
+    MaxentStress layout(rin_.graph(), 3, params);
+    // Seed with the previous layout so consecutive frames stay visually
+    // coherent (and converge faster).
+    if (maxentCoords_.size() == rin_.graph().numberOfNodes()) {
+        layout.setInitialCoordinates(maxentCoords_);
+    }
+    layout.run();
+    maxentCoords_ = layout.getCoordinates();
+    t.layoutMs = timer.elapsedMs();
+}
+
+void RinWidget::recomputeMeasure(UpdateTiming& t) {
+    if (!measure_) return;
+    Timer timer;
+    if (!scores_.empty()) buffer_ = scores_; // keep the most recent result
+    scores_ = computeMeasure(rin_.graph(), *measure_);
+    t.measureMs = timer.elapsedMs();
+}
+
+std::vector<double> RinWidget::displayedScores() const {
+    if (!deltaMode_ || buffer_.size() != scores_.size()) return scores_;
+    std::vector<double> delta(scores_.size());
+    for (count i = 0; i < scores_.size(); ++i) delta[i] = scores_[i] - buffer_[i];
+    return delta;
+}
+
+void RinWidget::renderAndShip(UpdateTiming& t, bool fullClientUpdate, bool markersOnly) {
+    const Graph& g = rin_.graph();
+
+    Timer buildTimer;
+    // Left view: the real protein conformation (C-alpha positions), the
+    // paper's "protein-based layout". Right view: Maxent-Stress.
+    const auto proteinCoords = rin_.protein().alphaCarbons();
+    std::vector<double> shown = displayedScores();
+    if (shown.empty()) shown.assign(g.numberOfNodes(), 0.0);
+
+    Figure fig;
+    const bool community = measure_ && isCommunityMeasure(*measure_) && !deltaMode_;
+    if (community) {
+        std::vector<index> comm(shown.size());
+        for (count i = 0; i < shown.size(); ++i) comm[i] = static_cast<index>(shown[i]);
+        fig.addScene(makeCommunityScene(g, proteinCoords, comm, "protein layout"));
+        fig.addScene(makeCommunityScene(g, maxentCoords_, comm, "Maxent-Stress layout"));
+    } else {
+        fig.addScene(makeScene(g, proteinCoords, shown, options_.palette, "protein layout"));
+        fig.addScene(
+            makeScene(g, maxentCoords_, shown, options_.palette, "Maxent-Stress layout"));
+    }
+    t.sceneBuildMs = buildTimer.elapsedMs();
+
+    Timer serializeTimer;
+    figureJson_ = fig.toJson();
+    t.serializeMs = serializeTimer.elapsedMs();
+
+    ClientCostModel::Parameters clientParams;
+    clientParams.fullUpdate = fullClientUpdate;
+    const ClientCostModel client(clientParams);
+    // Both scenes ship; markers-only events re-render node markers only.
+    const count nodes = 2 * g.numberOfNodes();
+    const count edges = markersOnly ? 0 : 2 * g.numberOfEdges();
+    t.clientMs = client.processUpdate(figureJson_, nodes, edges);
+}
+
+RinWidget::UpdateTiming RinWidget::setFrame(index frame) {
+    UpdateTiming t;
+    Timer netTimer;
+    t.edgeStats = rin_.setFrame(frame);
+    t.networkUpdateMs = netTimer.elapsedMs();
+
+    recomputeLayout(t);
+    if (options_.autoRecompute) recomputeMeasure(t);
+    // Node positions changed: the client rebuilds every DOM element.
+    renderAndShip(t, /*fullClientUpdate=*/true, /*markersOnly=*/false);
+    return t;
+}
+
+RinWidget::UpdateTiming RinWidget::setCutoff(double cutoff) {
+    UpdateTiming t;
+    Timer netTimer;
+    t.edgeStats = rin_.setCutoff(cutoff);
+    t.networkUpdateMs = netTimer.elapsedMs();
+
+    recomputeLayout(t);
+    if (options_.autoRecompute) recomputeMeasure(t);
+    // Protein-view node positions are unchanged between cutoffs: the
+    // client only updates edge elements (paper: ~100 ms vs ~200 ms).
+    renderAndShip(t, /*fullClientUpdate=*/false, /*markersOnly=*/false);
+    return t;
+}
+
+RinWidget::UpdateTiming RinWidget::setMeasure(Measure measure) {
+    UpdateTiming t;
+    measure_ = measure;
+    recomputeMeasure(t);
+    // Only marker colors change.
+    renderAndShip(t, /*fullClientUpdate=*/true, /*markersOnly=*/true);
+    return t;
+}
+
+RinWidget::UpdateTiming RinWidget::refresh() {
+    UpdateTiming t;
+    Timer netTimer;
+    rin_.rebuild();
+    t.networkUpdateMs = netTimer.elapsedMs();
+    recomputeLayout(t);
+    recomputeMeasure(t);
+    renderAndShip(t, /*fullClientUpdate=*/true, /*markersOnly=*/false);
+    return t;
+}
+
+} // namespace rinkit::viz

@@ -1,0 +1,122 @@
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "src/layout/maxent_stress.hpp"
+#include "src/rin/dynamic_rin.hpp"
+#include "src/viz/client_model.hpp"
+#include "src/viz/measures.hpp"
+#include "src/viz/scene.hpp"
+
+namespace rinkit::viz {
+
+/// Server-side state machine of the paper's RIN exploration widget
+/// (Fig. 5): dual 3D view (protein-based layout | Maxent-Stress layout),
+/// three sliders (trajectory frame, distance cutoff, network measure), a
+/// score buffer for delta visualization, and auto/on-demand recomputation.
+///
+/// Every slider event runs the full update cycle the paper instruments:
+///   network update -> layout generation -> measure recomputation ->
+///   scene build -> JSON serialization -> (simulated) client update,
+/// and returns the per-phase wall-clock times — the quantities plotted in
+/// Figs. 6-8.
+class RinWidget {
+public:
+    struct Options {
+        rin::DistanceCriterion criterion = rin::DistanceCriterion::MinimumAtomDistance;
+        double initialCutoff = 4.5;
+        index initialFrame = 0;
+        std::optional<Measure> initialMeasure = Measure::Closeness;
+        Palette palette = Palette::Spectral;
+        bool autoRecompute = true; ///< recompute the measure on network change
+        count layoutIterations = 30; ///< Maxent-Stress iterations per update
+        std::uint64_t seed = 1;
+    };
+
+    /// Wall-clock decomposition of one update cycle (all in ms).
+    struct UpdateTiming {
+        double networkUpdateMs = 0.0; ///< DynamicRin edge diff (Figs. 6ab, 7d, 8gh)
+        double layoutMs = 0.0;        ///< Maxent-Stress generation (Fig. 7e)
+        double measureMs = 0.0;       ///< centrality/community recompute (Fig. 6ab)
+        double sceneBuildMs = 0.0;    ///< widget data handling
+        double serializeMs = 0.0;     ///< figure -> JSON
+        double clientMs = 0.0;        ///< simulated browser update
+        rin::DynamicRin::UpdateStats edgeStats;
+
+        double serverMs() const {
+            return networkUpdateMs + layoutMs + measureMs + sceneBuildMs + serializeMs;
+        }
+        double totalMs() const { return serverMs() + clientMs; }
+    };
+
+    RinWidget(const md::Trajectory& traj, Options options);
+    RinWidget(const md::Trajectory& traj) : RinWidget(traj, Options{}) {}
+
+    // -- slider events --------------------------------------------------
+
+    /// Trajectory-frame slider (Fig. 8): node positions change, so the
+    /// client performs a full DOM update.
+    UpdateTiming setFrame(index frame);
+
+    /// Cutoff slider (Fig. 7): node positions of the protein view are
+    /// unchanged; the client updates edges (and the Maxent view).
+    UpdateTiming setCutoff(double cutoff);
+
+    /// Measure slider (Fig. 6): network and layouts unchanged; only the
+    /// node colors are recomputed and re-rendered.
+    UpdateTiming setMeasure(Measure measure);
+
+    /// Recomputes everything (initial draw / "recompute" button in
+    /// on-demand mode).
+    UpdateTiming refresh();
+
+    // -- quality-of-life toggles (paper: "misc. components") -------------
+
+    /// Auto vs on-demand recomputation of the measure on network changes.
+    void setAutoRecompute(bool enabled) { options_.autoRecompute = enabled; }
+    bool autoRecompute() const { return options_.autoRecompute; }
+
+    /// Delta view: colors show current minus buffered scores.
+    void setDeltaMode(bool enabled) { deltaMode_ = enabled; }
+    bool deltaMode() const { return deltaMode_; }
+
+    /// Stores the current scores as the delta baseline.
+    void snapshotBuffer() { buffer_ = scores_; }
+
+    // -- state ------------------------------------------------------------
+
+    const Graph& graph() const { return rin_.graph(); }
+    index frame() const { return rin_.frame(); }
+    double cutoff() const { return rin_.cutoff(); }
+    std::optional<Measure> measure() const { return measure_; }
+
+    /// Scores of the current measure (empty until a measure ran).
+    const std::vector<double>& scores() const { return scores_; }
+
+    /// Scores shown (raw, or current - buffer in delta mode).
+    std::vector<double> displayedScores() const;
+
+    /// Maxent-Stress coordinates of the current network.
+    const std::vector<Point3>& maxentLayout() const { return maxentCoords_; }
+
+    /// The last serialized figure (two scenes side by side, like Fig. 5).
+    const std::string& figureJson() const { return figureJson_; }
+
+private:
+    void recomputeLayout(UpdateTiming& t);
+    void recomputeMeasure(UpdateTiming& t);
+    void renderAndShip(UpdateTiming& t, bool fullClientUpdate, bool markersOnly);
+
+    Options options_;
+    rin::DynamicRin rin_;
+    std::optional<Measure> measure_;
+    std::vector<double> scores_;
+    std::vector<double> buffer_;
+    std::vector<Point3> maxentCoords_;
+    std::string figureJson_;
+    ClientCostModel client_;
+    bool deltaMode_ = false;
+};
+
+} // namespace rinkit::viz

@@ -1,0 +1,275 @@
+// Tests for the cloud simulator: node topology, namespaces + RBAC,
+// scheduling under quotas, prefix routing with source affinity, and the
+// JupyterHub multi-user lifecycle including PV-backed restarts.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/cloud/cluster.hpp"
+#include "src/cloud/jupyterhub.hpp"
+
+namespace rinkit::cloud {
+namespace {
+
+TEST(Resources, ArithmeticAndFits) {
+    Resources a{1000, 2048};
+    Resources b{500, 1024};
+    EXPECT_EQ((a + b).cpuMillis, 1500u);
+    a += b;
+    EXPECT_EQ(a.memoryMb, 3072u);
+    a -= b;
+    EXPECT_EQ(a, (Resources{1000, 2048}));
+    EXPECT_TRUE(a.fits(b));
+    EXPECT_FALSE(b.fits(a));
+    EXPECT_EQ(b.toString(), "500m/1024Mi");
+}
+
+TEST(Cluster, PaperReferenceTopology) {
+    const auto c = Cluster::paperReferenceCluster();
+    EXPECT_EQ(c.nodeCount(NodeRole::Master), 3u);
+    EXPECT_EQ(c.nodeCount(NodeRole::Worker), 2u);
+    EXPECT_EQ(c.nodeCount(NodeRole::Service), 1u);
+    EXPECT_EQ(c.nodeCount(NodeRole::Gateway), 1u);
+    EXPECT_TRUE(c.highAvailability());
+    // Paper: masters need >= 4 CPUs and 16 GB.
+    EXPECT_EQ(c.node("master-0").capacity, kPaperControlPlaneNode);
+}
+
+TEST(Cluster, HaRequiresThreeMasters) {
+    Cluster c;
+    c.addNode("m0", NodeRole::Master, kPaperControlPlaneNode);
+    c.addNode("m1", NodeRole::Master, kPaperControlPlaneNode);
+    EXPECT_FALSE(c.highAvailability());
+    c.addNode("m2", NodeRole::Master, kPaperControlPlaneNode);
+    EXPECT_TRUE(c.highAvailability());
+    EXPECT_THROW(c.addNode("m0", NodeRole::Worker, {1, 1}), std::invalid_argument);
+    EXPECT_THROW(c.node("nope"), std::out_of_range);
+}
+
+TEST(Cluster, NamespaceLifecycleAndRbac) {
+    auto c = Cluster::paperReferenceCluster();
+    c.createNamespace("ns-a");
+    c.createNamespace("ns-b");
+    EXPECT_THROW(c.createNamespace("ns-a"), std::invalid_argument);
+    c.createServiceAccount("ns-a", "sa", {Permission::SpawnPods, Permission::ListPods});
+
+    EXPECT_TRUE(c.allowed("ns-a", "sa", Permission::SpawnPods));
+    EXPECT_FALSE(c.allowed("ns-a", "sa", Permission::DeletePods));
+    // Namespace-local: the same account name grants nothing elsewhere.
+    EXPECT_FALSE(c.allowed("ns-b", "sa", Permission::SpawnPods));
+    EXPECT_FALSE(c.allowed("nonexistent", "sa", Permission::SpawnPods));
+    EXPECT_THROW(c.createServiceAccount("nope", "sa", {}), std::out_of_range);
+}
+
+TEST(Cluster, SpawnRequiresPermission) {
+    auto c = Cluster::paperReferenceCluster();
+    c.createNamespace("ns");
+    c.createServiceAccount("ns", "viewer", {Permission::ViewEvents});
+    PodSpec spec;
+    spec.name = "p";
+    EXPECT_THROW(c.spawnPod("ns", "viewer", spec), std::runtime_error);
+    EXPECT_THROW(c.spawnPod("ns", "ghost", spec), std::runtime_error);
+    c.createServiceAccount("ns", "spawner", {Permission::SpawnPods});
+    EXPECT_TRUE(c.spawnPod("ns", "spawner", spec).has_value());
+}
+
+TEST(Cluster, SchedulingSpreadsAndRespectsCapacity) {
+    auto c = Cluster::paperReferenceCluster(2, Resources{4000, 8192});
+    c.createNamespace("ns");
+    c.createServiceAccount("ns", "sa", {Permission::SpawnPods, Permission::ListPods});
+
+    PodSpec spec;
+    spec.request = {2000, 2048};
+    std::set<std::string> usedNodes;
+    for (int i = 0; i < 4; ++i) {
+        spec.name = "p" + std::to_string(i);
+        const auto uid = c.spawnPod("ns", "sa", spec);
+        ASSERT_TRUE(uid.has_value());
+    }
+    for (const auto& pod : c.pods("ns", "sa")) usedNodes.insert(pod.nodeName);
+    EXPECT_EQ(usedNodes.size(), 2u); // least-allocated spreads over both workers
+
+    // Workers are now full (4 * 2000m on 2 * 4000m).
+    spec.name = "overflow";
+    EXPECT_FALSE(c.spawnPod("ns", "sa", spec).has_value());
+    EXPECT_EQ(c.totalAllocated().cpuMillis, 8000u);
+}
+
+TEST(Cluster, DeleteFreesResources) {
+    auto c = Cluster::paperReferenceCluster(1, Resources{4000, 8192});
+    c.createNamespace("ns");
+    c.createServiceAccount("ns", "sa",
+                           {Permission::SpawnPods, Permission::DeletePods,
+                            Permission::ListPods});
+    PodSpec spec;
+    spec.name = "p";
+    spec.request = {4000, 8192};
+    const auto uid = c.spawnPod("ns", "sa", spec);
+    ASSERT_TRUE(uid.has_value());
+    spec.name = "q";
+    EXPECT_FALSE(c.spawnPod("ns", "sa", spec).has_value()); // full
+    c.deletePod("ns", "sa", *uid);
+    EXPECT_EQ(c.totalAllocated().cpuMillis, 0u);
+    EXPECT_TRUE(c.spawnPod("ns", "sa", spec).has_value()); // freed
+    EXPECT_THROW(c.deletePod("ns", "sa", 9999), std::out_of_range);
+}
+
+TEST(Cluster, DeploymentCreatesReplicas) {
+    auto c = Cluster::paperReferenceCluster();
+    c.createNamespace("ns");
+    Deployment d;
+    d.name = "web";
+    d.replicas = 3;
+    d.podTemplate.request = {500, 512};
+    c.apply("ns", d);
+    EXPECT_EQ(c.pods("ns").size(), 3u);
+    for (const auto& pod : c.pods("ns")) EXPECT_EQ(pod.phase, PodPhase::Running);
+    EXPECT_THROW(c.apply("nope", d), std::out_of_range);
+}
+
+TEST(Cluster, RoutingPrefixAndAffinity) {
+    auto c = Cluster::paperReferenceCluster();
+    c.createNamespace("ns");
+    Deployment d;
+    d.name = "api";
+    d.replicas = 3;
+    d.podTemplate.request = {100, 128};
+    c.apply("ns", d);
+    c.createService("ns", {"api-svc", "api"});
+    c.createIngress("ns", {"/api", "api-svc"});
+
+    // No match outside the prefix.
+    EXPECT_FALSE(c.route("1.2.3.4", "/other").has_value());
+    // Source affinity: same IP -> same backend, repeatedly.
+    const auto first = c.route("1.2.3.4", "/api/data");
+    ASSERT_TRUE(first.has_value());
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_EQ(c.route("1.2.3.4", "/api/data"), first);
+    }
+    // Different sources spread across backends.
+    std::set<count> backends;
+    for (int i = 0; i < 50; ++i) {
+        const auto r = c.route("10.0.0." + std::to_string(i), "/api");
+        ASSERT_TRUE(r.has_value());
+        backends.insert(*r);
+    }
+    EXPECT_GE(backends.size(), 2u);
+}
+
+TEST(Cluster, LongestPrefixWins) {
+    auto c = Cluster::paperReferenceCluster();
+    c.createNamespace("ns");
+    Deployment hub;
+    hub.name = "hub";
+    hub.replicas = 1;
+    hub.podTemplate.request = {100, 128};
+    c.apply("ns", hub);
+    Deployment user;
+    user.name = "user-alice";
+    user.replicas = 1;
+    user.podTemplate.request = {100, 128};
+    c.apply("ns", user);
+    c.createService("ns", {"hub-svc", "hub"});
+    c.createService("ns", {"alice-svc", "user-alice"});
+    c.createIngress("ns", {"/", "hub-svc"});
+    c.createIngress("ns", {"/user/alice", "alice-svc"});
+
+    const auto toAlice = c.route("9.9.9.9", "/user/alice/lab");
+    const auto toHub = c.route("9.9.9.9", "/hub/login");
+    ASSERT_TRUE(toAlice.has_value());
+    ASSERT_TRUE(toHub.has_value());
+    EXPECT_NE(*toAlice, *toHub);
+}
+
+TEST(JupyterHub, InstallCreatesEntities) {
+    auto c = Cluster::paperReferenceCluster();
+    JupyterHub hub(c);
+    EXPECT_TRUE(c.hasNamespace("rin-vis"));
+    EXPECT_TRUE(c.allowed("rin-vis", "hub-sa", Permission::SpawnPods));
+    EXPECT_EQ(c.pods("rin-vis").size(), 1u); // the hub pod
+    // PV carries the spawner config with the paper's limits.
+    EXPECT_NE(hub.persistentVolume().at("jupyterhub_config.py").find("10000"),
+              std::string::npos);
+}
+
+TEST(JupyterHub, LoginSpawnsOnDemandAndIsIdempotent) {
+    auto c = Cluster::paperReferenceCluster(2, Resources{64000, 262144});
+    JupyterHub hub(c);
+    EXPECT_TRUE(hub.login("alice"));
+    EXPECT_TRUE(hub.login("bob"));
+    EXPECT_TRUE(hub.hasSession("alice"));
+    EXPECT_EQ(hub.activeSessions(), 2u);
+    const count podsBefore = c.pods("rin-vis").size();
+    EXPECT_TRUE(hub.login("alice")); // reuse, no new pod
+    EXPECT_EQ(c.pods("rin-vis").size(), podsBefore);
+    EXPECT_THROW(hub.login(""), std::invalid_argument);
+}
+
+TEST(JupyterHub, UserPodsGetPaperLimits) {
+    auto c = Cluster::paperReferenceCluster(2, Resources{64000, 262144});
+    JupyterHub hub(c);
+    hub.login("carol");
+    for (const auto& pod : c.pods("rin-vis")) {
+        if (pod.spec.name == "jupyter-carol") {
+            EXPECT_EQ(pod.spec.request, kPaperInstanceLimit);
+            return;
+        }
+    }
+    FAIL() << "carol's pod not found";
+}
+
+TEST(JupyterHub, CapacityLimitsConcurrentUsers) {
+    // Each user needs 10 vCores; 2 workers x 32 cores -> 6 users fit
+    // (hub pod takes 1 core on one of them).
+    auto c = Cluster::paperReferenceCluster(2, Resources{32000, 262144});
+    JupyterHub hub(c);
+    count admitted = 0;
+    for (int i = 0; i < 10; ++i) {
+        if (hub.login("user" + std::to_string(i))) ++admitted;
+    }
+    EXPECT_EQ(admitted, 6u);
+    // Logging out frees a slot.
+    hub.logout("user0");
+    EXPECT_TRUE(hub.login("late-user"));
+}
+
+TEST(JupyterHub, RoutingReachesTheUsersPod) {
+    auto c = Cluster::paperReferenceCluster(2, Resources{64000, 262144});
+    JupyterHub hub(c);
+    hub.login("dave");
+    hub.login("erin");
+    const auto dave = hub.routeUserRequest("dave", "6.6.6.6");
+    const auto erin = hub.routeUserRequest("erin", "6.6.6.6");
+    ASSERT_TRUE(dave.has_value());
+    ASSERT_TRUE(erin.has_value());
+    EXPECT_NE(*dave, *erin); // namespace isolation per user path
+    EXPECT_FALSE(hub.routeUserRequest("nobody", "6.6.6.6").has_value());
+}
+
+TEST(JupyterHub, RestartRecoversSessionsFromPv) {
+    auto c = Cluster::paperReferenceCluster(2, Resources{64000, 262144});
+    JupyterHub hub(c);
+    hub.login("frank");
+    hub.login("grace");
+    hub.restartHub();
+    EXPECT_EQ(hub.activeSessions(), 2u);
+    EXPECT_TRUE(hub.hasSession("frank"));
+    EXPECT_TRUE(hub.routeUserRequest("grace", "1.1.1.1").has_value());
+    // Logout after restart still works (uid survived in the PV).
+    hub.logout("frank");
+    EXPECT_FALSE(hub.hasSession("frank"));
+}
+
+TEST(JupyterHub, EventsLogTellsTheStory) {
+    auto c = Cluster::paperReferenceCluster();
+    JupyterHub hub(c);
+    hub.login("heidi");
+    bool sawSpawn = false;
+    for (const auto& e : c.events()) {
+        if (e.find("jupyter-heidi") != std::string::npos) sawSpawn = true;
+    }
+    EXPECT_TRUE(sawSpawn);
+}
+
+} // namespace
+} // namespace rinkit::cloud

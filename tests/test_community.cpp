@@ -1,0 +1,382 @@
+// Tests for community detection: Partition mechanics, quality measures with
+// hand-computed values, recovery of planted partitions by every detector,
+// Leiden's connectivity guarantee, and NMI/ARI properties.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/community/leiden.hpp"
+#include "src/community/louvain_common.hpp"
+#include "src/community/mapequation.hpp"
+#include "src/community/partition.hpp"
+#include "src/community/plm.hpp"
+#include "src/community/plp.hpp"
+#include "src/community/quality.hpp"
+#include "src/community/similarity.hpp"
+#include "src/graph/generators.hpp"
+#include "src/support/random.hpp"
+
+namespace rinkit {
+namespace {
+
+Graph twoCliquesBridge(count k) {
+    // Two k-cliques joined by a single edge: unambiguous two-community graph.
+    Graph g(2 * k);
+    for (node u = 0; u < k; ++u) {
+        for (node v = u + 1; v < k; ++v) {
+            g.addEdge(u, v);
+            g.addEdge(static_cast<node>(k + u), static_cast<node>(k + v));
+        }
+    }
+    g.addEdge(0, static_cast<node>(k));
+    return g;
+}
+
+Partition twoBlocks(count n) {
+    Partition p(n);
+    for (node u = 0; u < n; ++u) p[u] = u < n / 2 ? 0 : 1;
+    return p;
+}
+
+TEST(Partition, SingletonsAndCompact) {
+    Partition p(5);
+    p.allToSingletons();
+    EXPECT_EQ(p.numberOfSubsets(), 5u);
+    p.moveToSubset(1, 0);
+    p.moveToSubset(3, 4);
+    EXPECT_EQ(p.numberOfSubsets(), 3u);
+    EXPECT_EQ(p.compact(), 3u);
+    for (node u = 0; u < 5; ++u) EXPECT_LT(p[u], 3u);
+    EXPECT_TRUE(p.inSameSubset(0, 1));
+    EXPECT_TRUE(p.inSameSubset(3, 4));
+    EXPECT_FALSE(p.inSameSubset(0, 2));
+}
+
+TEST(Partition, SizesAndMembers) {
+    Partition p(std::vector<index>{0, 0, 1, 1, 1});
+    EXPECT_EQ(p.subsetSizes(), (std::vector<count>{2, 3}));
+    EXPECT_EQ(p.members(1), (std::vector<node>{2, 3, 4}));
+    EXPECT_THROW(p.subsetOf(9), std::out_of_range);
+    EXPECT_THROW(p.moveToSubset(9, 0), std::out_of_range);
+}
+
+TEST(Quality, ModularityHandValue) {
+    // Two triangles + bridge: m = 7.
+    // Ground-truth split: intra = 6, vol = 7 per side.
+    // Q = 6/7 - 2 * (7/14)^2 = 6/7 - 1/2.
+    const auto g = twoCliquesBridge(3);
+    const auto p = twoBlocks(6);
+    EXPECT_NEAR(modularity(p, g), 6.0 / 7.0 - 0.5, 1e-12);
+    EXPECT_NEAR(coverage(p, g), 6.0 / 7.0, 1e-12);
+}
+
+TEST(Quality, SingletonModularityNegative) {
+    const auto g = generators::karateClub();
+    Partition p(34);
+    p.allToSingletons();
+    EXPECT_LT(modularity(p, g), 0.0);
+    EXPECT_DOUBLE_EQ(coverage(p, g), 0.0);
+}
+
+TEST(Quality, AllInOneModularityZero) {
+    const auto g = generators::karateClub();
+    Partition p(34); // all zeros
+    EXPECT_NEAR(modularity(p, g), 0.0, 1e-12);
+    EXPECT_DOUBLE_EQ(coverage(p, g), 1.0);
+}
+
+TEST(Quality, ResolutionParameterShifts) {
+    const auto g = twoCliquesBridge(4);
+    const auto p = twoBlocks(8);
+    // Larger gamma penalizes volume more strongly.
+    EXPECT_GT(modularity(p, g, 0.5), modularity(p, g, 1.0));
+    EXPECT_GT(modularity(p, g, 1.0), modularity(p, g, 2.0));
+}
+
+TEST(Quality, SizeMismatchThrows) {
+    const auto g = generators::karateClub();
+    Partition p(10);
+    EXPECT_THROW(modularity(p, g), std::invalid_argument);
+    EXPECT_THROW(coverage(p, g), std::invalid_argument);
+    EXPECT_THROW(mapEquation(p, g), std::invalid_argument);
+}
+
+TEST(Quality, MapEquationPrefersGoodPartition) {
+    const auto g = twoCliquesBridge(5);
+    const auto good = twoBlocks(10);
+    Partition singletons(10);
+    singletons.allToSingletons();
+    Partition allInOne(10);
+    // The true split must beat both trivial partitions.
+    EXPECT_LT(mapEquation(good, g), mapEquation(singletons, g));
+    EXPECT_LT(mapEquation(good, g), mapEquation(allInOne, g));
+}
+
+TEST(Quality, MapEquationOneModuleEqualsEntropy) {
+    // With a single module there is no inter-module traffic: L = H(node visit rates).
+    const auto g = generators::karateClub();
+    Partition p(34);
+    const double m2 = 2.0 * g.totalEdgeWeight();
+    double h = 0.0;
+    g.forNodes([&](node u) {
+        const double pu = g.weightedDegree(u) / m2;
+        if (pu > 0) h -= pu * std::log2(pu);
+    });
+    EXPECT_NEAR(mapEquation(p, g), h, 1e-12);
+}
+
+TEST(LouvainCommon, CoarsenFoldsWeights) {
+    const auto g = twoCliquesBridge(3);
+    auto cg = louvain::CoarseGraph::fromGraph(g);
+    EXPECT_DOUBLE_EQ(cg.totalWeight(), 7.0);
+    EXPECT_DOUBLE_EQ(cg.volume(0), 3.0); // deg 2 in clique + bridge
+
+    const auto p = twoBlocks(6);
+    const auto coarse = louvain::coarsen(cg, p);
+    EXPECT_EQ(coarse.g.numberOfNodes(), 2u);
+    EXPECT_EQ(coarse.g.numberOfEdges(), 1u);
+    EXPECT_DOUBLE_EQ(coarse.g.weight(0, 1), 1.0);
+    EXPECT_DOUBLE_EQ(coarse.selfLoop[0], 3.0);
+    EXPECT_DOUBLE_EQ(coarse.selfLoop[1], 3.0);
+    EXPECT_DOUBLE_EQ(coarse.totalWeight(), 7.0); // weight preserved
+    EXPECT_DOUBLE_EQ(coarse.volume(0), 7.0);     // vol preserved per block
+}
+
+TEST(LouvainCommon, ProlongComposes) {
+    Partition fine(std::vector<index>{0, 0, 1, 1, 2});
+    Partition coarse(std::vector<index>{5, 5, 9});
+    const auto lifted = louvain::prolong(fine, coarse);
+    EXPECT_EQ(lifted.vector(), (std::vector<index>{5, 5, 5, 5, 9}));
+}
+
+// All four detectors must recover an easy planted partition.
+struct DetectorCase {
+    const char* name;
+    std::function<std::unique_ptr<CommunityDetector>(const Graph&)> make;
+};
+
+class DetectorP : public ::testing::TestWithParam<int> {
+public:
+    static std::unique_ptr<CommunityDetector> make(int which, const Graph& g) {
+        switch (which) {
+        case 0: return std::make_unique<Plm>(g);
+        case 1: return std::make_unique<Plm>(g, true); // PLM-R
+        case 2: return std::make_unique<ParallelLeiden>(g);
+        case 3: return std::make_unique<LouvainMapEquation>(g);
+        default: return std::make_unique<Plp>(g);
+        }
+    }
+};
+
+TEST_P(DetectorP, RecoversTwoCliques) {
+    const auto g = twoCliquesBridge(8);
+    auto det = DetectorP::make(GetParam(), g);
+    det->run();
+    const auto& p = det->getPartition();
+    EXPECT_EQ(p.numberOfSubsets(), 2u);
+    for (node u = 1; u < 8; ++u) EXPECT_TRUE(p.inSameSubset(0, u));
+    for (node u = 9; u < 16; ++u) EXPECT_TRUE(p.inSameSubset(8, u));
+    EXPECT_FALSE(p.inSameSubset(0, 8));
+}
+
+TEST_P(DetectorP, RecoversPlantedPartition) {
+    std::vector<index> truth;
+    const auto g = generators::plantedPartition(5, 30, 0.5, 0.01, 7, &truth);
+    auto det = DetectorP::make(GetParam(), g);
+    det->run();
+    const double similarity = nmi(det->getPartition(), Partition(truth));
+    EXPECT_GT(similarity, 0.9) << "detector " << GetParam();
+}
+
+TEST_P(DetectorP, RunRequiredBeforePartition) {
+    const auto g = twoCliquesBridge(3);
+    auto det = DetectorP::make(GetParam(), g);
+    EXPECT_THROW(det->getPartition(), std::logic_error);
+}
+
+TEST_P(DetectorP, HandlesEmptyAndEdgeless) {
+    Graph empty;
+    auto det0 = DetectorP::make(GetParam(), empty);
+    det0->run();
+    EXPECT_EQ(det0->getPartition().numberOfElements(), 0u);
+
+    Graph iso(6);
+    auto det1 = DetectorP::make(GetParam(), iso);
+    det1->run();
+    EXPECT_EQ(det1->getPartition().numberOfElements(), 6u);
+    // No edges: every node stays in its own community.
+    EXPECT_EQ(det1->getPartition().numberOfSubsets(), 6u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDetectors, DetectorP, ::testing::Values(0, 1, 2, 3, 4));
+
+TEST(Plm, KarateModularityInKnownRange) {
+    const auto g = generators::karateClub();
+    Plm plm(g, true);
+    plm.run();
+    const double q = modularity(plm.getPartition(), g);
+    // Optimal modularity for karate is ~0.4198; Louvain finds >= 0.40.
+    EXPECT_GE(q, 0.38);
+    EXPECT_LE(q, 0.42);
+}
+
+TEST(Plm, RefinementDoesNotHurt) {
+    const auto g = generators::plantedPartition(6, 20, 0.4, 0.02, 3);
+    Plm base(g, false, 1.0, 9);
+    Plm refined(g, true, 1.0, 9);
+    base.run();
+    refined.run();
+    EXPECT_GE(modularity(refined.getPartition(), g) + 1e-9,
+              modularity(base.getPartition(), g));
+}
+
+TEST(Plm, LocalMovingImprovesModularityMonotonically) {
+    const auto g = generators::karateClub();
+    auto cg = louvain::CoarseGraph::fromGraph(g);
+    Partition p(34);
+    p.allToSingletons();
+    const double before = modularity(p, g);
+    Plm::localMoving(cg, p, 1.0, 1);
+    EXPECT_GT(modularity(p, g), before);
+}
+
+TEST(Leiden, CommunitiesAreConnected) {
+    for (std::uint64_t seed : {1, 2, 3}) {
+        const auto g = generators::erdosRenyi(300, 0.02, seed);
+        ParallelLeiden leiden(g, 1.0, seed);
+        leiden.run();
+        const auto& p = leiden.getPartition();
+        // Every community induces a connected subgraph.
+        const count k = p.numberOfSubsets();
+        for (index c = 0; c < k; ++c) {
+            const auto members = p.members(c);
+            ASSERT_FALSE(members.empty());
+            // BFS within the community.
+            std::vector<bool> inC(g.numberOfNodes(), false), seen(g.numberOfNodes(), false);
+            for (node u : members) inC[u] = true;
+            std::vector<node> stack{members[0]};
+            seen[members[0]] = true;
+            count reached = 0;
+            while (!stack.empty()) {
+                const node u = stack.back();
+                stack.pop_back();
+                ++reached;
+                g.forNeighborsOf(u, [&](node, node v) {
+                    if (inC[v] && !seen[v]) {
+                        seen[v] = true;
+                        stack.push_back(v);
+                    }
+                });
+            }
+            EXPECT_EQ(reached, members.size()) << "community " << c << " disconnected";
+        }
+    }
+}
+
+TEST(Leiden, SplitDisconnectedSplitsCorrectly) {
+    Graph g(6);
+    g.addEdge(0, 1);
+    g.addEdge(2, 3);
+    g.addEdge(4, 5);
+    Partition p(std::vector<index>{0, 0, 0, 0, 1, 1});
+    const count splits = ParallelLeiden::splitDisconnected(g, p);
+    EXPECT_EQ(splits, 1u); // community 0 had two components
+    EXPECT_TRUE(p.inSameSubset(0, 1));
+    EXPECT_TRUE(p.inSameSubset(2, 3));
+    EXPECT_FALSE(p.inSameSubset(0, 2));
+    EXPECT_TRUE(p.inSameSubset(4, 5));
+}
+
+TEST(MapEquation, LocalMovingDecreasesObjective) {
+    const auto g = generators::plantedPartition(4, 25, 0.4, 0.02, 5);
+    auto cg = louvain::CoarseGraph::fromGraph(g);
+    Partition p(g.numberOfNodes());
+    p.allToSingletons();
+    const double before = mapEquation(p, g);
+    LouvainMapEquation::localMoving(cg, p, 1);
+    EXPECT_LT(mapEquation(p, g), before);
+}
+
+TEST(MapEquation, BeatsTrivialPartitions) {
+    const auto g = generators::plantedPartition(4, 25, 0.4, 0.02, 5);
+    LouvainMapEquation lme(g);
+    lme.run();
+    Partition allInOne(g.numberOfNodes());
+    Partition singletons(g.numberOfNodes());
+    singletons.allToSingletons();
+    const double found = mapEquation(lme.getPartition(), g);
+    EXPECT_LT(found, mapEquation(allInOne, g));
+    EXPECT_LT(found, mapEquation(singletons, g));
+}
+
+TEST(Plp, TerminatesAndReportsIterations) {
+    const auto g = generators::plantedPartition(3, 40, 0.5, 0.01, 2);
+    Plp plp(g);
+    plp.run();
+    EXPECT_GE(plp.iterations(), 1u);
+    EXPECT_LE(plp.iterations(), 100u);
+    EXPECT_GE(plp.getPartition().numberOfSubsets(), 3u - 1);
+}
+
+TEST(Nmi, IdenticalPartitionsScoreOne) {
+    Partition p(std::vector<index>{0, 0, 1, 1, 2, 2});
+    Partition q(std::vector<index>{5, 5, 9, 9, 7, 7}); // same up to renaming
+    EXPECT_NEAR(nmi(p, q), 1.0, 1e-12);
+    EXPECT_NEAR(adjustedRandIndex(p, q), 1.0, 1e-12);
+}
+
+TEST(Nmi, TrivialVsInformativeIsZero) {
+    Partition allInOne(6);
+    Partition split(std::vector<index>{0, 0, 0, 1, 1, 1});
+    EXPECT_DOUBLE_EQ(nmi(allInOne, split), 0.0);
+}
+
+TEST(Nmi, NormalizationOrdering) {
+    Partition a(std::vector<index>{0, 0, 1, 1, 2, 2, 3, 3});
+    Partition b(std::vector<index>{0, 0, 0, 0, 1, 1, 1, 1});
+    // Min-normalized >= geometric >= arithmetic... in general
+    // min >= geo >= ari >= max; check the outer inequality plus bounds.
+    const double vMin = nmi(a, b, NmiNormalization::Min);
+    const double vMax = nmi(a, b, NmiNormalization::Max);
+    const double vGeo = nmi(a, b, NmiNormalization::Geometric);
+    const double vAri = nmi(a, b, NmiNormalization::Arithmetic);
+    EXPECT_GE(vMin, vGeo);
+    EXPECT_GE(vGeo, vAri);
+    EXPECT_GE(vAri, vMax);
+    EXPECT_GT(vMax, 0.0);
+    EXPECT_LE(vMin, 1.0);
+}
+
+TEST(Nmi, SymmetricInArguments) {
+    Partition a(std::vector<index>{0, 0, 1, 1, 2, 2, 0, 1});
+    Partition b(std::vector<index>{0, 1, 1, 1, 2, 2, 0, 0});
+    EXPECT_NEAR(nmi(a, b), nmi(b, a), 1e-12);
+    EXPECT_NEAR(adjustedRandIndex(a, b), adjustedRandIndex(b, a), 1e-12);
+}
+
+TEST(Nmi, SizeMismatchThrows) {
+    Partition a(3), b(4);
+    EXPECT_THROW(nmi(a, b), std::invalid_argument);
+    EXPECT_THROW(adjustedRandIndex(a, b), std::invalid_argument);
+}
+
+TEST(Ari, IndependentPartitionsNearZero) {
+    // Random assignment vs blocks: expect ARI around 0.
+    Rng rng(5);
+    Partition blocks(std::vector<index>(200));
+    Partition random(std::vector<index>(200));
+    for (node u = 0; u < 200; ++u) {
+        blocks[u] = u / 50;
+        random[u] = static_cast<index>(rng.integer(4));
+    }
+    EXPECT_NEAR(adjustedRandIndex(blocks, random), 0.0, 0.1);
+}
+
+TEST(Ari, BothTrivialPartitionsScoreOne) {
+    Partition a(5), b(5);
+    EXPECT_DOUBLE_EQ(adjustedRandIndex(a, b), 1.0);
+    EXPECT_DOUBLE_EQ(nmi(a, b), 1.0);
+}
+
+} // namespace
+} // namespace rinkit

@@ -1,0 +1,252 @@
+// Tests for the extension modules: trajectory contact analysis, Kabsch
+// superposition/RMSD, local clustering centrality, the widget session
+// recorder, and the gateway ACL firewall.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "src/centrality/local_clustering.hpp"
+#include "src/cloud/gateway.hpp"
+#include "src/graph/generators.hpp"
+#include "src/md/align.hpp"
+#include "src/md/synthetic.hpp"
+#include "src/md/trajectory.hpp"
+#include "src/rin/contact_analysis.hpp"
+#include "src/support/random.hpp"
+#include "src/viz/session_recorder.hpp"
+
+namespace rinkit {
+namespace {
+
+md::Trajectory foldingTrajectory(count frames = 9) {
+    md::TrajectoryGenerator::Parameters gen;
+    gen.frames = frames;
+    gen.unfoldingEvents = 1;
+    return md::TrajectoryGenerator(gen).generate(md::villinHeadpiece());
+}
+
+TEST(ContactAnalysis, FrequenciesInUnitInterval) {
+    const auto traj = foldingTrajectory();
+    rin::ContactAnalysis ca(traj, rin::DistanceCriterion::MinimumAtomDistance, 5.0);
+    EXPECT_EQ(ca.frameCount(), 9u);
+    EXPECT_EQ(ca.residueCount(), 35u);
+    for (node u = 0; u < 35; u += 3) {
+        for (node v = u + 1; v < 35; v += 5) {
+            const double f = ca.contactFrequency(u, v);
+            EXPECT_GE(f, 0.0);
+            EXPECT_LE(f, 1.0);
+            EXPECT_DOUBLE_EQ(f, ca.contactFrequency(v, u)); // symmetric
+        }
+    }
+    EXPECT_DOUBLE_EQ(ca.contactFrequency(3, 3), 0.0);
+}
+
+TEST(ContactAnalysis, BackboneContactsArePersistent) {
+    // Adjacent residues stay in contact through folding and unfolding.
+    const auto traj = foldingTrajectory();
+    rin::ContactAnalysis ca(traj, rin::DistanceCriterion::MinimumAtomDistance, 5.0);
+    for (node u = 0; u + 1 < 35; ++u) {
+        EXPECT_DOUBLE_EQ(ca.contactFrequency(u, u + 1), 1.0) << "residue " << u;
+    }
+}
+
+TEST(ContactAnalysis, ConsensusGraphMonotoneInThreshold) {
+    const auto traj = foldingTrajectory();
+    rin::ContactAnalysis ca(traj, rin::DistanceCriterion::MinimumAtomDistance, 5.0);
+    const auto core = ca.consensusGraph(1.0);   // persistent contacts
+    const auto majority = ca.consensusGraph(0.5);
+    const auto any = ca.consensusGraph(1.0 / 9.0);
+    EXPECT_LE(core.numberOfEdges(), majority.numberOfEdges());
+    EXPECT_LE(majority.numberOfEdges(), any.numberOfEdges());
+    // The persistent core contains at least the backbone.
+    EXPECT_GE(core.numberOfEdges(), 34u);
+    core.forEdges([&](node u, node v) { EXPECT_TRUE(majority.hasEdge(u, v)); });
+}
+
+TEST(ContactAnalysis, MeanContactNumberDropsWhenUnfolded) {
+    const auto traj = foldingTrajectory(9);
+    rin::ContactAnalysis ca(traj, rin::DistanceCriterion::MinimumAtomDistance, 5.0);
+    EXPECT_LT(ca.meanContactNumber(4), ca.meanContactNumber(0)); // apex vs folded
+    EXPECT_LT(ca.meanContactNumber(4), ca.meanContactNumber(8));
+}
+
+TEST(ContactAnalysis, JaccardProperties) {
+    const auto traj = foldingTrajectory(9);
+    rin::ContactAnalysis ca(traj, rin::DistanceCriterion::MinimumAtomDistance, 5.0);
+    EXPECT_DOUBLE_EQ(ca.jaccard(2, 2), 1.0);
+    EXPECT_DOUBLE_EQ(ca.jaccard(0, 4), ca.jaccard(4, 0));
+    // Folded frame is more similar to the refolded end than to the apex.
+    EXPECT_GT(ca.jaccard(0, 8), ca.jaccard(0, 4));
+}
+
+TEST(ContactAnalysis, TransientContactsExcludePermanentOnes) {
+    const auto traj = foldingTrajectory(9);
+    rin::ContactAnalysis ca(traj, rin::DistanceCriterion::MinimumAtomDistance, 5.0);
+    const auto transients = ca.transientContacts(10);
+    EXPECT_FALSE(transients.empty());
+    for (const auto& [u, v] : transients) {
+        const double f = ca.contactFrequency(u, v);
+        EXPECT_GT(f, 0.0);
+        EXPECT_LT(f, 1.0);
+    }
+}
+
+TEST(Align, IdenticalSetsZeroRmsd) {
+    const auto cas = md::alpha3D().alphaCarbons();
+    EXPECT_NEAR(md::rmsd(cas, cas), 0.0, 1e-9);
+}
+
+TEST(Align, RecoverPureRotationAndTranslation) {
+    // Rotate + translate a structure; Kabsch must recover RMSD ~ 0.
+    const auto ref = md::villinHeadpiece().alphaCarbons();
+    const double angle = 0.7;
+    std::vector<Point3> moved(ref.size());
+    for (size_t i = 0; i < ref.size(); ++i) {
+        const Point3& p = ref[i];
+        moved[i] = {p.x * std::cos(angle) - p.y * std::sin(angle) + 10.0,
+                    p.x * std::sin(angle) + p.y * std::cos(angle) - 4.0, p.z + 7.0};
+    }
+    EXPECT_NEAR(md::rmsd(ref, moved), 0.0, 1e-6);
+    const auto aligned = md::superpose(ref, moved);
+    for (size_t i = 0; i < ref.size(); ++i) {
+        EXPECT_LT(aligned[i].distance(ref[i]), 1e-6);
+    }
+}
+
+TEST(Align, RmsdMatchesKnownPerturbation) {
+    // Uniform displacement of every atom by d along random directions has
+    // RMSD <= d (superposition can only reduce it).
+    const auto ref = md::chignolin().alphaCarbons();
+    Rng rng(5);
+    std::vector<Point3> moved(ref.size());
+    for (size_t i = 0; i < ref.size(); ++i) {
+        const Point3 dir =
+            Point3{rng.normal(), rng.normal(), rng.normal()}.normalized();
+        moved[i] = ref[i] + dir * 0.5;
+    }
+    const double r = md::rmsd(ref, moved);
+    EXPECT_GT(r, 0.0);
+    EXPECT_LE(r, 0.5 + 1e-9);
+}
+
+TEST(Align, SizeMismatchThrows) {
+    EXPECT_THROW(md::rmsd(std::vector<Point3>(3), std::vector<Point3>(4)),
+                 std::invalid_argument);
+    EXPECT_TRUE(md::superpose({}, {}).empty());
+}
+
+TEST(Align, RmsdSeriesTracksUnfolding) {
+    const auto traj = foldingTrajectory(9);
+    const auto series = md::rmsdSeries(traj);
+    ASSERT_EQ(series.size(), 9u);
+    EXPECT_NEAR(series[0], 0.0, 1e-9);        // reference frame
+    EXPECT_GT(series[4], 3.0);                // unfolded apex far away
+    EXPECT_LT(series[8], series[4]);          // refolded comes back
+}
+
+TEST(Align, DegeneratePlanarPointsStillWork) {
+    // All points in a plane: the covariance is rank-2; the reflection fix
+    // must still produce a proper rotation.
+    std::vector<Point3> ref{{0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {1, 1, 0}};
+    std::vector<Point3> mob{{0, 0, 0}, {0, 1, 0}, {-1, 0, 0}, {-1, 1, 0}}; // 90° turn
+    EXPECT_NEAR(md::rmsd(ref, mob), 0.0, 1e-9);
+}
+
+TEST(LocalClustering, TriangleAndPath) {
+    Graph g(4);
+    g.addEdge(0, 1);
+    g.addEdge(1, 2);
+    g.addEdge(0, 2);
+    g.addEdge(2, 3);
+    LocalClusteringCoefficient lcc(g);
+    lcc.run();
+    EXPECT_DOUBLE_EQ(lcc.score(0), 1.0);
+    EXPECT_DOUBLE_EQ(lcc.score(2), 1.0 / 3.0); // pairs {0,1},{0,3},{1,3}
+    EXPECT_DOUBLE_EQ(lcc.score(3), 0.0);       // degree 1
+}
+
+TEST(LocalClustering, CompleteGraphAllOnes) {
+    const auto g = generators::erdosRenyi(6, 1.0);
+    LocalClusteringCoefficient lcc(g);
+    lcc.run();
+    for (node u = 0; u < 6; ++u) EXPECT_DOUBLE_EQ(lcc.score(u), 1.0);
+}
+
+TEST(SessionRecorder, RecordsAndAggregates) {
+    md::TrajectoryGenerator::Parameters gen;
+    gen.frames = 4;
+    const auto traj = md::TrajectoryGenerator(gen).generate(md::chignolin());
+    viz::RinWidget widget(traj);
+    viz::SessionRecorder rec;
+
+    rec.setMeasure(widget, viz::Measure::Degree);
+    rec.setCutoff(widget, 6.0);
+    rec.setFrame(widget, 2);
+    rec.setFrame(widget, 3);
+    EXPECT_EQ(rec.eventCount(), 4u);
+
+    const auto frames = rec.totalStats(viz::SessionRecorder::EventKind::Frame);
+    EXPECT_EQ(frames.samples, 2u);
+    EXPECT_GT(frames.meanMs, 0.0);
+    EXPECT_GE(frames.maxMs, frames.meanMs);
+    EXPECT_GE(frames.maxMs, frames.p95Ms);
+
+    const auto layout = rec.phaseStats("layout");
+    EXPECT_EQ(layout.samples, 4u);
+    EXPECT_THROW(rec.phaseStats("bogus"), std::invalid_argument);
+    EXPECT_TRUE(rec.interactive(10000.0));
+    EXPECT_FALSE(rec.interactive(0.0));
+}
+
+TEST(SessionRecorder, CsvShape) {
+    md::TrajectoryGenerator::Parameters gen;
+    gen.frames = 3;
+    const auto traj = md::TrajectoryGenerator(gen).generate(md::chignolin());
+    viz::RinWidget widget(traj);
+    viz::SessionRecorder rec;
+    rec.setCutoff(widget, 5.5);
+    rec.setMeasure(widget, viz::Measure::PageRank);
+
+    std::stringstream ss;
+    rec.writeCsv(ss);
+    std::string line;
+    std::getline(ss, line);
+    EXPECT_NE(line.find("total_ms"), std::string::npos);
+    count rows = 0;
+    while (std::getline(ss, line)) {
+        if (!line.empty()) ++rows;
+        if (rows == 1) EXPECT_EQ(line.rfind("cutoff,", 0), 0u);
+    }
+    EXPECT_EQ(rows, 2u);
+}
+
+TEST(Gateway, FirstMatchWinsDefaultDeny) {
+    cloud::Gateway gw;
+    gw.addRule({cloud::Gateway::Action::Deny, "10.0.", 0, "block internal leak"});
+    gw.addRule({cloud::Gateway::Action::Allow, "", 443, "https out"});
+    gw.addRule({cloud::Gateway::Action::Allow, "140.82.", 22, "github ssh"});
+
+    EXPECT_FALSE(gw.egress("10.0.3.7", 443, 100));  // deny rule first
+    EXPECT_TRUE(gw.egress("151.101.1.1", 443, 200)); // https allowed anywhere
+    EXPECT_TRUE(gw.egress("140.82.121.4", 22, 300)); // specific allow
+    EXPECT_FALSE(gw.egress("140.82.121.4", 23, 50)); // no rule -> default deny
+    EXPECT_EQ(gw.defaultDeniedPackets(), 1u);
+    EXPECT_EQ(gw.defaultDeniedBytes(), 50u);
+    EXPECT_EQ(gw.allowedBytes(), 500u);
+}
+
+TEST(Gateway, TrafficMonitoringPerRule) {
+    cloud::Gateway gw;
+    gw.addRule({cloud::Gateway::Action::Allow, "", 443, "https"});
+    gw.egress("1.1.1.1", 443, 10);
+    gw.egress("2.2.2.2", 443, 20);
+    const auto& stats = gw.ruleStats();
+    ASSERT_EQ(stats.size(), 1u);
+    EXPECT_EQ(stats[0].hits, 2u);
+    EXPECT_EQ(stats[0].bytes, 30u);
+    EXPECT_EQ(stats[0].rule.comment, "https");
+}
+
+} // namespace
+} // namespace rinkit

@@ -1,0 +1,113 @@
+// Tests for csbridge (Cytoscape 2D export) and TopCloseness.
+#include <gtest/gtest.h>
+
+#include "src/centrality/closeness.hpp"
+#include "src/centrality/top_closeness.hpp"
+#include "src/components/connected_components.hpp"
+#include "src/graph/generators.hpp"
+#include "src/graph/graph_tools.hpp"
+#include "src/layout/maxent_stress.hpp"
+#include "src/support/json.hpp"
+#include "src/viz/csbridge.hpp"
+
+namespace rinkit {
+namespace {
+
+TEST(Csbridge, EmitsValidCytoscapeJson) {
+    const auto g = generators::karateClub();
+    MaxentStress layout(g);
+    layout.run();
+    std::vector<double> scores(34);
+    for (node u = 0; u < 34; ++u) scores[u] = static_cast<double>(g.degree(u));
+
+    viz::CytoscapeFigure fig(g, layout.getCoordinates(), scores,
+                             viz::Palette::Viridis);
+    const auto doc = JsonValue::parse(fig.toJson());
+    ASSERT_TRUE(doc.has("elements"));
+    const auto& nodes = doc.at("elements").at("nodes");
+    const auto& edges = doc.at("elements").at("edges");
+    EXPECT_EQ(nodes.size(), 34u);
+    EXPECT_EQ(edges.size(), 78u);
+    // Node structure: data.id/color/score + position.x/y.
+    const auto& n0 = nodes.at(0);
+    EXPECT_EQ(n0.at("data").at("id").asString(), "n0");
+    EXPECT_EQ(n0.at("data").at("color").asString()[0], '#');
+    EXPECT_TRUE(n0.at("position").has("x"));
+    // Edge endpoints reference node ids.
+    const auto& e0 = edges.at(0);
+    EXPECT_EQ(e0.at("data").at("source").asString()[0], 'n');
+    EXPECT_EQ(e0.at("data").at("target").asString()[0], 'n');
+}
+
+TEST(Csbridge, ProjectionDropsFlattestAxis) {
+    // Points nearly flat in z: 2D positions must be (x, y).
+    Graph g(3);
+    g.addEdge(0, 1);
+    g.addEdge(1, 2);
+    std::vector<Point3> coords{{0, 0, 0.01}, {5, 1, 0.0}, {2, 9, 0.02}};
+    viz::CytoscapeFigure fig(g, coords, {0.0, 1.0, 2.0}, viz::Palette::Spectral);
+    const auto& pos = fig.positions2d();
+    EXPECT_DOUBLE_EQ(pos[1].first, 5.0);
+    EXPECT_DOUBLE_EQ(pos[1].second, 1.0);
+    EXPECT_THROW(viz::CytoscapeFigure(g, std::vector<Point3>(1), {0.0}, // mismatch
+                                      viz::Palette::Spectral),
+                 std::invalid_argument);
+}
+
+TEST(TopCloseness, MatchesExactOnConnectedGraphs) {
+    for (std::uint64_t seed : {1, 2, 3}) {
+        // Connected-ish ER; take the largest component to guarantee
+        // connectivity (the documented exactness precondition).
+        auto full = generators::erdosRenyi(120, 0.05, seed);
+        ConnectedComponents cc(full);
+        cc.run();
+        const auto g = graphtools::subgraph(full, cc.largestComponent());
+
+        ClosenessCentrality exact(g);
+        exact.run();
+        const auto ranking = exact.ranking();
+
+        const count k = 5;
+        TopCloseness top(g, k);
+        top.run();
+        ASSERT_EQ(top.topkNodes().size(), std::min<count>(k, g.numberOfNodes()));
+        for (count i = 0; i < top.topkNodes().size(); ++i) {
+            EXPECT_NEAR(top.topkScores()[i], ranking[i].second, 1e-9)
+                << "seed " << seed << " rank " << i;
+        }
+    }
+}
+
+TEST(TopCloseness, StarCenterFirst) {
+    Graph g(8);
+    for (node u = 1; u < 8; ++u) g.addEdge(0, u);
+    TopCloseness top(g, 3);
+    top.run();
+    EXPECT_EQ(top.topkNodes()[0], 0u);
+    EXPECT_DOUBLE_EQ(top.topkScores()[0], 1.0);
+}
+
+TEST(TopCloseness, PruningReducesWork) {
+    // On a graph with one dominant hub, later BFSs should be cut short.
+    const auto g = generators::barabasiAlbert(600, 3, 9);
+    TopCloseness top(g, 3);
+    top.run();
+    EXPECT_LT(top.visitedNodes(), g.numberOfNodes() * g.numberOfNodes());
+    EXPECT_EQ(top.topkNodes().size(), 3u);
+    // Scores descending.
+    EXPECT_GE(top.topkScores()[0], top.topkScores()[1]);
+    EXPECT_GE(top.topkScores()[1], top.topkScores()[2]);
+}
+
+TEST(TopCloseness, KLargerThanNReturnsAll) {
+    const auto g = generators::karateClub();
+    TopCloseness top(g, 100);
+    top.run();
+    EXPECT_EQ(top.topkNodes().size(), 34u);
+    EXPECT_THROW(TopCloseness(g, 0), std::invalid_argument);
+    TopCloseness unrun(g, 2);
+    EXPECT_THROW(unrun.topkNodes(), std::logic_error);
+}
+
+} // namespace
+} // namespace rinkit

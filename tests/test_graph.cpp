@@ -1,0 +1,410 @@
+// Tests for the dynamic Graph, GraphBuilder, GraphTools, and graph I/O.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/graph/generators.hpp"
+#include "src/graph/graph.hpp"
+#include "src/graph/graph_builder.hpp"
+#include "src/graph/graph_io.hpp"
+#include "src/graph/graph_tools.hpp"
+
+namespace rinkit {
+namespace {
+
+TEST(Graph, EmptyGraph) {
+    Graph g;
+    EXPECT_EQ(g.numberOfNodes(), 0u);
+    EXPECT_EQ(g.numberOfEdges(), 0u);
+    EXPECT_FALSE(g.hasNode(0));
+}
+
+TEST(Graph, AddNodesAndEdges) {
+    Graph g(3);
+    EXPECT_TRUE(g.addEdge(0, 1));
+    EXPECT_TRUE(g.addEdge(1, 2));
+    EXPECT_EQ(g.numberOfEdges(), 2u);
+    EXPECT_TRUE(g.hasEdge(0, 1));
+    EXPECT_TRUE(g.hasEdge(1, 0)); // undirected
+    EXPECT_FALSE(g.hasEdge(0, 2));
+    EXPECT_EQ(g.degree(1), 2u);
+}
+
+TEST(Graph, DuplicateEdgeRejected) {
+    Graph g(2);
+    EXPECT_TRUE(g.addEdge(0, 1));
+    EXPECT_FALSE(g.addEdge(0, 1));
+    EXPECT_FALSE(g.addEdge(1, 0));
+    EXPECT_EQ(g.numberOfEdges(), 1u);
+}
+
+TEST(Graph, SelfLoopThrows) {
+    Graph g(2);
+    EXPECT_THROW(g.addEdge(1, 1), std::invalid_argument);
+}
+
+TEST(Graph, InvalidNodeThrows) {
+    Graph g(2);
+    EXPECT_THROW(g.addEdge(0, 5), std::out_of_range);
+    EXPECT_THROW(g.degree(9), std::out_of_range);
+    EXPECT_THROW((void)g.hasEdge(0, 17), std::out_of_range);
+}
+
+TEST(Graph, RemoveEdge) {
+    Graph g(3);
+    g.addEdge(0, 1);
+    g.addEdge(1, 2);
+    EXPECT_TRUE(g.removeEdge(0, 1));
+    EXPECT_FALSE(g.removeEdge(0, 1));
+    EXPECT_EQ(g.numberOfEdges(), 1u);
+    EXPECT_FALSE(g.hasEdge(1, 0));
+    EXPECT_EQ(g.degree(1), 1u);
+}
+
+TEST(Graph, NeighborsSorted) {
+    Graph g(5);
+    g.addEdge(2, 4);
+    g.addEdge(2, 0);
+    g.addEdge(2, 3);
+    g.addEdge(2, 1);
+    const auto nb = g.neighbors(2);
+    ASSERT_EQ(nb.size(), 4u);
+    EXPECT_TRUE(std::is_sorted(nb.begin(), nb.end()));
+}
+
+TEST(Graph, AddNodeGrowsGraph) {
+    Graph g(1);
+    const node u = g.addNode();
+    EXPECT_EQ(u, 1u);
+    g.addNodes(3);
+    EXPECT_EQ(g.numberOfNodes(), 5u);
+    g.addEdge(0, 4);
+    EXPECT_TRUE(g.hasEdge(0, 4));
+}
+
+TEST(Graph, WeightedEdges) {
+    Graph g(3, true);
+    g.addEdge(0, 1, 2.5);
+    EXPECT_TRUE(g.isWeighted());
+    EXPECT_DOUBLE_EQ(g.weight(0, 1), 2.5);
+    EXPECT_DOUBLE_EQ(g.weight(1, 0), 2.5);
+    g.setWeight(0, 1, 7.0);
+    EXPECT_DOUBLE_EQ(g.weight(1, 0), 7.0);
+    EXPECT_THROW((void)g.weight(0, 2), std::invalid_argument);
+    EXPECT_THROW(g.setWeight(0, 2, 1.0), std::invalid_argument);
+}
+
+TEST(Graph, UnweightedWeightIsOne) {
+    Graph g(2);
+    g.addEdge(0, 1);
+    EXPECT_DOUBLE_EQ(g.weight(0, 1), 1.0);
+    EXPECT_THROW(g.setWeight(0, 1, 2.0), std::logic_error);
+}
+
+TEST(Graph, TotalEdgeWeightAndWeightedDegree) {
+    Graph g(3, true);
+    g.addEdge(0, 1, 2.0);
+    g.addEdge(1, 2, 3.0);
+    EXPECT_DOUBLE_EQ(g.totalEdgeWeight(), 5.0);
+    EXPECT_DOUBLE_EQ(g.weightedDegree(1), 5.0);
+    Graph u(3);
+    u.addEdge(0, 1);
+    EXPECT_DOUBLE_EQ(u.totalEdgeWeight(), 1.0);
+    EXPECT_DOUBLE_EQ(u.weightedDegree(0), 1.0);
+}
+
+TEST(Graph, ForEdgesVisitsEachOnce) {
+    Graph g(4);
+    g.addEdge(0, 1);
+    g.addEdge(1, 2);
+    g.addEdge(2, 3);
+    g.addEdge(0, 3);
+    count visits = 0;
+    g.forEdges([&](node u, node v) {
+        EXPECT_LT(u, v);
+        ++visits;
+    });
+    EXPECT_EQ(visits, 4u);
+}
+
+TEST(Graph, RemoveAllEdges) {
+    auto g = generators::karateClub();
+    g.removeAllEdges();
+    EXPECT_EQ(g.numberOfEdges(), 0u);
+    EXPECT_EQ(g.numberOfNodes(), 34u);
+    g.forNodes([&](node u) { EXPECT_EQ(g.degree(u), 0u); });
+}
+
+TEST(Graph, EqualityOperator) {
+    auto a = generators::karateClub();
+    auto b = generators::karateClub();
+    EXPECT_TRUE(a == b);
+    b.removeEdge(0, 1);
+    EXPECT_FALSE(a == b);
+}
+
+TEST(Graph, ParallelForNodesCoversAll) {
+    Graph g(1000);
+    std::vector<int> seen(1000, 0);
+    g.parallelForNodes([&](node u) { seen[u] = 1; });
+    for (int s : seen) EXPECT_EQ(s, 1);
+}
+
+TEST(GraphBuilder, BuildsDeduplicated) {
+    GraphBuilder b(4);
+    b.addEdge(0, 1);
+    b.addEdge(1, 0); // duplicate in reverse
+    b.addEdge(2, 3);
+    b.addEdge(1, 1); // self-loop dropped
+    auto g = b.build();
+    EXPECT_EQ(g.numberOfEdges(), 2u);
+    EXPECT_TRUE(g.hasEdge(0, 1));
+    EXPECT_TRUE(g.hasEdge(2, 3));
+}
+
+TEST(GraphBuilder, WeightedLastWins) {
+    GraphBuilder b(2, true);
+    b.addEdge(0, 1, 1.0);
+    b.addEdge(0, 1, 9.0);
+    auto g = b.build();
+    EXPECT_DOUBLE_EQ(g.weight(0, 1), 9.0);
+}
+
+TEST(GraphBuilder, ReusableAfterBuild) {
+    GraphBuilder b(3);
+    b.addEdge(0, 1);
+    auto g1 = b.build();
+    b.addEdge(1, 2);
+    auto g2 = b.build();
+    EXPECT_EQ(g1.numberOfEdges(), 1u);
+    EXPECT_EQ(g2.numberOfEdges(), 1u);
+    EXPECT_TRUE(g2.hasEdge(1, 2));
+    EXPECT_FALSE(g2.hasEdge(0, 1));
+}
+
+TEST(GraphBuilder, InvalidNodeThrows) {
+    GraphBuilder b(2);
+    EXPECT_THROW(b.addEdge(0, 2), std::out_of_range);
+}
+
+TEST(GraphTools, DensityAndDegrees) {
+    Graph g(4);
+    g.addEdge(0, 1);
+    g.addEdge(1, 2);
+    g.addEdge(2, 3);
+    EXPECT_DOUBLE_EQ(graphtools::density(g), 0.5);
+    EXPECT_EQ(graphtools::maxDegree(g), 2u);
+    EXPECT_DOUBLE_EQ(graphtools::averageDegree(g), 1.5);
+    const auto seq = graphtools::degreeSequence(g);
+    EXPECT_EQ(seq, (std::vector<count>{1, 2, 2, 1}));
+    const auto dist = graphtools::degreeDistribution(g);
+    EXPECT_EQ(dist, (std::vector<count>{0, 2, 2}));
+}
+
+TEST(GraphTools, HubCount) {
+    auto g = generators::karateClub();
+    EXPECT_EQ(graphtools::hubCount(g, 1), 34u);
+    EXPECT_GE(graphtools::hubCount(g, 10), 2u);  // nodes 33 (deg 17), 0 (deg 16), 32 (deg 12)
+    EXPECT_EQ(graphtools::hubCount(g, 100), 0u);
+}
+
+TEST(GraphTools, Subgraph) {
+    auto g = generators::karateClub();
+    const std::vector<node> keep{0, 1, 2, 3};
+    const auto sub = graphtools::subgraph(g, keep);
+    EXPECT_EQ(sub.numberOfNodes(), 4u);
+    // 0-1, 0-2, 0-3, 1-2, 1-3, 2-3 are all edges of karate's core.
+    EXPECT_EQ(sub.numberOfEdges(), 6u);
+    EXPECT_THROW(graphtools::subgraph(g, {0, 0}), std::invalid_argument);
+    EXPECT_THROW(graphtools::subgraph(g, {999}), std::out_of_range);
+}
+
+TEST(GraphTools, UnionAndSymmetricDifference) {
+    Graph a(3), b(3);
+    a.addEdge(0, 1);
+    b.addEdge(1, 2);
+    const auto u = graphtools::unionGraph(a, b);
+    EXPECT_EQ(u.numberOfEdges(), 2u);
+    EXPECT_EQ(graphtools::symmetricDifferenceSize(a, b), 2u);
+    a.addEdge(1, 2);
+    EXPECT_EQ(graphtools::symmetricDifferenceSize(a, b), 1u);
+    Graph c(5);
+    EXPECT_THROW(graphtools::unionGraph(a, c), std::invalid_argument);
+}
+
+TEST(GraphTools, Triangles) {
+    Graph g(4);
+    g.addEdge(0, 1);
+    g.addEdge(1, 2);
+    g.addEdge(0, 2);
+    g.addEdge(2, 3);
+    EXPECT_EQ(graphtools::triangleCount(g), 1u);
+    // triads: deg 2,2,3,1 -> 1+1+3+0 = 5 open triads; coefficient 3/5.
+    EXPECT_DOUBLE_EQ(graphtools::clusteringCoefficient(g), 0.6);
+}
+
+TEST(GraphTools, CompleteGraphClusteringIsOne) {
+    auto g = generators::erdosRenyi(6, 1.0);
+    EXPECT_DOUBLE_EQ(graphtools::clusteringCoefficient(g), 1.0);
+    EXPECT_EQ(graphtools::triangleCount(g), 20u);
+}
+
+TEST(Generators, ErdosRenyiEdgeCountNearExpectation) {
+    const count n = 500;
+    const double p = 0.02;
+    const auto g = generators::erdosRenyi(n, p, 99);
+    const double expected = p * n * (n - 1) / 2.0;
+    EXPECT_NEAR(static_cast<double>(g.numberOfEdges()), expected, 0.25 * expected);
+}
+
+TEST(Generators, ErdosRenyiExtremes) {
+    EXPECT_EQ(generators::erdosRenyi(10, 0.0).numberOfEdges(), 0u);
+    EXPECT_EQ(generators::erdosRenyi(10, 1.0).numberOfEdges(), 45u);
+    EXPECT_THROW(generators::erdosRenyi(10, 1.5), std::invalid_argument);
+}
+
+TEST(Generators, ErdosRenyiDeterministicPerSeed) {
+    const auto a = generators::erdosRenyi(100, 0.05, 7);
+    const auto b = generators::erdosRenyi(100, 0.05, 7);
+    EXPECT_TRUE(a == b);
+}
+
+TEST(Generators, BarabasiAlbertStructure) {
+    const auto g = generators::barabasiAlbert(200, 3, 5);
+    EXPECT_EQ(g.numberOfNodes(), 200u);
+    // seed clique C(4,2)=6 edges + 196 * 3 attachments
+    EXPECT_EQ(g.numberOfEdges(), 6u + 196u * 3u);
+    EXPECT_GE(graphtools::maxDegree(g), 10u); // hubs emerge
+    EXPECT_THROW(generators::barabasiAlbert(2, 3), std::invalid_argument);
+    EXPECT_THROW(generators::barabasiAlbert(10, 0), std::invalid_argument);
+}
+
+TEST(Generators, RandomGeometricMatchesBruteForce) {
+    std::vector<Point3> pts;
+    const auto g = generators::randomGeometric3D(150, 0.2, 3, &pts);
+    ASSERT_EQ(pts.size(), 150u);
+    count brute = 0;
+    for (node u = 0; u < 150; ++u) {
+        for (node v = u + 1; v < 150; ++v) {
+            if (pts[u].distance(pts[v]) <= 0.2) {
+                ++brute;
+                EXPECT_TRUE(g.hasEdge(u, v));
+            }
+        }
+    }
+    EXPECT_EQ(g.numberOfEdges(), brute);
+}
+
+TEST(Generators, WattsStrogatzRingDegrees) {
+    const auto g = generators::wattsStrogatz(50, 2, 0.0, 1);
+    EXPECT_EQ(g.numberOfEdges(), 100u);
+    g.forNodes([&](node u) { EXPECT_EQ(g.degree(u), 4u); });
+    const auto rewired = generators::wattsStrogatz(50, 2, 0.5, 1);
+    EXPECT_EQ(rewired.numberOfNodes(), 50u);
+    EXPECT_GT(rewired.numberOfEdges(), 0u);
+}
+
+TEST(Generators, Grid3DStructure) {
+    const auto g = generators::grid3D(3, 3, 3);
+    EXPECT_EQ(g.numberOfNodes(), 27u);
+    EXPECT_EQ(g.numberOfEdges(), 54u); // 3 * 2*3*3 directions
+}
+
+TEST(Generators, PlantedPartitionGroundTruth) {
+    std::vector<index> truth;
+    const auto g = generators::plantedPartition(4, 25, 0.5, 0.01, 11, &truth);
+    EXPECT_EQ(g.numberOfNodes(), 100u);
+    ASSERT_EQ(truth.size(), 100u);
+    EXPECT_EQ(truth[0], 0u);
+    EXPECT_EQ(truth[99], 3u);
+    // Intra-block edges should dominate.
+    count intra = 0, inter = 0;
+    g.forEdges([&](node u, node v) {
+        (truth[u] == truth[v] ? intra : inter) += 1;
+    });
+    EXPECT_GT(intra, inter * 3);
+}
+
+TEST(Generators, KarateClubCanonical) {
+    const auto g = generators::karateClub();
+    EXPECT_EQ(g.numberOfNodes(), 34u);
+    EXPECT_EQ(g.numberOfEdges(), 78u);
+    EXPECT_EQ(g.degree(33), 17u);
+    EXPECT_EQ(g.degree(0), 16u);
+}
+
+TEST(GraphTools, AssortativityClosedForms) {
+    // Star: endpoints always (n-1, 1) -> perfectly disassortative.
+    Graph star(6);
+    for (node u = 1; u < 6; ++u) star.addEdge(0, u);
+    EXPECT_NEAR(graphtools::degreeAssortativity(star), -1.0, 1e-12);
+    // Cycle: constant degree -> undefined, reported as 0.
+    Graph cyc(8);
+    for (node u = 0; u < 8; ++u) cyc.addEdge(u, (u + 1) % 8);
+    EXPECT_DOUBLE_EQ(graphtools::degreeAssortativity(cyc), 0.0);
+    // Empty graph.
+    EXPECT_DOUBLE_EQ(graphtools::degreeAssortativity(Graph(4)), 0.0);
+    // Karate club: known to be disassortative (r ~ -0.476).
+    EXPECT_NEAR(graphtools::degreeAssortativity(generators::karateClub()), -0.476, 0.01);
+    // Bounded by [-1, 1] on random graphs.
+    const auto er = generators::erdosRenyi(200, 0.03, 5);
+    const double r = graphtools::degreeAssortativity(er);
+    EXPECT_GE(r, -1.0);
+    EXPECT_LE(r, 1.0);
+}
+
+TEST(GraphIO, MetisRoundTrip) {
+    const auto g = generators::karateClub();
+    std::stringstream ss;
+    io::writeMetis(g, ss);
+    const auto h = io::readMetis(ss);
+    EXPECT_TRUE(g == h);
+}
+
+TEST(GraphIO, MetisWeightedRoundTrip) {
+    Graph g(3, true);
+    g.addEdge(0, 1, 2.5);
+    g.addEdge(1, 2, 0.5);
+    std::stringstream ss;
+    io::writeMetis(g, ss);
+    const auto h = io::readMetis(ss);
+    EXPECT_TRUE(h.isWeighted());
+    EXPECT_DOUBLE_EQ(h.weight(0, 1), 2.5);
+    EXPECT_DOUBLE_EQ(h.weight(1, 2), 0.5);
+}
+
+TEST(GraphIO, MetisRejectsMalformed) {
+    std::stringstream empty("");
+    EXPECT_THROW(io::readMetis(empty), std::runtime_error);
+    std::stringstream badCount("2 5\n2\n1\n");
+    EXPECT_THROW(io::readMetis(badCount), std::runtime_error);
+    std::stringstream outOfRange("2 1\n3\n1\n");
+    EXPECT_THROW(io::readMetis(outOfRange), std::runtime_error);
+}
+
+TEST(GraphIO, MetisSkipsComments) {
+    std::stringstream ss("% a comment\n3 2\n% another\n2\n1 3\n2\n");
+    const auto g = io::readMetis(ss);
+    EXPECT_EQ(g.numberOfNodes(), 3u);
+    EXPECT_EQ(g.numberOfEdges(), 2u);
+    EXPECT_TRUE(g.hasEdge(0, 1));
+    EXPECT_TRUE(g.hasEdge(1, 2));
+}
+
+TEST(GraphIO, EdgeListRoundTrip) {
+    const auto g = generators::erdosRenyi(60, 0.1, 4);
+    std::stringstream ss;
+    io::writeEdgeList(g, ss);
+    const auto h = io::readEdgeList(ss, 60);
+    EXPECT_TRUE(g == h);
+}
+
+TEST(GraphIO, EdgeListCommentsAndExplicitN) {
+    std::stringstream ss("# comment\n0 1\n2 3\n");
+    const auto g = io::readEdgeList(ss, 10);
+    EXPECT_EQ(g.numberOfNodes(), 10u);
+    EXPECT_EQ(g.numberOfEdges(), 2u);
+}
+
+} // namespace
+} // namespace rinkit

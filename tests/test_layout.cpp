@@ -1,0 +1,330 @@
+// Tests for the layout algorithms (Maxent-Stress, FR, FA2) and the
+// Barnes-Hut octree they share, plus node2vec embeddings.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/embedding/node2vec.hpp"
+#include "src/graph/generators.hpp"
+#include "src/layout/fruchterman_reingold.hpp"
+#include "src/layout/layout.hpp"
+#include "src/layout/maxent_stress.hpp"
+#include "src/layout/octree.hpp"
+#include "src/support/random.hpp"
+
+namespace rinkit {
+namespace {
+
+TEST(Octree, EmptyAndSinglePoint) {
+    Octree empty({});
+    EXPECT_EQ(empty.size(), 0u);
+    int calls = 0;
+    empty.forCells({0, 0, 0}, 0.5, [&](const Point3&, double, bool) { ++calls; });
+    EXPECT_EQ(calls, 0);
+
+    Octree one({{1, 2, 3}});
+    EXPECT_EQ(one.size(), 1u);
+    // Query away from the point sees exactly that point.
+    double mass = 0.0;
+    one.forCells({0, 0, 0}, 0.5, [&](const Point3& p, double m, bool) {
+        mass += m;
+        EXPECT_EQ(p, Point3(1, 2, 3));
+    });
+    EXPECT_DOUBLE_EQ(mass, 1.0);
+}
+
+TEST(Octree, MassConservedAtAnyTheta) {
+    Rng rng(3);
+    std::vector<Point3> pts(500);
+    for (auto& p : pts) p = {rng.real01(), rng.real01(), rng.real01()};
+    Octree tree(pts);
+    for (double theta : {0.0, 0.5, 1.2}) {
+        double mass = 0.0;
+        tree.forCells({2.0, 2.0, 2.0}, theta, // query outside the cloud
+                      [&](const Point3&, double m, bool) { mass += m; });
+        EXPECT_DOUBLE_EQ(mass, 500.0) << "theta " << theta;
+    }
+}
+
+TEST(Octree, SkipsQueryPointItself) {
+    std::vector<Point3> pts{{0, 0, 0}, {1, 0, 0}, {0, 1, 0}};
+    Octree tree(pts, 1);
+    double mass = 0.0;
+    tree.forCells({0, 0, 0}, 0.0, [&](const Point3&, double m, bool) { mass += m; });
+    EXPECT_DOUBLE_EQ(mass, 2.0); // the colocated point is excluded
+}
+
+TEST(Octree, ApproximationClosesOnExactForce) {
+    // Compare approximate 1/d^2 repulsion against brute force.
+    Rng rng(7);
+    std::vector<Point3> pts(300);
+    for (auto& p : pts) p = {rng.real01() * 10, rng.real01() * 10, rng.real01() * 10};
+    Octree tree(pts);
+    const Point3 q{5.0, 5.0, 5.0};
+
+    Point3 exact{};
+    for (const auto& p : pts) {
+        const Point3 diff = q - p;
+        const double d2 = std::max(diff.squaredNorm(), 1e-12);
+        exact += diff / d2;
+    }
+    Point3 approx{};
+    tree.forCells(q, 0.4, [&](const Point3& p, double m, bool) {
+        const Point3 diff = q - p;
+        const double d2 = std::max(diff.squaredNorm(), 1e-12);
+        approx += diff * (m / d2);
+    });
+    EXPECT_LT((exact - approx).norm(), 0.05 * std::max(exact.norm(), 1.0));
+}
+
+TEST(Octree, DuplicatePointsDoNotRecurseForever) {
+    std::vector<Point3> pts(50, Point3{1, 1, 1});
+    pts.push_back({2, 2, 2});
+    Octree tree(pts, 4);
+    double mass = 0.0;
+    tree.forCells({0, 0, 0}, 0.0, [&](const Point3&, double m, bool) { mass += m; });
+    EXPECT_DOUBLE_EQ(mass, 51.0);
+}
+
+// Shared behavior of all layout algorithms.
+enum class Algo { Maxent, FR, FA2 };
+
+std::vector<Point3> runLayout(Algo a, const Graph& g) {
+    switch (a) {
+    case Algo::Maxent: {
+        MaxentStress ms(g);
+        ms.run();
+        return ms.getCoordinates();
+    }
+    case Algo::FR: {
+        FruchtermanReingold fr(g);
+        fr.run();
+        return fr.getCoordinates();
+    }
+    default: {
+        ForceAtlas2 fa(g);
+        fa.run();
+        return fa.getCoordinates();
+    }
+    }
+}
+
+class LayoutP : public ::testing::TestWithParam<Algo> {};
+
+TEST_P(LayoutP, ProducesFiniteCoordinatesForAllNodes) {
+    const auto g = generators::erdosRenyi(120, 0.05, 3);
+    const auto coords = runLayout(GetParam(), g);
+    ASSERT_EQ(coords.size(), 120u);
+    for (const auto& p : coords) {
+        EXPECT_TRUE(std::isfinite(p.x) && std::isfinite(p.y) && std::isfinite(p.z));
+    }
+    // Not all nodes collapsed to one point.
+    const auto box = layoutBounds(coords);
+    EXPECT_GT(box.extent().norm(), 0.1);
+}
+
+TEST_P(LayoutP, HandlesTrivialGraphs) {
+    Graph empty;
+    Graph one(1);
+    Graph two(2);
+    two.addEdge(0, 1);
+    for (const Graph* g : {&empty, &one, &two}) {
+        const auto coords = runLayout(GetParam(), *g);
+        EXPECT_EQ(coords.size(), g->numberOfNodes());
+    }
+}
+
+TEST_P(LayoutP, RequiresRunBeforeCoordinates) {
+    const auto g = generators::karateClub();
+    MaxentStress ms(g);
+    FruchtermanReingold fr(g);
+    ForceAtlas2 fa(g);
+    EXPECT_THROW(ms.getCoordinates(), std::logic_error);
+    EXPECT_THROW(fr.getCoordinates(), std::logic_error);
+    EXPECT_THROW(fa.getCoordinates(), std::logic_error);
+}
+
+INSTANTIATE_TEST_SUITE_P(Algos, LayoutP,
+                         ::testing::Values(Algo::Maxent, Algo::FR, Algo::FA2));
+
+TEST(MaxentStress, ReducesStressOnGrid) {
+    // A 3D grid has a perfect 3D embedding; Maxent-Stress must get close.
+    const auto g = generators::grid3D(5, 5, 5);
+    MaxentStress::Parameters params;
+    params.iterations = 120;
+    MaxentStress ms(g, 3, params);
+    ms.run();
+    const double stress = layoutStress(g, ms.getCoordinates());
+
+    // Random layout stress for comparison.
+    Rng rng(1);
+    std::vector<Point3> random(g.numberOfNodes());
+    for (auto& p : random) p = {rng.real(0, 5), rng.real(0, 5), rng.real(0, 5)};
+    EXPECT_LT(stress, 0.5 * layoutStress(g, random));
+}
+
+TEST(MaxentStress, SeparatesCommunities) {
+    // Two cliques + bridge: the two blocks should land apart; intra-block
+    // distances smaller than inter-block ones on average.
+    Graph g(12);
+    for (node u = 0; u < 6; ++u) {
+        for (node v = u + 1; v < 6; ++v) {
+            g.addEdge(u, v);
+            g.addEdge(u + 6, v + 6);
+        }
+    }
+    g.addEdge(0, 6);
+    MaxentStress ms(g);
+    ms.run();
+    const auto& c = ms.getCoordinates();
+    double intra = 0.0, inter = 0.0;
+    count nIntra = 0, nInter = 0;
+    for (node u = 0; u < 12; ++u) {
+        for (node v = u + 1; v < 12; ++v) {
+            if ((u < 6) == (v < 6)) {
+                intra += c[u].distance(c[v]);
+                ++nIntra;
+            } else {
+                inter += c[u].distance(c[v]);
+                ++nInter;
+            }
+        }
+    }
+    EXPECT_LT(intra / nIntra, inter / nInter);
+}
+
+TEST(MaxentStress, InitialCoordinatesRespected) {
+    const auto g = generators::karateClub();
+    std::vector<Point3> init(34);
+    Rng rng(9);
+    for (auto& p : init) p = {rng.real01(), rng.real01(), rng.real01()};
+
+    MaxentStress::Parameters params;
+    params.iterations = 0; // no iterations: output == input
+    MaxentStress ms(g, 3, params);
+    ms.setInitialCoordinates(init);
+    ms.run();
+    EXPECT_EQ(ms.getCoordinates(), init);
+
+    MaxentStress bad(g);
+    EXPECT_THROW(bad.setInitialCoordinates(std::vector<Point3>(5)), std::invalid_argument);
+}
+
+TEST(MaxentStress, DeterministicForSeed) {
+    const auto g = generators::erdosRenyi(60, 0.1, 2);
+    MaxentStress a(g), b(g);
+    a.run();
+    b.run();
+    EXPECT_EQ(a.getCoordinates(), b.getCoordinates());
+}
+
+TEST(MaxentStress, Only3DSupported) {
+    const auto g = generators::karateClub();
+    EXPECT_THROW(MaxentStress(g, 2), std::invalid_argument);
+}
+
+TEST(MaxentStress, ReportsIterations) {
+    const auto g = generators::karateClub();
+    MaxentStress::Parameters params;
+    params.iterations = 7;
+    params.convergenceTol = 0.0; // never early-stop
+    MaxentStress ms(g, 3, params);
+    ms.run();
+    EXPECT_EQ(ms.iterationsDone(), 7u);
+}
+
+TEST(LayoutStress, PerfectLayoutZeroStress) {
+    // A path laid out exactly at its graph distances has zero stress.
+    Graph g(4);
+    g.addEdge(0, 1);
+    g.addEdge(1, 2);
+    g.addEdge(2, 3);
+    std::vector<Point3> coords{{0, 0, 0}, {1, 0, 0}, {2, 0, 0}, {3, 0, 0}};
+    EXPECT_DOUBLE_EQ(layoutStress(g, coords), 0.0);
+    EXPECT_THROW(layoutStress(g, std::vector<Point3>(2)), std::invalid_argument);
+}
+
+TEST(Node2Vec, WalksHaveRequestedShape) {
+    const auto g = generators::karateClub();
+    Node2Vec::Parameters params;
+    params.walkLength = 10;
+    params.walksPerNode = 2;
+    Node2Vec n2v(g, params);
+    n2v.run();
+    EXPECT_EQ(n2v.walks().size(), 34u * 2u);
+    for (const auto& w : n2v.walks()) {
+        EXPECT_EQ(w.size(), 10u);
+        // Consecutive nodes are connected.
+        for (count i = 1; i < w.size(); ++i) EXPECT_TRUE(g.hasEdge(w[i - 1], w[i]));
+    }
+}
+
+TEST(Node2Vec, FeaturesHaveRequestedDimensions) {
+    const auto g = generators::karateClub();
+    Node2Vec::Parameters params;
+    params.dimensions = 16;
+    Node2Vec n2v(g, params);
+    n2v.run();
+    ASSERT_EQ(n2v.features().size(), 34u);
+    for (const auto& row : n2v.features()) EXPECT_EQ(row.size(), 16u);
+}
+
+TEST(Node2Vec, CommunityStructureReflectedInSimilarity) {
+    // Two cliques + bridge: same-clique nodes should be more similar than
+    // cross-clique ones on average.
+    Graph g(16);
+    for (node u = 0; u < 8; ++u) {
+        for (node v = u + 1; v < 8; ++v) {
+            g.addEdge(u, v);
+            g.addEdge(u + 8, v + 8);
+        }
+    }
+    g.addEdge(0, 8);
+    Node2Vec::Parameters params;
+    params.epochs = 3;
+    params.walksPerNode = 10;
+    Node2Vec n2v(g, params);
+    n2v.run();
+    double intra = 0.0, inter = 0.0;
+    count nIntra = 0, nInter = 0;
+    for (node u = 0; u < 16; ++u) {
+        for (node v = u + 1; v < 16; ++v) {
+            if ((u < 8) == (v < 8)) {
+                intra += n2v.cosineSimilarity(u, v);
+                ++nIntra;
+            } else {
+                inter += n2v.cosineSimilarity(u, v);
+                ++nInter;
+            }
+        }
+    }
+    EXPECT_GT(intra / nIntra, inter / nInter);
+}
+
+TEST(Node2Vec, ParameterValidation) {
+    const auto g = generators::karateClub();
+    Node2Vec::Parameters bad;
+    bad.p = 0.0;
+    EXPECT_THROW(Node2Vec(g, bad), std::invalid_argument);
+    Node2Vec::Parameters bad2;
+    bad2.dimensions = 0;
+    EXPECT_THROW(Node2Vec(g, bad2), std::invalid_argument);
+    Node2Vec ok(g);
+    EXPECT_THROW(ok.features(), std::logic_error);
+    EXPECT_THROW(ok.cosineSimilarity(0, 1), std::logic_error);
+}
+
+TEST(Node2Vec, IsolatedNodesGetNoWalksButKeepRows) {
+    Graph g(5);
+    g.addEdge(0, 1);
+    g.addEdge(1, 2);
+    Node2Vec n2v(g);
+    n2v.run();
+    EXPECT_EQ(n2v.features().size(), 5u);
+    for (const auto& w : n2v.walks()) {
+        for (node u : w) EXPECT_LT(u, 3u); // walks never visit isolated nodes
+    }
+}
+
+} // namespace
+} // namespace rinkit

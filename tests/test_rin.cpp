@@ -1,0 +1,229 @@
+// Tests for the RIN pipeline: cell list vs brute force, the three distance
+// criteria, cutoff monotonicity, and the DynamicRin incremental updates.
+#include <gtest/gtest.h>
+
+#include "src/md/synthetic.hpp"
+#include "src/md/trajectory.hpp"
+#include "src/rin/cell_list.hpp"
+#include "src/rin/dynamic_rin.hpp"
+#include "src/rin/rin_builder.hpp"
+#include "src/support/random.hpp"
+
+namespace rinkit::rin {
+namespace {
+
+using md::alpha3D;
+using md::chignolin;
+using md::SecondaryStructure;
+
+TEST(CellList, MatchesBruteForce) {
+    Rng rng(11);
+    std::vector<Point3> pts(200);
+    for (auto& p : pts) p = {rng.real(0, 20), rng.real(0, 20), rng.real(0, 20)};
+    const double radius = 3.0;
+    CellList cells(pts, radius);
+
+    std::set<std::pair<index, index>> fast;
+    cells.forAllPairs(radius, [&](index i, index j) { fast.emplace(i, j); });
+
+    std::set<std::pair<index, index>> brute;
+    for (index i = 0; i < pts.size(); ++i) {
+        for (index j = i + 1; j < pts.size(); ++j) {
+            if (pts[i].distance(pts[j]) <= radius) brute.emplace(i, j);
+        }
+    }
+    EXPECT_EQ(fast, brute);
+}
+
+TEST(CellList, NeighborsAroundArbitraryPoint) {
+    std::vector<Point3> pts{{0, 0, 0}, {1, 0, 0}, {5, 5, 5}};
+    CellList cells(pts, 2.0);
+    std::vector<index> found;
+    cells.forNeighborsAround({0.5, 0, 0}, 2.0, [&](index j) { found.push_back(j); });
+    std::sort(found.begin(), found.end());
+    EXPECT_EQ(found, (std::vector<index>{0, 1}));
+}
+
+TEST(CellList, NegativeCoordinatesWork) {
+    std::vector<Point3> pts{{-5, -5, -5}, {-5.5, -5, -5}, {5, 5, 5}};
+    CellList cells(pts, 1.0);
+    count hits = 0;
+    cells.forNeighborsOf(0, 1.0, [&](index) { ++hits; });
+    EXPECT_EQ(hits, 1u);
+    EXPECT_THROW(CellList(pts, 0.0), std::invalid_argument);
+}
+
+TEST(RinBuilder, AdjacentResiduesAlwaysInContact) {
+    // At a min-distance cutoff of 4.5 A, the backbone chain must appear:
+    // residue i and i+1 share a peptide bond (C_i - N_{i+1} ~ 2.4 A here).
+    const RinBuilder builder(DistanceCriterion::MinimumAtomDistance);
+    const auto p = alpha3D();
+    const auto g = builder.build(p, 4.5);
+    EXPECT_EQ(g.numberOfNodes(), 73u);
+    for (node u = 0; u + 1 < 73; ++u) {
+        EXPECT_TRUE(g.hasEdge(u, u + 1)) << "chain break at " << u;
+    }
+}
+
+TEST(RinBuilder, CutoffMonotonicity) {
+    // More cutoff, more edges — and every edge at cutoff c1 < c2 survives.
+    const RinBuilder builder(DistanceCriterion::MinimumAtomDistance);
+    const auto p = alpha3D();
+    const auto g45 = builder.build(p, 4.5);
+    const auto g60 = builder.build(p, 6.0);
+    const auto g75 = builder.build(p, 7.5);
+    EXPECT_LT(g45.numberOfEdges(), g60.numberOfEdges());
+    EXPECT_LT(g60.numberOfEdges(), g75.numberOfEdges());
+    g45.forEdges([&](node u, node v) { EXPECT_TRUE(g60.hasEdge(u, v)); });
+    g60.forEdges([&](node u, node v) { EXPECT_TRUE(g75.hasEdge(u, v)); });
+}
+
+TEST(RinBuilder, CriteriaDiffer) {
+    // Minimum atom distance reaches farther than C-alpha distance at the
+    // same cutoff (side chains stick out), so it yields at least as many
+    // edges, and on a packed bundle strictly more.
+    const auto p = alpha3D();
+    const auto gMin = RinBuilder(DistanceCriterion::MinimumAtomDistance).build(p, 6.0);
+    const auto gCa = RinBuilder(DistanceCriterion::AlphaCarbon).build(p, 6.0);
+    const auto gCom = RinBuilder(DistanceCriterion::CenterOfMass).build(p, 6.0);
+    EXPECT_GT(gMin.numberOfEdges(), gCa.numberOfEdges());
+    // Every CA contact is also a min-distance contact.
+    gCa.forEdges([&](node u, node v) { EXPECT_TRUE(gMin.hasEdge(u, v)); });
+    EXPECT_GT(gCom.numberOfEdges(), 0u);
+}
+
+TEST(RinBuilder, MinDistanceMatchesBruteForce) {
+    const RinBuilder builder(DistanceCriterion::MinimumAtomDistance);
+    const auto p = chignolin();
+    const double cutoff = 5.0;
+    const auto g = builder.build(p, cutoff);
+    for (node u = 0; u < p.size(); ++u) {
+        for (node v = u + 1; v < p.size(); ++v) {
+            const bool contact = p.residue(u).minimumDistance(p.residue(v)) <= cutoff;
+            EXPECT_EQ(g.hasEdge(u, v), contact) << u << "-" << v;
+        }
+    }
+}
+
+TEST(RinBuilder, ContactsSortedWithDistances) {
+    const RinBuilder builder(DistanceCriterion::AlphaCarbon);
+    const auto contacts = builder.contacts(alpha3D(), 6.5);
+    ASSERT_FALSE(contacts.empty());
+    for (count i = 1; i < contacts.size(); ++i) {
+        EXPECT_TRUE(std::tie(contacts[i - 1].u, contacts[i - 1].v) <
+                    std::tie(contacts[i].u, contacts[i].v));
+    }
+    for (const auto& c : contacts) {
+        EXPECT_LE(c.distance, 6.5);
+        EXPECT_GT(c.distance, 0.0);
+        EXPECT_LT(c.u, c.v);
+    }
+}
+
+TEST(RinBuilder, WeightedGraphCarriesDistances) {
+    const RinBuilder builder(DistanceCriterion::AlphaCarbon);
+    const auto p = chignolin();
+    const auto g = builder.buildWeighted(p, 7.0);
+    EXPECT_TRUE(g.isWeighted());
+    g.forWeightedEdges([&](node u, node v, edgeweight w) {
+        EXPECT_NEAR(w, p.residue(u).alphaCarbon().distance(p.residue(v).alphaCarbon()),
+                    1e-9);
+    });
+}
+
+TEST(RinBuilder, InvalidCutoffThrows) {
+    const RinBuilder builder;
+    EXPECT_THROW(builder.build(chignolin(), 0.0), std::invalid_argument);
+    EXPECT_THROW(builder.build(chignolin(), -1.0), std::invalid_argument);
+}
+
+TEST(RinBuilder, HelixCommunitiesEmergeAtLowCutoff) {
+    // At 4.5 A min-distance, intra-helix contacts dominate: count edges
+    // within vs across secondary structure elements (paper Fig. 3 claim).
+    const auto p = alpha3D();
+    const auto g = RinBuilder(DistanceCriterion::MinimumAtomDistance).build(p, 4.5);
+    const auto labels = p.secondaryStructureLabels();
+    count intra = 0, inter = 0;
+    g.forEdges([&](node u, node v) {
+        (labels[u] == labels[v] ? intra : inter) += 1;
+    });
+    // Most inter-segment contacts involve the coil linkers; helix-helix
+    // contacts are sparse. 2x is the conservative bound (measured ~2.6x).
+    EXPECT_GT(intra, 2 * inter);
+}
+
+TEST(DynamicRin, InitialGraphMatchesBuilder) {
+    md::TrajectoryGenerator::Parameters params;
+    params.frames = 5;
+    const auto traj = md::TrajectoryGenerator(params).generate(alpha3D());
+    DynamicRin dyn(traj, DistanceCriterion::MinimumAtomDistance, 4.5);
+    const auto direct =
+        RinBuilder(DistanceCriterion::MinimumAtomDistance).build(traj.proteinAtFrame(0), 4.5);
+    EXPECT_TRUE(dyn.graph() == direct);
+}
+
+TEST(DynamicRin, CutoffSwitchMatchesFreshBuild) {
+    md::TrajectoryGenerator::Parameters params;
+    params.frames = 3;
+    const auto traj = md::TrajectoryGenerator(params).generate(alpha3D());
+    DynamicRin dyn(traj, DistanceCriterion::MinimumAtomDistance, 4.5);
+
+    const auto stats = dyn.setCutoff(7.5);
+    EXPECT_GT(stats.edgesAdded, 0u);
+    EXPECT_EQ(stats.edgesRemoved, 0u); // cutoff grew: nothing disappears
+    const auto direct =
+        RinBuilder(DistanceCriterion::MinimumAtomDistance).build(traj.proteinAtFrame(0), 7.5);
+    EXPECT_TRUE(dyn.graph() == direct);
+
+    const auto shrink = dyn.setCutoff(4.5);
+    EXPECT_EQ(shrink.edgesAdded, 0u);
+    EXPECT_GT(shrink.edgesRemoved, 0u);
+    EXPECT_EQ(shrink.edgesTotal, dyn.graph().numberOfEdges());
+}
+
+TEST(DynamicRin, FrameSwitchMatchesFreshBuild) {
+    md::TrajectoryGenerator::Parameters params;
+    params.frames = 10;
+    params.unfoldingEvents = 1;
+    const auto traj = md::TrajectoryGenerator(params).generate(alpha3D());
+    DynamicRin dyn(traj, DistanceCriterion::MinimumAtomDistance, 5.0);
+
+    for (index f : {3u, 5u, 9u}) {
+        const auto stats = dyn.setFrame(f);
+        const auto direct = RinBuilder(DistanceCriterion::MinimumAtomDistance)
+                                .build(traj.proteinAtFrame(f), 5.0);
+        EXPECT_TRUE(dyn.graph() == direct) << "frame " << f;
+        EXPECT_EQ(stats.edgesTotal, direct.numberOfEdges());
+    }
+    EXPECT_THROW(dyn.setFrame(99), std::out_of_range);
+}
+
+TEST(DynamicRin, UnfoldingShedsLongRangeContacts) {
+    md::TrajectoryGenerator::Parameters params;
+    params.frames = 21;
+    params.unfoldingEvents = 1;
+    const auto traj = md::TrajectoryGenerator(params).generate(alpha3D());
+    DynamicRin dyn(traj, DistanceCriterion::MinimumAtomDistance, 4.5);
+    const count folded = dyn.graph().numberOfEdges();
+    dyn.setFrame(10); // unfolded apex
+    const count unfolded = dyn.graph().numberOfEdges();
+    EXPECT_LT(unfolded, folded); // tertiary contacts are gone
+    // The chain itself survives unfolding.
+    for (node u = 0; u + 1 < 73; ++u) EXPECT_TRUE(dyn.graph().hasEdge(u, u + 1));
+}
+
+TEST(DynamicRin, NodeCountNeverChanges) {
+    md::TrajectoryGenerator::Parameters params;
+    params.frames = 6;
+    params.unfoldingEvents = 2;
+    const auto traj = md::TrajectoryGenerator(params).generate(chignolin());
+    DynamicRin dyn(traj, DistanceCriterion::AlphaCarbon, 6.0);
+    for (index f = 0; f < 6; ++f) {
+        dyn.setFrame(f);
+        dyn.setCutoff(4.0 + f);
+        EXPECT_EQ(dyn.graph().numberOfNodes(), 10u);
+    }
+}
+
+} // namespace
+} // namespace rinkit::rin

@@ -1,0 +1,346 @@
+// Tests for the viz backend: palettes, scene construction, plotly JSON
+// structure, the measure registry, the client cost model, and the full
+// RinWidget update cycle.
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "src/core/rin_explorer.hpp"
+#include "src/graph/generators.hpp"
+#include "src/layout/maxent_stress.hpp"
+#include "src/md/synthetic.hpp"
+#include "src/support/json.hpp"
+#include "src/viz/client_model.hpp"
+#include "src/viz/colormap.hpp"
+#include "src/viz/figure.hpp"
+#include "src/viz/measures.hpp"
+#include "src/viz/widget.hpp"
+
+namespace rinkit::viz {
+namespace {
+
+TEST(Color, HexFormat) {
+    EXPECT_EQ((Color{255, 0, 128}).hex(), "#ff0080");
+    EXPECT_EQ((Color{0, 0, 0}).hex(), "#000000");
+}
+
+class PaletteP : public ::testing::TestWithParam<Palette> {};
+
+TEST_P(PaletteP, EndpointsAndClamping) {
+    const auto lo = sample(GetParam(), 0.0);
+    const auto hi = sample(GetParam(), 1.0);
+    EXPECT_NE(lo, hi);
+    EXPECT_EQ(sample(GetParam(), -3.0), lo); // clamped
+    EXPECT_EQ(sample(GetParam(), 4.0), hi);
+}
+
+TEST_P(PaletteP, ContinuousInBetween) {
+    // Adjacent samples differ by small steps (no banding discontinuities).
+    for (double t = 0.0; t < 1.0; t += 0.01) {
+        const auto a = sample(GetParam(), t);
+        const auto b = sample(GetParam(), t + 0.01);
+        EXPECT_LT(std::abs(a.r - b.r) + std::abs(a.g - b.g) + std::abs(a.b - b.b), 40);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPalettes, PaletteP,
+                         ::testing::Values(Palette::Spectral, Palette::Viridis,
+                                           Palette::Plasma, Palette::Coolwarm));
+
+TEST(ColorMap, SpectralRunsBlueToRed) {
+    // Paper Fig. 5: spectral palette, blue (low) to red (high).
+    const auto lo = sample(Palette::Spectral, 0.0);
+    const auto hi = sample(Palette::Spectral, 1.0);
+    EXPECT_GT(lo.b, lo.r);
+    EXPECT_GT(hi.r, hi.b);
+}
+
+TEST(ColorMap, MapScoresNormalizes) {
+    const auto colors = mapScores({0.0, 5.0, 10.0}, Palette::Spectral);
+    ASSERT_EQ(colors.size(), 3u);
+    EXPECT_EQ(colors[0], sample(Palette::Spectral, 0.0));
+    EXPECT_EQ(colors[1], sample(Palette::Spectral, 0.5));
+    EXPECT_EQ(colors[2], sample(Palette::Spectral, 1.0));
+}
+
+TEST(ColorMap, ConstantScoresMidpointAndNanGrey) {
+    const auto constant = mapScores({2.0, 2.0}, Palette::Viridis);
+    EXPECT_EQ(constant[0], sample(Palette::Viridis, 0.5));
+    const auto withNan = mapScores({0.0, std::nan(""), 1.0}, Palette::Viridis);
+    EXPECT_EQ(withNan[1], (Color{128, 128, 128}));
+}
+
+TEST(ColorMap, CategoricalCycles) {
+    EXPECT_EQ(categorical(0), categorical(categoricalCycle()));
+    for (index a = 0; a < categoricalCycle(); ++a) {
+        for (index b = a + 1; b < categoricalCycle(); ++b) {
+            EXPECT_NE(categorical(a), categorical(b));
+        }
+    }
+}
+
+TEST(Scene, MakeSceneBasics) {
+    const auto g = generators::karateClub();
+    std::vector<Point3> coords(34, Point3{1, 2, 3});
+    std::vector<double> scores(34, 0.5);
+    scores[0] = 1.0;
+    const auto s = makeScene(g, coords, scores, Palette::Spectral, "test");
+    EXPECT_EQ(s.nodeCount(), 34u);
+    EXPECT_EQ(s.edgeCount(), 78u);
+    EXPECT_EQ(s.nodeLabels.size(), 34u);
+    EXPECT_NE(s.nodeLabels[0].find("node 0"), std::string::npos);
+    EXPECT_THROW(makeScene(g, std::vector<Point3>(3), scores, Palette::Spectral, "x"),
+                 std::invalid_argument);
+}
+
+TEST(Scene, CommunitySceneUsesCategoricalColors) {
+    const auto g = generators::karateClub();
+    std::vector<Point3> coords(34);
+    std::vector<index> comm(34, 0);
+    for (node u = 17; u < 34; ++u) comm[u] = 1;
+    const auto s = makeCommunityScene(g, coords, comm, "communities");
+    EXPECT_EQ(s.nodeColors[0], categorical(0));
+    EXPECT_EQ(s.nodeColors[20], categorical(1));
+}
+
+TEST(Figure, EmitsValidPlotlyJson) {
+    const auto g = generators::karateClub();
+    MaxentStress layout(g);
+    layout.run();
+    std::vector<double> scores(34, 1.0);
+    Figure fig;
+    fig.addScene(makeScene(g, layout.getCoordinates(), scores, Palette::Spectral, "k"));
+    const auto json = fig.toJson();
+
+    const auto doc = JsonValue::parse(json);
+    ASSERT_TRUE(doc.has("data"));
+    ASSERT_TRUE(doc.has("layout"));
+    const auto& data = doc.at("data");
+    ASSERT_EQ(data.size(), 2u); // edge trace + node trace
+    const auto& edgeTrace = data.at(0);
+    EXPECT_EQ(edgeTrace.at("type").asString(), "scatter3d");
+    EXPECT_EQ(edgeTrace.at("mode").asString(), "lines");
+    // 3 entries (two endpoints + null) per edge.
+    EXPECT_EQ(edgeTrace.at("x").size(), 78u * 3u);
+    const auto& nodeTrace = data.at(1);
+    EXPECT_EQ(nodeTrace.at("mode").asString(), "markers");
+    EXPECT_EQ(nodeTrace.at("x").size(), 34u);
+    EXPECT_EQ(nodeTrace.at("marker").at("color").size(), 34u);
+    EXPECT_EQ(nodeTrace.at("text").size(), 34u);
+}
+
+TEST(Figure, DualSceneDomainsSplit) {
+    const auto g = generators::karateClub();
+    std::vector<Point3> coords(34);
+    std::vector<double> scores(34, 0.0);
+    Figure fig;
+    fig.addScene(makeScene(g, coords, scores, Palette::Spectral, "left"));
+    fig.addScene(makeScene(g, coords, scores, Palette::Spectral, "right"));
+    const auto doc = JsonValue::parse(fig.toJson());
+    EXPECT_EQ(doc.at("data").size(), 4u);
+    ASSERT_TRUE(doc.at("layout").has("scene"));
+    ASSERT_TRUE(doc.at("layout").has("scene2"));
+    const auto& dom1 = doc.at("layout").at("scene").at("domain").at("x");
+    const auto& dom2 = doc.at("layout").at("scene2").at("domain").at("x");
+    EXPECT_DOUBLE_EQ(dom1.at(1).asNumber(), 0.5);
+    EXPECT_DOUBLE_EQ(dom2.at(0).asNumber(), 0.5);
+    // Second scene's traces reference scene2.
+    EXPECT_EQ(doc.at("data").at(2).at("scene").asString(), "scene2");
+}
+
+TEST(Measures, RegistryComplete) {
+    EXPECT_EQ(allMeasures().size(), 13u);
+    for (Measure m : allMeasures()) {
+        EXPECT_FALSE(measureName(m).empty());
+    }
+    EXPECT_TRUE(isCommunityMeasure(Measure::PlmCommunities));
+    EXPECT_FALSE(isCommunityMeasure(Measure::Betweenness));
+}
+
+TEST(Measures, AllComputeOnKarate) {
+    const auto g = generators::karateClub();
+    for (Measure m : allMeasures()) {
+        const auto scores = computeMeasure(g, m);
+        ASSERT_EQ(scores.size(), 34u) << measureName(m);
+        for (double s : scores) EXPECT_TRUE(std::isfinite(s)) << measureName(m);
+        if (isCommunityMeasure(m)) {
+            // Community ids are small non-negative integers.
+            for (double s : scores) {
+                EXPECT_GE(s, 0.0);
+                EXPECT_EQ(s, std::floor(s));
+                EXPECT_LT(s, 34.0);
+            }
+        }
+    }
+}
+
+TEST(ClientModel, ParseCostScalesWithPayload) {
+    ClientCostModel client;
+    std::string small = R"({"a":[1,2,3]})";
+    EXPECT_GE(client.parseOnly(small), 0.0);
+    EXPECT_THROW(client.parseOnly("{broken"), std::runtime_error);
+}
+
+TEST(ClientModel, FullUpdateCostsMoreThanPartial) {
+    const auto g = generators::karateClub();
+    MaxentStress layout(g);
+    layout.run();
+    Figure fig;
+    fig.addScene(makeScene(g, layout.getCoordinates(), std::vector<double>(34, 1.0),
+                           Palette::Spectral, "k"));
+    const auto json = fig.toJson();
+    ClientCostModel::Parameters full;
+    full.fullUpdate = true;
+    ClientCostModel::Parameters partial;
+    partial.fullUpdate = false;
+    // Average over repetitions to de-noise timing.
+    double fullMs = 0.0, partialMs = 0.0;
+    for (int i = 0; i < 5; ++i) {
+        fullMs += ClientCostModel(full).processUpdate(json, 3400, 7800);
+        partialMs += ClientCostModel(partial).processUpdate(json, 3400, 7800);
+    }
+    EXPECT_GT(fullMs, partialMs); // full touches nodes + edges, partial edges only
+}
+
+TEST(Widget, InitialStateConsistent) {
+    md::TrajectoryGenerator::Parameters gen;
+    gen.frames = 5;
+    const auto traj = md::TrajectoryGenerator(gen).generate(md::alpha3D());
+    RinWidget widget(traj);
+    EXPECT_EQ(widget.frame(), 0u);
+    EXPECT_DOUBLE_EQ(widget.cutoff(), 4.5);
+    EXPECT_EQ(widget.graph().numberOfNodes(), 73u);
+    EXPECT_EQ(widget.scores().size(), 73u); // initial measure ran
+    EXPECT_EQ(widget.maxentLayout().size(), 73u);
+    EXPECT_FALSE(widget.figureJson().empty());
+    // Figure is valid JSON with 4 traces (2 scenes x 2 traces).
+    const auto doc = JsonValue::parse(widget.figureJson());
+    EXPECT_EQ(doc.at("data").size(), 4u);
+}
+
+TEST(Widget, CutoffEventTimingsAndState) {
+    md::TrajectoryGenerator::Parameters gen;
+    gen.frames = 3;
+    const auto traj = md::TrajectoryGenerator(gen).generate(md::alpha3D());
+    RinWidget widget(traj);
+    const count before = widget.graph().numberOfEdges();
+    const auto t = widget.setCutoff(7.5);
+    EXPECT_GT(widget.graph().numberOfEdges(), before);
+    EXPECT_GT(t.edgeStats.edgesAdded, 0u);
+    EXPECT_GT(t.networkUpdateMs, 0.0);
+    EXPECT_GT(t.layoutMs, 0.0);
+    EXPECT_GT(t.clientMs, 0.0);
+    EXPECT_GE(t.totalMs(), t.serverMs());
+    EXPECT_DOUBLE_EQ(widget.cutoff(), 7.5);
+}
+
+TEST(Widget, FrameEventUpdatesProteinView) {
+    md::TrajectoryGenerator::Parameters gen;
+    gen.frames = 10;
+    gen.unfoldingEvents = 1;
+    const auto traj = md::TrajectoryGenerator(gen).generate(md::villinHeadpiece());
+    RinWidget widget(traj);
+    const auto t = widget.setFrame(5);
+    EXPECT_EQ(widget.frame(), 5u);
+    EXPECT_GT(t.edgeStats.edgesRemoved + t.edgeStats.edgesAdded, 0u);
+    EXPECT_GT(t.measureMs, 0.0); // auto-recompute on
+}
+
+TEST(Widget, OnDemandModeSkipsMeasure) {
+    md::TrajectoryGenerator::Parameters gen;
+    gen.frames = 4;
+    const auto traj = md::TrajectoryGenerator(gen).generate(md::chignolin());
+    RinWidget widget(traj);
+    widget.setAutoRecompute(false);
+    const auto t = widget.setFrame(2);
+    EXPECT_DOUBLE_EQ(t.measureMs, 0.0);
+    widget.setAutoRecompute(true);
+    const auto t2 = widget.setFrame(3);
+    EXPECT_GT(t2.measureMs, 0.0);
+}
+
+TEST(Widget, MeasureSwitchLeavesNetworkAlone) {
+    md::TrajectoryGenerator::Parameters gen;
+    gen.frames = 3;
+    const auto traj = md::TrajectoryGenerator(gen).generate(md::alpha3D());
+    RinWidget widget(traj);
+    const count edges = widget.graph().numberOfEdges();
+    const auto coords = widget.maxentLayout();
+    const auto t = widget.setMeasure(Measure::Betweenness);
+    EXPECT_EQ(widget.graph().numberOfEdges(), edges);
+    EXPECT_EQ(widget.maxentLayout(), coords); // layout untouched
+    EXPECT_DOUBLE_EQ(t.networkUpdateMs, 0.0);
+    EXPECT_DOUBLE_EQ(t.layoutMs, 0.0);
+    EXPECT_GT(t.measureMs, 0.0);
+    EXPECT_TRUE(widget.measure() == Measure::Betweenness);
+}
+
+TEST(Widget, DeltaModeShowsScoreDifferences) {
+    md::TrajectoryGenerator::Parameters gen;
+    gen.frames = 6;
+    gen.unfoldingEvents = 1;
+    const auto traj = md::TrajectoryGenerator(gen).generate(md::villinHeadpiece());
+    RinWidget widget(traj);
+    widget.setMeasure(Measure::Degree);
+    widget.snapshotBuffer();
+    widget.setFrame(3); // unfolding sheds contacts -> degree drops
+    widget.setDeltaMode(true);
+    const auto delta = widget.displayedScores();
+    ASSERT_EQ(delta.size(), 35u);
+    double sum = 0.0;
+    for (double d : delta) sum += d;
+    EXPECT_LT(sum, 0.0); // on average fewer contacts than buffered frame
+    widget.setDeltaMode(false);
+    EXPECT_EQ(widget.displayedScores(), widget.scores());
+}
+
+TEST(Widget, CommunityMeasureRendersCategorical) {
+    md::TrajectoryGenerator::Parameters gen;
+    gen.frames = 3;
+    const auto traj = md::TrajectoryGenerator(gen).generate(md::alpha3D());
+    RinWidget widget(traj);
+    widget.setMeasure(Measure::PlmCommunities);
+    const auto doc = JsonValue::parse(widget.figureJson());
+    // Node trace colors are categorical hexes.
+    const auto& colors = doc.at("data").at(1).at("marker").at("color");
+    EXPECT_EQ(colors.size(), 73u);
+    EXPECT_EQ(colors.at(0).asString()[0], '#');
+}
+
+TEST(RinExplorer, CatalogueAndAnalysis) {
+    auto explorer = RinExplorer::forProtein("alpha3D");
+    EXPECT_EQ(explorer.trajectory().topology().size(), 73u);
+    // Fig. 3: communities reflect helices.
+    EXPECT_GT(explorer.communityStructureAgreement(), 0.5);
+    // Hubs grow with cutoff.
+    const count hubsLow = explorer.hubCount(10);
+    explorer.widget().setCutoff(7.5);
+    EXPECT_GT(explorer.hubCount(10), hubsLow);
+    EXPECT_THROW(RinExplorer::forProtein("nonexistent"), std::invalid_argument);
+}
+
+TEST(RinExplorer, BundleSizing) {
+    RinExplorer::Options opts;
+    opts.frames = 2;
+    auto explorer = RinExplorer::forProtein("bundle:150", opts);
+    EXPECT_EQ(explorer.widget().graph().numberOfNodes(), 150u);
+}
+
+TEST(RinExplorer, ExportsFiles) {
+    RinExplorer::Options opts;
+    opts.frames = 2;
+    auto explorer = RinExplorer::forProtein("chignolin", opts);
+    explorer.exportPdb("/tmp/rinkit_test_export.pdb");
+    explorer.exportFigure("/tmp/rinkit_test_export.json");
+    std::ifstream pdb("/tmp/rinkit_test_export.pdb");
+    std::string firstLine;
+    std::getline(pdb, firstLine);
+    EXPECT_EQ(firstLine.rfind("ATOM", 0), 0u);
+    std::ifstream fig("/tmp/rinkit_test_export.json");
+    std::string json((std::istreambuf_iterator<char>(fig)),
+                     std::istreambuf_iterator<char>());
+    EXPECT_NO_THROW(JsonValue::parse(json));
+}
+
+} // namespace
+} // namespace rinkit::viz
