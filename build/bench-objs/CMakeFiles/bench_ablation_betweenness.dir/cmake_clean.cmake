@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_betweenness"
+  "../bench/bench_ablation_betweenness.pdb"
+  "CMakeFiles/bench_ablation_betweenness.dir/bench_ablation_betweenness.cpp.o"
+  "CMakeFiles/bench_ablation_betweenness.dir/bench_ablation_betweenness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_betweenness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

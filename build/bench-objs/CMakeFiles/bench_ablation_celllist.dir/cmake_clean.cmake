@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_celllist"
+  "../bench/bench_ablation_celllist.pdb"
+  "CMakeFiles/bench_ablation_celllist.dir/bench_ablation_celllist.cpp.o"
+  "CMakeFiles/bench_ablation_celllist.dir/bench_ablation_celllist.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_celllist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_community"
+  "../bench/bench_ablation_community.pdb"
+  "CMakeFiles/bench_ablation_community.dir/bench_ablation_community.cpp.o"
+  "CMakeFiles/bench_ablation_community.dir/bench_ablation_community.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_community.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_dynamic_rin"
+  "../bench/bench_ablation_dynamic_rin.pdb"
+  "CMakeFiles/bench_ablation_dynamic_rin.dir/bench_ablation_dynamic_rin.cpp.o"
+  "CMakeFiles/bench_ablation_dynamic_rin.dir/bench_ablation_dynamic_rin.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dynamic_rin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

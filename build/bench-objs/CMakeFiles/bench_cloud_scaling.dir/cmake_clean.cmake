@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_cloud_scaling"
+  "../bench/bench_cloud_scaling.pdb"
+  "CMakeFiles/bench_cloud_scaling.dir/bench_cloud_scaling.cpp.o"
+  "CMakeFiles/bench_cloud_scaling.dir/bench_cloud_scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cloud_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_cutoff_switch"
+  "../bench/bench_fig7_cutoff_switch.pdb"
+  "CMakeFiles/bench_fig7_cutoff_switch.dir/bench_fig7_cutoff_switch.cpp.o"
+  "CMakeFiles/bench_fig7_cutoff_switch.dir/bench_fig7_cutoff_switch.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_cutoff_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

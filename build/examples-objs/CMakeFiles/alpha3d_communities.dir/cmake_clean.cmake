@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/alpha3d_communities"
+  "../examples/alpha3d_communities.pdb"
+  "CMakeFiles/alpha3d_communities.dir/alpha3d_communities.cpp.o"
+  "CMakeFiles/alpha3d_communities.dir/alpha3d_communities.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alpha3d_communities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

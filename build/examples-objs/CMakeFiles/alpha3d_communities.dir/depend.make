@@ -1,0 +1,2 @@
+# Empty dependencies file for alpha3d_communities.
+# This may be replaced when dependencies are built.

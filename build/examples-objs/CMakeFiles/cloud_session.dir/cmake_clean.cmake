@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/cloud_session"
+  "../examples/cloud_session.pdb"
+  "CMakeFiles/cloud_session.dir/cloud_session.cpp.o"
+  "CMakeFiles/cloud_session.dir/cloud_session.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

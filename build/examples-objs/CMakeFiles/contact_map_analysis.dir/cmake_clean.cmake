@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/contact_map_analysis"
+  "../examples/contact_map_analysis.pdb"
+  "CMakeFiles/contact_map_analysis.dir/contact_map_analysis.cpp.o"
+  "CMakeFiles/contact_map_analysis.dir/contact_map_analysis.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contact_map_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/embedding_pipeline"
+  "../examples/embedding_pipeline.pdb"
+  "CMakeFiles/embedding_pipeline.dir/embedding_pipeline.cpp.o"
+  "CMakeFiles/embedding_pipeline.dir/embedding_pipeline.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embedding_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/trajectory_explorer"
+  "../examples/trajectory_explorer.pdb"
+  "CMakeFiles/trajectory_explorer.dir/trajectory_explorer.cpp.o"
+  "CMakeFiles/trajectory_explorer.dir/trajectory_explorer.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trajectory_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

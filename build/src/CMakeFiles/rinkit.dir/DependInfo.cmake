@@ -1,0 +1,72 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/centrality/approx_betweenness.cpp" "src/CMakeFiles/rinkit.dir/centrality/approx_betweenness.cpp.o" "gcc" "src/CMakeFiles/rinkit.dir/centrality/approx_betweenness.cpp.o.d"
+  "/root/repo/src/centrality/betweenness.cpp" "src/CMakeFiles/rinkit.dir/centrality/betweenness.cpp.o" "gcc" "src/CMakeFiles/rinkit.dir/centrality/betweenness.cpp.o.d"
+  "/root/repo/src/centrality/centrality.cpp" "src/CMakeFiles/rinkit.dir/centrality/centrality.cpp.o" "gcc" "src/CMakeFiles/rinkit.dir/centrality/centrality.cpp.o.d"
+  "/root/repo/src/centrality/closeness.cpp" "src/CMakeFiles/rinkit.dir/centrality/closeness.cpp.o" "gcc" "src/CMakeFiles/rinkit.dir/centrality/closeness.cpp.o.d"
+  "/root/repo/src/centrality/core_decomposition.cpp" "src/CMakeFiles/rinkit.dir/centrality/core_decomposition.cpp.o" "gcc" "src/CMakeFiles/rinkit.dir/centrality/core_decomposition.cpp.o.d"
+  "/root/repo/src/centrality/degree.cpp" "src/CMakeFiles/rinkit.dir/centrality/degree.cpp.o" "gcc" "src/CMakeFiles/rinkit.dir/centrality/degree.cpp.o.d"
+  "/root/repo/src/centrality/eigenvector.cpp" "src/CMakeFiles/rinkit.dir/centrality/eigenvector.cpp.o" "gcc" "src/CMakeFiles/rinkit.dir/centrality/eigenvector.cpp.o.d"
+  "/root/repo/src/centrality/local_clustering.cpp" "src/CMakeFiles/rinkit.dir/centrality/local_clustering.cpp.o" "gcc" "src/CMakeFiles/rinkit.dir/centrality/local_clustering.cpp.o.d"
+  "/root/repo/src/centrality/pagerank.cpp" "src/CMakeFiles/rinkit.dir/centrality/pagerank.cpp.o" "gcc" "src/CMakeFiles/rinkit.dir/centrality/pagerank.cpp.o.d"
+  "/root/repo/src/centrality/top_closeness.cpp" "src/CMakeFiles/rinkit.dir/centrality/top_closeness.cpp.o" "gcc" "src/CMakeFiles/rinkit.dir/centrality/top_closeness.cpp.o.d"
+  "/root/repo/src/cloud/cluster.cpp" "src/CMakeFiles/rinkit.dir/cloud/cluster.cpp.o" "gcc" "src/CMakeFiles/rinkit.dir/cloud/cluster.cpp.o.d"
+  "/root/repo/src/cloud/gateway.cpp" "src/CMakeFiles/rinkit.dir/cloud/gateway.cpp.o" "gcc" "src/CMakeFiles/rinkit.dir/cloud/gateway.cpp.o.d"
+  "/root/repo/src/cloud/jupyterhub.cpp" "src/CMakeFiles/rinkit.dir/cloud/jupyterhub.cpp.o" "gcc" "src/CMakeFiles/rinkit.dir/cloud/jupyterhub.cpp.o.d"
+  "/root/repo/src/community/leiden.cpp" "src/CMakeFiles/rinkit.dir/community/leiden.cpp.o" "gcc" "src/CMakeFiles/rinkit.dir/community/leiden.cpp.o.d"
+  "/root/repo/src/community/louvain_common.cpp" "src/CMakeFiles/rinkit.dir/community/louvain_common.cpp.o" "gcc" "src/CMakeFiles/rinkit.dir/community/louvain_common.cpp.o.d"
+  "/root/repo/src/community/mapequation.cpp" "src/CMakeFiles/rinkit.dir/community/mapequation.cpp.o" "gcc" "src/CMakeFiles/rinkit.dir/community/mapequation.cpp.o.d"
+  "/root/repo/src/community/partition.cpp" "src/CMakeFiles/rinkit.dir/community/partition.cpp.o" "gcc" "src/CMakeFiles/rinkit.dir/community/partition.cpp.o.d"
+  "/root/repo/src/community/plm.cpp" "src/CMakeFiles/rinkit.dir/community/plm.cpp.o" "gcc" "src/CMakeFiles/rinkit.dir/community/plm.cpp.o.d"
+  "/root/repo/src/community/plp.cpp" "src/CMakeFiles/rinkit.dir/community/plp.cpp.o" "gcc" "src/CMakeFiles/rinkit.dir/community/plp.cpp.o.d"
+  "/root/repo/src/community/quality.cpp" "src/CMakeFiles/rinkit.dir/community/quality.cpp.o" "gcc" "src/CMakeFiles/rinkit.dir/community/quality.cpp.o.d"
+  "/root/repo/src/community/similarity.cpp" "src/CMakeFiles/rinkit.dir/community/similarity.cpp.o" "gcc" "src/CMakeFiles/rinkit.dir/community/similarity.cpp.o.d"
+  "/root/repo/src/components/bfs.cpp" "src/CMakeFiles/rinkit.dir/components/bfs.cpp.o" "gcc" "src/CMakeFiles/rinkit.dir/components/bfs.cpp.o.d"
+  "/root/repo/src/components/connected_components.cpp" "src/CMakeFiles/rinkit.dir/components/connected_components.cpp.o" "gcc" "src/CMakeFiles/rinkit.dir/components/connected_components.cpp.o.d"
+  "/root/repo/src/components/diameter.cpp" "src/CMakeFiles/rinkit.dir/components/diameter.cpp.o" "gcc" "src/CMakeFiles/rinkit.dir/components/diameter.cpp.o.d"
+  "/root/repo/src/core/rin_explorer.cpp" "src/CMakeFiles/rinkit.dir/core/rin_explorer.cpp.o" "gcc" "src/CMakeFiles/rinkit.dir/core/rin_explorer.cpp.o.d"
+  "/root/repo/src/embedding/node2vec.cpp" "src/CMakeFiles/rinkit.dir/embedding/node2vec.cpp.o" "gcc" "src/CMakeFiles/rinkit.dir/embedding/node2vec.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/CMakeFiles/rinkit.dir/graph/generators.cpp.o" "gcc" "src/CMakeFiles/rinkit.dir/graph/generators.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/CMakeFiles/rinkit.dir/graph/graph.cpp.o" "gcc" "src/CMakeFiles/rinkit.dir/graph/graph.cpp.o.d"
+  "/root/repo/src/graph/graph_builder.cpp" "src/CMakeFiles/rinkit.dir/graph/graph_builder.cpp.o" "gcc" "src/CMakeFiles/rinkit.dir/graph/graph_builder.cpp.o.d"
+  "/root/repo/src/graph/graph_io.cpp" "src/CMakeFiles/rinkit.dir/graph/graph_io.cpp.o" "gcc" "src/CMakeFiles/rinkit.dir/graph/graph_io.cpp.o.d"
+  "/root/repo/src/graph/graph_tools.cpp" "src/CMakeFiles/rinkit.dir/graph/graph_tools.cpp.o" "gcc" "src/CMakeFiles/rinkit.dir/graph/graph_tools.cpp.o.d"
+  "/root/repo/src/layout/fruchterman_reingold.cpp" "src/CMakeFiles/rinkit.dir/layout/fruchterman_reingold.cpp.o" "gcc" "src/CMakeFiles/rinkit.dir/layout/fruchterman_reingold.cpp.o.d"
+  "/root/repo/src/layout/layout.cpp" "src/CMakeFiles/rinkit.dir/layout/layout.cpp.o" "gcc" "src/CMakeFiles/rinkit.dir/layout/layout.cpp.o.d"
+  "/root/repo/src/layout/maxent_stress.cpp" "src/CMakeFiles/rinkit.dir/layout/maxent_stress.cpp.o" "gcc" "src/CMakeFiles/rinkit.dir/layout/maxent_stress.cpp.o.d"
+  "/root/repo/src/layout/octree.cpp" "src/CMakeFiles/rinkit.dir/layout/octree.cpp.o" "gcc" "src/CMakeFiles/rinkit.dir/layout/octree.cpp.o.d"
+  "/root/repo/src/md/align.cpp" "src/CMakeFiles/rinkit.dir/md/align.cpp.o" "gcc" "src/CMakeFiles/rinkit.dir/md/align.cpp.o.d"
+  "/root/repo/src/md/md_io.cpp" "src/CMakeFiles/rinkit.dir/md/md_io.cpp.o" "gcc" "src/CMakeFiles/rinkit.dir/md/md_io.cpp.o.d"
+  "/root/repo/src/md/protein.cpp" "src/CMakeFiles/rinkit.dir/md/protein.cpp.o" "gcc" "src/CMakeFiles/rinkit.dir/md/protein.cpp.o.d"
+  "/root/repo/src/md/synthetic.cpp" "src/CMakeFiles/rinkit.dir/md/synthetic.cpp.o" "gcc" "src/CMakeFiles/rinkit.dir/md/synthetic.cpp.o.d"
+  "/root/repo/src/md/trajectory.cpp" "src/CMakeFiles/rinkit.dir/md/trajectory.cpp.o" "gcc" "src/CMakeFiles/rinkit.dir/md/trajectory.cpp.o.d"
+  "/root/repo/src/rin/cell_list.cpp" "src/CMakeFiles/rinkit.dir/rin/cell_list.cpp.o" "gcc" "src/CMakeFiles/rinkit.dir/rin/cell_list.cpp.o.d"
+  "/root/repo/src/rin/contact_analysis.cpp" "src/CMakeFiles/rinkit.dir/rin/contact_analysis.cpp.o" "gcc" "src/CMakeFiles/rinkit.dir/rin/contact_analysis.cpp.o.d"
+  "/root/repo/src/rin/dynamic_rin.cpp" "src/CMakeFiles/rinkit.dir/rin/dynamic_rin.cpp.o" "gcc" "src/CMakeFiles/rinkit.dir/rin/dynamic_rin.cpp.o.d"
+  "/root/repo/src/rin/rin_builder.cpp" "src/CMakeFiles/rinkit.dir/rin/rin_builder.cpp.o" "gcc" "src/CMakeFiles/rinkit.dir/rin/rin_builder.cpp.o.d"
+  "/root/repo/src/support/json.cpp" "src/CMakeFiles/rinkit.dir/support/json.cpp.o" "gcc" "src/CMakeFiles/rinkit.dir/support/json.cpp.o.d"
+  "/root/repo/src/support/random.cpp" "src/CMakeFiles/rinkit.dir/support/random.cpp.o" "gcc" "src/CMakeFiles/rinkit.dir/support/random.cpp.o.d"
+  "/root/repo/src/viz/client_model.cpp" "src/CMakeFiles/rinkit.dir/viz/client_model.cpp.o" "gcc" "src/CMakeFiles/rinkit.dir/viz/client_model.cpp.o.d"
+  "/root/repo/src/viz/colormap.cpp" "src/CMakeFiles/rinkit.dir/viz/colormap.cpp.o" "gcc" "src/CMakeFiles/rinkit.dir/viz/colormap.cpp.o.d"
+  "/root/repo/src/viz/csbridge.cpp" "src/CMakeFiles/rinkit.dir/viz/csbridge.cpp.o" "gcc" "src/CMakeFiles/rinkit.dir/viz/csbridge.cpp.o.d"
+  "/root/repo/src/viz/figure.cpp" "src/CMakeFiles/rinkit.dir/viz/figure.cpp.o" "gcc" "src/CMakeFiles/rinkit.dir/viz/figure.cpp.o.d"
+  "/root/repo/src/viz/measures.cpp" "src/CMakeFiles/rinkit.dir/viz/measures.cpp.o" "gcc" "src/CMakeFiles/rinkit.dir/viz/measures.cpp.o.d"
+  "/root/repo/src/viz/scene.cpp" "src/CMakeFiles/rinkit.dir/viz/scene.cpp.o" "gcc" "src/CMakeFiles/rinkit.dir/viz/scene.cpp.o.d"
+  "/root/repo/src/viz/session_recorder.cpp" "src/CMakeFiles/rinkit.dir/viz/session_recorder.cpp.o" "gcc" "src/CMakeFiles/rinkit.dir/viz/session_recorder.cpp.o.d"
+  "/root/repo/src/viz/widget.cpp" "src/CMakeFiles/rinkit.dir/viz/widget.cpp.o" "gcc" "src/CMakeFiles/rinkit.dir/viz/widget.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

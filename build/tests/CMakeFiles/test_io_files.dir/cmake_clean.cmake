@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_io_files.dir/test_io_files.cpp.o"
+  "CMakeFiles/test_io_files.dir/test_io_files.cpp.o.d"
+  "test_io_files"
+  "test_io_files.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_io_files.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rin.dir/test_rin.cpp.o"
+  "CMakeFiles/test_rin.dir/test_rin.cpp.o.d"
+  "test_rin"
+  "test_rin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
