@@ -5,6 +5,8 @@
 // plotlybridge-scale graphs.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_common.hpp"
+
 #include "src/centrality/approx_betweenness.hpp"
 #include "src/centrality/betweenness.hpp"
 #include "src/graph/generators.hpp"
@@ -47,4 +49,4 @@ BENCHMARK(BM_BetweennessApprox)
 
 } // namespace
 
-BENCHMARK_MAIN();
+RINKIT_BENCH_MAIN()

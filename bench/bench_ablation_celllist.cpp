@@ -4,6 +4,8 @@
 // wins by an order of magnitude.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_common.hpp"
+
 #include "src/md/synthetic.hpp"
 #include "src/rin/cell_list.hpp"
 #include "src/rin/rin_builder.hpp"
@@ -50,4 +52,4 @@ BENCHMARK(BM_BruteForcePairs)->Unit(benchmark::kMicrosecond)->Arg(100)->Arg(500)
 
 } // namespace
 
-BENCHMARK_MAIN();
+RINKIT_BENCH_MAIN()

@@ -5,6 +5,8 @@
 // Leiden never produces disconnected communities.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_common.hpp"
+
 #include "src/community/leiden.hpp"
 #include "src/community/mapequation.hpp"
 #include "src/community/plm.hpp"
@@ -71,4 +73,4 @@ BENCHMARK(BM_Plp)->Apply(sizes);
 
 } // namespace
 
-BENCHMARK_MAIN();
+RINKIT_BENCH_MAIN()

@@ -5,6 +5,8 @@
 // (most edges change anyway).
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_common.hpp"
+
 #include "src/md/synthetic.hpp"
 #include "src/md/trajectory.hpp"
 #include "src/rin/dynamic_rin.hpp"
@@ -74,4 +76,4 @@ BENCHMARK(BM_RebuildFrameStep)->Unit(benchmark::kMillisecond)->Arg(250)->Arg(100
 
 } // namespace
 
-BENCHMARK_MAIN();
+RINKIT_BENCH_MAIN()

@@ -5,6 +5,8 @@
 // justifying its role in the widget; FR/FA2 are competitive in time.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_common.hpp"
+
 #include "src/graph/generators.hpp"
 #include "src/layout/fruchterman_reingold.hpp"
 #include "src/layout/maxent_stress.hpp"
@@ -67,4 +69,4 @@ BENCHMARK(BM_ForceAtlas2Layout)->Unit(benchmark::kMillisecond)->Arg(73)->Arg(250
 
 } // namespace
 
-BENCHMARK_MAIN();
+RINKIT_BENCH_MAIN()

@@ -4,6 +4,8 @@
 // until capacity saturates; routing stays flat (hash + prefix match).
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_common.hpp"
+
 #include "src/cloud/cluster.hpp"
 #include "src/cloud/jupyterhub.hpp"
 
@@ -57,4 +59,4 @@ BENCHMARK(BM_RoutingThroughput)->Unit(benchmark::kMicrosecond);
 
 } // namespace
 
-BENCHMARK_MAIN();
+RINKIT_BENCH_MAIN()

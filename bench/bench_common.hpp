@@ -1,0 +1,130 @@
+#pragma once
+
+// Shared benchmark entry point with machine-readable output.
+//
+// Every bench binary uses RINKIT_BENCH_MAIN() instead of BENCHMARK_MAIN()
+// so that
+//
+//   bench_fig7_cutoff_switch --json results.json [google-benchmark flags]
+//
+// writes, next to the usual console table, a JSON array with one entry per
+// benchmark run: {"name", "iterations", "real_time_ms", "cpu_time_ms",
+// "counters": {...}}. The counters carry the per-stage numbers the figure
+// benches report (edge_ms, layout_ms, client_ms, nodes, edges, ...), and
+// google-benchmark's own aggregate runs (median/mean/stddev with
+// --benchmark_repetitions) appear as additional entries named "<bench>_median"
+// etc. The flag is stripped before benchmark::Initialize so the library's
+// own flag parsing (which rejects unknown flags) never sees it.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/support/json.hpp"
+
+namespace rinkit::benchsupport {
+
+/// Console reporter that also collects every run for the JSON dump.
+class CollectingReporter : public benchmark::ConsoleReporter {
+public:
+    struct Run {
+        std::string name;
+        long long iterations = 0;
+        double realTimeMs = 0.0;
+        double cpuTimeMs = 0.0;
+        std::vector<std::pair<std::string, double>> counters;
+    };
+
+    bool ReportContext(const Context& context) override {
+        return benchmark::ConsoleReporter::ReportContext(context);
+    }
+
+    void ReportRuns(const std::vector<benchmark::BenchmarkReporter::Run>& reports) override {
+        for (const auto& r : reports) {
+            if (r.error_occurred) continue;
+            Run run;
+            run.name = r.benchmark_name();
+            run.iterations = static_cast<long long>(r.iterations);
+            // GetAdjusted*Time is in the bench's display unit; normalize
+            // to ms (unit multiplier is per second).
+            const double toMs = 1e3 / benchmark::GetTimeUnitMultiplier(r.time_unit);
+            run.realTimeMs = r.GetAdjustedRealTime() * toMs;
+            run.cpuTimeMs = r.GetAdjustedCPUTime() * toMs;
+            for (const auto& [name, counter] : r.counters) {
+                run.counters.emplace_back(name, static_cast<double>(counter));
+            }
+            runs.push_back(std::move(run));
+        }
+        benchmark::ConsoleReporter::ReportRuns(reports);
+    }
+
+    std::vector<Run> runs;
+};
+
+/// Writes the collected runs as a JSON array to @p path. Returns false
+/// (after printing to stderr) if the file cannot be written — benchmark
+/// results silently lost to a typo'd path are worse than a failed run.
+inline bool writeRunsJson(const std::string& path, const std::vector<CollectingReporter::Run>& runs) {
+    JsonWriter w;
+    w.beginArray();
+    for (const auto& r : runs) {
+        w.beginObject();
+        w.kv("name", r.name);
+        w.kv("iterations", r.iterations);
+        w.kv("real_time_ms", r.realTimeMs);
+        w.kv("cpu_time_ms", r.cpuTimeMs);
+        w.key("counters").beginObject();
+        for (const auto& [name, value] : r.counters) w.kv(name, value);
+        w.endObject();
+        w.endObject();
+    }
+    w.endArray();
+    std::ofstream out(path);
+    out << w.str() << "\n";
+    if (!out) {
+        std::fprintf(stderr, "error: could not write --json output to %s\n",
+                     path.c_str());
+        return false;
+    }
+    return true;
+}
+
+/// Extracts `--json <path>` / `--json=<path>` from argv (removing it) and
+/// returns the path, or "" if absent.
+inline std::string extractJsonFlag(int& argc, char** argv) {
+    std::string path;
+    int writeAt = 1;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json" && i + 1 < argc) {
+            path = argv[++i];
+        } else if (arg.rfind("--json=", 0) == 0) {
+            path = arg.substr(7);
+        } else {
+            argv[writeAt++] = argv[i];
+        }
+    }
+    argc = writeAt;
+    return path;
+}
+
+inline int benchMain(int argc, char** argv) {
+    std::string jsonPath = extractJsonFlag(argc, argv);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    CollectingReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+    if (!jsonPath.empty() && !writeRunsJson(jsonPath, reporter.runs)) return 1;
+    return 0;
+}
+
+} // namespace rinkit::benchsupport
+
+#define RINKIT_BENCH_MAIN()                                                    \
+    int main(int argc, char** argv) {                                          \
+        return rinkit::benchsupport::benchMain(argc, argv);                    \
+    }

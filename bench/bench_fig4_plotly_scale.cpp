@@ -8,6 +8,8 @@
 // point complete within seconds.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_common.hpp"
+
 #include "src/graph/generators.hpp"
 #include "src/layout/maxent_stress.hpp"
 #include "src/viz/colormap.hpp"
@@ -90,4 +92,4 @@ BENCHMARK(BM_SerializeOnly)
 
 } // namespace
 
-BENCHMARK_MAIN();
+RINKIT_BENCH_MAIN()

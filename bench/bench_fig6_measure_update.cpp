@@ -9,6 +9,8 @@
 // edges) is slower.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_common.hpp"
+
 #include "src/md/synthetic.hpp"
 #include "src/md/trajectory.hpp"
 #include "src/rin/rin_builder.hpp"
@@ -117,4 +119,4 @@ BENCHMARK(BM_ClientPerceivedMeasureUpdate)->Apply([](auto* b) {
 
 } // namespace
 
-BENCHMARK_MAIN();
+RINKIT_BENCH_MAIN()

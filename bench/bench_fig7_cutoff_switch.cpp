@@ -10,6 +10,8 @@
 // than the frame-switch one (nodes don't move on a cutoff switch).
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_common.hpp"
+
 #include "src/layout/maxent_stress.hpp"
 #include "src/md/synthetic.hpp"
 #include "src/md/trajectory.hpp"
@@ -107,4 +109,4 @@ BENCHMARK(BM_ClientPerceivedCutoffSwitch)
 
 } // namespace
 
-BENCHMARK_MAIN();
+RINKIT_BENCH_MAIN()

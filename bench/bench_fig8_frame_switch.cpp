@@ -12,6 +12,8 @@
 // maximum of the whole widget.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_common.hpp"
+
 #include "src/md/synthetic.hpp"
 #include "src/md/trajectory.hpp"
 #include "src/rin/dynamic_rin.hpp"
@@ -98,4 +100,4 @@ BENCHMARK(BM_ClientPerceivedFrameSwitch)
 
 } // namespace
 
-BENCHMARK_MAIN();
+RINKIT_BENCH_MAIN()

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Repo verification: tier-1 build+test, then an ASan/UBSan build of the
+# memory-heavy suites (cell list / octree rewrites are pointer-and-offset
+# code; the sanitizers are what catches an off-by-one in the CSR layout).
+#
+# Usage: scripts/verify.sh [--skip-sanitizers]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: configure + build + ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j
+(cd build && ctest --output-on-failure -j)
+
+if [[ "${1:-}" == "--skip-sanitizers" ]]; then
+    echo "== sanitizers skipped =="
+    exit 0
+fi
+
+echo "== ASan/UBSan: test_rin + test_layout =="
+SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -g -O1"
+cmake -B build-asan -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="$SAN_FLAGS" \
+    -DCMAKE_EXE_LINKER_FLAGS="$SAN_FLAGS" >/dev/null
+cmake --build build-asan -j --target test_rin test_layout
+./build-asan/tests/test_rin
+./build-asan/tests/test_layout
+
+echo "== verify OK =="

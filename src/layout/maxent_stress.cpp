@@ -1,12 +1,31 @@
 #include "src/layout/maxent_stress.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <type_traits>
 
 #include "src/layout/octree.hpp"
 #include "src/support/parallel.hpp"
 
 namespace rinkit {
+
+namespace {
+
+/// Maxent repulsion magnitude 1 / ||diff||^(q+2), given dist2 = ||diff||^2.
+/// For the default entropy kernel (q = 0) this is a plain division; the
+/// std::pow of the general-q path is compiled out.
+template <bool QZero>
+inline double repulsionScale(double dist2, double qExp) {
+    if constexpr (QZero) {
+        (void)qExp;
+        return 1.0 / dist2;
+    } else {
+        return 1.0 / std::pow(dist2, 0.5 * qExp + 1.0);
+    }
+}
+
+} // namespace
 
 MaxentStress::MaxentStress(const Graph& g, count dimensions, Parameters params)
     : LayoutAlgorithm(g), params_(params) {
@@ -18,10 +37,16 @@ MaxentStress::MaxentStress(const Graph& g, count dimensions, Parameters params)
 void MaxentStress::run() {
     const count n = g_.numberOfNodes();
     iterationsDone_ = 0;
+    const bool seeded = initial_.size() == n && n > 0;
     initializeCoordinates(params_.seed);
     if (n <= 1) {
         hasRun_ = true;
         return;
+    }
+
+    count iterations = params_.iterations;
+    if (seeded && params_.warmStartIterations > 0) {
+        iterations = std::min(iterations, params_.warmStartIterations);
     }
 
     // Precompute per-node stress weights rho_u = sum_{v in N(u)} 1/d_uv^2.
@@ -39,27 +64,18 @@ void MaxentStress::run() {
     std::vector<Point3> next(n);
     double alpha = params_.alpha0;
     const double qExp = params_.q;
+    Octree tree; // one tree for the whole run, rebuilt in place per iteration
 
-    for (count it = 0; it < params_.iterations; ++it) {
-        if (it > 0 && it % params_.phaseLength == 0) alpha *= params_.alphaDecay;
-
-        // Rebuild the octree on current positions for the repulsion term.
-        const Octree tree(coordinates_);
-
+    // One Jacobi sweep over all nodes; returns the total movement. The
+    // stress attraction and the exact subtraction of neighbor terms from
+    // the Barnes-Hut repulsion sum share a single adjacency traversal.
+    auto sweep = [&](auto qZeroTag) -> double {
+        constexpr bool QZ = decltype(qZeroTag)::value;
         double totalMove = 0.0;
 #pragma omp parallel for schedule(dynamic, 64) reduction(+ : totalMove)
         for (long long ui = 0; ui < static_cast<long long>(n); ++ui) {
             const node u = static_cast<node>(ui);
             const Point3 xu = coordinates_[u];
-
-            Point3 attract{};
-            g_.forWeightedNeighborsOf(u, [&](node, node v, edgeweight w) {
-                const double d = w > 0.0 ? w : 1.0;
-                const double wuv = 1.0 / (d * d);
-                const Point3 diff = xu - coordinates_[v];
-                const double dist = std::max(diff.norm(), 1e-9);
-                attract += wuv * (coordinates_[v] + diff * (d / dist));
-            });
 
             if (rho[u] == 0.0) {
                 // Isolated node: only the maxent term acts; nudge away from
@@ -68,36 +84,44 @@ void MaxentStress::run() {
                 continue;
             }
 
-            // Maxent repulsion over non-neighbors via Barnes-Hut. Neighbor
-            // contributions are subtracted exactly afterwards (cheaper than
-            // filtering inside the tree walk).
+            Point3 attract{};
             Point3 repulse{};
+            g_.forWeightedNeighborsOf(u, [&](node, node v, edgeweight w) {
+                const double d = w > 0.0 ? w : 1.0;
+                const double wuv = 1.0 / (d * d);
+                const Point3 diff = xu - coordinates_[v];
+                const double dist = std::max(diff.norm(), 1e-9);
+                attract += wuv * (coordinates_[v] + diff * (d / dist));
+                // Neighbors are covered by the tree sum below but do not
+                // belong to the maxent term; take their share back out.
+                const double dist2 = std::max(dist * dist, 1e-12);
+                repulse -= diff * repulsionScale<QZ>(dist2, qExp);
+            });
+
             tree.forCells(xu, params_.theta, [&](const Point3& p, double mass, bool) {
                 const Point3 diff = xu - p;
                 const double dist2 = std::max(diff.squaredNorm(), 1e-12);
-                // (x_u - p) / ||.||^(q+2) ; for q=0 this is the entropy gradient.
-                const double scale =
-                    qExp == 0.0 ? 1.0 / dist2
-                                : 1.0 / std::pow(dist2, 0.5 * qExp + 1.0);
-                repulse += diff * (mass * scale);
-            });
-            g_.forWeightedNeighborsOf(u, [&](node, node v, edgeweight) {
-                const Point3 diff = xu - coordinates_[v];
-                const double dist2 = std::max(diff.squaredNorm(), 1e-12);
-                const double scale =
-                    qExp == 0.0 ? 1.0 / dist2
-                                : 1.0 / std::pow(dist2, 0.5 * qExp + 1.0);
-                repulse -= diff * scale;
+                repulse += diff * (mass * repulsionScale<QZ>(dist2, qExp));
             });
 
             const Point3 result = (attract + repulse * alpha) / rho[u];
             next[u] = result;
             totalMove += result.distance(xu);
         }
+        return totalMove;
+    };
+
+    for (count it = 0; it < iterations; ++it) {
+        if (it > 0 && it % params_.phaseLength == 0) alpha *= params_.alphaDecay;
+
+        // Rebuild the octree on current positions for the repulsion term.
+        tree.build(coordinates_);
+
+        const double totalMove =
+            qExp == 0.0 ? sweep(std::true_type{}) : sweep(std::false_type{});
 
         coordinates_.swap(next);
         ++iterationsDone_;
-        (void)totalMove;
         if (totalMove / static_cast<double>(n) < params_.convergenceTol) break;
     }
     hasRun_ = true;

@@ -23,6 +23,15 @@ namespace rinkit {
 /// approximated with a Barnes-Hut octree (opening angle theta). alpha is
 /// annealed from alpha0 towards 0 so that late iterations are dominated by
 /// the stress term. OpenMP-parallel over nodes (Jacobi style).
+///
+/// Fast path for interactive updates: one octree is reused (rebuilt in
+/// place) across iterations, the stress and repulsion-correction neighbor
+/// sums are fused into a single adjacency traversal, and the common q = 0
+/// (entropy) repulsion kernel is compiled without the std::pow of the
+/// general-q path. When the layout was seeded via setInitialCoordinates
+/// and warmStartIterations > 0, the iteration count is capped — a seeded
+/// layout starts near equilibrium, so a short polish suffices (this is
+/// what keeps the widget's slider events cheap).
 class MaxentStress : public LayoutAlgorithm {
 public:
     struct Parameters {
@@ -34,6 +43,7 @@ public:
         double theta = 0.9;         ///< Barnes-Hut opening angle
         double convergenceTol = 1e-4; ///< mean movement (relative) to stop early
         std::uint64_t seed = 1;     ///< random init seed
+        count warmStartIterations = 0; ///< if > 0, cap iterations when seeded
     };
 
     /// @p dimensions is kept for NetworKit API fidelity; only 3 is supported.

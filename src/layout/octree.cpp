@@ -1,11 +1,16 @@
 #include "src/layout/octree.hpp"
 
 #include <algorithm>
+#include <array>
+#include <numeric>
 
 namespace rinkit {
 
-Octree::Octree(const std::vector<Point3>& points, count leafCapacity)
-    : points_(points) {
+void Octree::build(const std::vector<Point3>& points, count leafCapacity) {
+    points_ = points;
+    nodes_.clear();
+    order_.resize(points_.size());
+    std::iota(order_.begin(), order_.end(), index{0});
     if (points_.empty()) return;
 
     Aabb box;
@@ -18,52 +23,58 @@ Octree::Octree(const std::vector<Point3>& points, count leafCapacity)
     root.center = box.center();
     root.halfWidth = halfWidth;
     nodes_.push_back(root);
-
-    std::vector<index> all(points_.size());
-    for (index i = 0; i < points_.size(); ++i) all[i] = i;
-    build(0, all, std::max<count>(leafCapacity, 1));
+    buildCell(0, 0, static_cast<index>(points_.size()), std::max<count>(leafCapacity, 1));
 }
 
-void Octree::build(index cellIdx, std::vector<index>& pts, count leafCapacity) {
-    // Compute mass/barycenter for this cell.
+void Octree::buildCell(index cellIdx, index lo, index hi, count leafCapacity) {
+    // Compute mass/barycenter for this cell's range of order_.
     {
         Cell& c = nodes_[cellIdx];
-        c.mass = static_cast<double>(pts.size());
+        c.mass = static_cast<double>(hi - lo);
         Point3 sum;
-        for (index pi : pts) sum += points_[pi];
+        for (index k = lo; k < hi; ++k) sum += points_[order_[k]];
         c.barycenter = c.mass > 0.0 ? sum / c.mass : c.center;
     }
 
-    if (pts.size() <= leafCapacity || nodes_[cellIdx].halfWidth < 1e-12) {
-        nodes_[cellIdx].pointIndices = std::move(pts);
+    if (hi - lo <= leafCapacity || nodes_[cellIdx].halfWidth < 1e-12) {
+        nodes_[cellIdx].firstChild = -1;
+        nodes_[cellIdx].first = lo;
+        nodes_[cellIdx].countPts = hi - lo;
         return;
     }
 
-    // Partition points into octants.
+    // Partition order_[lo, hi) into the 8 octants in place: nested
+    // std::partition by x, then y within the x halves, then z. Octant
+    // g = 4*(x >= cx) + 2*(y >= cy) + (z >= cz) ends up at [b[g], b[g+1]).
     const Point3 center = nodes_[cellIdx].center;
     const double childHalf = nodes_[cellIdx].halfWidth * 0.5;
-    std::vector<index> buckets[8];
-    for (index pi : pts) {
-        const Point3& p = points_[pi];
-        const int oct = (p.x >= center.x ? 1 : 0) | (p.y >= center.y ? 2 : 0) |
-                        (p.z >= center.z ? 4 : 0);
-        buckets[oct].push_back(pi);
+    const auto beg = order_.begin();
+    auto splitAt = [&](index from, index to, auto pred) {
+        return static_cast<index>(std::partition(beg + from, beg + to, pred) - beg);
+    };
+    std::array<index, 9> b{};
+    b[0] = lo;
+    b[8] = hi;
+    b[4] = splitAt(b[0], b[8], [&](index pi) { return points_[pi].x < center.x; });
+    b[2] = splitAt(b[0], b[4], [&](index pi) { return points_[pi].y < center.y; });
+    b[6] = splitAt(b[4], b[8], [&](index pi) { return points_[pi].y < center.y; });
+    for (int g = 0; g < 4; ++g) {
+        b[2 * g + 1] =
+            splitAt(b[2 * g], b[2 * g + 2], [&](index pi) { return points_[pi].z < center.z; });
     }
-    pts.clear();
-    pts.shrink_to_fit();
 
     const int firstChild = static_cast<int>(nodes_.size());
     nodes_[cellIdx].firstChild = firstChild;
-    for (int k = 0; k < 8; ++k) {
+    for (int g = 0; g < 8; ++g) {
         Cell child;
-        child.center = center + Point3{(k & 1) ? childHalf : -childHalf,
-                                       (k & 2) ? childHalf : -childHalf,
-                                       (k & 4) ? childHalf : -childHalf};
+        child.center = center + Point3{(g & 4) ? childHalf : -childHalf,
+                                       (g & 2) ? childHalf : -childHalf,
+                                       (g & 1) ? childHalf : -childHalf};
         child.halfWidth = childHalf;
         nodes_.push_back(child);
     }
-    for (int k = 0; k < 8; ++k) {
-        build(static_cast<index>(firstChild + k), buckets[k], leafCapacity);
+    for (int g = 0; g < 8; ++g) {
+        buildCell(static_cast<index>(firstChild + g), b[g], b[g + 1], leafCapacity);
     }
 }
 

@@ -15,10 +15,25 @@ namespace rinkit {
 /// pseudo-points at their barycenter, controlled by the opening angle
 /// theta. This is what lets the plotlybridge path scale to the 50k-node
 /// graphs of Fig. 4.
+///
+/// The tree is rebuilt every layout iteration, so build() reuses all
+/// internal buffers: leaves store (offset, count) ranges into one shared
+/// order_ array instead of per-leaf vectors, and octant partitioning runs
+/// in place over that array (three nested std::partition passes). A solver
+/// keeps one Octree alive across iterations and calls build() each time —
+/// steady-state rebuilds allocate nothing.
 class Octree {
 public:
+    /// Empty tree; call build() before querying.
+    Octree() = default;
+
     /// Builds the tree over @p points. @p leafCapacity bounds points per leaf.
-    explicit Octree(const std::vector<Point3>& points, count leafCapacity = 16);
+    explicit Octree(const std::vector<Point3>& points, count leafCapacity = 16) {
+        build(points, leafCapacity);
+    }
+
+    /// (Re)builds the tree over @p points in place, reusing buffers.
+    void build(const std::vector<Point3>& points, count leafCapacity = 16);
 
     /// Calls f(barycenter, mass, isLeafPoint) for every cell that satisfies
     /// the opening criterion (cellWidth / distance < theta) as seen from
@@ -42,24 +57,25 @@ private:
         Point3 barycenter; // center of mass of contained points
         double mass = 0.0; // number of contained points
         int firstChild = -1; // index of first of 8 children; -1 for leaf
-        std::vector<index> pointIndices; // filled for leaves only
+        index first = 0;     // leaf range [first, first + countPts) in order_
+        index countPts = 0;
     };
 
-    void build(index cellIdx, std::vector<index>& pts, count leafCapacity);
+    void buildCell(index cellIdx, index lo, index hi, count leafCapacity);
 
     template <typename F>
     void walk(index cellIdx, const Point3& query, double theta, F&& f) const {
         const Cell& c = nodes_[cellIdx];
         if (c.mass == 0.0) return;
-        const double dist = c.barycenter.distance(query);
         if (c.firstChild < 0) {
             // Leaf: exact per-point interaction.
-            for (index pi : c.pointIndices) {
-                const Point3& p = points_[pi];
+            for (index k = c.first; k < c.first + c.countPts; ++k) {
+                const Point3& p = points_[order_[k]];
                 if (p.squaredDistance(query) > 1e-18) f(p, 1.0, true);
             }
             return;
         }
+        const double dist = c.barycenter.distance(query);
         if (dist > 1e-9 && (2.0 * c.halfWidth) / dist < theta) {
             f(c.barycenter, c.mass, false);
             return;
@@ -71,6 +87,7 @@ private:
 
     std::vector<Point3> points_;
     std::vector<Cell> nodes_;
+    std::vector<index> order_; // point ids, permuted so leaves are contiguous
 };
 
 } // namespace rinkit

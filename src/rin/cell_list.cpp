@@ -1,17 +1,68 @@
 #include "src/rin/cell_list.hpp"
 
+#include <numeric>
 #include <stdexcept>
 
 namespace rinkit::rin {
 
-CellList::CellList(const std::vector<Point3>& points, double cellSize)
-    : points_(points), cellSize_(cellSize) {
-    if (cellSize <= 0.0) throw std::invalid_argument("CellList: cellSize must be > 0");
-    cells_.reserve(points_.size());
-    for (index i = 0; i < points_.size(); ++i) {
-        cells_[key(coord(points_[i].x), coord(points_[i].y), coord(points_[i].z))]
-            .push_back(i);
+void CellList::build(const std::vector<Point3>& points, double radius) {
+    if (radius <= 0.0) throw std::invalid_argument("CellList: radius must be > 0");
+    points_ = &points;
+    n_ = points.size();
+    // Half-radius cells halve the scanned volume of the pair sweep (see
+    // class docs); the query windows adapt to whatever effective size the
+    // cap loop below settles on.
+    cellSize_ = radius / 2.0;
+    if (n_ == 0) {
+        nx_ = ny_ = nz_ = 1;
+        origin_ = {};
+        cellStart_.assign(2, 0);
+        order_.clear();
+        sortedPts_.clear();
+        return;
     }
+
+    Aabb box;
+    for (const auto& p : points) box.expand(p);
+    origin_ = box.lo;
+    const Point3 ext = box.extent();
+
+    // Dense grid over the AABB. Cap the cell count at ~4x the point count:
+    // a sparser grid only adds empty cells to scan, and degenerate inputs
+    // (far-offset clusters with a small cutoff) would otherwise explode
+    // memory. Growing the effective cell size keeps every query radius <=
+    // the requested radius valid.
+    const unsigned long long cap =
+        std::max<unsigned long long>(64, 4 * static_cast<unsigned long long>(n_));
+    auto dims = [&](double cs) {
+        nx_ = static_cast<long>(std::floor(ext.x / cs)) + 1;
+        ny_ = static_cast<long>(std::floor(ext.y / cs)) + 1;
+        nz_ = static_cast<long>(std::floor(ext.z / cs)) + 1;
+        return static_cast<unsigned long long>(nx_) * static_cast<unsigned long long>(ny_) *
+               static_cast<unsigned long long>(nz_);
+    };
+    unsigned long long cells = dims(cellSize_);
+    while (cells > cap) {
+        cellSize_ *= 2.0;
+        cells = dims(cellSize_);
+    }
+
+    // Counting sort of point ids by cell (CSR build).
+    cellOfPoint_.resize(n_);
+    parallelFor(n_, [&](index i) { cellOfPoint_[i] = cellIndexOf(points[i]); });
+
+    cellStart_.assign(static_cast<std::size_t>(cells) + 1, 0);
+    for (index i = 0; i < n_; ++i) ++cellStart_[cellOfPoint_[i] + 1];
+    std::partial_sum(cellStart_.begin(), cellStart_.end(), cellStart_.begin());
+
+    order_.resize(n_);
+    cursor_.assign(cellStart_.begin(), cellStart_.end() - 1);
+    for (index i = 0; i < n_; ++i) order_[cursor_[cellOfPoint_[i]]++] = i;
+
+    // Cell-ordered coordinate copy: the sweeps stream this contiguously
+    // instead of gathering points[order_[k]].
+    sortedPts_.resize(n_);
+    parallelFor(n_, [&](index k) { sortedPts_[k] = points[order_[k]]; });
 }
 
 } // namespace rinkit::rin

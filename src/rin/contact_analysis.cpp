@@ -15,9 +15,16 @@ ContactAnalysis::ContactAnalysis(const md::Trajectory& traj, DistanceCriterion c
     contactNumbers_.assign(frames_, std::vector<count>(n_, 0));
 
     std::map<std::pair<node, node>, count> counts;
+    // One protein + detection workspace for the whole trajectory scan:
+    // per frame only the atom positions move and the contacts recompute.
+    md::Protein protein = traj.topology();
+    ContactWorkspace ws;
+    std::vector<Contact> contacts;
     for (index f = 0; f < frames_; ++f) {
-        const auto protein = traj.proteinAtFrame(f);
-        for (const auto& c : builder.contacts(protein, cutoff)) {
+        protein.setAtomPositions(traj.frame(f));
+        ws.invalidate();
+        builder.contactsInto(protein, cutoff, ws, contacts);
+        for (const auto& c : contacts) {
             edges_[f].emplace_back(c.u, c.v);
             ++contactNumbers_[f][c.u];
             ++contactNumbers_[f][c.v];

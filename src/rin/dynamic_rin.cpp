@@ -1,5 +1,6 @@
 #include "src/rin/dynamic_rin.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace rinkit::rin {
@@ -12,23 +13,45 @@ DynamicRin::DynamicRin(const md::Trajectory& traj, DistanceCriterion criterion,
 }
 
 DynamicRin::UpdateStats DynamicRin::applyContacts() {
-    const auto contacts = builder_.contacts(protein_, cutoff_);
+    // contacts_ caches the sorted contact list of the current frame at the
+    // largest cutoff seen so far; any cutoff <= contactsCutoff_ is a pure
+    // filter of that list (contacts at C' >= C restricted to d <= C are
+    // exactly the contacts at C).
+    if (!ws_.geometryValid || cutoff_ > contactsCutoff_) {
+        builder_.contactsInto(protein_, cutoff_, ws_, contacts_);
+        contactsCutoff_ = cutoff_;
+    }
 
-    // Mark desired edges; remove current edges not marked, add missing ones.
+    // Merge the desired contacts (sorted by (u, v)) directly against the
+    // graph's sorted adjacency, node by node, over the forward neighbors
+    // v > u. Mismatches go into the add/remove buffers; no throwaway
+    // "desired" graph, no hasEdge lookups.
     UpdateStats stats;
-    Graph desired(graph_.numberOfNodes());
-    for (const auto& c : contacts) desired.addEdge(c.u, c.v);
+    addBuf_.clear();
+    removeBuf_.clear();
 
-    std::vector<std::pair<node, node>> toRemove;
-    graph_.forEdges([&](node u, node v) {
-        if (!desired.hasEdge(u, v)) toRemove.emplace_back(u, v);
-    });
-    for (auto [u, v] : toRemove) graph_.removeEdge(u, v);
-    stats.edgesRemoved = toRemove.size();
+    const count n = graph_.numberOfNodes();
+    std::size_t ci = 0;
+    for (node u = 0; u < n; ++u) {
+        const auto nb = graph_.neighbors(u);
+        auto it = std::upper_bound(nb.begin(), nb.end(), u);
+        while (ci < contacts_.size() && contacts_[ci].u == u) {
+            const Contact& c = contacts_[ci++];
+            if (c.distance > cutoff_) continue; // cached at a larger cutoff
+            while (it != nb.end() && *it < c.v) removeBuf_.emplace_back(u, *it++);
+            if (it != nb.end() && *it == c.v) {
+                ++it; // edge already present
+            } else {
+                addBuf_.emplace_back(u, c.v);
+            }
+        }
+        while (it != nb.end()) removeBuf_.emplace_back(u, *it++);
+    }
 
-    desired.forEdges([&](node u, node v) {
-        if (graph_.addEdge(u, v)) ++stats.edgesAdded;
-    });
+    for (auto [u, v] : removeBuf_) graph_.removeEdge(u, v);
+    for (auto [u, v] : addBuf_) graph_.addEdge(u, v);
+    stats.edgesRemoved = removeBuf_.size();
+    stats.edgesAdded = addBuf_.size();
     stats.edgesTotal = graph_.numberOfEdges();
     return stats;
 }
@@ -42,7 +65,11 @@ DynamicRin::UpdateStats DynamicRin::setCutoff(double cutoff) {
 DynamicRin::UpdateStats DynamicRin::setFrame(index frame) {
     if (frame >= traj_.frameCount()) throw std::out_of_range("DynamicRin: invalid frame");
     frame_ = frame;
-    protein_ = traj_.proteinAtFrame(frame);
+    // Move the conformation in place: topology (names, residue layout) is
+    // frame-invariant, so only atom positions need to change.
+    protein_.setAtomPositions(traj_.frame(frame));
+    ws_.invalidate();
+    contactsCutoff_ = 0.0;
     return applyContacts();
 }
 

@@ -15,6 +15,15 @@ namespace rinkit::rin {
 /// the paper measures in Figs. 7-8). The node set never changes — exactly
 /// as in the paper, where frame and cutoff "do not change the number of
 /// nodes in the network".
+///
+/// Update fast path: the sorted contact list of the current frame is
+/// cached at the largest cutoff computed so far, so a cutoff *decrease*
+/// is a pure filter (no geometry work at all) and a cutoff increase
+/// reuses the cached representative points/spreads and, when possible,
+/// the cell list (ContactWorkspace). The diff itself merges the sorted
+/// contact list directly against the graph's sorted adjacency — no
+/// throwaway Graph, no per-edge hasEdge lookups. Frame switches update
+/// atom positions in place instead of copying the whole topology.
 class DynamicRin {
 public:
     /// Statistics of one update, as reported in the paper's benchmarks.
@@ -53,6 +62,11 @@ private:
     index frame_;
     md::Protein protein_;
     Graph graph_;
+
+    ContactWorkspace ws_;            // cached geometry + detection scratch
+    std::vector<Contact> contacts_;  // sorted contacts at contactsCutoff_
+    double contactsCutoff_ = 0.0;    // largest cutoff computed for this frame
+    std::vector<std::pair<node, node>> addBuf_, removeBuf_; // diff scratch
 };
 
 } // namespace rinkit::rin

@@ -1,60 +1,158 @@
 #include "src/rin/rin_builder.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
+#include <tuple>
 
 #include "src/graph/graph_builder.hpp"
-#include "src/rin/cell_list.hpp"
+#include "src/support/parallel.hpp"
 
 namespace rinkit::rin {
 
-std::vector<Point3> RinBuilder::representativePoints(const md::Protein& protein) const {
-    std::vector<Point3> pts;
+namespace {
+
+void representativePointsInto(DistanceCriterion criterion, const md::Protein& protein,
+                              std::vector<Point3>& pts) {
+    pts.clear();
     pts.reserve(protein.size());
     for (const auto& r : protein.residues()) {
-        pts.push_back(criterion_ == DistanceCriterion::CenterOfMass ? r.centerOfMass()
-                                                                    : r.alphaCarbon());
+        pts.push_back(criterion == DistanceCriterion::CenterOfMass ? r.centerOfMass()
+                                                                   : r.alphaCarbon());
     }
+}
+
+} // namespace
+
+std::vector<Point3> RinBuilder::representativePoints(const md::Protein& protein) const {
+    std::vector<Point3> pts;
+    representativePointsInto(criterion_, protein, pts);
     return pts;
 }
 
-std::vector<Contact> RinBuilder::contacts(const md::Protein& protein, double cutoff) const {
+void RinBuilder::contactsInto(const md::Protein& protein, double cutoff,
+                              ContactWorkspace& ws, std::vector<Contact>& out) const {
     if (cutoff <= 0.0) throw std::invalid_argument("RinBuilder: cutoff must be > 0");
+    out.clear();
     const count n = protein.size();
-    std::vector<Contact> out;
-    if (n < 2) return out;
+    if (n < 2) return;
 
-    const auto pts = representativePoints(protein);
+    const bool minDist = criterion_ == DistanceCriterion::MinimumAtomDistance;
 
-    if (criterion_ != DistanceCriterion::MinimumAtomDistance) {
-        const CellList cells(pts, cutoff);
-        cells.forAllPairs(cutoff, [&](index i, index j) {
-            out.push_back({static_cast<node>(i), static_cast<node>(j),
-                           pts[i].distance(pts[j])});
-        });
-    } else {
-        // Candidate pairs by C-alpha distance within cutoff + 2 * spread,
-        // where spread bounds how far any atom strays from its C-alpha;
-        // exact minimum atom distance decides.
-        double spread = 0.0;
-        for (const auto& r : protein.residues()) {
-            for (const auto& a : r.atoms) {
-                spread = std::max(spread, a.position.distance(r.alphaCarbon()));
+    if (!ws.geometryValid) {
+        representativePointsInto(criterion_, protein, ws.pts);
+        ws.maxSpread = 0.0;
+        if (minDist) {
+            // Candidate search points are the atom bounding-box centers,
+            // not the C-alphas: spread_i (max atom excursion from the
+            // search point) is what pads the cell-list radius, and the box
+            // center roughly halves it versus the off-center C-alpha. The
+            // candidate count scales ~cubically with the radius, so this
+            // is the single biggest lever on min-distance detection.
+            // Candidate pairs by center distance within cutoff + 2 * max
+            // spread provably cover all contacts.
+            //
+            // The atom positions are also gathered into a flat CSR array:
+            // the exact min-distance kernel then scans contiguous Point3s
+            // instead of striding over Atom structs (whose two std::string
+            // members triple the stride and wreck cache locality).
+            ws.spreads.resize(n);
+            ws.atomStart.assign(n + 1, 0);
+            ws.atomPts.clear();
+            for (index i = 0; i < n; ++i) {
+                const auto& r = protein.residue(i);
+                Point3 lo = r.atoms.empty() ? ws.pts[i] : r.atoms.front().position;
+                Point3 hi = lo;
+                for (const auto& a : r.atoms) {
+                    lo.x = std::min(lo.x, a.position.x);
+                    lo.y = std::min(lo.y, a.position.y);
+                    lo.z = std::min(lo.z, a.position.z);
+                    hi.x = std::max(hi.x, a.position.x);
+                    hi.y = std::max(hi.y, a.position.y);
+                    hi.z = std::max(hi.z, a.position.z);
+                    ws.atomPts.push_back(a.position);
+                }
+                const Point3 center{(lo.x + hi.x) / 2, (lo.y + hi.y) / 2,
+                                    (lo.z + hi.z) / 2};
+                double s = 0.0;
+                for (const auto& a : r.atoms) {
+                    s = std::max(s, a.position.distance(center));
+                }
+                ws.pts[i] = center;
+                ws.atomStart[i + 1] = static_cast<index>(ws.atomPts.size());
+                ws.spreads[i] = s;
+                ws.maxSpread = std::max(ws.maxSpread, s);
             }
         }
-        const double candidateRadius = cutoff + 2.0 * spread;
-        const CellList cells(pts, candidateRadius);
-        cells.forAllPairs(candidateRadius, [&](index i, index j) {
-            const double d = protein.residue(i).minimumDistance(protein.residue(j));
+        ws.geometryValid = true;
+        ws.cellsRadius = 0.0;
+    }
+
+    const double radius = minDist ? cutoff + 2.0 * ws.maxSpread : cutoff;
+    if (ws.cellsRadius < radius) {
+        ws.cells.build(ws.pts, radius);
+        ws.cellsRadius = radius;
+    }
+
+    ws.threadBufs.resize(static_cast<count>(maxThreads()));
+    for (auto& buf : ws.threadBufs) buf.clear();
+
+    if (!minDist) {
+        ws.cells.parallelForAllPairs(radius, [&](int tid, index i, index j) {
+            const double d = ws.pts[i].distance(ws.pts[j]);
+            // The cell list may be cached at a larger radius than this
+            // cutoff needs; re-check against the actual cutoff.
             if (d <= cutoff) {
-                out.push_back({static_cast<node>(i), static_cast<node>(j), d});
+                ws.threadBufs[tid].push_back(
+                    {static_cast<node>(i), static_cast<node>(j), d});
+            }
+        });
+    } else {
+        const double cutoff2 = cutoff * cutoff;
+        const Point3* ap = ws.atomPts.data();
+        const index* as = ws.atomStart.data();
+        ws.cells.parallelForAllPairs(radius, [&](int tid, index i, index j) {
+            // Sphere prefilter: even the closest possible atom pair is at
+            // least centerDist - spread_i - spread_j apart.
+            const double centerDist = ws.pts[i].distance(ws.pts[j]);
+            if (centerDist - ws.spreads[i] - ws.spreads[j] > cutoff) return;
+            const Point3 centerJ = ws.pts[j];
+            const double reachJ = cutoff + ws.spreads[j];
+            const double reachJ2 = reachJ * reachJ;
+            double best = infdist;
+            for (index ia = as[i]; ia < as[i + 1]; ++ia) {
+                const Point3& a = ap[ia];
+                // An atom farther than cutoff + spread_j from j's center
+                // cannot be within cutoff of any atom of j. Skipping its
+                // inner scan drops only pairs > cutoff, so whenever the
+                // residue pair is a contact the minimum over the remaining
+                // pairs is still the exact minimum distance.
+                if (a.squaredDistance(centerJ) > reachJ2) continue;
+                for (index ib = as[j]; ib < as[j + 1]; ++ib) {
+                    best = std::min(best, a.squaredDistance(ap[ib]));
+                }
+            }
+            if (best <= cutoff2) {
+                ws.threadBufs[tid].push_back(
+                    {static_cast<node>(i), static_cast<node>(j), std::sqrt(best)});
             }
         });
     }
+
+    std::size_t total = 0;
+    for (const auto& buf : ws.threadBufs) total += buf.size();
+    out.reserve(total);
+    for (const auto& buf : ws.threadBufs) out.insert(out.end(), buf.begin(), buf.end());
 
     std::sort(out.begin(), out.end(), [](const Contact& a, const Contact& b) {
         return std::tie(a.u, a.v) < std::tie(b.u, b.v);
     });
+}
+
+std::vector<Contact> RinBuilder::contacts(const md::Protein& protein, double cutoff) const {
+    ContactWorkspace ws;
+    std::vector<Contact> out;
+    contactsInto(protein, cutoff, ws, out);
     return out;
 }
 

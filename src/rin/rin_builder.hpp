@@ -4,6 +4,7 @@
 
 #include "src/graph/graph.hpp"
 #include "src/md/protein.hpp"
+#include "src/rin/cell_list.hpp"
 
 namespace rinkit::rin {
 
@@ -20,12 +21,42 @@ struct Contact {
     double distance;
 };
 
+/// Reusable scratch + cached per-conformation geometry for contact
+/// detection. One workspace per interactive session (DynamicRin owns one)
+/// turns the per-event cost into pure detection work: representative
+/// points, per-residue spreads, the cell list and the per-thread pair
+/// buffers are all allocated once and rebuilt in place.
+///
+/// `geometryValid` marks pts/spreads as matching the current conformation;
+/// callers must clear it (invalidate()) whenever atom positions change.
+/// The cell list is reused across cutoff changes as long as its query
+/// radius still covers the request — a cutoff *decrease* needs no spatial
+/// work at all.
+struct ContactWorkspace {
+    std::vector<Point3> pts;       ///< representative point per residue
+    std::vector<double> spreads;   ///< per-residue max atom excursion (min-dist only)
+    std::vector<Point3> atomPts;   ///< flat atom positions (min-dist only)
+    std::vector<index> atomStart;  ///< CSR offsets into atomPts, size n + 1
+    double maxSpread = 0.0;
+    CellList cells;                ///< non-owning view over pts
+    double cellsRadius = 0.0;      ///< query radius cells was built for
+    bool geometryValid = false;
+    std::vector<std::vector<Contact>> threadBufs; ///< per-thread pair buffers
+
+    /// Marks the cached geometry stale (call after the conformation moved).
+    void invalidate() {
+        geometryValid = false;
+        cellsRadius = 0.0;
+    }
+};
+
 /// Builds residue interaction networks from protein conformations.
 ///
 /// Nodes are residues; an edge connects two residues whose distance (under
 /// the chosen criterion) is at most the cutoff. Typical cutoffs are
 /// 4 - 8.5 A. The builder uses a cell list, so construction is O(n) in the
-/// residue count for protein-like densities.
+/// residue count for protein-like densities; the all-pairs sweep runs
+/// OpenMP-parallel with per-thread contact buffers.
 class RinBuilder {
 public:
     explicit RinBuilder(DistanceCriterion criterion = DistanceCriterion::MinimumAtomDistance)
@@ -39,6 +70,14 @@ public:
     /// All contacts with distances — the edge list of build() plus the
     /// measured distance (useful for distance-weighted RINs).
     std::vector<Contact> contacts(const md::Protein& protein, double cutoff) const;
+
+    /// Zero-rebuild variant of contacts(): fills @p out (sorted by (u, v))
+    /// reusing @p ws for geometry caches and scratch buffers. Repeated
+    /// calls on the same conformation (ws.geometryValid untouched) skip
+    /// the representative-point/spread passes and reuse the cell list
+    /// whenever its radius still covers the request.
+    void contactsInto(const md::Protein& protein, double cutoff, ContactWorkspace& ws,
+                      std::vector<Contact>& out) const;
 
     /// Distance-weighted RIN: edge weight = measured distance.
     Graph buildWeighted(const md::Protein& protein, double cutoff) const;

@@ -1,6 +1,7 @@
 #include "src/support/json.hpp"
 
 #include <cctype>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <stdexcept>
@@ -41,7 +42,7 @@ void JsonWriter::beforeValue() {
         throw std::logic_error("JsonWriter: expected key inside object");
     }
     if (top() == Ctx::Array) {
-        if (needComma_.back()) out_ << ',';
+        if (needComma_.back()) out_ += ',';
         needComma_.back() = true;
     }
 }
@@ -49,7 +50,7 @@ void JsonWriter::beforeValue() {
 JsonWriter& JsonWriter::beginObject() {
     beforeValue();
     if (top() == Ctx::AwaitValue) { stack_.pop_back(); needComma_.pop_back(); }
-    out_ << '{';
+    out_ += '{';
     push(Ctx::Object);
     needComma_.push_back(false);
     return *this;
@@ -57,7 +58,7 @@ JsonWriter& JsonWriter::beginObject() {
 
 JsonWriter& JsonWriter::endObject() {
     if (top() != Ctx::Object) throw std::logic_error("JsonWriter: endObject outside object");
-    out_ << '}';
+    out_ += '}';
     stack_.pop_back();
     needComma_.pop_back();
     if (top() == Ctx::Top) done_ = true;
@@ -67,7 +68,7 @@ JsonWriter& JsonWriter::endObject() {
 JsonWriter& JsonWriter::beginArray() {
     beforeValue();
     if (top() == Ctx::AwaitValue) { stack_.pop_back(); needComma_.pop_back(); }
-    out_ << '[';
+    out_ += '[';
     push(Ctx::Array);
     needComma_.push_back(false);
     return *this;
@@ -75,7 +76,7 @@ JsonWriter& JsonWriter::beginArray() {
 
 JsonWriter& JsonWriter::endArray() {
     if (top() != Ctx::Array) throw std::logic_error("JsonWriter: endArray outside array");
-    out_ << ']';
+    out_ += ']';
     stack_.pop_back();
     needComma_.pop_back();
     if (top() == Ctx::Top) done_ = true;
@@ -86,9 +87,11 @@ JsonWriter& JsonWriter::key(std::string_view k) {
     if (done_ || top() != Ctx::Object) {
         throw std::logic_error("JsonWriter: key outside object");
     }
-    if (needComma_.back()) out_ << ',';
+    if (needComma_.back()) out_ += ',';
     needComma_.back() = true;
-    out_ << '"' << jsonEscape(k) << "\":";
+    out_ += '"';
+    out_ += jsonEscape(k);
+    out_ += "\":";
     push(Ctx::AwaitValue);
     needComma_.push_back(false);
     return *this;
@@ -97,7 +100,9 @@ JsonWriter& JsonWriter::key(std::string_view k) {
 JsonWriter& JsonWriter::value(std::string_view v) {
     beforeValue();
     if (top() == Ctx::AwaitValue) { stack_.pop_back(); needComma_.pop_back(); }
-    out_ << '"' << jsonEscape(v) << '"';
+    out_ += '"';
+    out_ += jsonEscape(v);
+    out_ += '"';
     if (top() == Ctx::Top) done_ = true;
     return *this;
 }
@@ -105,13 +110,7 @@ JsonWriter& JsonWriter::value(std::string_view v) {
 JsonWriter& JsonWriter::value(double v) {
     beforeValue();
     if (top() == Ctx::AwaitValue) { stack_.pop_back(); needComma_.pop_back(); }
-    if (std::isnan(v) || std::isinf(v)) {
-        out_ << "null"; // JSON has no NaN/Inf; plotly treats null as a gap.
-    } else {
-        char buf[32];
-        std::snprintf(buf, sizeof(buf), "%.10g", v);
-        out_ << buf;
-    }
+    appendDouble(v);
     if (top() == Ctx::Top) done_ = true;
     return *this;
 }
@@ -119,7 +118,9 @@ JsonWriter& JsonWriter::value(double v) {
 JsonWriter& JsonWriter::value(long long v) {
     beforeValue();
     if (top() == Ctx::AwaitValue) { stack_.pop_back(); needComma_.pop_back(); }
-    out_ << v;
+    char buf[24];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    out_.append(buf, res.ptr);
     if (top() == Ctx::Top) done_ = true;
     return *this;
 }
@@ -127,7 +128,9 @@ JsonWriter& JsonWriter::value(long long v) {
 JsonWriter& JsonWriter::value(unsigned long long v) {
     beforeValue();
     if (top() == Ctx::AwaitValue) { stack_.pop_back(); needComma_.pop_back(); }
-    out_ << v;
+    char buf[24];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    out_.append(buf, res.ptr);
     if (top() == Ctx::Top) done_ = true;
     return *this;
 }
@@ -135,7 +138,7 @@ JsonWriter& JsonWriter::value(unsigned long long v) {
 JsonWriter& JsonWriter::value(bool v) {
     beforeValue();
     if (top() == Ctx::AwaitValue) { stack_.pop_back(); needComma_.pop_back(); }
-    out_ << (v ? "true" : "false");
+    out_ += v ? "true" : "false";
     if (top() == Ctx::Top) done_ = true;
     return *this;
 }
@@ -143,24 +146,49 @@ JsonWriter& JsonWriter::value(bool v) {
 JsonWriter& JsonWriter::null() {
     beforeValue();
     if (top() == Ctx::AwaitValue) { stack_.pop_back(); needComma_.pop_back(); }
-    out_ << "null";
+    out_ += "null";
     if (top() == Ctx::Top) done_ = true;
     return *this;
 }
 
 JsonWriter& JsonWriter::numberArray(const std::vector<double>& vals) {
     beginArray();
-    for (double v : vals) value(v);
+    // Bulk fast path: one state-machine transition for the whole array,
+    // commas emitted directly (this is the hot loop of figure export).
+    out_.reserve(out_.size() + 18 * vals.size());
+    bool first = true;
+    for (double v : vals) {
+        if (!first) out_ += ',';
+        first = false;
+        appendDouble(v);
+    }
+    if (!vals.empty()) needComma_.back() = true;
     return endArray();
+}
+
+JsonWriter& JsonWriter::appendRaw(std::string_view rawJson) {
+    beforeValue();
+    if (top() == Ctx::AwaitValue) { stack_.pop_back(); needComma_.pop_back(); }
+    out_ += rawJson;
+    if (top() == Ctx::Top) done_ = true;
+    return *this;
+}
+
+void JsonWriter::appendDouble(double v) {
+    if (std::isnan(v) || std::isinf(v)) {
+        out_ += "null"; // JSON has no NaN/Inf; plotly treats null as a gap.
+        return;
+    }
+    // Shortest round-trip form; integral doubles print without a point
+    // ("1", "2.5"), matching what the exact-output tests pin down.
+    char buf[32];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    out_.append(buf, res.ptr);
 }
 
 std::string JsonWriter::str() const {
     if (!done_) throw std::logic_error("JsonWriter: document incomplete");
-    return out_.str();
-}
-
-std::size_t JsonWriter::bytesWritten() const {
-    return out_.str().size();
+    return out_;
 }
 
 // ---------------------------------------------------------------------------

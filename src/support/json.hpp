@@ -1,8 +1,8 @@
 #pragma once
 
+#include <cstddef>
 #include <map>
 #include <memory>
-#include <sstream>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -16,9 +16,24 @@ namespace rinkit {
 /// double memory traffic, so figures are emitted directly through this
 /// writer. Keys/values are validated by a small state machine; misuse
 /// (e.g. a value where a key is required) throws std::logic_error.
+///
+/// The buffer is a plain std::string (reserve() lets callers preallocate
+/// for large figures) and doubles are formatted with std::to_chars
+/// (shortest round-trip form — exact, locale-independent, and much faster
+/// than the former snprintf "%.10g" path). Pre-serialized fragments can be
+/// spliced in verbatim with appendRaw(), which is what lets the widget
+/// cache whole plotly traces across updates.
 class JsonWriter {
 public:
     JsonWriter();
+
+    /// Preallocates the output buffer (serialization-time hint).
+    void reserve(std::size_t bytes) { out_.reserve(bytes); }
+
+    /// Splices @p rawJson in as one value. The fragment must itself be a
+    /// complete, valid JSON value; the writer only handles the surrounding
+    /// commas/state.
+    JsonWriter& appendRaw(std::string_view rawJson);
 
     JsonWriter& beginObject();
     JsonWriter& endObject();
@@ -53,16 +68,17 @@ public:
     std::string str() const;
 
     /// Number of bytes emitted so far (drives the client cost model).
-    std::size_t bytesWritten() const;
+    std::size_t bytesWritten() const { return out_.size(); }
 
 private:
     enum class Ctx { Top, Object, Array, AwaitValue };
 
     void beforeValue();
+    void appendDouble(double v);
     void push(Ctx c) { stack_.push_back(c); }
     Ctx top() const { return stack_.back(); }
 
-    std::ostringstream out_;
+    std::string out_;
     std::vector<Ctx> stack_;
     std::vector<bool> needComma_;
     bool done_ = false;

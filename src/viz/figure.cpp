@@ -3,10 +3,15 @@
 #include <cmath>
 
 #include "src/support/json.hpp"
+#include "src/support/parallel.hpp"
 
 namespace rinkit::viz {
 
 namespace {
+
+std::string sceneRefOf(count sceneIndex) {
+    return sceneIndex == 0 ? "scene" : "scene" + std::to_string(sceneIndex + 1);
+}
 
 void writeAxis(JsonWriter& w, const char* name) {
     w.key(name);
@@ -17,16 +22,19 @@ void writeAxis(JsonWriter& w, const char* name) {
         .endObject();
 }
 
-void writeSceneTraces(JsonWriter& w, const Scene& s, count sceneIndex) {
-    const std::string sceneRef =
-        sceneIndex == 0 ? "scene" : "scene" + std::to_string(sceneIndex + 1);
+} // namespace
+
+std::string Figure::edgeTraceJson(const Scene& s, count sceneIndex) {
+    JsonWriter w;
+    // 3 axes x (3 numbers per edge, ~18 bytes each) + fixed header.
+    w.reserve(s.edges.size() * 3 * 3 * 18 + 256);
 
     // Edge trace: endpoints of each segment separated by null gaps.
     w.beginObject()
         .kv("type", "scatter3d")
         .kv("mode", "lines")
         .kv("name", s.title + " edges")
-        .kv("scene", sceneRef)
+        .kv("scene", sceneRefOf(sceneIndex))
         .kv("hoverinfo", "none");
     const double nan = std::nan("");
     for (const char* axis : {"x", "y", "z"}) {
@@ -42,13 +50,18 @@ void writeSceneTraces(JsonWriter& w, const Scene& s, count sceneIndex) {
     }
     w.key("line").beginObject().kv("color", "#b0b0b0").kv("width", 1.5).endObject();
     w.endObject();
+    return w.str();
+}
 
-    // Node trace.
+std::string Figure::nodeTraceJson(const Scene& s, count sceneIndex) {
+    JsonWriter w;
+    w.reserve(s.nodePositions.size() * (3 * 18 + 10 + 24) + 256);
+
     w.beginObject()
         .kv("type", "scatter3d")
         .kv("mode", "markers")
         .kv("name", s.title)
-        .kv("scene", sceneRef)
+        .kv("scene", sceneRefOf(sceneIndex))
         .kv("hoverinfo", "text");
     for (const char* axis : {"x", "y", "z"}) {
         w.key(axis).beginArray();
@@ -69,15 +82,33 @@ void writeSceneTraces(JsonWriter& w, const Scene& s, count sceneIndex) {
         w.endArray();
     }
     w.endObject();
+    return w.str();
 }
 
-} // namespace
-
 std::string Figure::toJson() const {
+    const count S = scenes_.size();
+
+    // Serialize all trace fragments in parallel (2 per scene); cached edge
+    // traces pass through untouched.
+    std::vector<std::string> traces(2 * S);
+    parallelFor(2 * S, [&](index t) {
+        const count i = t / 2;
+        if (t % 2 == 0) {
+            traces[t] = edgeJson_[i].empty() ? edgeTraceJson(scenes_[i], i)
+                                             : edgeJson_[i];
+        } else {
+            traces[t] = nodeTraceJson(scenes_[i], i);
+        }
+    });
+
+    std::size_t traceBytes = 0;
+    for (const auto& t : traces) traceBytes += t.size();
+
     JsonWriter w;
+    w.reserve(traceBytes + 512 * (S + 1));
     w.beginObject();
     w.key("data").beginArray();
-    for (count i = 0; i < scenes_.size(); ++i) writeSceneTraces(w, scenes_[i], i);
+    for (const auto& t : traces) w.appendRaw(t);
     w.endArray();
 
     w.key("layout").beginObject();
@@ -89,15 +120,14 @@ std::string Figure::toJson() const {
         .kv("t", 30)
         .kv("b", 0)
         .endObject();
-    for (count i = 0; i < scenes_.size(); ++i) {
-        const std::string sceneKey = i == 0 ? "scene" : "scene" + std::to_string(i + 1);
-        w.key(sceneKey).beginObject();
+    for (count i = 0; i < S; ++i) {
+        w.key(sceneRefOf(i)).beginObject();
         writeAxis(w, "xaxis");
         writeAxis(w, "yaxis");
         writeAxis(w, "zaxis");
         w.key("domain").beginObject();
-        const double x0 = static_cast<double>(i) / static_cast<double>(scenes_.size());
-        const double x1 = static_cast<double>(i + 1) / static_cast<double>(scenes_.size());
+        const double x0 = static_cast<double>(i) / static_cast<double>(S);
+        const double x1 = static_cast<double>(i + 1) / static_cast<double>(S);
         w.key("x").beginArray().value(x0).value(x1).endArray();
         w.key("y").beginArray().value(0.0).value(1.0).endArray();
         w.endObject(); // domain

@@ -16,12 +16,35 @@ namespace rinkit::viz {
 /// convention). The emitted document is a valid plotly figure object
 /// ({"data": [...], "layout": {...}}) that plotly.js or plotly.py renders
 /// directly; the paper's dual-view widget is two side-by-side scenes.
+///
+/// Serialization fast path: each trace is serialized into its own JSON
+/// fragment (all fragments in parallel across scenes), then spliced into
+/// the preallocated document buffer. Callers that know a scene's edge
+/// geometry has not changed (e.g. the widget on a measure-only update) can
+/// pass the previously serialized edge trace to addScene() and skip that
+/// work entirely — edge traces dominate the payload, ~3 numbers per edge
+/// endpoint pair plus the null gap.
 class Figure {
 public:
     /// Appends a scene (a subplot). Multiple scenes render side by side.
-    void addScene(const Scene& scene) { scenes_.push_back(scene); }
+    void addScene(const Scene& scene) { addScene(scene, std::string()); }
+
+    /// Appends a scene with a pre-serialized edge trace (obtained from a
+    /// previous edgeTraceJson() call on identical positions/edges); the
+    /// fragment is spliced verbatim instead of re-serializing.
+    void addScene(const Scene& scene, std::string cachedEdgeTraceJson) {
+        scenes_.push_back(scene);
+        edgeJson_.push_back(std::move(cachedEdgeTraceJson));
+    }
 
     count sceneCount() const { return scenes_.size(); }
+
+    /// The edge trace of @p s as a standalone JSON object — cacheable
+    /// across updates that leave positions and edges untouched.
+    static std::string edgeTraceJson(const Scene& s, count sceneIndex);
+
+    /// The node (marker) trace of @p s as a standalone JSON object.
+    static std::string nodeTraceJson(const Scene& s, count sceneIndex);
 
     /// Serializes to plotly JSON. This is the payload whose size drives
     /// the client-perceived update time in Figs. 6-8.
@@ -29,6 +52,7 @@ public:
 
 private:
     std::vector<Scene> scenes_;
+    std::vector<std::string> edgeJson_; // per scene; empty = serialize fresh
 };
 
 } // namespace rinkit::viz

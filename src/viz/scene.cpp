@@ -19,7 +19,7 @@ void checkSizes(const Graph& g, const std::vector<Point3>& coords, count scoreCo
 
 Scene makeScene(const Graph& g, const std::vector<Point3>& coordinates,
                 const std::vector<double>& scores, Palette palette,
-                const std::string& title) {
+                const std::string& title, bool includeEdges) {
     checkSizes(g, coordinates, scores.size(), "makeScene");
     Scene s;
     s.title = title;
@@ -32,13 +32,13 @@ Scene makeScene(const Graph& g, const std::vector<Point3>& coordinates,
         std::snprintf(buf, sizeof(buf), "node %u: %.6g", u, scores[u]);
         s.nodeLabels.emplace_back(buf);
     }
-    s.edges = g.edges();
+    if (includeEdges) s.edges = g.edges();
     return s;
 }
 
 Scene makeCommunityScene(const Graph& g, const std::vector<Point3>& coordinates,
                          const std::vector<index>& communities,
-                         const std::string& title) {
+                         const std::string& title, bool includeEdges) {
     checkSizes(g, coordinates, communities.size(), "makeCommunityScene");
     Scene s;
     s.title = title;
@@ -52,7 +52,7 @@ Scene makeCommunityScene(const Graph& g, const std::vector<Point3>& coordinates,
         s.nodeLabels.emplace_back(buf);
     }
     s.nodeSizes = {6.0};
-    s.edges = g.edges();
+    if (includeEdges) s.edges = g.edges();
     return s;
 }
 

@@ -26,14 +26,16 @@ struct Scene {
 
 /// Builds a scene from a graph, a layout and per-node scores colored with
 /// @p palette. Labels carry "node <id>: <score>" hover text like the
-/// widget's text-box displays.
+/// widget's text-box displays. Pass includeEdges = false when the caller
+/// reuses a cached serialized edge trace (markers-only updates) — the
+/// edge list copy is skipped entirely.
 Scene makeScene(const Graph& g, const std::vector<Point3>& coordinates,
                 const std::vector<double>& scores, Palette palette,
-                const std::string& title);
+                const std::string& title, bool includeEdges = true);
 
 /// Builds a community-colored scene (categorical palette over subset ids).
 Scene makeCommunityScene(const Graph& g, const std::vector<Point3>& coordinates,
                          const std::vector<index>& communities,
-                         const std::string& title);
+                         const std::string& title, bool includeEdges = true);
 
 } // namespace rinkit::viz

@@ -16,6 +16,7 @@ void RinWidget::recomputeLayout(UpdateTiming& t) {
     Timer timer;
     MaxentStress::Parameters params;
     params.iterations = options_.layoutIterations;
+    params.warmStartIterations = options_.layoutWarmStartIterations;
     params.seed = options_.seed;
     MaxentStress layout(rin_.graph(), 3, params);
     // Seed with the previous layout so consecutive frames stay visually
@@ -53,23 +54,37 @@ void RinWidget::renderAndShip(UpdateTiming& t, bool fullClientUpdate, bool marke
     std::vector<double> shown = displayedScores();
     if (shown.empty()) shown.assign(g.numberOfNodes(), 0.0);
 
-    Figure fig;
+    // With valid cached edge traces the scenes skip copying the edge list
+    // entirely — a markers-only update never touches edge geometry.
+    const bool needEdges = !edgeTracesValid_;
     const bool community = measure_ && isCommunityMeasure(*measure_) && !deltaMode_;
+    Scene left, right;
     if (community) {
         std::vector<index> comm(shown.size());
         for (count i = 0; i < shown.size(); ++i) comm[i] = static_cast<index>(shown[i]);
-        fig.addScene(makeCommunityScene(g, proteinCoords, comm, "protein layout"));
-        fig.addScene(makeCommunityScene(g, maxentCoords_, comm, "Maxent-Stress layout"));
+        left = makeCommunityScene(g, proteinCoords, comm, "protein layout", needEdges);
+        right = makeCommunityScene(g, maxentCoords_, comm, "Maxent-Stress layout", needEdges);
     } else {
-        fig.addScene(makeScene(g, proteinCoords, shown, options_.palette, "protein layout"));
-        fig.addScene(
-            makeScene(g, maxentCoords_, shown, options_.palette, "Maxent-Stress layout"));
+        left = makeScene(g, proteinCoords, shown, options_.palette, "protein layout",
+                         needEdges);
+        right = makeScene(g, maxentCoords_, shown, options_.palette,
+                          "Maxent-Stress layout", needEdges);
     }
     t.sceneBuildMs = buildTimer.elapsedMs();
 
     Timer serializeTimer;
+    if (!edgeTracesValid_) {
+        edgeTraceCache_[0] = Figure::edgeTraceJson(left, 0);
+        edgeTraceCache_[1] = Figure::edgeTraceJson(right, 1);
+        t.edgeBytesSerialized = edgeTraceCache_[0].size() + edgeTraceCache_[1].size();
+        edgeTracesValid_ = true;
+    }
+    Figure fig;
+    fig.addScene(left, edgeTraceCache_[0]);
+    fig.addScene(right, edgeTraceCache_[1]);
     figureJson_ = fig.toJson();
     t.serializeMs = serializeTimer.elapsedMs();
+    t.serializedBytes = figureJson_.size();
 
     ClientCostModel::Parameters clientParams;
     clientParams.fullUpdate = fullClientUpdate;
@@ -82,6 +97,7 @@ void RinWidget::renderAndShip(UpdateTiming& t, bool fullClientUpdate, bool marke
 
 RinWidget::UpdateTiming RinWidget::setFrame(index frame) {
     UpdateTiming t;
+    edgeTracesValid_ = false; // node positions move
     Timer netTimer;
     t.edgeStats = rin_.setFrame(frame);
     t.networkUpdateMs = netTimer.elapsedMs();
@@ -95,6 +111,7 @@ RinWidget::UpdateTiming RinWidget::setFrame(index frame) {
 
 RinWidget::UpdateTiming RinWidget::setCutoff(double cutoff) {
     UpdateTiming t;
+    edgeTracesValid_ = false; // edge set changes
     Timer netTimer;
     t.edgeStats = rin_.setCutoff(cutoff);
     t.networkUpdateMs = netTimer.elapsedMs();
@@ -118,6 +135,7 @@ RinWidget::UpdateTiming RinWidget::setMeasure(Measure measure) {
 
 RinWidget::UpdateTiming RinWidget::refresh() {
     UpdateTiming t;
+    edgeTracesValid_ = false;
     Timer netTimer;
     rin_.rebuild();
     t.networkUpdateMs = netTimer.elapsedMs();

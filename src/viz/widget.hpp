@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <optional>
 #include <string>
 
@@ -31,6 +32,10 @@ public:
         Palette palette = Palette::Spectral;
         bool autoRecompute = true; ///< recompute the measure on network change
         count layoutIterations = 30; ///< Maxent-Stress iterations per update
+        /// Iteration cap when the layout is seeded with the previous
+        /// result (every update after the first): the seed is already
+        /// near equilibrium, so a short polish suffices. 0 disables.
+        count layoutWarmStartIterations = 10;
         std::uint64_t seed = 1;
     };
 
@@ -43,6 +48,9 @@ public:
         double serializeMs = 0.0;     ///< figure -> JSON
         double clientMs = 0.0;        ///< simulated browser update
         rin::DynamicRin::UpdateStats edgeStats;
+        std::size_t serializedBytes = 0;     ///< total figure payload size
+        std::size_t edgeBytesSerialized = 0; ///< edge-trace bytes serialized
+                                             ///< fresh (0 = cache hit)
 
         double serverMs() const {
             return networkUpdateMs + layoutMs + measureMs + sceneBuildMs + serializeMs;
@@ -64,7 +72,9 @@ public:
     UpdateTiming setCutoff(double cutoff);
 
     /// Measure slider (Fig. 6): network and layouts unchanged; only the
-    /// node colors are recomputed and re-rendered.
+    /// node colors are recomputed and re-rendered. The serialized edge
+    /// traces are reused from the previous update (cache hit:
+    /// UpdateTiming::edgeBytesSerialized == 0).
     UpdateTiming setMeasure(Measure measure);
 
     /// Recomputes everything (initial draw / "recompute" button in
@@ -115,6 +125,10 @@ private:
     std::vector<double> buffer_;
     std::vector<Point3> maxentCoords_;
     std::string figureJson_;
+    // Serialized edge traces of the two scenes, valid while node positions
+    // and the edge set are unchanged (i.e. across measure-only updates).
+    std::array<std::string, 2> edgeTraceCache_;
+    bool edgeTracesValid_ = false;
     ClientCostModel client_;
     bool deltaMode_ = false;
 };

@@ -16,7 +16,7 @@ namespace rinkit {
 namespace {
 
 TEST(Octree, EmptyAndSinglePoint) {
-    Octree empty({});
+    Octree empty(std::vector<Point3>{});
     EXPECT_EQ(empty.size(), 0u);
     int calls = 0;
     empty.forCells({0, 0, 0}, 0.5, [&](const Point3&, double, bool) { ++calls; });

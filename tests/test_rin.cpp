@@ -53,6 +53,115 @@ TEST(CellList, NegativeCoordinatesWork) {
     EXPECT_THROW(CellList(pts, 0.0), std::invalid_argument);
 }
 
+// Property test: the flat CSR cell list must agree with the O(n^2) scan on
+// degenerate geometries, not just protein-like clouds — many coincident
+// points (single overfull cell), collinear points (1D grid), and two far
+// offset clusters (the AABB-spanning dense grid hits the cell-count cap
+// and must grow the effective cell size without losing pairs).
+TEST(CellList, DegeneratePointSetsMatchBruteForce) {
+    Rng rng(29);
+    std::vector<std::pair<const char*, std::vector<Point3>>> sets;
+
+    std::vector<Point3> coincident(120, Point3{1.5, -2.5, 3.0});
+    for (index i = 100; i < 120; ++i) coincident[i] = {1.5 + 0.01 * i, -2.5, 3.0};
+    sets.emplace_back("coincident", std::move(coincident));
+
+    std::vector<Point3> collinear;
+    for (index i = 0; i < 150; ++i) collinear.push_back({0.37 * i, 0.0, 0.0});
+    sets.emplace_back("collinear", std::move(collinear));
+
+    std::vector<Point3> farOffset;
+    for (index i = 0; i < 80; ++i) {
+        farOffset.push_back({rng.real(0, 5), rng.real(0, 5), rng.real(0, 5)});
+        farOffset.push_back(
+            {1e4 + rng.real(0, 5), 1e4 + rng.real(0, 5), 1e4 + rng.real(0, 5)});
+    }
+    sets.emplace_back("far-offset clusters", std::move(farOffset));
+
+    std::vector<Point3> random(300);
+    for (auto& p : random) p = {rng.real(-30, 30), rng.real(-30, 30), rng.real(-30, 30)};
+    sets.emplace_back("random", std::move(random));
+
+    const double radius = 2.0;
+    for (const auto& [name, pts] : sets) {
+        CellList cells(pts, radius);
+        // The dense grid must stay bounded even when the AABB is huge.
+        EXPECT_LE(cells.gridCellCount(),
+                  std::max<count>(64, 4 * pts.size()) * 8)
+            << name;
+        // Half-radius cells by default; the cap may have grown them, but
+        // never to a degenerate size.
+        EXPECT_GT(cells.cellSize(), 0.0) << name;
+
+        std::set<std::pair<index, index>> fast;
+        cells.forAllPairs(radius, [&](index i, index j) {
+            EXPECT_TRUE(fast.emplace(i, j).second) << name << ": duplicate pair";
+        });
+        std::set<std::pair<index, index>> brute;
+        for (index i = 0; i < pts.size(); ++i) {
+            for (index j = i + 1; j < pts.size(); ++j) {
+                if (pts[i].squaredDistance(pts[j]) <= radius * radius) brute.emplace(i, j);
+            }
+        }
+        EXPECT_EQ(fast, brute) << name;
+
+        // The parallel sweep must visit exactly the same pairs.
+        std::vector<std::set<std::pair<index, index>>> perThread(maxThreads());
+        cells.parallelForAllPairs(radius, [&](int tid, index i, index j) {
+            perThread[static_cast<count>(tid)].emplace(i, j);
+        });
+        std::set<std::pair<index, index>> parallelPairs;
+        for (const auto& s : perThread) {
+            for (const auto& pr : s) {
+                EXPECT_TRUE(parallelPairs.insert(pr).second) << name << ": cross-thread dup";
+            }
+        }
+        EXPECT_EQ(parallelPairs, brute) << name;
+    }
+}
+
+TEST(CellList, RebuildInPlaceReusesIndex) {
+    Rng rng(7);
+    std::vector<Point3> pts(100);
+    for (auto& p : pts) p = {rng.real(0, 10), rng.real(0, 10), rng.real(0, 10)};
+    CellList cells;
+    cells.build(pts, 3.0);
+    count before = 0;
+    cells.forAllPairs(3.0, [&](index, index) { ++before; });
+
+    // Move the points and rebuild through the same object.
+    for (auto& p : pts) p = {rng.real(0, 4), rng.real(0, 4), rng.real(0, 4)};
+    cells.build(pts, 3.0);
+    std::set<std::pair<index, index>> fast;
+    cells.forAllPairs(3.0, [&](index i, index j) { fast.emplace(i, j); });
+    std::set<std::pair<index, index>> brute;
+    for (index i = 0; i < pts.size(); ++i) {
+        for (index j = i + 1; j < pts.size(); ++j) {
+            if (pts[i].distance(pts[j]) <= 3.0) brute.emplace(i, j);
+        }
+    }
+    EXPECT_EQ(fast, brute);
+}
+
+TEST(RinBuilder, WorkspaceReuseMatchesFreshContacts) {
+    const RinBuilder builder(DistanceCriterion::MinimumAtomDistance);
+    const auto p = alpha3D();
+    ContactWorkspace ws;
+    std::vector<Contact> out;
+    // Down-up-down sweep: exercises the cached-cell-list filter path
+    // (cutoff below cellsRadius) and the rebuild path (cutoff above).
+    for (double cutoff : {6.5, 4.5, 8.5, 5.0, 7.0}) {
+        builder.contactsInto(p, cutoff, ws, out);
+        const auto fresh = builder.contacts(p, cutoff);
+        ASSERT_EQ(out.size(), fresh.size()) << "cutoff " << cutoff;
+        for (count i = 0; i < out.size(); ++i) {
+            EXPECT_EQ(out[i].u, fresh[i].u);
+            EXPECT_EQ(out[i].v, fresh[i].v);
+            EXPECT_DOUBLE_EQ(out[i].distance, fresh[i].distance);
+        }
+    }
+}
+
 TEST(RinBuilder, AdjacentResiduesAlwaysInContact) {
     // At a min-distance cutoff of 4.5 A, the backbone chain must appear:
     // residue i and i+1 share a peptide bond (C_i - N_{i+1} ~ 2.4 A here).
@@ -210,6 +319,37 @@ TEST(DynamicRin, UnfoldingShedsLongRangeContacts) {
     EXPECT_LT(unfolded, folded); // tertiary contacts are gone
     // The chain itself survives unfolding.
     for (node u = 0; u + 1 < 73; ++u) EXPECT_TRUE(dyn.graph().hasEdge(u, u + 1));
+}
+
+// Property test: after ANY interleaving of cutoff and frame events the
+// incrementally maintained graph must be bit-identical to a fresh build of
+// the same (frame, cutoff) state — the merge-diff and the contact cache
+// must never leak edges across events.
+TEST(DynamicRin, SliderStormMatchesFreshBuild) {
+    md::TrajectoryGenerator::Parameters params;
+    params.frames = 8;
+    params.unfoldingEvents = 1;
+    const auto traj = md::TrajectoryGenerator(params).generate(alpha3D());
+    const RinBuilder fresh(DistanceCriterion::MinimumAtomDistance);
+
+    DynamicRin dyn(traj, DistanceCriterion::MinimumAtomDistance, 4.5);
+    Rng rng(101);
+    double cutoff = 4.5;
+    index frame = 0;
+    for (int event = 0; event < 40; ++event) {
+        count reportedTotal = 0;
+        if (rng.real01() < 0.5) {
+            cutoff = 4.0 + rng.real01() * 4.5; // 4.0 .. 8.5 A
+            reportedTotal = dyn.setCutoff(cutoff).edgesTotal;
+        } else {
+            frame = static_cast<index>(rng.real01() * 7.99);
+            reportedTotal = dyn.setFrame(frame).edgesTotal;
+        }
+        const auto expected = fresh.build(traj.proteinAtFrame(frame), cutoff);
+        ASSERT_TRUE(dyn.graph() == expected)
+            << "event " << event << " frame " << frame << " cutoff " << cutoff;
+        EXPECT_EQ(reportedTotal, expected.numberOfEdges());
+    }
 }
 
 TEST(DynamicRin, NodeCountNeverChanges) {

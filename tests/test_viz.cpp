@@ -275,6 +275,41 @@ TEST(Widget, MeasureSwitchLeavesNetworkAlone) {
     EXPECT_TRUE(widget.measure() == Measure::Betweenness);
 }
 
+TEST(Widget, MeasureSwitchReusesSerializedEdgeTraces) {
+    md::TrajectoryGenerator::Parameters gen;
+    gen.frames = 3;
+    const auto traj = md::TrajectoryGenerator(gen).generate(md::alpha3D());
+    RinWidget widget(traj);
+
+    // A cutoff switch changes the edge set: edge traces serialize fresh.
+    const auto tCutoff = widget.setCutoff(6.0);
+    EXPECT_GT(tCutoff.edgeBytesSerialized, 0u);
+    EXPECT_GT(tCutoff.serializedBytes, tCutoff.edgeBytesSerialized);
+
+    // A measure switch leaves positions and edges alone: zero edge-trace
+    // bytes serialized — the cached fragments are spliced in verbatim.
+    const auto tMeasure = widget.setMeasure(Measure::Degree);
+    EXPECT_EQ(tMeasure.edgeBytesSerialized, 0u);
+    EXPECT_GT(tMeasure.serializedBytes, 0u);
+
+    // The shipped figure still contains both full edge traces: same trace
+    // count, and the edge trace arrays have 3 entries per edge.
+    const auto doc = JsonValue::parse(widget.figureJson());
+    ASSERT_EQ(doc.at("data").size(), 4u);
+    const count edges = widget.graph().numberOfEdges();
+    EXPECT_EQ(doc.at("data").at(0).at("x").size(), 3 * edges);
+    EXPECT_EQ(doc.at("data").at(2).at("x").size(), 3 * edges);
+
+    // Delta-mode toggles (also markers-only renders) keep the cache warm...
+    widget.setMeasure(Measure::Closeness);
+    const auto tAgain = widget.setMeasure(Measure::Betweenness);
+    EXPECT_EQ(tAgain.edgeBytesSerialized, 0u);
+
+    // ...while the next frame event invalidates it.
+    const auto tFrame = widget.setFrame(1);
+    EXPECT_GT(tFrame.edgeBytesSerialized, 0u);
+}
+
 TEST(Widget, DeltaModeShowsScoreDifferences) {
     md::TrajectoryGenerator::Parameters gen;
     gen.frames = 6;
