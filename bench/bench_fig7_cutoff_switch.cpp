@@ -74,19 +74,25 @@ void BM_ClientPerceivedCutoffSwitch(benchmark::State& state) {
     viz::RinWidget widget(traj);
 
     bool high = false;
-    double edgeMs = 0, layoutMs = 0, clientMs = 0;
+    double edgeMs = 0, layoutMs = 0, measureMs = 0, clientMs = 0, cacheHits = 0;
     count cycles = 0;
     for (auto _ : state) {
         high = !high;
         const auto t = widget.setCutoff(high ? 7.5 : 4.5);
         edgeMs += t.networkUpdateMs;
         layoutMs += t.layoutMs;
+        measureMs += t.measureMs;
         clientMs += t.clientMs;
+        if (t.measureCacheHit) cacheHits += 1.0;
         ++cycles;
     }
     state.counters["edge_ms"] = edgeMs / static_cast<double>(cycles);
     state.counters["layout_ms"] = layoutMs / static_cast<double>(cycles);
+    state.counters["measure_ms"] = measureMs / static_cast<double>(cycles);
     state.counters["client_ms"] = clientMs / static_cast<double>(cycles);
+    // Every cutoff switch mutates the graph (version bump), so the measure
+    // cache must miss on each cycle — a nonzero value here is a bug.
+    state.counters["measure_cache_hit"] = cacheHits / static_cast<double>(cycles);
 }
 
 BENCHMARK(BM_EdgeUpdate)

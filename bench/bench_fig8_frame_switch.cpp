@@ -64,7 +64,7 @@ void BM_ClientPerceivedFrameSwitch(benchmark::State& state) {
     viz::RinWidget widget(traj, opts);
 
     index f = 0;
-    double netMs = 0, layoutMs = 0, measureMs = 0, clientMs = 0;
+    double netMs = 0, layoutMs = 0, measureMs = 0, clientMs = 0, cacheHits = 0;
     count cycles = 0;
     for (auto _ : state) {
         f = (f + 1) % traj.frameCount();
@@ -73,6 +73,7 @@ void BM_ClientPerceivedFrameSwitch(benchmark::State& state) {
         layoutMs += t.layoutMs;
         measureMs += t.measureMs;
         clientMs += t.clientMs;
+        if (t.measureCacheHit) cacheHits += 1.0;
         ++cycles;
     }
     state.SetLabel(withMeasure ? "with measure (worst case)" : "no measure");
@@ -80,6 +81,9 @@ void BM_ClientPerceivedFrameSwitch(benchmark::State& state) {
     state.counters["layout_ms"] = layoutMs / static_cast<double>(cycles);
     state.counters["measure_ms"] = measureMs / static_cast<double>(cycles);
     state.counters["client_ms"] = clientMs / static_cast<double>(cycles);
+    // Frame switches mutate the graph; hits can only appear if a frame's
+    // edge diff happened to be empty (version unchanged). Expected ~0.
+    state.counters["measure_cache_hit"] = cacheHits / static_cast<double>(cycles);
 }
 
 BENCHMARK(BM_FrameNetworkUpdate)->Unit(benchmark::kMillisecond)->Apply([](auto* b) {

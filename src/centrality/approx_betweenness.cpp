@@ -1,24 +1,39 @@
 #include "src/centrality/approx_betweenness.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <omp.h>
 #include <stdexcept>
 
-#include "src/components/bfs.hpp"
+#include "src/components/csr_bfs.hpp"
 #include "src/components/diameter.hpp"
 #include "src/support/random.hpp"
 
 namespace rinkit {
 
-ApproxBetweenness::ApproxBetweenness(const Graph& g, double epsilon, double delta,
-                                     std::uint64_t seed)
-    : CentralityAlgorithm(g), epsilon_(epsilon), delta_(delta), seed_(seed) {
+namespace {
+
+void validateApproxParams(double epsilon, double delta) {
     if (epsilon <= 0.0 || epsilon >= 1.0) {
         throw std::invalid_argument("ApproxBetweenness: epsilon out of (0,1)");
     }
     if (delta <= 0.0 || delta >= 1.0) {
         throw std::invalid_argument("ApproxBetweenness: delta out of (0,1)");
     }
+}
+
+} // namespace
+
+ApproxBetweenness::ApproxBetweenness(const Graph& g, double epsilon, double delta,
+                                     std::uint64_t seed)
+    : CentralityAlgorithm(g), epsilon_(epsilon), delta_(delta), seed_(seed) {
+    validateApproxParams(epsilon, delta);
+}
+
+ApproxBetweenness::ApproxBetweenness(const Graph& g, const CsrView& view,
+                                     double epsilon, double delta, std::uint64_t seed)
+    : CentralityAlgorithm(g, view), epsilon_(epsilon), delta_(delta), seed_(seed) {
+    validateApproxParams(epsilon, delta);
 }
 
 void ApproxBetweenness::run() {
@@ -38,49 +53,54 @@ void ApproxBetweenness::run() {
         (c / (epsilon_ * epsilon_)) *
         (std::floor(std::log2(vd - 2.0)) + 1.0 + std::log(1.0 / delta_))));
 
-    const int threads = omp_get_max_threads();
-    std::vector<std::vector<double>> local(static_cast<size_t>(threads),
-                                           std::vector<double>(n, 0.0));
+    const CsrView& v = view();
+    const count* off = v.offsets();
+    const node* tgt = v.targets();
+
+    const int threads = static_cast<int>(std::clamp<long long>(
+        static_cast<long long>(samples_) / 16, 1, omp_get_max_threads()));
+
+    double* sc = scores_.data();
     RandomPool pool(seed_);
 
-#pragma omp parallel
+#pragma omp parallel num_threads(threads)
     {
-        auto& acc = local[static_cast<size_t>(omp_get_thread_num())];
         auto& rng = pool.local();
-        Bfs bfs(g_, 0);
-#pragma omp for schedule(dynamic, 16)
+        CsrBfs bfs(v);
+#pragma omp for schedule(dynamic, 16) reduction(+ : sc[:n])
         for (long long i = 0; i < static_cast<long long>(samples_); ++i) {
             const node s = static_cast<node>(rng.pick(n));
             node t = s;
             while (t == s) t = static_cast<node>(rng.pick(n));
-            bfs.setSource(s);
-            bfs.run();
-            if (bfs.distance(t) == infdist) continue; // no path: contributes 0
+            bfs.run(s);
+            const auto& level = bfs.levels();
+            if (level[t] == CsrBfs::unreachedLevel) continue; // no path: contributes 0
             // Walk back from t, choosing predecessors proportionally to
-            // their path counts -> uniform shortest path.
-            const auto& sigma = bfs.numberOfPaths();
+            // their path counts -> uniform shortest path. Predecessors of w
+            // are its neighbors one level shallower, found by scanning the
+            // CSR row (their sigmas sum to sigma[w]).
+            const auto& sigma = bfs.sigma();
             node w = t;
             while (w != s) {
-                const auto& preds = bfs.predecessors(w);
+                const std::uint32_t predLvl = level[w] - 1;
                 double pick = rng.real01() * sigma[w];
-                node chosen = preds.back();
-                for (node p : preds) {
+                node chosen = none;
+                const count end = off[w + 1];
+                for (count a = off[w]; a < end; ++a) {
+                    const node p = tgt[a];
+                    if (level[p] != predLvl) continue;
+                    chosen = p;
                     pick -= sigma[p];
-                    if (pick <= 0.0) {
-                        chosen = p;
-                        break;
-                    }
+                    if (pick <= 0.0) break;
                 }
-                if (chosen != s) acc[chosen] += 1.0;
+                if (chosen != s) sc[chosen] += 1.0;
                 w = chosen;
             }
         }
     }
 
     const double inv = 1.0 / static_cast<double>(samples_);
-    for (const auto& acc : local) {
-        for (node u = 0; u < n; ++u) scores_[u] += acc[u] * inv;
-    }
+    for (auto& s : scores_) s *= inv;
     hasRun_ = true;
 }
 

@@ -19,6 +19,8 @@ class ApproxBetweenness final : public CentralityAlgorithm {
 public:
     ApproxBetweenness(const Graph& g, double epsilon = 0.05, double delta = 0.1,
                       std::uint64_t seed = 1);
+    ApproxBetweenness(const Graph& g, const CsrView& view, double epsilon = 0.05,
+                      double delta = 0.1, std::uint64_t seed = 1);
 
     void run() override;
 

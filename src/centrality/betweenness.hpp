@@ -16,6 +16,8 @@ class Betweenness final : public CentralityAlgorithm {
 public:
     explicit Betweenness(const Graph& g, bool normalized = false)
         : CentralityAlgorithm(g), normalized_(normalized) {}
+    Betweenness(const Graph& g, const CsrView& view, bool normalized = false)
+        : CentralityAlgorithm(g, view), normalized_(normalized) {}
 
     void run() override;
 

@@ -1,8 +1,10 @@
 #pragma once
 
+#include <optional>
 #include <stdexcept>
 #include <vector>
 
+#include "src/graph/csr_view.hpp"
 #include "src/graph/graph.hpp"
 
 namespace rinkit {
@@ -15,9 +17,19 @@ namespace rinkit {
 /// interface, which is what lets users plug new measures into the GUI
 /// "through simple modifications of Python code" — here, through a factory
 /// registration (see viz/measures.hpp).
+///
+/// The kernels traverse a flat CSR snapshot, not the mutable Graph. An
+/// algorithm constructed with a graph alone materializes its own snapshot
+/// lazily on run() and refreshes it only when Graph::version() moved; the
+/// measure engine instead passes a shared external snapshot so a whole
+/// measure sweep reuses one materialization.
 class CentralityAlgorithm {
 public:
     explicit CentralityAlgorithm(const Graph& g) : g_(g) {}
+    /// Uses @p view (a snapshot of @p g) instead of materializing one; the
+    /// caller keeps @p view alive and consistent with @p g.
+    CentralityAlgorithm(const Graph& g, const CsrView& view)
+        : g_(g), external_(&view) {}
     virtual ~CentralityAlgorithm() = default;
 
     CentralityAlgorithm(const CentralityAlgorithm&) = delete;
@@ -51,9 +63,23 @@ protected:
         if (!hasRun_) throw std::logic_error("CentralityAlgorithm: call run() first");
     }
 
+    /// The CSR snapshot kernels traverse. Borrowed if one was passed at
+    /// construction; otherwise owned and rebuilt when g_.version() moved.
+    const CsrView& view() {
+        if (external_) return *external_;
+        if (!owned_ || owned_->version() != g_.version()) {
+            owned_ = CsrView::fromGraph(g_);
+        }
+        return *owned_;
+    }
+
     const Graph& g_;
     std::vector<double> scores_;
     bool hasRun_ = false;
+
+private:
+    const CsrView* external_ = nullptr;
+    std::optional<CsrView> owned_;
 };
 
 } // namespace rinkit

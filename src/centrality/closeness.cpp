@@ -1,52 +1,39 @@
 #include "src/centrality/closeness.hpp"
 
-#include "src/components/bfs.hpp"
+#include "src/components/csr_bfs.hpp"
 
 namespace rinkit {
 
 void ClosenessCentrality::run() {
-    const count n = g_.numberOfNodes();
+    const CsrView& v = view();
+    const count n = v.numberOfNodes();
     scores_.assign(n, 0.0);
     if (n == 0) {
         hasRun_ = true;
         return;
     }
 
-#pragma omp parallel
-    {
-        Bfs bfs(g_, 0);
-#pragma omp for schedule(dynamic, 8)
-        for (long long ui = 0; ui < static_cast<long long>(n); ++ui) {
-            const node u = static_cast<node>(ui);
-            bfs.setSource(u);
-            bfs.run();
-            if (variant_ == Variant::Harmonic) {
-                double sum = 0.0;
-                for (node v = 0; v < n; ++v) {
-                    const double d = bfs.distance(v);
-                    if (v != u && d != infdist) sum += 1.0 / d;
-                }
-                scores_[u] = normalized_ && n > 1 ? sum / static_cast<double>(n - 1) : sum;
+    // One batched multi-source traversal yields every per-source distance
+    // sum, reciprocal sum and reached count.
+    const DistanceSums sums = batchedDistanceSums(v);
+
+    for (node u = 0; u < n; ++u) {
+        if (variant_ == Variant::Harmonic) {
+            const double sum = sums.sumInv[u];
+            scores_[u] = normalized_ && n > 1 ? sum / static_cast<double>(n - 1) : sum;
+        } else {
+            const double sum = sums.sumDist[u];
+            // reached excludes the source; the Wasserman-Faust formula counts it.
+            const count reached = sums.reached[u] + 1;
+            if (reached <= 1 || sum == 0.0) {
+                scores_[u] = 0.0;
             } else {
-                double sum = 0.0;
-                count reached = 0;
-                for (node v = 0; v < n; ++v) {
-                    const double d = bfs.distance(v);
-                    if (d != infdist) {
-                        sum += d;
-                        ++reached;
-                    }
-                }
-                if (reached <= 1 || sum == 0.0) {
-                    scores_[u] = 0.0;
-                } else {
-                    // Wasserman-Faust composite closeness for (possibly)
-                    // disconnected graphs.
-                    const double r = static_cast<double>(reached);
-                    double c = (r - 1.0) / sum;
-                    if (normalized_ && n > 1) c *= (r - 1.0) / static_cast<double>(n - 1);
-                    scores_[u] = c;
-                }
+                // Wasserman-Faust composite closeness for (possibly)
+                // disconnected graphs.
+                const double r = static_cast<double>(reached);
+                double c = (r - 1.0) / sum;
+                if (normalized_ && n > 1) c *= (r - 1.0) / static_cast<double>(n - 1);
+                scores_[u] = c;
             }
         }
     }

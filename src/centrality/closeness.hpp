@@ -22,6 +22,9 @@ public:
     explicit ClosenessCentrality(const Graph& g, Variant variant = Variant::Standard,
                                  bool normalized = true)
         : CentralityAlgorithm(g), variant_(variant), normalized_(normalized) {}
+    ClosenessCentrality(const Graph& g, const CsrView& view,
+                        Variant variant = Variant::Standard, bool normalized = true)
+        : CentralityAlgorithm(g, view), variant_(variant), normalized_(normalized) {}
 
     void run() override;
 

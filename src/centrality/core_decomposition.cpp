@@ -5,7 +5,8 @@
 namespace rinkit {
 
 void CoreDecomposition::run() {
-    const count n = g_.numberOfNodes();
+    const CsrView& v = view();
+    const count n = v.numberOfNodes();
     scores_.assign(n, 0.0);
     maxCore_ = 0;
     if (n == 0) {
@@ -13,13 +14,13 @@ void CoreDecomposition::run() {
         return;
     }
 
+    const count* off = v.offsets();
+    const node* tgt = v.targets();
+
     // Batagelj-Zaversnik bucket sort peeling.
     std::vector<count> deg(n);
-    count maxDeg = 0;
-    for (node u = 0; u < n; ++u) {
-        deg[u] = g_.degree(u);
-        maxDeg = std::max(maxDeg, deg[u]);
-    }
+    const count maxDeg = v.maxDegree();
+    for (node u = 0; u < n; ++u) deg[u] = off[u + 1] - off[u];
     std::vector<count> bin(maxDeg + 2, 0);
     for (node u = 0; u < n; ++u) ++bin[deg[u]];
     count start = 0;
@@ -42,22 +43,24 @@ void CoreDecomposition::run() {
         const node u = order[i];
         scores_[u] = static_cast<double>(deg[u]);
         maxCore_ = std::max(maxCore_, deg[u]);
-        g_.forNeighborsOf(u, [&](node, node v) {
-            if (deg[v] > deg[u]) {
-                // Move v to the front of its bucket, then shrink its degree.
-                const count dv = deg[v];
-                const count pv = pos[v];
-                const count pw = bin[dv];
-                const node w = order[pw];
-                if (v != w) {
-                    std::swap(order[pv], order[pw]);
-                    pos[v] = pw;
-                    pos[w] = pv;
+        const count end = off[u + 1];
+        for (count a = off[u]; a < end; ++a) {
+            const node w = tgt[a];
+            if (deg[w] > deg[u]) {
+                // Move w to the front of its bucket, then shrink its degree.
+                const count dw = deg[w];
+                const count pw = pos[w];
+                const count pf = bin[dw];
+                const node f = order[pf];
+                if (w != f) {
+                    std::swap(order[pw], order[pf]);
+                    pos[w] = pf;
+                    pos[f] = pw;
                 }
-                ++bin[dv];
-                --deg[v];
+                ++bin[dw];
+                --deg[w];
             }
-        });
+        }
     }
     hasRun_ = true;
 }

@@ -11,6 +11,8 @@ namespace rinkit {
 class CoreDecomposition final : public CentralityAlgorithm {
 public:
     explicit CoreDecomposition(const Graph& g) : CentralityAlgorithm(g) {}
+    CoreDecomposition(const Graph& g, const CsrView& view)
+        : CentralityAlgorithm(g, view) {}
 
     void run() override;
 

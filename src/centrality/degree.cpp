@@ -1,13 +1,17 @@
 #include "src/centrality/degree.hpp"
 
+#include "src/support/parallel.hpp"
+
 namespace rinkit {
 
 void DegreeCentrality::run() {
-    const count n = g_.numberOfNodes();
+    const CsrView& v = view();
+    const count n = v.numberOfNodes();
     scores_.assign(n, 0.0);
     const double norm = (normalized_ && n > 1) ? 1.0 / static_cast<double>(n - 1) : 1.0;
-    g_.parallelForNodes([&](node u) {
-        scores_[u] = static_cast<double>(g_.degree(u)) * norm;
+    parallelFor(n, [&](index ui) {
+        const node u = static_cast<node>(ui);
+        scores_[u] = static_cast<double>(v.degree(u)) * norm;
     });
     hasRun_ = true;
 }

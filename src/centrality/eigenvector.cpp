@@ -2,13 +2,36 @@
 
 #include <cmath>
 
-#include "src/graph/graph_tools.hpp"
 #include "src/support/parallel.hpp"
 
 namespace rinkit {
 
+namespace {
+
+/// y[u] = sum over neighbors v of w(u,v) * x[v], streamed off CSR arrays.
+inline void gather(const CsrView& v, const std::vector<double>& x,
+                   std::vector<double>& y) {
+    const count* off = v.offsets();
+    const node* tgt = v.targets();
+    const edgeweight* wts = v.weights();
+    parallelFor(v.numberOfNodes(), [&](index ui) {
+        const node u = static_cast<node>(ui);
+        double sum = 0.0;
+        const count end = off[u + 1];
+        if (wts) {
+            for (count a = off[u]; a < end; ++a) sum += wts[a] * x[tgt[a]];
+        } else {
+            for (count a = off[u]; a < end; ++a) sum += x[tgt[a]];
+        }
+        y[u] = sum;
+    });
+}
+
+} // namespace
+
 void EigenvectorCentrality::run() {
-    const count n = g_.numberOfNodes();
+    const CsrView& v = view();
+    const count n = v.numberOfNodes();
     scores_.assign(n, 0.0);
     iterations_ = 0;
     if (n == 0) {
@@ -20,20 +43,16 @@ void EigenvectorCentrality::run() {
     std::vector<double> y(n, 0.0);
 
     for (iterations_ = 0; iterations_ < maxIterations_; ++iterations_) {
-        parallelFor(n, [&](index ui) {
-            const node u = static_cast<node>(ui);
-            double sum = 0.0;
-            g_.forWeightedNeighborsOf(u, [&](node, node v, edgeweight w) {
-                sum += w * x[v];
-            });
-            // Shifted iteration (A + I): identical eigenvectors, but the
-            // dominant eigenvalue is strictly largest in magnitude even on
-            // bipartite graphs (plain power iteration oscillates there).
-            y[u] = sum + x[u];
-        });
+        gather(v, x, y);
+        // Shifted iteration (A + I): identical eigenvectors, but the
+        // dominant eigenvalue is strictly largest in magnitude even on
+        // bipartite graphs (plain power iteration oscillates there).
         double norm = 0.0;
 #pragma omp parallel for schedule(static) reduction(+ : norm)
-        for (long long i = 0; i < static_cast<long long>(n); ++i) norm += y[i] * y[i];
+        for (long long i = 0; i < static_cast<long long>(n); ++i) {
+            y[i] += x[i];
+            norm += y[i] * y[i];
+        }
         norm = std::sqrt(norm);
         if (norm == 0.0) break; // edgeless graph
         double diff = 0.0;
@@ -50,12 +69,13 @@ void EigenvectorCentrality::run() {
     }
     scores_ = std::move(x);
     // Edgeless graphs have no meaningful eigenvector; report zeros.
-    if (g_.numberOfEdges() == 0) scores_.assign(n, 0.0);
+    if (v.numberOfEdges() == 0) scores_.assign(n, 0.0);
     hasRun_ = true;
 }
 
 void KatzCentrality::run() {
-    const count n = g_.numberOfNodes();
+    const CsrView& v = view();
+    const count n = v.numberOfNodes();
     scores_.assign(n, 0.0);
     if (n == 0) {
         hasRun_ = true;
@@ -64,21 +84,15 @@ void KatzCentrality::run() {
 
     effectiveAlpha_ = alpha_ > 0.0
                           ? alpha_
-                          : 1.0 / (static_cast<double>(graphtools::maxDegree(g_)) + 1.0);
+                          : 1.0 / (static_cast<double>(v.maxDegree()) + 1.0);
 
     std::vector<double> x(n, 0.0), y(n, 0.0);
     for (count it = 0; it < maxIterations_; ++it) {
-        parallelFor(n, [&](index ui) {
-            const node u = static_cast<node>(ui);
-            double sum = 0.0;
-            g_.forWeightedNeighborsOf(u, [&](node, node v, edgeweight w) {
-                sum += w * x[v];
-            });
-            y[u] = effectiveAlpha_ * sum + beta_;
-        });
+        gather(v, x, y);
         double diff = 0.0;
 #pragma omp parallel for schedule(static) reduction(+ : diff)
         for (long long i = 0; i < static_cast<long long>(n); ++i) {
+            y[i] = effectiveAlpha_ * y[i] + beta_;
             diff += std::abs(y[i] - x[i]);
         }
         x.swap(y);

@@ -11,6 +11,9 @@ public:
     explicit EigenvectorCentrality(const Graph& g, double tol = 1e-9,
                                    count maxIterations = 1000)
         : CentralityAlgorithm(g), tol_(tol), maxIterations_(maxIterations) {}
+    EigenvectorCentrality(const Graph& g, const CsrView& view, double tol = 1e-9,
+                          count maxIterations = 1000)
+        : CentralityAlgorithm(g, view), tol_(tol), maxIterations_(maxIterations) {}
 
     void run() override;
 
@@ -31,6 +34,10 @@ public:
     explicit KatzCentrality(const Graph& g, double alpha = 0.0, double beta = 1.0,
                             double tol = 1e-9, count maxIterations = 1000)
         : CentralityAlgorithm(g), alpha_(alpha), beta_(beta), tol_(tol),
+          maxIterations_(maxIterations) {}
+    KatzCentrality(const Graph& g, const CsrView& view, double alpha = 0.0,
+                   double beta = 1.0, double tol = 1e-9, count maxIterations = 1000)
+        : CentralityAlgorithm(g, view), alpha_(alpha), beta_(beta), tol_(tol),
           maxIterations_(maxIterations) {}
 
     void run() override;

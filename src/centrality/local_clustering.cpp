@@ -2,18 +2,24 @@
 
 #include <algorithm>
 
+#include "src/support/parallel.hpp"
+
 namespace rinkit {
 
 void LocalClusteringCoefficient::run() {
-    const count n = g_.numberOfNodes();
+    const CsrView& v = view();
+    const count n = v.numberOfNodes();
     scores_.assign(n, 0.0);
-    g_.parallelForNodes([&](node u) {
-        const auto nb = g_.neighbors(u);
+    parallelFor(n, [&](index ui) {
+        const node u = static_cast<node>(ui);
+        const auto nb = v.neighbors(u);
         const count d = nb.size();
         if (d < 2) return; // coefficient 0 by convention
         count links = 0;
         for (count i = 0; i < d; ++i) {
-            const auto ni = g_.neighbors(nb[i]);
+            // CSR rows are sorted ascending, so pair membership is a
+            // binary search over a contiguous span.
+            const auto ni = v.neighbors(nb[i]);
             for (count j = i + 1; j < d; ++j) {
                 if (std::binary_search(ni.begin(), ni.end(), nb[j])) ++links;
             }

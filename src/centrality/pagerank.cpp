@@ -16,8 +16,18 @@ PageRank::PageRank(const Graph& g, double damping, double tol, count maxIteratio
     }
 }
 
+PageRank::PageRank(const Graph& g, const CsrView& view, double damping, double tol,
+                   count maxIterations, Norm norm)
+    : CentralityAlgorithm(g, view), damping_(damping), tol_(tol),
+      maxIterations_(maxIterations), norm_(norm) {
+    if (damping <= 0.0 || damping >= 1.0) {
+        throw std::invalid_argument("PageRank: damping out of (0,1)");
+    }
+}
+
 void PageRank::run() {
-    const count n = g_.numberOfNodes();
+    const CsrView& v = view();
+    const count n = v.numberOfNodes();
     scores_.assign(n, 0.0);
     iterations_ = 0;
     if (n == 0) {
@@ -25,25 +35,40 @@ void PageRank::run() {
         return;
     }
 
+    const count* off = v.offsets();
+    const node* tgt = v.targets();
+    const edgeweight* wts = v.weights(); // nullptr when unweighted
+
     const double uniform = 1.0 / static_cast<double>(n);
-    std::vector<double> rank(n, uniform), next(n, 0.0);
+    std::vector<double> rank(n, uniform), next(n, 0.0), scaled(n, 0.0);
 
     for (iterations_ = 0; iterations_ < maxIterations_; ++iterations_) {
         // Dangling (isolated) nodes redistribute their mass uniformly.
+        // Precompute rank[v] / wdeg(v) once per iteration so the gather
+        // below is a pure O(m) pass instead of a divide per arc.
         double danglingMass = 0.0;
 #pragma omp parallel for schedule(static) reduction(+ : danglingMass)
         for (long long ui = 0; ui < static_cast<long long>(n); ++ui) {
             const node u = static_cast<node>(ui);
-            if (g_.weightedDegree(u) == 0.0) danglingMass += rank[u];
+            const double wd = v.weightedDegree(u);
+            if (wd == 0.0) {
+                danglingMass += rank[u];
+                scaled[u] = 0.0;
+            } else {
+                scaled[u] = rank[u] / wd;
+            }
         }
 
         const double base = (1.0 - damping_) * uniform + damping_ * danglingMass * uniform;
         parallelFor(n, [&](index ui) {
             const node u = static_cast<node>(ui);
             double in = 0.0;
-            g_.forWeightedNeighborsOf(u, [&](node, node v, edgeweight w) {
-                in += rank[v] * w / g_.weightedDegree(v);
-            });
+            const count end = off[u + 1];
+            if (wts) {
+                for (count a = off[u]; a < end; ++a) in += scaled[tgt[a]] * wts[a];
+            } else {
+                for (count a = off[u]; a < end; ++a) in += scaled[tgt[a]];
+            }
             next[u] = base + damping_ * in;
         });
 

@@ -21,6 +21,8 @@ public:
 
     explicit PageRank(const Graph& g, double damping = 0.85, double tol = 1e-9,
                       count maxIterations = 200, Norm norm = Norm::L1);
+    PageRank(const Graph& g, const CsrView& view, double damping = 0.85,
+             double tol = 1e-9, count maxIterations = 200, Norm norm = Norm::L1);
 
     void run() override;
 

@@ -1,6 +1,9 @@
 #pragma once
 
+#include <optional>
+
 #include "src/community/partition.hpp"
+#include "src/graph/csr_view.hpp"
 #include "src/graph/graph.hpp"
 
 namespace rinkit {
@@ -8,9 +11,15 @@ namespace rinkit {
 /// Base class for community-detection algorithms (PLM, Leiden, map-equation
 /// Louvain, PLP). Mirrors the NetworKit community module interface: run(),
 /// then getPartition().
+///
+/// Like CentralityAlgorithm, detectors traverse a CSR snapshot: owned and
+/// lazily refreshed by Graph::version() when constructed from a graph
+/// alone, or borrowed from the measure engine's shared snapshot.
 class CommunityDetector {
 public:
     explicit CommunityDetector(const Graph& g) : g_(g) {}
+    CommunityDetector(const Graph& g, const CsrView& view)
+        : g_(g), external_(&view) {}
     virtual ~CommunityDetector() = default;
 
     CommunityDetector(const CommunityDetector&) = delete;
@@ -27,9 +36,23 @@ public:
     }
 
 protected:
+    /// The CSR snapshot kernels traverse. Borrowed if one was passed at
+    /// construction; otherwise owned and rebuilt when g_.version() moved.
+    const CsrView& view() {
+        if (external_) return *external_;
+        if (!owned_ || owned_->version() != g_.version()) {
+            owned_ = CsrView::fromGraph(g_);
+        }
+        return *owned_;
+    }
+
     const Graph& g_;
     Partition zeta_;
     bool hasRun_ = false;
+
+private:
+    const CsrView* external_ = nullptr;
+    std::optional<CsrView> owned_;
 };
 
 } // namespace rinkit

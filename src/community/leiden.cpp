@@ -6,12 +6,15 @@
 
 namespace rinkit {
 
-count ParallelLeiden::splitDisconnected(const Graph& g, Partition& zeta) {
-    const count n = g.numberOfNodes();
+count ParallelLeiden::splitDisconnected(const CsrView& v, Partition& zeta) {
+    const count n = v.numberOfNodes();
     // BFS within each community; nodes reached from the community's first
     // visited seed keep its label, later seeds open fresh labels.
     index nextLabel = 0;
     for (node u = 0; u < n; ++u) nextLabel = std::max(nextLabel, zeta[u] + 1);
+
+    const count* off = v.offsets();
+    const node* tgt = v.targets();
 
     std::vector<bool> visited(n, false);
     std::vector<bool> labelUsed(nextLabel, false);
@@ -35,12 +38,14 @@ count ParallelLeiden::splitDisconnected(const Graph& g, Partition& zeta) {
             const node u = stack.back();
             stack.pop_back();
             zeta[u] = label;
-            g.forNeighborsOf(u, [&](node, node v) {
-                if (!visited[v] && zeta[v] == community) {
-                    visited[v] = true;
-                    stack.push_back(v);
+            const count end = off[u + 1];
+            for (count a = off[u]; a < end; ++a) {
+                const node w = tgt[a];
+                if (!visited[w] && zeta[w] == community) {
+                    visited[w] = true;
+                    stack.push_back(w);
                 }
-            });
+            }
         }
     }
     return splits;
@@ -55,36 +60,37 @@ void ParallelLeiden::run() {
         return;
     }
 
-    auto cg = louvain::CoarseGraph::fromGraph(g_);
+    const CsrView& fine = view();
+    auto cg = louvain::CoarseGraph::fromView(fine);
     std::vector<louvain::CoarseGraph> levels;
     std::vector<Partition> levelPartitions;
     std::uint64_t seed = seed_;
 
     while (true) {
         // Phase 1: local moving (same engine as PLM).
-        Partition p(cg.g.numberOfNodes());
+        Partition p(cg.csr.numberOfNodes());
         p.allToSingletons();
         const bool moved = Plm::localMoving(cg, p, gamma_, seed++);
 
         // Phase 2 (Leiden refinement): break internally disconnected
         // communities apart before aggregation, so the hierarchy never
         // contracts a disconnected node set into one super-node.
-        splitDisconnected(cg.g, p);
+        splitDisconnected(cg.csr, p);
         p.compact();
 
-        if (!moved || p.numberOfSubsets() == cg.g.numberOfNodes()) break;
+        if (!moved || p.numberOfSubsets() == cg.csr.numberOfNodes()) break;
         levels.push_back(cg);
         levelPartitions.push_back(p);
         cg = louvain::coarsen(cg, p);
     }
 
-    Partition result(cg.g.numberOfNodes());
+    Partition result(cg.csr.numberOfNodes());
     result.allToSingletons();
     for (count li = levels.size(); li > 0; --li) {
         result = louvain::prolong(levelPartitions[li - 1], result);
     }
     // Final guarantee on the input graph.
-    splitDisconnected(g_, result);
+    splitDisconnected(fine, result);
     result.compact();
     zeta_ = std::move(result);
     hasRun_ = true;

@@ -3,52 +3,54 @@
 #include <algorithm>
 #include <tuple>
 
-#include "src/graph/graph_builder.hpp"
-
 namespace rinkit::louvain {
 
+CoarseGraph CoarseGraph::fromView(const CsrView& v) {
+    return CoarseGraph{v, std::vector<double>(v.numberOfNodes(), 0.0)};
+}
+
 CoarseGraph CoarseGraph::fromGraph(const Graph& g) {
-    CoarseGraph cg{Graph(g.numberOfNodes(), true), std::vector<double>(g.numberOfNodes(), 0.0)};
-    g.forWeightedEdges([&](node u, node v, edgeweight w) { cg.g.addEdge(u, v, w); });
-    return cg;
+    return CoarseGraph{CsrView::fromGraph(g),
+                       std::vector<double>(g.numberOfNodes(), 0.0)};
 }
 
 CoarseGraph coarsen(const CoarseGraph& fine, const Partition& zeta) {
+    const count fineN = fine.csr.numberOfNodes();
     index k = 0;
-    for (node u = 0; u < fine.g.numberOfNodes(); ++u) k = std::max(k, zeta[u] + 1);
+    for (node u = 0; u < fineN; ++u) k = std::max(k, zeta[u] + 1);
 
-    CoarseGraph coarse{Graph(k, true), std::vector<double>(k, 0.0)};
-    for (node u = 0; u < fine.g.numberOfNodes(); ++u) {
-        coarse.selfLoop[zeta[u]] += fine.selfLoop[u];
-    }
+    std::vector<double> selfLoop(k, 0.0);
+    for (node u = 0; u < fineN; ++u) selfLoop[zeta[u]] += fine.selfLoop[u];
 
     // Accumulate inter-community weights by sorting the contracted edge list.
-    std::vector<std::tuple<node, node, double>> edges;
-    edges.reserve(fine.g.numberOfEdges());
-    fine.g.forWeightedEdges([&](node u, node v, edgeweight w) {
+    std::vector<CsrView::Edge> edges;
+    edges.reserve(fine.csr.numberOfEdges());
+    fine.csr.forWeightedEdges([&](node u, node v, edgeweight w) {
         const index cu = zeta[u], cv = zeta[v];
         if (cu == cv) {
-            coarse.selfLoop[cu] += w;
+            selfLoop[cu] += w;
         } else {
-            edges.emplace_back(std::min(cu, cv), std::max(cu, cv), w);
+            edges.push_back({std::min(cu, cv), std::max(cu, cv), w});
         }
     });
     std::sort(edges.begin(), edges.end(), [](const auto& a, const auto& b) {
-        return std::tie(std::get<0>(a), std::get<1>(a)) <
-               std::tie(std::get<0>(b), std::get<1>(b));
+        return std::tie(a.u, a.v) < std::tie(b.u, b.v);
     });
+    // Merge parallel arcs in place, then hand the unique sorted list to the
+    // direct CSR builder — no mutable Graph in the contraction path.
+    count out = 0;
     for (count i = 0; i < edges.size();) {
-        const auto [u, v, w0] = edges[i];
-        double w = w0;
+        CsrView::Edge e = edges[i];
         count j = i + 1;
-        while (j < edges.size() && std::get<0>(edges[j]) == u && std::get<1>(edges[j]) == v) {
-            w += std::get<2>(edges[j]);
+        while (j < edges.size() && edges[j].u == e.u && edges[j].v == e.v) {
+            e.w += edges[j].w;
             ++j;
         }
-        coarse.g.addEdge(u, v, w);
+        edges[out++] = e;
         i = j;
     }
-    return coarse;
+    edges.resize(out);
+    return CoarseGraph{CsrView::fromSortedEdges(k, edges), std::move(selfLoop)};
 }
 
 Partition prolong(const Partition& zeta, const Partition& coarseZeta) {

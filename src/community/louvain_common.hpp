@@ -5,30 +5,36 @@
 // coarsen/prolong operations of the multi-level scheme.
 //
 // Coarse graphs carry intra-community weight as an explicit per-node
-// self-loop array because rinkit::Graph itself stores simple graphs only.
+// self-loop array because the CSR snapshot stores simple graphs only.
 
 #include <vector>
 
 #include "src/community/partition.hpp"
+#include "src/graph/csr_view.hpp"
 #include "src/graph/graph.hpp"
 
 namespace rinkit::louvain {
 
-/// One level of the multi-level hierarchy.
+/// One level of the multi-level hierarchy. Levels are flat CSR snapshots,
+/// never mutable Graphs: contraction builds the next level's arrays
+/// directly via CsrView::fromSortedEdges.
 struct CoarseGraph {
-    Graph g;                      ///< weighted simple graph between super-nodes
+    CsrView csr;                  ///< weighted simple graph between super-nodes
     std::vector<double> selfLoop; ///< folded intra-community weight per super-node
 
     /// Volume of node u: weighted degree plus twice the folded self-loop
     /// (a self-loop contributes 2 to the volume of its endpoint).
-    double volume(node u) const { return g.weightedDegree(u) + 2.0 * selfLoop[u]; }
+    double volume(node u) const { return csr.weightedDegree(u) + 2.0 * selfLoop[u]; }
 
     /// Total edge weight including self-loops.
     double totalWeight() const {
-        double t = g.totalEdgeWeight();
+        double t = csr.totalEdgeWeight();
         for (double s : selfLoop) t += s;
         return t;
     }
+
+    /// Level 0 from an existing snapshot (copied; self-loops start at 0).
+    static CoarseGraph fromView(const CsrView& v);
 
     static CoarseGraph fromGraph(const Graph& g);
 };

@@ -14,7 +14,7 @@ double plogp(double p) { return p > 0.0 ? p * std::log2(p) : 0.0; }
 
 bool LouvainMapEquation::localMoving(const louvain::CoarseGraph& cg, Partition& zeta,
                                      std::uint64_t seed) {
-    const count n = cg.g.numberOfNodes();
+    const count n = cg.csr.numberOfNodes();
     if (n == 0) return false;
     const double m2 = 2.0 * cg.totalWeight();
     if (m2 == 0.0) return false;
@@ -24,7 +24,7 @@ bool LouvainMapEquation::localMoving(const louvain::CoarseGraph& cg, Partition& 
     //   exit[c] = q_c  : exit rate (cut weight of module c / m2)
     std::vector<double> vol(n, 0.0), exit(n, 0.0);
     for (node u = 0; u < n; ++u) vol[zeta[u]] += cg.volume(u) / m2;
-    cg.g.forWeightedEdges([&](node u, node v, edgeweight w) {
+    cg.csr.forWeightedEdges([&](node u, node v, edgeweight w) {
         if (zeta[u] != zeta[v]) {
             exit[zeta[u]] += w / m2;
             exit[zeta[v]] += w / m2;
@@ -52,11 +52,11 @@ bool LouvainMapEquation::localMoving(const louvain::CoarseGraph& cg, Partition& 
             const node u = order[oi];
             const index cu = zeta[u];
             const double pU = cg.volume(u) / m2;
-            const double degU = cg.g.weightedDegree(u) / m2; // external capacity
+            const double degU = cg.csr.weightedDegree(u) / m2; // external capacity
 
             touched.clear();
             double wUC = 0.0;
-            cg.g.forWeightedNeighborsOf(u, [&](node, node v, edgeweight w) {
+            cg.csr.forWeightedNeighborsOf(u, [&](node v, edgeweight w) {
                 const index c = zeta[v];
                 if (c == cu) {
                     wUC += w / m2;
@@ -120,20 +120,20 @@ void LouvainMapEquation::run() {
         return;
     }
 
-    auto cg = louvain::CoarseGraph::fromGraph(g_);
+    auto cg = louvain::CoarseGraph::fromView(view());
     std::vector<Partition> levelPartitions;
     std::uint64_t seed = seed_;
     while (true) {
-        Partition p(cg.g.numberOfNodes());
+        Partition p(cg.csr.numberOfNodes());
         p.allToSingletons();
         const bool moved = localMoving(cg, p, seed++);
         p.compact();
-        if (!moved || p.numberOfSubsets() == cg.g.numberOfNodes()) break;
+        if (!moved || p.numberOfSubsets() == cg.csr.numberOfNodes()) break;
         levelPartitions.push_back(p);
         cg = louvain::coarsen(cg, p);
     }
 
-    Partition result(cg.g.numberOfNodes());
+    Partition result(cg.csr.numberOfNodes());
     result.allToSingletons();
     for (count li = levelPartitions.size(); li > 0; --li) {
         result = louvain::prolong(levelPartitions[li - 1], result);

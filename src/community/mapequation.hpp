@@ -20,6 +20,8 @@ class LouvainMapEquation : public CommunityDetector {
 public:
     explicit LouvainMapEquation(const Graph& g, std::uint64_t seed = 1)
         : CommunityDetector(g), seed_(seed) {}
+    LouvainMapEquation(const Graph& g, const CsrView& view, std::uint64_t seed = 1)
+        : CommunityDetector(g, view), seed_(seed) {}
 
     void run() override;
 

@@ -32,11 +32,15 @@ struct NeighborWeights {
 
 bool Plm::localMoving(const louvain::CoarseGraph& cg, Partition& zeta, double gamma,
                       std::uint64_t seed) {
-    const count n = cg.g.numberOfNodes();
+    const count n = cg.csr.numberOfNodes();
     if (n == 0) return false;
     const double m = cg.totalWeight();
     if (m == 0.0) return false;
     const double m2sqInv = 1.0 / (2.0 * m * m);
+
+    const count* off = cg.csr.offsets();
+    const node* tgt = cg.csr.targets();
+    const edgeweight* wts = cg.csr.weights();
 
     // Community volumes; updated with atomics as nodes move.
     std::vector<double> volCom(n, 0.0);
@@ -66,9 +70,12 @@ bool Plm::localMoving(const louvain::CoarseGraph& cg, Partition& zeta, double ga
                 const double volU = cg.volume(u);
 
                 nw.reset();
-                cg.g.forWeightedNeighborsOf(u, [&](node, node v, edgeweight w) {
-                    nw.add(zeta[v], w);
-                });
+                const count end = off[u + 1];
+                if (wts) {
+                    for (count a = off[u]; a < end; ++a) nw.add(zeta[tgt[a]], wts[a]);
+                } else {
+                    for (count a = off[u]; a < end; ++a) nw.add(zeta[tgt[a]], 1.0);
+                }
 
                 // delta(u: C->D) = (w(u,D) - w(u,C\u))/m
                 //                  - gamma * volU * (volD - (volC - volU)) / (2 m^2)
@@ -110,7 +117,7 @@ void Plm::run() {
         return;
     }
 
-    auto cg = louvain::CoarseGraph::fromGraph(g_);
+    auto cg = louvain::CoarseGraph::fromView(view());
     Partition level(n);
     level.allToSingletons();
 
@@ -119,11 +126,11 @@ void Plm::run() {
     std::vector<Partition> levelPartitions;
     std::uint64_t seed = seed_;
     while (true) {
-        Partition p(cg.g.numberOfNodes());
+        Partition p(cg.csr.numberOfNodes());
         p.allToSingletons();
         const bool moved = localMoving(cg, p, gamma_, seed++);
         p.compact();
-        if (!moved || p.numberOfSubsets() == cg.g.numberOfNodes()) {
+        if (!moved || p.numberOfSubsets() == cg.csr.numberOfNodes()) {
             break;
         }
         levels.push_back(cg);
@@ -132,7 +139,7 @@ void Plm::run() {
     }
 
     // Ascend: compose the level partitions (with optional refinement).
-    Partition result(cg.g.numberOfNodes());
+    Partition result(cg.csr.numberOfNodes());
     result.allToSingletons();
     for (count li = levels.size(); li > 0; --li) {
         result = louvain::prolong(levelPartitions[li - 1], result);

@@ -21,6 +21,9 @@ public:
     explicit Plm(const Graph& g, bool refine = false, double gamma = 1.0,
                  std::uint64_t seed = 1)
         : CommunityDetector(g), refine_(refine), gamma_(gamma), seed_(seed) {}
+    Plm(const Graph& g, const CsrView& view, bool refine = false, double gamma = 1.0,
+        std::uint64_t seed = 1)
+        : CommunityDetector(g, view), refine_(refine), gamma_(gamma), seed_(seed) {}
 
     void run() override;
 

@@ -14,6 +14,11 @@ void Plp::run() {
         return;
     }
 
+    const CsrView& v = view();
+    const count* off = v.offsets();
+    const node* tgt = v.targets();
+    const edgeweight* wts = v.weights();
+
     std::vector<node> order(n);
     for (node u = 0; u < n; ++u) order[u] = u;
     Rng rng(seed_);
@@ -34,14 +39,15 @@ void Plp::run() {
 #pragma omp for schedule(dynamic, 64) reduction(+ : updated)
             for (long long i = 0; i < static_cast<long long>(n); ++i) {
                 const node u = order[static_cast<size_t>(i)];
-                if (g_.degree(u) == 0) continue;
+                const count end = off[u + 1];
+                if (off[u] == end) continue;
 
                 touched.clear();
-                g_.forWeightedNeighborsOf(u, [&](node, node v, edgeweight w) {
-                    const index lab = zeta_[v];
+                for (count a = off[u]; a < end; ++a) {
+                    const index lab = zeta_[tgt[a]];
                     if (weightTo[lab] == 0.0) touched.push_back(lab);
-                    weightTo[lab] += w;
-                });
+                    weightTo[lab] += wts ? wts[a] : 1.0;
+                }
 
                 // Heaviest label; ties broken uniformly at random so that
                 // symmetric structures don't deadlock in a checkerboard.

@@ -18,6 +18,9 @@ class Plp : public CommunityDetector {
 public:
     explicit Plp(const Graph& g, count maxIterations = 100, std::uint64_t seed = 1)
         : CommunityDetector(g), maxIterations_(maxIterations), seed_(seed) {}
+    Plp(const Graph& g, const CsrView& view, count maxIterations = 100,
+        std::uint64_t seed = 1)
+        : CommunityDetector(g, view), maxIterations_(maxIterations), seed_(seed) {}
 
     void run() override;
 

@@ -12,7 +12,6 @@ Bfs::Bfs(const Graph& g, node source) : g_(g), source_(source) {
     const count n = g.numberOfNodes();
     dist_.resize(n);
     sigma_.resize(n);
-    pred_.resize(n);
     order_.reserve(n);
 }
 
@@ -25,7 +24,6 @@ void Bfs::run() {
     const count n = g_.numberOfNodes();
     std::fill(dist_.begin(), dist_.end(), infdist);
     std::fill(sigma_.begin(), sigma_.end(), 0.0);
-    for (auto& p : pred_) p.clear();
     order_.clear();
 
     dist_[source_] = 0.0;
@@ -44,7 +42,6 @@ void Bfs::run() {
                 }
                 if (dist_[v] == level + 1.0) {
                     sigma_[v] += sigma_[u];
-                    pred_[v].push_back(u);
                 }
             });
         }

@@ -9,9 +9,10 @@ namespace rinkit {
 /// Breadth-first search from a single source.
 ///
 /// Distances are hop counts; unreachable nodes get rinkit::infdist.
-/// Exposes predecessor counts (sigma) needed by Brandes' betweenness and by
-/// the sampling-based approximation, so those algorithms can reuse one
-/// traversal implementation.
+/// Exposes shortest-path counts (sigma) and the visit order. Predecessor
+/// lists were dropped: the traversal-heavy algorithms (Brandes betweenness
+/// and the sampled approximation) moved to the flat CsrBfs engine, which
+/// recovers predecessors by level comparison instead of storing n lists.
 class Bfs {
 public:
     /// Prepares a BFS on @p g from @p source. Buffers are reusable: call
@@ -35,9 +36,6 @@ public:
     /// Nodes in non-decreasing distance order (the BFS "stack").
     const std::vector<node>& visitOrder() const { return order_; }
 
-    /// Direct predecessors of @p t on shortest paths from the source.
-    const std::vector<node>& predecessors(node t) const { return pred_[t]; }
-
     /// Number of nodes reached (including the source).
     count reached() const { return order_.size(); }
 
@@ -46,7 +44,6 @@ private:
     node source_;
     std::vector<double> dist_;
     std::vector<double> sigma_;
-    std::vector<std::vector<node>> pred_;
     std::vector<node> order_;
 };
 

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "src/graph/csr_view.hpp"
+
+namespace rinkit {
+
+/// Level-synchronous BFS over a CSR snapshot with flat, reusable buffers.
+///
+/// This is the traversal core under Brandes betweenness and the sampled
+/// approximation: per node it records the BFS level, the shortest-path
+/// count (sigma) and the visit order — and nothing else. Predecessor lists
+/// are gone entirely; dependency accumulation recovers predecessors by
+/// scanning CSR neighbor rows for level[v] == level[w] - 1, which is a
+/// sequential read instead of n vectors of push_backs per source.
+///
+/// run() resets only the nodes reached by the previous run, so looping a
+/// reusable CsrBfs over many sources costs O(reached + edges scanned) per
+/// source, not O(n).
+class CsrBfs {
+public:
+    static constexpr std::uint32_t unreachedLevel =
+        std::numeric_limits<std::uint32_t>::max();
+
+    explicit CsrBfs(const CsrView& v)
+        : v_(v), level_(v.numberOfNodes(), unreachedLevel),
+          sigma_(v.numberOfNodes(), 0.0) {
+        order_.reserve(v.numberOfNodes());
+    }
+
+    void run(node source);
+
+    std::uint32_t levelOf(node u) const { return level_[u]; }
+    const std::vector<std::uint32_t>& levels() const { return level_; }
+
+    /// Number of shortest source-u paths.
+    const std::vector<double>& sigma() const { return sigma_; }
+
+    /// Reached nodes in non-decreasing level order (the Brandes "stack").
+    const std::vector<node>& order() const { return order_; }
+
+    count reached() const { return order_.size(); }
+
+    const CsrView& view() const { return v_; }
+
+private:
+    const CsrView& v_;
+    std::vector<std::uint32_t> level_;
+    std::vector<double> sigma_;
+    std::vector<node> order_;
+};
+
+/// Distance aggregates of every single-source BFS, computed by batched
+/// multi-source traversal (Then et al., "The More the Merrier: Efficient
+/// Multi-Source Graph Traversal"): sources are processed 64 at a time,
+/// each node carries one 64-bit visit mask per batch, and one sweep over
+/// the CSR arrays advances all 64 frontiers at once. Exactly what the
+/// closeness variants need — per-source distance sums, reciprocal sums and
+/// reached counts — at roughly 1/64th of the row scans of n separate BFS
+/// runs. OpenMP-parallel over batches.
+struct DistanceSums {
+    std::vector<double> sumDist;   ///< sum of d(s, t) over reached t != s
+    std::vector<double> sumInv;    ///< sum of 1 / d(s, t) over reached t != s
+    std::vector<count> reached;    ///< reached nodes excluding the source
+};
+DistanceSums batchedDistanceSums(const CsrView& v);
+
+} // namespace rinkit

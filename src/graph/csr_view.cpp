@@ -1,0 +1,85 @@
+#include "src/graph/csr_view.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace rinkit {
+
+CsrView CsrView::fromGraph(const Graph& g) {
+    CsrView v;
+    v.n_ = g.numberOfNodes();
+    v.m_ = g.numberOfEdges();
+    v.weighted_ = g.isWeighted();
+    v.version_ = g.version();
+
+    v.offsets_.resize(v.n_ + 1);
+    v.offsets_[0] = 0;
+    for (node u = 0; u < v.n_; ++u) {
+        const count d = g.degree(u);
+        v.offsets_[u + 1] = v.offsets_[u] + d;
+        v.maxDegree_ = std::max(v.maxDegree_, d);
+    }
+
+    v.targets_.resize(v.offsets_[v.n_]);
+    if (v.weighted_) v.weights_.resize(v.offsets_[v.n_]);
+    v.wdeg_.resize(v.n_);
+    for (node u = 0; u < v.n_; ++u) {
+        const auto nb = g.neighbors(u);
+        if (!nb.empty()) {
+            std::memcpy(v.targets_.data() + v.offsets_[u], nb.data(),
+                        nb.size() * sizeof(node));
+        }
+        if (v.weighted_) {
+            const auto ws = g.neighborWeights(u);
+            if (!ws.empty()) {
+                std::memcpy(v.weights_.data() + v.offsets_[u], ws.data(),
+                            ws.size() * sizeof(edgeweight));
+            }
+            double wd = 0.0;
+            for (edgeweight w : ws) wd += w;
+            v.wdeg_[u] = wd;
+        } else {
+            v.wdeg_[u] = static_cast<double>(nb.size());
+        }
+        v.totalWeight_ += v.wdeg_[u];
+    }
+    v.totalWeight_ /= 2.0;
+    return v;
+}
+
+CsrView CsrView::fromSortedEdges(count n, const std::vector<Edge>& edges) {
+    CsrView v;
+    v.n_ = n;
+    v.m_ = edges.size();
+    v.weighted_ = true;
+
+    v.offsets_.assign(n + 1, 0);
+    for (const auto& e : edges) {
+        ++v.offsets_[e.u + 1];
+        ++v.offsets_[e.v + 1];
+    }
+    for (node u = 0; u < n; ++u) {
+        v.maxDegree_ = std::max(v.maxDegree_, v.offsets_[u + 1]);
+        v.offsets_[u + 1] += v.offsets_[u];
+    }
+
+    v.targets_.resize(v.offsets_[n]);
+    v.weights_.resize(v.offsets_[n]);
+    v.wdeg_.assign(n, 0.0);
+    std::vector<count> cursor(v.offsets_.begin(), v.offsets_.end() - 1);
+    // The input is sorted by (u, v) with u < v: filling the forward arc at
+    // cursor[u] keeps every row sorted; backward arcs (cursor[v] gets u in
+    // increasing u) are sorted for the same reason.
+    for (const auto& e : edges) {
+        v.targets_[cursor[e.u]] = e.v;
+        v.weights_[cursor[e.u]++] = e.w;
+        v.targets_[cursor[e.v]] = e.u;
+        v.weights_[cursor[e.v]++] = e.w;
+        v.wdeg_[e.u] += e.w;
+        v.wdeg_[e.v] += e.w;
+        v.totalWeight_ += e.w;
+    }
+    return v;
+}
+
+} // namespace rinkit

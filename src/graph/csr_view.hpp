@@ -1,0 +1,153 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/graph/graph.hpp"
+#include "src/support/types.hpp"
+
+namespace rinkit {
+
+/// Immutable CSR (compressed sparse row) snapshot of a Graph.
+///
+/// The mutable Graph keeps one std::vector per node — ideal for the
+/// widget's continuous edge diffs, but every traversal kernel pays a
+/// pointer chase per node and the rows are scattered across the heap. The
+/// measure engine therefore runs on this flat snapshot instead: offsets
+/// (n + 1), targets (2m) and, on weighted graphs, weights (2m) live in
+/// three contiguous arrays, so BFS frontiers, Brandes accumulation and the
+/// local-move loops stream neighbors with sequential loads.
+///
+/// A snapshot remembers the Graph::version() it was built from; callers
+/// (CsrSnapshot, the centrality/community bases, viz::MeasureEngine) reuse
+/// it for as long as the version is unchanged and rebuild in O(n + m)
+/// otherwise. Within one version the build is deterministic — adjacency
+/// rows are copied in node order, each sorted ascending — so two snapshots
+/// of the same graph state are byte-identical (asserted by the property
+/// suite).
+class CsrView {
+public:
+    CsrView() = default;
+
+    /// Snapshots @p g (including its current version stamp).
+    static CsrView fromGraph(const Graph& g);
+
+    /// Builds a weighted CSR directly from a unique undirected edge list
+    /// (u < v, lexicographically sorted) over @p n nodes — the contraction
+    /// path of the Louvain-family coarsening, which never materializes a
+    /// mutable Graph. The version stamp is 0: coarse graphs are transient.
+    struct Edge {
+        node u, v;
+        edgeweight w;
+    };
+    static CsrView fromSortedEdges(count n, const std::vector<Edge>& edges);
+
+    count numberOfNodes() const { return n_; }
+    count numberOfEdges() const { return m_; }
+    bool isWeighted() const { return weighted_; }
+    std::uint64_t version() const { return version_; }
+
+    count degree(node u) const { return offsets_[u + 1] - offsets_[u]; }
+
+    std::span<const node> neighbors(node u) const {
+        return {targets_.data() + offsets_[u], degree(u)};
+    }
+
+    /// Weights parallel to neighbors(u); empty on unweighted snapshots.
+    std::span<const edgeweight> arcWeights(node u) const {
+        if (!weighted_) return {};
+        return {weights_.data() + offsets_[u], degree(u)};
+    }
+
+    /// Sum of incident edge weights (degree on unweighted graphs),
+    /// precomputed at build time — O(1), unlike Graph::weightedDegree.
+    double weightedDegree(node u) const { return wdeg_[u]; }
+
+    double totalEdgeWeight() const { return totalWeight_; }
+
+    count maxDegree() const { return maxDegree_; }
+
+    /// f(v) for every neighbor v of u.
+    template <typename F>
+    void forNeighborsOf(node u, F&& f) const {
+        const count end = offsets_[u + 1];
+        for (count i = offsets_[u]; i < end; ++i) f(targets_[i]);
+    }
+
+    /// f(v, w) for every neighbor v of u with edge weight w.
+    template <typename F>
+    void forWeightedNeighborsOf(node u, F&& f) const {
+        const count end = offsets_[u + 1];
+        if (weighted_) {
+            for (count i = offsets_[u]; i < end; ++i) f(targets_[i], weights_[i]);
+        } else {
+            for (count i = offsets_[u]; i < end; ++i) f(targets_[i], 1.0);
+        }
+    }
+
+    /// f(u, v, w) for every undirected edge, visited once with u < v.
+    template <typename F>
+    void forWeightedEdges(F&& f) const {
+        for (node u = 0; u < n_; ++u) {
+            const count end = offsets_[u + 1];
+            for (count i = offsets_[u]; i < end; ++i) {
+                if (u < targets_[i]) f(u, targets_[i], weighted_ ? weights_[i] : 1.0);
+            }
+        }
+    }
+
+    // Raw arrays for the hot kernels.
+    const count* offsets() const { return offsets_.data(); }
+    const node* targets() const { return targets_.data(); }
+    const edgeweight* weights() const { return weighted_ ? weights_.data() : nullptr; }
+
+    /// Exact structural equality of the flat arrays (the storm property
+    /// test compares incrementally maintained snapshots to fresh builds).
+    bool operator==(const CsrView& other) const {
+        return n_ == other.n_ && m_ == other.m_ && weighted_ == other.weighted_ &&
+               offsets_ == other.offsets_ && targets_ == other.targets_ &&
+               weights_ == other.weights_;
+    }
+
+private:
+    std::vector<count> offsets_;      // n + 1
+    std::vector<node> targets_;       // 2m
+    std::vector<edgeweight> weights_; // 2m iff weighted
+    std::vector<double> wdeg_;        // n
+    count n_ = 0;
+    count m_ = 0;
+    count maxDegree_ = 0;
+    double totalWeight_ = 0.0;
+    bool weighted_ = false;
+    std::uint64_t version_ = 0;
+};
+
+/// Version-keyed cache of one CsrView: the lazy "materialize once, reuse
+/// until the graph mutates" handle a widget session holds.
+class CsrSnapshot {
+public:
+    /// The snapshot of @p g, rebuilt only if @p g or its version changed
+    /// since the last call.
+    const CsrView& get(const Graph& g) {
+        if (g_ != &g || view_.version() != g.version() || !valid_) {
+            view_ = CsrView::fromGraph(g);
+            g_ = &g;
+            valid_ = true;
+        }
+        return view_;
+    }
+
+    void reset() {
+        g_ = nullptr;
+        valid_ = false;
+        view_ = CsrView();
+    }
+
+private:
+    const Graph* g_ = nullptr;
+    bool valid_ = false;
+    CsrView view_;
+};
+
+} // namespace rinkit

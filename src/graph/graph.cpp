@@ -5,12 +5,15 @@ namespace rinkit {
 node Graph::addNode() {
     adj_.emplace_back();
     if (weighted_) wts_.emplace_back();
+    ++version_;
     return static_cast<node>(adj_.size() - 1);
 }
 
 void Graph::addNodes(count k) {
+    if (k == 0) return;
     adj_.resize(adj_.size() + k);
     if (weighted_) wts_.resize(adj_.size());
+    ++version_;
 }
 
 bool Graph::insertArc(node u, node v, edgeweight w) {
@@ -40,6 +43,7 @@ bool Graph::addEdge(node u, node v, edgeweight w) {
     if (!insertArc(u, v, w)) return false;
     insertArc(v, u, w);
     ++m_;
+    ++version_;
     return true;
 }
 
@@ -49,6 +53,7 @@ bool Graph::removeEdge(node u, node v) {
     if (!eraseArc(u, v)) return false;
     eraseArc(v, u);
     --m_;
+    ++version_;
     return true;
 }
 
@@ -78,12 +83,15 @@ void Graph::setWeight(node u, node v, edgeweight w) {
     };
     update(u, v);
     update(v, u);
+    ++version_;
 }
 
 void Graph::removeAllEdges() {
+    if (m_ == 0) return;
     for (auto& nb : adj_) nb.clear();
     for (auto& ws : wts_) ws.clear();
     m_ = 0;
+    ++version_;
 }
 
 edgeweight Graph::totalEdgeWeight() const {

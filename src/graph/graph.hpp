@@ -35,6 +35,14 @@ public:
     count numberOfEdges() const { return m_; }
     bool isWeighted() const { return weighted_; }
 
+    /// Monotonic structure version: bumped by every mutation that changes
+    /// the graph (node/edge insertions and removals, weight updates).
+    /// Snapshots and caches key on this value — see graph/csr_view.hpp and
+    /// viz::MeasureEngine — so "unchanged version" implies "identical
+    /// topology and weights" and stale results are invalidated without any
+    /// explicit notification from the mutator.
+    std::uint64_t version() const { return version_; }
+
     bool hasNode(node u) const { return u < adj_.size(); }
 
     count degree(node u) const {
@@ -53,6 +61,14 @@ public:
     std::span<const node> neighbors(node u) const {
         checkNode(u);
         return {adj_[u].data(), adj_[u].size()};
+    }
+
+    /// Edge weights parallel to neighbors(u); empty span on unweighted
+    /// graphs (every edge weighs 1.0 there).
+    std::span<const edgeweight> neighborWeights(node u) const {
+        checkNode(u);
+        if (!weighted_) return {};
+        return {wts_[u].data(), wts_[u].size()};
     }
 
     /// Weight of edge {u, v}; 1.0 on unweighted graphs; throws if absent.
@@ -163,6 +179,7 @@ private:
     std::vector<std::vector<edgeweight>> wts_; // parallel to adj_ iff weighted_
     count m_ = 0;
     bool weighted_ = false;
+    std::uint64_t version_ = 0;
 };
 
 } // namespace rinkit

@@ -78,6 +78,7 @@ std::vector<double> fromDetector(CommunityDetector&& det) {
 } // namespace
 
 std::vector<double> computeMeasure(const Graph& g, Measure m) {
+    // Let each algorithm materialize (and own) its snapshot.
     switch (m) {
     case Measure::Degree: return fromCentrality(DegreeCentrality(g));
     case Measure::Closeness: return fromCentrality(ClosenessCentrality(g));
@@ -98,6 +99,51 @@ std::vector<double> computeMeasure(const Graph& g, Measure m) {
     case Measure::PlpCommunities: return fromDetector(Plp(g));
     }
     throw std::invalid_argument("computeMeasure: unknown measure");
+}
+
+std::vector<double> computeMeasure(const Graph& g, const CsrView& v, Measure m) {
+    switch (m) {
+    case Measure::Degree: return fromCentrality(DegreeCentrality(g, v));
+    case Measure::Closeness: return fromCentrality(ClosenessCentrality(g, v));
+    case Measure::HarmonicCloseness:
+        return fromCentrality(
+            ClosenessCentrality(g, v, ClosenessCentrality::Variant::Harmonic));
+    case Measure::Betweenness: return fromCentrality(Betweenness(g, v, true));
+    case Measure::PageRank:
+        return fromCentrality(
+            PageRank(g, v, 0.85, 1e-9, 200, PageRank::Norm::SizeInvariant));
+    case Measure::Eigenvector: return fromCentrality(EigenvectorCentrality(g, v));
+    case Measure::Katz: return fromCentrality(KatzCentrality(g, v));
+    case Measure::CoreNumber: return fromCentrality(CoreDecomposition(g, v));
+    case Measure::LocalClustering:
+        return fromCentrality(LocalClusteringCoefficient(g, v));
+    case Measure::PlmCommunities: return fromDetector(Plm(g, v, true));
+    case Measure::LeidenCommunities: return fromDetector(ParallelLeiden(g, v));
+    case Measure::MapEquationCommunities: return fromDetector(LouvainMapEquation(g, v));
+    case Measure::PlpCommunities: return fromDetector(Plp(g, v));
+    }
+    throw std::invalid_argument("computeMeasure: unknown measure");
+}
+
+const std::vector<double>& MeasureEngine::scores(const Graph& g, Measure m,
+                                                 bool* cacheHit) {
+    auto& entry = cache_[static_cast<size_t>(m)];
+    if (entry.valid && entry.g == &g && entry.version == g.version()) {
+        if (cacheHit) *cacheHit = true;
+        return entry.scores;
+    }
+    if (cacheHit) *cacheHit = false;
+    const CsrView& v = snapshot_.get(g);
+    entry.scores = computeMeasure(g, v, m);
+    entry.version = g.version();
+    entry.g = &g;
+    entry.valid = true;
+    return entry.scores;
+}
+
+void MeasureEngine::reset() {
+    snapshot_.reset();
+    for (auto& entry : cache_) entry = Entry{};
 }
 
 } // namespace rinkit::viz

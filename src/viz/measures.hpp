@@ -1,8 +1,11 @@
 #pragma once
 
+#include <array>
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "src/graph/csr_view.hpp"
 #include "src/graph/graph.hpp"
 
 namespace rinkit::viz {
@@ -40,5 +43,40 @@ bool isCommunityMeasure(Measure m);
 /// Computes per-node scores of @p m on @p g. For community measures the
 /// score is the (compacted) community id.
 std::vector<double> computeMeasure(const Graph& g, Measure m);
+
+/// Same, but traverses @p view (a snapshot of @p g) instead of letting each
+/// algorithm materialize its own.
+std::vector<double> computeMeasure(const Graph& g, const CsrView& view, Measure m);
+
+/// The widget session's measure engine: one shared CSR snapshot plus a
+/// per-measure result cache, both keyed by Graph::version().
+///
+/// Switching the measure on an unchanged graph is an O(1) lookup; switching
+/// the cut-off or trajectory frame mutates the graph, which bumps the
+/// version and thereby invalidates stale entries lazily — nothing is
+/// cleared eagerly, an entry is simply recomputed the next time it is read
+/// with a newer version. Results for the *current* version always coexist,
+/// so flipping between two measures costs two computations total.
+class MeasureEngine {
+public:
+    /// Scores of @p m on @p g. Sets @p cacheHit (if non-null) to true iff
+    /// the result came out of the version-keyed cache.
+    const std::vector<double>& scores(const Graph& g, Measure m,
+                                      bool* cacheHit = nullptr);
+
+    /// Drops the snapshot and every cached result.
+    void reset();
+
+private:
+    struct Entry {
+        std::vector<double> scores;
+        std::uint64_t version = 0;
+        const Graph* g = nullptr;
+        bool valid = false;
+    };
+
+    CsrSnapshot snapshot_;
+    std::array<Entry, 13> cache_{};
+};
 
 } // namespace rinkit::viz

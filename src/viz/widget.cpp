@@ -33,7 +33,7 @@ void RinWidget::recomputeMeasure(UpdateTiming& t) {
     if (!measure_) return;
     Timer timer;
     if (!scores_.empty()) buffer_ = scores_; // keep the most recent result
-    scores_ = computeMeasure(rin_.graph(), *measure_);
+    scores_ = engine_.scores(rin_.graph(), *measure_, &t.measureCacheHit);
     t.measureMs = timer.elapsedMs();
 }
 

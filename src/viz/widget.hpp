@@ -51,6 +51,8 @@ public:
         std::size_t serializedBytes = 0;     ///< total figure payload size
         std::size_t edgeBytesSerialized = 0; ///< edge-trace bytes serialized
                                              ///< fresh (0 = cache hit)
+        bool measureCacheHit = false; ///< scores served from the version-keyed
+                                      ///< result cache (no recomputation)
 
         double serverMs() const {
             return networkUpdateMs + layoutMs + measureMs + sceneBuildMs + serializeMs;
@@ -120,6 +122,9 @@ private:
 
     Options options_;
     rin::DynamicRin rin_;
+    // Shared CSR snapshot + per-measure result cache, both invalidated by
+    // the graph's version counter (cutoff/frame switches mutate the graph).
+    MeasureEngine engine_;
     std::optional<Measure> measure_;
     std::vector<double> scores_;
     std::vector<double> buffer_;

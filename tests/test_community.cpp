@@ -133,9 +133,13 @@ TEST(LouvainCommon, CoarsenFoldsWeights) {
 
     const auto p = twoBlocks(6);
     const auto coarse = louvain::coarsen(cg, p);
-    EXPECT_EQ(coarse.g.numberOfNodes(), 2u);
-    EXPECT_EQ(coarse.g.numberOfEdges(), 1u);
-    EXPECT_DOUBLE_EQ(coarse.g.weight(0, 1), 1.0);
+    EXPECT_EQ(coarse.csr.numberOfNodes(), 2u);
+    EXPECT_EQ(coarse.csr.numberOfEdges(), 1u);
+    double w01 = 0.0;
+    coarse.csr.forWeightedNeighborsOf(0, [&](node v, edgeweight w) {
+        if (v == 1) w01 = w;
+    });
+    EXPECT_DOUBLE_EQ(w01, 1.0);
     EXPECT_DOUBLE_EQ(coarse.selfLoop[0], 3.0);
     EXPECT_DOUBLE_EQ(coarse.selfLoop[1], 3.0);
     EXPECT_DOUBLE_EQ(coarse.totalWeight(), 7.0); // weight preserved
@@ -279,7 +283,7 @@ TEST(Leiden, SplitDisconnectedSplitsCorrectly) {
     g.addEdge(2, 3);
     g.addEdge(4, 5);
     Partition p(std::vector<index>{0, 0, 0, 0, 1, 1});
-    const count splits = ParallelLeiden::splitDisconnected(g, p);
+    const count splits = ParallelLeiden::splitDisconnected(CsrView::fromGraph(g), p);
     EXPECT_EQ(splits, 1u); // community 0 had two components
     EXPECT_TRUE(p.inSameSubset(0, 1));
     EXPECT_TRUE(p.inSameSubset(2, 3));

@@ -45,7 +45,7 @@ TEST(Bfs, CountsShortestPaths) {
     bfs.run();
     EXPECT_DOUBLE_EQ(bfs.numberOfPaths()[2], 2.0);
     EXPECT_DOUBLE_EQ(bfs.numberOfPaths()[1], 1.0);
-    EXPECT_EQ(bfs.predecessors(2).size(), 2u);
+    EXPECT_DOUBLE_EQ(bfs.numberOfPaths()[3], 1.0);
 }
 
 TEST(Bfs, VisitOrderNonDecreasing) {

@@ -1,8 +1,10 @@
 // Tests for the dynamic Graph, GraphBuilder, GraphTools, and graph I/O.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 
+#include "src/graph/csr_view.hpp"
 #include "src/graph/generators.hpp"
 #include "src/graph/graph.hpp"
 #include "src/graph/graph_builder.hpp"
@@ -404,6 +406,93 @@ TEST(GraphIO, EdgeListCommentsAndExplicitN) {
     const auto g = io::readEdgeList(ss, 10);
     EXPECT_EQ(g.numberOfNodes(), 10u);
     EXPECT_EQ(g.numberOfEdges(), 2u);
+}
+
+TEST(GraphVersion, BumpsOnEveryMutationOnly) {
+    Graph g(3, true);
+    const auto v0 = g.version();
+
+    EXPECT_TRUE(g.addEdge(0, 1, 2.0));
+    EXPECT_GT(g.version(), v0);
+    auto v = g.version();
+
+    // No-op mutations leave the version alone.
+    EXPECT_FALSE(g.addEdge(0, 1));       // duplicate
+    EXPECT_FALSE(g.removeEdge(1, 2));    // absent
+    g.addNodes(0);
+    EXPECT_EQ(g.version(), v);
+
+    g.setWeight(0, 1, 5.0);
+    EXPECT_GT(g.version(), v);
+    v = g.version();
+
+    g.addNode();
+    EXPECT_GT(g.version(), v);
+    v = g.version();
+
+    g.addNodes(2);
+    EXPECT_GT(g.version(), v);
+    v = g.version();
+
+    EXPECT_TRUE(g.removeEdge(0, 1));
+    EXPECT_GT(g.version(), v);
+    v = g.version();
+
+    g.removeAllEdges(); // already empty: no-op
+    EXPECT_EQ(g.version(), v);
+    g.addEdge(0, 2);
+    g.removeAllEdges();
+    EXPECT_GT(g.version(), v);
+
+    // The version is monotonic, never reset by reaching an earlier state.
+    Graph h(3, true);
+    h.addEdge(0, 1);
+    h.removeEdge(0, 1);
+    EXPECT_GT(h.version(), Graph(3, true).version());
+}
+
+TEST(CsrSnapshot, ReusesWhileVersionUnchanged) {
+    Graph g(4);
+    g.addEdge(0, 1);
+    g.addEdge(1, 2);
+
+    CsrSnapshot snap;
+    const CsrView* first = &snap.get(g);
+    EXPECT_EQ(first->version(), g.version());
+    EXPECT_EQ(first->numberOfEdges(), 2u);
+    // Unchanged graph: same object, no rebuild.
+    EXPECT_EQ(&snap.get(g), first);
+    EXPECT_EQ(snap.get(g).numberOfEdges(), 2u);
+
+    g.addEdge(2, 3);
+    const CsrView& rebuilt = snap.get(g);
+    EXPECT_EQ(rebuilt.version(), g.version());
+    EXPECT_EQ(rebuilt.numberOfEdges(), 3u);
+
+    // A different graph object forces a rebuild even at an equal version.
+    Graph h(4);
+    h.addEdge(0, 2);
+    EXPECT_EQ(snap.get(h).numberOfEdges(), 1u);
+}
+
+TEST(CsrView, MirrorsGraphStructure) {
+    const auto g = generators::erdosRenyi(50, 0.1, 3);
+    const auto v = CsrView::fromGraph(g);
+    EXPECT_EQ(v.numberOfNodes(), g.numberOfNodes());
+    EXPECT_EQ(v.numberOfEdges(), g.numberOfEdges());
+    EXPECT_EQ(v.isWeighted(), g.isWeighted());
+    double maxDeg = 0;
+    g.forNodes([&](node u) {
+        EXPECT_EQ(v.degree(u), g.degree(u));
+        EXPECT_DOUBLE_EQ(v.weightedDegree(u), g.weightedDegree(u));
+        maxDeg = std::max(maxDeg, static_cast<double>(g.degree(u)));
+        const auto nb = g.neighbors(u);
+        const auto cnb = v.neighbors(u);
+        ASSERT_EQ(cnb.size(), nb.size());
+        for (count i = 0; i < nb.size(); ++i) EXPECT_EQ(cnb[i], nb[i]);
+    });
+    EXPECT_EQ(static_cast<double>(v.maxDegree()), maxDeg);
+    EXPECT_DOUBLE_EQ(v.totalEdgeWeight(), g.totalEdgeWeight());
 }
 
 } // namespace

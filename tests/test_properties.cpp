@@ -3,6 +3,8 @@
 // must hold on any input.
 #include <gtest/gtest.h>
 
+#include <omp.h>
+
 #include <set>
 
 #include "src/centrality/betweenness.hpp"
@@ -14,8 +16,11 @@
 #include "src/community/similarity.hpp"
 #include "src/components/bfs.hpp"
 #include "src/components/connected_components.hpp"
+#include "src/components/csr_bfs.hpp"
+#include "src/graph/csr_view.hpp"
 #include "src/graph/generators.hpp"
 #include "src/graph/graph.hpp"
+#include "src/viz/measures.hpp"
 #include "src/md/synthetic.hpp"
 #include "src/md/trajectory.hpp"
 #include "src/rin/dynamic_rin.hpp"
@@ -245,6 +250,95 @@ INSTANTIATE_TEST_SUITE_P(
     Grid, RinGridP,
     ::testing::Combine(::testing::Values(0, 1, 2),
                        ::testing::Values(4.0, 4.5, 5.5, 6.5, 7.5, 8.5)));
+
+// ---------------------------------------------------------------------------
+// Fuzz: CSR snapshots under random edge storms stay equal to fresh builds.
+// ---------------------------------------------------------------------------
+
+class CsrStormP : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CsrStormP, SnapshotByteIdenticalToFreshBuildAfterEdits) {
+    Rng rng(GetParam());
+    for (const bool weighted : {false, true}) {
+        const count n = 40;
+        Graph g(n, weighted);
+        CsrSnapshot snap;
+        for (int step = 0; step < 1500; ++step) {
+            const node u = static_cast<node>(rng.pick(n));
+            node v = static_cast<node>(rng.pick(n));
+            if (u == v) continue;
+            if (rng.chance(0.55)) {
+                g.addEdge(u, v, weighted ? 0.5 + rng.real01() : 1.0);
+            } else if (weighted && g.hasEdge(u, v) && rng.chance(0.3)) {
+                g.setWeight(u, v, 0.5 + rng.real01());
+            } else {
+                g.removeEdge(u, v);
+            }
+            // Refresh the incremental-reuse snapshot at random points in
+            // the storm; it must always equal a from-scratch build.
+            if (rng.chance(0.1)) {
+                EXPECT_TRUE(snap.get(g) == CsrView::fromGraph(g)) << "step " << step;
+            }
+        }
+        EXPECT_TRUE(snap.get(g) == CsrView::fromGraph(g));
+        // Two builds of the same state are deterministic.
+        EXPECT_TRUE(CsrView::fromGraph(g) == CsrView::fromGraph(g));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CsrStormP, ::testing::Values(6, 16, 26));
+
+// ---------------------------------------------------------------------------
+// Kernel equivalence: every measure must score identically whether the
+// algorithm materializes its own snapshot (Graph ctor) or borrows a shared
+// one (CsrView ctor) — i.e. the engine's shared snapshot changes nothing.
+// ---------------------------------------------------------------------------
+
+class KernelEquivalenceP : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KernelEquivalenceP, GraphAndCsrViewInputsScoreIdentically) {
+    const auto g = generators::erdosRenyi(80, 0.04, GetParam());
+    const auto v = CsrView::fromGraph(g);
+
+    // Community detectors move nodes under OpenMP atomics, which is
+    // nondeterministic across thread counts; pin to one thread so both
+    // paths see the same move order.
+    const int threadsBefore = omp_get_max_threads();
+    omp_set_num_threads(1);
+    for (const viz::Measure m : viz::allMeasures()) {
+        const auto own = viz::computeMeasure(g, m);
+        const auto borrowed = viz::computeMeasure(g, v, m);
+        ASSERT_EQ(own.size(), borrowed.size()) << viz::measureName(m);
+        for (count i = 0; i < own.size(); ++i) {
+            EXPECT_NEAR(own[i], borrowed[i], 1e-9)
+                << viz::measureName(m) << " node " << i;
+        }
+    }
+    omp_set_num_threads(threadsBefore);
+}
+
+TEST_P(KernelEquivalenceP, CsrBfsMatchesGraphBfs) {
+    const auto g = generators::erdosRenyi(120, 0.03, GetParam());
+    const auto v = CsrView::fromGraph(g);
+    Bfs ref(g, 0);
+    CsrBfs bfs(v); // one reusable instance: O(reached) reset must be sound
+    for (node s = 0; s < g.numberOfNodes(); s += 7) {
+        ref.setSource(s);
+        ref.run();
+        bfs.run(s);
+        EXPECT_EQ(bfs.reached(), ref.reached());
+        for (node u = 0; u < g.numberOfNodes(); ++u) {
+            if (ref.distance(u) == infdist) {
+                EXPECT_EQ(bfs.levelOf(u), CsrBfs::unreachedLevel);
+            } else {
+                EXPECT_EQ(static_cast<double>(bfs.levelOf(u)), ref.distance(u));
+                EXPECT_DOUBLE_EQ(bfs.sigma()[u], ref.numberOfPaths()[u]);
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KernelEquivalenceP, ::testing::Values(11, 22, 33, 44));
 
 } // namespace
 } // namespace rinkit

@@ -310,6 +310,42 @@ TEST(Widget, MeasureSwitchReusesSerializedEdgeTraces) {
     EXPECT_GT(tFrame.edgeBytesSerialized, 0u);
 }
 
+TEST(Widget, MeasureCacheHitsOnUnchangedGraphOnly) {
+    md::TrajectoryGenerator::Parameters gen;
+    gen.frames = 4;
+    gen.unfoldingEvents = 1;
+    const auto traj = md::TrajectoryGenerator(gen).generate(md::villinHeadpiece());
+    RinWidget widget(traj); // refresh() computes the initial Closeness
+
+    // First switch to a new measure: cold, computed.
+    const auto tCold = widget.setMeasure(Measure::Betweenness);
+    EXPECT_FALSE(tCold.measureCacheHit);
+    const auto betweennessScores = widget.scores();
+
+    // Repeating the switch on the unchanged graph is a version-keyed hit.
+    const auto tHit = widget.setMeasure(Measure::Betweenness);
+    EXPECT_TRUE(tHit.measureCacheHit);
+    EXPECT_EQ(widget.scores(), betweennessScores);
+
+    // Flipping back to the initial measure also hits: its entry is still
+    // valid for the current graph version.
+    const auto tBack = widget.setMeasure(Measure::Closeness);
+    EXPECT_TRUE(tBack.measureCacheHit);
+
+    // A cutoff switch mutates the graph (version bump) -> miss.
+    const auto tCutoff = widget.setCutoff(6.5);
+    EXPECT_FALSE(tCutoff.measureCacheHit);
+    // ...and the other measure's stale entry misses too.
+    const auto tStale = widget.setMeasure(Measure::Betweenness);
+    EXPECT_FALSE(tStale.measureCacheHit);
+    EXPECT_NE(widget.scores(), betweennessScores); // different edge set
+
+    // A frame switch with real edge churn invalidates as well.
+    const auto tFrame = widget.setFrame(3);
+    ASSERT_GT(tFrame.edgeStats.edgesAdded + tFrame.edgeStats.edgesRemoved, 0u);
+    EXPECT_FALSE(tFrame.measureCacheHit);
+}
+
 TEST(Widget, DeltaModeShowsScoreDifferences) {
     md::TrajectoryGenerator::Parameters gen;
     gen.frames = 6;
