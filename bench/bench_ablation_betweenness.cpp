@@ -22,20 +22,20 @@ Graph testGraph(count n) {
 
 void BM_BetweennessExact(benchmark::State& state) {
     const Graph g = testGraph(static_cast<count>(state.range(0)));
+    const auto v = CsrView::fromGraph(g);
     for (auto _ : state) {
         Betweenness b(g, true);
-        b.run();
-        benchmark::DoNotOptimize(b.scores().data());
+        benchmark::DoNotOptimize(b.run(v).data());
     }
     state.counters["edges"] = static_cast<double>(g.numberOfEdges());
 }
 
 void BM_BetweennessApprox(benchmark::State& state) {
     const Graph g = testGraph(static_cast<count>(state.range(0)));
+    const auto v = CsrView::fromGraph(g);
     for (auto _ : state) {
         ApproxBetweenness b(g, 0.05, 0.1, 99);
-        b.run();
-        benchmark::DoNotOptimize(b.scores().data());
+        benchmark::DoNotOptimize(b.run(v).data());
     }
     state.counters["edges"] = static_cast<double>(g.numberOfEdges());
 }

@@ -40,11 +40,12 @@ template <typename Detector, typename... Args>
 void runDetector(benchmark::State& state, Args&&... args) {
     const auto& w = planted(static_cast<count>(state.range(0)),
                             static_cast<count>(state.range(1)));
+    const auto v = CsrView::fromGraph(w.g);
     double q = 0.0, similarity = 0.0;
     count runs = 0;
     for (auto _ : state) {
         Detector det(w.g, std::forward<Args>(args)...);
-        det.run();
+        det.run(v);
         q = modularity(det.getPartition(), w.g);
         similarity = nmi(det.getPartition(), w.truth);
         ++runs;

@@ -1,18 +1,39 @@
-// Ablation — control-plane scaling of the Section III deployment
-// simulator: time to admit N users (spawn + route) against worker count,
-// and routing throughput under load. Expected: admission is linear in N
-// until capacity saturates; routing stays flat (hash + prefix match).
+// Ablation — scaling of the Section III deployment along both axes.
+//
+// Control plane: time to admit N users (spawn + route) against worker
+// count, and routing throughput under load. Expected: admission is linear
+// in N until capacity saturates; routing stays flat (hash + prefix match).
+//
+// Data plane: a closed-loop multi-client benchmark of serve::SessionService
+// — C concurrent clients, each with its own widget session over the
+// 1000-residue helix bundle, repeatedly firing a burst of slider events
+// (as a dragged slider does), waiting for the responses, then thinking.
+// Reports server-side latency percentiles from the service's histograms
+// plus the coalesced/shed/rejected/deadline-missed counters. Expected:
+// p50 stays near the single-client service time while p99 degrades
+// gracefully as clients exceed the worker budget — queues stay bounded
+// (admission control) and the shed/coalesce counters pick up the slack.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
 
 #include "bench/bench_common.hpp"
 
 #include "src/cloud/cluster.hpp"
 #include "src/cloud/jupyterhub.hpp"
+#include "src/md/synthetic.hpp"
+#include "src/md/trajectory.hpp"
+#include "src/serve/session_service.hpp"
 
 namespace {
 
 using namespace rinkit::cloud;
 using rinkit::count;
+using rinkit::index;
+namespace serve = rinkit::serve;
+namespace viz = rinkit::viz;
 
 void BM_UserAdmission(benchmark::State& state) {
     const count users = static_cast<count>(state.range(0));
@@ -50,12 +71,98 @@ void BM_RoutingThroughput(benchmark::State& state) {
     }
 }
 
+/// One client's closed loop: fire a burst of slider events (latest-wins
+/// fodder — a dragged frame slider emits several positions back to back),
+/// block on all responses, think, repeat.
+void clientLoop(serve::SessionService& service, serve::SessionId session, count clientIdx,
+                count bursts, double thinkMs) {
+    const count frames = 8; // trajectory length below
+    for (count b = 0; b < bursts; ++b) {
+        std::vector<std::future<serve::RequestOutcome>> inflight;
+        const index base = static_cast<index>((b * 3 + clientIdx) % frames);
+        // Mixed-kind burst: three frame positions (two are stale the
+        // moment the third arrives), a cutoff nudge, a measure flip.
+        inflight.push_back(service.submit(session, serve::SliderEvent::setFrame(base)));
+        inflight.push_back(
+            service.submit(session, serve::SliderEvent::setFrame((base + 1) % frames)));
+        inflight.push_back(service.submit(
+            session, serve::SliderEvent::setCutoff(4.5 + 0.1 * static_cast<double>(b % 5))));
+        inflight.push_back(service.submit(
+            session, serve::SliderEvent::setMeasure(b % 2 == 0 ? viz::Measure::Closeness
+                                                               : viz::Measure::Degree)));
+        inflight.push_back(
+            service.submit(session, serve::SliderEvent::setFrame((base + 2) % frames)));
+        for (auto& f : inflight) f.get();
+        if (thinkMs > 0.0)
+            std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(thinkMs));
+    }
+}
+
+void BM_ClosedLoopSessions(benchmark::State& state) {
+    const count clients = static_cast<count>(state.range(0));
+    const double thinkMs = static_cast<double>(state.range(1));
+    const count bursts = 4;
+
+    // The 1000-residue protein of the paper's upper Fig. 6-8 range, with a
+    // short trajectory (the frame slider wraps around it).
+    rinkit::md::TrajectoryGenerator::Parameters genParams;
+    genParams.frames = 8;
+    const auto traj =
+        rinkit::md::TrajectoryGenerator(genParams).generate(rinkit::md::helixBundle(1000));
+
+    serve::SessionService::Options options;
+    // Paper instance budget: 10 workers, bounded per-session queues. At
+    // interactive latencies a backlog of even 2 is already a blown frame
+    // budget, so shed aggressively; the 500 ms deadline matches the
+    // paper's "fraction of a second" interactivity bar.
+    options.budget = kPaperInstanceLimit;
+    options.degradeQueueDepth = 1;
+    options.defaultDeadlineMs = 500.0;
+
+    serve::MetricsSnapshot snap;
+    for (auto _ : state) {
+        serve::SessionService service(options);
+        std::vector<serve::SessionId> sessions;
+        sessions.reserve(clients);
+        // Session setup (initial widget draw) is part of the measured run:
+        // it is real server work the instance performs for C clients.
+        for (count c = 0; c < clients; ++c) sessions.push_back(service.openSession(traj));
+
+        std::vector<std::thread> threads;
+        threads.reserve(clients);
+        for (count c = 0; c < clients; ++c) {
+            threads.emplace_back(clientLoop, std::ref(service), sessions[c], c, bursts,
+                                 thinkMs);
+        }
+        for (auto& t : threads) t.join();
+        service.drain();
+        snap = service.metrics();
+    }
+
+    rinkit::benchsupport::addSnapshotCounters(state, snap);
+    state.counters["clients"] = static_cast<double>(clients);
+    state.counters["think_ms"] = thinkMs;
+}
+
 BENCHMARK(BM_UserAdmission)->Unit(benchmark::kMillisecond)->Apply([](auto* b) {
     for (long users : {10L, 50L, 200L}) {
         for (long workers : {2L, 8L}) b->Args({users, workers});
     }
 });
 BENCHMARK(BM_RoutingThroughput)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ClosedLoopSessions)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Iterations(1)
+    ->Apply([](auto* b) {
+        // clients x think-time (ms); the acceptance grid 1/8/32 plus a
+        // 64-client overload point and a slow-think contrast at 8.
+        b->Args({1, 10});
+        b->Args({8, 10});
+        b->Args({8, 50});
+        b->Args({32, 10});
+        b->Args({64, 10});
+    });
 
 } // namespace
 

@@ -23,9 +23,39 @@
 #include <string>
 #include <vector>
 
+#include "src/serve/metrics.hpp"
 #include "src/support/json.hpp"
 
 namespace rinkit::benchsupport {
+
+/// Flattens one serving-layer latency histogram into benchmark counters
+/// under the uniform naming scheme <prefix>_{p50,p95,p99,mean,max}_ms and
+/// <prefix>_count. Every bench that reports histogram percentiles goes
+/// through this helper so the JSON field names are identical across
+/// binaries (and greppable by the same post-processing).
+inline void addHistogramCounters(benchmark::State& state, const std::string& prefix,
+                                 const serve::MetricsSnapshot::HistogramStats& stats) {
+    state.counters[prefix + "_p50_ms"] = stats.p50Ms;
+    state.counters[prefix + "_p95_ms"] = stats.p95Ms;
+    state.counters[prefix + "_p99_ms"] = stats.p99Ms;
+    state.counters[prefix + "_mean_ms"] = stats.meanMs;
+    state.counters[prefix + "_max_ms"] = stats.maxMs;
+    state.counters[prefix + "_count"] = static_cast<double>(stats.samples);
+}
+
+/// All histograms of a snapshot, each under its phase name with the
+/// trailing "_ms" stripped ("server_ms" -> "server_p50_ms", ...).
+inline void addSnapshotCounters(benchmark::State& state, const serve::MetricsSnapshot& snap) {
+    for (const auto& [name, stats] : snap.histograms) {
+        std::string prefix = name;
+        if (prefix.size() > 3 && prefix.rfind("_ms") == prefix.size() - 3)
+            prefix.resize(prefix.size() - 3);
+        addHistogramCounters(state, prefix, stats);
+    }
+    for (const auto& [name, value] : snap.counters)
+        state.counters[name] = static_cast<double>(value);
+    state.counters["queue_depth_max"] = static_cast<double>(snap.queueDepthMax);
+}
 
 /// Console reporter that also collects every run for the JSON dump.
 class CollectingReporter : public benchmark::ConsoleReporter {

@@ -53,9 +53,10 @@ void BM_MeasureRecompute(benchmark::State& state) {
     const auto protein = proteinOfSize(residues);
     const auto g =
         rin::RinBuilder(rin::DistanceCriterion::MinimumAtomDistance).build(protein, cutoff);
+    const auto v = CsrView::fromGraph(g);
 
     for (auto _ : state) {
-        auto scores = viz::computeMeasure(g, measureFromIndex(measureIdx));
+        auto scores = viz::computeMeasure(g, v, measureFromIndex(measureIdx));
         benchmark::DoNotOptimize(scores.data());
     }
     state.SetLabel(std::string(kMeasureLabels[measureIdx]) +

@@ -4,16 +4,24 @@
 // user pods under the paper's 10 vCore / 16 GB instance limit, and
 // source-balanced prefix routing.
 //
-// Each admitted user then actually runs a RIN widget workload "in their
-// pod" — the same computation the paper's domain scientists run.
+// Each admitted user then drives a real widget workload through the
+// serving layer: the hub dispatches slider events into a shared
+// serve::SessionService (fixed worker pool, latest-wins coalescing,
+// admission control, deadlines), and the run ends with the service's
+// latency histograms — the paper's interactivity numbers, but under
+// multi-user contention.
 //
 //   $ ./cloud_session [users]
+#include <future>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "src/cloud/cluster.hpp"
 #include "src/cloud/jupyterhub.hpp"
-#include "src/core/rin_explorer.hpp"
+#include "src/md/synthetic.hpp"
+#include "src/md/trajectory.hpp"
+#include "src/serve/session_service.hpp"
 #include "src/support/timer.hpp"
 
 int main(int argc, char** argv) {
@@ -28,7 +36,21 @@ int main(int argc, char** argv) {
 
     cloud::JupyterHub hub(cluster);
     std::cout << "hub installed in namespace '" << hub.config().namespaceName
-              << "', per-user limit " << hub.config().userPodLimit.toString() << "\n\n";
+              << "', per-user limit " << hub.config().userPodLimit.toString() << "\n";
+
+    // One shared protein for the demo; every user gets their own widget
+    // session over it inside the serving layer.
+    md::TrajectoryGenerator::Parameters genParams;
+    genParams.frames = 5;
+    const auto traj = md::TrajectoryGenerator(genParams).generate(md::alpha3D());
+
+    serve::SessionService::Options serveOptions;
+    serveOptions.budget = hub.config().userPodLimit;
+    serveOptions.defaultDeadlineMs = 500.0;
+    serve::SessionService service(serveOptions);
+    hub.attachService(service, traj);
+    std::cout << "serving layer: " << service.workerCount() << " workers, queue bound "
+              << service.options().maxQueuedPerSession << " per session\n\n";
 
     count admitted = 0;
     for (count u = 0; u < users; ++u) {
@@ -39,17 +61,39 @@ int main(int argc, char** argv) {
         }
         ++admitted;
         const auto pod = hub.routeUserRequest(user, "192.168.1." + std::to_string(u + 2));
-        std::cout << user << ": pod uid " << *pod << " via /user/" << user;
-
-        // The user's notebook workload: explore a small protein.
-        Timer t;
-        RinExplorer::Options opts;
-        opts.frames = 3;
-        auto explorer = RinExplorer::forProtein("chignolin", opts);
-        explorer.widget().setMeasure(viz::Measure::Closeness);
-        std::cout << "  (widget session: " << explorer.widget().graph().numberOfEdges()
-                  << " edges, " << t.elapsedMs() << " ms)\n";
+        std::cout << user << ": pod uid " << *pod << " via /user/" << user << "\n";
     }
+
+    // Every admitted user drags the sliders: a burst of events per user,
+    // all dispatched through the hub's ingress into the shared service.
+    Timer t;
+    std::vector<std::future<serve::RequestOutcome>> inflight;
+    for (count u = 0; u < users; ++u) {
+        const std::string user = "scientist" + std::to_string(u);
+        const std::string ip = "192.168.1." + std::to_string(u + 2);
+        for (index f = 0; f < 3; ++f) {
+            auto fut = hub.routeUserRequest(user, ip, serve::SliderEvent::setFrame(f));
+            if (fut) inflight.push_back(std::move(*fut));
+        }
+        auto fut = hub.routeUserRequest(user, ip,
+                                        serve::SliderEvent::setMeasure(viz::Measure::Closeness));
+        if (fut) inflight.push_back(std::move(*fut));
+    }
+
+    count ok = 0, degraded = 0, rejected = 0;
+    for (auto& f : inflight) {
+        const auto outcome = f.get();
+        switch (outcome.status) {
+        case serve::RequestStatus::Ok: ++ok; break;
+        case serve::RequestStatus::OkDegraded: ++degraded; break;
+        case serve::RequestStatus::Rejected: ++rejected; break;
+        }
+    }
+    service.drain();
+    std::cout << "\nserved " << inflight.size() << " slider events in " << t.elapsedMs()
+              << " ms: " << ok << " exact, " << degraded << " degraded, " << rejected
+              << " rejected (" << service.metrics().counter("coalesced")
+              << " stale events coalesced away)\n";
 
     std::cout << "\nadmitted " << admitted << "/" << users << " users; allocated "
               << cluster.totalAllocated().toString() << " on workers\n";
@@ -59,10 +103,6 @@ int main(int argc, char** argv) {
     std::cout << "after hub restart: " << hub.activeSessions()
               << " sessions recovered from the PV\n";
 
-    std::cout << "\nlast cluster events:\n";
-    const auto& events = cluster.events();
-    for (count i = events.size() > 5 ? events.size() - 5 : 0; i < events.size(); ++i) {
-        std::cout << "  " << events[i] << '\n';
-    }
+    std::cout << "\nserving metrics:\n" << service.metrics().toJson() << "\n";
     return 0;
 }

@@ -3,10 +3,15 @@
 # memory-heavy suites (cell list / octree rewrites are pointer-and-offset
 # code; the sanitizers are what catches an off-by-one in the CSR layout).
 #
-# Usage: scripts/verify.sh [--skip-sanitizers | --tsan]
+# Usage: scripts/verify.sh [--skip-sanitizers | --tsan | --serve-stress]
 #   --tsan  additionally builds the parallel kernels (centrality /
 #           community: OpenMP array reductions, batched MS-BFS, atomic
-#           local moving) with -fsanitize=thread and runs their suites.
+#           local moving) plus the serving layer (test_serve: thread pool,
+#           session queues, coalescing) with -fsanitize=thread and runs
+#           their suites.
+#   --serve-stress  runs the multi-client serving stress suite
+#           (test_serve_stress, ctest labels serve;slow) under both TSan
+#           and ASan/UBSan.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -21,21 +26,45 @@ if [[ "${1:-}" == "--skip-sanitizers" ]]; then
 fi
 
 if [[ "${1:-}" == "--tsan" ]]; then
-    echo "== TSan: test_centrality + test_community =="
+    echo "== TSan: test_centrality + test_community + test_serve =="
     TSAN_FLAGS="-fsanitize=thread -g -O1"
     cmake -B build-tsan -S . \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DCMAKE_CXX_FLAGS="$TSAN_FLAGS" \
         -DCMAKE_EXE_LINKER_FLAGS="$TSAN_FLAGS" >/dev/null
-    cmake --build build-tsan -j --target test_centrality test_community
+    cmake --build build-tsan -j --target test_centrality test_community test_serve
     # PLM/PLP intentionally race on community labels (benign by design,
     # same as NetworKit); TSan still reports them, so races are surfaced
-    # as a report count rather than a hard failure, while centrality —
-    # which must be race-free — fails the build on any report.
+    # as a report count rather than a hard failure, while centrality and
+    # the serving layer — which must be race-free — fail on any report.
     ./build-tsan/tests/test_centrality
+    ./build-tsan/tests/test_serve
     ./build-tsan/tests/test_community ||
         echo "warning: TSan reported races in community suite (label propagation races are by design; inspect the log above)"
     echo "== TSan OK =="
+    exit 0
+fi
+
+if [[ "${1:-}" == "--serve-stress" ]]; then
+    echo "== serve stress under TSan =="
+    TSAN_FLAGS="-fsanitize=thread -g -O1"
+    cmake -B build-tsan -S . \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DCMAKE_CXX_FLAGS="$TSAN_FLAGS" \
+        -DCMAKE_EXE_LINKER_FLAGS="$TSAN_FLAGS" >/dev/null
+    cmake --build build-tsan -j --target test_serve test_serve_stress
+    ./build-tsan/tests/test_serve
+    ./build-tsan/tests/test_serve_stress
+
+    echo "== serve stress under ASan/UBSan =="
+    SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -g -O1"
+    cmake -B build-asan -S . \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DCMAKE_CXX_FLAGS="$SAN_FLAGS" \
+        -DCMAKE_EXE_LINKER_FLAGS="$SAN_FLAGS" >/dev/null
+    cmake --build build-asan -j --target test_serve_stress
+    ./build-asan/tests/test_serve_stress
+    echo "== serve stress OK =="
     exit 0
 fi
 

@@ -30,18 +30,11 @@ ApproxBetweenness::ApproxBetweenness(const Graph& g, double epsilon, double delt
     validateApproxParams(epsilon, delta);
 }
 
-ApproxBetweenness::ApproxBetweenness(const Graph& g, const CsrView& view,
-                                     double epsilon, double delta, std::uint64_t seed)
-    : CentralityAlgorithm(g, view), epsilon_(epsilon), delta_(delta), seed_(seed) {
-    validateApproxParams(epsilon, delta);
-}
-
-void ApproxBetweenness::run() {
-    const count n = g_.numberOfNodes();
+void ApproxBetweenness::runImpl(const CsrView& v) {
+    const count n = v.numberOfNodes();
     scores_.assign(n, 0.0);
     if (n < 3) {
         samples_ = 0;
-        hasRun_ = true;
         return;
     }
 
@@ -53,7 +46,6 @@ void ApproxBetweenness::run() {
         (c / (epsilon_ * epsilon_)) *
         (std::floor(std::log2(vd - 2.0)) + 1.0 + std::log(1.0 / delta_))));
 
-    const CsrView& v = view();
     const count* off = v.offsets();
     const node* tgt = v.targets();
 
@@ -101,7 +93,6 @@ void ApproxBetweenness::run() {
 
     const double inv = 1.0 / static_cast<double>(samples_);
     for (auto& s : scores_) s *= inv;
-    hasRun_ = true;
 }
 
 } // namespace rinkit

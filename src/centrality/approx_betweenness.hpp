@@ -17,17 +17,15 @@ namespace rinkit {
 /// paper's Section II highlights.
 class ApproxBetweenness final : public CentralityAlgorithm {
 public:
-    ApproxBetweenness(const Graph& g, double epsilon = 0.05, double delta = 0.1,
-                      std::uint64_t seed = 1);
-    ApproxBetweenness(const Graph& g, const CsrView& view, double epsilon = 0.05,
-                      double delta = 0.1, std::uint64_t seed = 1);
-
-    void run() override;
+    explicit ApproxBetweenness(const Graph& g, double epsilon = 0.05,
+                               double delta = 0.1, std::uint64_t seed = 1);
 
     /// Number of samples the error bound requires for this graph.
     count numberOfSamples() const { return samples_; }
 
 private:
+    void runImpl(const CsrView& view) override;
+
     double epsilon_;
     double delta_;
     std::uint64_t seed_;

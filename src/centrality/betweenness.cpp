@@ -231,12 +231,10 @@ void accumulateAllSources(const PaddedCsr& csr, int threads, double* sc) {
 
 } // namespace
 
-void Betweenness::run() {
-    const CsrView& v = view();
+void Betweenness::runImpl(const CsrView& v) {
     const count n = v.numberOfNodes();
     scores_.assign(n, 0.0);
     if (n == 0) {
-        hasRun_ = true;
         return;
     }
 
@@ -264,7 +262,6 @@ void Betweenness::run() {
         const double norm = 2.0 / (static_cast<double>(n - 1) * static_cast<double>(n - 2));
         for (auto& s : scores_) s *= norm;
     }
-    hasRun_ = true;
 }
 
 } // namespace rinkit

@@ -16,12 +16,10 @@ class Betweenness final : public CentralityAlgorithm {
 public:
     explicit Betweenness(const Graph& g, bool normalized = false)
         : CentralityAlgorithm(g), normalized_(normalized) {}
-    Betweenness(const Graph& g, const CsrView& view, bool normalized = false)
-        : CentralityAlgorithm(g, view), normalized_(normalized) {}
-
-    void run() override;
 
 private:
+    void runImpl(const CsrView& view) override;
+
     bool normalized_;
 };
 

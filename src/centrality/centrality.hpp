@@ -12,31 +12,40 @@ namespace rinkit {
 /// Base class for node-centrality algorithms.
 ///
 /// Mirrors the NetworKit API the paper builds on (Listing 1:
-/// `Betweenness(G); run(); scores()`): construct with a graph, run(), then
+/// `Betweenness(G); run(); scores()`): construct with a graph, run, then
 /// read per-node scores. The RIN widget treats every measure through this
 /// interface, which is what lets users plug new measures into the GUI
 /// "through simple modifications of Python code" — here, through a factory
 /// registration (see viz/measures.hpp).
 ///
-/// The kernels traverse a flat CSR snapshot, not the mutable Graph. An
-/// algorithm constructed with a graph alone materializes its own snapshot
-/// lazily on run() and refreshes it only when Graph::version() moved; the
-/// measure engine instead passes a shared external snapshot so a whole
-/// measure sweep reuses one materialization.
+/// Every kernel has exactly one computational entry point,
+/// `run(const CsrView&)`: it traverses the given flat CSR snapshot and
+/// returns the per-node scores — the common result shape shared with
+/// CommunityDetector::scores(). The argument-less run() overload is the
+/// standalone convenience path: it materializes an owned snapshot lazily
+/// and refreshes it only when Graph::version() moved. The measure engine
+/// and the benches pass their shared snapshot explicitly instead, so a
+/// whole measure sweep reuses one materialization.
 class CentralityAlgorithm {
 public:
     explicit CentralityAlgorithm(const Graph& g) : g_(g) {}
-    /// Uses @p view (a snapshot of @p g) instead of materializing one; the
-    /// caller keeps @p view alive and consistent with @p g.
-    CentralityAlgorithm(const Graph& g, const CsrView& view)
-        : g_(g), external_(&view) {}
     virtual ~CentralityAlgorithm() = default;
 
     CentralityAlgorithm(const CentralityAlgorithm&) = delete;
     CentralityAlgorithm& operator=(const CentralityAlgorithm&) = delete;
 
-    /// Computes the scores; may be called again after the graph changed.
-    virtual void run() = 0;
+    /// Canonical kernel entry: computes the scores on @p view (a snapshot
+    /// of the constructor graph; the caller keeps it alive and consistent)
+    /// and returns them. May be called again after the graph changed.
+    const std::vector<double>& run(const CsrView& view) {
+        runImpl(view);
+        hasRun_ = true;
+        return scores_;
+    }
+
+    /// Convenience entry: materializes/refreshes the owned snapshot of the
+    /// constructor graph, then runs the kernel on it.
+    const std::vector<double>& run() { return run(ownedView()); }
 
     bool hasRun() const { return hasRun_; }
 
@@ -63,22 +72,23 @@ protected:
         if (!hasRun_) throw std::logic_error("CentralityAlgorithm: call run() first");
     }
 
-    /// The CSR snapshot kernels traverse. Borrowed if one was passed at
-    /// construction; otherwise owned and rebuilt when g_.version() moved.
-    const CsrView& view() {
-        if (external_) return *external_;
-        if (!owned_ || owned_->version() != g_.version()) {
-            owned_ = CsrView::fromGraph(g_);
-        }
-        return *owned_;
-    }
+    /// The kernel proper: fill scores_ from @p view.
+    virtual void runImpl(const CsrView& view) = 0;
 
     const Graph& g_;
     std::vector<double> scores_;
     bool hasRun_ = false;
 
 private:
-    const CsrView* external_ = nullptr;
+    /// Owned snapshot for the argument-less run(), rebuilt when
+    /// g_.version() moved.
+    const CsrView& ownedView() {
+        if (!owned_ || owned_->version() != g_.version()) {
+            owned_ = CsrView::fromGraph(g_);
+        }
+        return *owned_;
+    }
+
     std::optional<CsrView> owned_;
 };
 

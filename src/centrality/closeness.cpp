@@ -4,12 +4,10 @@
 
 namespace rinkit {
 
-void ClosenessCentrality::run() {
-    const CsrView& v = view();
+void ClosenessCentrality::runImpl(const CsrView& v) {
     const count n = v.numberOfNodes();
     scores_.assign(n, 0.0);
     if (n == 0) {
-        hasRun_ = true;
         return;
     }
 
@@ -37,7 +35,6 @@ void ClosenessCentrality::run() {
             }
         }
     }
-    hasRun_ = true;
 }
 
 } // namespace rinkit

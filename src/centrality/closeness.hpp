@@ -22,13 +22,10 @@ public:
     explicit ClosenessCentrality(const Graph& g, Variant variant = Variant::Standard,
                                  bool normalized = true)
         : CentralityAlgorithm(g), variant_(variant), normalized_(normalized) {}
-    ClosenessCentrality(const Graph& g, const CsrView& view,
-                        Variant variant = Variant::Standard, bool normalized = true)
-        : CentralityAlgorithm(g, view), variant_(variant), normalized_(normalized) {}
-
-    void run() override;
 
 private:
+    void runImpl(const CsrView& view) override;
+
     Variant variant_;
     bool normalized_;
 };

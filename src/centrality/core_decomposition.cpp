@@ -4,13 +4,11 @@
 
 namespace rinkit {
 
-void CoreDecomposition::run() {
-    const CsrView& v = view();
+void CoreDecomposition::runImpl(const CsrView& v) {
     const count n = v.numberOfNodes();
     scores_.assign(n, 0.0);
     maxCore_ = 0;
     if (n == 0) {
-        hasRun_ = true;
         return;
     }
 
@@ -62,7 +60,6 @@ void CoreDecomposition::run() {
             }
         }
     }
-    hasRun_ = true;
 }
 
 } // namespace rinkit

@@ -11,10 +11,6 @@ namespace rinkit {
 class CoreDecomposition final : public CentralityAlgorithm {
 public:
     explicit CoreDecomposition(const Graph& g) : CentralityAlgorithm(g) {}
-    CoreDecomposition(const Graph& g, const CsrView& view)
-        : CentralityAlgorithm(g, view) {}
-
-    void run() override;
 
     /// Largest core number found.
     count maxCore() const {
@@ -23,6 +19,8 @@ public:
     }
 
 private:
+    void runImpl(const CsrView& view) override;
+
     count maxCore_ = 0;
 };
 

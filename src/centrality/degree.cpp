@@ -4,8 +4,7 @@
 
 namespace rinkit {
 
-void DegreeCentrality::run() {
-    const CsrView& v = view();
+void DegreeCentrality::runImpl(const CsrView& v) {
     const count n = v.numberOfNodes();
     scores_.assign(n, 0.0);
     const double norm = (normalized_ && n > 1) ? 1.0 / static_cast<double>(n - 1) : 1.0;
@@ -13,7 +12,6 @@ void DegreeCentrality::run() {
         const node u = static_cast<node>(ui);
         scores_[u] = static_cast<double>(v.degree(u)) * norm;
     });
-    hasRun_ = true;
 }
 
 } // namespace rinkit

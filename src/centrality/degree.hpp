@@ -9,12 +9,10 @@ class DegreeCentrality final : public CentralityAlgorithm {
 public:
     explicit DegreeCentrality(const Graph& g, bool normalized = false)
         : CentralityAlgorithm(g), normalized_(normalized) {}
-    DegreeCentrality(const Graph& g, const CsrView& view, bool normalized = false)
-        : CentralityAlgorithm(g, view), normalized_(normalized) {}
-
-    void run() override;
 
 private:
+    void runImpl(const CsrView& view) override;
+
     bool normalized_;
 };
 

@@ -29,13 +29,11 @@ inline void gather(const CsrView& v, const std::vector<double>& x,
 
 } // namespace
 
-void EigenvectorCentrality::run() {
-    const CsrView& v = view();
+void EigenvectorCentrality::runImpl(const CsrView& v) {
     const count n = v.numberOfNodes();
     scores_.assign(n, 0.0);
     iterations_ = 0;
     if (n == 0) {
-        hasRun_ = true;
         return;
     }
 
@@ -70,15 +68,12 @@ void EigenvectorCentrality::run() {
     scores_ = std::move(x);
     // Edgeless graphs have no meaningful eigenvector; report zeros.
     if (v.numberOfEdges() == 0) scores_.assign(n, 0.0);
-    hasRun_ = true;
 }
 
-void KatzCentrality::run() {
-    const CsrView& v = view();
+void KatzCentrality::runImpl(const CsrView& v) {
     const count n = v.numberOfNodes();
     scores_.assign(n, 0.0);
     if (n == 0) {
-        hasRun_ = true;
         return;
     }
 
@@ -99,7 +94,6 @@ void KatzCentrality::run() {
         if (diff < tol_) break;
     }
     scores_ = std::move(x);
-    hasRun_ = true;
 }
 
 } // namespace rinkit

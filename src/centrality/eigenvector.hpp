@@ -11,15 +11,12 @@ public:
     explicit EigenvectorCentrality(const Graph& g, double tol = 1e-9,
                                    count maxIterations = 1000)
         : CentralityAlgorithm(g), tol_(tol), maxIterations_(maxIterations) {}
-    EigenvectorCentrality(const Graph& g, const CsrView& view, double tol = 1e-9,
-                          count maxIterations = 1000)
-        : CentralityAlgorithm(g, view), tol_(tol), maxIterations_(maxIterations) {}
-
-    void run() override;
 
     count iterations() const { return iterations_; }
 
 private:
+    void runImpl(const CsrView& view) override;
+
     double tol_;
     count maxIterations_;
     count iterations_ = 0;
@@ -35,16 +32,12 @@ public:
                             double tol = 1e-9, count maxIterations = 1000)
         : CentralityAlgorithm(g), alpha_(alpha), beta_(beta), tol_(tol),
           maxIterations_(maxIterations) {}
-    KatzCentrality(const Graph& g, const CsrView& view, double alpha = 0.0,
-                   double beta = 1.0, double tol = 1e-9, count maxIterations = 1000)
-        : CentralityAlgorithm(g, view), alpha_(alpha), beta_(beta), tol_(tol),
-          maxIterations_(maxIterations) {}
-
-    void run() override;
 
     double effectiveAlpha() const { return effectiveAlpha_; }
 
 private:
+    void runImpl(const CsrView& view) override;
+
     double alpha_;
     double beta_;
     double tol_;

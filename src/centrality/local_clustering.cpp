@@ -6,8 +6,7 @@
 
 namespace rinkit {
 
-void LocalClusteringCoefficient::run() {
-    const CsrView& v = view();
+void LocalClusteringCoefficient::runImpl(const CsrView& v) {
     const count n = v.numberOfNodes();
     scores_.assign(n, 0.0);
     parallelFor(n, [&](index ui) {
@@ -27,7 +26,6 @@ void LocalClusteringCoefficient::run() {
         scores_[u] = 2.0 * static_cast<double>(links) /
                      (static_cast<double>(d) * static_cast<double>(d - 1));
     });
-    hasRun_ = true;
 }
 
 } // namespace rinkit

@@ -11,10 +11,9 @@ namespace rinkit {
 class LocalClusteringCoefficient final : public CentralityAlgorithm {
 public:
     explicit LocalClusteringCoefficient(const Graph& g) : CentralityAlgorithm(g) {}
-    LocalClusteringCoefficient(const Graph& g, const CsrView& view)
-        : CentralityAlgorithm(g, view) {}
 
-    void run() override;
+private:
+    void runImpl(const CsrView& view) override;
 };
 
 } // namespace rinkit

@@ -16,22 +16,11 @@ PageRank::PageRank(const Graph& g, double damping, double tol, count maxIteratio
     }
 }
 
-PageRank::PageRank(const Graph& g, const CsrView& view, double damping, double tol,
-                   count maxIterations, Norm norm)
-    : CentralityAlgorithm(g, view), damping_(damping), tol_(tol),
-      maxIterations_(maxIterations), norm_(norm) {
-    if (damping <= 0.0 || damping >= 1.0) {
-        throw std::invalid_argument("PageRank: damping out of (0,1)");
-    }
-}
-
-void PageRank::run() {
-    const CsrView& v = view();
+void PageRank::runImpl(const CsrView& v) {
     const count n = v.numberOfNodes();
     scores_.assign(n, 0.0);
     iterations_ = 0;
     if (n == 0) {
-        hasRun_ = true;
         return;
     }
 
@@ -88,7 +77,6 @@ void PageRank::run() {
         for (auto& r : rank) r *= static_cast<double>(n);
     }
     scores_ = std::move(rank);
-    hasRun_ = true;
 }
 
 } // namespace rinkit

@@ -21,15 +21,13 @@ public:
 
     explicit PageRank(const Graph& g, double damping = 0.85, double tol = 1e-9,
                       count maxIterations = 200, Norm norm = Norm::L1);
-    PageRank(const Graph& g, const CsrView& view, double damping = 0.85,
-             double tol = 1e-9, count maxIterations = 200, Norm norm = Norm::L1);
 
-    void run() override;
-
-    /// Iterations the last run() needed to converge.
+    /// Iterations the last run needed to converge.
     count iterations() const { return iterations_; }
 
 private:
+    void runImpl(const CsrView& view) override;
+
     double damping_;
     double tol_;
     count maxIterations_;

@@ -58,6 +58,32 @@ void JupyterHub::logout(const std::string& user) {
     cluster_.deletePod(config_.namespaceName, "hub-sa", it->second);
     sessions_.erase(it);
     pv_.erase("userdb/" + user);
+
+    const auto sit = serveSessions_.find(user);
+    if (sit != serveSessions_.end()) {
+        if (service_) service_->closeSession(sit->second);
+        serveSessions_.erase(sit);
+    }
+}
+
+void JupyterHub::attachService(serve::SessionService& service, const md::Trajectory& traj) {
+    service_ = &service;
+    serveTraj_ = &traj;
+}
+
+std::optional<std::future<serve::RequestOutcome>>
+JupyterHub::routeUserRequest(const std::string& user, const std::string& sourceIp,
+                             serve::SliderEvent event) {
+    // Same ingress path as the plain route: no pod, no dispatch.
+    if (!routeUserRequest(user, sourceIp)) return std::nullopt;
+    if (!service_ || !serveTraj_) return std::nullopt;
+
+    auto it = serveSessions_.find(user);
+    if (it == serveSessions_.end()) {
+        const auto id = service_->openSession(*serveTraj_);
+        it = serveSessions_.emplace(user, id).first;
+    }
+    return service_->submit(it->second, event);
 }
 
 std::optional<count> JupyterHub::routeUserRequest(const std::string& user,

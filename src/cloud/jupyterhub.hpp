@@ -1,10 +1,12 @@
 #pragma once
 
+#include <future>
 #include <map>
 #include <optional>
 #include <string>
 
 #include "src/cloud/cluster.hpp"
+#include "src/serve/session_service.hpp"
 
 namespace rinkit::cloud {
 
@@ -14,19 +16,22 @@ namespace rinkit::cloud {
 /// prefix-routed ingress (/hub, /user/<name>), cgroup limits per user
 /// instance, and a persistent volume carrying configuration and the user
 /// database across hub restarts.
+/// JupyterHub configuration. Namespace-scope (not nested) so its defaults
+/// can serve the hub's single defaulted-Config constructor.
+struct JupyterHubConfig {
+    std::string namespaceName = "rin-vis";
+    std::string image = "rinkit/networkit-rin:latest";
+    Resources userPodLimit = kPaperInstanceLimit; ///< 10 vCores / 16 GB
+    count maxUsersPerWorker = 0; ///< 0 = bounded by resources only
+};
+
 class JupyterHub {
 public:
-    struct Config {
-        std::string namespaceName = "rin-vis";
-        std::string image = "rinkit/networkit-rin:latest";
-        Resources userPodLimit = kPaperInstanceLimit; ///< 10 vCores / 16 GB
-        count maxUsersPerWorker = 0; ///< 0 = bounded by resources only
-    };
+    using Config = JupyterHubConfig;
 
     /// Installs the hub into @p cluster: namespace, service account (spawn/
     /// list/delete/view), hub deployment + service + ingress, and the PV.
-    JupyterHub(Cluster& cluster, Config config);
-    JupyterHub(Cluster& cluster) : JupyterHub(cluster, Config{}) {}
+    explicit JupyterHub(Cluster& cluster, Config config = {});
 
     /// Logs a user in: spawns their pod on demand (idempotent — an
     /// existing session is reused). Returns false if the cluster is out of
@@ -43,6 +48,21 @@ public:
     /// load balancer; returns the backing pod uid.
     std::optional<count> routeUserRequest(const std::string& user,
                                           const std::string& sourceIp) const;
+
+    /// Attaches the serving layer: slider routes for logged-in users
+    /// dispatch into @p service, each user getting one widget session over
+    /// @p traj (both must outlive the hub's use of them).
+    void attachService(serve::SessionService& service, const md::Trajectory& traj);
+
+    /// Routes a widget interaction for @p user through the load balancer
+    /// into the attached SessionService (the user's serve session is
+    /// opened lazily on first interaction). Returns nullopt if the user
+    /// has no pod or no service is attached; otherwise the service's
+    /// outcome future (which may still resolve Rejected under
+    /// backpressure).
+    std::optional<std::future<serve::RequestOutcome>>
+    routeUserRequest(const std::string& user, const std::string& sourceIp,
+                     serve::SliderEvent event);
 
     /// Number of live user sessions.
     count activeSessions() const { return sessions_.size(); }
@@ -65,6 +85,9 @@ private:
     Config config_;
     std::map<std::string, count> sessions_; ///< user -> pod uid
     std::map<std::string, std::string> pv_; ///< persisted config + user db
+    serve::SessionService* service_ = nullptr; ///< attached serving layer
+    const md::Trajectory* serveTraj_ = nullptr;
+    std::map<std::string, serve::SessionId> serveSessions_; ///< user -> widget session
 };
 
 } // namespace rinkit::cloud

@@ -1,6 +1,8 @@
 #pragma once
 
 #include <optional>
+#include <stdexcept>
+#include <vector>
 
 #include "src/community/partition.hpp"
 #include "src/graph/csr_view.hpp"
@@ -9,23 +11,35 @@
 namespace rinkit {
 
 /// Base class for community-detection algorithms (PLM, Leiden, map-equation
-/// Louvain, PLP). Mirrors the NetworKit community module interface: run(),
+/// Louvain, PLP). Mirrors the NetworKit community module interface: run,
 /// then getPartition().
 ///
-/// Like CentralityAlgorithm, detectors traverse a CSR snapshot: owned and
-/// lazily refreshed by Graph::version() when constructed from a graph
-/// alone, or borrowed from the measure engine's shared snapshot.
+/// Like CentralityAlgorithm, detectors have exactly one computational
+/// entry point, `run(const CsrView&)`, traversing the given CSR snapshot
+/// and returning the partition; the argument-less run() convenience
+/// materializes an owned snapshot lazily and refreshes it by
+/// Graph::version(). scores() exposes the result in the common per-node
+/// shape shared with the centrality kernels.
 class CommunityDetector {
 public:
     explicit CommunityDetector(const Graph& g) : g_(g) {}
-    CommunityDetector(const Graph& g, const CsrView& view)
-        : g_(g), external_(&view) {}
     virtual ~CommunityDetector() = default;
 
     CommunityDetector(const CommunityDetector&) = delete;
     CommunityDetector& operator=(const CommunityDetector&) = delete;
 
-    virtual void run() = 0;
+    /// Canonical kernel entry: detects communities on @p view (a snapshot
+    /// of the constructor graph; the caller keeps it alive and consistent)
+    /// and returns the partition.
+    const Partition& run(const CsrView& view) {
+        runImpl(view);
+        hasRun_ = true;
+        return zeta_;
+    }
+
+    /// Convenience entry: materializes/refreshes the owned snapshot of the
+    /// constructor graph, then runs the detector on it.
+    const Partition& run() { return run(ownedView()); }
 
     bool hasRun() const { return hasRun_; }
 
@@ -35,23 +49,35 @@ public:
         return zeta_;
     }
 
-protected:
-    /// The CSR snapshot kernels traverse. Borrowed if one was passed at
-    /// construction; otherwise owned and rebuilt when g_.version() moved.
-    const CsrView& view() {
-        if (external_) return *external_;
-        if (!owned_ || owned_->version() != g_.version()) {
-            owned_ = CsrView::fromGraph(g_);
+    /// Per-node result in the common kernel shape (the compacted community
+    /// id of every node, as double). Requires run().
+    std::vector<double> scores() const {
+        const Partition& p = getPartition();
+        std::vector<double> s(p.numberOfElements());
+        for (node u = 0; u < p.numberOfElements(); ++u) {
+            s[u] = static_cast<double>(p[u]);
         }
-        return *owned_;
+        return s;
     }
+
+protected:
+    /// The detector proper: fill zeta_ from @p view.
+    virtual void runImpl(const CsrView& view) = 0;
 
     const Graph& g_;
     Partition zeta_;
     bool hasRun_ = false;
 
 private:
-    const CsrView* external_ = nullptr;
+    /// Owned snapshot for the argument-less run(), rebuilt when
+    /// g_.version() moved.
+    const CsrView& ownedView() {
+        if (!owned_ || owned_->version() != g_.version()) {
+            owned_ = CsrView::fromGraph(g_);
+        }
+        return *owned_;
+    }
+
     std::optional<CsrView> owned_;
 };
 

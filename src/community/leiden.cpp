@@ -51,16 +51,15 @@ count ParallelLeiden::splitDisconnected(const CsrView& v, Partition& zeta) {
     return splits;
 }
 
-void ParallelLeiden::run() {
-    const count n = g_.numberOfNodes();
+void ParallelLeiden::runImpl(const CsrView& v) {
+    const count n = v.numberOfNodes();
     zeta_ = Partition(n);
     zeta_.allToSingletons();
     if (n == 0) {
-        hasRun_ = true;
         return;
     }
 
-    const CsrView& fine = view();
+    const CsrView& fine = v;
     auto cg = louvain::CoarseGraph::fromView(fine);
     std::vector<louvain::CoarseGraph> levels;
     std::vector<Partition> levelPartitions;
@@ -93,7 +92,6 @@ void ParallelLeiden::run() {
     splitDisconnected(fine, result);
     result.compact();
     zeta_ = std::move(result);
-    hasRun_ = true;
 }
 
 } // namespace rinkit

@@ -20,11 +20,6 @@ class ParallelLeiden : public CommunityDetector {
 public:
     explicit ParallelLeiden(const Graph& g, double gamma = 1.0, std::uint64_t seed = 1)
         : CommunityDetector(g), gamma_(gamma), seed_(seed) {}
-    ParallelLeiden(const Graph& g, const CsrView& view, double gamma = 1.0,
-                   std::uint64_t seed = 1)
-        : CommunityDetector(g, view), gamma_(gamma), seed_(seed) {}
-
-    void run() override;
 
     /// Splits internally disconnected subsets of @p zeta into their
     /// connected components (on the subgraph induced by each subset).
@@ -32,6 +27,8 @@ public:
     static count splitDisconnected(const CsrView& v, Partition& zeta);
 
 private:
+    void runImpl(const CsrView& view) override;
+
     double gamma_;
     std::uint64_t seed_;
 };

@@ -111,16 +111,15 @@ bool LouvainMapEquation::localMoving(const louvain::CoarseGraph& cg, Partition& 
     return movedAny;
 }
 
-void LouvainMapEquation::run() {
-    const count n = g_.numberOfNodes();
+void LouvainMapEquation::runImpl(const CsrView& v) {
+    const count n = v.numberOfNodes();
     zeta_ = Partition(n);
     zeta_.allToSingletons();
     if (n == 0) {
-        hasRun_ = true;
         return;
     }
 
-    auto cg = louvain::CoarseGraph::fromView(view());
+    auto cg = louvain::CoarseGraph::fromView(v);
     std::vector<Partition> levelPartitions;
     std::uint64_t seed = seed_;
     while (true) {
@@ -140,7 +139,6 @@ void LouvainMapEquation::run() {
     }
     zeta_ = std::move(result);
     zeta_.compact();
-    hasRun_ = true;
 }
 
 } // namespace rinkit

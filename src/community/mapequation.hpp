@@ -20,10 +20,6 @@ class LouvainMapEquation : public CommunityDetector {
 public:
     explicit LouvainMapEquation(const Graph& g, std::uint64_t seed = 1)
         : CommunityDetector(g), seed_(seed) {}
-    LouvainMapEquation(const Graph& g, const CsrView& view, std::uint64_t seed = 1)
-        : CommunityDetector(g, view), seed_(seed) {}
-
-    void run() override;
 
     /// Map-equation local moving on a coarse graph: improves @p zeta in
     /// place; returns true iff at least one node moved.
@@ -31,6 +27,8 @@ public:
                             std::uint64_t seed);
 
 private:
+    void runImpl(const CsrView& view) override;
+
     std::uint64_t seed_;
 };
 

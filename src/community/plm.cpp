@@ -108,16 +108,15 @@ bool Plm::localMoving(const louvain::CoarseGraph& cg, Partition& zeta, double ga
     return movedAny;
 }
 
-void Plm::run() {
-    const count n = g_.numberOfNodes();
+void Plm::runImpl(const CsrView& v) {
+    const count n = v.numberOfNodes();
     zeta_ = Partition(n);
     zeta_.allToSingletons();
     if (n == 0) {
-        hasRun_ = true;
         return;
     }
 
-    auto cg = louvain::CoarseGraph::fromView(view());
+    auto cg = louvain::CoarseGraph::fromView(v);
     Partition level(n);
     level.allToSingletons();
 
@@ -149,7 +148,6 @@ void Plm::run() {
     }
     zeta_ = std::move(result);
     zeta_.compact();
-    hasRun_ = true;
 }
 
 } // namespace rinkit

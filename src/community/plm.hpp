@@ -21,11 +21,6 @@ public:
     explicit Plm(const Graph& g, bool refine = false, double gamma = 1.0,
                  std::uint64_t seed = 1)
         : CommunityDetector(g), refine_(refine), gamma_(gamma), seed_(seed) {}
-    Plm(const Graph& g, const CsrView& view, bool refine = false, double gamma = 1.0,
-        std::uint64_t seed = 1)
-        : CommunityDetector(g, view), refine_(refine), gamma_(gamma), seed_(seed) {}
-
-    void run() override;
 
     /// Local-moving on an explicit coarse graph; exposed for reuse by the
     /// Leiden refinement and for white-box tests. Starts from @p zeta and
@@ -34,6 +29,8 @@ public:
                             double gamma, std::uint64_t seed);
 
 private:
+    void runImpl(const CsrView& view) override;
+
     bool refine_;
     double gamma_;
     std::uint64_t seed_;

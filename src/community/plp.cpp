@@ -4,17 +4,15 @@
 
 namespace rinkit {
 
-void Plp::run() {
-    const count n = g_.numberOfNodes();
+void Plp::runImpl(const CsrView& v) {
+    const count n = v.numberOfNodes();
     zeta_ = Partition(n);
     zeta_.allToSingletons();
     iterations_ = 0;
     if (n == 0) {
-        hasRun_ = true;
         return;
     }
 
-    const CsrView& v = view();
     const count* off = v.offsets();
     const node* tgt = v.targets();
     const edgeweight* wts = v.weights();
@@ -74,7 +72,6 @@ void Plp::run() {
         }
     }
     zeta_.compact();
-    hasRun_ = true;
 }
 
 } // namespace rinkit

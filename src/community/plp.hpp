@@ -18,16 +18,13 @@ class Plp : public CommunityDetector {
 public:
     explicit Plp(const Graph& g, count maxIterations = 100, std::uint64_t seed = 1)
         : CommunityDetector(g), maxIterations_(maxIterations), seed_(seed) {}
-    Plp(const Graph& g, const CsrView& view, count maxIterations = 100,
-        std::uint64_t seed = 1)
-        : CommunityDetector(g, view), maxIterations_(maxIterations), seed_(seed) {}
 
-    void run() override;
-
-    /// Rounds the last run() needed.
+    /// Rounds the last run needed.
     count iterations() const { return iterations_; }
 
 private:
+    void runImpl(const CsrView& view) override;
+
     count maxIterations_;
     std::uint64_t seed_;
     count iterations_ = 0;

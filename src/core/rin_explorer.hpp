@@ -15,28 +15,29 @@ namespace rinkit {
 /// discusses (how well communities track secondary structure, how the
 /// cutoff changes topology). The examples/ directory drives everything
 /// through this class.
+/// RinExplorer configuration. Namespace-scope (not nested) so its defaults
+/// can serve the facade's single defaulted-Options entry points.
+struct RinExplorerOptions {
+    count frames = 30;
+    count unfoldingEvents = 0;
+    double thermalSigma = 0.25;
+    viz::RinWidget::Options widget;
+    std::uint64_t seed = 1;
+};
+
 class RinExplorer {
 public:
-    struct Options {
-        count frames = 30;
-        count unfoldingEvents = 0;
-        double thermalSigma = 0.25;
-        viz::RinWidget::Options widget;
-        std::uint64_t seed = 1;
-    };
+    using Options = RinExplorerOptions;
 
     /// Creates an explorer for a named synthetic protein from the
     /// catalogue: "alpha3D", "chignolin", "villin", "ww-domain",
     /// "lambda-repressor", or "bundle:<residues>" for an arbitrary-size
     /// helix bundle. Throws std::invalid_argument for unknown names.
-    static RinExplorer forProtein(const std::string& name) {
-        return forProtein(name, Options{});
-    }
-    static RinExplorer forProtein(const std::string& name, Options options);
+    static RinExplorer forProtein(const std::string& name, Options options = {});
 
     /// Wraps an existing trajectory (e.g. read from XYZ).
     static RinExplorer forTrajectory(md::Trajectory traj,
-                                     viz::RinWidget::Options widgetOptions);
+                                     viz::RinWidget::Options widgetOptions = {});
 
     const md::Trajectory& trajectory() const { return *traj_; }
     viz::RinWidget& widget() { return *widget_; }

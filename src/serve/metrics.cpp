@@ -1,0 +1,119 @@
+#include "src/serve/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/support/json.hpp"
+
+namespace rinkit::serve {
+
+double LatencyHistogram::upperEdgeMs(std::size_t bin) {
+    return kFirstUpperMs * std::pow(kGrowth, static_cast<double>(bin));
+}
+
+void LatencyHistogram::record(double ms) {
+    ms = std::max(ms, 0.0);
+    // Direct index computation: bin i holds [upper(i-1), upper(i)).
+    std::size_t bin = 0;
+    if (ms >= kFirstUpperMs) {
+        bin = static_cast<std::size_t>(std::log(ms / kFirstUpperMs) / std::log(kGrowth)) + 1;
+        bin = std::min(bin, kBins - 1);
+        // Guard against floating-point edge cases at bin boundaries.
+        while (bin > 0 && ms < upperEdgeMs(bin - 1)) --bin;
+        while (bin + 1 < kBins && ms >= upperEdgeMs(bin)) ++bin;
+    }
+    ++bins_[bin];
+    minMs_ = count_ == 0 ? ms : std::min(minMs_, ms);
+    ++count_;
+    sumMs_ += ms;
+    maxMs_ = std::max(maxMs_, ms);
+}
+
+double LatencyHistogram::percentile(double p) const {
+    if (count_ == 0) return 0.0;
+    p = std::clamp(p, 0.0, 100.0);
+    // Nearest-rank within the cumulative bin counts.
+    const double rank = p / 100.0 * static_cast<double>(count_);
+    const count target = std::max<count>(1, static_cast<count>(std::ceil(rank)));
+    count seen = 0;
+    for (std::size_t bin = 0; bin < kBins; ++bin) {
+        seen += bins_[bin];
+        if (seen >= target) {
+            const double lower = bin == 0 ? 0.0 : upperEdgeMs(bin - 1);
+            const double upper = upperEdgeMs(bin);
+            // Geometric midpoint of the winning bin, clamped to the
+            // observed range so sparse histograms never report a value
+            // outside what was actually recorded.
+            const double mid = bin == 0 ? upper / 2.0 : std::sqrt(lower * upper);
+            return std::clamp(mid, minMs_, maxMs_);
+        }
+    }
+    return maxMs_;
+}
+
+void MetricsRegistry::recordLatency(std::string_view phase, double ms) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = histograms_.find(phase);
+    if (it == histograms_.end()) it = histograms_.emplace(std::string(phase), LatencyHistogram{}).first;
+    it->second.record(ms);
+}
+
+void MetricsRegistry::increment(std::string_view counterName, count by) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = counters_.find(counterName);
+    if (it == counters_.end())
+        counters_.emplace(std::string(counterName), by);
+    else
+        it->second += by;
+}
+
+void MetricsRegistry::gaugeQueueDepth(count depth) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queueDepth_ = depth;
+    queueDepthMax_ = std::max(queueDepthMax_, depth);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    MetricsSnapshot snap;
+    for (const auto& [name, h] : histograms_) {
+        MetricsSnapshot::HistogramStats s;
+        s.samples = h.samples();
+        s.meanMs = h.meanMs();
+        s.maxMs = h.maxMs();
+        s.p50Ms = h.percentile(50.0);
+        s.p95Ms = h.percentile(95.0);
+        s.p99Ms = h.percentile(99.0);
+        snap.histograms.emplace(name, s);
+    }
+    snap.counters = {counters_.begin(), counters_.end()};
+    snap.queueDepth = queueDepth_;
+    snap.queueDepthMax = queueDepthMax_;
+    return snap;
+}
+
+std::string MetricsSnapshot::toJson() const {
+    JsonWriter w;
+    w.beginObject();
+    w.key("histograms").beginObject();
+    for (const auto& [name, s] : histograms) {
+        w.key(name).beginObject();
+        w.kv("count", s.samples);
+        w.kv("mean_ms", s.meanMs);
+        w.kv("max_ms", s.maxMs);
+        w.kv("p50_ms", s.p50Ms);
+        w.kv("p95_ms", s.p95Ms);
+        w.kv("p99_ms", s.p99Ms);
+        w.endObject();
+    }
+    w.endObject();
+    w.key("counters").beginObject();
+    for (const auto& [name, v] : counters) w.kv(name, v);
+    w.endObject();
+    w.kv("queue_depth", queueDepth);
+    w.kv("queue_depth_max", queueDepthMax);
+    w.endObject();
+    return w.str();
+}
+
+} // namespace rinkit::serve

@@ -1,0 +1,101 @@
+#pragma once
+
+#include <array>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "src/support/types.hpp"
+
+namespace rinkit::serve {
+
+/// Fixed-memory latency histogram with logarithmically scaled bins.
+///
+/// Serving-latency distributions are heavy-tailed (a cache-hit measure
+/// update is microseconds, an exact Brandes recompute on a large RIN is
+/// seconds), so the bins grow geometrically: 25% per bin from 1 us up to
+/// ~28 minutes. Percentile queries interpolate inside the winning bin and
+/// are clamped to the exact observed maximum, so p100 is always the true
+/// max and low-count histograms don't overshoot.
+class LatencyHistogram {
+public:
+    static constexpr std::size_t kBins = 96;
+    static constexpr double kFirstUpperMs = 0.001; ///< bin 0: [0, 1us)
+    static constexpr double kGrowth = 1.25;
+
+    /// Records one latency sample (negative values clamp to 0).
+    void record(double ms);
+
+    /// Value at percentile @p p in [0, 100] (0 with no samples).
+    double percentile(double p) const;
+
+    count samples() const { return count_; }
+    double meanMs() const { return count_ == 0 ? 0.0 : sumMs_ / static_cast<double>(count_); }
+    double maxMs() const { return maxMs_; }
+    double minMs() const { return count_ == 0 ? 0.0 : minMs_; }
+
+private:
+    static double upperEdgeMs(std::size_t bin);
+
+    std::array<count, kBins> bins_{};
+    count count_ = 0;
+    double sumMs_ = 0.0;
+    double maxMs_ = 0.0;
+    double minMs_ = 0.0;
+};
+
+/// Point-in-time copy of every metric the registry holds; safe to read
+/// without locks and serializable for benchmark/ops output.
+struct MetricsSnapshot {
+    struct HistogramStats {
+        count samples = 0;
+        double meanMs = 0.0;
+        double maxMs = 0.0;
+        double p50Ms = 0.0;
+        double p95Ms = 0.0;
+        double p99Ms = 0.0;
+    };
+
+    std::map<std::string, HistogramStats> histograms; ///< keyed by phase name
+    std::map<std::string, count> counters;
+    count queueDepth = 0;    ///< total queued requests at snapshot time
+    count queueDepthMax = 0; ///< high-water mark since construction
+
+    count counter(const std::string& name) const {
+        auto it = counters.find(name);
+        return it == counters.end() ? 0 : it->second;
+    }
+
+    /// One JSON object: {"histograms": {...}, "counters": {...},
+    /// "queue_depth": n, "queue_depth_max": n}.
+    std::string toJson() const;
+};
+
+/// Thread-safe metrics sink for the serving layer: per-phase latency
+/// histograms, monotonic event counters, and a queue-depth gauge with
+/// high-water mark. Phase names follow the widget's update-cycle
+/// decomposition ("queue_ms", "network_update_ms", "layout_ms",
+/// "measure_ms", "scene_build_ms", "serialize_ms", "server_ms",
+/// "total_ms"); counter names are the service's lifecycle events
+/// ("submitted", "completed", "coalesced", "rejected", "shed_degraded",
+/// "deadline_missed").
+class MetricsRegistry {
+public:
+    void recordLatency(std::string_view phase, double ms);
+    void increment(std::string_view counterName, count by = 1);
+
+    /// Sets the current total queue depth; tracks the maximum seen.
+    void gaugeQueueDepth(count depth);
+
+    MetricsSnapshot snapshot() const;
+
+private:
+    mutable std::mutex mutex_;
+    std::map<std::string, LatencyHistogram, std::less<>> histograms_;
+    std::map<std::string, count, std::less<>> counters_;
+    count queueDepth_ = 0;
+    count queueDepthMax_ = 0;
+};
+
+} // namespace rinkit::serve

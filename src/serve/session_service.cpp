@@ -1,0 +1,274 @@
+#include "src/serve/session_service.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace rinkit::serve {
+
+SliderEvent SliderEvent::setFrame(index frame, double deadlineMs) {
+    SliderEvent e;
+    e.kind = Kind::Frame;
+    e.frame = frame;
+    e.deadlineMs = deadlineMs;
+    return e;
+}
+
+SliderEvent SliderEvent::setCutoff(double cutoff, double deadlineMs) {
+    SliderEvent e;
+    e.kind = Kind::Cutoff;
+    e.cutoff = cutoff;
+    e.deadlineMs = deadlineMs;
+    return e;
+}
+
+SliderEvent SliderEvent::setMeasure(viz::Measure measure, double deadlineMs) {
+    SliderEvent e;
+    e.kind = Kind::Measure;
+    e.measure = measure;
+    e.deadlineMs = deadlineMs;
+    return e;
+}
+
+SliderEvent SliderEvent::refresh(double deadlineMs) {
+    SliderEvent e;
+    e.kind = Kind::Refresh;
+    e.deadlineMs = deadlineMs;
+    return e;
+}
+
+SessionService::SessionService(Options options) : options_(options) {
+    if (options_.workers == 0)
+        options_.workers = std::max<count>(1, options_.budget.cpuMillis / 1000);
+    if (options_.maxQueuedPerSession == 0)
+        options_.maxQueuedPerSession = std::max<count>(2, options_.budget.memoryMb / 2048);
+    // Pre-seed the lifecycle counters so every snapshot (and its JSON)
+    // carries the full set, zeros included.
+    for (const char* name : {"submitted", "completed", "coalesced", "rejected",
+                             "shed_degraded", "deadline_missed", "sessions_opened"})
+        registry_.increment(name, 0);
+    pool_ = std::make_unique<ThreadPool>(options_.workers);
+}
+
+SessionService::~SessionService() {
+    // Reject everything still queued so no future dangles, and clear the
+    // session map so finishing workers do not re-enqueue; then join the
+    // pool while all other members are still alive.
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (auto& [id, session] : sessions_) {
+            for (auto& request : session->queue) {
+                // One slot = one "rejected" tick: the coalesced waiters of
+                // this slot were already accounted under "coalesced", so
+                // per-slot counting keeps the invariant
+                // submitted == completed + coalesced + rejected.
+                registry_.increment("rejected");
+                RequestOutcome outcome;
+                outcome.status = RequestStatus::Rejected;
+                resolveAll(request, outcome);
+            }
+            totalQueued_ -= session->queue.size();
+            session->queue.clear();
+        }
+        sessions_.clear();
+        registry_.gaugeQueueDepth(totalQueued_);
+    }
+    pool_.reset();
+}
+
+SessionId SessionService::openSession(const md::Trajectory& traj,
+                                      viz::RinWidget::Options widgetOptions) {
+    // Widget construction runs the initial update cycle — keep it off the
+    // service lock.
+    auto session = std::make_shared<Session>();
+    session->widget = std::make_unique<viz::RinWidget>(traj, widgetOptions);
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    session->id = nextId_++;
+    const SessionId id = session->id;
+    sessions_.emplace(id, std::move(session));
+    registry_.increment("sessions_opened");
+    return id;
+}
+
+void SessionService::closeSession(SessionId id) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = sessions_.find(id);
+    if (it == sessions_.end()) return;
+    Session& session = *it->second;
+    for (auto& request : session.queue) {
+        registry_.increment("rejected"); // per slot; see ~SessionService
+        RequestOutcome outcome;
+        outcome.status = RequestStatus::Rejected;
+        resolveAll(request, outcome);
+    }
+    totalQueued_ -= session.queue.size();
+    session.queue.clear();
+    registry_.gaugeQueueDepth(totalQueued_);
+    // An in-flight request holds its own shared_ptr and finishes normally;
+    // erasing the map entry just prevents re-scheduling.
+    sessions_.erase(it);
+}
+
+std::future<RequestOutcome> SessionService::submit(SessionId id, SliderEvent event) {
+    std::promise<RequestOutcome> promise;
+    std::future<RequestOutcome> future = promise.get_future();
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = sessions_.find(id);
+    if (it == sessions_.end())
+        throw std::invalid_argument("SessionService: unknown session id " + std::to_string(id));
+    Session& session = *it->second;
+    registry_.increment("submitted");
+
+    // Latest-wins coalescing: a queued event of the same kind is stale the
+    // moment a newer one arrives — overwrite it in place, adopt its
+    // waiters, and keep its queue slot so the queue does not grow.
+    for (auto& queued : session.queue) {
+        if (queued.event.kind == event.kind) {
+            queued.event = event;
+            ++queued.absorbed;
+            queued.waiters.push_back(std::move(promise));
+            registry_.increment("coalesced");
+            return future;
+        }
+    }
+
+    // Admission control: beyond the budgeted backlog nothing coalescible
+    // is left, so refuse instead of queueing unboundedly.
+    if (session.queue.size() >= options_.maxQueuedPerSession) {
+        registry_.increment("rejected");
+        RequestOutcome outcome;
+        outcome.status = RequestStatus::Rejected;
+        promise.set_value(outcome);
+        return future;
+    }
+
+    Request request;
+    request.event = event;
+    request.waiters.push_back(std::move(promise));
+    session.queue.push_back(std::move(request));
+    ++totalQueued_;
+    registry_.gaugeQueueDepth(totalQueued_);
+    pumpLocked(it->second);
+    return future;
+}
+
+void SessionService::drain() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock, [this] { return totalQueued_ == 0 && inFlight_ == 0; });
+}
+
+count SessionService::activeSessions() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return sessions_.size();
+}
+
+std::vector<SliderEvent::Kind> SessionService::appliedEvents(SessionId id) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = sessions_.find(id);
+    if (it == sessions_.end())
+        throw std::invalid_argument("SessionService: unknown session id " + std::to_string(id));
+    return it->second->appliedLog;
+}
+
+void SessionService::pumpLocked(const std::shared_ptr<Session>& session) {
+    if (session->busy || session->queue.empty()) return;
+    session->busy = true;
+    ++inFlight_;
+    pool_->submit([this, session] { runNext(session); });
+}
+
+void SessionService::resolveAll(Request& request, const RequestOutcome& outcome) {
+    for (auto& waiter : request.waiters) waiter.set_value(outcome);
+    request.waiters.clear();
+}
+
+void SessionService::runNext(std::shared_ptr<Session> session) {
+    Request request;
+    count depthBehind = 0;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (session->queue.empty()) {
+            // closeSession rejected the backlog between scheduling and now.
+            session->busy = false;
+            --inFlight_;
+            if (totalQueued_ == 0 && inFlight_ == 0) idle_.notify_all();
+            return;
+        }
+        request = std::move(session->queue.front());
+        session->queue.pop_front();
+        depthBehind = session->queue.size();
+        --totalQueued_;
+        registry_.gaugeQueueDepth(totalQueued_);
+        session->appliedLog.push_back(request.event.kind);
+    }
+
+    const double queueMs = request.queued.elapsedMs();
+    const double deadlineMs =
+        request.event.deadlineMs > 0.0 ? request.event.deadlineMs : options_.defaultDeadlineMs;
+
+    // Degradation ladder: a deep backlog sheds this request to the cheap
+    // path; a blown queue deadline does the same (still executed — the
+    // client gets *an* update — but flagged).
+    bool degraded = false;
+    bool deadlineMissed = false;
+    if (depthBehind > options_.degradeQueueDepth) {
+        degraded = true;
+        registry_.increment("shed_degraded");
+    }
+    if (deadlineMs > 0.0 && queueMs > deadlineMs) {
+        deadlineMissed = true;
+        degraded = true;
+        registry_.increment("deadline_missed");
+    }
+
+    // The busy flag serializes per-session execution, so the widget is
+    // touched by exactly one worker at a time — no lock held while the
+    // update cycle runs.
+    viz::RinWidget& widget = *session->widget;
+    widget.setDegraded(degraded);
+    viz::RinWidget::UpdateTiming timing;
+    switch (request.event.kind) {
+    case SliderEvent::Kind::Frame:
+        timing = widget.setFrame(request.event.frame);
+        break;
+    case SliderEvent::Kind::Cutoff:
+        timing = widget.setCutoff(request.event.cutoff);
+        break;
+    case SliderEvent::Kind::Measure:
+        timing = widget.setMeasure(request.event.measure);
+        break;
+    case SliderEvent::Kind::Refresh:
+        timing = widget.refresh();
+        break;
+    }
+
+    registry_.recordLatency("queue_ms", queueMs);
+    registry_.recordLatency("network_update_ms", timing.networkUpdateMs);
+    registry_.recordLatency("layout_ms", timing.layoutMs);
+    registry_.recordLatency("measure_ms", timing.measureMs);
+    registry_.recordLatency("scene_build_ms", timing.sceneBuildMs);
+    registry_.recordLatency("serialize_ms", timing.serializeMs);
+    registry_.recordLatency("server_ms", timing.serverMs());
+    registry_.recordLatency("total_ms", queueMs + timing.totalMs());
+    registry_.increment("completed");
+
+    RequestOutcome outcome;
+    outcome.status = degraded ? RequestStatus::OkDegraded : RequestStatus::Ok;
+    outcome.timing = timing;
+    outcome.queueMs = queueMs;
+    outcome.coalescedEvents = request.absorbed;
+    outcome.deadlineMissed = deadlineMissed;
+    resolveAll(request, outcome);
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    session->busy = false;
+    --inFlight_;
+    // Re-enqueue through the pool's FIFO rather than looping here, so a
+    // chatty session yields to the others between requests.
+    if (sessions_.count(session->id) != 0) pumpLocked(session);
+    if (totalQueued_ == 0 && inFlight_ == 0) idle_.notify_all();
+}
+
+} // namespace rinkit::serve

@@ -1,0 +1,179 @@
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/cloud/resources.hpp"
+#include "src/md/trajectory.hpp"
+#include "src/serve/metrics.hpp"
+#include "src/support/thread_pool.hpp"
+#include "src/support/timer.hpp"
+#include "src/viz/widget.hpp"
+
+namespace rinkit::serve {
+
+/// Opaque handle to one user's widget session.
+using SessionId = count;
+
+/// One interaction from a client: a widget slider move (or a refresh
+/// button press) plus an optional latency deadline.
+struct SliderEvent {
+    enum class Kind { Frame, Cutoff, Measure, Refresh };
+
+    Kind kind = Kind::Refresh;
+    index frame = 0;
+    double cutoff = 4.5;
+    viz::Measure measure = viz::Measure::Degree;
+    /// Queue-time budget in ms; a request that waits longer is executed
+    /// degraded and flagged. 0 = use the service default.
+    double deadlineMs = 0.0;
+
+    static SliderEvent setFrame(index frame, double deadlineMs = 0.0);
+    static SliderEvent setCutoff(double cutoff, double deadlineMs = 0.0);
+    static SliderEvent setMeasure(viz::Measure measure, double deadlineMs = 0.0);
+    static SliderEvent refresh(double deadlineMs = 0.0);
+};
+
+enum class RequestStatus {
+    Ok,         ///< served exactly
+    OkDegraded, ///< served, but shed to the degraded path
+    Rejected,   ///< admission control refused it (queue at budget / session closed)
+};
+
+/// What a submitted request resolved to. Every accepted request's future
+/// resolves exactly once — coalesced requests resolve with the outcome of
+/// the event that superseded them.
+struct RequestOutcome {
+    RequestStatus status = RequestStatus::Ok;
+    viz::RinWidget::UpdateTiming timing; ///< zeros when Rejected
+    double queueMs = 0.0;                ///< time spent waiting for a worker
+    count coalescedEvents = 0;           ///< older queued events this one absorbed
+    bool deadlineMissed = false;         ///< queue wait exceeded the deadline
+
+    bool accepted() const { return status != RequestStatus::Rejected; }
+    bool degraded() const { return status == RequestStatus::OkDegraded; }
+};
+
+/// SessionService configuration. Namespace-scope (not nested) so its
+/// defaults can serve the service's single defaulted-Options constructor.
+struct SessionServiceOptions {
+    /// Resource budget the service admits work against — defaults to the
+    /// paper's per-instance cgroup limit (10 vCores / 16 GB).
+    cloud::Resources budget = cloud::kPaperInstanceLimit;
+    /// Worker threads. 0 = one per budgeted vCore (budget.cpuMillis/1000).
+    count workers = 0;
+    /// Admission bound per session. A queued update pins roughly a
+    /// figure-sized buffer, so 0 derives the bound from the memory budget
+    /// (one slot per 2 GB, minimum 2).
+    count maxQueuedPerSession = 0;
+    /// Queue depth at dequeue beyond which a request is shed to the
+    /// degraded path (stale/approx measures, layout polish only).
+    count degradeQueueDepth = 2;
+    /// Deadline applied when an event carries none. 0 = no deadline.
+    double defaultDeadlineMs = 0.0;
+};
+
+/// Concurrent multi-session RIN service: runs many RinWidget sessions on a
+/// fixed worker pool behind a single request API.
+///
+/// Scheduling model (per session):
+///  - requests form a FIFO queue; at most one executes at a time, so each
+///    session observes its slider events in order;
+///  - **latest-wins coalescing**: a newly submitted event replaces a queued
+///    event of the same Kind in place — the stale value is never computed,
+///    the superseded waiters are resolved with the newer event's outcome,
+///    and the queue does not grow;
+///  - **admission control**: once a session's queue is at its budgeted
+///    bound (and nothing can be coalesced), submit resolves immediately
+///    with Rejected instead of queueing unboundedly;
+///  - **graceful degradation**: a request dequeued behind more than
+///    degradeQueueDepth waiters, or one whose queue wait blew its
+///    deadline, executes with RinWidget::setDegraded(true) — serving
+///    cached/approximate measures and a warm-start-only layout.
+///
+/// Sessions are independent: the pool interleaves them, and a session
+/// re-enqueues itself after each request so a chatty client cannot starve
+/// the others. All slider submissions and metric reads are thread-safe.
+class SessionService {
+public:
+    using Options = SessionServiceOptions;
+
+    explicit SessionService(Options options = {});
+    ~SessionService();
+
+    SessionService(const SessionService&) = delete;
+    SessionService& operator=(const SessionService&) = delete;
+
+    /// Opens a widget session over @p traj (which must outlive the
+    /// session). Returns the id used for submit/close.
+    SessionId openSession(const md::Trajectory& traj,
+                          viz::RinWidget::Options widgetOptions = {});
+
+    /// Closes a session: queued requests resolve Rejected, an in-flight
+    /// request finishes normally. Unknown ids are ignored.
+    void closeSession(SessionId id);
+
+    /// Submits one slider event; never blocks on computation. The returned
+    /// future always resolves (Ok, OkDegraded, or Rejected). Throws
+    /// std::invalid_argument for an unknown session id.
+    std::future<RequestOutcome> submit(SessionId id, SliderEvent event);
+
+    /// Blocks until every queue is empty and no request is in flight.
+    void drain();
+
+    count activeSessions() const;
+
+    /// In-submission-order log of the event kinds actually applied to the
+    /// session's widget (coalesced-away events never appear). Test hook
+    /// for the per-session ordering guarantee.
+    std::vector<SliderEvent::Kind> appliedEvents(SessionId id) const;
+
+    /// Point-in-time copy of all serving metrics.
+    MetricsSnapshot metrics() const { return registry_.snapshot(); }
+
+    const Options& options() const { return options_; }
+    count workerCount() const { return pool_->size(); }
+
+private:
+    struct Request {
+        SliderEvent event;
+        std::vector<std::promise<RequestOutcome>> waiters;
+        Timer queued;        ///< started at submit of the *oldest* waiter
+        count absorbed = 0;  ///< events coalesced into this slot
+    };
+
+    struct Session {
+        SessionId id = 0;
+        std::unique_ptr<viz::RinWidget> widget;
+        std::deque<Request> queue;
+        bool busy = false; ///< a request of this session is executing
+        std::vector<SliderEvent::Kind> appliedLog;
+    };
+
+    /// Schedules the session on the pool if it is idle with pending work.
+    /// Caller must hold mutex_.
+    void pumpLocked(const std::shared_ptr<Session>& session);
+
+    /// Worker-side: pops and executes the session's next request.
+    void runNext(std::shared_ptr<Session> session);
+
+    static void resolveAll(Request& request, const RequestOutcome& outcome);
+
+    Options options_;
+    std::unique_ptr<ThreadPool> pool_;
+    MetricsRegistry registry_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable idle_;
+    std::map<SessionId, std::shared_ptr<Session>> sessions_;
+    SessionId nextId_ = 1;
+    count totalQueued_ = 0;  ///< across sessions (drives the depth gauge)
+    count inFlight_ = 0;
+};
+
+} // namespace rinkit::serve

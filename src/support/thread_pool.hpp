@@ -1,0 +1,81 @@
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/support/types.hpp"
+
+namespace rinkit {
+
+/// Fixed-size worker pool with a FIFO task queue.
+///
+/// This is the serving layer's execution substrate (serve::SessionService
+/// schedules one task per queued widget request), deliberately separate
+/// from the OpenMP team the kernels use: OpenMP parallelizes *inside* one
+/// update, the pool runs *independent sessions* concurrently. FIFO order
+/// gives round-robin fairness across sessions that re-enqueue themselves
+/// after each request.
+///
+/// Destruction waits for the queue to drain and joins every worker; tasks
+/// submitted after shutdown began are silently dropped.
+class ThreadPool {
+public:
+    explicit ThreadPool(count threads) {
+        if (threads == 0) threads = 1;
+        workers_.reserve(threads);
+        for (count i = 0; i < threads; ++i) {
+            workers_.emplace_back([this] { workerLoop(); });
+        }
+    }
+
+    ~ThreadPool() {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stopping_ = true;
+        }
+        available_.notify_all();
+        for (auto& w : workers_) w.join();
+    }
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /// Enqueues @p task; it runs on some worker in FIFO order.
+    void submit(std::function<void()> task) {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (stopping_) return;
+            queue_.push_back(std::move(task));
+        }
+        available_.notify_one();
+    }
+
+    count size() const { return workers_.size(); }
+
+private:
+    void workerLoop() {
+        for (;;) {
+            std::function<void()> task;
+            {
+                std::unique_lock<std::mutex> lock(mutex_);
+                available_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+                if (queue_.empty()) return; // stopping_ and drained
+                task = std::move(queue_.front());
+                queue_.pop_front();
+            }
+            task();
+        }
+    }
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable available_;
+    bool stopping_ = false;
+};
+
+} // namespace rinkit

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "src/centrality/approx_betweenness.hpp"
 #include "src/centrality/betweenness.hpp"
 #include "src/centrality/closeness.hpp"
 #include "src/centrality/core_decomposition.hpp"
@@ -60,81 +61,69 @@ bool isCommunityMeasure(Measure m) {
 
 namespace {
 
-std::vector<double> fromCentrality(CentralityAlgorithm&& algo) {
-    algo.run();
-    return algo.scores();
-}
-
-std::vector<double> fromDetector(CommunityDetector&& det) {
-    det.run();
-    const auto& p = det.getPartition();
-    std::vector<double> scores(p.numberOfElements());
-    for (node u = 0; u < p.numberOfElements(); ++u) {
-        scores[u] = static_cast<double>(p[u]);
-    }
-    return scores;
+/// Drives any kernel — centrality or detector — through the canonical
+/// run(const CsrView&) entry and reads the common per-node result shape.
+template <typename Kernel>
+std::vector<double> runOn(Kernel&& kernel, const CsrView& v) {
+    kernel.run(v);
+    return kernel.scores();
 }
 
 } // namespace
 
-std::vector<double> computeMeasure(const Graph& g, Measure m) {
-    // Let each algorithm materialize (and own) its snapshot.
-    switch (m) {
-    case Measure::Degree: return fromCentrality(DegreeCentrality(g));
-    case Measure::Closeness: return fromCentrality(ClosenessCentrality(g));
-    case Measure::HarmonicCloseness:
-        return fromCentrality(
-            ClosenessCentrality(g, ClosenessCentrality::Variant::Harmonic));
-    case Measure::Betweenness: return fromCentrality(Betweenness(g, true));
-    case Measure::PageRank:
-        return fromCentrality(
-            PageRank(g, 0.85, 1e-9, 200, PageRank::Norm::SizeInvariant));
-    case Measure::Eigenvector: return fromCentrality(EigenvectorCentrality(g));
-    case Measure::Katz: return fromCentrality(KatzCentrality(g));
-    case Measure::CoreNumber: return fromCentrality(CoreDecomposition(g));
-    case Measure::LocalClustering: return fromCentrality(LocalClusteringCoefficient(g));
-    case Measure::PlmCommunities: return fromDetector(Plm(g, true));
-    case Measure::LeidenCommunities: return fromDetector(ParallelLeiden(g));
-    case Measure::MapEquationCommunities: return fromDetector(LouvainMapEquation(g));
-    case Measure::PlpCommunities: return fromDetector(Plp(g));
-    }
-    throw std::invalid_argument("computeMeasure: unknown measure");
-}
-
 std::vector<double> computeMeasure(const Graph& g, const CsrView& v, Measure m) {
     switch (m) {
-    case Measure::Degree: return fromCentrality(DegreeCentrality(g, v));
-    case Measure::Closeness: return fromCentrality(ClosenessCentrality(g, v));
+    case Measure::Degree: return runOn(DegreeCentrality(g), v);
+    case Measure::Closeness: return runOn(ClosenessCentrality(g), v);
     case Measure::HarmonicCloseness:
-        return fromCentrality(
-            ClosenessCentrality(g, v, ClosenessCentrality::Variant::Harmonic));
-    case Measure::Betweenness: return fromCentrality(Betweenness(g, v, true));
+        return runOn(ClosenessCentrality(g, ClosenessCentrality::Variant::Harmonic), v);
+    case Measure::Betweenness: return runOn(Betweenness(g, true), v);
     case Measure::PageRank:
-        return fromCentrality(
-            PageRank(g, v, 0.85, 1e-9, 200, PageRank::Norm::SizeInvariant));
-    case Measure::Eigenvector: return fromCentrality(EigenvectorCentrality(g, v));
-    case Measure::Katz: return fromCentrality(KatzCentrality(g, v));
-    case Measure::CoreNumber: return fromCentrality(CoreDecomposition(g, v));
-    case Measure::LocalClustering:
-        return fromCentrality(LocalClusteringCoefficient(g, v));
-    case Measure::PlmCommunities: return fromDetector(Plm(g, v, true));
-    case Measure::LeidenCommunities: return fromDetector(ParallelLeiden(g, v));
-    case Measure::MapEquationCommunities: return fromDetector(LouvainMapEquation(g, v));
-    case Measure::PlpCommunities: return fromDetector(Plp(g, v));
+        return runOn(PageRank(g, 0.85, 1e-9, 200, PageRank::Norm::SizeInvariant), v);
+    case Measure::Eigenvector: return runOn(EigenvectorCentrality(g), v);
+    case Measure::Katz: return runOn(KatzCentrality(g), v);
+    case Measure::CoreNumber: return runOn(CoreDecomposition(g), v);
+    case Measure::LocalClustering: return runOn(LocalClusteringCoefficient(g), v);
+    case Measure::PlmCommunities: return runOn(Plm(g, true), v);
+    case Measure::LeidenCommunities: return runOn(ParallelLeiden(g), v);
+    case Measure::MapEquationCommunities: return runOn(LouvainMapEquation(g), v);
+    case Measure::PlpCommunities: return runOn(Plp(g), v);
     }
     throw std::invalid_argument("computeMeasure: unknown measure");
 }
 
 const std::vector<double>& MeasureEngine::scores(const Graph& g, Measure m,
-                                                 bool* cacheHit) {
+                                                 bool* cacheHit, bool degraded) {
     auto& entry = cache_[static_cast<size_t>(m)];
-    if (entry.valid && entry.g == &g && entry.version == g.version()) {
+    const bool fresh =
+        entry.valid && entry.g == &g && entry.version == g.version();
+    // Exact reads refuse approximate entries; degraded reads take anything
+    // fresh.
+    if (fresh && (degraded || !entry.approx)) {
+        if (cacheHit) *cacheHit = true;
+        return entry.scores;
+    }
+    if (degraded && entry.valid && entry.g == &g &&
+        entry.scores.size() == g.numberOfNodes()) {
+        // Stale-but-right-sized: the latest-wins contract prefers an
+        // instant slightly-old color map over a late exact one. The entry
+        // keeps its old version, so the next exact read recomputes.
         if (cacheHit) *cacheHit = true;
         return entry.scores;
     }
     if (cacheHit) *cacheHit = false;
     const CsrView& v = snapshot_.get(g);
-    entry.scores = computeMeasure(g, v, m);
+    if (degraded && m == Measure::Betweenness) {
+        // The paper's escape hatch for heavy exact kernels: sampling
+        // betweenness (Riondato-Kornaropoulos) instead of exact Brandes.
+        ApproxBetweenness approx(g, 0.1, 0.1);
+        approx.run(v);
+        entry.scores = approx.scores();
+        entry.approx = true;
+    } else {
+        entry.scores = computeMeasure(g, v, m);
+        entry.approx = false;
+    }
     entry.version = g.version();
     entry.g = &g;
     entry.valid = true;

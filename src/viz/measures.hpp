@@ -40,12 +40,11 @@ std::string measureName(Measure m);
 /// should be colored with the categorical palette).
 bool isCommunityMeasure(Measure m);
 
-/// Computes per-node scores of @p m on @p g. For community measures the
-/// score is the (compacted) community id.
-std::vector<double> computeMeasure(const Graph& g, Measure m);
-
-/// Same, but traverses @p view (a snapshot of @p g) instead of letting each
-/// algorithm materialize its own.
+/// Computes per-node scores of @p m by driving the measure's kernel
+/// through its canonical `run(const CsrView&)` entry on @p view (a
+/// snapshot of @p g). For community measures the score is the (compacted)
+/// community id. This is the single measure-to-kernel adaptor; everything
+/// that computes a measure — engine, benches, tests — goes through it.
 std::vector<double> computeMeasure(const Graph& g, const CsrView& view, Measure m);
 
 /// The widget session's measure engine: one shared CSR snapshot plus a
@@ -57,12 +56,21 @@ std::vector<double> computeMeasure(const Graph& g, const CsrView& view, Measure 
 /// cleared eagerly, an entry is simply recomputed the next time it is read
 /// with a newer version. Results for the *current* version always coexist,
 /// so flipping between two measures costs two computations total.
+///
+/// Degraded reads are the serving layer's shed/deadline path (see
+/// serve::SessionService): instead of recomputing, they serve the cached
+/// result even when its version is stale, and on a true miss substitute
+/// sampling-approximate betweenness for exact Brandes. Approximate
+/// results are tagged so an exact read never serves them.
 class MeasureEngine {
 public:
     /// Scores of @p m on @p g. Sets @p cacheHit (if non-null) to true iff
-    /// the result came out of the version-keyed cache.
+    /// the result came out of the version-keyed cache (for degraded reads
+    /// this includes stale entries). With @p degraded set, trades accuracy
+    /// for latency as described above.
     const std::vector<double>& scores(const Graph& g, Measure m,
-                                      bool* cacheHit = nullptr);
+                                      bool* cacheHit = nullptr,
+                                      bool degraded = false);
 
     /// Drops the snapshot and every cached result.
     void reset();
@@ -73,6 +81,7 @@ private:
         std::uint64_t version = 0;
         const Graph* g = nullptr;
         bool valid = false;
+        bool approx = false; ///< degraded substitute; a miss for exact reads
     };
 
     CsrSnapshot snapshot_;

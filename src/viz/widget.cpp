@@ -1,5 +1,7 @@
 #include "src/viz/widget.hpp"
 
+#include <algorithm>
+
 #include "src/support/timer.hpp"
 #include "src/viz/figure.hpp"
 
@@ -15,7 +17,12 @@ RinWidget::RinWidget(const md::Trajectory& traj, Options options)
 void RinWidget::recomputeLayout(UpdateTiming& t) {
     Timer timer;
     MaxentStress::Parameters params;
-    params.iterations = options_.layoutIterations;
+    // Degraded mode gives up layout quality for latency: only the short
+    // warm-start polish runs even on a cold start.
+    params.iterations = degraded_ && options_.layoutWarmStartIterations > 0
+                            ? std::min(options_.layoutIterations,
+                                       options_.layoutWarmStartIterations)
+                            : options_.layoutIterations;
     params.warmStartIterations = options_.layoutWarmStartIterations;
     params.seed = options_.seed;
     MaxentStress layout(rin_.graph(), 3, params);
@@ -33,7 +40,7 @@ void RinWidget::recomputeMeasure(UpdateTiming& t) {
     if (!measure_) return;
     Timer timer;
     if (!scores_.empty()) buffer_ = scores_; // keep the most recent result
-    scores_ = engine_.scores(rin_.graph(), *measure_, &t.measureCacheHit);
+    scores_ = engine_.scores(rin_.graph(), *measure_, &t.measureCacheHit, degraded_);
     t.measureMs = timer.elapsedMs();
 }
 
@@ -46,6 +53,7 @@ std::vector<double> RinWidget::displayedScores() const {
 
 void RinWidget::renderAndShip(UpdateTiming& t, bool fullClientUpdate, bool markersOnly) {
     const Graph& g = rin_.graph();
+    t.degraded = degraded_;
 
     Timer buildTimer;
     // Left view: the real protein conformation (C-alpha positions), the

@@ -22,22 +22,26 @@ namespace rinkit::viz {
 ///   scene build -> JSON serialization -> (simulated) client update,
 /// and returns the per-phase wall-clock times — the quantities plotted in
 /// Figs. 6-8.
+/// RinWidget configuration. Namespace-scope (not nested) so its defaults
+/// can serve the widget's single defaulted-Options constructor.
+struct RinWidgetOptions {
+    rin::DistanceCriterion criterion = rin::DistanceCriterion::MinimumAtomDistance;
+    double initialCutoff = 4.5;
+    index initialFrame = 0;
+    std::optional<Measure> initialMeasure = Measure::Closeness;
+    Palette palette = Palette::Spectral;
+    bool autoRecompute = true; ///< recompute the measure on network change
+    count layoutIterations = 30; ///< Maxent-Stress iterations per update
+    /// Iteration cap when the layout is seeded with the previous
+    /// result (every update after the first): the seed is already
+    /// near equilibrium, so a short polish suffices. 0 disables.
+    count layoutWarmStartIterations = 10;
+    std::uint64_t seed = 1;
+};
+
 class RinWidget {
 public:
-    struct Options {
-        rin::DistanceCriterion criterion = rin::DistanceCriterion::MinimumAtomDistance;
-        double initialCutoff = 4.5;
-        index initialFrame = 0;
-        std::optional<Measure> initialMeasure = Measure::Closeness;
-        Palette palette = Palette::Spectral;
-        bool autoRecompute = true; ///< recompute the measure on network change
-        count layoutIterations = 30; ///< Maxent-Stress iterations per update
-        /// Iteration cap when the layout is seeded with the previous
-        /// result (every update after the first): the seed is already
-        /// near equilibrium, so a short polish suffices. 0 disables.
-        count layoutWarmStartIterations = 10;
-        std::uint64_t seed = 1;
-    };
+    using Options = RinWidgetOptions;
 
     /// Wall-clock decomposition of one update cycle (all in ms).
     struct UpdateTiming {
@@ -53,6 +57,8 @@ public:
                                              ///< fresh (0 = cache hit)
         bool measureCacheHit = false; ///< scores served from the version-keyed
                                       ///< result cache (no recomputation)
+        bool degraded = false; ///< update ran in degraded mode (stale cache /
+                               ///< approximate measure, layout polish only)
 
         double serverMs() const {
             return networkUpdateMs + layoutMs + measureMs + sceneBuildMs + serializeMs;
@@ -60,8 +66,7 @@ public:
         double totalMs() const { return serverMs() + clientMs; }
     };
 
-    RinWidget(const md::Trajectory& traj, Options options);
-    RinWidget(const md::Trajectory& traj) : RinWidget(traj, Options{}) {}
+    explicit RinWidget(const md::Trajectory& traj, Options options = {});
 
     // -- slider events --------------------------------------------------
 
@@ -95,6 +100,12 @@ public:
 
     /// Stores the current scores as the delta baseline.
     void snapshotBuffer() { buffer_ = scores_; }
+
+    /// Degraded service mode (the serving layer's shed/deadline path):
+    /// measure recomputation may serve stale cached scores or a sampling
+    /// approximation, and the layout runs only the warm-start polish.
+    void setDegraded(bool enabled) { degraded_ = enabled; }
+    bool degraded() const { return degraded_; }
 
     // -- state ------------------------------------------------------------
 
@@ -136,6 +147,7 @@ private:
     bool edgeTracesValid_ = false;
     ClientCostModel client_;
     bool deltaMode_ = false;
+    bool degraded_ = false;
 };
 
 } // namespace rinkit::viz

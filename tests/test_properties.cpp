@@ -7,11 +7,18 @@
 
 #include <set>
 
+#include "src/centrality/approx_betweenness.hpp"
 #include "src/centrality/betweenness.hpp"
 #include "src/centrality/closeness.hpp"
+#include "src/centrality/core_decomposition.hpp"
 #include "src/centrality/degree.hpp"
+#include "src/centrality/eigenvector.hpp"
+#include "src/centrality/local_clustering.hpp"
 #include "src/centrality/pagerank.hpp"
+#include "src/community/leiden.hpp"
+#include "src/community/mapequation.hpp"
 #include "src/community/plm.hpp"
+#include "src/community/plp.hpp"
 #include "src/community/quality.hpp"
 #include "src/community/similarity.hpp"
 #include "src/components/bfs.hpp"
@@ -289,14 +296,30 @@ TEST_P(CsrStormP, SnapshotByteIdenticalToFreshBuildAfterEdits) {
 INSTANTIATE_TEST_SUITE_P(Seeds, CsrStormP, ::testing::Values(6, 16, 26));
 
 // ---------------------------------------------------------------------------
-// Kernel equivalence: every measure must score identically whether the
-// algorithm materializes its own snapshot (Graph ctor) or borrows a shared
-// one (CsrView ctor) — i.e. the engine's shared snapshot changes nothing.
+// Kernel equivalence: every kernel must score identically whether it is
+// driven through the convenience run() (owned, lazily refreshed snapshot)
+// or the canonical run(CsrView) entry with a shared snapshot — i.e. the
+// engine's shared snapshot changes nothing.
 // ---------------------------------------------------------------------------
+
+template <typename Kernel, typename... Args>
+void expectOwnedEqualsBorrowed(const Graph& g, const CsrView& v, const char* name,
+                               Args&&... args) {
+    Kernel owned(g, args...);
+    owned.run();
+    Kernel borrowed(g, args...);
+    borrowed.run(v);
+    const auto ownScores = owned.scores();
+    const auto borrowedScores = borrowed.scores();
+    ASSERT_EQ(ownScores.size(), borrowedScores.size()) << name;
+    for (count i = 0; i < ownScores.size(); ++i) {
+        EXPECT_NEAR(ownScores[i], borrowedScores[i], 1e-9) << name << " node " << i;
+    }
+}
 
 class KernelEquivalenceP : public ::testing::TestWithParam<std::uint64_t> {};
 
-TEST_P(KernelEquivalenceP, GraphAndCsrViewInputsScoreIdentically) {
+TEST_P(KernelEquivalenceP, OwnedAndBorrowedSnapshotsScoreIdentically) {
     const auto g = generators::erdosRenyi(80, 0.04, GetParam());
     const auto v = CsrView::fromGraph(g);
 
@@ -305,15 +328,22 @@ TEST_P(KernelEquivalenceP, GraphAndCsrViewInputsScoreIdentically) {
     // paths see the same move order.
     const int threadsBefore = omp_get_max_threads();
     omp_set_num_threads(1);
-    for (const viz::Measure m : viz::allMeasures()) {
-        const auto own = viz::computeMeasure(g, m);
-        const auto borrowed = viz::computeMeasure(g, v, m);
-        ASSERT_EQ(own.size(), borrowed.size()) << viz::measureName(m);
-        for (count i = 0; i < own.size(); ++i) {
-            EXPECT_NEAR(own[i], borrowed[i], 1e-9)
-                << viz::measureName(m) << " node " << i;
-        }
-    }
+    expectOwnedEqualsBorrowed<DegreeCentrality>(g, v, "Degree", true);
+    expectOwnedEqualsBorrowed<ClosenessCentrality>(g, v, "Closeness");
+    expectOwnedEqualsBorrowed<ClosenessCentrality>(
+        g, v, "Harmonic", ClosenessCentrality::Variant::Harmonic);
+    expectOwnedEqualsBorrowed<Betweenness>(g, v, "Betweenness", true);
+    expectOwnedEqualsBorrowed<ApproxBetweenness>(g, v, "ApproxBetweenness", 0.1,
+                                                 0.1, std::uint64_t{7});
+    expectOwnedEqualsBorrowed<PageRank>(g, v, "PageRank");
+    expectOwnedEqualsBorrowed<EigenvectorCentrality>(g, v, "Eigenvector");
+    expectOwnedEqualsBorrowed<KatzCentrality>(g, v, "Katz");
+    expectOwnedEqualsBorrowed<CoreDecomposition>(g, v, "CoreNumber");
+    expectOwnedEqualsBorrowed<LocalClusteringCoefficient>(g, v, "LocalClustering");
+    expectOwnedEqualsBorrowed<Plm>(g, v, "Plm", true);
+    expectOwnedEqualsBorrowed<ParallelLeiden>(g, v, "Leiden");
+    expectOwnedEqualsBorrowed<LouvainMapEquation>(g, v, "MapEquation");
+    expectOwnedEqualsBorrowed<Plp>(g, v, "Plp");
     omp_set_num_threads(threadsBefore);
 }
 

@@ -159,8 +159,9 @@ TEST(Measures, RegistryComplete) {
 
 TEST(Measures, AllComputeOnKarate) {
     const auto g = generators::karateClub();
+    const auto v = CsrView::fromGraph(g);
     for (Measure m : allMeasures()) {
-        const auto scores = computeMeasure(g, m);
+        const auto scores = computeMeasure(g, v, m);
         ASSERT_EQ(scores.size(), 34u) << measureName(m);
         for (double s : scores) EXPECT_TRUE(std::isfinite(s)) << measureName(m);
         if (isCommunityMeasure(m)) {
