@@ -119,6 +119,10 @@ void BM_ClosedLoopSessions(benchmark::State& state) {
     options.degradeQueueDepth = 1;
     options.defaultDeadlineMs = 500.0;
 
+    // The service emits request spans (enqueue / queue_wait / execute /
+    // coalesce); report their aggregate view next to the histogram
+    // counters so one --json artifact cross-checks the other.
+    rinkit::benchsupport::SpanWindow window;
     serve::MetricsSnapshot snap;
     for (auto _ : state) {
         serve::SessionService service(options);
@@ -142,6 +146,10 @@ void BM_ClosedLoopSessions(benchmark::State& state) {
     rinkit::benchsupport::addSnapshotCounters(state, snap);
     state.counters["clients"] = static_cast<double>(clients);
     state.counters["think_ms"] = thinkMs;
+    state.counters["span_queue_wait_ms"] = window.phaseMeanMs("serve.queue_wait");
+    state.counters["span_execute_ms"] = window.phaseMeanMs("serve.execute");
+    state.counters["span_coalesced"] =
+        static_cast<double>(rinkit::obs::spanCount(window.spans(), "serve.coalesce"));
 }
 
 BENCHMARK(BM_UserAdmission)->Unit(benchmark::kMillisecond)->Apply([](auto* b) {

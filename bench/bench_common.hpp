@@ -13,8 +13,14 @@
 // benches report (edge_ms, layout_ms, client_ms, nodes, edges, ...), and
 // google-benchmark's own aggregate runs (median/mean/stddev with
 // --benchmark_repetitions) appear as additional entries named "<bench>_median"
-// etc. The flag is stripped before benchmark::Initialize so the library's
-// own flag parsing (which rejects unknown flags) never sees it.
+// etc. The flags are stripped before benchmark::Initialize so the library's
+// own flag parsing (which rejects unknown flags) never sees them.
+//
+// With `--trace <path>` the tracer records every span the benchmarked code
+// emits and the run ends with a Chrome trace-event file at <path> (open in
+// Perfetto / chrome://tracing). When both flags are given the --json output
+// becomes {"trace": "<path>", "runs": [...]} so post-processing can find
+// the trace; without --trace the historical plain-array form is kept.
 
 #include <benchmark/benchmark.h>
 
@@ -23,6 +29,8 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/exporters.hpp"
+#include "src/obs/trace.hpp"
 #include "src/serve/metrics.hpp"
 #include "src/support/json.hpp"
 
@@ -56,6 +64,61 @@ inline void addSnapshotCounters(benchmark::State& state, const serve::MetricsSna
         state.counters[name] = static_cast<double>(value);
     state.counters["queue_depth_max"] = static_cast<double>(snap.queueDepthMax);
 }
+
+/// Scopes span collection to one benchmark's measured region. The figure
+/// benches derive their per-phase counters (edge_ms, layout_ms, ...) from
+/// the same spans the --trace export shows, instead of bespoke timing
+/// fields: construct a SpanWindow after setup, run the loop, then read
+/// phaseMeanMs()/attrRate(). Tracing is force-enabled for the window (and
+/// the previous enable state restored on destruction) so the counters are
+/// populated even without --trace.
+class SpanWindow {
+public:
+    SpanWindow()
+        : prevEnabled_(obs::Tracer::global().enabled()),
+          prevEvery_(obs::Tracer::global().sampleEvery()),
+          startUs_(obs::Tracer::global().nowUs()) {
+        obs::Tracer::global().setEnabled(true);
+        obs::Tracer::global().setSampleEvery(1);
+    }
+    ~SpanWindow() {
+        obs::Tracer::global().setEnabled(prevEnabled_);
+        obs::Tracer::global().setSampleEvery(prevEvery_);
+    }
+
+    /// Spans recorded since construction (first call snapshots).
+    const std::vector<obs::SpanRecord>& spans() {
+        if (!collected_) {
+            for (auto& s : obs::Tracer::global().collect())
+                if (s.startUs >= startUs_) spans_.push_back(std::move(s));
+            collected_ = true;
+        }
+        return spans_;
+    }
+
+    /// Mean duration of spans named @p name, in ms (0 when none recorded).
+    /// Dividing by the observed span count — not the loop's cycle count —
+    /// keeps the mean honest if the ring buffer wrapped mid-run.
+    double phaseMeanMs(std::string_view name) {
+        const count n = obs::spanCount(spans(), name);
+        return n == 0 ? 0.0 : obs::spanTotalMs(spans(), name) / static_cast<double>(n);
+    }
+
+    /// Fraction of spans named @p name whose numeric attribute @p key == @p v.
+    double attrRate(std::string_view name, std::string_view key, double v = 1.0) {
+        const count n = obs::spanCount(spans(), name);
+        if (n == 0) return 0.0;
+        return static_cast<double>(obs::countSpansWithAttr(spans(), name, key, v)) /
+               static_cast<double>(n);
+    }
+
+private:
+    bool prevEnabled_;
+    count prevEvery_;
+    double startUs_;
+    bool collected_ = false;
+    std::vector<obs::SpanRecord> spans_;
+};
 
 /// Console reporter that also collects every run for the JSON dump.
 class CollectingReporter : public benchmark::ConsoleReporter {
@@ -94,11 +157,20 @@ public:
     std::vector<Run> runs;
 };
 
-/// Writes the collected runs as a JSON array to @p path. Returns false
-/// (after printing to stderr) if the file cannot be written — benchmark
-/// results silently lost to a typo'd path are worse than a failed run.
-inline bool writeRunsJson(const std::string& path, const std::vector<CollectingReporter::Run>& runs) {
+/// Writes the collected runs as JSON to @p path: historically a plain
+/// array; when @p tracePath is non-empty the output is the object form
+/// {"trace": "<path>", "runs": [...]} so the trace file rides along in the
+/// same artifact. Returns false (after printing to stderr) if the file
+/// cannot be written — benchmark results silently lost to a typo'd path
+/// are worse than a failed run.
+inline bool writeRunsJson(const std::string& path, const std::vector<CollectingReporter::Run>& runs,
+                          const std::string& tracePath = "") {
     JsonWriter w;
+    if (!tracePath.empty()) {
+        w.beginObject();
+        w.kv("trace", tracePath);
+        w.key("runs");
+    }
     w.beginArray();
     for (const auto& r : runs) {
         w.beginObject();
@@ -112,6 +184,7 @@ inline bool writeRunsJson(const std::string& path, const std::vector<CollectingR
         w.endObject();
     }
     w.endArray();
+    if (!tracePath.empty()) w.endObject();
     std::ofstream out(path);
     out << w.str() << "\n";
     if (!out) {
@@ -122,17 +195,18 @@ inline bool writeRunsJson(const std::string& path, const std::vector<CollectingR
     return true;
 }
 
-/// Extracts `--json <path>` / `--json=<path>` from argv (removing it) and
-/// returns the path, or "" if absent.
-inline std::string extractJsonFlag(int& argc, char** argv) {
+/// Extracts `<flag> <path>` / `<flag>=<path>` from argv (removing it) and
+/// returns the path, or "" if absent. @p flag must include the leading
+/// dashes ("--json").
+inline std::string extractPathFlag(int& argc, char** argv, const std::string& flag) {
     std::string path;
     int writeAt = 1;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
-        if (arg == "--json" && i + 1 < argc) {
+        if (arg == flag && i + 1 < argc) {
             path = argv[++i];
-        } else if (arg.rfind("--json=", 0) == 0) {
-            path = arg.substr(7);
+        } else if (arg.rfind(flag + "=", 0) == 0) {
+            path = arg.substr(flag.size() + 1);
         } else {
             argv[writeAt++] = argv[i];
         }
@@ -141,14 +215,28 @@ inline std::string extractJsonFlag(int& argc, char** argv) {
     return path;
 }
 
+inline std::string extractJsonFlag(int& argc, char** argv) {
+    return extractPathFlag(argc, argv, "--json");
+}
+
 inline int benchMain(int argc, char** argv) {
-    std::string jsonPath = extractJsonFlag(argc, argv);
+    std::string jsonPath = extractPathFlag(argc, argv, "--json");
+    std::string tracePath = extractPathFlag(argc, argv, "--trace");
+    if (!tracePath.empty()) {
+        // Record everything: benches are offline runs, head sampling is
+        // for the serving path.
+        obs::Tracer::global().setEnabled(true);
+        obs::Tracer::global().setSampleEvery(1);
+    }
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
     CollectingReporter reporter;
     benchmark::RunSpecifiedBenchmarks(&reporter);
     benchmark::Shutdown();
-    if (!jsonPath.empty() && !writeRunsJson(jsonPath, reporter.runs)) return 1;
+    if (!tracePath.empty() &&
+        !obs::writeChromeTrace(tracePath, obs::Tracer::global().collect()))
+        return 1;
+    if (!jsonPath.empty() && !writeRunsJson(jsonPath, reporter.runs, tracePath)) return 1;
     return 0;
 }
 

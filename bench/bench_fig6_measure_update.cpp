@@ -79,23 +79,21 @@ void BM_ClientPerceivedMeasureUpdate(benchmark::State& state) {
     opts.initialCutoff = highCutoff ? 7.5 : 4.5;
     viz::RinWidget widget(traj, opts);
 
-    double serverMs = 0.0, clientMs = 0.0, cacheHits = 0.0;
-    count cycles = 0;
+    // Per-phase counters come from the widget's spans (what --trace
+    // exports), not from bespoke timing fields.
+    benchsupport::SpanWindow window;
     for (auto _ : state) {
         const auto t = widget.setMeasure(measureFromIndex(measureIdx));
         benchmark::DoNotOptimize(widget.figureJson().data());
-        serverMs += t.measureMs;
-        clientMs += t.clientMs;
-        if (t.measureCacheHit) cacheHits += 1.0;
-        ++cycles;
+        benchmark::DoNotOptimize(t.totalMs());
     }
     state.SetLabel(std::string(kMeasureLabels[measureIdx]) +
                    (highCutoff ? " @7.5A" : " @4.5A"));
-    state.counters["server_ms"] = serverMs / static_cast<double>(cycles);
-    state.counters["client_ms"] = clientMs / static_cast<double>(cycles);
+    state.counters["server_ms"] = window.phaseMeanMs("widget.measure");
+    state.counters["client_ms"] = window.phaseMeanMs("widget.client");
     // After the first recompute every repeat is a version-keyed cache hit,
     // so this sits near 1.0 — the cold cost lives in BM_MeasureRecompute.
-    state.counters["measure_cache_hit"] = cacheHits / static_cast<double>(cycles);
+    state.counters["measure_cache_hit"] = window.attrRate("widget.measure", "cache_hit");
     state.counters["edges"] = static_cast<double>(widget.graph().numberOfEdges());
 }
 

@@ -67,32 +67,28 @@ void BM_LayoutGeneration(benchmark::State& state) {
     state.counters["edges"] = static_cast<double>(dyn.graph().numberOfEdges());
 }
 
-// (f): the whole widget cutoff-switch cycle incl. simulated client.
+// (f): the whole widget cutoff-switch cycle incl. simulated client. The
+// per-phase counters are derived from the spans the widget emits (the same
+// data the --trace export shows), not from bespoke timing fields.
 void BM_ClientPerceivedCutoffSwitch(benchmark::State& state) {
     const count residues = static_cast<count>(state.range(0));
     const auto traj = shortTrajectory(residues);
     viz::RinWidget widget(traj);
 
+    benchsupport::SpanWindow window;
     bool high = false;
-    double edgeMs = 0, layoutMs = 0, measureMs = 0, clientMs = 0, cacheHits = 0;
-    count cycles = 0;
     for (auto _ : state) {
         high = !high;
         const auto t = widget.setCutoff(high ? 7.5 : 4.5);
-        edgeMs += t.networkUpdateMs;
-        layoutMs += t.layoutMs;
-        measureMs += t.measureMs;
-        clientMs += t.clientMs;
-        if (t.measureCacheHit) cacheHits += 1.0;
-        ++cycles;
+        benchmark::DoNotOptimize(t.totalMs());
     }
-    state.counters["edge_ms"] = edgeMs / static_cast<double>(cycles);
-    state.counters["layout_ms"] = layoutMs / static_cast<double>(cycles);
-    state.counters["measure_ms"] = measureMs / static_cast<double>(cycles);
-    state.counters["client_ms"] = clientMs / static_cast<double>(cycles);
+    state.counters["edge_ms"] = window.phaseMeanMs("widget.network_update");
+    state.counters["layout_ms"] = window.phaseMeanMs("widget.layout");
+    state.counters["measure_ms"] = window.phaseMeanMs("widget.measure");
+    state.counters["client_ms"] = window.phaseMeanMs("widget.client");
     // Every cutoff switch mutates the graph (version bump), so the measure
     // cache must miss on each cycle — a nonzero value here is a bug.
-    state.counters["measure_cache_hit"] = cacheHits / static_cast<double>(cycles);
+    state.counters["measure_cache_hit"] = window.attrRate("widget.measure", "cache_hit");
 }
 
 BENCHMARK(BM_EdgeUpdate)

@@ -63,27 +63,24 @@ void BM_ClientPerceivedFrameSwitch(benchmark::State& state) {
     if (!withMeasure) opts.initialMeasure = std::nullopt;
     viz::RinWidget widget(traj, opts);
 
+    // Per-phase counters come from the widget's spans (what --trace
+    // exports), not from bespoke timing fields. Without a measure no
+    // widget.measure span is emitted and the counter reads 0, as before.
+    benchsupport::SpanWindow window;
     index f = 0;
-    double netMs = 0, layoutMs = 0, measureMs = 0, clientMs = 0, cacheHits = 0;
-    count cycles = 0;
     for (auto _ : state) {
         f = (f + 1) % traj.frameCount();
         const auto t = widget.setFrame(f);
-        netMs += t.networkUpdateMs;
-        layoutMs += t.layoutMs;
-        measureMs += t.measureMs;
-        clientMs += t.clientMs;
-        if (t.measureCacheHit) cacheHits += 1.0;
-        ++cycles;
+        benchmark::DoNotOptimize(t.totalMs());
     }
     state.SetLabel(withMeasure ? "with measure (worst case)" : "no measure");
-    state.counters["net_ms"] = netMs / static_cast<double>(cycles);
-    state.counters["layout_ms"] = layoutMs / static_cast<double>(cycles);
-    state.counters["measure_ms"] = measureMs / static_cast<double>(cycles);
-    state.counters["client_ms"] = clientMs / static_cast<double>(cycles);
+    state.counters["net_ms"] = window.phaseMeanMs("widget.network_update");
+    state.counters["layout_ms"] = window.phaseMeanMs("widget.layout");
+    state.counters["measure_ms"] = window.phaseMeanMs("widget.measure");
+    state.counters["client_ms"] = window.phaseMeanMs("widget.client");
     // Frame switches mutate the graph; hits can only appear if a frame's
     // edge diff happened to be empty (version unchanged). Expected ~0.
-    state.counters["measure_cache_hit"] = cacheHits / static_cast<double>(cycles);
+    state.counters["measure_cache_hit"] = window.attrRate("widget.measure", "cache_hit");
 }
 
 BENCHMARK(BM_FrameNetworkUpdate)->Unit(benchmark::kMillisecond)->Apply([](auto* b) {

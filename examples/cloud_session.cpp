@@ -11,22 +11,44 @@
 // latency histograms — the paper's interactivity numbers, but under
 // multi-user contention.
 //
-//   $ ./cloud_session [users]
+// The run is traced end to end: pass --trace <path> to write a Chrome
+// trace-event file (open in Perfetto / chrome://tracing) of every request's
+// span tree, and the demo finishes with the same metrics a Prometheus
+// scraper would pull from the hub's /metrics ingress route.
+//
+//   $ ./cloud_session [users] [--trace trace.json]
 #include <future>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "src/cloud/cluster.hpp"
+#include "src/cloud/gateway.hpp"
 #include "src/cloud/jupyterhub.hpp"
 #include "src/md/synthetic.hpp"
 #include "src/md/trajectory.hpp"
+#include "src/obs/exporters.hpp"
+#include "src/obs/trace.hpp"
 #include "src/serve/session_service.hpp"
 #include "src/support/timer.hpp"
 
 int main(int argc, char** argv) {
     using namespace rinkit;
-    const count users = argc > 1 ? std::stoull(argv[1]) : 8;
+    count users = 8;
+    std::string tracePath;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--trace" && i + 1 < argc)
+            tracePath = argv[++i];
+        else if (arg.rfind("--trace=", 0) == 0)
+            tracePath = arg.substr(8);
+        else
+            users = std::stoull(arg);
+    }
+    if (!tracePath.empty()) {
+        obs::Tracer::global().setEnabled(true);
+        obs::Tracer::global().setSampleEvery(1); // demo run: record every request
+    }
 
     auto cluster =
         cloud::Cluster::paperReferenceCluster(/*workers=*/2, {64000, 262144});
@@ -104,5 +126,24 @@ int main(int argc, char** argv) {
               << " sessions recovered from the PV\n";
 
     std::cout << "\nserving metrics:\n" << service.metrics().toJson() << "\n";
+
+    // The same registry, as a Prometheus scraper sees it: through the
+    // /metrics ingress route, with the gateway ACL-filtering the response
+    // on its way out of the cluster.
+    cloud::Gateway gateway;
+    gateway.addRule({cloud::Gateway::Action::Allow, "192.168.", 443, "prometheus scraper"});
+    hub.attachGateway(gateway);
+    if (const auto exposition = hub.scrapeMetrics("192.168.1.100")) {
+        std::cout << "\nGET /metrics (Prometheus exposition, "
+                  << gateway.allowedBytes() << " bytes through the gateway):\n"
+                  << *exposition;
+    }
+
+    if (!tracePath.empty()) {
+        const auto spans = obs::Tracer::global().collect();
+        if (obs::writeChromeTrace(tracePath, spans))
+            std::cout << "\nwrote " << spans.size() << " spans to " << tracePath
+                      << " (load in Perfetto or chrome://tracing)\n";
+    }
     return 0;
 }

@@ -3,7 +3,7 @@
 # memory-heavy suites (cell list / octree rewrites are pointer-and-offset
 # code; the sanitizers are what catches an off-by-one in the CSR layout).
 #
-# Usage: scripts/verify.sh [--skip-sanitizers | --tsan | --serve-stress]
+# Usage: scripts/verify.sh [--skip-sanitizers | --tsan | --serve-stress | --obs]
 #   --tsan  additionally builds the parallel kernels (centrality /
 #           community: OpenMP array reductions, batched MS-BFS, atomic
 #           local moving) plus the serving layer (test_serve: thread pool,
@@ -12,6 +12,12 @@
 #   --serve-stress  runs the multi-client serving stress suite
 #           (test_serve_stress, ctest labels serve;slow) under both TSan
 #           and ASan/UBSan.
+#   --obs   runs the observability suite (ctest label obs: span trees,
+#           cross-thread propagation, exporters) under TSan — the tracer's
+#           ring buffers and context propagation are concurrency code —
+#           then the tracing-overhead guard: a release build of
+#           bench_obs_overhead fails if tracing regresses the 1000-residue
+#           update-cycle median by more than 3%.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -65,6 +71,24 @@ if [[ "${1:-}" == "--serve-stress" ]]; then
     cmake --build build-asan -j --target test_serve_stress
     ./build-asan/tests/test_serve_stress
     echo "== serve stress OK =="
+    exit 0
+fi
+
+if [[ "${1:-}" == "--obs" ]]; then
+    echo "== obs suite under TSan =="
+    TSAN_FLAGS="-fsanitize=thread -g -O1"
+    cmake -B build-tsan -S . \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DCMAKE_CXX_FLAGS="$TSAN_FLAGS" \
+        -DCMAKE_EXE_LINKER_FLAGS="$TSAN_FLAGS" >/dev/null
+    cmake --build build-tsan -j --target test_obs
+    (cd build-tsan && ctest -L obs --output-on-failure)
+
+    echo "== tracing-overhead guard (release) =="
+    cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+    cmake --build build-release -j --target bench_obs_overhead
+    ./build-release/bench/bench_obs_overhead 3.0
+    echo "== obs OK =="
     exit 0
 fi
 

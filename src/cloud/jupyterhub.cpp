@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "src/obs/exporters.hpp"
+
 namespace rinkit::cloud {
 
 JupyterHub::JupyterHub(Cluster& cluster, Config config)
@@ -21,6 +23,9 @@ JupyterHub::JupyterHub(Cluster& cluster, Config config)
 
     cluster_.createService(config_.namespaceName, {"hub-svc", "jupyterhub"});
     cluster_.createIngress(config_.namespaceName, {"/hub", "hub-svc"});
+    // Observability scrape endpoint: Prometheus pulls the serving-layer
+    // metrics through the same ingress the users come in on.
+    cluster_.createIngress(config_.namespaceName, {"/metrics", "hub-svc"});
 
     pv_["jupyterhub_config.py"] =
         "c.KubeSpawner.image = '" + config_.image + "'\n" +
@@ -69,6 +74,20 @@ void JupyterHub::logout(const std::string& user) {
 void JupyterHub::attachService(serve::SessionService& service, const md::Trajectory& traj) {
     service_ = &service;
     serveTraj_ = &traj;
+}
+
+void JupyterHub::attachGateway(Gateway& gateway) { gateway_ = &gateway; }
+
+std::optional<std::string> JupyterHub::scrapeMetrics(const std::string& scraperIp) {
+    if (!service_) return std::nullopt;
+    // The scrape takes the normal ingress path: longest-prefix match on
+    // /metrics must resolve to a running hub pod.
+    if (!cluster_.route(scraperIp, "/metrics")) return std::nullopt;
+    std::string body = obs::toPrometheusText(service_->metrics());
+    // The response leaves the cluster: the gateway's ACL decides whether
+    // the scraper may see it, and accounts the bytes either way.
+    if (gateway_ && !gateway_->egress(scraperIp, 443, body.size())) return std::nullopt;
+    return body;
 }
 
 std::optional<std::future<serve::RequestOutcome>>

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "src/cloud/cluster.hpp"
+#include "src/cloud/gateway.hpp"
 #include "src/serve/session_service.hpp"
 
 namespace rinkit::cloud {
@@ -54,6 +55,18 @@ public:
     /// @p traj (both must outlive the hub's use of them).
     void attachService(serve::SessionService& service, const md::Trajectory& traj);
 
+    /// Attaches the cluster's gateway node: responses that leave the
+    /// cluster (the /metrics scrape below) are ACL-filtered and accounted
+    /// as egress traffic. Must outlive the hub's use of it.
+    void attachGateway(Gateway& gateway);
+
+    /// Serves GET /metrics through the hub's ingress: the attached
+    /// SessionService's registry in Prometheus text exposition format.
+    /// Returns nullopt if no service is attached, the ingress route does
+    /// not resolve, or the attached gateway denies the response egress to
+    /// @p scraperIp (port 443).
+    std::optional<std::string> scrapeMetrics(const std::string& scraperIp);
+
     /// Routes a widget interaction for @p user through the load balancer
     /// into the attached SessionService (the user's serve session is
     /// opened lazily on first interaction). Returns nullopt if the user
@@ -87,6 +100,7 @@ private:
     std::map<std::string, std::string> pv_; ///< persisted config + user db
     serve::SessionService* service_ = nullptr; ///< attached serving layer
     const md::Trajectory* serveTraj_ = nullptr;
+    Gateway* gateway_ = nullptr; ///< egress filter for scrape responses
     std::map<std::string, serve::SessionId> serveSessions_; ///< user -> widget session
 };
 

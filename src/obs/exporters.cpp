@@ -1,0 +1,206 @@
+#include "src/obs/exporters.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <stdexcept>
+
+#include "src/support/json.hpp"
+
+namespace rinkit::obs {
+
+std::string toChromeTraceJson(const std::vector<SpanRecord>& spans) {
+    JsonWriter w;
+    w.reserve(256 + 192 * spans.size());
+    w.beginObject();
+    w.kv("displayTimeUnit", "ms");
+    w.key("traceEvents").beginArray();
+
+    // Track labels first: chrome://tracing names a track from the first
+    // metadata event it sees for the tid.
+    std::set<std::uint32_t> tids;
+    for (const auto& s : spans) tids.insert(s.tid);
+    for (const std::uint32_t tid : tids) {
+        w.beginObject();
+        w.kv("name", "thread_name");
+        w.kv("ph", "M");
+        w.kv("pid", 1);
+        w.kv("tid", static_cast<unsigned long long>(tid));
+        w.key("args").beginObject();
+        w.kv("name", "rinkit-thread-" + std::to_string(tid));
+        w.endObject();
+        w.endObject();
+    }
+
+    for (const auto& s : spans) {
+        w.beginObject();
+        w.kv("name", s.name);
+        w.kv("cat", "rinkit");
+        w.kv("ph", "X"); // complete event: ts + dur in microseconds
+        w.kv("ts", s.startUs);
+        w.kv("dur", s.endUs - s.startUs);
+        w.kv("pid", 1);
+        w.kv("tid", static_cast<unsigned long long>(s.tid));
+        w.key("args").beginObject();
+        w.kv("trace_id", static_cast<unsigned long long>(s.traceId));
+        w.kv("span_id", static_cast<unsigned long long>(s.spanId));
+        w.kv("parent_span_id", static_cast<unsigned long long>(s.parentId));
+        for (const auto& a : s.attrs) {
+            if (a.isString)
+                w.kv(a.key, a.str);
+            else
+                w.kv(a.key, a.num);
+        }
+        w.endObject();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+bool writeChromeTrace(const std::string& path, const std::vector<SpanRecord>& spans) {
+    std::ofstream out(path);
+    out << toChromeTraceJson(spans) << "\n";
+    if (!out) {
+        std::fprintf(stderr, "error: could not write Chrome trace to %s\n", path.c_str());
+        return false;
+    }
+    return true;
+}
+
+std::string promEscape(std::string_view labelValue) { return jsonEscape(labelValue); }
+
+namespace {
+
+/// One sample line: name{labels} value. Values share the JSON number
+/// formatter so exposition and JSON snapshots of the same registry agree
+/// bit-for-bit.
+void sample(std::string& out, std::string_view name, std::string_view labels, double value) {
+    out += name;
+    if (!labels.empty()) {
+        out += '{';
+        out += labels;
+        out += '}';
+    }
+    out += ' ';
+    appendJsonNumber(out, value);
+    out += '\n';
+}
+
+std::string label(std::string_view key, std::string_view value) {
+    std::string l;
+    l += key;
+    l += "=\"";
+    l += promEscape(value);
+    l += '"';
+    return l;
+}
+
+} // namespace
+
+std::string toPrometheusText(const serve::MetricsSnapshot& snapshot,
+                             std::string_view prefix) {
+    std::string out;
+    out.reserve(1024);
+    const std::string p(prefix);
+
+    const std::string lat = p + "_phase_latency_ms";
+    out += "# HELP " + lat + " Serving-layer per-phase latency (log-binned histogram).\n";
+    out += "# TYPE " + lat + " summary\n";
+    for (const auto& [phase, s] : snapshot.histograms) {
+        const std::string ph = label("phase", phase);
+        sample(out, lat, ph + ",quantile=\"0.5\"", s.p50Ms);
+        sample(out, lat, ph + ",quantile=\"0.95\"", s.p95Ms);
+        sample(out, lat, ph + ",quantile=\"0.99\"", s.p99Ms);
+        sample(out, lat + "_sum", ph, s.meanMs * static_cast<double>(s.samples));
+        sample(out, lat + "_count", ph, static_cast<double>(s.samples));
+        sample(out, lat + "_max", ph, s.maxMs);
+    }
+
+    const std::string ev = p + "_events_total";
+    out += "# HELP " + ev + " Serving-layer lifecycle events.\n";
+    out += "# TYPE " + ev + " counter\n";
+    for (const auto& [name, v] : snapshot.counters)
+        sample(out, ev, label("event", name), static_cast<double>(v));
+
+    out += "# TYPE " + p + "_queue_depth gauge\n";
+    sample(out, p + "_queue_depth", "", static_cast<double>(snapshot.queueDepth));
+    out += "# TYPE " + p + "_queue_depth_max gauge\n";
+    sample(out, p + "_queue_depth_max", "", static_cast<double>(snapshot.queueDepthMax));
+    return out;
+}
+
+std::map<std::string, double> parsePrometheusText(std::string_view text) {
+    std::map<std::string, double> samples;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        std::size_t eol = text.find('\n', pos);
+        if (eol == std::string_view::npos) eol = text.size();
+        const std::string_view line = text.substr(pos, eol - pos);
+        pos = eol + 1;
+        if (line.empty() || line.front() == '#') continue;
+
+        // The value is everything after the last space outside braces; the
+        // key (name + label set) is everything before. Label values may
+        // contain escaped quotes, so scan with a tiny state machine.
+        bool inQuotes = false;
+        std::size_t valueAt = std::string_view::npos;
+        for (std::size_t i = 0; i < line.size(); ++i) {
+            const char c = line[i];
+            if (inQuotes) {
+                if (c == '\\')
+                    ++i; // skip escaped char
+                else if (c == '"')
+                    inQuotes = false;
+            } else if (c == '"') {
+                inQuotes = true;
+            } else if (c == ' ') {
+                valueAt = i; // last unquoted space wins
+            }
+        }
+        if (valueAt == std::string_view::npos || valueAt + 1 >= line.size())
+            throw std::runtime_error("parsePrometheusText: malformed sample line: " +
+                                     std::string(line));
+        const std::string_view value = line.substr(valueAt + 1);
+        double v = 0.0;
+        const auto res = std::from_chars(value.data(), value.data() + value.size(), v);
+        if (res.ec != std::errc() || res.ptr != value.data() + value.size())
+            throw std::runtime_error("parsePrometheusText: bad value in line: " +
+                                     std::string(line));
+        samples.emplace(std::string(line.substr(0, valueAt)), v);
+    }
+    return samples;
+}
+
+double spanTotalMs(const std::vector<SpanRecord>& spans, std::string_view name) {
+    double total = 0.0;
+    for (const auto& s : spans)
+        if (s.name == name) total += s.durationMs();
+    return total;
+}
+
+count spanCount(const std::vector<SpanRecord>& spans, std::string_view name) {
+    count n = 0;
+    for (const auto& s : spans)
+        if (s.name == name) ++n;
+    return n;
+}
+
+count countSpansWithAttr(const std::vector<SpanRecord>& spans, std::string_view name,
+                         std::string_view key, double v) {
+    count n = 0;
+    for (const auto& s : spans) {
+        if (s.name != name) continue;
+        for (const auto& a : s.attrs)
+            if (!a.isString && a.key == key && a.num == v) {
+                ++n;
+                break;
+            }
+    }
+    return n;
+}
+
+} // namespace rinkit::obs

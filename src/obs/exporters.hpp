@@ -1,0 +1,57 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/obs/trace.hpp"
+#include "src/serve/metrics.hpp"
+
+namespace rinkit::obs {
+
+/// Chrome trace-event JSON of @p spans — the object form
+/// ({"traceEvents": [...], "displayTimeUnit": "ms"}) loadable in
+/// chrome://tracing and Perfetto. Every span becomes one complete ("X")
+/// event with microsecond ts/dur; span identity (trace/span/parent ids)
+/// and the recorded attributes ride along in "args". One thread-name
+/// metadata event per distinct recording thread labels the tracks.
+std::string toChromeTraceJson(const std::vector<SpanRecord>& spans);
+
+/// Writes toChromeTraceJson(spans) to @p path. Returns false (after
+/// printing to stderr) if the file cannot be written.
+bool writeChromeTrace(const std::string& path, const std::vector<SpanRecord>& spans);
+
+/// Escapes a Prometheus label value. The exposition format defines
+/// exactly three escapes (backslash, double quote, newline) and all of
+/// them coincide with JSON's, so this delegates to jsonEscape — phase and
+/// counter names are fixed up in one place for every exporter.
+std::string promEscape(std::string_view labelValue);
+
+/// Prometheus text-format exposition of a metrics snapshot:
+///   <prefix>_phase_latency_ms{phase="...",quantile="..."}  summary per
+///     histogram with _sum/_count/_min/_max companions,
+///   <prefix>_events_total{event="..."}                     counters,
+///   <prefix>_queue_depth / <prefix>_queue_depth_max        gauges.
+/// Numbers use the shared shortest-round-trip formatter, so the text
+/// parses back to exactly the snapshot's doubles.
+std::string toPrometheusText(const serve::MetricsSnapshot& snapshot,
+                             std::string_view prefix = "rinkit");
+
+/// Minimal exposition-format reader for round-trip tests and scrapers in
+/// the cloud simulator: returns every sample line as
+/// "name{label=\"value\",...}" → numeric value ('#' lines skipped).
+/// Throws std::runtime_error on a malformed sample line.
+std::map<std::string, double> parsePrometheusText(std::string_view text);
+
+/// Sum of durations of all spans named @p name, in ms (bench breakdowns).
+double spanTotalMs(const std::vector<SpanRecord>& spans, std::string_view name);
+
+/// Number of spans named @p name.
+count spanCount(const std::vector<SpanRecord>& spans, std::string_view name);
+
+/// Number of spans named @p name carrying numeric attribute @p key == @p v.
+count countSpansWithAttr(const std::vector<SpanRecord>& spans, std::string_view name,
+                         std::string_view key, double v);
+
+} // namespace rinkit::obs

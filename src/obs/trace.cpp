@@ -1,0 +1,207 @@
+#include "src/obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+namespace rinkit::obs {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// The innermost live span context of this thread. Plain thread_local
+/// state: only ever touched by its own thread, so no synchronization.
+thread_local SpanContext tlsCurrent;
+
+} // namespace
+
+Tracer::Tracer() = default;
+
+Tracer& Tracer::global() {
+    static Tracer tracer;
+    return tracer;
+}
+
+void Tracer::setSampleRate(double rate) {
+    if (rate <= 0.0) {
+        setSampleEvery(0);
+    } else if (rate >= 1.0) {
+        setSampleEvery(1);
+    } else {
+        setSampleEvery(static_cast<count>(std::llround(1.0 / rate)));
+    }
+}
+
+void Tracer::setRingCapacity(std::size_t perThread) {
+    std::lock_guard<std::mutex> lock(registryMutex_);
+    ringCapacity_ = std::max<std::size_t>(1, perThread);
+    for (auto& buffer : buffers_) {
+        std::lock_guard<std::mutex> bufLock(buffer->mutex);
+        buffer->ring.assign(ringCapacity_, SpanRecord{});
+        buffer->next = 0;
+        buffer->stored = 0;
+    }
+}
+
+double Tracer::nowUs() const {
+    // Epoch: first call. static local init is thread-safe; steady_clock
+    // keeps exported timestamps monotonic across threads.
+    static const Clock::time_point epoch = Clock::now();
+    return std::chrono::duration<double, std::micro>(Clock::now() - epoch).count();
+}
+
+SpanContext Tracer::currentContext() const { return tlsCurrent; }
+
+bool Tracer::sampleHead() {
+    const count every = sampleEvery_.load(std::memory_order_relaxed);
+    if (every == 0) return false;
+    if (every == 1) return true;
+    return rootCounter_.fetch_add(1, std::memory_order_relaxed) % every == 0;
+}
+
+SpanContext Tracer::makeRootContext(Sample mode) {
+    SpanContext ctx;
+    ctx.traceId = nextId();
+    ctx.spanId = nextId();
+    ctx.sampled = enabled() && (mode == Sample::Force || sampleHead());
+    return ctx;
+}
+
+Tracer::ThreadBuffer& Tracer::localBuffer() {
+    // The shared_ptr keeps the buffer (and its recorded spans) alive for
+    // collect() even after the recording thread exits.
+    thread_local std::shared_ptr<ThreadBuffer> local;
+    if (!local) {
+        local = std::make_shared<ThreadBuffer>();
+        std::lock_guard<std::mutex> lock(registryMutex_);
+        local->tid = static_cast<std::uint32_t>(buffers_.size() + 1);
+        local->ring.assign(ringCapacity_, SpanRecord{});
+        buffers_.push_back(local);
+    }
+    return *local;
+}
+
+void Tracer::push(SpanRecord&& record) {
+    ThreadBuffer& buffer = localBuffer();
+    record.tid = buffer.tid;
+    std::lock_guard<std::mutex> lock(buffer.mutex);
+    buffer.ring[buffer.next] = std::move(record);
+    buffer.next = (buffer.next + 1) % buffer.ring.size();
+    buffer.stored = std::min(buffer.stored + 1, buffer.ring.size());
+}
+
+void Tracer::recordSpan(std::string_view name, const SpanContext& ctx, std::uint64_t spanId,
+                        std::uint64_t parentId, double startUs, double endUs,
+                        std::vector<SpanAttr> attrs) {
+    if (!ctx.sampled || !enabled()) return;
+    SpanRecord record;
+    record.traceId = ctx.traceId;
+    record.spanId = spanId;
+    record.parentId = parentId;
+    record.name.assign(name);
+    record.startUs = startUs;
+    record.endUs = endUs;
+    record.attrs = std::move(attrs);
+    push(std::move(record));
+}
+
+std::vector<SpanRecord> Tracer::collect() const {
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+    {
+        std::lock_guard<std::mutex> lock(registryMutex_);
+        buffers = buffers_;
+    }
+    std::vector<SpanRecord> out;
+    for (const auto& buffer : buffers) {
+        std::lock_guard<std::mutex> bufLock(buffer->mutex);
+        // Oldest-first: the ring's valid window ends at `next`.
+        const std::size_t n = buffer->stored;
+        const std::size_t cap = buffer->ring.size();
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::size_t at = (buffer->next + cap - n + i) % cap;
+            out.push_back(buffer->ring[at]);
+        }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const SpanRecord& a, const SpanRecord& b) { return a.startUs < b.startUs; });
+    return out;
+}
+
+void Tracer::clear() {
+    std::lock_guard<std::mutex> lock(registryMutex_);
+    for (auto& buffer : buffers_) {
+        std::lock_guard<std::mutex> bufLock(buffer->mutex);
+        buffer->next = 0;
+        buffer->stored = 0;
+    }
+}
+
+ContextScope::ContextScope(const SpanContext& ctx) : previous_(tlsCurrent) {
+    tlsCurrent = ctx;
+}
+
+ContextScope::~ContextScope() { tlsCurrent = previous_; }
+
+ScopedSpan::ScopedSpan(std::string_view name, Sample mode) {
+    Tracer& tracer = Tracer::global();
+    previous_ = tlsCurrent;
+    if (previous_.valid()) {
+        ctx_.traceId = previous_.traceId;
+        ctx_.sampled = previous_.sampled || (mode == Sample::Force && tracer.enabled());
+    } else {
+        const SpanContext root = tracer.makeRootContext(mode);
+        ctx_.traceId = root.traceId;
+        ctx_.sampled = root.sampled;
+    }
+    recording_ = ctx_.sampled && tracer.enabled();
+    ctx_.spanId = recording_ ? tracer.nextId() : 0;
+    if (recording_) name_.assign(name);
+    tlsCurrent = ctx_;
+    // Clock reads happen even when not recording: finishMs() feeds the
+    // derived timing structs regardless of sampling.
+    startUs_ = tracer.nowUs();
+}
+
+ScopedSpan::~ScopedSpan() {
+    if (!finished_) finishMs();
+}
+
+void ScopedSpan::attr(std::string_view key, double v) {
+    if (!recording_) return;
+    SpanAttr a;
+    a.key.assign(key);
+    a.num = v;
+    attrs_.push_back(std::move(a));
+}
+
+void ScopedSpan::attr(std::string_view key, std::string_view v) {
+    if (!recording_) return;
+    SpanAttr a;
+    a.key.assign(key);
+    a.str.assign(v);
+    a.isString = true;
+    attrs_.push_back(std::move(a));
+}
+
+double ScopedSpan::finishMs() {
+    Tracer& tracer = Tracer::global();
+    if (finished_) return (endUs_ - startUs_) / 1000.0;
+    finished_ = true;
+    endUs_ = tracer.nowUs();
+    tlsCurrent = previous_;
+    if (recording_) {
+        SpanRecord record;
+        record.traceId = ctx_.traceId;
+        record.spanId = ctx_.spanId;
+        record.parentId = previous_.valid() ? previous_.spanId : 0;
+        record.name = std::move(name_);
+        record.startUs = startUs_;
+        record.endUs = endUs_;
+        record.attrs = std::move(attrs_);
+        tracer.push(std::move(record));
+    }
+    return (endUs_ - startUs_) / 1000.0;
+}
+
+} // namespace rinkit::obs

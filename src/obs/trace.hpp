@@ -1,0 +1,208 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/support/types.hpp"
+
+namespace rinkit::obs {
+
+/// Identity of one span within one trace. A context is what crosses a
+/// thread (or queue) boundary: everything a child span needs to attach
+/// itself to the right tree — the trace id, the parent span id, and the
+/// head-sampling verdict made when the trace root was created.
+struct SpanContext {
+    std::uint64_t traceId = 0;
+    std::uint64_t spanId = 0;
+    bool sampled = false;
+
+    bool valid() const { return traceId != 0; }
+};
+
+/// One key→value span attribute (cache_hit, frontier_size, edge_bytes, …).
+/// Values are either numeric or string; booleans are stored as 0/1.
+struct SpanAttr {
+    std::string key;
+    double num = 0.0;
+    std::string str;
+    bool isString = false;
+};
+
+/// One finished span as it sits in a thread's ring buffer and as the
+/// exporters consume it. Times are microseconds since the tracer's epoch
+/// (process start, steady clock).
+struct SpanRecord {
+    std::uint64_t traceId = 0;
+    std::uint64_t spanId = 0;
+    std::uint64_t parentId = 0; ///< 0 = trace root
+    std::string name;
+    double startUs = 0.0;
+    double endUs = 0.0;
+    std::uint32_t tid = 0; ///< stable small per-thread index (export track)
+    std::vector<SpanAttr> attrs;
+
+    double durationMs() const { return (endUs - startUs) / 1000.0; }
+};
+
+/// Whether a new root span inherits the head-sampling policy or is kept
+/// unconditionally (the serving layer's always-sample-on-deadline-miss).
+enum class Sample { Inherit, Force };
+
+/// Process-wide tracer: allocates span/trace ids, holds the per-thread
+/// ring buffers finished spans land in, and makes the head-based sampling
+/// decision once per trace root.
+///
+/// Recording is designed to stay off the hot path's critical resources:
+/// a finished span is copied into the *recording thread's own* buffer
+/// under that buffer's mutex (uncontended except against a concurrent
+/// collect()), unsampled spans never touch a buffer at all, and a
+/// disabled tracer reduces ScopedSpan to two steady_clock reads — the
+/// same cost as the Timer it replaced.
+class Tracer {
+public:
+    Tracer();
+
+    /// The process tracer every ScopedSpan/ContextScope uses.
+    static Tracer& global();
+
+    /// Master switch. Disabled (the default) means no span is recorded
+    /// and no sampling decision is made; ScopedSpan still measures time
+    /// so derived timings (RinWidget::UpdateTiming) stay populated.
+    void setEnabled(bool enabled) { enabled_.store(enabled, std::memory_order_relaxed); }
+    bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+    /// Head sampling: keep every @p n -th trace root (1 = all, 0 = none
+    /// except Sample::Force roots). The decision is made once at root
+    /// creation and inherited by every descendant, on any thread.
+    void setSampleEvery(count n) { sampleEvery_.store(n, std::memory_order_relaxed); }
+    count sampleEvery() const { return sampleEvery_.load(std::memory_order_relaxed); }
+
+    /// Rate convenience: 1.0 → every trace, 0.25 → every 4th, <= 0 → none.
+    void setSampleRate(double rate);
+
+    /// Spans each thread's ring buffer holds before the oldest is
+    /// overwritten. Applies to buffers created afterwards; existing
+    /// buffers are resized (and cleared) too.
+    void setRingCapacity(std::size_t perThread);
+
+    /// The context of the innermost live span on this thread (invalid if
+    /// none). This is what ThreadPool captures at submit.
+    SpanContext currentContext() const;
+
+    /// Mints a root context without opening a span: the serving layer uses
+    /// this at submit so a request's spans — enqueued on the service
+    /// thread, executed on a worker — share one trace. The root span
+    /// itself is emitted later with recordSpan().
+    SpanContext makeRootContext(Sample mode = Sample::Inherit);
+
+    /// Records a finished span with explicit timestamps (queue-wait spans
+    /// and request roots whose lifetime does not match a C++ scope).
+    /// No-op unless @p ctx is sampled and the tracer is enabled.
+    void recordSpan(std::string_view name, const SpanContext& ctx, std::uint64_t spanId,
+                    std::uint64_t parentId, double startUs, double endUs,
+                    std::vector<SpanAttr> attrs = {});
+
+    /// Copies every recorded span out of every thread's ring buffer,
+    /// sorted by start time. Safe to call while other threads record.
+    std::vector<SpanRecord> collect() const;
+
+    /// Drops all recorded spans (buffers stay registered).
+    void clear();
+
+    /// Microseconds since the tracer's epoch (steady clock).
+    double nowUs() const;
+
+    /// Fresh span/trace id (never 0).
+    std::uint64_t nextId() { return ids_.fetch_add(1, std::memory_order_relaxed); }
+
+private:
+    friend class ScopedSpan;
+    friend class ContextScope;
+
+    struct ThreadBuffer {
+        mutable std::mutex mutex;
+        std::vector<SpanRecord> ring;
+        std::size_t next = 0;   ///< write cursor
+        std::size_t stored = 0; ///< min(records written, capacity)
+        std::uint32_t tid = 0;
+    };
+
+    /// This thread's buffer, registered on first use.
+    ThreadBuffer& localBuffer();
+
+    void push(SpanRecord&& record);
+
+    /// Head-sampling decision for one new trace root.
+    bool sampleHead();
+
+    std::atomic<bool> enabled_{false};
+    std::atomic<count> sampleEvery_{1};
+    std::atomic<std::uint64_t> ids_{1};
+    std::atomic<count> rootCounter_{0};
+
+    mutable std::mutex registryMutex_;
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+    std::size_t ringCapacity_ = 8192;
+};
+
+/// Installs a remote parent context on this thread for the current scope —
+/// the receiving half of cross-thread propagation. ThreadPool wraps every
+/// task in one of these; the serving layer adopts a request's root context
+/// before executing the widget work.
+class ContextScope {
+public:
+    explicit ContextScope(const SpanContext& ctx);
+    ~ContextScope();
+
+    ContextScope(const ContextScope&) = delete;
+    ContextScope& operator=(const ContextScope&) = delete;
+
+private:
+    SpanContext previous_;
+};
+
+/// RAII span: opens as a child of the thread's current context (or as a
+/// new, head-sampled root), measures wall time, and records itself into
+/// the tracer on finish. finishMs() doubles as the timing source for
+/// derived structs (RinWidget::UpdateTiming) so phases are measured
+/// exactly once, by the same clock reads the trace shows.
+///
+/// Spans on one thread must finish in LIFO order (natural with scopes).
+class ScopedSpan {
+public:
+    explicit ScopedSpan(std::string_view name, Sample mode = Sample::Inherit);
+    ~ScopedSpan();
+
+    ScopedSpan(const ScopedSpan&) = delete;
+    ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+    void attr(std::string_view key, double v);
+    void attr(std::string_view key, count v) { attr(key, static_cast<double>(v)); }
+    void attr(std::string_view key, bool v) { attr(key, v ? 1.0 : 0.0); }
+    void attr(std::string_view key, std::string_view v);
+    void attr(std::string_view key, const char* v) { attr(key, std::string_view(v)); }
+
+    /// Ends the span now, records it (if sampled), restores the previous
+    /// context, and returns the measured wall time in ms. Idempotent; the
+    /// destructor calls it if the caller did not.
+    double finishMs();
+
+    const SpanContext& context() const { return ctx_; }
+
+private:
+    SpanContext ctx_;
+    SpanContext previous_;
+    std::string name_;
+    double startUs_ = 0.0;
+    double endUs_ = 0.0;
+    std::vector<SpanAttr> attrs_;
+    bool recording_ = false;
+    bool finished_ = false;
+};
+
+} // namespace rinkit::obs

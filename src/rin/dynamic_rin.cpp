@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "src/obs/trace.hpp"
+
 namespace rinkit::rin {
 
 DynamicRin::DynamicRin(const md::Trajectory& traj, DistanceCriterion criterion,
@@ -58,23 +60,39 @@ DynamicRin::UpdateStats DynamicRin::applyContacts() {
 
 DynamicRin::UpdateStats DynamicRin::setCutoff(double cutoff) {
     if (cutoff <= 0.0) throw std::invalid_argument("DynamicRin: cutoff must be > 0");
+    obs::ScopedSpan span("rin.cutoff_diff");
+    // A cutoff under the cached contact list's cutoff is served as a pure
+    // filter — no geometry work; the span attribute makes the fast path
+    // visible per request in the exported trace.
+    span.attr("cutoff", cutoff);
+    span.attr("pure_filter", ws_.geometryValid && cutoff <= contactsCutoff_);
     cutoff_ = cutoff;
-    return applyContacts();
+    const UpdateStats stats = applyContacts();
+    span.attr("edges_added", stats.edgesAdded);
+    span.attr("edges_removed", stats.edgesRemoved);
+    return stats;
 }
 
 DynamicRin::UpdateStats DynamicRin::setFrame(index frame) {
     if (frame >= traj_.frameCount()) throw std::out_of_range("DynamicRin: invalid frame");
+    obs::ScopedSpan span("rin.frame_diff");
+    span.attr("frame", static_cast<double>(frame));
     frame_ = frame;
     // Move the conformation in place: topology (names, residue layout) is
     // frame-invariant, so only atom positions need to change.
     protein_.setAtomPositions(traj_.frame(frame));
     ws_.invalidate();
     contactsCutoff_ = 0.0;
-    return applyContacts();
+    const UpdateStats stats = applyContacts();
+    span.attr("edges_added", stats.edgesAdded);
+    span.attr("edges_removed", stats.edgesRemoved);
+    return stats;
 }
 
 void DynamicRin::rebuild() {
+    obs::ScopedSpan span("rin.rebuild");
     graph_ = builder_.build(protein_, cutoff_);
+    span.attr("edges_total", graph_.numberOfEdges());
 }
 
 } // namespace rinkit::rin

@@ -37,6 +37,35 @@ SliderEvent SliderEvent::refresh(double deadlineMs) {
     return e;
 }
 
+std::string_view kindName(SliderEvent::Kind kind) {
+    switch (kind) {
+    case SliderEvent::Kind::Frame: return "frame";
+    case SliderEvent::Kind::Cutoff: return "cutoff";
+    case SliderEvent::Kind::Measure: return "measure";
+    case SliderEvent::Kind::Refresh: return "refresh";
+    }
+    return "unknown";
+}
+
+namespace {
+
+obs::SpanAttr numAttr(std::string_view key, double v) {
+    obs::SpanAttr a;
+    a.key.assign(key);
+    a.num = v;
+    return a;
+}
+
+obs::SpanAttr strAttr(std::string_view key, std::string_view v) {
+    obs::SpanAttr a;
+    a.key.assign(key);
+    a.str.assign(v);
+    a.isString = true;
+    return a;
+}
+
+} // namespace
+
 SessionService::SessionService(Options options) : options_(options) {
     if (options_.workers == 0)
         options_.workers = std::max<count>(1, options_.budget.cpuMillis / 1000);
@@ -113,6 +142,7 @@ void SessionService::closeSession(SessionId id) {
 std::future<RequestOutcome> SessionService::submit(SessionId id, SliderEvent event) {
     std::promise<RequestOutcome> promise;
     std::future<RequestOutcome> future = promise.get_future();
+    obs::Tracer& tracer = obs::Tracer::global();
 
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = sessions_.find(id);
@@ -123,21 +153,35 @@ std::future<RequestOutcome> SessionService::submit(SessionId id, SliderEvent eve
 
     // Latest-wins coalescing: a queued event of the same kind is stale the
     // moment a newer one arrives — overwrite it in place, adopt its
-    // waiters, and keep its queue slot so the queue does not grow.
+    // waiters, and keep its queue slot so the queue does not grow. The
+    // absorbed event rides the queued slot's trace; a point span on that
+    // trace marks the overwrite.
     for (auto& queued : session.queue) {
         if (queued.event.kind == event.kind) {
             queued.event = event;
             ++queued.absorbed;
             queued.waiters.push_back(std::move(promise));
             registry_.increment("coalesced");
+            const double now = tracer.nowUs();
+            tracer.recordSpan("serve.coalesce", queued.traceCtx, tracer.nextId(),
+                              queued.traceCtx.spanId, now, now,
+                              {numAttr("absorbed", static_cast<double>(queued.absorbed))});
             return future;
         }
     }
 
     // Admission control: beyond the budgeted backlog nothing coalescible
-    // is left, so refuse instead of queueing unboundedly.
+    // is left, so refuse instead of queueing unboundedly. Rejections get a
+    // root-only trace so overload is visible per request, not only as a
+    // counter.
     if (session.queue.size() >= options_.maxQueuedPerSession) {
         registry_.increment("rejected");
+        const obs::SpanContext ctx = tracer.makeRootContext();
+        const double now = tracer.nowUs();
+        tracer.recordSpan("serve.request", ctx, ctx.spanId, 0, now, now,
+                          {strAttr("kind", kindName(event.kind)),
+                           strAttr("status", "rejected"),
+                           numAttr("session", static_cast<double>(id))});
         RequestOutcome outcome;
         outcome.status = RequestStatus::Rejected;
         promise.set_value(outcome);
@@ -147,6 +191,17 @@ std::future<RequestOutcome> SessionService::submit(SessionId id, SliderEvent eve
     Request request;
     request.event = event;
     request.waiters.push_back(std::move(promise));
+    // Mint the request's trace on the submitting (service) thread; the
+    // root span itself is emitted at completion with this start time.
+    request.traceCtx = tracer.makeRootContext();
+    request.submittedUs = tracer.nowUs();
+    {
+        obs::ContextScope adopt(request.traceCtx);
+        obs::ScopedSpan enqueue("serve.enqueue");
+        enqueue.attr("session", static_cast<double>(id));
+        enqueue.attr("kind", kindName(event.kind));
+        enqueue.attr("queue_depth", static_cast<double>(session.queue.size()));
+    }
     session.queue.push_back(std::move(request));
     ++totalQueued_;
     registry_.gaugeQueueDepth(totalQueued_);
@@ -204,6 +259,7 @@ void SessionService::runNext(std::shared_ptr<Session> session) {
         session->appliedLog.push_back(request.event.kind);
     }
 
+    obs::Tracer& tracer = obs::Tracer::global();
     const double queueMs = request.queued.elapsedMs();
     const double deadlineMs =
         request.event.deadlineMs > 0.0 ? request.event.deadlineMs : options_.defaultDeadlineMs;
@@ -221,27 +277,50 @@ void SessionService::runNext(std::shared_ptr<Session> session) {
         deadlineMissed = true;
         degraded = true;
         registry_.increment("deadline_missed");
+        // Deadline misses are exactly the requests worth a trace: override
+        // a lost head-sampling draw before any execution span opens. The
+        // submit-side enqueue span was not recorded, but queue wait,
+        // execution, and the root are all still ahead.
+        if (options_.sampleOnDeadlineMiss && !request.traceCtx.sampled && tracer.enabled())
+            request.traceCtx.sampled = true;
+    }
+
+    if (request.traceCtx.sampled) {
+        tracer.recordSpan("serve.queue_wait", request.traceCtx, tracer.nextId(),
+                          request.traceCtx.spanId, request.submittedUs, tracer.nowUs(),
+                          {numAttr("queue_ms", queueMs),
+                           numAttr("depth_behind", static_cast<double>(depthBehind))});
     }
 
     // The busy flag serializes per-session execution, so the widget is
     // touched by exactly one worker at a time — no lock held while the
-    // update cycle runs.
+    // update cycle runs. The request's trace context is adopted for the
+    // execution scope: every widget/engine/rin span below lands in the
+    // submitting request's tree even though a pool worker runs it.
     viz::RinWidget& widget = *session->widget;
     widget.setDegraded(degraded);
     viz::RinWidget::UpdateTiming timing;
-    switch (request.event.kind) {
-    case SliderEvent::Kind::Frame:
-        timing = widget.setFrame(request.event.frame);
-        break;
-    case SliderEvent::Kind::Cutoff:
-        timing = widget.setCutoff(request.event.cutoff);
-        break;
-    case SliderEvent::Kind::Measure:
-        timing = widget.setMeasure(request.event.measure);
-        break;
-    case SliderEvent::Kind::Refresh:
-        timing = widget.refresh();
-        break;
+    {
+        obs::ContextScope adopt(request.traceCtx);
+        obs::ScopedSpan exec("serve.execute");
+        exec.attr("session", static_cast<double>(session->id));
+        exec.attr("kind", kindName(request.event.kind));
+        exec.attr("degraded", degraded);
+        switch (request.event.kind) {
+        case SliderEvent::Kind::Frame:
+            timing = widget.setFrame(request.event.frame);
+            break;
+        case SliderEvent::Kind::Cutoff:
+            timing = widget.setCutoff(request.event.cutoff);
+            break;
+        case SliderEvent::Kind::Measure:
+            timing = widget.setMeasure(request.event.measure);
+            break;
+        case SliderEvent::Kind::Refresh:
+            timing = widget.refresh();
+            break;
+        }
+        exec.attr("measure_cache_hit", timing.measureCacheHit);
     }
 
     registry_.recordLatency("queue_ms", queueMs);
@@ -253,6 +332,17 @@ void SessionService::runNext(std::shared_ptr<Session> session) {
     registry_.recordLatency("server_ms", timing.serverMs());
     registry_.recordLatency("total_ms", queueMs + timing.totalMs());
     registry_.increment("completed");
+
+    if (request.traceCtx.sampled) {
+        tracer.recordSpan(
+            "serve.request", request.traceCtx, request.traceCtx.spanId, 0,
+            request.submittedUs, tracer.nowUs(),
+            {strAttr("kind", kindName(request.event.kind)),
+             numAttr("session", static_cast<double>(session->id)),
+             numAttr("coalesced", static_cast<double>(request.absorbed)),
+             numAttr("queue_ms", queueMs), numAttr("degraded", degraded ? 1.0 : 0.0),
+             numAttr("deadline_missed", deadlineMissed ? 1.0 : 0.0)});
+    }
 
     RequestOutcome outcome;
     outcome.status = degraded ? RequestStatus::OkDegraded : RequestStatus::Ok;

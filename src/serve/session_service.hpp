@@ -10,6 +10,7 @@
 
 #include "src/cloud/resources.hpp"
 #include "src/md/trajectory.hpp"
+#include "src/obs/trace.hpp"
 #include "src/serve/metrics.hpp"
 #include "src/support/thread_pool.hpp"
 #include "src/support/timer.hpp"
@@ -38,6 +39,10 @@ struct SliderEvent {
     static SliderEvent setMeasure(viz::Measure measure, double deadlineMs = 0.0);
     static SliderEvent refresh(double deadlineMs = 0.0);
 };
+
+/// Stable lowercase name of an event kind ("frame", "cutoff", "measure",
+/// "refresh") — span attributes and logs.
+std::string_view kindName(SliderEvent::Kind kind);
 
 enum class RequestStatus {
     Ok,         ///< served exactly
@@ -76,6 +81,10 @@ struct SessionServiceOptions {
     count degradeQueueDepth = 2;
     /// Deadline applied when an event carries none. 0 = no deadline.
     double defaultDeadlineMs = 0.0;
+    /// Head sampling escape hatch: a request whose queue wait blew its
+    /// deadline is traced even when it lost the head-sampling draw, so the
+    /// requests most worth debugging always leave a span tree.
+    bool sampleOnDeadlineMiss = true;
 };
 
 /// Concurrent multi-session RIN service: runs many RinWidget sessions on a
@@ -145,6 +154,11 @@ private:
         std::vector<std::promise<RequestOutcome>> waiters;
         Timer queued;        ///< started at submit of the *oldest* waiter
         count absorbed = 0;  ///< events coalesced into this slot
+        /// Trace identity minted at submit; the worker adopts it so the
+        /// request's spans — enqueue on the service thread, queue wait,
+        /// execution on a worker — form one connected tree.
+        obs::SpanContext traceCtx;
+        double submittedUs = 0.0; ///< tracer clock at submit (root span start)
     };
 
     struct Session {

@@ -174,17 +174,25 @@ JsonWriter& JsonWriter::appendRaw(std::string_view rawJson) {
     return *this;
 }
 
-void JsonWriter::appendDouble(double v) {
+void appendJsonNumber(std::string& out, double v) {
     if (std::isnan(v) || std::isinf(v)) {
-        out_ += "null"; // JSON has no NaN/Inf; plotly treats null as a gap.
+        out += "null"; // JSON has no NaN/Inf; plotly treats null as a gap.
         return;
     }
     // Shortest round-trip form; integral doubles print without a point
     // ("1", "2.5"), matching what the exact-output tests pin down.
     char buf[32];
     const auto res = std::to_chars(buf, buf + sizeof(buf), v);
-    out_.append(buf, res.ptr);
+    out.append(buf, res.ptr);
 }
+
+std::string formatJsonNumber(double v) {
+    std::string out;
+    appendJsonNumber(out, v);
+    return out;
+}
+
+void JsonWriter::appendDouble(double v) { appendJsonNumber(out_, v); }
 
 std::string JsonWriter::str() const {
     if (!done_) throw std::logic_error("JsonWriter: document incomplete");

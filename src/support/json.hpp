@@ -123,6 +123,18 @@ private:
 };
 
 /// Escapes a string for embedding into a JSON document (without quotes).
+/// Also the single escaping routine for Prometheus label values: the
+/// characters the exposition format defines (backslash, double quote,
+/// newline) escape identically to JSON, so phase/counter names are fixed
+/// up in exactly one place (see obs/exporters).
 std::string jsonEscape(std::string_view s);
+
+/// Shortest round-trip textual form of @p v (std::to_chars), "null" for
+/// NaN/Inf. The one number formatter behind JsonWriter and the text-format
+/// exporters, so a value always round-trips to the same double everywhere.
+std::string formatJsonNumber(double v);
+
+/// Same, appended onto @p out (allocation-free hot path for serializers).
+void appendJsonNumber(std::string& out, double v);
 
 } // namespace rinkit

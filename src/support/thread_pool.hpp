@@ -5,8 +5,10 @@
 #include <functional>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
+#include "src/obs/trace.hpp"
 #include "src/support/types.hpp"
 
 namespace rinkit {
@@ -45,11 +47,18 @@ public:
     ThreadPool& operator=(const ThreadPool&) = delete;
 
     /// Enqueues @p task; it runs on some worker in FIFO order.
+    ///
+    /// The submitter's span context travels with the task: the worker
+    /// installs it for the task's duration, so spans opened inside the
+    /// task attach to the submitting request's trace instead of starting
+    /// disconnected roots (obs::ContextScope is a no-op-cheap TLS swap
+    /// when tracing is off).
     void submit(std::function<void()> task) {
+        const obs::SpanContext ctx = obs::Tracer::global().currentContext();
         {
             std::lock_guard<std::mutex> lock(mutex_);
             if (stopping_) return;
-            queue_.push_back(std::move(task));
+            queue_.push_back({std::move(task), ctx});
         }
         available_.notify_one();
     }
@@ -57,22 +66,28 @@ public:
     count size() const { return workers_.size(); }
 
 private:
+    struct QueuedTask {
+        std::function<void()> task;
+        obs::SpanContext ctx; ///< submitter's span context (propagated)
+    };
+
     void workerLoop() {
         for (;;) {
-            std::function<void()> task;
+            QueuedTask entry;
             {
                 std::unique_lock<std::mutex> lock(mutex_);
                 available_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
                 if (queue_.empty()) return; // stopping_ and drained
-                task = std::move(queue_.front());
+                entry = std::move(queue_.front());
                 queue_.pop_front();
             }
-            task();
+            obs::ContextScope propagate(entry.ctx);
+            entry.task();
         }
     }
 
     std::vector<std::thread> workers_;
-    std::deque<std::function<void()>> queue_;
+    std::deque<QueuedTask> queue_;
     std::mutex mutex_;
     std::condition_variable available_;
     bool stopping_ = false;

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "src/obs/trace.hpp"
+
 #include "src/centrality/approx_betweenness.hpp"
 #include "src/centrality/betweenness.hpp"
 #include "src/centrality/closeness.hpp"
@@ -94,6 +96,9 @@ std::vector<double> computeMeasure(const Graph& g, const CsrView& v, Measure m) 
 
 const std::vector<double>& MeasureEngine::scores(const Graph& g, Measure m,
                                                  bool* cacheHit, bool degraded) {
+    obs::ScopedSpan span("engine.scores");
+    span.attr("measure", measureName(m));
+    span.attr("degraded", degraded);
     auto& entry = cache_[static_cast<size_t>(m)];
     const bool fresh =
         entry.valid && entry.g == &g && entry.version == g.version();
@@ -101,6 +106,7 @@ const std::vector<double>& MeasureEngine::scores(const Graph& g, Measure m,
     // fresh.
     if (fresh && (degraded || !entry.approx)) {
         if (cacheHit) *cacheHit = true;
+        span.attr("cache_hit", true);
         return entry.scores;
     }
     if (degraded && entry.valid && entry.g == &g &&
@@ -109,9 +115,12 @@ const std::vector<double>& MeasureEngine::scores(const Graph& g, Measure m,
         // instant slightly-old color map over a late exact one. The entry
         // keeps its old version, so the next exact read recomputes.
         if (cacheHit) *cacheHit = true;
+        span.attr("cache_hit", true);
+        span.attr("stale", true);
         return entry.scores;
     }
     if (cacheHit) *cacheHit = false;
+    span.attr("cache_hit", false);
     const CsrView& v = snapshot_.get(g);
     if (degraded && m == Measure::Betweenness) {
         // The paper's escape hatch for heavy exact kernels: sampling
@@ -120,6 +129,7 @@ const std::vector<double>& MeasureEngine::scores(const Graph& g, Measure m,
         approx.run(v);
         entry.scores = approx.scores();
         entry.approx = true;
+        span.attr("approx", true);
     } else {
         entry.scores = computeMeasure(g, v, m);
         entry.approx = false;

@@ -2,10 +2,15 @@
 
 #include <algorithm>
 
-#include "src/support/timer.hpp"
+#include "src/obs/trace.hpp"
 #include "src/viz/figure.hpp"
 
 namespace rinkit::viz {
+
+// The update cycle is instrumented with obs spans and *derives* the
+// UpdateTiming fields from them (ScopedSpan::finishMs is the single pair
+// of clock reads per phase), so the trace a request exports and the
+// timing struct the serving layer aggregates can never disagree.
 
 RinWidget::RinWidget(const md::Trajectory& traj, Options options)
     : options_(options),
@@ -15,7 +20,7 @@ RinWidget::RinWidget(const md::Trajectory& traj, Options options)
 }
 
 void RinWidget::recomputeLayout(UpdateTiming& t) {
-    Timer timer;
+    obs::ScopedSpan span("widget.layout");
     MaxentStress::Parameters params;
     // Degraded mode gives up layout quality for latency: only the short
     // warm-start polish runs even on a cold start.
@@ -28,20 +33,26 @@ void RinWidget::recomputeLayout(UpdateTiming& t) {
     MaxentStress layout(rin_.graph(), 3, params);
     // Seed with the previous layout so consecutive frames stay visually
     // coherent (and converge faster).
-    if (maxentCoords_.size() == rin_.graph().numberOfNodes()) {
+    const bool warmStart = maxentCoords_.size() == rin_.graph().numberOfNodes();
+    if (warmStart) {
         layout.setInitialCoordinates(maxentCoords_);
     }
     layout.run();
     maxentCoords_ = layout.getCoordinates();
-    t.layoutMs = timer.elapsedMs();
+    span.attr("iterations", static_cast<double>(params.iterations));
+    span.attr("warm_start", warmStart);
+    t.layoutMs = span.finishMs();
 }
 
 void RinWidget::recomputeMeasure(UpdateTiming& t) {
     if (!measure_) return;
-    Timer timer;
+    obs::ScopedSpan span("widget.measure");
     if (!scores_.empty()) buffer_ = scores_; // keep the most recent result
     scores_ = engine_.scores(rin_.graph(), *measure_, &t.measureCacheHit, degraded_);
-    t.measureMs = timer.elapsedMs();
+    span.attr("measure", measureName(*measure_));
+    span.attr("cache_hit", t.measureCacheHit);
+    span.attr("degraded", degraded_);
+    t.measureMs = span.finishMs();
 }
 
 std::vector<double> RinWidget::displayedScores() const {
@@ -55,7 +66,7 @@ void RinWidget::renderAndShip(UpdateTiming& t, bool fullClientUpdate, bool marke
     const Graph& g = rin_.graph();
     t.degraded = degraded_;
 
-    Timer buildTimer;
+    obs::ScopedSpan buildSpan("widget.scene_build");
     // Left view: the real protein conformation (C-alpha positions), the
     // paper's "protein-based layout". Right view: Maxent-Stress.
     const auto proteinCoords = rin_.protein().alphaCarbons();
@@ -78,9 +89,9 @@ void RinWidget::renderAndShip(UpdateTiming& t, bool fullClientUpdate, bool marke
         right = makeScene(g, maxentCoords_, shown, options_.palette,
                           "Maxent-Stress layout", needEdges);
     }
-    t.sceneBuildMs = buildTimer.elapsedMs();
+    t.sceneBuildMs = buildSpan.finishMs();
 
-    Timer serializeTimer;
+    obs::ScopedSpan serializeSpan("widget.serialize");
     if (!edgeTracesValid_) {
         edgeTraceCache_[0] = Figure::edgeTraceJson(left, 0);
         edgeTraceCache_[1] = Figure::edgeTraceJson(right, 1);
@@ -91,8 +102,10 @@ void RinWidget::renderAndShip(UpdateTiming& t, bool fullClientUpdate, bool marke
     fig.addScene(left, edgeTraceCache_[0]);
     fig.addScene(right, edgeTraceCache_[1]);
     figureJson_ = fig.toJson();
-    t.serializeMs = serializeTimer.elapsedMs();
     t.serializedBytes = figureJson_.size();
+    serializeSpan.attr("serialized_bytes", static_cast<double>(t.serializedBytes));
+    serializeSpan.attr("edge_bytes", static_cast<double>(t.edgeBytesSerialized));
+    t.serializeMs = serializeSpan.finishMs();
 
     ClientCostModel::Parameters clientParams;
     clientParams.fullUpdate = fullClientUpdate;
@@ -101,55 +114,93 @@ void RinWidget::renderAndShip(UpdateTiming& t, bool fullClientUpdate, bool marke
     const count nodes = 2 * g.numberOfNodes();
     const count edges = markersOnly ? 0 : 2 * g.numberOfEdges();
     t.clientMs = client.processUpdate(figureJson_, nodes, edges);
+
+    // The client phase is modeled, not measured — record it as a span with
+    // synthetic extent so the exported trace still shows the full cycle the
+    // paper's figures decompose.
+    obs::Tracer& tracer = obs::Tracer::global();
+    const obs::SpanContext ctx = tracer.currentContext();
+    if (ctx.sampled) {
+        const double start = tracer.nowUs();
+        std::vector<obs::SpanAttr> attrs(1);
+        attrs[0].key = "simulated";
+        attrs[0].num = 1.0;
+        tracer.recordSpan("widget.client", ctx, tracer.nextId(), ctx.spanId, start,
+                          start + t.clientMs * 1000.0, std::move(attrs));
+    }
 }
 
 RinWidget::UpdateTiming RinWidget::setFrame(index frame) {
+    obs::ScopedSpan span("widget.set_frame");
+    span.attr("frame", static_cast<double>(frame));
     UpdateTiming t;
     edgeTracesValid_ = false; // node positions move
-    Timer netTimer;
-    t.edgeStats = rin_.setFrame(frame);
-    t.networkUpdateMs = netTimer.elapsedMs();
+    {
+        obs::ScopedSpan net("widget.network_update");
+        t.edgeStats = rin_.setFrame(frame);
+        net.attr("edges_added", t.edgeStats.edgesAdded);
+        net.attr("edges_removed", t.edgeStats.edgesRemoved);
+        net.attr("edges_total", t.edgeStats.edgesTotal);
+        t.networkUpdateMs = net.finishMs();
+    }
 
     recomputeLayout(t);
     if (options_.autoRecompute) recomputeMeasure(t);
     // Node positions changed: the client rebuilds every DOM element.
     renderAndShip(t, /*fullClientUpdate=*/true, /*markersOnly=*/false);
+    span.attr("degraded", degraded_);
     return t;
 }
 
 RinWidget::UpdateTiming RinWidget::setCutoff(double cutoff) {
+    obs::ScopedSpan span("widget.set_cutoff");
+    span.attr("cutoff", cutoff);
     UpdateTiming t;
     edgeTracesValid_ = false; // edge set changes
-    Timer netTimer;
-    t.edgeStats = rin_.setCutoff(cutoff);
-    t.networkUpdateMs = netTimer.elapsedMs();
+    {
+        obs::ScopedSpan net("widget.network_update");
+        t.edgeStats = rin_.setCutoff(cutoff);
+        net.attr("edges_added", t.edgeStats.edgesAdded);
+        net.attr("edges_removed", t.edgeStats.edgesRemoved);
+        net.attr("edges_total", t.edgeStats.edgesTotal);
+        t.networkUpdateMs = net.finishMs();
+    }
 
     recomputeLayout(t);
     if (options_.autoRecompute) recomputeMeasure(t);
     // Protein-view node positions are unchanged between cutoffs: the
     // client only updates edge elements (paper: ~100 ms vs ~200 ms).
     renderAndShip(t, /*fullClientUpdate=*/false, /*markersOnly=*/false);
+    span.attr("degraded", degraded_);
     return t;
 }
 
 RinWidget::UpdateTiming RinWidget::setMeasure(Measure measure) {
+    obs::ScopedSpan span("widget.set_measure");
+    span.attr("measure", measureName(measure));
     UpdateTiming t;
     measure_ = measure;
     recomputeMeasure(t);
     // Only marker colors change.
     renderAndShip(t, /*fullClientUpdate=*/true, /*markersOnly=*/true);
+    span.attr("degraded", degraded_);
     return t;
 }
 
 RinWidget::UpdateTiming RinWidget::refresh() {
+    obs::ScopedSpan span("widget.refresh");
     UpdateTiming t;
     edgeTracesValid_ = false;
-    Timer netTimer;
-    rin_.rebuild();
-    t.networkUpdateMs = netTimer.elapsedMs();
+    {
+        obs::ScopedSpan net("widget.network_update");
+        rin_.rebuild();
+        net.attr("edges_total", rin_.graph().numberOfEdges());
+        t.networkUpdateMs = net.finishMs();
+    }
     recomputeLayout(t);
     recomputeMeasure(t);
     renderAndShip(t, /*fullClientUpdate=*/true, /*markersOnly=*/false);
+    span.attr("degraded", degraded_);
     return t;
 }
 

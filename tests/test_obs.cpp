@@ -1,0 +1,434 @@
+// Observability suite: span-tree integrity, context propagation across
+// ThreadPool and SessionService thread boundaries, head sampling (and the
+// always-sample-on-deadline-miss escape hatch), ring-buffer overwrite, and
+// the exporters — Chrome trace JSON round-trips through the in-repo JSON
+// parser, Prometheus exposition round-trips through parsePrometheusText.
+// `ctest -L obs` runs this suite; scripts/verify.sh --obs adds TSan.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <future>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/cloud/cluster.hpp"
+#include "src/cloud/gateway.hpp"
+#include "src/cloud/jupyterhub.hpp"
+#include "src/md/synthetic.hpp"
+#include "src/md/trajectory.hpp"
+#include "src/obs/exporters.hpp"
+#include "src/obs/trace.hpp"
+#include "src/serve/metrics.hpp"
+#include "src/serve/session_service.hpp"
+#include "src/support/json.hpp"
+#include "src/support/thread_pool.hpp"
+#include "src/viz/widget.hpp"
+
+namespace {
+
+using namespace rinkit;
+using obs::ScopedSpan;
+using obs::SpanRecord;
+using obs::Tracer;
+
+/// Every test drives the process-global tracer; reset it on both sides so
+/// suites do not observe each other's spans or sampling policy.
+class ObsTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        auto& t = Tracer::global();
+        t.setEnabled(true);
+        t.setSampleEvery(1);
+        t.clear();
+    }
+    void TearDown() override {
+        auto& t = Tracer::global();
+        t.setEnabled(false);
+        t.setSampleEvery(1);
+        t.clear();
+    }
+};
+
+md::Trajectory tinyTrajectory(count frames = 3) {
+    md::TrajectoryGenerator::Parameters params;
+    params.frames = frames;
+    return md::TrajectoryGenerator(params).generate(md::chignolin());
+}
+
+// Large enough that one update cycle takes milliseconds, so a second
+// submission reliably queues behind the first.
+md::Trajectory slowTrajectory() {
+    md::TrajectoryGenerator::Parameters params;
+    params.frames = 3;
+    return md::TrajectoryGenerator(params).generate(md::helixBundle(200));
+}
+
+const SpanRecord* findSpan(const std::vector<SpanRecord>& spans, std::string_view name) {
+    for (const auto& s : spans)
+        if (s.name == name) return &s;
+    return nullptr;
+}
+
+double numAttrOr(const SpanRecord& s, std::string_view key, double fallback) {
+    for (const auto& a : s.attrs)
+        if (!a.isString && a.key == key) return a.num;
+    return fallback;
+}
+
+/// Structural invariants of one trace: exactly one root, every parent id
+/// resolves to a span of the same trace, and following parents always
+/// reaches the root (connected, acyclic).
+void expectConnectedTree(const std::vector<SpanRecord>& spans, std::uint64_t traceId) {
+    std::map<std::uint64_t, const SpanRecord*> byId;
+    std::uint64_t rootId = 0;
+    count roots = 0;
+    for (const auto& s : spans) {
+        if (s.traceId != traceId) continue;
+        EXPECT_TRUE(byId.emplace(s.spanId, &s).second) << "duplicate span id";
+        if (s.parentId == 0) {
+            ++roots;
+            rootId = s.spanId;
+        }
+    }
+    EXPECT_EQ(roots, 1u) << "trace must have exactly one root";
+    for (const auto& [id, span] : byId) {
+        std::uint64_t cursor = id;
+        std::set<std::uint64_t> visited;
+        while (cursor != rootId) {
+            ASSERT_TRUE(visited.insert(cursor).second) << "cycle in span tree";
+            const auto it = byId.find(cursor);
+            ASSERT_NE(it, byId.end()) << "span " << cursor << " unreachable from root";
+            cursor = it->second->parentId;
+            if (cursor == 0) break; // root reached via parentId
+        }
+    }
+}
+
+TEST_F(ObsTest, NestedScopesFormOneTree) {
+    {
+        ScopedSpan root("unit.root");
+        {
+            ScopedSpan child("unit.child");
+            ScopedSpan grandchild("unit.grandchild");
+        }
+        ScopedSpan sibling("unit.sibling");
+    }
+    const auto spans = Tracer::global().collect();
+    ASSERT_EQ(spans.size(), 4u);
+
+    const auto* root = findSpan(spans, "unit.root");
+    const auto* child = findSpan(spans, "unit.child");
+    const auto* grandchild = findSpan(spans, "unit.grandchild");
+    const auto* sibling = findSpan(spans, "unit.sibling");
+    ASSERT_TRUE(root && child && grandchild && sibling);
+
+    EXPECT_EQ(root->parentId, 0u);
+    EXPECT_EQ(child->parentId, root->spanId);
+    EXPECT_EQ(grandchild->parentId, child->spanId);
+    EXPECT_EQ(sibling->parentId, root->spanId);
+    for (const auto* s : {child, grandchild, sibling})
+        EXPECT_EQ(s->traceId, root->traceId);
+    expectConnectedTree(spans, root->traceId);
+
+    // Children are contained in their parent's interval (same clock).
+    EXPECT_GE(child->startUs, root->startUs);
+    EXPECT_LE(child->endUs, root->endUs);
+    EXPECT_GE(grandchild->startUs, child->startUs);
+    EXPECT_LE(grandchild->endUs, child->endUs);
+}
+
+TEST_F(ObsTest, FinishMsMatchesRecordedDuration) {
+    ScopedSpan span("unit.timed");
+    const double ms = span.finishMs();
+    const auto spans = Tracer::global().collect();
+    ASSERT_EQ(spans.size(), 1u);
+    // finishMs is the single pair of clock reads: the record must agree
+    // exactly — this is what makes UpdateTiming "derived from spans".
+    EXPECT_DOUBLE_EQ(spans[0].durationMs(), ms);
+    EXPECT_DOUBLE_EQ(span.finishMs(), ms) << "finishMs must be idempotent";
+}
+
+TEST_F(ObsTest, AttributesAreRecorded) {
+    {
+        ScopedSpan span("unit.attrs");
+        span.attr("cache_hit", true);
+        span.attr("frontier_size", count{42});
+        span.attr("phase", "layout");
+    }
+    const auto spans = Tracer::global().collect();
+    ASSERT_EQ(spans.size(), 1u);
+    EXPECT_DOUBLE_EQ(numAttrOr(spans[0], "cache_hit", -1.0), 1.0);
+    EXPECT_DOUBLE_EQ(numAttrOr(spans[0], "frontier_size", -1.0), 42.0);
+    bool sawPhase = false;
+    for (const auto& a : spans[0].attrs)
+        if (a.isString && a.key == "phase" && a.str == "layout") sawPhase = true;
+    EXPECT_TRUE(sawPhase);
+}
+
+TEST_F(ObsTest, ContextPropagatesAcrossThreadPool) {
+    std::uint64_t rootTrace = 0, rootSpan = 0;
+    {
+        ScopedSpan root("unit.submit_side");
+        rootTrace = root.context().traceId;
+        rootSpan = root.context().spanId;
+        std::promise<void> done;
+        ThreadPool pool(2);
+        pool.submit([&done] {
+            ScopedSpan worker("unit.worker_side");
+            done.set_value();
+        });
+        done.get_future().wait();
+    }
+    const auto spans = Tracer::global().collect();
+    const auto* worker = findSpan(spans, "unit.worker_side");
+    ASSERT_NE(worker, nullptr);
+    // The worker span joined the submitter's trace across the queue hop...
+    EXPECT_EQ(worker->traceId, rootTrace);
+    EXPECT_EQ(worker->parentId, rootSpan);
+    // ...and really ran on another thread (distinct export track).
+    const auto* root = findSpan(spans, "unit.submit_side");
+    ASSERT_NE(root, nullptr);
+    EXPECT_NE(worker->tid, root->tid);
+    expectConnectedTree(spans, rootTrace);
+}
+
+TEST_F(ObsTest, HeadSamplingKeepsEveryNth) {
+    Tracer::global().setSampleEvery(3);
+    for (int i = 0; i < 9; ++i) ScopedSpan span("unit.sampled_root");
+    const auto spans = Tracer::global().collect();
+    EXPECT_EQ(spans.size(), 3u);
+}
+
+TEST_F(ObsTest, RingBufferKeepsMostRecentSpans) {
+    auto& tracer = Tracer::global();
+    tracer.setRingCapacity(16);
+    for (int i = 0; i < 100; ++i) {
+        ScopedSpan span("unit.ring");
+        span.attr("i", static_cast<double>(i));
+    }
+    const auto spans = tracer.collect();
+    ASSERT_EQ(spans.size(), 16u);
+    // Oldest entries were overwritten: only the tail survives, in order.
+    for (std::size_t k = 0; k < spans.size(); ++k)
+        EXPECT_DOUBLE_EQ(numAttrOr(spans[k], "i", -1.0), static_cast<double>(84 + k));
+    tracer.setRingCapacity(8192);
+}
+
+TEST_F(ObsTest, DisabledTracerRecordsNothingButStillTimes) {
+    Tracer::global().setEnabled(false);
+    ScopedSpan span("unit.dark");
+    EXPECT_GE(span.finishMs(), 0.0);
+    EXPECT_TRUE(Tracer::global().collect().empty());
+}
+
+TEST_F(ObsTest, WidgetUpdateTimingIsDerivedFromSpans) {
+    const auto traj = tinyTrajectory();
+    viz::RinWidget widget(traj);
+    Tracer::global().clear(); // drop construction-time spans
+
+    const auto t = widget.setCutoff(6.0);
+    const auto spans = Tracer::global().collect();
+    const auto* root = findSpan(spans, "widget.set_cutoff");
+    ASSERT_NE(root, nullptr);
+    expectConnectedTree(spans, root->traceId);
+
+    const auto* layout = findSpan(spans, "widget.layout");
+    const auto* measure = findSpan(spans, "widget.measure");
+    const auto* serialize = findSpan(spans, "widget.serialize");
+    const auto* network = findSpan(spans, "widget.network_update");
+    ASSERT_TRUE(layout && measure && serialize && network);
+    // Identical clock reads, not merely close: the timing struct is filled
+    // from ScopedSpan::finishMs.
+    EXPECT_DOUBLE_EQ(layout->durationMs(), t.layoutMs);
+    EXPECT_DOUBLE_EQ(measure->durationMs(), t.measureMs);
+    EXPECT_DOUBLE_EQ(serialize->durationMs(), t.serializeMs);
+    EXPECT_DOUBLE_EQ(network->durationMs(), t.networkUpdateMs);
+
+    // Phase spans partition the root: their sum cannot exceed it, and the
+    // phases the timing struct reports account for most of it.
+    const double phaseSum = obs::spanTotalMs(spans, "widget.network_update") +
+                            obs::spanTotalMs(spans, "widget.layout") +
+                            obs::spanTotalMs(spans, "widget.measure") +
+                            obs::spanTotalMs(spans, "widget.scene_build") +
+                            obs::spanTotalMs(spans, "widget.serialize");
+    EXPECT_LE(phaseSum, root->durationMs() + 1e-6);
+    EXPECT_NEAR(phaseSum, t.serverMs(), 1e-9);
+}
+
+TEST_F(ObsTest, SessionServiceRequestFormsOneCrossThreadTree) {
+    const auto traj = tinyTrajectory();
+    serve::SessionService service;
+    const auto session = service.openSession(traj);
+    service.drain();
+    Tracer::global().clear(); // keep only the one request under test
+
+    auto future = service.submit(session, serve::SliderEvent::setCutoff(6.5));
+    const auto outcome = future.get();
+    service.drain();
+    EXPECT_TRUE(outcome.accepted());
+
+    const auto spans = Tracer::global().collect();
+    const auto* root = findSpan(spans, "serve.request");
+    ASSERT_NE(root, nullptr);
+    EXPECT_EQ(root->parentId, 0u);
+    expectConnectedTree(spans, root->traceId);
+
+    // The request's lifecycle spans all joined the root's trace.
+    std::set<std::uint32_t> tids;
+    count inTrace = 0;
+    for (const char* name : {"serve.enqueue", "serve.queue_wait", "serve.execute",
+                             "widget.set_cutoff", "widget.layout"}) {
+        const auto* s = findSpan(spans, name);
+        ASSERT_NE(s, nullptr) << name;
+        EXPECT_EQ(s->traceId, root->traceId) << name;
+        ++inTrace;
+        tids.insert(s->tid);
+    }
+    EXPECT_EQ(inTrace, 5u);
+    // Submitted on this thread, executed on a worker: the one tree spans
+    // at least two threads.
+    EXPECT_GE(tids.size(), 2u);
+
+    // Exporter round-trip: the Chrome trace parses with the in-repo JSON
+    // parser and carries one complete event per span plus per-thread
+    // metadata, and the execute phase fits inside the request total.
+    const std::string json = obs::toChromeTraceJson(spans);
+    const auto parsed = JsonValue::parse(json);
+    EXPECT_EQ(parsed.at("displayTimeUnit").asString(), "ms");
+    const auto& events = parsed.at("traceEvents");
+    std::set<std::uint32_t> allTids;
+    for (const auto& s : spans) allTids.insert(s.tid);
+    ASSERT_EQ(events.size(), spans.size() + allTids.size());
+    double requestDurUs = 0.0, executeDurUs = 0.0;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const auto& e = events.at(i);
+        if (e.at("ph").asString() != "X") continue;
+        if (e.at("name").asString() == "serve.request") requestDurUs = e.at("dur").asNumber();
+        if (e.at("name").asString() == "serve.execute") executeDurUs = e.at("dur").asNumber();
+    }
+    EXPECT_GT(executeDurUs, 0.0);
+    EXPECT_LE(executeDurUs, requestDurUs + 1.0);
+}
+
+TEST_F(ObsTest, DeadlineMissForcesSamplingWhenHeadSaysNo) {
+    Tracer::global().setSampleEvery(0); // head sampling keeps nothing...
+    const auto traj = slowTrajectory();
+    serve::SessionService service;
+    const auto session = service.openSession(traj);
+    service.drain();
+    Tracer::global().clear();
+
+    // The frame switch occupies the session; the cutoff event queues
+    // behind it and blows its microscopic deadline.
+    auto first = service.submit(session, serve::SliderEvent::setFrame(1));
+    auto second = service.submit(session, serve::SliderEvent::setCutoff(7.5, 1e-6));
+    first.get();
+    const auto outcome = second.get();
+    service.drain();
+    ASSERT_TRUE(outcome.accepted());
+    ASSERT_TRUE(outcome.deadlineMissed);
+
+    const auto spans = Tracer::global().collect();
+    // ...but the deadline-missed request is force-sampled from dequeue on:
+    // its root, queue wait, and execution are all present.
+    const auto* root = findSpan(spans, "serve.request");
+    ASSERT_NE(root, nullptr);
+    EXPECT_DOUBLE_EQ(numAttrOr(*root, "deadline_missed", 0.0), 1.0);
+    EXPECT_NE(findSpan(spans, "serve.queue_wait"), nullptr);
+    EXPECT_NE(findSpan(spans, "serve.execute"), nullptr);
+    // The submit-side enqueue span predates the sampling flip and is the
+    // one (documented) casualty.
+    EXPECT_EQ(findSpan(spans, "serve.enqueue"), nullptr);
+}
+
+TEST_F(ObsTest, CoalescedSubmissionRecordsAbsorptionEvent) {
+    const auto traj = slowTrajectory();
+    serve::SessionService service;
+    const auto session = service.openSession(traj);
+    service.drain();
+    Tracer::global().clear();
+
+    // Occupy the session, then queue two cutoff events: the second
+    // coalesces into the first's slot (latest wins).
+    auto busy = service.submit(session, serve::SliderEvent::setFrame(1));
+    auto stale = service.submit(session, serve::SliderEvent::setCutoff(5.0));
+    auto fresh = service.submit(session, serve::SliderEvent::setCutoff(7.5));
+    busy.get();
+    const auto staleOutcome = stale.get();
+    const auto freshOutcome = fresh.get();
+    service.drain();
+    EXPECT_TRUE(staleOutcome.accepted());
+    EXPECT_EQ(freshOutcome.coalescedEvents, 1u);
+
+    const auto spans = Tracer::global().collect();
+    const auto* coalesce = findSpan(spans, "serve.coalesce");
+    ASSERT_NE(coalesce, nullptr);
+    EXPECT_DOUBLE_EQ(numAttrOr(*coalesce, "absorbed", 0.0), 1.0);
+}
+
+TEST_F(ObsTest, PrometheusExpositionRoundTrips) {
+    serve::MetricsRegistry registry;
+    // A phase name exercising every escape the exposition format defines
+    // (backslash, quote, newline) — jsonEscape handles all three.
+    const std::string phase = "server\"quoted\\slash\nnewline_ms";
+    registry.recordLatency(phase, 12.0);
+    registry.recordLatency(phase, 30.0);
+    registry.recordLatency("server_ms", 5.0);
+    registry.increment("completed", 3);
+    registry.gaugeQueueDepth(4);
+    const auto snap = registry.snapshot();
+
+    const std::string text = obs::toPrometheusText(snap);
+    const auto samples = obs::parsePrometheusText(text);
+
+    const auto& stats = snap.histograms.at(phase);
+    const std::string key = "rinkit_phase_latency_ms{phase=\"" + obs::promEscape(phase) + "\"";
+    EXPECT_DOUBLE_EQ(samples.at(key + ",quantile=\"0.5\"}"), stats.p50Ms);
+    EXPECT_DOUBLE_EQ(samples.at(key + ",quantile=\"0.95\"}"), stats.p95Ms);
+    EXPECT_DOUBLE_EQ(samples.at(key + ",quantile=\"0.99\"}"), stats.p99Ms);
+    EXPECT_DOUBLE_EQ(samples.at("rinkit_phase_latency_ms_count{phase=\"" +
+                                obs::promEscape(phase) + "\"}"),
+                     2.0);
+    EXPECT_DOUBLE_EQ(samples.at("rinkit_phase_latency_ms_sum{phase=\"" +
+                                obs::promEscape(phase) + "\"}"),
+                     stats.meanMs * 2.0);
+    EXPECT_DOUBLE_EQ(samples.at("rinkit_events_total{event=\"completed\"}"), 3.0);
+    EXPECT_DOUBLE_EQ(samples.at("rinkit_queue_depth"), 4.0);
+    EXPECT_DOUBLE_EQ(samples.at("rinkit_queue_depth_max"), 4.0);
+
+    EXPECT_THROW(obs::parsePrometheusText("no_value_here\n"), std::runtime_error);
+}
+
+TEST_F(ObsTest, MetricsScrapeThroughHubIngressAndGateway) {
+    const auto traj = tinyTrajectory();
+    auto cluster = cloud::Cluster::paperReferenceCluster();
+    cloud::JupyterHub hub(cluster);
+    serve::SessionService service;
+    hub.attachService(service, traj);
+
+    ASSERT_TRUE(hub.login("ada"));
+    auto future = hub.routeUserRequest("ada", "10.0.0.7", serve::SliderEvent::refresh());
+    ASSERT_TRUE(future.has_value());
+    future->get();
+    service.drain();
+
+    // No gateway attached: the scrape resolves through the ingress alone.
+    const auto body = hub.scrapeMetrics("10.0.0.9");
+    ASSERT_TRUE(body.has_value());
+    const auto samples = obs::parsePrometheusText(*body);
+    EXPECT_GE(samples.at("rinkit_events_total{event=\"completed\"}"), 1.0);
+
+    // With a gateway, the ACL decides: scrapers outside the allowed prefix
+    // get nothing (and the denial is accounted as dropped egress).
+    cloud::Gateway gateway;
+    gateway.addRule({cloud::Gateway::Action::Allow, "10.0.", 443, "prometheus"});
+    hub.attachGateway(gateway);
+    EXPECT_TRUE(hub.scrapeMetrics("10.0.0.9").has_value());
+    EXPECT_FALSE(hub.scrapeMetrics("203.0.113.5").has_value());
+    EXPECT_GT(gateway.allowedBytes(), 0u);
+    EXPECT_GT(gateway.defaultDeniedBytes(), 0u);
+}
+
+} // namespace

@@ -106,6 +106,55 @@ TEST(LatencyHistogram, EmptyAndZeroSamples) {
     EXPECT_EQ(h.percentile(50.0), 0.0);
 }
 
+TEST(LatencyHistogram, EmptyReportsZeroEverywhere) {
+    const serve::LatencyHistogram h;
+    EXPECT_EQ(h.samples(), 0u);
+    EXPECT_DOUBLE_EQ(h.meanMs(), 0.0);
+    EXPECT_DOUBLE_EQ(h.minMs(), 0.0);
+    EXPECT_DOUBLE_EQ(h.maxMs(), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(50.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100.0), 0.0);
+}
+
+TEST(LatencyHistogram, SingleSampleMinEqualsMax) {
+    serve::LatencyHistogram h;
+    h.record(3.25);
+    EXPECT_EQ(h.samples(), 1u);
+    EXPECT_DOUBLE_EQ(h.minMs(), 3.25);
+    EXPECT_DOUBLE_EQ(h.maxMs(), 3.25);
+    EXPECT_DOUBLE_EQ(h.meanMs(), 3.25);
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 3.25);
+    EXPECT_DOUBLE_EQ(h.percentile(100.0), 3.25);
+}
+
+TEST(LatencyHistogram, PercentileIsClampedToObservedMax) {
+    serve::LatencyHistogram h;
+    // 1000 ms lands deep in a wide log bin (25% growth): the bin's upper
+    // edge is far above the sample, and an unclamped percentile would
+    // report it. Every percentile must stay at the observed max instead.
+    for (int i = 0; i < 10; ++i) h.record(1000.0);
+    EXPECT_DOUBLE_EQ(h.percentile(50.0), 1000.0);
+    EXPECT_DOUBLE_EQ(h.percentile(99.0), 1000.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100.0), 1000.0);
+    EXPECT_DOUBLE_EQ(h.maxMs(), 1000.0);
+}
+
+TEST(LatencyHistogram, NegativeSamplesClampToZero) {
+    serve::LatencyHistogram h;
+    h.record(-5.0);
+    h.record(-0.001);
+    EXPECT_EQ(h.samples(), 2u);
+    EXPECT_DOUBLE_EQ(h.minMs(), 0.0);
+    EXPECT_DOUBLE_EQ(h.maxMs(), 0.0);
+    EXPECT_DOUBLE_EQ(h.meanMs(), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(99.0), 0.0);
+    // Mixing in a real sample keeps aggregates finite and ordered.
+    h.record(2.0);
+    EXPECT_DOUBLE_EQ(h.maxMs(), 2.0);
+    EXPECT_LE(h.percentile(50.0), h.percentile(99.0));
+}
+
 TEST(MetricsRegistry, SnapshotAndJsonRoundTrip) {
     serve::MetricsRegistry reg;
     reg.recordLatency("server_ms", 12.0);
