@@ -1,8 +1,9 @@
 // Ablation — layout solvers: Maxent-Stress (the paper's choice) vs
-// Fruchterman-Reingold vs ForceAtlas2. Question from DESIGN.md: the
-// stress/time trade-off. Expected: Maxent-Stress reaches the lowest
-// normalized stress on contact graphs (it optimizes distances directly),
-// justifying its role in the widget; FR/FA2 are competitive in time.
+// Fruchterman-Reingold vs ForceAtlas2, and single-level vs multilevel
+// Maxent-Stress under the widget's cold/warm scenarios. Questions from
+// DESIGN.md: the stress/time trade-off, and whether the multilevel V-cycle
+// reaches equal-or-better stress in a fraction of the cold-start time
+// while leaving the warm fast path untouched.
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_common.hpp"
@@ -10,6 +11,7 @@
 #include "src/graph/generators.hpp"
 #include "src/layout/fruchterman_reingold.hpp"
 #include "src/layout/maxent_stress.hpp"
+#include "src/layout/multilevel_maxent_stress.hpp"
 #include "src/md/synthetic.hpp"
 #include "src/rin/rin_builder.hpp"
 
@@ -63,7 +65,85 @@ void BM_ForceAtlas2Layout(benchmark::State& state) {
     state.counters["stress"] = stress;
 }
 
+// Multilevel matrix: {residues} x {single-level, multilevel} x {cold, warm}.
+// Cold runs the widget's first-frame scenario (single-level = the old
+// 30-iteration schedule of fig7's BM_LayoutGeneration); warm runs the
+// slider fast path (seed = a converged layout, capped 10-sweep polish) —
+// identical code for both solvers, benched to show it never got slower.
+// Both report the normalized stress objective as a counter.
+
+std::vector<Point3> coldLayout(const Graph& g, bool multilevel, MaxentWorkspace* ws) {
+    if (multilevel) {
+        MultilevelMaxentStress layout(g, 3);
+        layout.setWorkspace(ws);
+        layout.run();
+        return layout.getCoordinates();
+    }
+    MaxentStress::Parameters params;
+    params.iterations = 30; // the widget's pre-multilevel cold schedule
+    MaxentStress layout(g, 3, params);
+    layout.setWorkspace(ws);
+    layout.run();
+    return layout.getCoordinates();
+}
+
+void BM_LayoutCold(benchmark::State& state) {
+    const Graph& g = rinGraph(static_cast<count>(state.range(0)));
+    const bool multilevel = state.range(1) != 0;
+    MaxentWorkspace ws;
+    double stress = 0.0;
+    for (auto _ : state) {
+        const auto coords = coldLayout(g, multilevel, &ws);
+        stress = layoutStress(g, coords);
+        benchmark::DoNotOptimize(coords.data());
+    }
+    state.SetLabel(multilevel ? "multilevel" : "single-level");
+    state.counters["stress"] = stress;
+}
+
+void BM_LayoutWarm(benchmark::State& state) {
+    const Graph& g = rinGraph(static_cast<count>(state.range(0)));
+    const bool multilevel = state.range(1) != 0;
+    MaxentWorkspace ws;
+    const auto seedCoords = coldLayout(g, /*multilevel=*/true, &ws);
+    double stress = 0.0;
+    for (auto _ : state) {
+        if (multilevel) {
+            MultilevelMaxentStress::Parameters params;
+            params.sweep.warmStartIterations = 10;
+            MultilevelMaxentStress layout(g, 3, params);
+            layout.setWorkspace(&ws);
+            layout.setInitialCoordinates(seedCoords);
+            layout.run();
+            stress = layoutStress(g, layout.getCoordinates());
+        } else {
+            MaxentStress::Parameters params;
+            params.iterations = 30;
+            params.warmStartIterations = 10;
+            MaxentStress layout(g, 3, params);
+            layout.setWorkspace(&ws);
+            layout.setInitialCoordinates(seedCoords);
+            layout.run();
+            stress = layoutStress(g, layout.getCoordinates());
+        }
+    }
+    state.SetLabel(multilevel ? "multilevel" : "single-level");
+    state.counters["stress"] = stress;
+}
+
 BENCHMARK(BM_MaxentStressLayout)->Unit(benchmark::kMillisecond)->Arg(73)->Arg(250)->Arg(1000);
+BENCHMARK(BM_LayoutCold)->Unit(benchmark::kMillisecond)->Apply([](auto* b) {
+    for (long r : {73L, 250L, 1000L}) {
+        b->Args({r, 0L});
+        b->Args({r, 1L});
+    }
+});
+BENCHMARK(BM_LayoutWarm)->Unit(benchmark::kMillisecond)->Apply([](auto* b) {
+    for (long r : {73L, 250L, 1000L}) {
+        b->Args({r, 0L});
+        b->Args({r, 1L});
+    }
+});
 BENCHMARK(BM_FruchtermanReingoldLayout)->Unit(benchmark::kMillisecond)->Arg(73)->Arg(250)->Arg(1000);
 BENCHMARK(BM_ForceAtlas2Layout)->Unit(benchmark::kMillisecond)->Arg(73)->Arg(250)->Arg(1000);
 

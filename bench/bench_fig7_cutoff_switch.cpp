@@ -12,7 +12,7 @@
 
 #include "bench/bench_common.hpp"
 
-#include "src/layout/maxent_stress.hpp"
+#include "src/layout/multilevel_maxent_stress.hpp"
 #include "src/md/synthetic.hpp"
 #include "src/md/trajectory.hpp"
 #include "src/rin/dynamic_rin.hpp"
@@ -48,23 +48,41 @@ void BM_EdgeUpdate(benchmark::State& state) {
     state.counters["nodes"] = static_cast<double>(dyn.graph().numberOfNodes());
 }
 
-// (e): Maxent-Stress layout generation on the switched network.
+// (e): Maxent-Stress layout generation on the switched network — cold
+// (unseeded), the widget's first-frame cost. arg2 picks the solver: 0 =
+// single-level 30-iteration schedule (the pre-multilevel widget default),
+// 1 = the multilevel V-cycle the widget now uses for cold layouts.
 void BM_LayoutGeneration(benchmark::State& state) {
     const count residues = static_cast<count>(state.range(0));
     const bool high = state.range(1) != 0;
+    const bool multilevel = state.range(2) != 0;
     const auto traj = shortTrajectory(residues);
     rin::DynamicRin dyn(traj, rin::DistanceCriterion::MinimumAtomDistance,
                         high ? 7.5 : 4.5);
 
+    MaxentWorkspace ws;
+    double stress = 0.0;
     for (auto _ : state) {
-        MaxentStress::Parameters params;
-        params.iterations = 30;
-        MaxentStress layout(dyn.graph(), 3, params);
-        layout.run();
-        benchmark::DoNotOptimize(layout.getCoordinates().data());
+        if (multilevel) {
+            MultilevelMaxentStress layout(dyn.graph(), 3);
+            layout.setWorkspace(&ws);
+            layout.run();
+            stress = layoutStress(dyn.graph(), layout.getCoordinates());
+            benchmark::DoNotOptimize(layout.getCoordinates().data());
+        } else {
+            MaxentStress::Parameters params;
+            params.iterations = 30;
+            MaxentStress layout(dyn.graph(), 3, params);
+            layout.setWorkspace(&ws);
+            layout.run();
+            stress = layoutStress(dyn.graph(), layout.getCoordinates());
+            benchmark::DoNotOptimize(layout.getCoordinates().data());
+        }
     }
-    state.SetLabel(high ? "@7.5A" : "@4.5A");
+    state.SetLabel(std::string(high ? "@7.5A" : "@4.5A") +
+                   (multilevel ? " multilevel" : " single-level"));
     state.counters["edges"] = static_cast<double>(dyn.graph().numberOfEdges());
+    state.counters["stress"] = stress;
 }
 
 // (f): the whole widget cutoff-switch cycle incl. simulated client. The
@@ -98,8 +116,10 @@ BENCHMARK(BM_EdgeUpdate)
     ->Arg(1000);
 BENCHMARK(BM_LayoutGeneration)->Unit(benchmark::kMillisecond)->Apply([](auto* b) {
     for (long r : {73L, 250L, 1000L}) {
-        b->Args({r, 0L});
-        b->Args({r, 1L});
+        for (long c : {0L, 1L}) {
+            b->Args({r, c, 0L});
+            b->Args({r, c, 1L});
+        }
     }
 });
 BENCHMARK(BM_ClientPerceivedCutoffSwitch)

@@ -3,7 +3,7 @@
 # memory-heavy suites (cell list / octree rewrites are pointer-and-offset
 # code; the sanitizers are what catches an off-by-one in the CSR layout).
 #
-# Usage: scripts/verify.sh [--skip-sanitizers | --tsan | --serve-stress | --obs]
+# Usage: scripts/verify.sh [--skip-sanitizers | --tsan | --serve-stress | --obs | --layout]
 #   --tsan  additionally builds the parallel kernels (centrality /
 #           community: OpenMP array reductions, batched MS-BFS, atomic
 #           local moving) plus the serving layer (test_serve: thread pool,
@@ -18,6 +18,10 @@
 #           then the tracing-overhead guard: a release build of
 #           bench_obs_overhead fails if tracing regresses the 1000-residue
 #           update-cycle median by more than 3%.
+#   --layout  runs the layout suite (ctest label layout: octree, coarsening
+#           invariants, multilevel V-cycle determinism) under ASan/UBSan,
+#           then a release smoke run of the cold/warm layout ablation
+#           benchmarks (bench_ablation_layout, BM_LayoutCold/BM_LayoutWarm).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -89,6 +93,26 @@ if [[ "${1:-}" == "--obs" ]]; then
     cmake --build build-release -j --target bench_obs_overhead
     ./build-release/bench/bench_obs_overhead 3.0
     echo "== obs OK =="
+    exit 0
+fi
+
+if [[ "${1:-}" == "--layout" ]]; then
+    echo "== layout suite under ASan/UBSan =="
+    SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -g -O1"
+    cmake -B build-asan -S . \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DCMAKE_CXX_FLAGS="$SAN_FLAGS" \
+        -DCMAKE_EXE_LINKER_FLAGS="$SAN_FLAGS" >/dev/null
+    cmake --build build-asan -j --target test_layout
+    (cd build-asan && ctest -L layout --output-on-failure)
+
+    echo "== layout ablation bench smoke (release) =="
+    cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+    cmake --build build-release -j --target bench_ablation_layout
+    ./build-release/bench/bench_ablation_layout \
+        --benchmark_filter='BM_Layout(Cold|Warm)' \
+        --benchmark_min_time=0.05
+    echo "== layout OK =="
     exit 0
 fi
 

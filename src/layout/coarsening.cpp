@@ -1,0 +1,199 @@
+#include "src/layout/coarsening.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/layout/layout.hpp"
+
+namespace rinkit {
+
+namespace {
+
+/// Symmetric deterministic edge hash (splitmix64 finalizer) used to break
+/// rating ties in the matching. RIN graphs are typically unweighted, so all
+/// strengths tie — without a tie-breaker, "smallest id wins" aligns every
+/// proposal along the residue sequence (u -> u-3 -> u-6 -> ...) and almost
+/// no proposal is mutual. A pseudo-random edge priority makes every local
+/// hash-maximum edge match, which pairs off a constant fraction of nodes
+/// per round.
+inline std::uint64_t edgePriority(node a, node b) {
+    std::uint64_t x = (static_cast<std::uint64_t>(std::min(a, b)) << 32) |
+                      static_cast<std::uint64_t>(std::max(a, b));
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+std::vector<node> heavyEdgeMatching(const Graph& g, count maxRounds) {
+    const count n = g.numberOfNodes();
+    std::vector<node> match(n);
+    for (node u = 0; u < n; ++u) match[u] = u;
+    if (n < 2 || g.numberOfEdges() == 0) return match;
+
+    std::vector<node> proposal(n, none);
+    for (count round = 0; round < maxRounds; ++round) {
+        // Phase 1: every still-unmatched node proposes to its strongest
+        // still-unmatched neighbor. match[] is frozen during this phase, so
+        // all threads read the same pre-round state; neighbor iteration is
+        // ascending, so among equal-strength candidates the smallest id
+        // wins — deterministic regardless of thread count.
+#pragma omp parallel for schedule(static)
+        for (long long ui = 0; ui < static_cast<long long>(n); ++ui) {
+            const node u = static_cast<node>(ui);
+            if (match[u] != u) {
+                proposal[u] = none;
+                continue;
+            }
+            double best = 0.0;
+            std::uint64_t bestTie = 0;
+            node bestV = none;
+            g.forWeightedNeighborsOf(u, [&](node, node v, edgeweight w) {
+                if (match[v] != v) return;
+                const double d = w > 0.0 ? w : 1.0;
+                const double strength = 1.0 / d; // closest contact = heaviest edge
+                const std::uint64_t tie = edgePriority(u, v);
+                if (strength > best || (strength == best && tie > bestTie)) {
+                    best = strength;
+                    bestTie = tie;
+                    bestV = v;
+                }
+            });
+            proposal[u] = bestV;
+        }
+
+        // Phase 2: mutual proposals become matches. proposal[] is frozen
+        // here and iteration u writes only match[u], so this too is
+        // race-free and order-independent.
+        long long matched = 0;
+#pragma omp parallel for schedule(static) reduction(+ : matched)
+        for (long long ui = 0; ui < static_cast<long long>(n); ++ui) {
+            const node u = static_cast<node>(ui);
+            const node v = proposal[u];
+            if (v != none && proposal[v] == u) {
+                match[u] = v;
+                if (u < v) ++matched;
+            }
+        }
+        if (matched == 0) break;
+    }
+    return match;
+}
+
+CoarseningLevel contractMatching(const Graph& g, const std::vector<node>& match) {
+    const count n = g.numberOfNodes();
+    if (match.size() != n) {
+        throw std::invalid_argument("contractMatching: match size mismatch");
+    }
+
+    CoarseningLevel level;
+    level.fineToCoarse.assign(n, none);
+
+    // Coarse ids in fine-node order: node u founds a coarse node unless its
+    // partner already did.
+    for (node u = 0; u < n; ++u) {
+        if (level.fineToCoarse[u] != none) continue;
+        const node v = match[u];
+        const node c = static_cast<node>(level.members.size());
+        level.fineToCoarse[u] = c;
+        level.members.push_back({u, none});
+        level.pairDistance.push_back(0.0);
+        if (v != u) {
+            level.fineToCoarse[v] = c;
+            level.members.back()[1] = v;
+            const edgeweight w = g.weight(u, v);
+            level.pairDistance.back() = w > 0.0 ? w : 1.0;
+        }
+    }
+
+    const count coarseN = level.members.size();
+    level.graph = Graph(coarseN, /*weighted=*/true);
+
+    // Accumulate fine edges into coarse edges. For each coarse node we scan
+    // its (<= 2) members' adjacencies; a fine edge between clusters cu and
+    // cv is visited once from each side, so weights are summed on the cu
+    // side and the edge inserted when cv > cu. Stamped scratch arrays keep
+    // this O(m) without per-cluster hashing.
+    std::vector<double> rawSum(coarseN, 0.0);  // raw fine weight, conservation
+    std::vector<double> distSum(coarseN, 0.0); // clamped distances, mean
+    std::vector<count> mult(coarseN, 0);
+    std::vector<node> touched;
+    for (node cu = 0; cu < coarseN; ++cu) {
+        touched.clear();
+        for (const node f : level.members[cu]) {
+            if (f == none) continue;
+            g.forWeightedNeighborsOf(f, [&](node, node v, edgeweight w) {
+                const node cv = level.fineToCoarse[v];
+                if (cv == cu) {
+                    // Intra-pair edge (the matched edge itself): collapsed,
+                    // counted once.
+                    if (f < v) level.contractedWeight += w;
+                    return;
+                }
+                if (mult[cv] == 0) touched.push_back(cv);
+                rawSum[cv] += w;
+                distSum[cv] += w > 0.0 ? w : 1.0;
+                ++mult[cv];
+            });
+        }
+        for (const node cv : touched) {
+            if (cv > cu) {
+                level.graph.addEdge(cu, cv, distSum[cv] / static_cast<double>(mult[cv]));
+                level.mappedWeight += rawSum[cv];
+            }
+            rawSum[cv] = 0.0;
+            distSum[cv] = 0.0;
+            mult[cv] = 0;
+        }
+    }
+    return level;
+}
+
+std::vector<CoarseningLevel> buildCoarseningHierarchy(const Graph& g,
+                                                      const CoarseningOptions& options) {
+    std::vector<CoarseningLevel> levels;
+    const Graph* fine = &g;
+    while (fine->numberOfNodes() > options.coarsestSize) {
+        const count fineN = fine->numberOfNodes();
+        const auto match = heavyEdgeMatching(*fine, options.maxMatchingRounds);
+        CoarseningLevel level = contractMatching(*fine, match);
+        const count coarseN = level.graph.numberOfNodes();
+        // Matching stalls on edgeless remainders or star-like graphs; stop
+        // rather than stack useless near-identity levels.
+        if (fineN - coarseN < static_cast<count>(options.minShrink * static_cast<double>(fineN))) {
+            break;
+        }
+        levels.push_back(std::move(level));
+        fine = &levels.back().graph;
+    }
+    return levels;
+}
+
+void prolongCoordinates(const CoarseningLevel& level, const std::vector<Point3>& coarse,
+                        std::vector<Point3>& fine, std::uint64_t seed) {
+    const count coarseN = level.coarseNodes();
+    if (coarse.size() != coarseN) {
+        throw std::invalid_argument("prolongCoordinates: coarse coordinate count mismatch");
+    }
+    fine.resize(level.fineNodes());
+    for (node c = 0; c < coarseN; ++c) {
+        const auto& m = level.members[c];
+        const Point3 xc = coarse[c];
+        if (m[1] == none) {
+            fine[m[0]] = xc;
+            continue;
+        }
+        // Split the contracted pair at its prescribed distance along a
+        // reproducible direction: the refinement sweeps then only have to
+        // rotate/settle the pair, not separate it from a singular point.
+        const double half = 0.5 * (level.pairDistance[c] > 0.0 ? level.pairDistance[c] : 1.0);
+        const Point3 offset =
+            deterministicUnitVector(seed * 0x9E3779B97F4A7C15ull + c) * half;
+        fine[m[0]] = xc + offset;
+        fine[m[1]] = xc - offset;
+    }
+}
+
+} // namespace rinkit

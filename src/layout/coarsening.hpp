@@ -1,0 +1,78 @@
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "src/graph/graph.hpp"
+#include "src/support/point3.hpp"
+
+namespace rinkit {
+
+/// One level of the layout coarsening hierarchy: the coarse graph produced
+/// by contracting a matching of the fine graph, plus the mappings needed to
+/// prolong coordinates back down.
+///
+/// Coarse edge weights stay *distances*: each coarse edge carries the mean
+/// prescribed distance of the fine edges merged into it, so every level of
+/// the hierarchy is a valid input to the Maxent-Stress sweep kernel (which
+/// reads weights as target distances) without any unit conversion.
+struct CoarseningLevel {
+    Graph graph;                    ///< coarse graph (weighted, mean distances)
+    std::vector<node> fineToCoarse; ///< fine node -> coarse node, covers every fine node
+    /// Coarse node -> its one or two fine members; members[c][1] == none
+    /// for unmatched singletons. Together with fineToCoarse this is a
+    /// partition of the fine nodes into clusters of size <= 2.
+    std::vector<std::array<node, 2>> members;
+    /// Prescribed distance of the contracted fine edge per coarse node
+    /// (0 for singletons); prolongation splits the pair this far apart.
+    std::vector<double> pairDistance;
+    /// Weight-conservation bookkeeping: every unit of fine edge weight is
+    /// either accumulated into some coarse edge (mapped) or collapsed
+    /// inside a matched pair (contracted), so
+    /// mappedWeight + contractedWeight == fine graph's totalEdgeWeight().
+    double mappedWeight = 0.0;
+    double contractedWeight = 0.0;
+
+    count fineNodes() const { return fineToCoarse.size(); }
+    count coarseNodes() const { return members.size(); }
+};
+
+struct CoarseningOptions {
+    count coarsestSize = 50;      ///< stop once a level is at most this many nodes
+    double minShrink = 0.05;      ///< stop when a round removes < this fraction of nodes
+    count maxMatchingRounds = 16; ///< proposal rounds per matching
+};
+
+/// Parallel heavy-edge matching: repeated rounds where every unmatched node
+/// proposes to its strongest unmatched neighbor and mutual proposals become
+/// matches. Edge strength is 1/distance — residues in closest contact merge
+/// first — with ties broken by a deterministic symmetric edge hash (on the
+/// widget's unweighted RINs every strength ties, and hash-local-maximum
+/// edges are what make proposals mutual). Deterministic for any OpenMP
+/// thread count: each round reads only the previous round's state and
+/// iteration u writes match[u] alone. Returns match with match[u] == u for
+/// unmatched nodes; otherwise match[match[u]] == u and (u, match[u]) is an
+/// edge of @p g.
+std::vector<node> heavyEdgeMatching(const Graph& g, count maxRounds = 16);
+
+/// Contracts each matched pair of @p g into one coarse node (singletons map
+/// alone). Coarse edge weight = mean prescribed distance of the fine edges
+/// between the two clusters. Serial and deterministic; coarse ids follow
+/// fine-node order.
+CoarseningLevel contractMatching(const Graph& g, const std::vector<node>& match);
+
+/// Builds the coarsening hierarchy for @p g: result[0] coarsens g itself,
+/// result[i+1] coarsens result[i].graph, and result.back().graph is the
+/// coarsest level. Empty when g is already at most coarsestSize nodes or
+/// the first matching fails to shrink it (e.g. an edgeless graph).
+std::vector<CoarseningLevel> buildCoarseningHierarchy(const Graph& g,
+                                                      const CoarseningOptions& options = {});
+
+/// Prolongs coarse coordinates through @p level into @p fine (resized to
+/// the fine node count, every fine node written exactly once): singletons
+/// copy their coarse position, matched pairs split pairDistance apart along
+/// a unit direction derived deterministically from (seed, coarse id).
+void prolongCoordinates(const CoarseningLevel& level, const std::vector<Point3>& coarse,
+                        std::vector<Point3>& fine, std::uint64_t seed);
+
+} // namespace rinkit

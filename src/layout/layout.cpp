@@ -15,21 +15,32 @@ void LayoutAlgorithm::setInitialCoordinates(std::vector<Point3> init) {
 }
 
 void LayoutAlgorithm::initializeCoordinates(std::uint64_t seed) {
-    const count n = g_.numberOfNodes();
     if (!initial_.empty()) {
         coordinates_ = initial_;
         return;
     }
-    coordinates_.resize(n);
+    coordinates_ = randomBallLayout(g_.numberOfNodes(), seed);
+}
+
+std::vector<Point3> randomBallLayout(count n, std::uint64_t seed) {
+    std::vector<Point3> coords(n);
     Rng rng(seed);
     const double radius = std::cbrt(static_cast<double>(n) + 1.0);
-    for (auto& p : coordinates_) {
-        // Uniform inside a ball of volume ~ n: keeps initial densities
-        // size-independent.
+    for (auto& p : coords) {
         const Point3 dir{rng.normal(), rng.normal(), rng.normal()};
         const double r = radius * std::cbrt(rng.real01());
         p = dir.normalized() * r;
     }
+    return coords;
+}
+
+Point3 deterministicUnitVector(std::uint64_t key) {
+    // Rng's seeding is a splitmix64 expansion, so consecutive keys yield
+    // uncorrelated streams; three normals give an isotropic direction.
+    Rng rng(key);
+    const Point3 dir{rng.normal(), rng.normal(), rng.normal()};
+    const Point3 unit = dir.normalized();
+    return unit == Point3{} ? Point3{1.0, 0.0, 0.0} : unit;
 }
 
 double layoutStress(const Graph& g, const std::vector<Point3>& coords) {

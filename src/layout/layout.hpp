@@ -47,6 +47,17 @@ protected:
     bool hasRun_ = false;
 };
 
+/// Random coordinates uniform in a ball of volume ~ n (keeps initial
+/// densities size-independent). Shared by LayoutAlgorithm's default init
+/// and the multilevel solver's coarsest-level init.
+std::vector<Point3> randomBallLayout(count n, std::uint64_t seed);
+
+/// A unit vector derived deterministically from @p key (hash -> isotropic
+/// direction). Used where a layout needs an arbitrary but reproducible
+/// direction: splitting a contracted node pair during prolongation, or
+/// nudging an isolated node that sits exactly on the barycenter.
+Point3 deterministicUnitVector(std::uint64_t key);
+
 /// Normalized stress of a layout: sum over edges of
 /// ((||xu - xv|| - d_uv) / d_uv)^2 / m. The quality metric used by the
 /// layout ablation bench (lower = geometry better matches graph distances).

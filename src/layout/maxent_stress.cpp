@@ -3,9 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
-#include <type_traits>
 
-#include "src/layout/octree.hpp"
 #include "src/support/parallel.hpp"
 
 namespace rinkit {
@@ -27,6 +25,123 @@ inline double repulsionScale(double dist2, double qExp) {
 
 } // namespace
 
+void MaxentWorkspace::bind(const Graph& g) {
+    if (bound_ && graph_ == &g && boundVersion_ == g.version()) return;
+    graph_ = &g;
+    boundVersion_ = g.version();
+    bound_ = true;
+
+    // Per-node stress weights rho_u = sum_{v in N(u)} 1/d_uv^2. This is the
+    // only quantity that depends on the adjacency but not on coordinates —
+    // hoisted out of the sweep loop and cached across runs on the same
+    // graph version.
+    const count n = g.numberOfNodes();
+    rho_.assign(n, 0.0);
+    g.parallelForNodes([&](node u) {
+        double sum = 0.0;
+        g.forWeightedNeighborsOf(u, [&](node, node v, edgeweight w) {
+            (void)v;
+            const double d = w > 0.0 ? w : 1.0;
+            sum += 1.0 / (d * d);
+        });
+        rho_[u] = sum;
+    });
+}
+
+MaxentWorkspace::SweepStats MaxentWorkspace::sweep(std::vector<Point3>& coords,
+                                                   const SweepParams& params) {
+    if (!bound_) throw std::logic_error("MaxentWorkspace: call bind() first");
+    const count n = graph_->numberOfNodes();
+    if (coords.size() != n) {
+        throw std::invalid_argument("MaxentWorkspace: coordinate count mismatch");
+    }
+    SweepStats stats;
+    stats.nodes = n;
+    if (n == 0) return stats;
+
+    // Rebuild the octree in place on the incoming positions; its bounding
+    // box doubles as the sweep's length scale and its root barycenter as
+    // the repulsion center for isolated nodes.
+    tree_.build(coords);
+    stats.bboxDiag = tree_.bounds().valid() ? tree_.bounds().extent().norm() : 0.0;
+    const Point3 barycenter = tree_.rootBarycenter();
+    // Isolated nodes have no stress term pinning them; push them away from
+    // the barycenter by a step that anneals with alpha so they settle at
+    // the periphery. The scale floor keeps degenerate single-point layouts
+    // moving.
+    const double nudgeStep = params.alpha * 0.05 * std::max(stats.bboxDiag, 1.0);
+
+    next_.resize(n);
+    moves_.resize(n);
+    if (params.q == 0.0) {
+        sweepNodes<true>(coords, params, nudgeStep, barycenter);
+    } else {
+        sweepNodes<false>(coords, params, nudgeStep, barycenter);
+    }
+
+    // Serial reduction in node order: totalMove (and with it the
+    // convergence early-exit) is bit-identical for any thread count.
+    double total = 0.0;
+    for (count u = 0; u < n; ++u) total += moves_[u];
+    stats.totalMove = total;
+    coords.swap(next_);
+    return stats;
+}
+
+template <bool QZero>
+void MaxentWorkspace::sweepNodes(std::vector<Point3>& coords, const SweepParams& params,
+                                 double nudgeStep, const Point3& barycenter) {
+    const Graph& g = *graph_;
+    const count n = g.numberOfNodes();
+    const double qExp = params.q;
+    const double alpha = params.alpha;
+
+    // One Jacobi sweep over all nodes. The stress attraction and the exact
+    // subtraction of neighbor terms from the Barnes-Hut repulsion sum share
+    // a single adjacency traversal. Each iteration writes only next_[u] and
+    // moves_[u], so the parallel loop is race-free and deterministic.
+#pragma omp parallel for schedule(dynamic, 64)
+    for (long long ui = 0; ui < static_cast<long long>(n); ++ui) {
+        const node u = static_cast<node>(ui);
+        const Point3 xu = coords[u];
+
+        if (rho_[u] == 0.0) {
+            // Isolated node: only the maxent term acts; nudge away from the
+            // global barycenter (deterministic fallback direction when the
+            // node sits exactly on it).
+            Point3 dir = (xu - barycenter).normalized();
+            if (dir == Point3{}) dir = deterministicUnitVector(u);
+            next_[u] = xu + dir * nudgeStep;
+            moves_[u] = nudgeStep;
+            continue;
+        }
+
+        Point3 attract{};
+        Point3 repulse{};
+        g.forWeightedNeighborsOf(u, [&](node, node v, edgeweight w) {
+            const double d = w > 0.0 ? w : 1.0;
+            const double wuv = 1.0 / (d * d);
+            const Point3 diff = xu - coords[v];
+            const double dist = std::max(diff.norm(), 1e-9);
+            attract += wuv * (coords[v] + diff * (d / dist));
+            // Neighbors are covered by the tree sum below but do not
+            // belong to the maxent term; take their share back out.
+            const double dist2 = std::max(dist * dist, 1e-12);
+            repulse -= diff * repulsionScale<QZero>(dist2, qExp);
+        });
+
+        tree_.forCells(xu, params.theta, [&](const Point3& p, double mass, bool) {
+            const Point3 diff = xu - p;
+            const double dist2 = std::max(diff.squaredNorm(), 1e-12);
+            repulse += diff * (mass * repulsionScale<QZero>(dist2, qExp));
+        });
+
+        const Point3 result = (attract + repulse * alpha) / rho_[u];
+        next_[u] = result;
+        moves_[u] = result.distance(xu);
+    }
+}
+
 MaxentStress::MaxentStress(const Graph& g, count dimensions, Parameters params)
     : LayoutAlgorithm(g), params_(params) {
     if (dimensions != 3) {
@@ -37,10 +152,12 @@ MaxentStress::MaxentStress(const Graph& g, count dimensions, Parameters params)
 void MaxentStress::run() {
     const count n = g_.numberOfNodes();
     iterationsDone_ = 0;
+    converged_ = false;
     const bool seeded = initial_.size() == n && n > 0;
     initializeCoordinates(params_.seed);
     if (n <= 1) {
         hasRun_ = true;
+        converged_ = true;
         return;
     }
 
@@ -49,80 +166,19 @@ void MaxentStress::run() {
         iterations = std::min(iterations, params_.warmStartIterations);
     }
 
-    // Precompute per-node stress weights rho_u = sum_{v in N(u)} 1/d_uv^2.
-    std::vector<double> rho(n, 0.0);
-    g_.parallelForNodes([&](node u) {
-        double sum = 0.0;
-        g_.forWeightedNeighborsOf(u, [&](node, node v, edgeweight w) {
-            (void)v;
-            const double d = w > 0.0 ? w : 1.0;
-            sum += 1.0 / (d * d);
-        });
-        rho[u] = sum;
-    });
+    MaxentWorkspace local;
+    MaxentWorkspace& ws = external_ ? *external_ : local;
+    ws.bind(g_);
 
-    std::vector<Point3> next(n);
     double alpha = params_.alpha0;
-    const double qExp = params_.q;
-    Octree tree; // one tree for the whole run, rebuilt in place per iteration
-
-    // One Jacobi sweep over all nodes; returns the total movement. The
-    // stress attraction and the exact subtraction of neighbor terms from
-    // the Barnes-Hut repulsion sum share a single adjacency traversal.
-    auto sweep = [&](auto qZeroTag) -> double {
-        constexpr bool QZ = decltype(qZeroTag)::value;
-        double totalMove = 0.0;
-#pragma omp parallel for schedule(dynamic, 64) reduction(+ : totalMove)
-        for (long long ui = 0; ui < static_cast<long long>(n); ++ui) {
-            const node u = static_cast<node>(ui);
-            const Point3 xu = coordinates_[u];
-
-            if (rho[u] == 0.0) {
-                // Isolated node: only the maxent term acts; nudge away from
-                // the global barycenter approximation.
-                next[u] = xu;
-                continue;
-            }
-
-            Point3 attract{};
-            Point3 repulse{};
-            g_.forWeightedNeighborsOf(u, [&](node, node v, edgeweight w) {
-                const double d = w > 0.0 ? w : 1.0;
-                const double wuv = 1.0 / (d * d);
-                const Point3 diff = xu - coordinates_[v];
-                const double dist = std::max(diff.norm(), 1e-9);
-                attract += wuv * (coordinates_[v] + diff * (d / dist));
-                // Neighbors are covered by the tree sum below but do not
-                // belong to the maxent term; take their share back out.
-                const double dist2 = std::max(dist * dist, 1e-12);
-                repulse -= diff * repulsionScale<QZ>(dist2, qExp);
-            });
-
-            tree.forCells(xu, params_.theta, [&](const Point3& p, double mass, bool) {
-                const Point3 diff = xu - p;
-                const double dist2 = std::max(diff.squaredNorm(), 1e-12);
-                repulse += diff * (mass * repulsionScale<QZ>(dist2, qExp));
-            });
-
-            const Point3 result = (attract + repulse * alpha) / rho[u];
-            next[u] = result;
-            totalMove += result.distance(xu);
-        }
-        return totalMove;
-    };
-
     for (count it = 0; it < iterations; ++it) {
         if (it > 0 && it % params_.phaseLength == 0) alpha *= params_.alphaDecay;
-
-        // Rebuild the octree on current positions for the repulsion term.
-        tree.build(coordinates_);
-
-        const double totalMove =
-            qExp == 0.0 ? sweep(std::true_type{}) : sweep(std::false_type{});
-
-        coordinates_.swap(next);
+        const auto stats = ws.sweep(coordinates_, {alpha, params_.q, params_.theta});
         ++iterationsDone_;
-        if (totalMove / static_cast<double>(n) < params_.convergenceTol) break;
+        if (stats.relativeMeanMove() < params_.convergenceTol) {
+            converged_ = true;
+            break;
+        }
     }
     hasRun_ = true;
 }

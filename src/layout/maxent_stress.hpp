@@ -1,10 +1,79 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <vector>
 
 #include "src/layout/layout.hpp"
+#include "src/layout/octree.hpp"
 
 namespace rinkit {
+
+/// Reusable state for Maxent-Stress Jacobi sweeps: the per-node stress
+/// weights rho_u = sum_{v in N(u)} 1/d_uv^2, the Barnes-Hut octree, and the
+/// double-buffered coordinate/movement scratch.
+///
+/// rho depends only on the graph's weighted adjacency, so it is cached
+/// keyed on (graph identity, mutation version) — exactly the pattern of
+/// viz::MeasureEngine's result cache. A RinWidget keeps one workspace per
+/// session: a warm-started slider update on an unchanged graph (measure
+/// switch, re-render) skips the rho precompute entirely, and the multilevel
+/// solver reuses one octree allocation across all hierarchy levels.
+///
+/// sweep() is deterministic for any OpenMP thread count: per-node
+/// displacements are written to a per-element buffer and reduced serially
+/// in node order (no floating-point reduction-order dependence), and the
+/// octree build is itself thread-count-deterministic.
+class MaxentWorkspace {
+public:
+    struct SweepParams {
+        double alpha = 1.0; ///< maxent (repulsion) weight for this sweep
+        double q = 0.0;     ///< maxent exponent (0 = entropy/log kernel)
+        double theta = 0.9; ///< Barnes-Hut opening angle
+    };
+
+    struct SweepStats {
+        double totalMove = 0.0; ///< sum of per-node displacements
+        double bboxDiag = 0.0;  ///< pre-sweep bounding-box diagonal
+        count nodes = 0;
+
+        /// The convergence measure: mean per-node movement relative to the
+        /// layout's current length scale (bounding-box diagonal), so the
+        /// tolerance means the same thing for a 10 Å peptide and a 100 Å
+        /// bundle.
+        double relativeMeanMove() const {
+            if (nodes == 0) return 0.0;
+            return totalMove / static_cast<double>(nodes) / std::max(bboxDiag, 1e-12);
+        }
+    };
+
+    /// Binds the workspace to @p g, recomputing rho only when the
+    /// (graph, version) pair changed since the last bind.
+    void bind(const Graph& g);
+
+    /// One Jacobi sweep over all nodes of the bound graph, updating
+    /// @p coords in place (sized to the node count). Rebuilds the octree on
+    /// the incoming positions; isolated nodes (rho == 0) are nudged away
+    /// from the global barycenter by an alpha-scaled step so they drift to
+    /// the periphery instead of freezing.
+    SweepStats sweep(std::vector<Point3>& coords, const SweepParams& params);
+
+    /// Per-node stress weights of the bound graph (for tests).
+    const std::vector<double>& rho() const { return rho_; }
+
+private:
+    template <bool QZero>
+    void sweepNodes(std::vector<Point3>& coords, const SweepParams& params, double nudgeStep,
+                    const Point3& barycenter);
+
+    const Graph* graph_ = nullptr;
+    std::uint64_t boundVersion_ = 0;
+    bool bound_ = false;
+    std::vector<double> rho_;
+    Octree tree_;
+    std::vector<Point3> next_;
+    std::vector<double> moves_;
+};
 
 /// Maxent-Stress 3D layout (Gansner, Hu & North 2013; parallel variant of
 /// Wegner, Taubert, Schug & Meyerhenke, ESA 2017) — the layout engine of
@@ -22,7 +91,9 @@ namespace rinkit {
 /// with w_uv = 1/d_uv^2, rho_u = sum w_uv, and the repulsion sum
 /// approximated with a Barnes-Hut octree (opening angle theta). alpha is
 /// annealed from alpha0 towards 0 so that late iterations are dominated by
-/// the stress term. OpenMP-parallel over nodes (Jacobi style).
+/// the stress term. OpenMP-parallel over nodes (Jacobi style); the sweep
+/// kernel lives in MaxentWorkspace and is shared with the multilevel
+/// solver (MultilevelMaxentStress), which uses it per hierarchy level.
 ///
 /// Fast path for interactive updates: one octree is reused (rebuilt in
 /// place) across iterations, the stress and repulsion-correction neighbor
@@ -31,7 +102,9 @@ namespace rinkit {
 /// general-q path. When the layout was seeded via setInitialCoordinates
 /// and warmStartIterations > 0, the iteration count is capped — a seeded
 /// layout starts near equilibrium, so a short polish suffices (this is
-/// what keeps the widget's slider events cheap).
+/// what keeps the widget's slider events cheap). Callers that run many
+/// layouts over the same graph pass a persistent workspace via
+/// setWorkspace() so rho is computed once per graph version, not per run.
 class MaxentStress : public LayoutAlgorithm {
 public:
     struct Parameters {
@@ -41,7 +114,13 @@ public:
         count phaseLength = 10;     ///< iterations per annealing phase
         double q = 0.0;             ///< maxent exponent (0 = entropy/log)
         double theta = 0.9;         ///< Barnes-Hut opening angle
-        double convergenceTol = 1e-4; ///< mean movement (relative) to stop early
+        /// Early-exit threshold on a sweep's mean per-node movement
+        /// relative to the layout's current bounding-box diagonal
+        /// (MaxentWorkspace::SweepStats::relativeMeanMove), so the check is
+        /// invariant under rescaling graph distances and coordinates
+        /// together. The exit decision is deterministic for any OpenMP
+        /// thread count (movements are reduced serially in node order).
+        double convergenceTol = 1e-4;
         std::uint64_t seed = 1;     ///< random init seed
         count warmStartIterations = 0; ///< if > 0, cap iterations when seeded
     };
@@ -51,14 +130,23 @@ public:
         : MaxentStress(g, dimensions, Parameters{}) {}
     MaxentStress(const Graph& g, count dimensions, Parameters params);
 
+    /// Uses @p ws (owned by the caller, outliving run()) instead of a
+    /// run-local workspace, carrying the rho cache and octree across runs.
+    void setWorkspace(MaxentWorkspace* ws) { external_ = ws; }
+
     void run() override;
 
     /// Iterations the last run() actually performed.
     count iterationsDone() const { return iterationsDone_; }
 
+    /// Whether the last run() exited early on convergenceTol.
+    bool converged() const { return converged_; }
+
 private:
     Parameters params_;
+    MaxentWorkspace* external_ = nullptr;
     count iterationsDone_ = 0;
+    bool converged_ = false;
 };
 
 } // namespace rinkit

@@ -1,0 +1,123 @@
+#include "src/layout/multilevel_maxent_stress.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "src/obs/trace.hpp"
+
+namespace rinkit {
+
+MultilevelMaxentStress::MultilevelMaxentStress(const Graph& g, count dimensions,
+                                               Parameters params)
+    : LayoutAlgorithm(g), params_(std::move(params)) {
+    if (dimensions != 3) {
+        throw std::invalid_argument("MultilevelMaxentStress: only 3D layouts are supported");
+    }
+}
+
+count MultilevelMaxentStress::solveLevel(MaxentWorkspace& ws, const Graph& g,
+                                         std::vector<Point3>& coords, double alpha,
+                                         count maxIterations, bool annealPerPhase) {
+    ws.bind(g);
+    count done = 0;
+    bool converged = false;
+    for (count it = 0; it < maxIterations; ++it) {
+        if (annealPerPhase && it > 0 && it % params_.sweep.phaseLength == 0) {
+            alpha *= params_.sweep.alphaDecay;
+        }
+        const auto stats = ws.sweep(coords, {alpha, params_.sweep.q, params_.sweep.theta});
+        ++done;
+        if (stats.relativeMeanMove() < params_.sweep.convergenceTol) {
+            converged = true;
+            break;
+        }
+    }
+    iterationsDone_ += done;
+    converged_ = converged; // the last level solved is the finest: its flag wins
+    return done;
+}
+
+void MultilevelMaxentStress::run() {
+    const count n = g_.numberOfNodes();
+    iterationsDone_ = 0;
+    converged_ = false;
+    levels_ = 1;
+    coarsestNodes_ = n;
+
+    const bool seeded = initial_.size() == n && n > 0;
+    if (n <= 1) {
+        initializeCoordinates(params_.sweep.seed);
+        hasRun_ = true;
+        converged_ = true;
+        return;
+    }
+
+    MaxentWorkspace local;
+    MaxentWorkspace& ws = external_ ? *external_ : local;
+
+    if (seeded && params_.sweep.warmStartIterations > 0) {
+        // Warm start: the seed is near equilibrium, so the hierarchy would
+        // be pure overhead — run the same capped fine-level polish as the
+        // single-level solver.
+        initializeCoordinates(params_.sweep.seed);
+        const count cap = std::min(params_.sweep.iterations, params_.sweep.warmStartIterations);
+        obs::ScopedSpan span("layout.level");
+        span.attr("level", count{0});
+        span.attr("nodes", n);
+        span.attr("iterations", solveLevel(ws, g_, coordinates_, params_.sweep.alpha0, cap,
+                                           /*annealPerPhase=*/true));
+        hasRun_ = true;
+        return;
+    }
+
+    // Cold start: build the hierarchy, solve the coarsest level from a
+    // random init, then prolong + refine level by level. Levels are
+    // numbered coarsest-first in the spans (level 0 = coarsest).
+    const auto hierarchy = buildCoarseningHierarchy(g_, params_.coarsening);
+    levels_ = static_cast<count>(hierarchy.size()) + 1;
+    const Graph& coarsest = hierarchy.empty() ? g_ : hierarchy.back().graph;
+    coarsestNodes_ = coarsest.numberOfNodes();
+
+    std::vector<Point3> coords = randomBallLayout(coarsestNodes_, params_.sweep.seed);
+    {
+        obs::ScopedSpan span("layout.level");
+        span.attr("level", count{0});
+        span.attr("nodes", coarsestNodes_);
+        span.attr("iterations", solveLevel(ws, coarsest, coords, params_.sweep.alpha0,
+                                           params_.coarsestIterations,
+                                           /*annealPerPhase=*/true));
+    }
+
+    // alpha annealed per level: refinement alpha steps geometrically from
+    // alpha0 down to finestAlpha over the hierarchy depth, so coarse levels
+    // untangle under strong repulsion and the finest level is
+    // stress-dominated — regardless of how deep the hierarchy happens to be.
+    const double alpha0 = params_.sweep.alpha0;
+    const double levelDecay =
+        alpha0 > 0.0 && params_.finestAlpha > 0.0 && params_.finestAlpha < alpha0
+            ? std::pow(params_.finestAlpha / alpha0,
+                       1.0 / static_cast<double>(hierarchy.size()))
+            : 1.0;
+    double alpha = alpha0;
+    std::vector<Point3> fineCoords;
+    for (count i = hierarchy.size(); i-- > 0;) {
+        alpha *= levelDecay;
+        const CoarseningLevel& level = hierarchy[i];
+        const Graph& fineGraph = i == 0 ? g_ : hierarchy[i - 1].graph;
+        prolongCoordinates(level, coords, fineCoords, params_.sweep.seed);
+        coords.swap(fineCoords);
+
+        obs::ScopedSpan span("layout.level");
+        span.attr("level", static_cast<count>(hierarchy.size() - i));
+        span.attr("nodes", fineGraph.numberOfNodes());
+        span.attr("iterations", solveLevel(ws, fineGraph, coords, alpha,
+                                           params_.refineIterations,
+                                           /*annealPerPhase=*/false));
+    }
+    coordinates_ = std::move(coords);
+    hasRun_ = true;
+}
+
+} // namespace rinkit

@@ -1,0 +1,91 @@
+#pragma once
+
+#include "src/layout/coarsening.hpp"
+#include "src/layout/maxent_stress.hpp"
+
+namespace rinkit {
+
+/// Multilevel Maxent-Stress solver — the V-cycle scheme NetworKit uses for
+/// its layout module (Staudt, Sazonovs & Meyerhenke 2014; Wegner et al.
+/// ESA 2017), built on the same Jacobi sweep kernel as MaxentStress:
+///
+///  1. Coarsen by parallel heavy-edge matching until the graph drops below
+///     ~coarsestSize nodes or stops shrinking (src/layout/coarsening.*).
+///  2. Solve the coarsest graph to convergence from a random init.
+///  3. Prolong coordinates one level down (matched pairs split apart at
+///     their prescribed distance along a deterministic direction) and run
+///     only a few refinement sweeps, with alpha annealed *per level*
+///     instead of per phase — coarse levels see strong repulsion to
+///     untangle globally, the finest level is stress-dominated.
+///
+/// The payoff is the cold-layout cost: a single-level solve spends
+/// iterations × n node-sweeps untangling a random init at full size, while
+/// the V-cycle does its untangling on graphs of geometrically shrinking
+/// size and only polishes at full resolution (~sum n_i · refineIterations
+/// node-sweeps). Warm-started runs (seeded via setInitialCoordinates with
+/// warmStartIterations > 0) skip the hierarchy entirely and run the same
+/// capped fine-level polish as MaxentStress — the widget's slider fast
+/// path is byte-for-byte the single-level fast path, never slower.
+///
+/// Deterministic for a fixed seed regardless of OpenMP thread count:
+/// matching, contraction, prolongation, and the sweep kernel all are.
+class MultilevelMaxentStress : public LayoutAlgorithm {
+public:
+    struct Parameters {
+        /// Sweep/annealing/seed/tolerance parameters shared with the
+        /// single-level solver. `iterations` caps the warm-started polish
+        /// (with warmStartIterations, exactly as in MaxentStress); the
+        /// cold V-cycle uses coarsestIterations/refineIterations below.
+        MaxentStress::Parameters sweep;
+        CoarseningOptions coarsening;
+        count coarsestIterations = 100; ///< cap for the coarsest-level solve
+        count refineIterations = 5;     ///< sweeps per finer level
+        /// Per-level annealing target: refinement alpha interpolates
+        /// geometrically from sweep.alpha0 (coarsest) down to this value at
+        /// the finest level, independent of hierarchy depth — shallow
+        /// hierarchies still finish stress-dominated (0.027 = the final
+        /// alpha of the classic 3-phase single-level schedule, 0.3^3).
+        double finestAlpha = 0.027;
+    };
+
+    /// @p dimensions is kept for NetworKit API fidelity; only 3 is supported.
+    explicit MultilevelMaxentStress(const Graph& g, count dimensions = 3)
+        : MultilevelMaxentStress(g, dimensions, Parameters{}) {}
+    MultilevelMaxentStress(const Graph& g, count dimensions, Parameters params);
+
+    /// Uses @p ws (owned by the caller, outliving run()) instead of a
+    /// run-local workspace; carries the rho cache for the finest graph and
+    /// one octree allocation across runs and across hierarchy levels.
+    void setWorkspace(MaxentWorkspace* ws) { external_ = ws; }
+
+    void run() override;
+
+    /// Total sweeps the last run() performed, summed over all levels.
+    count iterationsDone() const { return iterationsDone_; }
+
+    /// Whether the finest level's sweep loop exited on convergenceTol.
+    bool converged() const { return converged_; }
+
+    /// Hierarchy depth of the last run (1 = solved single-level, e.g. a
+    /// small or warm-started layout).
+    count levels() const { return levels_; }
+
+    /// Node count of the coarsest solved graph.
+    count coarsestNodes() const { return coarsestNodes_; }
+
+private:
+    /// Runs up to maxIterations sweeps of the kernel on (g, coords); per-
+    /// phase annealing only when annealPerPhase (the coarsest solve).
+    /// Updates iterationsDone_/converged_ and returns the sweeps done.
+    count solveLevel(MaxentWorkspace& ws, const Graph& g, std::vector<Point3>& coords,
+                     double alpha, count maxIterations, bool annealPerPhase);
+
+    Parameters params_;
+    MaxentWorkspace* external_ = nullptr;
+    count iterationsDone_ = 0;
+    count levels_ = 1;
+    count coarsestNodes_ = 0;
+    bool converged_ = false;
+};
+
+} // namespace rinkit

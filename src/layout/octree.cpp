@@ -6,24 +6,127 @@
 
 namespace rinkit {
 
+namespace {
+
+/// Points below this count are partitioned serially: the chunked counting
+/// sort only pays off once the root range spans several chunks.
+constexpr index kParallelRootThreshold = 4096;
+
+/// Fixed chunk size for the parallel root partition. Fixed (rather than
+/// derived from the thread count) so the chunk decomposition — and with it
+/// the stable scatter order — is identical for any number of threads.
+constexpr index kRootChunk = 2048;
+
+inline int octantOf(const Point3& p, const Point3& c) {
+    return 4 * (p.x >= c.x) + 2 * (p.y >= c.y) + (p.z >= c.z);
+}
+
+} // namespace
+
 void Octree::build(const std::vector<Point3>& points, count leafCapacity) {
     points_ = points;
     nodes_.clear();
     order_.resize(points_.size());
     std::iota(order_.begin(), order_.end(), index{0});
+    box_ = Aabb{};
     if (points_.empty()) return;
 
-    Aabb box;
-    for (const auto& p : points_) box.expand(p);
-    const Point3 ext = box.extent();
+    for (const auto& p : points_) box_.expand(p);
+    const Point3 ext = box_.extent();
     const double halfWidth =
         std::max({ext.x, ext.y, ext.z, 1e-9}) * 0.5 + 1e-9; // cube covering all
 
     Cell root;
-    root.center = box.center();
+    root.center = box_.center();
     root.halfWidth = halfWidth;
     nodes_.push_back(root);
-    buildCell(0, 0, static_cast<index>(points_.size()), std::max<count>(leafCapacity, 1));
+    const count cap = std::max<count>(leafCapacity, 1);
+    const index n = static_cast<index>(points_.size());
+    if (n >= kParallelRootThreshold && n > cap) {
+        buildRootParallel(cap);
+    } else {
+        buildCell(0, 0, n, cap);
+    }
+}
+
+void Octree::buildRootParallel(count leafCapacity) {
+    const index n = static_cast<index>(points_.size());
+    const index chunks = (n + kRootChunk - 1) / kRootChunk;
+    const Point3 center = nodes_[0].center;
+
+    octant_.resize(n);
+    scatter_.resize(n);
+    std::vector<Point3> chunkSum(chunks);
+    std::vector<std::array<index, 8>> chunkCount(chunks);
+
+    // Pass 1: per-chunk octant histograms + position sums. order_ is still
+    // the identity here, so points are read directly.
+#pragma omp parallel for schedule(static)
+    for (long long c = 0; c < static_cast<long long>(chunks); ++c) {
+        const index lo = static_cast<index>(c) * kRootChunk;
+        const index hi = std::min(lo + kRootChunk, n);
+        Point3 sum;
+        std::array<index, 8> cnt{};
+        for (index i = lo; i < hi; ++i) {
+            const Point3& p = points_[i];
+            sum += p;
+            const int g = octantOf(p, center);
+            octant_[i] = static_cast<unsigned char>(g);
+            ++cnt[g];
+        }
+        chunkSum[c] = sum;
+        chunkCount[c] = cnt;
+    }
+
+    // Serial combine, in fixed chunk order: root barycenter and the
+    // per-chunk scatter bases (exclusive prefix over octant, then chunk).
+    Point3 total;
+    for (index c = 0; c < chunks; ++c) total += chunkSum[c];
+    nodes_[0].mass = static_cast<double>(n);
+    nodes_[0].barycenter = total / nodes_[0].mass;
+
+    std::array<index, 9> b{}; // octant g occupies order_[b[g], b[g+1])
+    b[0] = 0;
+    for (int g = 0; g < 8; ++g) {
+        index sz = 0;
+        for (index c = 0; c < chunks; ++c) sz += chunkCount[c][g];
+        b[g + 1] = b[g] + sz;
+    }
+    std::vector<std::array<index, 8>> offset(chunks);
+    std::array<index, 8> running;
+    std::copy(b.begin(), b.begin() + 8, running.begin());
+    for (index c = 0; c < chunks; ++c) {
+        offset[c] = running;
+        for (int g = 0; g < 8; ++g) running[g] += chunkCount[c][g];
+    }
+
+    // Pass 2: stable parallel scatter — chunk c writes its points to the
+    // slots reserved for it above, preserving within-chunk order.
+#pragma omp parallel for schedule(static)
+    for (long long c = 0; c < static_cast<long long>(chunks); ++c) {
+        const index lo = static_cast<index>(c) * kRootChunk;
+        const index hi = std::min(lo + kRootChunk, n);
+        std::array<index, 8> at = offset[c];
+        for (index i = lo; i < hi; ++i) scatter_[at[octant_[i]]++] = i;
+    }
+    order_.swap(scatter_);
+
+    // Root's children, then the usual serial recursion per octant.
+    const Point3 rootCenter = nodes_[0].center;
+    const double childHalf = nodes_[0].halfWidth * 0.5;
+    nodes_[0].firstChild = static_cast<int>(nodes_.size());
+    for (int g = 0; g < 8; ++g) {
+        Cell child;
+        child.center = rootCenter + Point3{(g & 4) ? childHalf : -childHalf,
+                                           (g & 2) ? childHalf : -childHalf,
+                                           (g & 1) ? childHalf : -childHalf};
+        child.halfWidth = childHalf;
+        nodes_.push_back(child);
+    }
+    const int firstChild = nodes_[0].firstChild;
+    for (int g = 0; g < 8; ++g) {
+        buildCell(static_cast<index>(firstChild + g), b[g], b[g + 1], leafCapacity);
+    }
 }
 
 void Octree::buildCell(index cellIdx, index lo, index hi, count leafCapacity) {

@@ -20,8 +20,16 @@ namespace rinkit {
 /// internal buffers: leaves store (offset, count) ranges into one shared
 /// order_ array instead of per-leaf vectors, and octant partitioning runs
 /// in place over that array (three nested std::partition passes). A solver
-/// keeps one Octree alive across iterations and calls build() each time —
+/// keeps one Octree alive across iterations — and, in the multilevel
+/// solver, across hierarchy levels — and calls build() each time:
 /// steady-state rebuilds allocate nothing.
+///
+/// On large point sets the top-level octant partition (the only O(n) pass
+/// wide enough to matter) runs in parallel as a chunked counting sort. The
+/// chunk size is fixed, per-chunk histograms are combined by a serial
+/// prefix pass, and the scatter is stable, so the resulting point order —
+/// and therefore every floating-point summation order downstream — is
+/// identical for any OpenMP thread count.
 class Octree {
 public:
     /// Empty tree; call build() before querying.
@@ -50,6 +58,16 @@ public:
     /// Number of tree cells (for white-box tests).
     count cellCount() const { return nodes_.size(); }
 
+    /// Bounding box of the last build()'s point set (invalid when empty).
+    const Aabb& bounds() const { return box_; }
+
+    /// Center of mass of the whole point set (the root cell's barycenter);
+    /// the origin for an empty tree. The layout sweep uses this as the
+    /// global barycenter its isolated-node nudge pushes away from.
+    Point3 rootBarycenter() const {
+        return nodes_.empty() ? Point3{} : nodes_[0].barycenter;
+    }
+
 private:
     struct Cell {
         Point3 center;     // geometric center of the cell cube
@@ -62,6 +80,11 @@ private:
     };
 
     void buildCell(index cellIdx, index lo, index hi, count leafCapacity);
+
+    /// Splits the root range into its 8 octants with a parallel, stable,
+    /// thread-count-deterministic counting sort, creates the root's
+    /// children, and recurses into each with buildCell.
+    void buildRootParallel(count leafCapacity);
 
     template <typename F>
     void walk(index cellIdx, const Point3& query, double theta, F&& f) const {
@@ -88,6 +111,10 @@ private:
     std::vector<Point3> points_;
     std::vector<Cell> nodes_;
     std::vector<index> order_; // point ids, permuted so leaves are contiguous
+    Aabb box_;                 // bounding box of the last build
+    // Scratch for the parallel root partition (reused across builds).
+    std::vector<unsigned char> octant_;
+    std::vector<index> scatter_;
 };
 
 } // namespace rinkit

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/layout/multilevel_maxent_stress.hpp"
 #include "src/obs/trace.hpp"
 #include "src/viz/figure.hpp"
 
@@ -21,26 +22,53 @@ RinWidget::RinWidget(const md::Trajectory& traj, Options options)
 
 void RinWidget::recomputeLayout(UpdateTiming& t) {
     obs::ScopedSpan span("widget.layout");
-    MaxentStress::Parameters params;
-    // Degraded mode gives up layout quality for latency: only the short
-    // warm-start polish runs even on a cold start.
-    params.iterations = degraded_ && options_.layoutWarmStartIterations > 0
-                            ? std::min(options_.layoutIterations,
-                                       options_.layoutWarmStartIterations)
-                            : options_.layoutIterations;
-    params.warmStartIterations = options_.layoutWarmStartIterations;
-    params.seed = options_.seed;
-    MaxentStress layout(rin_.graph(), 3, params);
+    const Graph& g = rin_.graph();
     // Seed with the previous layout so consecutive frames stay visually
     // coherent (and converge faster).
-    const bool warmStart = maxentCoords_.size() == rin_.graph().numberOfNodes();
-    if (warmStart) {
-        layout.setInitialCoordinates(maxentCoords_);
+    const bool warmStart = maxentCoords_.size() == g.numberOfNodes();
+    count iterationsDone = 0;
+    count levels = 1;
+    count coarsestNodes = g.numberOfNodes();
+    bool converged = false;
+
+    if (!warmStart && options_.multilevelLayout) {
+        // Cold start (first frame, or recovery after a degraded stretch
+        // changed the node count): full multilevel V-cycle.
+        MultilevelMaxentStress::Parameters params;
+        params.sweep.seed = options_.seed;
+        MultilevelMaxentStress layout(g, 3, params);
+        layout.setWorkspace(&layoutWorkspace_);
+        layout.run();
+        maxentCoords_ = layout.getCoordinates();
+        iterationsDone = layout.iterationsDone();
+        levels = layout.levels();
+        coarsestNodes = layout.coarsestNodes();
+        converged = layout.converged();
+    } else {
+        MaxentStress::Parameters params;
+        // Degraded mode gives up layout quality for latency: only the short
+        // warm-start polish runs even on a cold start.
+        params.iterations = degraded_ && options_.layoutWarmStartIterations > 0
+                                ? std::min(options_.layoutIterations,
+                                           options_.layoutWarmStartIterations)
+                                : options_.layoutIterations;
+        params.warmStartIterations = options_.layoutWarmStartIterations;
+        params.seed = options_.seed;
+        MaxentStress layout(g, 3, params);
+        layout.setWorkspace(&layoutWorkspace_);
+        if (warmStart) {
+            layout.setInitialCoordinates(maxentCoords_);
+        }
+        layout.run();
+        maxentCoords_ = layout.getCoordinates();
+        iterationsDone = layout.iterationsDone();
+        converged = layout.converged();
     }
-    layout.run();
-    maxentCoords_ = layout.getCoordinates();
-    span.attr("iterations", static_cast<double>(params.iterations));
     span.attr("warm_start", warmStart);
+    span.attr("iterations_done", iterationsDone);
+    span.attr("converged", converged);
+    span.attr("levels", levels);
+    span.attr("coarsest_nodes", coarsestNodes);
     t.layoutMs = span.finishMs();
 }
 

@@ -36,6 +36,12 @@ struct RinWidgetOptions {
     /// result (every update after the first): the seed is already
     /// near equilibrium, so a short polish suffices. 0 disables.
     count layoutWarmStartIterations = 10;
+    /// Cold layouts (first frame, degraded recovery — no previous
+    /// coordinates to seed from) run the multilevel V-cycle solver
+    /// (coarsen / solve coarsest / prolong+refine) instead of the full
+    /// single-level iteration schedule. Warm-started updates always use
+    /// the capped fine-level polish regardless of this flag.
+    bool multilevelLayout = true;
     std::uint64_t seed = 1;
 };
 
@@ -140,6 +146,10 @@ private:
     std::vector<double> scores_;
     std::vector<double> buffer_;
     std::vector<Point3> maxentCoords_;
+    // Sweep-kernel state (rho stress weights keyed on the graph version,
+    // octree, scratch buffers) kept for the session's lifetime: a layout on
+    // an unchanged graph skips the rho precompute entirely.
+    MaxentWorkspace layoutWorkspace_;
     std::string figureJson_;
     // Serialized edge traces of the two scenes, valid while node positions
     // and the edge set are unchanged (i.e. across measure-only updates).

@@ -1,14 +1,22 @@
-// Tests for the layout algorithms (Maxent-Stress, FR, FA2) and the
-// Barnes-Hut octree they share, plus node2vec embeddings.
+// Tests for the layout algorithms (Maxent-Stress single-level and
+// multilevel, FR, FA2), the coarsening hierarchy, and the Barnes-Hut
+// octree they share, plus node2vec embeddings. `ctest -L layout` runs this
+// suite; scripts/verify.sh --layout adds ASan/UBSan.
 #include <gtest/gtest.h>
 
-#include <cmath>
+#include <omp.h>
 
+#include <cmath>
+#include <limits>
+
+#include "src/components/connected_components.hpp"
 #include "src/embedding/node2vec.hpp"
 #include "src/graph/generators.hpp"
+#include "src/layout/coarsening.hpp"
 #include "src/layout/fruchterman_reingold.hpp"
 #include "src/layout/layout.hpp"
 #include "src/layout/maxent_stress.hpp"
+#include "src/layout/multilevel_maxent_stress.hpp"
 #include "src/layout/octree.hpp"
 #include "src/support/random.hpp"
 
@@ -231,6 +239,330 @@ TEST(MaxentStress, ReportsIterations) {
     MaxentStress ms(g, 3, params);
     ms.run();
     EXPECT_EQ(ms.iterationsDone(), 7u);
+}
+
+TEST(MaxentStress, IsolatedNodeDriftsAwayFromBarycenter) {
+    // 6-clique plus an isolated residue: the isolated node has no stress
+    // term, so only the barycenter nudge acts on it — it must move, stay
+    // finite, and end up farther from the cloud's barycenter than it began.
+    Graph g(7);
+    for (node u = 0; u < 6; ++u) {
+        for (node v = u + 1; v < 6; ++v) g.addEdge(u, v);
+    }
+    std::vector<Point3> init(7);
+    Rng rng(5);
+    for (count i = 0; i < 6; ++i) init[i] = {rng.real01(), rng.real01(), rng.real01()};
+    init[6] = {0.05, 0.0, 0.0}; // near the cloud's barycenter
+
+    MaxentStress::Parameters params;
+    params.iterations = 20;
+    params.convergenceTol = 0.0;
+    MaxentStress ms(g, 3, params);
+    ms.setInitialCoordinates(init);
+    ms.run();
+    const auto& c = ms.getCoordinates();
+    ASSERT_EQ(c.size(), 7u);
+    EXPECT_TRUE(std::isfinite(c[6].x) && std::isfinite(c[6].y) && std::isfinite(c[6].z));
+    EXPECT_NE(c[6], init[6]) << "isolated node must not be frozen in place";
+
+    auto barycenterOfClique = [](const std::vector<Point3>& pts) {
+        Point3 sum;
+        for (count i = 0; i < 6; ++i) sum += pts[i];
+        return sum / 6.0;
+    };
+    EXPECT_GT(c[6].distance(barycenterOfClique(c)),
+              init[6].distance(barycenterOfClique(init)));
+}
+
+TEST(MaxentStress, ConvergenceToleranceIsScaleFree) {
+    // Same topology with prescribed distances 1x vs 100x. The early-exit
+    // threshold compares mean movement to the bounding-box diagonal, so
+    // both solves converge in a similar number of iterations — an absolute
+    // threshold would never trigger on the 100x layout (its movements are
+    // ~100x larger too).
+    const auto topo = generators::grid3D(4, 4, 4);
+    Graph small(topo.numberOfNodes(), /*weighted=*/true);
+    Graph large(topo.numberOfNodes(), /*weighted=*/true);
+    topo.forWeightedEdges([&](node u, node v, edgeweight) {
+        small.addEdge(u, v, 1.0);
+        large.addEdge(u, v, 100.0);
+    });
+
+    MaxentStress::Parameters params;
+    params.iterations = 500;
+    params.convergenceTol = 1e-3;
+    MaxentStress a(small, 3, params), b(large, 3, params);
+    a.run();
+    b.run();
+    EXPECT_TRUE(a.converged());
+    EXPECT_TRUE(b.converged());
+    EXPECT_LT(a.iterationsDone(), 500u);
+    EXPECT_LT(b.iterationsDone(), 500u);
+    // Scale-free measure: exit happens at a comparable iteration.
+    const double ia = static_cast<double>(a.iterationsDone());
+    const double ib = static_cast<double>(b.iterationsDone());
+    EXPECT_LT(std::max(ia, ib) / std::min(ia, ib), 2.0);
+}
+
+TEST(Octree, ExposesBoundsAndBarycenter) {
+    std::vector<Point3> pts{{0, 0, 0}, {2, 0, 0}, {0, 4, 0}, {0, 0, 6}};
+    Octree tree(pts);
+    EXPECT_TRUE(tree.bounds().valid());
+    EXPECT_EQ(tree.bounds().lo, Point3(0, 0, 0));
+    EXPECT_EQ(tree.bounds().hi, Point3(2, 4, 6));
+    const Point3 bc = tree.rootBarycenter();
+    EXPECT_DOUBLE_EQ(bc.x, 0.5);
+    EXPECT_DOUBLE_EQ(bc.y, 1.0);
+    EXPECT_DOUBLE_EQ(bc.z, 1.5);
+
+    Octree empty(std::vector<Point3>{});
+    EXPECT_FALSE(empty.bounds().valid());
+    EXPECT_EQ(empty.rootBarycenter(), Point3{});
+}
+
+TEST(Octree, ParallelRootPartitionPreservesMassAndBarycenter) {
+    // 6000 points crosses the parallel-partition threshold; the tree must
+    // still conserve mass at any theta and report the exact barycenter.
+    Rng rng(17);
+    std::vector<Point3> pts(6000);
+    Point3 mean;
+    for (auto& p : pts) {
+        p = {rng.real01() * 10, rng.real01() * 10, rng.real01() * 10};
+        mean += p;
+    }
+    mean /= 6000.0;
+    Octree tree(pts);
+    EXPECT_LT(tree.rootBarycenter().distance(mean), 1e-9);
+    for (double theta : {0.0, 0.9}) {
+        double mass = 0.0;
+        tree.forCells({20.0, 20.0, 20.0}, theta,
+                      [&](const Point3&, double m, bool) { mass += m; });
+        EXPECT_DOUBLE_EQ(mass, 6000.0) << "theta " << theta;
+    }
+}
+
+// -- coarsening hierarchy ---------------------------------------------------
+
+/// ER graph over the first 300 of 310 nodes: a handful of components plus
+/// isolated nodes, the shapes the invariants must survive.
+Graph coarseningFixture(bool weighted) {
+    const auto er = generators::erdosRenyi(300, 0.02, 3);
+    Graph g(310, weighted);
+    Rng rng(23);
+    er.forWeightedEdges([&](node u, node v, edgeweight) {
+        g.addEdge(u, v, weighted ? rng.real(1.0, 5.0) : 1.0);
+    });
+    return g;
+}
+
+TEST(Coarsening, MatchingIsMutualAndAlongEdges) {
+    for (const bool weighted : {false, true}) {
+        const Graph g = coarseningFixture(weighted);
+        const auto match = heavyEdgeMatching(g);
+        ASSERT_EQ(match.size(), g.numberOfNodes());
+        count matched = 0;
+        for (node u = 0; u < g.numberOfNodes(); ++u) {
+            if (match[u] == u) continue;
+            EXPECT_EQ(match[match[u]], u) << "matching must be mutual";
+            EXPECT_TRUE(g.hasEdge(u, match[u])) << "matches must follow edges";
+            ++matched;
+        }
+        EXPECT_GT(matched, g.numberOfNodes() / 4) << "matching too sparse";
+    }
+}
+
+TEST(Coarsening, LevelsConserveWeightAndComponents) {
+    for (const bool weighted : {false, true}) {
+        const Graph g = coarseningFixture(weighted);
+        CoarseningOptions options;
+        options.coarsestSize = 20;
+        const auto hierarchy = buildCoarseningHierarchy(g, options);
+        ASSERT_GE(hierarchy.size(), 2u);
+
+        const Graph* fine = &g;
+        for (const auto& level : hierarchy) {
+            ASSERT_EQ(level.fineNodes(), fine->numberOfNodes());
+            EXPECT_LT(level.graph.numberOfNodes(), fine->numberOfNodes());
+
+            // Total edge weight is conserved: mapped into coarse edges or
+            // collapsed inside matched pairs, nothing lost or invented.
+            const double total = fine->totalEdgeWeight();
+            EXPECT_NEAR(level.mappedWeight + level.contractedWeight, total,
+                        1e-9 * std::max(1.0, total));
+
+            // Contraction along edges never merges or splits components.
+            ConnectedComponents fineCc(*fine), coarseCc(level.graph);
+            fineCc.run();
+            coarseCc.run();
+            EXPECT_EQ(fineCc.numberOfComponents(), coarseCc.numberOfComponents());
+
+            // members/fineToCoarse form a partition into clusters of <= 2.
+            std::vector<count> seen(level.fineNodes(), 0);
+            for (node c = 0; c < level.coarseNodes(); ++c) {
+                const auto& m = level.members[c];
+                ASSERT_NE(m[0], none);
+                EXPECT_EQ(level.fineToCoarse[m[0]], c);
+                ++seen[m[0]];
+                if (m[1] != none) {
+                    EXPECT_EQ(level.fineToCoarse[m[1]], c);
+                    EXPECT_GT(level.pairDistance[c], 0.0);
+                    ++seen[m[1]];
+                }
+            }
+            for (node u = 0; u < level.fineNodes(); ++u) {
+                EXPECT_EQ(seen[u], 1u) << "fine node " << u << " not covered exactly once";
+            }
+            fine = &level.graph;
+        }
+        EXPECT_LE(fine->numberOfNodes(), 20u + 10u); // 10 isolated singletons ride along
+    }
+}
+
+TEST(Coarsening, ProlongationCoversEveryFineNodeExactlyOnce) {
+    const Graph g = coarseningFixture(true);
+    const auto match = heavyEdgeMatching(g);
+    const auto level = contractMatching(g, match);
+
+    std::vector<Point3> coarse(level.coarseNodes());
+    Rng rng(31);
+    for (auto& p : coarse) p = {rng.real01(), rng.real01(), rng.real01()};
+
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    std::vector<Point3> fine(level.fineNodes(), Point3{nan, nan, nan});
+    prolongCoordinates(level, coarse, fine, /*seed=*/1);
+
+    for (node u = 0; u < level.fineNodes(); ++u) {
+        EXPECT_TRUE(std::isfinite(fine[u].x) && std::isfinite(fine[u].y) &&
+                    std::isfinite(fine[u].z))
+            << "fine node " << u << " not written by prolongation";
+    }
+    for (node c = 0; c < level.coarseNodes(); ++c) {
+        const auto& m = level.members[c];
+        if (m[1] == none) {
+            EXPECT_EQ(fine[m[0]], coarse[c]);
+        } else {
+            // Pair split symmetrically about the coarse position, at the
+            // prescribed distance.
+            EXPECT_LT(((fine[m[0]] + fine[m[1]]) * 0.5).distance(coarse[c]), 1e-12);
+            EXPECT_NEAR(fine[m[0]].distance(fine[m[1]]), level.pairDistance[c], 1e-9);
+        }
+    }
+}
+
+TEST(Coarsening, StopsOnEdgelessAndTinyGraphs) {
+    Graph edgeless(100);
+    EXPECT_TRUE(buildCoarseningHierarchy(edgeless, {}).empty());
+    const auto tiny = generators::karateClub(); // 34 <= coarsestSize
+    EXPECT_TRUE(buildCoarseningHierarchy(tiny, {}).empty());
+}
+
+// -- multilevel solver ------------------------------------------------------
+
+TEST(MultilevelMaxentStress, ReportsHierarchyAndBeatsSingleLevelStress) {
+    // A 3D grid has a perfect embedding; the V-cycle must reach it at
+    // least as well as the widget's old cold schedule (30 single-level
+    // iterations from random init), and report its hierarchy shape.
+    const auto g = generators::grid3D(8, 8, 8);
+    MultilevelMaxentStress ml(g, 3);
+    ml.run();
+    EXPECT_GE(ml.levels(), 3u);
+    EXPECT_LE(ml.coarsestNodes(), 100u);
+    EXPECT_GT(ml.iterationsDone(), 0u);
+    const double mlStress = layoutStress(g, ml.getCoordinates());
+
+    MaxentStress::Parameters params;
+    params.iterations = 30;
+    MaxentStress sl(g, 3, params);
+    sl.run();
+    EXPECT_LE(mlStress, layoutStress(g, sl.getCoordinates()));
+}
+
+TEST(MultilevelMaxentStress, WarmStartMatchesSingleLevelFastPath) {
+    // Seeded with warmStartIterations > 0, the multilevel solver takes the
+    // exact capped-polish path of the single-level solver: same kernel,
+    // same schedule, bit-identical coordinates.
+    const auto g = generators::erdosRenyi(150, 0.05, 11);
+    const auto seedCoords = randomBallLayout(g.numberOfNodes(), 77);
+
+    MultilevelMaxentStress::Parameters mlParams;
+    mlParams.sweep.iterations = 30;
+    mlParams.sweep.warmStartIterations = 10;
+    MultilevelMaxentStress ml(g, 3, mlParams);
+    ml.setInitialCoordinates(seedCoords);
+    ml.run();
+    EXPECT_EQ(ml.levels(), 1u);
+
+    MaxentStress::Parameters slParams;
+    slParams.iterations = 30;
+    slParams.warmStartIterations = 10;
+    MaxentStress sl(g, 3, slParams);
+    sl.setInitialCoordinates(seedCoords);
+    sl.run();
+
+    EXPECT_EQ(ml.getCoordinates(), sl.getCoordinates());
+    EXPECT_EQ(ml.iterationsDone(), sl.iterationsDone());
+}
+
+TEST(MultilevelMaxentStress, DeterministicAcrossThreadCounts) {
+    // Fixed seed => identical output for 1/2/8 OpenMP threads. The large
+    // graph also crosses the octree's parallel root-partition threshold,
+    // covering the chunked counting sort.
+    const auto small = generators::erdosRenyi(400, 0.02, 5);
+    const auto large = generators::erdosRenyi(5000, 0.0015, 5);
+    const int savedThreads = omp_get_max_threads();
+    for (const Graph* g : {&small, &large}) {
+        std::vector<Point3> reference;
+        count referenceIters = 0;
+        for (const int threads : {1, 2, 8}) {
+            omp_set_num_threads(threads);
+            MultilevelMaxentStress ml(*g, 3);
+            ml.run();
+            if (reference.empty()) {
+                reference = ml.getCoordinates();
+                referenceIters = ml.iterationsDone();
+            } else {
+                EXPECT_EQ(ml.getCoordinates(), reference)
+                    << "thread count " << threads << " changed the layout";
+                EXPECT_EQ(ml.iterationsDone(), referenceIters);
+            }
+        }
+    }
+    omp_set_num_threads(savedThreads);
+}
+
+TEST(MultilevelMaxentStress, HandlesTrivialAndIsolatedGraphs) {
+    Graph empty;
+    Graph one(1);
+    Graph sparse(60); // isolated nodes only: hierarchy must bail out
+    sparse.addEdge(0, 1);
+    for (const Graph* g : {&empty, &one, &sparse}) {
+        MultilevelMaxentStress ml(*g, 3);
+        ml.run();
+        ASSERT_EQ(ml.getCoordinates().size(), g->numberOfNodes());
+        for (const auto& p : ml.getCoordinates()) {
+            EXPECT_TRUE(std::isfinite(p.x) && std::isfinite(p.y) && std::isfinite(p.z));
+        }
+    }
+    EXPECT_THROW(MultilevelMaxentStress(one, 2), std::invalid_argument);
+}
+
+TEST(MaxentWorkspace, RhoCachedAcrossBindsOnSameVersion) {
+    Graph g(4, /*weighted=*/true);
+    g.addEdge(0, 1, 2.0);
+    g.addEdge(1, 2, 2.0);
+    MaxentWorkspace ws;
+    ws.bind(g);
+    ASSERT_EQ(ws.rho().size(), 4u);
+    EXPECT_DOUBLE_EQ(ws.rho()[1], 0.5); // 1/4 + 1/4
+    EXPECT_DOUBLE_EQ(ws.rho()[3], 0.0); // isolated
+
+    ws.bind(g); // same version: cached (still correct values)
+    EXPECT_DOUBLE_EQ(ws.rho()[1], 0.5);
+
+    g.addEdge(1, 3, 1.0); // version bump: rho must be recomputed
+    ws.bind(g);
+    EXPECT_DOUBLE_EQ(ws.rho()[1], 1.5);
+    EXPECT_DOUBLE_EQ(ws.rho()[3], 1.0);
 }
 
 TEST(LayoutStress, PerfectLayoutZeroStress) {

@@ -257,6 +257,48 @@ TEST_F(ObsTest, WidgetUpdateTimingIsDerivedFromSpans) {
     EXPECT_NEAR(phaseSum, t.serverMs(), 1e-9);
 }
 
+TEST_F(ObsTest, ColdLayoutEmitsHierarchyAttrsAndLevelSpans) {
+    // Construction runs the cold multilevel V-cycle (200 residues is well
+    // above the coarsest-size threshold, so the hierarchy is non-trivial).
+    const auto traj = slowTrajectory();
+    viz::RinWidget widget(traj);
+
+    auto spans = Tracer::global().collect();
+    const auto* layout = findSpan(spans, "widget.layout");
+    ASSERT_NE(layout, nullptr);
+    EXPECT_DOUBLE_EQ(numAttrOr(*layout, "warm_start", -1.0), 0.0);
+    EXPECT_GT(numAttrOr(*layout, "iterations_done", 0.0), 0.0);
+    EXPECT_NE(numAttrOr(*layout, "converged", -1.0), -1.0);
+    const double levels = numAttrOr(*layout, "levels", 0.0);
+    EXPECT_GE(levels, 2.0) << "200 residues must coarsen at least once";
+    const double coarsest = numAttrOr(*layout, "coarsest_nodes", 0.0);
+    EXPECT_GT(coarsest, 0.0);
+    EXPECT_LT(coarsest, 200.0);
+
+    // One child span per V-cycle level, all inside the layout span's trace.
+    count levelSpans = 0;
+    for (const auto& s : spans) {
+        if (s.name != "layout.level") continue;
+        ++levelSpans;
+        EXPECT_EQ(s.traceId, layout->traceId);
+        EXPECT_EQ(s.parentId, layout->spanId);
+        EXPECT_GE(numAttrOr(s, "nodes", 0.0), 1.0);
+        EXPECT_GE(numAttrOr(s, "iterations", -1.0), 0.0);
+    }
+    EXPECT_EQ(static_cast<double>(levelSpans), levels);
+
+    // A warm slider move takes the capped single-level polish: no
+    // hierarchy, and the attrs say so.
+    Tracer::global().clear();
+    widget.setCutoff(5.5);
+    spans = Tracer::global().collect();
+    const auto* warm = findSpan(spans, "widget.layout");
+    ASSERT_NE(warm, nullptr);
+    EXPECT_DOUBLE_EQ(numAttrOr(*warm, "warm_start", -1.0), 1.0);
+    EXPECT_DOUBLE_EQ(numAttrOr(*warm, "levels", -1.0), 1.0);
+    EXPECT_GT(numAttrOr(*warm, "iterations_done", 0.0), 0.0);
+}
+
 TEST_F(ObsTest, SessionServiceRequestFormsOneCrossThreadTree) {
     const auto traj = tinyTrajectory();
     serve::SessionService service;
