@@ -17,6 +17,7 @@
 
 #include <chrono>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "bench/bench_common.hpp"
@@ -98,9 +99,8 @@ void clientLoop(serve::SessionService& service, serve::SessionId session, count 
     }
 }
 
-void BM_ClosedLoopSessions(benchmark::State& state) {
-    const count clients = static_cast<count>(state.range(0));
-    const double thinkMs = static_cast<double>(state.range(1));
+void BM_ClosedLoopSessions(benchmark::State& state, count clients, double thinkMs,
+                           viz::WireFormat wire) {
     const count bursts = 4;
 
     // The 1000-residue protein of the paper's upper Fig. 6-8 range, with a
@@ -130,7 +130,10 @@ void BM_ClosedLoopSessions(benchmark::State& state) {
         sessions.reserve(clients);
         // Session setup (initial widget draw) is part of the measured run:
         // it is real server work the instance performs for C clients.
-        for (count c = 0; c < clients; ++c) sessions.push_back(service.openSession(traj));
+        viz::RinWidget::Options widgetOpts;
+        widgetOpts.wireFormat = wire;
+        for (count c = 0; c < clients; ++c)
+            sessions.push_back(service.openSession(traj, widgetOpts));
 
         std::vector<std::thread> threads;
         threads.reserve(clients);
@@ -158,20 +161,31 @@ BENCHMARK(BM_UserAdmission)->Unit(benchmark::kMillisecond)->Apply([](auto* b) {
     }
 });
 BENCHMARK(BM_RoutingThroughput)->Unit(benchmark::kMicrosecond);
-BENCHMARK(BM_ClosedLoopSessions)
-    ->Unit(benchmark::kMillisecond)
-    ->UseRealTime()
-    ->Iterations(1)
-    ->Apply([](auto* b) {
-        // clients x think-time (ms); the acceptance grid 1/8/32 plus a
-        // 64-client overload point and a slow-think contrast at 8.
-        b->Args({1, 10});
-        b->Args({8, 10});
-        b->Args({8, 50});
-        b->Args({32, 10});
-        b->Args({64, 10});
-    });
+
+// Runtime registration: the --wire axis can't be seen by static BENCHMARK
+// registration (it runs pre-main). One closed-loop grid per format; the
+// snapshot counters (wire_bytes, wire_keyframes, wire_delta_frames,
+// frames_shipped) ride along via addSnapshotCounters.
+void registerClosedLoop(const std::vector<std::string>& wires) {
+    // clients x think-time (ms); the acceptance grid 1/8/32 plus a
+    // 64-client overload point and a slow-think contrast at 8.
+    constexpr std::pair<long, long> kGrid[] = {{1, 10}, {8, 10}, {8, 50}, {32, 10}, {64, 10}};
+    for (const auto& w : wires) {
+        const auto fmt = w == "binary" ? viz::WireFormat::Binary : viz::WireFormat::Json;
+        for (const auto& [clients, thinkMs] : kGrid) {
+            benchmark::RegisterBenchmark(
+                ("BM_ClosedLoopSessions/" + std::to_string(clients) + "/" +
+                 std::to_string(thinkMs) + "/wire:" + w)
+                    .c_str(),
+                BM_ClosedLoopSessions, static_cast<count>(clients),
+                static_cast<double>(thinkMs), fmt)
+                ->Unit(benchmark::kMillisecond)
+                ->UseRealTime()
+                ->Iterations(1);
+        }
+    }
+}
 
 } // namespace
 
-RINKIT_BENCH_MAIN()
+RINKIT_BENCH_MAIN_WIRE(registerClosedLoop)

@@ -25,6 +25,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -219,9 +220,30 @@ inline std::string extractJsonFlag(int& argc, char** argv) {
     return extractPathFlag(argc, argv, "--json");
 }
 
-inline int benchMain(int argc, char** argv) {
+/// Parses the `--wire {json,binary,both}` axis (default: both). Returned
+/// as format names, not viz::WireFormat values, so this header stays free
+/// of the widget include chain — benches that register a wire axis map
+/// the names themselves. Exits with a message on an unknown value; a
+/// silently ignored axis would produce a half-missing BENCH_wire.json.
+inline std::vector<std::string> extractWireFlag(int& argc, char** argv) {
+    const std::string v = extractPathFlag(argc, argv, "--wire");
+    if (v.empty() || v == "both") return {"json", "binary"};
+    if (v == "json" || v == "binary") return {v};
+    std::fprintf(stderr, "error: --wire must be json, binary, or both (got '%s')\n",
+                 v.c_str());
+    std::exit(1);
+}
+
+/// Registrar hook for benches with a --wire axis: called with the selected
+/// format names after flag extraction but before benchmark::Initialize, so
+/// it can benchmark::RegisterBenchmark one variant per format at runtime
+/// (static BENCHMARK registration runs before main and cannot see flags).
+using WireRegistrar = void (*)(const std::vector<std::string>&);
+
+inline int benchMain(int argc, char** argv, WireRegistrar wireRegistrar = nullptr) {
     std::string jsonPath = extractPathFlag(argc, argv, "--json");
     std::string tracePath = extractPathFlag(argc, argv, "--trace");
+    if (wireRegistrar != nullptr) wireRegistrar(extractWireFlag(argc, argv));
     if (!tracePath.empty()) {
         // Record everything: benches are offline runs, head sampling is
         // for the serving path.
@@ -245,4 +267,11 @@ inline int benchMain(int argc, char** argv) {
 #define RINKIT_BENCH_MAIN()                                                    \
     int main(int argc, char** argv) {                                          \
         return rinkit::benchsupport::benchMain(argc, argv);                    \
+    }
+
+/// Entry point for benches with a --wire axis: @p registerFn is a
+/// rinkit::benchsupport::WireRegistrar invoked with the selected formats.
+#define RINKIT_BENCH_MAIN_WIRE(registerFn)                                     \
+    int main(int argc, char** argv) {                                          \
+        return rinkit::benchsupport::benchMain(argc, argv, (registerFn));      \
     }

@@ -85,28 +85,107 @@ void BM_LayoutGeneration(benchmark::State& state) {
     state.counters["stress"] = stress;
 }
 
-// (f): the whole widget cutoff-switch cycle incl. simulated client. The
-// per-phase counters are derived from the spans the widget emits (the same
-// data the --trace export shows), not from bespoke timing fields.
-void BM_ClientPerceivedCutoffSwitch(benchmark::State& state) {
-    const count residues = static_cast<count>(state.range(0));
+// (f): the whole widget cutoff-switch cycle incl. simulated client, once
+// per payload format (--wire axis). The per-phase counters are derived
+// from the spans the widget emits (the same data the --trace export
+// shows); the wire counters come from the per-update timing fields.
+void BM_ClientPerceivedCutoffSwitch(benchmark::State& state, count residues,
+                                    viz::WireFormat wire) {
     const auto traj = shortTrajectory(residues);
-    viz::RinWidget widget(traj);
+    viz::RinWidget::Options opts;
+    opts.wireFormat = wire;
+    viz::RinWidget widget(traj, opts);
 
     benchsupport::SpanWindow window;
     bool high = false;
+    double bytes = 0.0, keyframes = 0.0, patchElems = 0.0, cycles = 0.0;
     for (auto _ : state) {
         high = !high;
         const auto t = widget.setCutoff(high ? 7.5 : 4.5);
+        bytes += static_cast<double>(t.wireBytes);
+        keyframes += t.wireKeyframe ? 1.0 : 0.0;
+        patchElems += static_cast<double>(t.wirePatchElements);
+        cycles += 1.0;
         benchmark::DoNotOptimize(t.totalMs());
     }
     state.counters["edge_ms"] = window.phaseMeanMs("widget.network_update");
     state.counters["layout_ms"] = window.phaseMeanMs("widget.layout");
     state.counters["measure_ms"] = window.phaseMeanMs("widget.measure");
     state.counters["client_ms"] = window.phaseMeanMs("widget.client");
+    state.counters["wire_bytes"] = cycles == 0.0 ? 0.0 : bytes / cycles;
+    if (wire == viz::WireFormat::Binary) {
+        state.counters["keyframe_rate"] = cycles == 0.0 ? 0.0 : keyframes / cycles;
+        state.counters["patch_elements"] = cycles == 0.0 ? 0.0 : patchElems / cycles;
+    }
     // Every cutoff switch mutates the graph (version bump), so the measure
     // cache must miss on each cycle — a nonzero value here is a bug.
     state.counters["measure_cache_hit"] = window.attrRate("widget.measure", "cache_hit");
+}
+
+// The delta-protocol workload: a user *dragging* the cutoff slider visits
+// intermediate values, so each event churns a fraction of the edge set —
+// exactly what delta frames exploit. The low<->high toggle above stays as
+// the paper-faithful worst case (a jump that churns most of the edges).
+void BM_ClientPerceivedCutoffSweep(benchmark::State& state, count residues,
+                                   viz::WireFormat wire) {
+    const auto traj = shortTrajectory(residues);
+    viz::RinWidget::Options opts;
+    opts.wireFormat = wire;
+    viz::RinWidget widget(traj, opts);
+
+    // 4.5 -> 7.5 -> 4.5 ladder in 0.5 A steps, as a slider drag delivers it.
+    std::vector<double> ladder;
+    for (double c = 4.5; c < 7.5; c += 0.5) ladder.push_back(c);
+    for (double c = 7.5; c > 4.5; c -= 0.5) ladder.push_back(c);
+
+    // One untimed lap: the warm-started layout expands for a few events
+    // before settling, and the binary encoder's quantization grid converges
+    // with it. Both formats get the same steady-state widget.
+    for (const double c : ladder) widget.setCutoff(c);
+
+    benchsupport::SpanWindow window;
+    std::size_t step = 0;
+    double bytes = 0.0, keyframes = 0.0, patchElems = 0.0, cycles = 0.0;
+    for (auto _ : state) {
+        step = (step + 1) % ladder.size();
+        const auto t = widget.setCutoff(ladder[step]);
+        bytes += static_cast<double>(t.wireBytes);
+        keyframes += t.wireKeyframe ? 1.0 : 0.0;
+        patchElems += static_cast<double>(t.wirePatchElements);
+        cycles += 1.0;
+        benchmark::DoNotOptimize(t.totalMs());
+    }
+    state.counters["edge_ms"] = window.phaseMeanMs("widget.network_update");
+    state.counters["layout_ms"] = window.phaseMeanMs("widget.layout");
+    state.counters["measure_ms"] = window.phaseMeanMs("widget.measure");
+    state.counters["client_ms"] = window.phaseMeanMs("widget.client");
+    state.counters["wire_bytes"] = cycles == 0.0 ? 0.0 : bytes / cycles;
+    if (wire == viz::WireFormat::Binary) {
+        state.counters["keyframe_rate"] = cycles == 0.0 ? 0.0 : keyframes / cycles;
+        state.counters["patch_elements"] = cycles == 0.0 ? 0.0 : patchElems / cycles;
+    }
+}
+
+// Registered at runtime (not via BENCHMARK) because the wire axis comes
+// from the --wire flag, which static registration cannot see.
+void registerClientPerceived(const std::vector<std::string>& wires) {
+    for (const auto& w : wires) {
+        const auto fmt = w == "binary" ? viz::WireFormat::Binary : viz::WireFormat::Json;
+        for (long r : {73L, 250L, 1000L}) {
+            benchmark::RegisterBenchmark(
+                ("BM_ClientPerceivedCutoffSwitch/" + std::to_string(r) + "/wire:" + w)
+                    .c_str(),
+                BM_ClientPerceivedCutoffSwitch, static_cast<count>(r), fmt)
+                ->Unit(benchmark::kMillisecond)
+                ->Iterations(4);
+            benchmark::RegisterBenchmark(
+                ("BM_ClientPerceivedCutoffSweep/" + std::to_string(r) + "/wire:" + w)
+                    .c_str(),
+                BM_ClientPerceivedCutoffSweep, static_cast<count>(r), fmt)
+                ->Unit(benchmark::kMillisecond)
+                ->Iterations(24);
+        }
+    }
 }
 
 BENCHMARK(BM_EdgeUpdate)
@@ -122,13 +201,6 @@ BENCHMARK(BM_LayoutGeneration)->Unit(benchmark::kMillisecond)->Apply([](auto* b)
         }
     }
 });
-BENCHMARK(BM_ClientPerceivedCutoffSwitch)
-    ->Unit(benchmark::kMillisecond)
-    ->Arg(73)
-    ->Arg(250)
-    ->Arg(1000)
-    ->Iterations(4);
-
 } // namespace
 
-RINKIT_BENCH_MAIN()
+RINKIT_BENCH_MAIN_WIRE(registerClientPerceived)

@@ -43,7 +43,10 @@ void BM_FrameNetworkUpdate(benchmark::State& state) {
     rin::DynamicRin dyn(traj, rin::DistanceCriterion::MinimumAtomDistance,
                         high ? 7.5 : 4.5);
 
-    index f = 0;
+    // Qualified: the wire headers pull in <cstring>, whose glibc
+    // strings.h companion puts ::index into scope and makes the
+    // unqualified name ambiguous under `using namespace rinkit`.
+    rinkit::index f = 0;
     for (auto _ : state) {
         f = (f + 1) % traj.frameCount();
         const auto stats = dyn.setFrame(f);
@@ -53,24 +56,38 @@ void BM_FrameNetworkUpdate(benchmark::State& state) {
     state.counters["edges"] = static_cast<double>(dyn.graph().numberOfEdges());
 }
 
-// (i): full widget frame-switch cycle, with and without an active measure.
-void BM_ClientPerceivedFrameSwitch(benchmark::State& state) {
-    const count residues = static_cast<count>(state.range(0));
-    const bool withMeasure = state.range(1) != 0;
-
+// (i): full widget frame-switch cycle, with and without an active
+// measure, once per payload format (--wire axis).
+void BM_ClientPerceivedFrameSwitch(benchmark::State& state, count residues,
+                                   bool withMeasure, viz::WireFormat wire) {
     const auto traj = wigglyTrajectory(residues);
     viz::RinWidget::Options opts;
     if (!withMeasure) opts.initialMeasure = std::nullopt;
+    opts.wireFormat = wire;
     viz::RinWidget widget(traj, opts);
 
     // Per-phase counters come from the widget's spans (what --trace
     // exports), not from bespoke timing fields. Without a measure no
     // widget.measure span is emitted and the counter reads 0, as before.
+    // Two untimed trajectory laps: the warm-started layout drifts for the
+    // first few relayouts and the binary encoder's quantization grid
+    // converges with it, so the timed loop measures steady state for both
+    // formats.
+    for (int lap = 0; lap < 2; ++lap) {
+        for (rinkit::index w = 1; w < traj.frameCount(); ++w) widget.setFrame(w);
+        widget.setFrame(0);
+    }
+
     benchsupport::SpanWindow window;
-    index f = 0;
+    rinkit::index f = 0;
+    double bytes = 0.0, keyframes = 0.0, patchElems = 0.0, cycles = 0.0;
     for (auto _ : state) {
         f = (f + 1) % traj.frameCount();
         const auto t = widget.setFrame(f);
+        bytes += static_cast<double>(t.wireBytes);
+        keyframes += t.wireKeyframe ? 1.0 : 0.0;
+        patchElems += static_cast<double>(t.wirePatchElements);
+        cycles += 1.0;
         benchmark::DoNotOptimize(t.totalMs());
     }
     state.SetLabel(withMeasure ? "with measure (worst case)" : "no measure");
@@ -78,9 +95,37 @@ void BM_ClientPerceivedFrameSwitch(benchmark::State& state) {
     state.counters["layout_ms"] = window.phaseMeanMs("widget.layout");
     state.counters["measure_ms"] = window.phaseMeanMs("widget.measure");
     state.counters["client_ms"] = window.phaseMeanMs("widget.client");
+    state.counters["wire_bytes"] = cycles == 0.0 ? 0.0 : bytes / cycles;
+    if (wire == viz::WireFormat::Binary) {
+        state.counters["keyframe_rate"] = cycles == 0.0 ? 0.0 : keyframes / cycles;
+        state.counters["patch_elements"] = cycles == 0.0 ? 0.0 : patchElems / cycles;
+    }
     // Frame switches mutate the graph; hits can only appear if a frame's
     // edge diff happened to be empty (version unchanged). Expected ~0.
     state.counters["measure_cache_hit"] = window.attrRate("widget.measure", "cache_hit");
+}
+
+// Runtime registration: the wire axis comes from the --wire flag, which
+// static BENCHMARK registration (pre-main) cannot see.
+void registerClientPerceived(const std::vector<std::string>& wires) {
+    for (const auto& w : wires) {
+        const auto fmt = w == "binary" ? viz::WireFormat::Binary : viz::WireFormat::Json;
+        for (long r : {73L, 250L, 1000L}) {
+            for (bool withMeasure : {false, true}) {
+                benchmark::RegisterBenchmark(
+                    ("BM_ClientPerceivedFrameSwitch/" + std::to_string(r) +
+                     (withMeasure ? "/measure:1" : "/measure:0") + "/wire:" + w)
+                        .c_str(),
+                    BM_ClientPerceivedFrameSwitch, static_cast<count>(r), withMeasure,
+                    fmt)
+                    ->Unit(benchmark::kMillisecond)
+                    // Enough iterations to cycle the trajectory more than
+                    // once: the binary encoder's grid converges during the
+                    // first lap, so steady state is what gets measured.
+                    ->Iterations(12);
+            }
+        }
+    }
 }
 
 BENCHMARK(BM_FrameNetworkUpdate)->Unit(benchmark::kMillisecond)->Apply([](auto* b) {
@@ -89,16 +134,6 @@ BENCHMARK(BM_FrameNetworkUpdate)->Unit(benchmark::kMillisecond)->Apply([](auto* 
         b->Args({r, 1L});
     }
 });
-BENCHMARK(BM_ClientPerceivedFrameSwitch)
-    ->Unit(benchmark::kMillisecond)
-    ->Apply([](auto* b) {
-        for (long r : {73L, 250L, 1000L}) {
-            b->Args({r, 0L});
-            b->Args({r, 1L});
-        }
-        b->Iterations(4);
-    });
-
 } // namespace
 
-RINKIT_BENCH_MAIN()
+RINKIT_BENCH_MAIN_WIRE(registerClientPerceived)

@@ -93,7 +93,7 @@ int main(int argc, char** argv) {
     for (count u = 0; u < users; ++u) {
         const std::string user = "scientist" + std::to_string(u);
         const std::string ip = "192.168.1." + std::to_string(u + 2);
-        for (index f = 0; f < 3; ++f) {
+        for (rinkit::index f = 0; f < 3; ++f) {
             auto fut = hub.routeUserRequest(user, ip, serve::SliderEvent::setFrame(f));
             if (fut) inflight.push_back(std::move(*fut));
         }

@@ -52,7 +52,7 @@ int main(int argc, char** argv) {
 
     std::cout << "\n-- frame slider (unfolding event at mid-trajectory) --\n";
     widget.snapshotBuffer();
-    for (index f : {5u, 10u, 15u, 19u}) {
+    for (rinkit::index f : {5u, 10u, 15u, 19u}) {
         char label[32];
         std::snprintf(label, sizeof(label), "frame -> %u", f);
         report(label, widget.setFrame(f));

@@ -3,7 +3,7 @@
 # memory-heavy suites (cell list / octree rewrites are pointer-and-offset
 # code; the sanitizers are what catches an off-by-one in the CSR layout).
 #
-# Usage: scripts/verify.sh [--skip-sanitizers | --tsan | --serve-stress | --obs | --layout]
+# Usage: scripts/verify.sh [--skip-sanitizers | --tsan | --serve-stress | --obs | --layout | --wire]
 #   --tsan  additionally builds the parallel kernels (centrality /
 #           community: OpenMP array reductions, batched MS-BFS, atomic
 #           local moving) plus the serving layer (test_serve: thread pool,
@@ -22,6 +22,12 @@
 #           invariants, multilevel V-cycle determinism) under ASan/UBSan,
 #           then a release smoke run of the cold/warm layout ablation
 #           benchmarks (bench_ablation_layout, BM_LayoutCold/BM_LayoutWarm).
+#   --wire  runs the binary wire-protocol suite (ctest label wire:
+#           truncation sweep, byte-flip corruption fuzz, delta bit-identity)
+#           plus the widget suite under ASan/UBSan — the decoder parses
+#           attacker-shaped buffers, so "rejects cleanly, no UB" is the
+#           property these sanitizers actually prove. (The serve-side wire
+#           counters run under TSan via --tsan, which includes test_serve.)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -113,6 +119,20 @@ if [[ "${1:-}" == "--layout" ]]; then
         --benchmark_filter='BM_Layout(Cold|Warm)' \
         --benchmark_min_time=0.05
     echo "== layout OK =="
+    exit 0
+fi
+
+if [[ "${1:-}" == "--wire" ]]; then
+    echo "== wire protocol suite under ASan/UBSan =="
+    SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -g -O1"
+    cmake -B build-asan -S . \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DCMAKE_CXX_FLAGS="$SAN_FLAGS" \
+        -DCMAKE_EXE_LINKER_FLAGS="$SAN_FLAGS" >/dev/null
+    cmake --build build-asan -j --target test_wire test_viz
+    (cd build-asan && ctest -L wire --output-on-failure)
+    ./build-asan/tests/test_viz
+    echo "== wire OK =="
     exit 0
 fi
 

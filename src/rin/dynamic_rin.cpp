@@ -92,6 +92,10 @@ DynamicRin::UpdateStats DynamicRin::setFrame(index frame) {
 void DynamicRin::rebuild() {
     obs::ScopedSpan span("rin.rebuild");
     graph_ = builder_.build(protein_, cutoff_);
+    // A rebuild replaces the topology wholesale; the incremental diff of
+    // the last setCutoff/setFrame no longer describes anything.
+    addBuf_.clear();
+    removeBuf_.clear();
     span.attr("edges_total", graph_.numberOfEdges());
 }
 

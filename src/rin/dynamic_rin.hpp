@@ -50,6 +50,13 @@ public:
     /// Switches the trajectory frame (recomputes distances, diffs edges).
     UpdateStats setFrame(index frame);
 
+    /// Exact edge diff of the most recent setCutoff/setFrame, sorted
+    /// (u < v, lexicographic). Valid until the next update; empty after a
+    /// rebuild(). This is what the wire-protocol delta encoder ships
+    /// instead of re-deriving the diff from two full edge lists.
+    const std::vector<std::pair<node, node>>& lastAdded() const { return addBuf_; }
+    const std::vector<std::pair<node, node>>& lastRemoved() const { return removeBuf_; }
+
     /// Full rebuild (baseline for the ablation bench).
     void rebuild();
 

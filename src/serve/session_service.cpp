@@ -72,9 +72,16 @@ SessionService::SessionService(Options options) : options_(options) {
     if (options_.maxQueuedPerSession == 0)
         options_.maxQueuedPerSession = std::max<count>(2, options_.budget.memoryMb / 2048);
     // Pre-seed the lifecycle counters so every snapshot (and its JSON)
-    // carries the full set, zeros included.
+    // carries the full set, zeros included. The wire_* counters track the
+    // shipped payloads: bytes in whichever format the session uses, and
+    // the keyframe/delta split for binary-wire sessions (JSON payloads
+    // count frames and bytes but neither wire_keyframes nor
+    // wire_delta_frames, so delta ratio = wire_delta_frames / frames_shipped
+    // is meaningful per-format).
     for (const char* name : {"submitted", "completed", "coalesced", "rejected",
-                             "shed_degraded", "deadline_missed", "sessions_opened"})
+                             "shed_degraded", "deadline_missed", "sessions_opened",
+                             "frames_shipped", "wire_bytes", "wire_keyframes",
+                             "wire_delta_frames"})
         registry_.increment(name, 0);
     pool_ = std::make_unique<ThreadPool>(options_.workers);
 }
@@ -332,6 +339,10 @@ void SessionService::runNext(std::shared_ptr<Session> session) {
     registry_.recordLatency("server_ms", timing.serverMs());
     registry_.recordLatency("total_ms", queueMs + timing.totalMs());
     registry_.increment("completed");
+    registry_.increment("frames_shipped");
+    registry_.increment("wire_bytes", timing.wireBytes);
+    if (timing.binaryWire)
+        registry_.increment(timing.wireKeyframe ? "wire_keyframes" : "wire_delta_frames");
 
     if (request.traceCtx.sampled) {
         tracer.recordSpan(

@@ -16,6 +16,29 @@ double ClientCostModel::parseOnly(const std::string& figureJson) const {
     return t.elapsedMs();
 }
 
+namespace {
+
+/// The shared DOM-update phase: one attribute string per element, times
+/// the per-element bookkeeping factor. Both payload models charge DOM
+/// work through this single function so their comparison isolates payload
+/// parsing and elements touched.
+void domPatchWork(count elements, count workPerElement) {
+    volatile count checksum = 0;
+    for (count e = 0; e < elements; ++e) {
+        char attr[96];
+        for (count r = 0; r < workPerElement; ++r) {
+            std::snprintf(attr, sizeof(attr),
+                          "<g transform=\"translate(%llu)\" class=\"pt-%llu\"/>",
+                          static_cast<unsigned long long>(e),
+                          static_cast<unsigned long long>(r));
+            checksum += static_cast<count>(attr[1]);
+        }
+    }
+    (void)checksum;
+}
+
+} // namespace
+
 double ClientCostModel::processUpdate(const std::string& figureJson, count nodes,
                                       count edges) const {
     Timer t;
@@ -28,18 +51,21 @@ double ClientCostModel::processUpdate(const std::string& figureJson, count nodes
     // every node and re-renders everything (full update) — the paper's
     // ~100 ms vs ~200 ms client overhead difference.
     const count elements = params_.fullUpdate ? nodes + edges : edges;
-    volatile count checksum = 0;
-    for (count e = 0; e < elements; ++e) {
-        char attr[96];
-        for (count r = 0; r < params_.workPerElement; ++r) {
-            std::snprintf(attr, sizeof(attr),
-                          "<g transform=\"translate(%llu)\" class=\"pt-%llu\"/>",
-                          static_cast<unsigned long long>(e),
-                          static_cast<unsigned long long>(r));
-            checksum += static_cast<count>(attr[1]);
-        }
-    }
-    (void)checksum;
+    domPatchWork(elements, params_.workPerElement);
+    return t.elapsedMs();
+}
+
+double ClientCostModel::processWirePatch(const wire::Bytes& frame,
+                                         wire::FrameDecoder& decoder,
+                                         wire::PatchStats* statsOut) const {
+    Timer t;
+    // Parse phase: the real binary decode — every byte of the frame runs
+    // through the bounds-checked reader and lands in the decoder state.
+    const wire::PatchStats stats = decoder.apply(frame);
+    if (statsOut != nullptr) *statsOut = stats;
+    // Patch phase: only the elements this frame touched (a keyframe
+    // degenerates to the full rebuild, same as the JSON path).
+    domPatchWork(stats.elementsTouched(), params_.workPerElement);
     return t.elapsedMs();
 }
 

@@ -3,6 +3,7 @@
 #include <string>
 
 #include "src/support/types.hpp"
+#include "src/wire/scene_frame.hpp"
 
 namespace rinkit::viz {
 
@@ -11,21 +12,34 @@ namespace rinkit::viz {
 ///
 /// SUBSTITUTION (see DESIGN.md): the paper measures Firefox on an M1
 /// MacBook; there is no browser here. The client-side cost is, physically,
-/// (1) parsing the figure JSON and (2) rebuilding/updating DOM elements
-/// for every marker and line segment. Both are reproduced as real work,
-/// not a sleep: the payload is parsed with the rinkit JSON parser, and the
-/// DOM update is modeled by materializing one attribute string per visual
-/// element (plus a fixed per-element bookkeeping overhead calibrated so
-/// that a full update of a ~1000-edge figure lands in the paper's
-/// 300-600 ms regime).
+/// (1) parsing the shipped payload and (2) updating DOM elements. Both are
+/// reproduced as real work, not a sleep.
+///
+/// Two payload models exist:
+///  - JSON (processUpdate): the full plotly figure is parsed with the
+///    rinkit JSON parser and the DOM phase rebuilds one element per
+///    visual (every marker and/or edge segment) — parse + full rebuild.
+///  - Binary wire (processWirePatch): the frame is decoded with
+///    wire::FrameDecoder (bytes parsed is the real decode over the frame's
+///    bytes) and the DOM phase touches only the elements the frame
+///    actually changed (PatchStats::elementsTouched) — parse + patch.
+///
+/// In both, one DOM element costs `workPerElement` synthetic attribute
+/// string builds, calibrated so a full JSON update of a ~1000-edge figure
+/// lands in the paper's 300-600 ms regime; the same per-element price is
+/// charged on both paths, so the JSON/binary comparison isolates payload
+/// size and elements touched, not a retuned constant.
 class ClientCostModel {
 public:
     struct Parameters {
-        /// Extra bookkeeping charge per DOM element update, in synthetic
-        /// string-build repetitions (calibration knob).
+        /// Bookkeeping charge per DOM element update, in synthetic
+        /// attribute-string builds (~0.1 us each). The calibration knob:
+        /// 40 puts a 2 x 1000-node full rebuild at a few hundred ms.
         count workPerElement = 40;
-        /// Elements rebuilt on a partial update (edges only, e.g. cutoff
-        /// switch without node movement) vs full (all markers + edges).
+        /// JSON path only: elements rebuilt on a partial update (edges
+        /// only, e.g. cutoff switch without node movement) vs full (all
+        /// markers + edges). The wire path ignores this — the decoded
+        /// frame itself says which elements were touched.
         bool fullUpdate = true;
     };
 
@@ -35,6 +49,15 @@ public:
     /// Processes @p figureJson as the browser would; returns elapsed ms.
     /// @p nodes / @p edges describe the scene for the DOM-update phase.
     double processUpdate(const std::string& figureJson, count nodes, count edges) const;
+
+    /// Applies one binary wire frame as the browser would: the real frame
+    /// decode into @p decoder (the parse phase), then one attribute-string
+    /// build per element the frame touched (the patch phase). Returns
+    /// elapsed ms; fills @p statsOut if given. Decode errors propagate as
+    /// wire::WireError after the decoder dropped its state (its resync
+    /// path), so the caller's next ack requests a keyframe.
+    double processWirePatch(const wire::Bytes& frame, wire::FrameDecoder& decoder,
+                            wire::PatchStats* statsOut = nullptr) const;
 
     /// Parse-only cost in ms (for instrumentation splits).
     double parseOnly(const std::string& figureJson) const;

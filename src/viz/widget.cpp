@@ -16,7 +16,8 @@ namespace rinkit::viz {
 RinWidget::RinWidget(const md::Trajectory& traj, Options options)
     : options_(options),
       rin_(traj, options.criterion, options.initialCutoff, options.initialFrame),
-      measure_(options.initialMeasure) {
+      measure_(options.initialMeasure),
+      wireEncoder_(wire::DeltaEncoderOptions{options.wireKeyframeInterval}) {
     refresh();
 }
 
@@ -90,9 +91,11 @@ std::vector<double> RinWidget::displayedScores() const {
     return delta;
 }
 
-void RinWidget::renderAndShip(UpdateTiming& t, bool fullClientUpdate, bool markersOnly) {
+void RinWidget::renderAndShip(UpdateTiming& t, bool fullClientUpdate, bool markersOnly,
+                              EdgeDelta edgeDelta) {
     const Graph& g = rin_.graph();
     t.degraded = degraded_;
+    const bool binary = options_.wireFormat == WireFormat::Binary;
 
     obs::ScopedSpan buildSpan("widget.scene_build");
     // Left view: the real protein conformation (C-alpha positions), the
@@ -101,9 +104,12 @@ void RinWidget::renderAndShip(UpdateTiming& t, bool fullClientUpdate, bool marke
     std::vector<double> shown = displayedScores();
     if (shown.empty()) shown.assign(g.numberOfNodes(), 0.0);
 
-    // With valid cached edge traces the scenes skip copying the edge list
-    // entirely — a markers-only update never touches edge geometry.
-    const bool needEdges = !edgeTracesValid_;
+    // JSON mode: the scenes need the edge list whenever the serialized
+    // edge-trace cache is stale. Binary mode: only when the edge delta is
+    // unknown (full rebuild) — otherwise the delta encoder patches its
+    // shadow edge set from DynamicRin's exact diff and never sees (or
+    // copies) the full list.
+    const bool needEdges = binary ? edgeDelta == EdgeDelta::Full : !edgeTracesValid_;
     const bool community = measure_ && isCommunityMeasure(*measure_) && !deltaMode_;
     Scene left, right;
     if (community) {
@@ -119,29 +125,65 @@ void RinWidget::renderAndShip(UpdateTiming& t, bool fullClientUpdate, bool marke
     }
     t.sceneBuildMs = buildSpan.finishMs();
 
-    obs::ScopedSpan serializeSpan("widget.serialize");
-    if (!edgeTracesValid_) {
-        edgeTraceCache_[0] = Figure::edgeTraceJson(left, 0);
-        edgeTraceCache_[1] = Figure::edgeTraceJson(right, 1);
-        t.edgeBytesSerialized = edgeTraceCache_[0].size() + edgeTraceCache_[1].size();
-        edgeTracesValid_ = true;
-    }
-    Figure fig;
-    fig.addScene(left, edgeTraceCache_[0]);
-    fig.addScene(right, edgeTraceCache_[1]);
-    figureJson_ = fig.toJson();
-    t.serializedBytes = figureJson_.size();
-    serializeSpan.attr("serialized_bytes", static_cast<double>(t.serializedBytes));
-    serializeSpan.attr("edge_bytes", static_cast<double>(t.edgeBytesSerialized));
-    t.serializeMs = serializeSpan.finishMs();
+    if (binary) {
+        obs::ScopedSpan serializeSpan("widget.serialize");
+        static const std::vector<std::pair<node, node>> kNoEdges;
+        wire::EdgeDiffHint hint;
+        switch (edgeDelta) {
+        case EdgeDelta::None:
+            hint.added = &kNoEdges;
+            hint.removed = &kNoEdges;
+            break;
+        case EdgeDelta::Diffed:
+            hint.added = &rin_.lastAdded();
+            hint.removed = &rin_.lastRemoved();
+            break;
+        case EdgeDelta::Full:
+            break; // no hint: the scenes carry the full edge list
+        }
+        const wire::EdgeDiffHint* hintPtr = edgeDelta == EdgeDelta::Full ? nullptr : &hint;
+        wireFrame_ = wireEncoder_.encode({&left, &right}, shown, wireClient_.ack(), hintPtr);
+        const auto& frameStats = wireEncoder_.lastStats();
+        t.wireBytes = wireFrame_.size();
+        t.binaryWire = true;
+        t.wireKeyframe = frameStats.keyframe;
+        serializeSpan.attr("format", "binary");
+        serializeSpan.attr("wire_bytes", static_cast<double>(t.wireBytes));
+        serializeSpan.attr("wire_keyframe", frameStats.keyframe);
+        serializeSpan.attr("wire_reason", std::string_view(frameStats.reason));
+        t.serializeMs = serializeSpan.finishMs();
 
-    ClientCostModel::Parameters clientParams;
-    clientParams.fullUpdate = fullClientUpdate;
-    const ClientCostModel client(clientParams);
-    // Both scenes ship; markers-only events re-render node markers only.
-    const count nodes = 2 * g.numberOfNodes();
-    const count edges = markersOnly ? 0 : 2 * g.numberOfEdges();
-    t.clientMs = client.processUpdate(figureJson_, nodes, edges);
+        wire::PatchStats patch;
+        t.clientMs = client_.processWirePatch(wireFrame_, wireClient_, &patch);
+        t.wirePatchElements = patch.elementsTouched();
+    } else {
+        obs::ScopedSpan serializeSpan("widget.serialize");
+        if (!edgeTracesValid_) {
+            edgeTraceCache_[0] = Figure::edgeTraceJson(left, 0);
+            edgeTraceCache_[1] = Figure::edgeTraceJson(right, 1);
+            t.edgeBytesSerialized = edgeTraceCache_[0].size() + edgeTraceCache_[1].size();
+            edgeTracesValid_ = true;
+        }
+        Figure fig;
+        fig.addScene(left, edgeTraceCache_[0]);
+        fig.addScene(right, edgeTraceCache_[1]);
+        figureJson_ = fig.toJson();
+        t.serializedBytes = figureJson_.size();
+        t.wireBytes = figureJson_.size();
+        serializeSpan.attr("format", "json");
+        serializeSpan.attr("serialized_bytes", static_cast<double>(t.serializedBytes));
+        serializeSpan.attr("edge_bytes", static_cast<double>(t.edgeBytesSerialized));
+        serializeSpan.attr("wire_bytes", static_cast<double>(t.wireBytes));
+        t.serializeMs = serializeSpan.finishMs();
+
+        ClientCostModel::Parameters clientParams;
+        clientParams.fullUpdate = fullClientUpdate;
+        const ClientCostModel client(clientParams);
+        // Both scenes ship; markers-only events re-render node markers only.
+        const count nodes = 2 * g.numberOfNodes();
+        const count edges = markersOnly ? 0 : 2 * g.numberOfEdges();
+        t.clientMs = client.processUpdate(figureJson_, nodes, edges);
+    }
 
     // The client phase is modeled, not measured — record it as a span with
     // synthetic extent so the exported trace still shows the full cycle the
@@ -150,9 +192,15 @@ void RinWidget::renderAndShip(UpdateTiming& t, bool fullClientUpdate, bool marke
     const obs::SpanContext ctx = tracer.currentContext();
     if (ctx.sampled) {
         const double start = tracer.nowUs();
-        std::vector<obs::SpanAttr> attrs(1);
+        std::vector<obs::SpanAttr> attrs(binary ? 3 : 2);
         attrs[0].key = "simulated";
         attrs[0].num = 1.0;
+        attrs[1].key = "wire_bytes";
+        attrs[1].num = static_cast<double>(t.wireBytes);
+        if (binary) {
+            attrs[2].key = "patch_elements";
+            attrs[2].num = static_cast<double>(t.wirePatchElements);
+        }
         tracer.recordSpan("widget.client", ctx, tracer.nextId(), ctx.spanId, start,
                           start + t.clientMs * 1000.0, std::move(attrs));
     }
@@ -174,8 +222,10 @@ RinWidget::UpdateTiming RinWidget::setFrame(index frame) {
 
     recomputeLayout(t);
     if (options_.autoRecompute) recomputeMeasure(t);
-    // Node positions changed: the client rebuilds every DOM element.
-    renderAndShip(t, /*fullClientUpdate=*/true, /*markersOnly=*/false);
+    // Node positions changed: the client rebuilds every DOM element (JSON
+    // mode); the wire encoder ships the exact edge diff + moved positions.
+    renderAndShip(t, /*fullClientUpdate=*/true, /*markersOnly=*/false,
+                  EdgeDelta::Diffed);
     span.attr("degraded", degraded_);
     return t;
 }
@@ -198,7 +248,8 @@ RinWidget::UpdateTiming RinWidget::setCutoff(double cutoff) {
     if (options_.autoRecompute) recomputeMeasure(t);
     // Protein-view node positions are unchanged between cutoffs: the
     // client only updates edge elements (paper: ~100 ms vs ~200 ms).
-    renderAndShip(t, /*fullClientUpdate=*/false, /*markersOnly=*/false);
+    renderAndShip(t, /*fullClientUpdate=*/false, /*markersOnly=*/false,
+                  EdgeDelta::Diffed);
     span.attr("degraded", degraded_);
     return t;
 }
@@ -209,8 +260,8 @@ RinWidget::UpdateTiming RinWidget::setMeasure(Measure measure) {
     UpdateTiming t;
     measure_ = measure;
     recomputeMeasure(t);
-    // Only marker colors change.
-    renderAndShip(t, /*fullClientUpdate=*/true, /*markersOnly=*/true);
+    // Only marker colors change; the edge set is untouched.
+    renderAndShip(t, /*fullClientUpdate=*/true, /*markersOnly=*/true, EdgeDelta::None);
     span.attr("degraded", degraded_);
     return t;
 }
@@ -227,7 +278,8 @@ RinWidget::UpdateTiming RinWidget::refresh() {
     }
     recomputeLayout(t);
     recomputeMeasure(t);
-    renderAndShip(t, /*fullClientUpdate=*/true, /*markersOnly=*/false);
+    // A rebuild invalidates any incremental diff: ship the full edge list.
+    renderAndShip(t, /*fullClientUpdate=*/true, /*markersOnly=*/false, EdgeDelta::Full);
     span.attr("degraded", degraded_);
     return t;
 }

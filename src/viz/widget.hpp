@@ -9,8 +9,15 @@
 #include "src/viz/client_model.hpp"
 #include "src/viz/measures.hpp"
 #include "src/viz/scene.hpp"
+#include "src/wire/scene_frame.hpp"
 
 namespace rinkit::viz {
+
+/// Payload format the widget ships to its (simulated) client.
+enum class WireFormat {
+    Json,   ///< full plotly figure JSON per update (PR 5 behavior, default)
+    Binary, ///< rinkit::wire keyframe/delta frames (quantized typed arrays)
+};
 
 /// Server-side state machine of the paper's RIN exploration widget
 /// (Fig. 5): dual 3D view (protein-based layout | Maxent-Stress layout),
@@ -43,6 +50,13 @@ struct RinWidgetOptions {
     /// the capped fine-level polish regardless of this flag.
     bool multilevelLayout = true;
     std::uint64_t seed = 1;
+    /// Payload format shipped to the client. Json keeps the serialized
+    /// figure byte-identical to the pre-wire-protocol behavior; Binary
+    /// switches renderAndShip to stateful keyframe/delta frames.
+    WireFormat wireFormat = WireFormat::Json;
+    /// Binary mode: frames per keyframe epoch (see
+    /// wire::DeltaEncoderOptions::keyframeInterval).
+    count wireKeyframeInterval = 64;
 };
 
 class RinWidget {
@@ -58,9 +72,15 @@ public:
         double serializeMs = 0.0;     ///< figure -> JSON
         double clientMs = 0.0;        ///< simulated browser update
         rin::DynamicRin::UpdateStats edgeStats;
-        std::size_t serializedBytes = 0;     ///< total figure payload size
+        std::size_t serializedBytes = 0;     ///< figure JSON size (0 in binary mode)
         std::size_t edgeBytesSerialized = 0; ///< edge-trace bytes serialized
                                              ///< fresh (0 = cache hit)
+        std::size_t wireBytes = 0; ///< payload bytes actually shipped, in
+                                   ///< whichever format is active
+        bool binaryWire = false;   ///< payload was a wire frame, not JSON
+        bool wireKeyframe = false; ///< binary mode: frame was a keyframe
+        count wirePatchElements = 0; ///< binary mode: client DOM elements
+                                     ///< touched applying the frame
         bool measureCacheHit = false; ///< scores served from the version-keyed
                                       ///< result cache (no recomputation)
         bool degraded = false; ///< update ran in degraded mode (stale cache /
@@ -130,12 +150,37 @@ public:
     const std::vector<Point3>& maxentLayout() const { return maxentCoords_; }
 
     /// The last serialized figure (two scenes side by side, like Fig. 5).
+    /// Only maintained in JSON mode; empty under WireFormat::Binary.
     const std::string& figureJson() const { return figureJson_; }
 
+    // -- binary wire protocol (WireFormat::Binary) ------------------------
+
+    /// The last shipped wire frame (empty in JSON mode).
+    const wire::Bytes& wireFrame() const { return wireFrame_; }
+
+    /// The simulated client's decoder state (what the browser holds).
+    const wire::FrameDecoder& wireClient() const { return wireClient_; }
+
+    /// Wire stats of the last shipped frame (keyframe?, reason, sizes).
+    const wire::DeltaEncoder::FrameStats& wireStats() const {
+        return wireEncoder_.lastStats();
+    }
+
+    /// Simulates the client losing its state (tab reload, dropped
+    /// websocket): the next update's ack mismatches and the encoder
+    /// resyncs with a keyframe.
+    void dropWireClient() { wireClient_.reset(); }
+
 private:
+    /// How renderAndShip learns what happened to the edge set: nothing
+    /// (measure switch), an exact DynamicRin diff (cutoff/frame switch),
+    /// or an unknown change requiring the full edge list (refresh).
+    enum class EdgeDelta { None, Diffed, Full };
+
     void recomputeLayout(UpdateTiming& t);
     void recomputeMeasure(UpdateTiming& t);
-    void renderAndShip(UpdateTiming& t, bool fullClientUpdate, bool markersOnly);
+    void renderAndShip(UpdateTiming& t, bool fullClientUpdate, bool markersOnly,
+                       EdgeDelta edgeDelta);
 
     Options options_;
     rin::DynamicRin rin_;
@@ -156,6 +201,11 @@ private:
     std::array<std::string, 2> edgeTraceCache_;
     bool edgeTracesValid_ = false;
     ClientCostModel client_;
+    // Binary wire path: stateful encoder (server), simulated client
+    // decoder, and the last frame shipped between them.
+    wire::DeltaEncoder wireEncoder_;
+    wire::FrameDecoder wireClient_;
+    wire::Bytes wireFrame_;
     bool deltaMode_ = false;
     bool degraded_ = false;
 };

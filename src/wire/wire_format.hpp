@@ -1,0 +1,199 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/support/types.hpp"
+
+namespace rinkit::wire {
+
+/// Raw frame payload as shipped over the (simulated) websocket.
+using Bytes = std::vector<std::uint8_t>;
+
+/// Thrown by the decoder on any malformed input: truncated buffer, bad
+/// magic/version, out-of-range index, or a delta whose base does not match
+/// the decoder's state. Encoding never throws this.
+class WireError : public std::runtime_error {
+public:
+    explicit WireError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// ZigZag maps signed deltas to small unsigned varints: 0 -> 0, -1 -> 1,
+/// 1 -> 2, -2 -> 3, ... so near-zero position deltas stay 1-2 bytes.
+constexpr std::uint64_t zigzagEncode(std::int64_t v) {
+    return (static_cast<std::uint64_t>(v) << 1) ^
+           static_cast<std::uint64_t>(v >> 63);
+}
+
+constexpr std::int64_t zigzagDecode(std::uint64_t v) {
+    return static_cast<std::int64_t>(v >> 1) ^ -static_cast<std::int64_t>(v & 1);
+}
+
+/// Append-only little-endian byte sink. All multi-byte scalars are written
+/// explicitly byte by byte, so frames are identical across hosts.
+class ByteWriter {
+public:
+    void reserve(std::size_t bytes) { out_.reserve(bytes); }
+
+    void u8(std::uint8_t v) { out_.push_back(v); }
+
+    void u16(std::uint16_t v) {
+        out_.push_back(static_cast<std::uint8_t>(v));
+        out_.push_back(static_cast<std::uint8_t>(v >> 8));
+    }
+
+    void u32(std::uint32_t v) {
+        for (int i = 0; i < 4; ++i) out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void u64(std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void f32(float v) {
+        std::uint32_t bits;
+        std::memcpy(&bits, &v, sizeof bits);
+        u32(bits);
+    }
+
+    void f64(double v) {
+        std::uint64_t bits;
+        std::memcpy(&bits, &v, sizeof bits);
+        u64(bits);
+    }
+
+    /// LEB128: 7 value bits per byte, high bit = continuation.
+    void varint(std::uint64_t v) {
+        while (v >= 0x80) {
+            out_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+            v >>= 7;
+        }
+        out_.push_back(static_cast<std::uint8_t>(v));
+    }
+
+    void svarint(std::int64_t v) { varint(zigzagEncode(v)); }
+
+    /// varint length prefix + raw bytes.
+    void string(std::string_view s) {
+        varint(s.size());
+        out_.insert(out_.end(), s.begin(), s.end());
+    }
+
+    std::size_t size() const { return out_.size(); }
+    Bytes take() { return std::move(out_); }
+    const Bytes& bytes() const { return out_; }
+
+private:
+    Bytes out_;
+};
+
+/// Bounds-checked reader over a frame buffer. Every read validates the
+/// remaining length first and throws WireError on truncation — the decoder
+/// never reads past the end of an attacker-supplied buffer.
+class ByteReader {
+public:
+    explicit ByteReader(const Bytes& data) : data_(data.data()), size_(data.size()) {}
+    ByteReader(const std::uint8_t* data, std::size_t size) : data_(data), size_(size) {}
+
+    std::size_t remaining() const { return size_ - pos_; }
+    bool done() const { return pos_ == size_; }
+
+    std::uint8_t u8() {
+        need(1, "u8");
+        return data_[pos_++];
+    }
+
+    std::uint16_t u16() {
+        need(2, "u16");
+        const std::uint16_t v = static_cast<std::uint16_t>(
+            data_[pos_] | (static_cast<std::uint16_t>(data_[pos_ + 1]) << 8));
+        pos_ += 2;
+        return v;
+    }
+
+    std::uint32_t u32() {
+        need(4, "u32");
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+        pos_ += 4;
+        return v;
+    }
+
+    std::uint64_t u64() {
+        need(8, "u64");
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+        pos_ += 8;
+        return v;
+    }
+
+    float f32() {
+        const std::uint32_t bits = u32();
+        float v;
+        std::memcpy(&v, &bits, sizeof v);
+        return v;
+    }
+
+    double f64() {
+        const std::uint64_t bits = u64();
+        double v;
+        std::memcpy(&v, &bits, sizeof v);
+        return v;
+    }
+
+    std::uint64_t varint() {
+        std::uint64_t v = 0;
+        for (int shift = 0; shift < 64; shift += 7) {
+            need(1, "varint");
+            const std::uint8_t byte = data_[pos_++];
+            v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+            if ((byte & 0x80) == 0) return v;
+        }
+        throw WireError("varint longer than 10 bytes");
+    }
+
+    std::int64_t svarint() { return zigzagDecode(varint()); }
+
+    std::string string(std::size_t maxLen = 1 << 20) {
+        const std::uint64_t len = varint();
+        if (len > maxLen) throw WireError("string length exceeds cap");
+        need(len, "string body");
+        std::string s(reinterpret_cast<const char*>(data_ + pos_), len);
+        pos_ += len;
+        return s;
+    }
+
+    /// Validates an element count read from the wire against the bytes
+    /// actually left in the buffer: a count of N items each at least
+    /// @p minBytesPerItem bytes cannot be honest if N * min > remaining.
+    /// Rejecting here keeps hostile counts from driving huge allocations.
+    std::uint64_t boundedCount(std::uint64_t n, std::size_t minBytesPerItem,
+                               const char* what) {
+        if (minBytesPerItem == 0) minBytesPerItem = 1;
+        if (n > remaining() / minBytesPerItem) {
+            throw WireError(std::string("count of ") + what + " exceeds frame size");
+        }
+        return n;
+    }
+
+    void expectEnd() const {
+        if (pos_ != size_) throw WireError("trailing bytes after frame");
+    }
+
+private:
+    void need(std::size_t n, const char* what) {
+        if (size_ - pos_ < n) {
+            throw WireError(std::string("truncated frame reading ") + what);
+        }
+    }
+
+    const std::uint8_t* data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace rinkit::wire

@@ -213,10 +213,17 @@ TEST(SessionRecorder, CsvShape) {
     std::string line;
     std::getline(ss, line);
     EXPECT_NE(line.find("total_ms"), std::string::npos);
+    // The wire_bytes column (payload bytes shipped per event) is last.
+    EXPECT_EQ(line.rfind(",wire_bytes"), line.size() - std::string(",wire_bytes").size());
     count rows = 0;
     while (std::getline(ss, line)) {
         if (!line.empty()) ++rows;
-        if (rows == 1) EXPECT_EQ(line.rfind("cutoff,", 0), 0u);
+        if (rows == 1) {
+            EXPECT_EQ(line.rfind("cutoff,", 0), 0u);
+            // JSON mode ships the figure itself: a nonzero byte count.
+            const auto lastComma = line.rfind(',');
+            EXPECT_GT(std::stoull(line.substr(lastComma + 1)), 0u);
+        }
     }
     EXPECT_EQ(rows, 2u);
 }

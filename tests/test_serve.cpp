@@ -210,6 +210,49 @@ TEST(SessionService, AppliesSequentialEventsInOrder) {
     EXPECT_GE(snap.histograms.at("server_ms").samples, events.size());
 }
 
+TEST(SessionService, WireCountersTrackShippedFrames) {
+    const auto traj = smallTrajectory();
+    SessionService service;
+    viz::RinWidget::Options widgetOpts;
+    widgetOpts.wireFormat = viz::WireFormat::Binary;
+    widgetOpts.wireKeyframeInterval = 2; // force periodic keyframes quickly
+    const auto id = service.openSession(traj, widgetOpts);
+
+    const count events = 6;
+    for (count i = 0; i < events; ++i) {
+        const auto outcome =
+            service.submit(id, SliderEvent::setFrame(static_cast<rinkit::index>((i + 1) % 4))).get();
+        EXPECT_EQ(outcome.status, RequestStatus::Ok);
+    }
+
+    // Every completed request ships exactly one frame, and each shipped
+    // frame is either a keyframe or a delta (binary session).
+    const auto snap = service.metrics();
+    EXPECT_EQ(snap.counter("frames_shipped"), events);
+    EXPECT_GT(snap.counter("wire_bytes"), 0u);
+    EXPECT_EQ(snap.counter("wire_keyframes") + snap.counter("wire_delta_frames"),
+              snap.counter("frames_shipped"));
+    EXPECT_GT(snap.counter("wire_keyframes"), 0u);
+    EXPECT_GT(snap.counter("wire_delta_frames"), 0u);
+}
+
+TEST(SessionService, JsonSessionsCountBytesWithoutFrameSplit) {
+    const auto traj = smallTrajectory();
+    SessionService service;
+    const auto id = service.openSession(traj); // default: JSON payloads
+
+    service.submit(id, SliderEvent::setCutoff(6.0)).get();
+    service.submit(id, SliderEvent::setFrame(1)).get();
+
+    // wire_bytes counts whatever format actually shipped (here: figure
+    // JSON); the keyframe/delta split only applies to binary sessions.
+    const auto snap = service.metrics();
+    EXPECT_EQ(snap.counter("frames_shipped"), 2u);
+    EXPECT_GT(snap.counter("wire_bytes"), 0u);
+    EXPECT_EQ(snap.counter("wire_keyframes"), 0u);
+    EXPECT_EQ(snap.counter("wire_delta_frames"), 0u);
+}
+
 TEST(SessionService, LatestWinsCoalescingCollapsesBursts) {
     const auto traj = slowTrajectory();
     SessionService::Options options;

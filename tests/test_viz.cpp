@@ -379,6 +379,104 @@ TEST(Widget, CommunityMeasureRendersCategorical) {
     EXPECT_EQ(colors.at(0).asString()[0], '#');
 }
 
+TEST(Widget, BinaryWireShipsDecodableFrames) {
+    md::TrajectoryGenerator::Parameters gen;
+    gen.frames = 4;
+    const auto traj = md::TrajectoryGenerator(gen).generate(md::alpha3D());
+    RinWidget::Options opts;
+    opts.wireFormat = WireFormat::Binary;
+    RinWidget widget(traj, opts);
+
+    // The initial draw ships a keyframe; no JSON is maintained.
+    EXPECT_TRUE(widget.wireStats().keyframe);
+    EXPECT_FALSE(widget.wireFrame().empty());
+    EXPECT_TRUE(widget.figureJson().empty());
+
+    // The simulated client's decoder tracks the server exactly: shared
+    // edge set, both views, scores at f32 precision.
+    EXPECT_EQ(widget.wireClient().edges(), widget.graph().edges());
+    ASSERT_EQ(widget.wireClient().views().size(), 2u);
+    ASSERT_EQ(widget.wireClient().scores().size(), widget.scores().size());
+    const auto shown = widget.displayedScores();
+    for (count i = 0; i < shown.size(); ++i)
+        EXPECT_EQ(widget.wireClient().scores()[i], static_cast<float>(shown[i]));
+
+    // A cutoff switch ships as a frame whose byte count lands in the
+    // timing; the JSON fields stay empty in binary mode.
+    const auto t = widget.setCutoff(6.0);
+    EXPECT_TRUE(t.binaryWire);
+    EXPECT_EQ(t.wireBytes, widget.wireFrame().size());
+    EXPECT_EQ(t.serializedBytes, 0u);
+    EXPECT_GT(t.wirePatchElements, 0u);
+    EXPECT_GT(t.clientMs, 0.0);
+    EXPECT_EQ(widget.wireClient().edges(), widget.graph().edges());
+
+    // Maxent-view positions decode within the grid's quantization error.
+    const auto& view = widget.wireClient().views()[1];
+    const auto decoded = view.positions();
+    const auto err = view.grid.maxError();
+    const auto& truth = widget.maxentLayout();
+    ASSERT_EQ(decoded.size(), truth.size());
+    for (count i = 0; i < truth.size(); ++i) {
+        EXPECT_LE(std::abs(decoded[i].x - truth[i].x), err.x * (1.0 + 1e-9));
+        EXPECT_LE(std::abs(decoded[i].y - truth[i].y), err.y * (1.0 + 1e-9));
+        EXPECT_LE(std::abs(decoded[i].z - truth[i].z), err.z * (1.0 + 1e-9));
+    }
+}
+
+TEST(Widget, BinaryDeltasBeatJsonByteCounts) {
+    md::TrajectoryGenerator::Parameters gen;
+    gen.frames = 6;
+    const auto traj = md::TrajectoryGenerator(gen).generate(md::alpha3D());
+    RinWidget json(traj); // default: WireFormat::Json
+    RinWidget::Options opts;
+    opts.wireFormat = WireFormat::Binary;
+    RinWidget binary(traj, opts);
+
+    for (index f : {1u, 2u, 3u}) {
+        const auto tj = json.setFrame(f);
+        const auto tb = binary.setFrame(f);
+        EXPECT_FALSE(tj.binaryWire);
+        EXPECT_EQ(tj.wireBytes, json.figureJson().size());
+        // A frame switch is the client-heavy worst case; the delta frame
+        // must undercut the full-figure JSON by a wide margin.
+        EXPECT_LT(tb.wireBytes * 5, tj.wireBytes) << "frame " << f;
+    }
+}
+
+TEST(Widget, DropWireClientForcesResyncKeyframe) {
+    md::TrajectoryGenerator::Parameters gen;
+    gen.frames = 4;
+    const auto traj = md::TrajectoryGenerator(gen).generate(md::chignolin());
+    RinWidget::Options opts;
+    opts.wireFormat = WireFormat::Binary;
+    RinWidget widget(traj, opts);
+
+    // A measure switch leaves positions untouched: guaranteed delta frame
+    // (a frame switch may trip the grid trigger on a small protein).
+    const auto tDelta = widget.setMeasure(Measure::Degree);
+    EXPECT_FALSE(tDelta.wireKeyframe);
+
+    widget.dropWireClient(); // simulated tab reload
+    const auto tResync = widget.setFrame(2);
+    EXPECT_TRUE(tResync.wireKeyframe);
+    EXPECT_STREQ(widget.wireStats().reason, "resync");
+    EXPECT_EQ(widget.wireClient().edges(), widget.graph().edges());
+}
+
+TEST(Widget, JsonModeIsByteIdenticalWithWireFieldsFilled) {
+    md::TrajectoryGenerator::Parameters gen;
+    gen.frames = 3;
+    const auto traj = md::TrajectoryGenerator(gen).generate(md::alpha3D());
+    RinWidget widget(traj);
+    const auto t = widget.setCutoff(6.0);
+    EXPECT_FALSE(t.binaryWire);
+    EXPECT_FALSE(t.wireKeyframe);
+    EXPECT_EQ(t.wireBytes, widget.figureJson().size());
+    EXPECT_EQ(t.wireBytes, t.serializedBytes);
+    EXPECT_TRUE(widget.wireFrame().empty());
+}
+
 TEST(RinExplorer, CatalogueAndAnalysis) {
     auto explorer = RinExplorer::forProtein("alpha3D");
     EXPECT_EQ(explorer.trajectory().topology().size(), 73u);

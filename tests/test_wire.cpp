@@ -1,0 +1,560 @@
+// Tests for the binary wire protocol (rinkit::wire): primitive codec
+// round-trips, keyframe/delta scene-frame round-trips, the delta-stream ==
+// keyframe bit-identity invariant, resync/keyframe triggers, and
+// hostile-input rejection (truncation, byte flips, bad headers). The
+// robustness tests double as the ASan/UBSan fuzz target that
+// scripts/verify.sh --wire runs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <random>
+
+#include "src/viz/scene.hpp"
+#include "src/wire/scene_frame.hpp"
+#include "src/wire/wire_format.hpp"
+
+namespace rinkit::wire {
+namespace {
+
+using Edge = std::pair<node, node>;
+
+// ------------------------------------------------------------- primitives
+
+TEST(WireFormat, VarintRoundTrip) {
+    const std::uint64_t values[] = {0,      1,         127,        128,
+                                    300,    16383,     16384,      0xffffffffull,
+                                    1ull << 56, ~0ull};
+    ByteWriter w;
+    for (const auto v : values) w.varint(v);
+    ByteReader r(w.bytes());
+    for (const auto v : values) EXPECT_EQ(r.varint(), v);
+    r.expectEnd();
+}
+
+TEST(WireFormat, SvarintRoundTrip) {
+    const std::int64_t values[] = {0,  1,  -1, 2, -2, 63, -64, 12345, -54321,
+                                   std::numeric_limits<std::int64_t>::max(),
+                                   std::numeric_limits<std::int64_t>::min()};
+    ByteWriter w;
+    for (const auto v : values) w.svarint(v);
+    ByteReader r(w.bytes());
+    for (const auto v : values) EXPECT_EQ(r.svarint(), v);
+    r.expectEnd();
+}
+
+TEST(WireFormat, ZigzagKeepsSmallMagnitudesSmall) {
+    EXPECT_EQ(zigzagEncode(0), 0u);
+    EXPECT_EQ(zigzagEncode(-1), 1u);
+    EXPECT_EQ(zigzagEncode(1), 2u);
+    EXPECT_EQ(zigzagEncode(-2), 3u);
+    for (std::int64_t v : {-65535ll, -1ll, 0ll, 1ll, 65535ll})
+        EXPECT_EQ(zigzagDecode(zigzagEncode(v)), v);
+}
+
+TEST(WireFormat, ScalarsAndStringsRoundTrip) {
+    ByteWriter w;
+    w.u8(0xab);
+    w.u16(0xbeef);
+    w.u32(0xdeadbeefu);
+    w.u64(0x0123456789abcdefull);
+    w.f32(3.5f);
+    w.f64(-2.25);
+    w.string("maxent view");
+    ByteReader r(w.bytes());
+    EXPECT_EQ(r.u8(), 0xab);
+    EXPECT_EQ(r.u16(), 0xbeef);
+    EXPECT_EQ(r.u32(), 0xdeadbeefu);
+    EXPECT_EQ(r.u64(), 0x0123456789abcdefull);
+    EXPECT_EQ(r.f32(), 3.5f);
+    EXPECT_EQ(r.f64(), -2.25);
+    EXPECT_EQ(r.string(), "maxent view");
+    r.expectEnd();
+}
+
+TEST(WireFormat, TruncatedReadsThrow) {
+    const Bytes two = {0x01, 0x02};
+    EXPECT_THROW(ByteReader(two).u32(), WireError);
+    EXPECT_THROW(ByteReader(two).u64(), WireError);
+    const Bytes cont = {0x80}; // continuation bit set, no next byte
+    EXPECT_THROW(ByteReader(cont).varint(), WireError);
+}
+
+TEST(WireFormat, OverlongVarintRejected) {
+    Bytes overlong(11, 0x80);
+    EXPECT_THROW(ByteReader(overlong).varint(), WireError);
+}
+
+TEST(WireFormat, BoundedCountRejectsDishonestCounts) {
+    const Bytes small(16, 0);
+    ByteReader r(small);
+    EXPECT_EQ(r.boundedCount(4, 4, "items"), 4u);
+    EXPECT_THROW(r.boundedCount(5, 4, "items"), WireError);
+    // A hostile count near 2^64 must not overflow the check either.
+    EXPECT_THROW(r.boundedCount(~0ull, 4, "items"), WireError);
+}
+
+TEST(WireFormat, StringLengthCapEnforced) {
+    ByteWriter w;
+    w.string(std::string(100, 'x'));
+    ByteReader r(w.bytes());
+    EXPECT_THROW(r.string(10), WireError);
+}
+
+// ------------------------------------------------------------- QuantGrid
+
+TEST(QuantGrid, ErrorWithinBound) {
+    const QuantGrid grid{{-12.0, -3.0, 0.0}, {9.0, 14.0, 31.0}};
+    const Point3 err = grid.maxError();
+    std::mt19937 rng(7);
+    std::uniform_real_distribution<double> ux(grid.lo.x, grid.hi.x);
+    std::uniform_real_distribution<double> uy(grid.lo.y, grid.hi.y);
+    std::uniform_real_distribution<double> uz(grid.lo.z, grid.hi.z);
+    for (int i = 0; i < 2000; ++i) {
+        const Point3 p{ux(rng), uy(rng), uz(rng)};
+        const Point3 q = grid.dequantize(grid.quantize(p));
+        EXPECT_LE(std::abs(p.x - q.x), err.x * (1.0 + 1e-9));
+        EXPECT_LE(std::abs(p.y - q.y), err.y * (1.0 + 1e-9));
+        EXPECT_LE(std::abs(p.z - q.z), err.z * (1.0 + 1e-9));
+    }
+}
+
+TEST(QuantGrid, DegenerateAxisMapsToLo) {
+    const QuantGrid grid{{0.0, 5.0, 0.0}, {1.0, 5.0, 1.0}}; // flat y
+    const auto q = grid.quantize({0.5, 5.0, 0.25});
+    EXPECT_EQ(q[1], 0);
+    EXPECT_EQ(grid.dequantize(q).y, 5.0);
+    EXPECT_EQ(grid.maxError().y, 0.0);
+}
+
+// ----------------------------------------------------- scene-frame fixture
+
+/// Deterministic synthetic two-view state: positions, a small palette of
+/// colors, sorted edge set, per-node scores. step() mutates it the way the
+/// widget does between updates (position drift inside the bounding box,
+/// some color/score changes, an edge churn).
+struct TestWorld {
+    static constexpr count kNodes = 48;
+    std::mt19937 rng{12345};
+    std::vector<Point3> posA, posB;
+    std::vector<viz::Color> colA, colB;
+    std::vector<double> scores;
+    std::vector<Edge> edges;
+
+    TestWorld() {
+        std::uniform_real_distribution<double> u(-10.0, 10.0);
+        for (count i = 0; i < kNodes; ++i) {
+            posA.push_back({u(rng), u(rng), u(rng)});
+            posB.push_back({u(rng), u(rng), u(rng)});
+            colA.push_back(colorOf(i % 5));
+            colB.push_back(colorOf((i + 2) % 5));
+            scores.push_back(static_cast<double>(i) * 0.25);
+        }
+        for (node u2 = 0; u2 < kNodes; ++u2) {
+            for (node v = u2 + 1; v < kNodes; v += 5) edges.push_back({u2, v});
+        }
+        std::sort(edges.begin(), edges.end());
+    }
+
+    static viz::Color colorOf(count i) {
+        return viz::Color{static_cast<int>(40 * i + 10), static_cast<int>(20 * i),
+                          static_cast<int>(255 - 30 * i)};
+    }
+
+    viz::Scene sceneA(bool withEdges = true) const { return scene("protein", posA, colA, withEdges); }
+    viz::Scene sceneB(bool withEdges = true) const { return scene("maxent", posB, colB, withEdges); }
+
+    viz::Scene scene(std::string title, const std::vector<Point3>& pos,
+                     const std::vector<viz::Color>& col, bool withEdges) const {
+        viz::Scene s;
+        s.title = std::move(title);
+        s.nodePositions = pos;
+        s.nodeColors = col;
+        s.nodeSizes = {6.0};
+        if (withEdges) s.edges = edges;
+        return s;
+    }
+
+    /// Mutates in place; the drift stays well inside the initial bounding
+    /// box (plus grid padding) so delta frames never trip the grid trigger.
+    void step() {
+        std::uniform_real_distribution<double> jitter(-0.05, 0.05);
+        std::uniform_int_distribution<count> pick(0, kNodes - 1);
+        for (count i = 0; i < kNodes; i += 3) {
+            posA[i].x += jitter(rng);
+            posA[i].y += jitter(rng);
+            posB[i].z += jitter(rng);
+        }
+        colA[pick(rng)] = colorOf(pick(rng) % 5);
+        colB[pick(rng)] = viz::Color{static_cast<int>(pick(rng) % 256), 7, 7}; // palette growth
+        scores[pick(rng)] += 1.0;
+        // Edge churn: drop the first edge, add a fresh one (kept sorted).
+        if (!edges.empty()) edges.erase(edges.begin());
+        const Edge fresh{0, static_cast<node>(1 + pick(rng) % (kNodes - 1))};
+        const auto it = std::lower_bound(edges.begin(), edges.end(), fresh);
+        if (it == edges.end() || *it != fresh) edges.insert(it, fresh);
+    }
+};
+
+Bytes encodeWorld(DeltaEncoder& enc, const TestWorld& w, Ack ack,
+                  const EdgeDiffHint* hint = nullptr) {
+    const auto a = w.sceneA();
+    const auto b = w.sceneB();
+    return enc.encode({&a, &b}, w.scores, ack, hint);
+}
+
+// --------------------------------------------------------- keyframe basics
+
+TEST(SceneFrame, KeyframeRoundTrip) {
+    TestWorld w;
+    DeltaEncoder enc;
+    const Bytes frame = encodeWorld(enc, w, Ack{});
+    EXPECT_TRUE(enc.lastStats().keyframe);
+    EXPECT_STREQ(enc.lastStats().reason, "first");
+
+    FrameDecoder dec;
+    const PatchStats stats = dec.apply(frame);
+    EXPECT_TRUE(stats.keyframe);
+    EXPECT_EQ(stats.nodeCount, TestWorld::kNodes);
+    EXPECT_EQ(stats.viewCount, 2u);
+    EXPECT_EQ(stats.elementsTouched(), 2 * (TestWorld::kNodes + w.edges.size()));
+
+    // Edges reconstruct exactly; scores at f32 precision.
+    EXPECT_EQ(dec.edges(), w.edges);
+    ASSERT_EQ(dec.scores().size(), w.scores.size());
+    for (count i = 0; i < w.scores.size(); ++i)
+        EXPECT_EQ(dec.scores()[i], static_cast<float>(w.scores[i]));
+
+    // Positions within the per-axis quantization error bound; colors exact.
+    ASSERT_EQ(dec.views().size(), 2u);
+    const std::vector<Point3>* truth[2] = {&w.posA, &w.posB};
+    const std::vector<viz::Color>* colors[2] = {&w.colA, &w.colB};
+    for (count v = 0; v < 2; ++v) {
+        const ViewState& view = dec.views()[v];
+        EXPECT_EQ(view.title, v == 0 ? "protein" : "maxent");
+        EXPECT_EQ(view.nodeSize, 6.0);
+        const Point3 err = view.grid.maxError();
+        const auto got = view.positions();
+        for (count i = 0; i < TestWorld::kNodes; ++i) {
+            EXPECT_LE(std::abs(got[i].x - (*truth[v])[i].x), err.x * (1.0 + 1e-9));
+            EXPECT_LE(std::abs(got[i].y - (*truth[v])[i].y), err.y * (1.0 + 1e-9));
+            EXPECT_LE(std::abs(got[i].z - (*truth[v])[i].z), err.z * (1.0 + 1e-9));
+        }
+        EXPECT_EQ(view.resolvedColors(), *colors[v]);
+    }
+    EXPECT_EQ(dec.ack(), (Ack{1, 0}));
+}
+
+TEST(SceneFrame, DeltaFramesAreMuchSmallerThanKeyframes) {
+    TestWorld w;
+    DeltaEncoder enc;
+    FrameDecoder dec;
+    dec.apply(encodeWorld(enc, w, Ack{}));
+    const std::size_t keyBytes = enc.lastStats().bytes;
+    w.step();
+    dec.apply(encodeWorld(enc, w, dec.ack()));
+    EXPECT_FALSE(enc.lastStats().keyframe);
+    EXPECT_LT(enc.lastStats().bytes * 5, keyBytes);
+}
+
+// --------------------------------------------- delta-stream bit identity
+
+TEST(SceneFrame, DeltaStreamMatchesKeyframeBitForBit) {
+    TestWorld w;
+    DeltaEncoder enc;
+    FrameDecoder viaDeltas;
+    viaDeltas.apply(encodeWorld(enc, w, Ack{}));
+
+    for (int i = 0; i < 6; ++i) {
+        w.step();
+        const PatchStats stats = viaDeltas.apply(encodeWorld(enc, w, viaDeltas.ack()));
+        EXPECT_FALSE(stats.keyframe) << "step " << i;
+        EXPECT_GT(stats.markersTouched, 0u);
+    }
+
+    // A forced keyframe of the same state must decode (in a fresh decoder)
+    // to exactly the delta-accumulated client state: same quantized
+    // positions, same grid, same resolved colors, scores, edges.
+    enc.forceKeyframe();
+    FrameDecoder viaKeyframe;
+    viaKeyframe.apply(encodeWorld(enc, w, viaDeltas.ack()));
+    EXPECT_STREQ(enc.lastStats().reason, "forced");
+
+    EXPECT_EQ(viaKeyframe.edges(), viaDeltas.edges());
+    EXPECT_EQ(viaKeyframe.scores(), viaDeltas.scores());
+    ASSERT_EQ(viaKeyframe.views().size(), viaDeltas.views().size());
+    for (count v = 0; v < viaKeyframe.views().size(); ++v) {
+        const ViewState& kf = viaKeyframe.views()[v];
+        const ViewState& dl = viaDeltas.views()[v];
+        EXPECT_EQ(kf.grid, dl.grid) << "grid rebuilt instead of reused, view " << v;
+        EXPECT_EQ(kf.qpos, dl.qpos) << "quantized positions diverged, view " << v;
+        // The keyframe rebuilds its palette compactly (first-occurrence
+        // order), so compare resolved colors, not raw indices.
+        EXPECT_EQ(kf.resolvedColors(), dl.resolvedColors()) << "view " << v;
+        EXPECT_EQ(kf.title, dl.title);
+        EXPECT_EQ(kf.nodeSize, dl.nodeSize);
+    }
+}
+
+// ----------------------------------------------------- keyframe triggers
+
+TEST(SceneFrame, ResyncAfterClientStateLoss) {
+    TestWorld w;
+    DeltaEncoder enc;
+    FrameDecoder dec;
+    dec.apply(encodeWorld(enc, w, Ack{}));
+    w.step();
+    dec.apply(encodeWorld(enc, w, dec.ack()));
+    EXPECT_FALSE(enc.lastStats().keyframe);
+
+    dec.reset(); // tab reload
+    EXPECT_EQ(dec.ack(), Ack{});
+    w.step();
+    dec.apply(encodeWorld(enc, w, dec.ack()));
+    EXPECT_TRUE(enc.lastStats().keyframe);
+    EXPECT_STREQ(enc.lastStats().reason, "resync");
+    EXPECT_EQ(dec.edges(), w.edges);
+}
+
+TEST(SceneFrame, PeriodicKeyframeAtInterval) {
+    TestWorld w;
+    DeltaEncoder enc(DeltaEncoderOptions{3, 0.10});
+    FrameDecoder dec;
+    dec.apply(encodeWorld(enc, w, Ack{})); // keyframe, seq 0
+    const char* expected[] = {"delta", "delta", "periodic", "delta"};
+    for (const char* want : expected) {
+        w.step();
+        dec.apply(encodeWorld(enc, w, dec.ack()));
+        EXPECT_STREQ(enc.lastStats().reason, want);
+    }
+    EXPECT_EQ(dec.ack(), (Ack{2, 1}));
+}
+
+TEST(SceneFrame, GridOverflowForcesKeyframe) {
+    TestWorld w;
+    DeltaEncoder enc;
+    FrameDecoder dec;
+    dec.apply(encodeWorld(enc, w, Ack{}));
+    w.posA[0] = {500.0, 0.0, 0.0}; // way outside the padded box
+    dec.apply(encodeWorld(enc, w, dec.ack()));
+    EXPECT_TRUE(enc.lastStats().keyframe);
+    EXPECT_STREQ(enc.lastStats().reason, "grid");
+    // The new grid covers the runaway node within its (larger) error bound.
+    const auto err = dec.views()[0].grid.maxError();
+    EXPECT_LE(std::abs(dec.views()[0].positions()[0].x - 500.0), err.x * (1.0 + 1e-9));
+}
+
+TEST(SceneFrame, ViewShapeChangeForcesKeyframe) {
+    TestWorld w;
+    DeltaEncoder enc;
+    FrameDecoder dec;
+    dec.apply(encodeWorld(enc, w, Ack{}));
+    auto a = w.sceneA();
+    auto b = w.sceneB();
+    b.title = "maxent (delta mode)";
+    dec.apply(enc.encode({&a, &b}, w.scores, dec.ack(), nullptr));
+    EXPECT_TRUE(enc.lastStats().keyframe);
+    EXPECT_STREQ(enc.lastStats().reason, "shape");
+}
+
+// ------------------------------------------------------- edge diff hints
+
+TEST(SceneFrame, HintPathMatchesFullListPathByteForByte) {
+    TestWorld w;
+    DeltaEncoder full, hinted;
+    const Bytes k1 = encodeWorld(full, w, Ack{});
+    const Bytes k2 = encodeWorld(hinted, w, Ack{});
+    EXPECT_EQ(k1, k2);
+
+    // Compute the exact diff of one step, then feed it as a hint to one
+    // encoder (scenes without edge lists) and let the other diff full
+    // lists itself. The emitted frames must be identical.
+    const std::vector<Edge> before = w.edges;
+    w.step();
+    std::vector<Edge> added, removed;
+    std::set_difference(w.edges.begin(), w.edges.end(), before.begin(), before.end(),
+                        std::back_inserter(added));
+    std::set_difference(before.begin(), before.end(), w.edges.begin(), w.edges.end(),
+                        std::back_inserter(removed));
+
+    const Bytes viaFull = encodeWorld(full, w, Ack{1, 0});
+    const EdgeDiffHint hint{&added, &removed};
+    const auto a = w.sceneA(false); // no edge copies on the hint path
+    const auto b = w.sceneB(false);
+    const Bytes viaHint = hinted.encode({&a, &b}, w.scores, Ack{1, 0}, &hint);
+    EXPECT_FALSE(full.lastStats().keyframe);
+    EXPECT_EQ(viaFull, viaHint);
+}
+
+TEST(SceneFrame, EmptyHintMeansEdgesUnchanged) {
+    TestWorld w;
+    DeltaEncoder enc;
+    FrameDecoder dec;
+    dec.apply(encodeWorld(enc, w, Ack{}));
+    const EdgeDiffHint noChange{};
+    const auto a = w.sceneA(false);
+    const auto b = w.sceneB(false);
+    const PatchStats stats = dec.apply(enc.encode({&a, &b}, w.scores, dec.ack(), &noChange));
+    EXPECT_EQ(stats.edgesAdded, 0u);
+    EXPECT_EQ(stats.edgesRemoved, 0u);
+    EXPECT_EQ(dec.edges(), w.edges);
+}
+
+TEST(SceneFrame, HintBeforeFirstFrameIsALogicError) {
+    TestWorld w;
+    DeltaEncoder enc;
+    const EdgeDiffHint hint{};
+    const auto a = w.sceneA();
+    const auto b = w.sceneB();
+    EXPECT_THROW(enc.encode({&a, &b}, w.scores, Ack{}, &hint), std::logic_error);
+}
+
+// ------------------------------------------------------ hostile inputs
+
+TEST(SceneFrame, DecoderRejectsBadHeaders) {
+    TestWorld w;
+    DeltaEncoder enc;
+    const Bytes frame = encodeWorld(enc, w, Ack{});
+
+    Bytes badMagic = frame;
+    badMagic[0] ^= 0xff;
+    FrameDecoder dec;
+    EXPECT_THROW(dec.apply(badMagic), WireError);
+
+    Bytes badVersion = frame;
+    badVersion[4] = 99;
+    EXPECT_THROW(dec.apply(badVersion), WireError);
+
+    Bytes badFlags = frame;
+    badFlags[5] |= 0x02; // unknown flag bit
+    EXPECT_THROW(dec.apply(badFlags), WireError);
+}
+
+TEST(SceneFrame, StaleDeltaRejectedAndStateDropped) {
+    TestWorld w;
+    DeltaEncoder enc;
+    FrameDecoder dec;
+    dec.apply(encodeWorld(enc, w, Ack{}));
+    w.step();
+    const Bytes delta = encodeWorld(enc, w, dec.ack());
+    dec.apply(delta);
+    // Replaying the same delta mismatches (seq already applied): the
+    // decoder must reject it AND drop state so the next ack forces resync.
+    EXPECT_THROW(dec.apply(delta), WireError);
+    EXPECT_FALSE(dec.hasState());
+    EXPECT_EQ(dec.ack(), Ack{});
+    w.step();
+    dec.apply(encodeWorld(enc, w, dec.ack()));
+    EXPECT_STREQ(enc.lastStats().reason, "resync");
+}
+
+TEST(SceneFrame, DeltaWithoutStateRejected) {
+    TestWorld w;
+    DeltaEncoder enc;
+    FrameDecoder primed;
+    primed.apply(encodeWorld(enc, w, Ack{}));
+    w.step();
+    const Bytes delta = encodeWorld(enc, w, primed.ack());
+    FrameDecoder fresh;
+    EXPECT_THROW(fresh.apply(delta), WireError);
+}
+
+/// Every strict prefix of a valid frame must be rejected (the parse is
+/// sequential, so a shortened buffer always runs dry mid-read).
+TEST(SceneFrame, TruncatedFramesRejected) {
+    TestWorld w;
+    DeltaEncoder enc;
+    const Bytes keyframe = encodeWorld(enc, w, Ack{});
+    w.step();
+    const Bytes delta = encodeWorld(enc, w, Ack{1, 0});
+
+    for (std::size_t len = 0; len < keyframe.size(); ++len) {
+        FrameDecoder dec;
+        EXPECT_THROW(dec.apply(Bytes(keyframe.begin(), keyframe.begin() + len)),
+                     WireError)
+            << "keyframe prefix " << len;
+        EXPECT_FALSE(dec.hasState());
+    }
+    for (std::size_t len = 0; len < delta.size(); ++len) {
+        FrameDecoder dec;
+        dec.apply(keyframe);
+        EXPECT_THROW(dec.apply(Bytes(delta.begin(), delta.begin() + len)), WireError)
+            << "delta prefix " << len;
+        EXPECT_FALSE(dec.hasState());
+    }
+}
+
+/// Byte-flip fuzz: every single-byte corruption of a valid frame either
+/// decodes (the flip landed in a value field) or throws WireError — never
+/// anything else, never UB (the ASan/UBSan run of this test is the real
+/// assertion). After a rejected frame the stream must recover via resync.
+TEST(SceneFrame, ByteFlipCorruptionIsRejectedOrHarmless) {
+    TestWorld w;
+    DeltaEncoder enc;
+    const Bytes keyframe = encodeWorld(enc, w, Ack{});
+    w.step();
+    const Bytes delta = encodeWorld(enc, w, Ack{1, 0});
+
+    std::mt19937 rng(99);
+    std::uniform_int_distribution<int> mask(1, 255);
+    count rejected = 0, survived = 0;
+    for (std::size_t pos = 0; pos < delta.size(); ++pos) {
+        Bytes corrupt = delta;
+        corrupt[pos] ^= static_cast<std::uint8_t>(mask(rng));
+        FrameDecoder dec;
+        dec.apply(keyframe);
+        try {
+            dec.apply(corrupt);
+            ++survived;
+            EXPECT_TRUE(dec.hasState());
+        } catch (const WireError&) {
+            ++rejected;
+            EXPECT_FALSE(dec.hasState());
+            EXPECT_EQ(dec.ack(), Ack{});
+        }
+    }
+    // The format is dense, so most flips must be caught by validation;
+    // both outcomes should occur (value-field flips survive by design).
+    EXPECT_GT(rejected, 0u);
+    EXPECT_GT(survived, 0u);
+
+    for (std::size_t pos = 0; pos < keyframe.size(); ++pos) {
+        Bytes corrupt = keyframe;
+        corrupt[pos] ^= static_cast<std::uint8_t>(mask(rng));
+        FrameDecoder dec;
+        try {
+            dec.apply(corrupt);
+        } catch (const WireError&) {
+            EXPECT_FALSE(dec.hasState());
+        }
+    }
+}
+
+/// The count fields of a delta frame, inflated adversarially, must not
+/// drive huge allocations or out-of-bounds writes.
+TEST(SceneFrame, HostileCountsRejected) {
+    ByteWriter head;
+    head.u32(kFrameMagic);
+    head.u8(kFrameVersion);
+    head.u8(1); // keyframe
+    head.u32(1); // epoch
+    head.u32(0); // seq
+    head.varint(~0ull >> 1); // absurd node count
+    head.varint(2);
+    FrameDecoder dec;
+    EXPECT_THROW(dec.apply(head.take()), WireError);
+
+    ByteWriter views;
+    views.u32(kFrameMagic);
+    views.u8(kFrameVersion);
+    views.u8(1);
+    views.u32(1);
+    views.u32(0);
+    views.varint(1);
+    views.varint(65); // view count above the cap
+    EXPECT_THROW(dec.apply(views.take()), WireError);
+}
+
+} // namespace
+} // namespace rinkit::wire
