@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+
+#include "src/centrality/centrality.hpp"
+#include "src/centrality/closeness.hpp"
+
+namespace rinkit {
+
+/// Approximate closeness via pivot sampling (Eppstein & Wang 2004).
+///
+/// k = ceil(ln(2n/delta) / (2 eps^2)) pivots are drawn uniformly with
+/// replacement; one BFS per pivot estimates every vertex's score at
+/// O(k m) total instead of the exact kernel's O(n m / 64) batched
+/// traversal. For the Harmonic variant each pivot contributes 1/d in
+/// [0, 1], so Hoeffding plus a union bound over the n vertices gives a
+/// rigorous additive guarantee: every normalized score is within eps of
+/// exact with probability >= 1 - delta. The Standard (Wasserman-Faust)
+/// variant reuses the same pivots to estimate mean distance and reached
+/// fraction; its composite formula has no comparable additive bound, so
+/// the engine reports its eps as the pivot-scale bound and DESIGN.md
+/// documents the weaker semantics.
+///
+/// When the bound demands k >= n pivots the kernel falls back to the exact
+/// batched computation (achievedEpsilon() == 0) — cheaper *and* exact, the
+/// honest end of the cost curve. viz::MeasureEngine only routes here when
+/// k is small enough to beat the exact kernel (see its cost model).
+class ApproxCloseness final : public CentralityAlgorithm {
+public:
+    using Variant = ClosenessCentrality::Variant;
+
+    explicit ApproxCloseness(const Graph& g, Variant variant = Variant::Harmonic,
+                             double epsilon = 0.1, double delta = 0.1,
+                             std::uint64_t seed = 1, bool normalized = true);
+
+    /// Pivots the bound requires on this graph (before the exact-fallback
+    /// clamp). Valid after run().
+    count numberOfPivots() const { return pivots_; }
+
+    /// Additive error actually guaranteed: epsilon, or 0 after the exact
+    /// fallback. Valid after run().
+    double achievedEpsilon() const { return achievedEps_; }
+
+    bool exactFallback() const { return exactFallback_; }
+
+    /// Number of pivots that would be sampled on a graph of @p n nodes —
+    /// the engine's cost model calls this before deciding the tier.
+    static count pivotsFor(count n, double epsilon, double delta);
+
+private:
+    void runImpl(const CsrView& view) override;
+
+    Variant variant_;
+    double epsilon_;
+    double delta_;
+    std::uint64_t seed_;
+    bool normalized_;
+    count pivots_ = 0;
+    double achievedEps_ = 0.0;
+    bool exactFallback_ = false;
+};
+
+} // namespace rinkit

@@ -1,0 +1,366 @@
+#include "src/dyn/dyn_betweenness.hpp"
+
+#include <algorithm>
+#include <omp.h>
+
+#include "src/components/csr_bfs.hpp"
+
+namespace rinkit::dyn {
+
+namespace {
+
+/// Per-thread repair scratch: one bucket queue reused by the sigma
+/// (ascending) and dependency (descending) phases, epoch-stamped seed/done
+/// marks, and the changed-sigma worklist.
+struct RepairScratch {
+    LevelRepairer repairer;
+    std::vector<LevelChange> changes;
+    std::vector<std::vector<node>> buckets;
+    std::vector<std::uint32_t> seedStamp, doneStamp;
+    std::uint32_t epoch = 0;
+    std::uint32_t maxLevel = 0;
+    std::vector<node> sigChanged;
+    std::vector<node> infSeeds;
+
+    void ensure(count n) {
+        if (seedStamp.size() < n) {
+            seedStamp.assign(n, 0);
+            doneStamp.assign(n, 0);
+            epoch = 0;
+        }
+    }
+
+    void nextPhase() {
+        ++epoch;
+        if (epoch == 0) {
+            std::fill(seedStamp.begin(), seedStamp.end(), 0u);
+            std::fill(doneStamp.begin(), doneStamp.end(), 0u);
+            epoch = 1;
+        }
+        maxLevel = 0;
+    }
+
+    void seed(node x, std::uint32_t level) {
+        if (seedStamp[x] == epoch) return;
+        seedStamp[x] = epoch;
+        if (level == kUnreachedLevel) {
+            infSeeds.push_back(x);
+            return;
+        }
+        if (buckets.size() <= level) buckets.resize(level + 1);
+        buckets[level].push_back(x);
+        maxLevel = std::max(maxLevel, level);
+    }
+
+    void clearBuckets() {
+        for (auto& b : buckets) b.clear();
+        infSeeds.clear();
+    }
+};
+
+/// Returned by repairSource when the cascade blows its budget: the caller
+/// re-runs the source from scratch instead (see rebuildSource).
+constexpr count kRepairAborted = ~count{0};
+
+/// From-scratch rebuild of one source row (BFS + pull-style dependencies,
+/// the exact summation init uses). bc receives new-minus-stored deltas, so
+/// it composes with any partial repair the caller may have applied before
+/// giving up — partial increments moved bc by (current - original), this
+/// pass adds (new - current).
+count rebuildSource(const CsrView& v, node s, CsrBfs& bfs, std::uint16_t* lv, double* sg,
+                    double* dp, double* bc) {
+    const count n = v.numberOfNodes();
+    bfs.run(s);
+    for (node u = 0; u < n; ++u) {
+        const std::uint32_t d = bfs.levelOf(u);
+        if (d != CsrBfs::unreachedLevel) {
+            lv[u] = static_cast<std::uint16_t>(d);
+            sg[u] = bfs.sigma()[u];
+        } else {
+            lv[u] = kUnreachedLevel;
+            sg[u] = 0.0;
+            if (dp[u] != 0.0) {
+                bc[u] -= dp[u];
+                dp[u] = 0.0;
+            }
+        }
+    }
+    const auto& order = bfs.order();
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+        const node u = *it;
+        if (u == s) continue;
+        const std::uint32_t du = lv[u];
+        double d = 0.0;
+        v.forNeighborsOf(u, [&](node y) {
+            if (lv[y] == du + 1 && sg[y] > 0.0) d += sg[u] / sg[y] * (1.0 + dp[y]);
+        });
+        if (d != dp[u]) {
+            bc[u] += d - dp[u];
+            dp[u] = d;
+        }
+    }
+    return n;
+}
+
+/// Sigma + dependency repair of one source after its level row was fixed.
+/// @p bc receives the betweenness delta of this source; returns vertices
+/// re-processed, or kRepairAborted once more than @p budget vertices were
+/// touched — past that point a from-scratch single-source rebuild is
+/// cheaper than continuing the cascade (bucket queues and support scans
+/// cost several times Brandes' straight-line passes per vertex).
+count repairSource(const CsrView& v, node s, std::uint16_t* lv, double* sg, double* dp,
+                   const EdgeBatch& batch, RepairScratch& w, double* bc, count budget) {
+    // Quick reject: untouched source. With no level changes, a batch edge
+    // matters only if it creates/destroys a DAG arc, i.e. its (unchanged)
+    // endpoint levels differ by exactly one.
+    bool relevant = !w.changes.empty();
+    const auto dagRelevant = [&](const std::vector<std::pair<node, node>>* edges) {
+        if (!edges) return false;
+        for (const auto& [a, b] : *edges) {
+            const std::uint32_t la = lv[a], lb = lv[b];
+            if (la == kUnreachedLevel || lb == kUnreachedLevel) continue;
+            if (la + 1 == lb || lb + 1 == la) return true;
+        }
+        return false;
+    };
+    if (!relevant) relevant = dagRelevant(batch.added) || dagRelevant(batch.removed);
+    if (!relevant) return 0;
+
+    count processed = 0;
+
+    // ---- Phase B: sigma repair, ascending new-level order. Seeds: level-
+    // changed vertices (their parent sets changed), their neighbors (their
+    // parent sets contain a changed vertex), and the deeper endpoint of
+    // every DAG-relevant batch edge (its parent set gained/lost an arc).
+    w.nextPhase();
+    w.clearBuckets();
+    for (const LevelChange& c : w.changes) {
+        w.seed(c.v, lv[c.v]);
+        v.forNeighborsOf(c.v, [&](node y) { w.seed(y, lv[y]); });
+    }
+    const auto seedDeeper = [&](const std::vector<std::pair<node, node>>* edges) {
+        if (!edges) return;
+        for (const auto& [a, b] : *edges) {
+            const std::uint32_t la = lv[a], lb = lv[b];
+            if (la == kUnreachedLevel || lb == kUnreachedLevel) continue;
+            if (la + 1 == lb) w.seed(b, lb);
+            else if (lb + 1 == la) w.seed(a, la);
+        }
+    };
+    seedDeeper(batch.added);
+    // A removed edge's DAG arc lived in the *old* level row: when an
+    // endpoint's own level moved in the same batch, the current levels may
+    // no longer differ by one even though the other endpoint just lost a
+    // parent — and the removed edge is absent from the new adjacency, so
+    // neighbor-of-changed seeding misses it too. Seeding both endpoints
+    // unconditionally is O(batch); the exact sigma compare stops the
+    // cascade immediately when nothing actually changed.
+    if (batch.removed) {
+        for (const auto& [a, b] : *batch.removed) {
+            w.seed(a, lv[a]);
+            w.seed(b, lv[b]);
+        }
+    }
+
+    w.sigChanged.clear();
+    for (node x : w.infSeeds) { // newly unreachable: path count drops to zero
+        if (sg[x] != 0.0) {
+            sg[x] = 0.0;
+            w.sigChanged.push_back(x);
+        }
+    }
+    for (std::uint32_t d = 1; d <= w.maxLevel && d < w.buckets.size(); ++d) {
+        auto& bucket = w.buckets[d];
+        for (size_t i = 0; i < bucket.size(); ++i) {
+            const node x = bucket[i];
+            if (x == s || w.doneStamp[x] == w.epoch || lv[x] != d) continue;
+            w.doneStamp[x] = w.epoch;
+            if (++processed > budget) return kRepairAborted;
+            double ns = 0.0;
+            v.forNeighborsOf(x, [&](node y) {
+                if (lv[y] + 1u == d) ns += sg[y];
+            });
+            if (ns != sg[x]) { // integer path counts: exact compare is exact
+                sg[x] = ns;
+                w.sigChanged.push_back(x);
+                v.forNeighborsOf(x, [&](node y) {
+                    if (lv[y] == d + 1) w.seed(y, d + 1);
+                });
+            }
+        }
+        bucket.clear();
+    }
+
+    // ---- Phase C: dependency repair, descending new-level order. Seeds:
+    // every vertex whose level or sigma moved, their neighbors (child sums
+    // reference them), and the batch endpoints (their child set changed by
+    // the arc itself, possibly without any level/sigma movement nearby).
+    w.nextPhase();
+    w.clearBuckets();
+    for (node x : w.sigChanged) {
+        w.seed(x, lv[x]);
+        v.forNeighborsOf(x, [&](node y) { w.seed(y, lv[y]); });
+    }
+    for (const LevelChange& c : w.changes) {
+        w.seed(c.v, lv[c.v]);
+        v.forNeighborsOf(c.v, [&](node y) { w.seed(y, lv[y]); });
+    }
+    const auto seedEndpoints = [&](const std::vector<std::pair<node, node>>* edges) {
+        if (!edges) return;
+        for (const auto& [a, b] : *edges) {
+            w.seed(a, lv[a]);
+            w.seed(b, lv[b]);
+        }
+    };
+    seedEndpoints(batch.added);
+    seedEndpoints(batch.removed);
+
+    for (node x : w.infSeeds) { // unreachable: dependency is zero
+        if (dp[x] != 0.0) {
+            bc[x] += -dp[x];
+            dp[x] = 0.0;
+        }
+    }
+    for (std::uint32_t d = std::min<std::uint32_t>(w.maxLevel, w.buckets.size() - 1);
+         d >= 1; --d) {
+        auto& bucket = w.buckets[d];
+        for (size_t i = 0; i < bucket.size(); ++i) {
+            const node x = bucket[i];
+            if (x == s || w.doneStamp[x] == w.epoch || lv[x] != d) continue;
+            w.doneStamp[x] = w.epoch;
+            if (++processed > budget) return kRepairAborted;
+            double nd = 0.0;
+            if (sg[x] > 0.0) {
+                v.forNeighborsOf(x, [&](node y) {
+                    if (lv[y] == d + 1 && sg[y] > 0.0)
+                        nd += sg[x] / sg[y] * (1.0 + dp[y]);
+                });
+            }
+            if (nd != dp[x]) {
+                bc[x] += nd - dp[x];
+                dp[x] = nd;
+                v.forNeighborsOf(x, [&](node y) {
+                    if (y != s && lv[y] + 1u == d) w.seed(y, lv[y]);
+                });
+            }
+        }
+        bucket.clear();
+    }
+    return processed;
+}
+
+} // namespace
+
+void DynBetweenness::init(const CsrView& v) {
+    n_ = v.numberOfNodes();
+    version_ = v.version();
+    const size_t nn = static_cast<size_t>(n_) * n_;
+    lvl_.assign(nn, kUnreachedLevel);
+    sig_.assign(nn, 0.0);
+    dep_.assign(nn, 0.0);
+    bcRaw_.assign(n_, 0.0);
+    lastTouched_ = 0;
+    primed_ = true;
+    if (n_ == 0) return;
+
+    const count n = n_;
+    double* bc = bcRaw_.data();
+#pragma omp parallel
+    {
+        CsrBfs bfs(v);
+#pragma omp for schedule(dynamic, 8) reduction(+ : bc[:n])
+        for (long long si = 0; si < static_cast<long long>(n); ++si) {
+            const node s = static_cast<node>(si);
+            std::uint16_t* lv = lvl_.data() + static_cast<size_t>(si) * n;
+            double* sg = sig_.data() + static_cast<size_t>(si) * n;
+            double* dp = dep_.data() + static_cast<size_t>(si) * n;
+            bfs.run(s);
+            for (node u = 0; u < n; ++u) {
+                const std::uint32_t d = bfs.levelOf(u);
+                if (d != CsrBfs::unreachedLevel) {
+                    lv[u] = static_cast<std::uint16_t>(d);
+                    sg[u] = bfs.sigma()[u];
+                }
+            }
+            // Pull-style dependencies in reverse level order — the exact
+            // summation the repair's recompute uses, so an unchanged vertex
+            // reproduces its stored value bit-identically and repair
+            // cascades stop where the graph stopped changing.
+            const auto& order = bfs.order();
+            for (auto it = order.rbegin(); it != order.rend(); ++it) {
+                const node u = *it;
+                if (u == s) continue;
+                const std::uint32_t du = lv[u];
+                double d = 0.0;
+                v.forNeighborsOf(u, [&](node y) {
+                    if (lv[y] == du + 1 && sg[y] > 0.0) d += sg[u] / sg[y] * (1.0 + dp[y]);
+                });
+                dp[u] = d;
+                bc[u] += d;
+            }
+        }
+    }
+}
+
+void DynBetweenness::update(const CsrView& v, const EdgeBatch& batch) {
+    version_ = v.version();
+    lastTouched_ = 0;
+    if (n_ == 0 || batch.size() == 0) return;
+
+    const count n = n_;
+    double* bc = bcRaw_.data();
+    count touched = 0;
+    // Worst-case guard, not a fast path: repair processes at most ~2n
+    // vertices (each phase dedups), at roughly 2.5x the per-vertex cost of
+    // the straight-line row rebuild — so only a near-total cascade is worth
+    // aborting for. On small-diameter RINs sigma cascades are global (a
+    // single contact flip moves path counts for most source rows), which is
+    // why the engine's cost model, not this budget, is what keeps exact
+    // betweenness repair off the hot path (see DESIGN.md).
+    const count budget = std::max<count>(64, (4 * n) / 5);
+#pragma omp parallel
+    {
+        RepairScratch scratch;
+        scratch.ensure(n);
+        CsrBfs bfs(v);
+#pragma omp for schedule(dynamic, 4) reduction(+ : bc[:n]) reduction(+ : touched)
+        for (long long si = 0; si < static_cast<long long>(n); ++si) {
+            const node s = static_cast<node>(si);
+            std::uint16_t* lv = lvl_.data() + static_cast<size_t>(si) * n;
+            double* sg = sig_.data() + static_cast<size_t>(si) * n;
+            double* dp = dep_.data() + static_cast<size_t>(si) * n;
+            scratch.changes.clear();
+            scratch.repairer.repair(v, s, lv, batch, scratch.changes);
+            count r = repairSource(v, s, lv, sg, dp, batch, scratch, bc, budget);
+            if (r == kRepairAborted) r = rebuildSource(v, s, bfs, lv, sg, dp, bc);
+            touched += scratch.changes.size() + r;
+        }
+    }
+    lastTouched_ = touched;
+}
+
+std::vector<double> DynBetweenness::scores(bool normalized) const {
+    // Exact kernel semantics: halve the directed double-count, then scale
+    // by 2/((n-1)(n-2)) when normalized — the two combine to 1/((n-1)(n-2)).
+    std::vector<double> out(n_, 0.0);
+    double scale = 0.5;
+    if (normalized && n_ > 2)
+        scale = 1.0 / (static_cast<double>(n_ - 1) * static_cast<double>(n_ - 2));
+    for (node u = 0; u < n_; ++u) out[u] = bcRaw_[u] * scale;
+    return out;
+}
+
+void DynBetweenness::reset() {
+    primed_ = false;
+    lvl_.clear();
+    lvl_.shrink_to_fit();
+    sig_.clear();
+    sig_.shrink_to_fit();
+    dep_.clear();
+    dep_.shrink_to_fit();
+    bcRaw_.clear();
+    n_ = 0;
+    version_ = 0;
+}
+
+} // namespace rinkit::dyn

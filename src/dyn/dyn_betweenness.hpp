@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/dyn/dyn_bfs.hpp"
+#include "src/dyn/edge_batch.hpp"
+#include "src/graph/csr_view.hpp"
+
+namespace rinkit::dyn {
+
+/// Incrementally maintained exact betweenness in the iBet / Kourtellis
+/// (NetworKit DynBetweenness) tradition: the full Brandes per-source state
+/// — BFS levels, path counts (sigma) and dependencies (delta) — is stored
+/// as three n x n matrices, and an edge batch triggers a three-phase
+/// per-source repair instead of a from-scratch O(nm) run:
+///
+///   1. level repair via LevelRepairer (touched subtrees only);
+///   2. sigma repair in increasing new-level order, seeded by the changed
+///      vertices, their neighbors and the batch's DAG-relevant endpoints —
+///      recomputation stops where sigma settles back to its stored value;
+///   3. dependency repair in decreasing new-level order, crediting the
+///      betweenness accumulator with (new - stored) deltas and propagating
+///      only to parents whose sum actually moved.
+///
+/// Sources untouched by the batch (every batch edge level-equal under that
+/// source, no affected vertices) cost one O(batch) scan. The engine's cost
+/// model falls back to the from-scratch CSR kernel when the diff is too
+/// large a fraction of m for the repair to win (see viz::MeasureEngine).
+///
+/// Accuracy: sigma repair is exact (path counts are integers in doubles);
+/// dependency deltas accumulate in floating point, so scores agree with
+/// exact Brandes to ~1e-12 relative per update (tested at 1e-7 over whole
+/// random sequences). Memory: 18 bytes per node pair — the engine caps
+/// eligibility at dynStateMaxNodes.
+class DynBetweenness {
+public:
+    /// From-scratch prime: full Brandes on @p v (OpenMP over sources) with
+    /// all per-source state retained. Exact — the engine serves the primed
+    /// scores as tier "exact".
+    void init(const CsrView& v);
+
+    bool primed() const { return primed_; }
+    std::uint64_t version() const { return version_; }
+    count numberOfNodes() const { return n_; }
+
+    /// Applies @p batch (diff to exactly @p v's edge set). Requires
+    /// primed() and an unchanged node count.
+    void update(const CsrView& v, const EdgeBatch& batch);
+
+    /// Scores in Betweenness's exact semantics (normalized: x 2/((n-1)(n-2))
+    /// after halving the directed double-count).
+    std::vector<double> scores(bool normalized = true) const;
+
+    /// Vertices re-processed by the last update across all sources
+    /// (cost-model feedback).
+    count lastTouched() const { return lastTouched_; }
+
+    void reset();
+
+private:
+    count n_ = 0;
+    std::uint64_t version_ = 0;
+    bool primed_ = false;
+    count lastTouched_ = 0;
+    std::vector<std::uint16_t> lvl_; ///< n x n
+    std::vector<double> sig_;        ///< n x n shortest-path counts
+    std::vector<double> dep_;        ///< n x n Brandes dependencies
+    std::vector<double> bcRaw_;      ///< sum over sources of dep rows
+};
+
+} // namespace rinkit::dyn

@@ -1,0 +1,136 @@
+#include "src/dyn/dyn_bfs.hpp"
+
+#include <algorithm>
+
+namespace rinkit::dyn {
+
+void LevelRepairer::ensure(count n) {
+    if (affectedStamp_.size() < n) {
+        affectedStamp_.assign(n, 0);
+        checkedStamp_.assign(n, 0);
+        origStamp_.assign(n, 0);
+        orig_.assign(n, kUnreachedLevel);
+        epoch_ = 0;
+    }
+    ++epoch_;
+    if (epoch_ == 0) { // stamp wrap: reset and restart
+        std::fill(affectedStamp_.begin(), affectedStamp_.end(), 0u);
+        std::fill(checkedStamp_.begin(), checkedStamp_.end(), 0u);
+        std::fill(origStamp_.begin(), origStamp_.end(), 0u);
+        epoch_ = 1;
+    }
+}
+
+void LevelRepairer::recordOrig(node x, std::uint16_t level) {
+    if (origStamp_[x] == epoch_) return;
+    origStamp_[x] = epoch_;
+    orig_[x] = level;
+    touched_.push_back(x);
+}
+
+void LevelRepairer::pushCandidate(node x, std::uint32_t level) {
+    if (candBuckets_.size() <= level) candBuckets_.resize(level + 1);
+    candBuckets_[level].push_back(x);
+    candMax_ = std::max(candMax_, level);
+}
+
+void LevelRepairer::pushSettle(node x, std::uint32_t dist) {
+    if (settleBuckets_.size() <= dist) settleBuckets_.resize(dist + 1);
+    settleBuckets_[dist].push_back(x);
+    settleMax_ = std::max(settleMax_, dist);
+}
+
+count LevelRepairer::repair(const CsrView& v, node s, std::uint16_t* lvl,
+                            const EdgeBatch& batch, std::vector<LevelChange>& out) {
+    const count n = v.numberOfNodes();
+    ensure(n);
+    affected_.clear();
+    touched_.clear();
+    candMax_ = settleMax_ = 0;
+
+    // ---- Phase 1: deletion-affected detection on the old levels. A
+    // removed edge is tree-relevant iff its endpoints' old levels differ
+    // by one; the deeper endpoint may have lost its last support.
+    if (batch.removed) {
+        for (const auto& [u, w] : *batch.removed) {
+            const std::uint32_t lu = lvl[u], lw = lvl[w];
+            if (lu == kUnreachedLevel && lw == kUnreachedLevel) continue;
+            if (lu + 1 == lw) pushCandidate(w, lw);
+            else if (lw + 1 == lu) pushCandidate(u, lu);
+        }
+    }
+    for (std::uint32_t d = 1; d <= candMax_; ++d) {
+        if (d >= candBuckets_.size()) break;
+        auto& bucket = candBuckets_[d];
+        for (size_t i = 0; i < bucket.size(); ++i) { // cascade appends to deeper buckets only
+            const node x = bucket[i];
+            if (checkedStamp_[x] == epoch_) continue;
+            checkedStamp_[x] = epoch_;
+            if (lvl[x] != d) continue; // duplicate seed at a stale level
+            bool supported = false;
+            v.forNeighborsOf(x, [&](node y) {
+                if (!supported && lvl[y] + 1u == d && affectedStamp_[y] != epoch_)
+                    supported = true;
+            });
+            if (supported) continue;
+            affectedStamp_[x] = epoch_;
+            affected_.push_back(x);
+            v.forNeighborsOf(x, [&](node z) {
+                if (lvl[z] == d + 1) pushCandidate(z, d + 1);
+            });
+        }
+        bucket.clear();
+    }
+    // Clear any buckets past candMax_ left over from cascade pushes.
+    for (std::uint32_t d = 0; d < candBuckets_.size(); ++d) candBuckets_[d].clear();
+
+    // ---- Phase 2: re-settle. Affected vertices drop to unreached, then
+    // re-enter via their best non-affected support; insertions relax both
+    // endpoints. Unit weights keep the bucket queue monotone.
+    for (node x : affected_) {
+        recordOrig(x, lvl[x]);
+        lvl[x] = kUnreachedLevel;
+    }
+    for (node x : affected_) {
+        std::uint32_t best = kUnreachedLevel;
+        v.forNeighborsOf(x, [&](node y) {
+            if (lvl[y] != kUnreachedLevel && lvl[y] + 1u < best) best = lvl[y] + 1u;
+        });
+        if (best < kUnreachedLevel) pushSettle(x, best);
+    }
+    if (batch.added) {
+        for (const auto& [u, w] : *batch.added) {
+            const std::uint32_t lu = lvl[u], lw = lvl[w];
+            if (lu != kUnreachedLevel && lu + 1 < lw) pushSettle(w, lu + 1);
+            if (lw != kUnreachedLevel && lw + 1 < lu) pushSettle(u, lw + 1);
+        }
+    }
+    for (std::uint32_t d = 1; d <= settleMax_; ++d) {
+        if (d >= settleBuckets_.size()) break;
+        auto& bucket = settleBuckets_[d];
+        for (size_t i = 0; i < bucket.size(); ++i) {
+            const node x = bucket[i];
+            if (d >= lvl[x] || x == s) continue; // already settled at <= d
+            recordOrig(x, lvl[x]);
+            lvl[x] = static_cast<std::uint16_t>(d);
+            v.forNeighborsOf(x, [&](node y) {
+                if (d + 1 < lvl[y]) pushSettle(y, d + 1);
+            });
+        }
+        bucket.clear();
+    }
+    for (std::uint32_t d = 0; d < settleBuckets_.size(); ++d) settleBuckets_[d].clear();
+
+    // ---- Emit net changes (an affected vertex can settle back to its old
+    // level through a different support — that is not a change).
+    count changed = 0;
+    for (node x : touched_) {
+        if (lvl[x] != orig_[x]) {
+            out.push_back({x, orig_[x], lvl[x]});
+            ++changed;
+        }
+    }
+    return changed;
+}
+
+} // namespace rinkit::dyn

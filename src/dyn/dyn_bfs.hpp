@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/dyn/edge_batch.hpp"
+#include "src/graph/csr_view.hpp"
+
+namespace rinkit::dyn {
+
+/// Unreached marker of the packed per-source level rows. uint16 bounds the
+/// dynamic state to graphs of < 65535 nodes — far above the engine's
+/// dynStateMaxNodes cap, which exists for memory, not representability.
+inline constexpr std::uint16_t kUnreachedLevel = 0xFFFF;
+
+/// One distance change produced by a repair: vertex, its BFS level before
+/// and after the batch (kUnreachedLevel = unreachable).
+struct LevelChange {
+    node v;
+    std::uint16_t oldLevel;
+    std::uint16_t newLevel;
+};
+
+/// Batch-dynamic single-source BFS repair (Frigioni / Ramalingam-Reps
+/// style, specialised to unit weights and undirected batches).
+///
+/// Given a source's level row that is correct for the *pre-batch* graph
+/// and the post-batch CSR snapshot, repair() updates the row in place and
+/// reports every vertex whose level changed:
+///
+///  1. Deletion phase — candidates seeded by removed tree-relevant edges
+///     (old levels differing by one) are processed in increasing old-level
+///     order; a candidate without a non-affected neighbor one level up
+///     (scanned in the *new* adjacency) is affected, and the cascade
+///     continues one level down. Only vertices whose distance can actually
+///     grow are ever visited.
+///  2. Re-settle phase — affected vertices drop to "unreached" and re-enter
+///     through a monotone bucket queue seeded with their best non-affected
+///     support and with the insertion relaxations; unit weights make this
+///     a BFS-cost Dijkstra over the touched region only.
+///
+/// The scratch arrays are epoch-stamped and sized once, so a repairer
+/// instance amortises to O(touched) per call — one instance per OpenMP
+/// thread, shared across that thread's sources.
+class LevelRepairer {
+public:
+    /// Repairs @p lvl (row of v.numberOfNodes() levels for source @p s)
+    /// against @p v and appends all changes to @p out. Returns the number
+    /// of changed vertices.
+    count repair(const CsrView& v, node s, std::uint16_t* lvl, const EdgeBatch& batch,
+                 std::vector<LevelChange>& out);
+
+private:
+    void ensure(count n);
+    void recordOrig(node x, std::uint16_t level);
+    void pushCandidate(node x, std::uint32_t level);
+    void pushSettle(node x, std::uint32_t dist);
+
+    std::uint32_t epoch_ = 0;
+    std::vector<std::uint32_t> affectedStamp_; ///< x is in the affected set A
+    std::vector<std::uint32_t> checkedStamp_;  ///< support check done this epoch
+    std::vector<std::uint32_t> origStamp_;     ///< original level recorded
+    std::vector<std::uint16_t> orig_;          ///< level before the batch
+    std::vector<node> touched_;                ///< nodes with orig_ recorded
+    std::vector<node> affected_;
+    std::vector<std::vector<node>> candBuckets_, settleBuckets_;
+    std::uint32_t candMax_ = 0, settleMax_ = 0;
+};
+
+} // namespace rinkit::dyn

@@ -1,0 +1,147 @@
+#include "src/dyn/dyn_components.hpp"
+
+#include <numeric>
+
+namespace rinkit::dyn {
+
+namespace {
+
+/// Minimal union-find over a label space (path halving, union by size).
+class LabelUnion {
+public:
+    explicit LabelUnion(count n) : parent_(n), size_(n, 1) {
+        std::iota(parent_.begin(), parent_.end(), 0u);
+    }
+
+    index find(index x) {
+        while (parent_[x] != x) {
+            parent_[x] = parent_[parent_[x]];
+            x = parent_[x];
+        }
+        return x;
+    }
+
+    void unite(index a, index b) {
+        a = find(a);
+        b = find(b);
+        if (a == b) return;
+        if (size_[a] < size_[b]) std::swap(a, b);
+        parent_[b] = a;
+        size_[a] += size_[b];
+    }
+
+private:
+    std::vector<index> parent_;
+    std::vector<count> size_;
+};
+
+} // namespace
+
+void DynConnectedComponents::init(const CsrView& v) {
+    n_ = v.numberOfNodes();
+    version_ = v.version();
+    comp_.assign(n_, 0);
+    primed_ = true;
+    if (n_ == 0) {
+        numComponents_ = 0;
+        return;
+    }
+    LabelUnion uf(n_);
+    for (node u = 0; u < n_; ++u) {
+        v.forNeighborsOf(u, [&](node w) {
+            if (u < w) uf.unite(u, w);
+        });
+    }
+    for (node u = 0; u < n_; ++u) comp_[u] = uf.find(u);
+    compact();
+}
+
+void DynConnectedComponents::update(const CsrView& v, const EdgeBatch& batch) {
+    version_ = v.version();
+    if (n_ == 0 || batch.size() == 0) return;
+
+    if (batch.removedCount() == 0) {
+        // Insert-only: pure label unions, no traversal at all.
+        LabelUnion uf(numComponents_);
+        for (const auto& [u, w] : *batch.added) uf.unite(comp_[u], comp_[w]);
+        for (node u = 0; u < n_; ++u) comp_[u] = uf.find(comp_[u]);
+        compact();
+        return;
+    }
+
+    // Deletions may split: rebuild only the components that lost an edge.
+    // Their vertices get fresh labels by BFS over the *new* adjacency;
+    // intact foreign components act as super-nodes — reaching any of their
+    // vertices unions the fresh label with the old component label instead
+    // of traversing into it.
+    std::vector<char> affectedComp(numComponents_, 0);
+    for (const auto& [u, w] : *batch.removed)
+        affectedComp[comp_[u]] = affectedComp[comp_[w]] = 1;
+
+    std::vector<node> affectedVerts;
+    for (node u = 0; u < n_; ++u)
+        if (affectedComp[comp_[u]]) affectedVerts.push_back(u);
+
+    const index freshBase = static_cast<index>(numComponents_);
+    LabelUnion uf(numComponents_ + affectedVerts.size());
+    std::vector<index> label(comp_);
+    for (node x : affectedVerts) label[x] = none;
+
+    index nextFresh = freshBase;
+    std::vector<node> stack;
+    for (node x : affectedVerts) {
+        if (label[x] != none) continue;
+        const index fresh = nextFresh++;
+        label[x] = fresh;
+        stack.assign(1, x);
+        while (!stack.empty()) {
+            const node y = stack.back();
+            stack.pop_back();
+            v.forNeighborsOf(y, [&](node z) {
+                if (affectedComp[comp_[z]]) {
+                    if (label[z] == none) {
+                        label[z] = fresh;
+                        stack.push_back(z);
+                    } else if (label[z] != fresh) {
+                        uf.unite(fresh, label[z]);
+                    }
+                } else {
+                    uf.unite(fresh, comp_[z]);
+                }
+            });
+        }
+    }
+    // Insertions between two intact components never enter the BFS above.
+    for (const auto& [u, w] : *batch.added)
+        if (!affectedComp[comp_[u]] && !affectedComp[comp_[w]])
+            uf.unite(comp_[u], comp_[w]);
+
+    for (node u = 0; u < n_; ++u) comp_[u] = uf.find(label[u]);
+    compact();
+}
+
+void DynConnectedComponents::compact() {
+    // First-occurrence-by-node-order remap — the exact scheme
+    // ConnectedComponents::compactLabels uses, so labels are bit-equal to
+    // a from-scratch run.
+    index maxLabel = 0;
+    for (index c : comp_) maxLabel = std::max(maxLabel, c);
+    std::vector<index> remap(static_cast<size_t>(maxLabel) + 1, none);
+    index next = 0;
+    for (node u = 0; u < n_; ++u) {
+        const index root = comp_[u];
+        if (remap[root] == none) remap[root] = next++;
+        comp_[u] = remap[root];
+    }
+    numComponents_ = next;
+}
+
+void DynConnectedComponents::reset() {
+    primed_ = false;
+    comp_.clear();
+    n_ = 0;
+    numComponents_ = 0;
+    version_ = 0;
+}
+
+} // namespace rinkit::dyn

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/dyn/edge_batch.hpp"
+#include "src/graph/csr_view.hpp"
+
+namespace rinkit::dyn {
+
+/// Dynamic connected components: insertions merge labels through a
+/// union-find over component ids; deletions rebuild only the affected
+/// components (BFS over the vertices of every component that lost an
+/// edge, treating intact foreign components as super-nodes). Labels are
+/// compacted in first-occurrence node order after every update, so they
+/// are bit-equal to a from-scratch ConnectedComponents run.
+class DynConnectedComponents {
+public:
+    void init(const CsrView& v);
+
+    bool primed() const { return primed_; }
+    std::uint64_t version() const { return version_; }
+
+    void update(const CsrView& v, const EdgeBatch& batch);
+
+    count numberOfComponents() const { return numComponents_; }
+    index componentOf(node u) const { return comp_[u]; }
+    const std::vector<index>& components() const { return comp_; }
+
+    void reset();
+
+private:
+    void compact();
+
+    count n_ = 0;
+    std::uint64_t version_ = 0;
+    bool primed_ = false;
+    std::vector<index> comp_;
+    count numComponents_ = 0;
+};
+
+} // namespace rinkit::dyn

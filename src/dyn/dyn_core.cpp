@@ -1,0 +1,155 @@
+#include "src/dyn/dyn_core.hpp"
+
+#include <algorithm>
+
+namespace rinkit::dyn {
+
+namespace {
+
+inline std::uint64_t arcKey(node a, node b) {
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+} // namespace
+
+bool DynCoreDecomposition::isPending(node a, node b) const {
+    return !pending_.empty() && pending_.count(arcKey(a, b)) != 0;
+}
+
+count DynCoreDecomposition::hIndex(const CsrView& v, node u) const {
+    // h-index of the neighbor core multiset, capped at core_[u] (the
+    // capped operator keeps iterates monotone-decreasing from any upper
+    // bound). Counting sort over [0, cap] makes it O(deg + cap).
+    const count cap = core_[u];
+    if (cap == 0) return 0;
+    if (hScratch_.size() < cap + 1) hScratch_.resize(cap + 1);
+    std::fill(hScratch_.begin(), hScratch_.begin() + cap + 1, 0);
+    v.forNeighborsOf(u, [&](node w) {
+        if (isPending(u, w)) return;
+        ++hScratch_[std::min(core_[w], cap)];
+    });
+    count cum = 0;
+    for (count h = cap; h > 0; --h) {
+        cum += hScratch_[h];
+        if (cum >= h) return h;
+    }
+    return 0;
+}
+
+void DynCoreDecomposition::settle(const CsrView& v, std::vector<node>& seeds) {
+    while (!seeds.empty()) {
+        const node u = seeds.back();
+        seeds.pop_back();
+        const count h = hIndex(v, u);
+        if (h >= core_[u]) continue;
+        core_[u] = h;
+        v.forNeighborsOf(u, [&](node w) {
+            if (!isPending(u, w) && core_[w] > h) seeds.push_back(w);
+        });
+    }
+}
+
+void DynCoreDecomposition::init(const CsrView& v) {
+    n_ = v.numberOfNodes();
+    version_ = v.version();
+    core_.assign(n_, 0);
+    pending_.clear();
+    primed_ = true;
+    if (n_ == 0) return;
+    // Degrees are an upper bound; the capped h-operator worklist settles to
+    // the exact core numbers (Lu et al., the h-index view of coreness).
+    std::vector<node> seeds(n_);
+    for (node u = 0; u < n_; ++u) {
+        core_[u] = v.degree(u);
+        seeds[u] = u;
+    }
+    settle(v, seeds);
+}
+
+void DynCoreDecomposition::update(const CsrView& v, const EdgeBatch& batch) {
+    version_ = v.version();
+    if (n_ == 0 || batch.size() == 0) return;
+
+    // The snapshot is post-batch: mask every inserted arc until its edge
+    // is logically applied, so the deletion phase and each insertion see
+    // exactly the intermediate graph they are defined on.
+    pending_.clear();
+    if (batch.added) {
+        for (const auto& [u, w] : *batch.added) {
+            pending_.insert(arcKey(u, w));
+            pending_.insert(arcKey(w, u));
+        }
+    }
+
+    std::vector<node> seeds;
+    if (batch.removed && !batch.removed->empty()) {
+        // Deletions only lower coreness, so the stored cores stay an upper
+        // bound — settle from the endpoints.
+        for (const auto& [u, w] : *batch.removed) {
+            seeds.push_back(u);
+            seeds.push_back(w);
+        }
+        settle(v, seeds);
+    }
+
+    if (batch.added) {
+        std::vector<node> stack, cand;
+        std::vector<std::uint8_t> inSubcore(n_, 0);
+        for (const auto& [eu, ew] : *batch.added) {
+            pending_.erase(arcKey(eu, ew));
+            pending_.erase(arcKey(ew, eu));
+            // One edge raises coreness by at most one, and only inside the
+            // subcore: core == k vertices reachable from the edge through
+            // core == k vertices, k the smaller endpoint core.
+            const count k = std::min(core_[eu], core_[ew]);
+            cand.clear();
+            stack.clear();
+            for (node e : {eu, ew}) {
+                if (core_[e] == k && !inSubcore[e]) {
+                    inSubcore[e] = 1;
+                    cand.push_back(e);
+                    stack.push_back(e);
+                }
+            }
+            while (!stack.empty()) {
+                const node x = stack.back();
+                stack.pop_back();
+                v.forNeighborsOf(x, [&](node y) {
+                    if (isPending(x, y) || core_[y] != k || inSubcore[y]) return;
+                    inSubcore[y] = 1;
+                    cand.push_back(y);
+                    stack.push_back(y);
+                });
+            }
+            for (node c : cand) {
+                inSubcore[c] = 0;
+                core_[c] = k + 1; // upper bound; settle peels the excess
+            }
+            seeds = cand;
+            settle(v, seeds);
+        }
+    }
+    pending_.clear();
+}
+
+std::vector<double> DynCoreDecomposition::scores() const {
+    std::vector<double> out(n_);
+    for (node u = 0; u < n_; ++u) out[u] = static_cast<double>(core_[u]);
+    return out;
+}
+
+count DynCoreDecomposition::maxCore() const {
+    count m = 0;
+    for (count c : core_) m = std::max(m, c);
+    return m;
+}
+
+void DynCoreDecomposition::reset() {
+    primed_ = false;
+    core_.clear();
+    pending_.clear();
+    n_ = 0;
+    version_ = 0;
+}
+
+} // namespace rinkit::dyn

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "src/dyn/edge_batch.hpp"
+#include "src/graph/csr_view.hpp"
+
+namespace rinkit::dyn {
+
+/// Incremental core decomposition (traversal-style peeling repair,
+/// Sariyuce et al.'s subcore insight combined with the h-index fixpoint of
+/// Lu et al.):
+///
+///  - Deletions (batched): coreness can only drop, and old core numbers
+///    remain a pointwise upper bound. A worklist seeded with the removed
+///    edges' endpoints applies the capped h-operator — core(v) <-
+///    min(core(v), h-index of neighbor cores) — until it settles. Any
+///    fixpoint of the capped operator reached from an upper bound is
+///    exactly the core number (each side of the sandwich is a k-core
+///    witness), so the repair is exact, not heuristic.
+///  - Insertions (edge at a time): inserting one edge raises coreness by
+///    at most one, and only within the subcore — the vertices with
+///    core == k reachable from the edge through core == k vertices, where
+///    k is the smaller endpoint core. Bumping the subcore to k+1 gives a
+///    valid upper bound; the same capped h-operator worklist then peels
+///    the over-estimates away. Edges later in the batch are masked out of
+///    every adjacency scan until their own turn (the CSR snapshot is
+///    post-batch, so "not yet inserted" must be simulated).
+///
+/// Core numbers are integers: results are bit-equal to the from-scratch
+/// Batagelj-Zaversnik kernel.
+class DynCoreDecomposition {
+public:
+    void init(const CsrView& v);
+
+    bool primed() const { return primed_; }
+    std::uint64_t version() const { return version_; }
+
+    void update(const CsrView& v, const EdgeBatch& batch);
+
+    /// Core numbers in CoreDecomposition's result shape.
+    std::vector<double> scores() const;
+    count coreOf(node u) const { return core_[u]; }
+    count maxCore() const;
+
+    void reset();
+
+private:
+    /// Capped h-operator worklist until fixpoint; @p seeds hold an upper
+    /// bound on their true core. Neighbor scans skip arcs in pending_.
+    void settle(const CsrView& v, std::vector<node>& seeds);
+    count hIndex(const CsrView& v, node u) const;
+    bool isPending(node a, node b) const;
+
+    count n_ = 0;
+    std::uint64_t version_ = 0;
+    bool primed_ = false;
+    std::vector<count> core_;
+    std::unordered_set<std::uint64_t> pending_; ///< batch arcs not yet "inserted"
+    mutable std::vector<count> hScratch_;
+};
+
+} // namespace rinkit::dyn

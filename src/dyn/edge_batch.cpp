@@ -1,0 +1,28 @@
+#include "src/dyn/edge_batch.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace rinkit::dyn {
+
+void composeDiff(std::vector<std::pair<node, node>>& added,
+                 std::vector<std::pair<node, node>>& removed,
+                 const std::vector<std::pair<node, node>>& nextAdded,
+                 const std::vector<std::pair<node, node>>& nextRemoved) {
+    // Net effect per edge: +1 (present after, absent before), -1 (the
+    // reverse), 0 (cancelled). Diffs are a few percent of m, so a sorted
+    // map is plenty fast and keeps the output deterministic.
+    std::map<std::pair<node, node>, int> net;
+    for (const auto& e : added) net[e] += 1;
+    for (const auto& e : removed) net[e] -= 1;
+    for (const auto& e : nextAdded) net[e] += 1;
+    for (const auto& e : nextRemoved) net[e] -= 1;
+    added.clear();
+    removed.clear();
+    for (const auto& [e, v] : net) {
+        if (v > 0) added.push_back(e);
+        else if (v < 0) removed.push_back(e);
+    }
+}
+
+} // namespace rinkit::dyn

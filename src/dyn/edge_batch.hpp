@@ -1,0 +1,34 @@
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "src/support/types.hpp"
+
+namespace rinkit::dyn {
+
+/// One batch of edge changes between two graph versions — exactly the
+/// shape DynamicRin::lastAdded()/lastRemoved() produce: unique undirected
+/// edges (u < v), lexicographically sorted, additions disjoint from
+/// removals. The dynamic kernels consume the batch against the *new* CSR
+/// snapshot: removed edges are absent from it, added edges present.
+struct EdgeBatch {
+    const std::vector<std::pair<node, node>>* added = nullptr;
+    const std::vector<std::pair<node, node>>* removed = nullptr;
+
+    count addedCount() const { return added ? added->size() : 0; }
+    count removedCount() const { return removed ? removed->size() : 0; }
+    count size() const { return addedCount() + removedCount(); }
+};
+
+/// Composes two consecutive diffs (V0 -> V1 -> V2) into one (V0 -> V2),
+/// cancelling edges that were added then removed (or vice versa). The
+/// measure engine uses this when slider events arrive faster than measure
+/// reads, so a dynamic kernel can catch up across several skipped versions
+/// with a single repair.
+void composeDiff(std::vector<std::pair<node, node>>& added,
+                 std::vector<std::pair<node, node>>& removed,
+                 const std::vector<std::pair<node, node>>& nextAdded,
+                 const std::vector<std::pair<node, node>>& nextRemoved);
+
+} // namespace rinkit::dyn

@@ -79,9 +79,11 @@ SessionService::SessionService(Options options) : options_(options) {
     // wire_delta_frames, so delta ratio = wire_delta_frames / frames_shipped
     // is meaningful per-format).
     for (const char* name : {"submitted", "completed", "coalesced", "rejected",
-                             "shed_degraded", "deadline_missed", "sessions_opened",
-                             "frames_shipped", "wire_bytes", "wire_keyframes",
-                             "wire_delta_frames"})
+                             "shed_degraded", "shed_stale", "deadline_missed",
+                             "sessions_opened", "frames_shipped", "wire_bytes",
+                             "wire_keyframes", "wire_delta_frames",
+                             "measure_tier_exact", "measure_tier_dynamic",
+                             "measure_tier_approx", "measure_tier_stale"})
         registry_.increment(name, 0);
     pool_ = std::make_unique<ThreadPool>(options_.workers);
 }
@@ -271,18 +273,24 @@ void SessionService::runNext(std::shared_ptr<Session> session) {
     const double deadlineMs =
         request.event.deadlineMs > 0.0 ? request.event.deadlineMs : options_.defaultDeadlineMs;
 
-    // Degradation ladder: a deep backlog sheds this request to the cheap
-    // path; a blown queue deadline does the same (still executed — the
-    // client gets *an* update — but flagged).
-    bool degraded = false;
+    // Degradation ladder: a deep backlog sheds this request to Approx
+    // (sampled measures with a stated error bound); an extreme backlog
+    // escalates to Stale (older-version results allowed). A blown queue
+    // deadline degrades to at least Approx (still executed — the client
+    // gets *an* update — but flagged).
+    viz::DegradeLevel level = viz::DegradeLevel::None;
     bool deadlineMissed = false;
-    if (depthBehind > options_.degradeQueueDepth) {
-        degraded = true;
+    if (depthBehind > options_.staleQueueDepth) {
+        level = viz::DegradeLevel::Stale;
+        registry_.increment("shed_degraded");
+        registry_.increment("shed_stale");
+    } else if (depthBehind > options_.degradeQueueDepth) {
+        level = viz::DegradeLevel::Approx;
         registry_.increment("shed_degraded");
     }
     if (deadlineMs > 0.0 && queueMs > deadlineMs) {
         deadlineMissed = true;
-        degraded = true;
+        if (level == viz::DegradeLevel::None) level = viz::DegradeLevel::Approx;
         registry_.increment("deadline_missed");
         // Deadline misses are exactly the requests worth a trace: override
         // a lost head-sampling draw before any execution span opens. The
@@ -304,8 +312,9 @@ void SessionService::runNext(std::shared_ptr<Session> session) {
     // update cycle runs. The request's trace context is adopted for the
     // execution scope: every widget/engine/rin span below lands in the
     // submitting request's tree even though a pool worker runs it.
+    const bool degraded = level != viz::DegradeLevel::None;
     viz::RinWidget& widget = *session->widget;
-    widget.setDegraded(degraded);
+    widget.setDegradeLevel(level);
     viz::RinWidget::UpdateTiming timing;
     {
         obs::ContextScope adopt(request.traceCtx);
@@ -328,6 +337,8 @@ void SessionService::runNext(std::shared_ptr<Session> session) {
             break;
         }
         exec.attr("measure_cache_hit", timing.measureCacheHit);
+        exec.attr("measure_tier", viz::tierName(timing.measureTier));
+        if (timing.measureEps > 0.0) exec.attr("measure_eps", timing.measureEps);
     }
 
     registry_.recordLatency("queue_ms", queueMs);
@@ -339,6 +350,7 @@ void SessionService::runNext(std::shared_ptr<Session> session) {
     registry_.recordLatency("server_ms", timing.serverMs());
     registry_.recordLatency("total_ms", queueMs + timing.totalMs());
     registry_.increment("completed");
+    registry_.increment(std::string("measure_tier_") + viz::tierName(timing.measureTier));
     registry_.increment("frames_shipped");
     registry_.increment("wire_bytes", timing.wireBytes);
     if (timing.binaryWire)

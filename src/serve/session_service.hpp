@@ -76,9 +76,15 @@ struct SessionServiceOptions {
     /// figure-sized buffer, so 0 derives the bound from the memory budget
     /// (one slot per 2 GB, minimum 2).
     count maxQueuedPerSession = 0;
-    /// Queue depth at dequeue beyond which a request is shed to the
-    /// degraded path (stale/approx measures, layout polish only).
+    /// Queue depth at dequeue beyond which a request is shed to the first
+    /// degradation rung: approximate measures *with a stated error bound*
+    /// (DegradeLevel::Approx) and a layout polish only.
     count degradeQueueDepth = 2;
+    /// Queue depth beyond which overload escalates to the last rung:
+    /// results for an older graph version may be served
+    /// (DegradeLevel::Stale). Bounded-error-but-current degrades before
+    /// exact-but-outdated.
+    count staleQueueDepth = 6;
     /// Deadline applied when an event carries none. 0 = no deadline.
     double defaultDeadlineMs = 0.0;
     /// Head sampling escape hatch: a request whose queue wait blew its
@@ -100,10 +106,15 @@ struct SessionServiceOptions {
 ///  - **admission control**: once a session's queue is at its budgeted
 ///    bound (and nothing can be coalesced), submit resolves immediately
 ///    with Rejected instead of queueing unboundedly;
-///  - **graceful degradation**: a request dequeued behind more than
-///    degradeQueueDepth waiters, or one whose queue wait blew its
-///    deadline, executes with RinWidget::setDegraded(true) — serving
-///    cached/approximate measures and a warm-start-only layout.
+///  - **graceful degradation ladder**: a request dequeued behind more than
+///    degradeQueueDepth waiters (or one whose queue wait blew its deadline)
+///    executes with DegradeLevel::Approx — sampled measures with a stated
+///    (epsilon, delta) and a warm-start-only layout; beyond staleQueueDepth
+///    it escalates to DegradeLevel::Stale, which additionally allows
+///    serving results for an older graph version. Approximate-with-bounds
+///    ranks above stale: a bounded error on the current frame beats an
+///    unbounded one from the past. The tier actually served is visible in
+///    RequestOutcome::timing.measureTier and the measure_tier_* counters.
 ///
 /// Sessions are independent: the pool interleaves them, and a session
 /// re-enqueues itself after each request so a chatty client cannot starve

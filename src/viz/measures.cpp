@@ -1,15 +1,19 @@
 #include "src/viz/measures.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <stdexcept>
 
 #include "src/obs/trace.hpp"
 
 #include "src/centrality/approx_betweenness.hpp"
+#include "src/centrality/approx_closeness.hpp"
 #include "src/centrality/betweenness.hpp"
 #include "src/centrality/closeness.hpp"
 #include "src/centrality/core_decomposition.hpp"
 #include "src/centrality/degree.hpp"
 #include "src/centrality/eigenvector.hpp"
+#include "src/centrality/kadabra.hpp"
 #include "src/centrality/local_clustering.hpp"
 #include "src/centrality/pagerank.hpp"
 #include "src/community/leiden.hpp"
@@ -61,6 +65,16 @@ bool isCommunityMeasure(Measure m) {
     }
 }
 
+const char* tierName(ResolutionTier t) {
+    switch (t) {
+    case ResolutionTier::Exact: return "exact";
+    case ResolutionTier::Dynamic: return "dynamic";
+    case ResolutionTier::Approx: return "approx";
+    case ResolutionTier::Stale: return "stale";
+    }
+    throw std::invalid_argument("tierName: unknown tier");
+}
+
 namespace {
 
 /// Drives any kernel — centrality or detector — through the canonical
@@ -69,6 +83,17 @@ template <typename Kernel>
 std::vector<double> runOn(Kernel&& kernel, const CsrView& v) {
     kernel.run(v);
     return kernel.scores();
+}
+
+double elapsedMs(std::chrono::steady_clock::time_point t0) {
+    return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                     t0)
+        .count();
+}
+
+void feedEwma(double& ewma, double ms) {
+    constexpr double kAlpha = 0.3;
+    ewma = ewma < 0.0 ? ms : (1.0 - kAlpha) * ewma + kAlpha * ms;
 }
 
 } // namespace
@@ -94,55 +119,371 @@ std::vector<double> computeMeasure(const Graph& g, const CsrView& v, Measure m) 
     throw std::invalid_argument("computeMeasure: unknown measure");
 }
 
+int MeasureEngine::dynKernelFor(Measure m) {
+    switch (m) {
+    case Measure::Closeness:
+    case Measure::HarmonicCloseness: return kDynCloseness;
+    case Measure::Betweenness: return kDynBetweenness;
+    case Measure::CoreNumber: return kDynCore;
+    default: return -1;
+    }
+}
+
+bool MeasureEngine::dynPrimed(int k) const {
+    switch (k) {
+    case kDynCloseness: return dynClose_.primed();
+    case kDynBetweenness: return dynBet_.primed();
+    case kDynCore: return dynCore_.primed();
+    case kDynKadabra: return dynKad_.primed();
+    }
+    return false;
+}
+
+std::uint64_t MeasureEngine::dynVersion(int k) const {
+    switch (k) {
+    case kDynCloseness: return dynClose_.version();
+    case kDynBetweenness: return dynBet_.version();
+    case kDynCore: return dynCore_.version();
+    case kDynKadabra: return dynKad_.version();
+    }
+    return 0;
+}
+
+bool MeasureEngine::dynStateCurrent(int k, const Graph& g) const {
+    const DynMeta& meta = dynMeta_[static_cast<size_t>(k)];
+    return dynPrimed(k) && !meta.hasPending && meta.n == g.numberOfNodes() &&
+           dynVersion(k) == g.version();
+}
+
+bool MeasureEngine::dynUpdateEligible(int k, const Graph& g) const {
+    const DynMeta& meta = dynMeta_[static_cast<size_t>(k)];
+    if (!dynPrimed(k) || !meta.chainValid || !meta.hasPending) return false;
+    if (meta.target != g.version() || meta.n != g.numberOfNodes()) return false;
+    if (g.numberOfNodes() > opts_.dynStateMaxNodes) return false;
+    const double diff =
+        static_cast<double>(meta.pendAdd.size() + meta.pendRem.size());
+    const double edges = static_cast<double>(std::max<count>(g.numberOfEdges(), 1));
+    if (diff > opts_.fallbackDiffFraction * edges) return false;
+    // Span-fed cost model: once updates have been observed to cost more
+    // than recomputing, stop repairing until the state is re-primed.
+    if (meta.ewmaDyn >= 0.0 && meta.ewmaExact >= 0.0 && meta.ewmaDyn > meta.ewmaExact)
+        return false;
+    return true;
+}
+
+std::vector<double> MeasureEngine::dynScores(int k, Measure m) const {
+    switch (k) {
+    case kDynCloseness:
+        return dynClose_.scores(m == Measure::HarmonicCloseness, true);
+    case kDynBetweenness: return dynBet_.scores(true);
+    case kDynCore: return dynCore_.scores();
+    }
+    throw std::logic_error("MeasureEngine: no dynamic kernel");
+}
+
+void MeasureEngine::chainDiff(DynMeta& meta, std::uint64_t kernelVersion,
+                              std::uint64_t fromVersion, std::uint64_t toVersion,
+                              const std::vector<std::pair<node, node>>& added,
+                              const std::vector<std::pair<node, node>>& removed) {
+    const std::uint64_t base = meta.hasPending ? meta.target : kernelVersion;
+    if (base != fromVersion) {
+        // Version gap: a diff we never saw moved the graph. The stored
+        // state can no longer be repaired; the next exact read re-primes.
+        meta.chainValid = false;
+        meta.hasPending = false;
+        meta.pendAdd.clear();
+        meta.pendRem.clear();
+        return;
+    }
+    if (meta.hasPending) {
+        dyn::composeDiff(meta.pendAdd, meta.pendRem, added, removed);
+    } else {
+        meta.pendAdd = added;
+        meta.pendRem = removed;
+    }
+    meta.target = toVersion;
+    meta.hasPending = true;
+    meta.chainValid = true;
+}
+
+void MeasureEngine::noteDiff(const Graph& g, std::uint64_t fromVersion,
+                             const std::vector<std::pair<node, node>>& added,
+                             const std::vector<std::pair<node, node>>& removed) {
+    if (!opts_.dynamicMeasures) return;
+    const std::uint64_t to = g.version();
+    for (int k = 0; k < kNumDynKernels; ++k) {
+        DynMeta& meta = dynMeta_[static_cast<size_t>(k)];
+        if (!dynPrimed(k)) continue;
+        if (meta.n != g.numberOfNodes()) {
+            meta.chainValid = false;
+            meta.hasPending = false;
+            meta.pendAdd.clear();
+            meta.pendRem.clear();
+            continue;
+        }
+        chainDiff(meta, dynVersion(k), fromVersion, to, added, removed);
+    }
+}
+
+void MeasureEngine::invalidateDynamic() {
+    dynClose_.reset();
+    dynBet_.reset();
+    dynCore_.reset();
+    dynKad_.reset();
+    for (auto& meta : dynMeta_) meta = DynMeta{};
+}
+
 const std::vector<double>& MeasureEngine::scores(const Graph& g, Measure m,
-                                                 bool* cacheHit, bool degraded) {
+                                                 const Request& req,
+                                                 ResultInfo* info) {
     obs::ScopedSpan span("engine.scores");
     span.attr("measure", measureName(m));
-    span.attr("degraded", degraded);
-    auto& entry = cache_[static_cast<size_t>(m)];
-    const bool fresh =
-        entry.valid && entry.g == &g && entry.version == g.version();
-    // Exact reads refuse approximate entries; degraded reads take anything
-    // fresh.
-    if (fresh && (degraded || !entry.approx)) {
-        if (cacheHit) *cacheHit = true;
-        span.attr("cache_hit", true);
-        return entry.scores;
+    ResultInfo local;
+    ResultInfo& out = info ? *info : local;
+    out = ResultInfo{};
+
+    // A degraded request without its own tolerance still gets a bound: the
+    // ladder's Approx rung means "sampled, with stated error", never
+    // "whatever is lying around".
+    const double effTol = req.degrade == DegradeLevel::None
+                              ? req.tolerance
+                              : std::max(req.tolerance, opts_.degradeEpsilon);
+    const double delta = req.tolerance > 0.0 ? opts_.approxDelta : opts_.degradeDelta;
+
+    const size_t mi = static_cast<size_t>(m);
+    Slot& ex = exact_[mi];
+    Slot& ap = approx_[mi];
+    const std::uint64_t ver = g.version();
+    const count n = g.numberOfNodes();
+
+    auto finish = [&](const std::vector<double>& s) -> const std::vector<double>& {
+        span.attr("tier", tierName(out.tier));
+        span.attr("cache_hit", out.cacheHit);
+        if (out.epsilon > 0.0) span.attr("eps", out.epsilon);
+        if (out.samples > 0) span.attr("samples", out.samples);
+        if (out.diffEdges > 0) span.attr("diff_edges", out.diffEdges);
+        return s;
+    };
+    auto serveSlot = [&](Slot& s, ResolutionTier tier) -> const std::vector<double>& {
+        out.tier = tier;
+        out.cacheHit = true;
+        out.epsilon = s.eps;
+        out.delta = s.delta;
+        out.samples = s.samples;
+        return finish(s.scores);
+    };
+
+    // Tier 1a: fresh exact always serves — including tolerance > 0
+    // requests (exact trivially satisfies any bound).
+    if (ex.valid && ex.g == &g && ex.version == ver) return serveSlot(ex, ResolutionTier::Exact);
+    // Tier 1b: fresh approximate serves iff its guarantee is tight enough.
+    if (effTol > 0.0 && ap.valid && ap.g == &g && ap.version == ver && ap.eps <= effTol)
+        return serveSlot(ap, ResolutionTier::Approx);
+
+    // Tier 1c: the dynamic state is already at this version (the sibling
+    // measure of a shared kernel computed or repaired it) — read it off.
+    const int dk = dynKernelFor(m);
+    if (dk >= 0 && dynStateCurrent(dk, g)) {
+        ex.scores = dynScores(dk, m);
+        ex.version = ver;
+        ex.g = &g;
+        ex.valid = true;
+        ex.eps = ex.delta = 0.0;
+        ex.samples = 0;
+        return serveSlot(ex, ResolutionTier::Exact);
     }
-    if (degraded && entry.valid && entry.g == &g &&
-        entry.scores.size() == g.numberOfNodes()) {
-        // Stale-but-right-sized: the latest-wins contract prefers an
-        // instant slightly-old color map over a late exact one. The entry
-        // keeps its old version, so the next exact read recomputes.
-        if (cacheHit) *cacheHit = true;
-        span.attr("cache_hit", true);
-        span.attr("stale", true);
-        return entry.scores;
+
+    // Last rung: under Stale degradation a right-sized result for an older
+    // version beats any recomputation.
+    if (req.degrade == DegradeLevel::Stale) {
+        for (Slot* s : {&ex, &ap}) {
+            if (s->valid && s->g == &g && s->scores.size() == n &&
+                (s->eps == 0.0 || s->eps <= effTol)) {
+                span.attr("stale", true);
+                return serveSlot(*s, ResolutionTier::Stale);
+            }
+        }
     }
-    if (cacheHit) *cacheHit = false;
-    span.attr("cache_hit", false);
+
     const CsrView& v = snapshot_.get(g);
-    if (degraded && m == Measure::Betweenness) {
-        // The paper's escape hatch for heavy exact kernels: sampling
-        // betweenness (Riondato-Kornaropoulos) instead of exact Brandes.
-        ApproxBetweenness approx(g, 0.1, 0.1);
-        approx.run(v);
-        entry.scores = approx.scores();
-        entry.approx = true;
-        span.attr("approx", true);
-    } else {
-        entry.scores = computeMeasure(g, v, m);
-        entry.approx = false;
+
+    // Tier 2: diff-driven repair of the stored per-source state — exact
+    // results without a recompute.
+    if (dk >= 0 && dynUpdateEligible(dk, g)) {
+        DynMeta& meta = dynMeta_[static_cast<size_t>(dk)];
+        const count diffEdges = meta.pendAdd.size() + meta.pendRem.size();
+        dyn::EdgeBatch batch{&meta.pendAdd, &meta.pendRem};
+        const auto t0 = std::chrono::steady_clock::now();
+        {
+            obs::ScopedSpan upd("engine.dynamic_update");
+            upd.attr("measure", measureName(m));
+            upd.attr("diff_edges", diffEdges);
+            switch (dk) {
+            case kDynCloseness: dynClose_.update(v, batch); break;
+            case kDynBetweenness: dynBet_.update(v, batch); break;
+            case kDynCore: dynCore_.update(v, batch); break;
+            }
+        }
+        feedEwma(meta.ewmaDyn, elapsedMs(t0));
+        meta.hasPending = false;
+        meta.pendAdd.clear();
+        meta.pendRem.clear();
+        ex.scores = dynScores(dk, m);
+        ex.version = ver;
+        ex.g = &g;
+        ex.valid = true;
+        ex.eps = ex.delta = 0.0;
+        ex.samples = 0;
+        out.tier = ResolutionTier::Dynamic;
+        out.cacheHit = false;
+        out.diffEdges = diffEdges;
+        return finish(ex.scores);
     }
-    entry.version = g.version();
-    entry.g = &g;
-    entry.valid = true;
-    return entry.scores;
+
+    // Tier 3: sampled approximation with an explicit (epsilon, delta).
+    if (effTol > 0.0) {
+        bool ran = false;
+        const auto t0 = std::chrono::steady_clock::now();
+        if (m == Measure::Betweenness) {
+            obs::ScopedSpan apx("engine.approx");
+            apx.attr("measure", measureName(m));
+            DynMeta& meta = dynMeta_[kDynKadabra];
+            // Warm path: the maintained sample set is one small diff behind
+            // and its standing bound satisfies this request — redraw only
+            // the affected samples instead of sampling from scratch.
+            if (opts_.adaptiveSampling && dynUpdateEligible(kDynKadabra, g) &&
+                dynKad_.achievedEpsilon() <= effTol) {
+                const count diffEdges = meta.pendAdd.size() + meta.pendRem.size();
+                dyn::EdgeBatch batch{&meta.pendAdd, &meta.pendRem};
+                const auto ta = std::chrono::steady_clock::now();
+                dynKad_.update(v, batch);
+                feedEwma(meta.ewmaDyn, elapsedMs(ta));
+                meta.hasPending = false;
+                meta.pendAdd.clear();
+                meta.pendRem.clear();
+                apx.attr("diff_edges", diffEdges);
+                apx.attr("resampled", dynKad_.lastResampled());
+                ap.scores = dynKad_.scores();
+                ap.eps = dynKad_.achievedEpsilon();
+                ap.samples = dynKad_.numberOfSamples();
+                out.diffEdges = diffEdges;
+            } else if (opts_.adaptiveSampling && opts_.dynamicMeasures && n >= 2 &&
+                       n <= opts_.dynStateMaxNodes) {
+                // Cold sampling doubles as the prime of the dynamic sample
+                // state, like the exact kernels' init.
+                const auto ta = std::chrono::steady_clock::now();
+                dynKad_.init(v, effTol, delta, opts_.seed);
+                feedEwma(meta.ewmaExact, elapsedMs(ta));
+                meta.chainValid = true;
+                meta.hasPending = false;
+                meta.pendAdd.clear();
+                meta.pendRem.clear();
+                meta.n = n;
+                ap.scores = dynKad_.scores();
+                ap.eps = dynKad_.achievedEpsilon();
+                ap.samples = dynKad_.numberOfSamples();
+            } else if (opts_.adaptiveSampling) {
+                KadabraBetweenness kb(g, effTol, delta, opts_.seed);
+                kb.run(v);
+                ap.scores = kb.scores();
+                ap.eps = kb.achievedEpsilon();
+                ap.samples = kb.numberOfSamples();
+            } else {
+                ApproxBetweenness rk(g, effTol, delta, opts_.seed);
+                rk.run(v);
+                ap.scores = rk.scores();
+                ap.eps = effTol;
+                ap.samples = rk.numberOfSamples();
+            }
+            ran = true;
+        } else if (m == Measure::Closeness || m == Measure::HarmonicCloseness) {
+            // Route to pivots only when they beat the 64-wide exact
+            // MS-BFS; otherwise exact is both cheaper and better.
+            const count pivots = ApproxCloseness::pivotsFor(n, effTol, delta);
+            if (pivots * 32 < n) {
+                obs::ScopedSpan apx("engine.approx");
+                apx.attr("measure", measureName(m));
+                ApproxCloseness ac(g,
+                                   m == Measure::HarmonicCloseness
+                                       ? ApproxCloseness::Variant::Harmonic
+                                       : ApproxCloseness::Variant::Standard,
+                                   effTol, delta, opts_.seed);
+                ac.run(v);
+                ap.scores = ac.scores();
+                ap.eps = ac.achievedEpsilon();
+                ap.samples = ac.numberOfPivots();
+                ran = true;
+            }
+        }
+        if (ran) {
+            ap.delta = delta;
+            ap.version = ver;
+            ap.g = &g;
+            ap.valid = true;
+            out.tier = ResolutionTier::Approx;
+            out.cacheHit = false;
+            out.epsilon = ap.eps;
+            out.delta = ap.delta;
+            out.samples = ap.samples;
+            span.attr("approx", true);
+            (void)t0;
+            return finish(ap.scores);
+        }
+    }
+
+    // Tier 1 (compute): exact recompute. For dyn-capable measures on graphs
+    // under the state cap, the recompute *is* the kernel's init — priming
+    // the repair state as a side effect at the same asymptotic cost.
+    const bool prime = dk >= 0 && opts_.dynamicMeasures && n >= 2 &&
+                       n <= opts_.dynStateMaxNodes;
+    const auto t0 = std::chrono::steady_clock::now();
+    if (prime) {
+        {
+            obs::ScopedSpan init("engine.dynamic_init");
+            init.attr("measure", measureName(m));
+            switch (dk) {
+            case kDynCloseness: dynClose_.init(v); break;
+            case kDynBetweenness: dynBet_.init(v); break;
+            case kDynCore: dynCore_.init(v); break;
+            }
+        }
+        DynMeta& meta = dynMeta_[static_cast<size_t>(dk)];
+        meta.chainValid = true;
+        meta.hasPending = false;
+        meta.pendAdd.clear();
+        meta.pendRem.clear();
+        meta.n = n;
+        ex.scores = dynScores(dk, m);
+        feedEwma(meta.ewmaExact, elapsedMs(t0));
+    } else {
+        ex.scores = computeMeasure(g, v, m);
+        if (dk >= 0) feedEwma(dynMeta_[static_cast<size_t>(dk)].ewmaExact, elapsedMs(t0));
+    }
+    ex.version = ver;
+    ex.g = &g;
+    ex.valid = true;
+    ex.eps = ex.delta = 0.0;
+    ex.samples = 0;
+    out.tier = ResolutionTier::Exact;
+    out.cacheHit = false;
+    return finish(ex.scores);
+}
+
+const std::vector<double>& MeasureEngine::scores(const Graph& g, Measure m,
+                                                 bool* cacheHit, bool degraded) {
+    Request req;
+    req.degrade = degraded ? DegradeLevel::Stale : DegradeLevel::None;
+    ResultInfo resultInfo;
+    const auto& s = scores(g, m, req, &resultInfo);
+    if (cacheHit) *cacheHit = resultInfo.cacheHit;
+    return s;
 }
 
 void MeasureEngine::reset() {
     snapshot_.reset();
-    for (auto& entry : cache_) entry = Entry{};
+    for (auto& entry : exact_) entry = Slot{};
+    for (auto& entry : approx_) entry = Slot{};
+    invalidateDynamic();
 }
 
 } // namespace rinkit::viz

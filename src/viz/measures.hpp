@@ -3,8 +3,13 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "src/dyn/dyn_betweenness.hpp"
+#include "src/dyn/dyn_closeness.hpp"
+#include "src/dyn/dyn_core.hpp"
+#include "src/dyn/dyn_kadabra.hpp"
 #include "src/graph/csr_view.hpp"
 #include "src/graph/graph.hpp"
 
@@ -30,6 +35,8 @@ enum class Measure {
     PlpCommunities,
 };
 
+inline constexpr std::size_t kNumMeasures = 13;
+
 /// All measures in menu order.
 const std::vector<Measure>& allMeasures();
 
@@ -47,45 +54,189 @@ bool isCommunityMeasure(Measure m);
 /// that computes a measure — engine, benches, tests — goes through it.
 std::vector<double> computeMeasure(const Graph& g, const CsrView& view, Measure m);
 
+/// How far the serving layer allows a result to deviate from fresh-exact.
+/// The SessionService overload ladder walks None -> Approx -> Stale:
+/// "approximate with a stated error bound" is preferred over "exact but for
+/// an old graph", because a bounded error on the current frame is more
+/// useful than an unbounded one from the past.
+enum class DegradeLevel { None, Approx, Stale };
+
+/// How a result was actually produced — the engine's three-tier resolution
+/// (plus the stale-serve escape hatch). Reported per request so the tier is
+/// visible in span attributes, metrics, and session recordings.
+enum class ResolutionTier {
+    Exact,   ///< fresh exact: cache hit, dyn-state serve, or full recompute
+    Dynamic, ///< exact, produced by diff-driven repair of stored state
+    Approx,  ///< sampled, with an (epsilon, delta) guarantee
+    Stale,   ///< exact or approx, but for an older graph version
+};
+
+const char* tierName(ResolutionTier t);
+
 /// The widget session's measure engine: one shared CSR snapshot plus a
-/// per-measure result cache, both keyed by Graph::version().
+/// per-measure result cache, both keyed by Graph::version(), extended with
+/// diff-driven dynamic kernels and sampling approximation.
 ///
-/// Switching the measure on an unchanged graph is an O(1) lookup; switching
-/// the cut-off or trajectory frame mutates the graph, which bumps the
-/// version and thereby invalidates stale entries lazily — nothing is
-/// cleared eagerly, an entry is simply recomputed the next time it is read
-/// with a newer version. Results for the *current* version always coexist,
-/// so flipping between two measures costs two computations total.
+/// Every request resolves through a three-tier policy:
 ///
-/// Degraded reads are the serving layer's shed/deadline path (see
-/// serve::SessionService): instead of recomputing, they serve the cached
-/// result even when its version is stale, and on a true miss substitute
-/// sampling-approximate betweenness for exact Brandes. Approximate
-/// results are tagged so an exact read never serves them.
+///  1. *Cached exact* — switching the measure on an unchanged graph is an
+///     O(1) lookup. Exact and approximate results live in separate slots
+///     keyed by (measure, version, epsilon), so an exact read never serves
+///     a sampled result silently, and vice versa.
+///  2. *Dynamic update* — for Closeness / Harmonic / Betweenness / Core the
+///     engine keeps per-source BFS state (rinkit::dyn) primed by the last
+///     exact computation. When the graph moved by a small diff (fed in via
+///     noteDiff() from DynamicRin's edge lists), the state is repaired
+///     instead of recomputed — exact results at a fraction of the cost. A
+///     cost model (diff fraction, node cap, EWMA of observed update vs
+///     recompute times from the obs spans) decides when repair would be
+///     slower than recomputing and falls back automatically.
+///  3. *Sampled approximation* — when the caller states an error tolerance
+///     (Request::tolerance, surfaced as RinWidgetOptions::
+///     measureErrorTolerance) or the serving layer degrades to
+///     DegradeLevel::Approx, betweenness switches to adaptive sampling
+///     (KADABRA-style; Riondato-Kornaropoulos as the non-adaptive option)
+///     and closeness to pivot sampling — each reporting the (epsilon,
+///     delta) actually achieved in ResultInfo. The betweenness sample set
+///     itself is diff-maintained (dyn::DynKadabra): on small diffs only
+///     the sampled paths whose shortest-path DAG moved are redrawn, so a
+///     warm approx read costs a fraction of a cold sampling run. Exact
+///     dynamic betweenness repair exists too, but its sigma cascades are
+///     global on small-diameter RINs — the cost model learns that and
+///     routes betweenness to the sampled path or a recompute instead.
+///
+/// DegradeLevel::Stale additionally allows serving a right-sized result for
+/// an older version — the last rung of the ladder, kept from the original
+/// latest-wins design.
 class MeasureEngine {
 public:
-    /// Scores of @p m on @p g. Sets @p cacheHit (if non-null) to true iff
-    /// the result came out of the version-keyed cache (for degraded reads
-    /// this includes stale entries). With @p degraded set, trades accuracy
-    /// for latency as described above.
+    struct Options {
+        /// Master switch for tier 2 (state priming + diff repair).
+        bool dynamicMeasures = true;
+        /// Dynamic state is O(n^2); above this node count never prime.
+        count dynStateMaxNodes = 1536;
+        /// Fall back to recompute when the accumulated diff exceeds this
+        /// fraction of the graph's edges.
+        double fallbackDiffFraction = 0.15;
+        /// (epsilon, delta) used when the serving layer degrades a request
+        /// that did not state its own tolerance.
+        double degradeEpsilon = 0.1;
+        double degradeDelta = 0.1;
+        /// delta paired with caller-stated tolerances.
+        double approxDelta = 0.1;
+        /// Adaptive (KADABRA-style) betweenness sampling; false pins the
+        /// fixed-size Riondato-Kornaropoulos estimator.
+        bool adaptiveSampling = true;
+        std::uint64_t seed = 1;
+    };
+
+    /// What the caller is willing to accept for this read.
+    struct Request {
+        /// 0 demands exact; > 0 permits sampled results whose guaranteed
+        /// additive error is <= tolerance.
+        double tolerance = 0.0;
+        DegradeLevel degrade = DegradeLevel::None;
+    };
+
+    /// What the engine actually did — threaded into span attributes,
+    /// serve::MetricsRegistry counters, and the session recorder.
+    struct ResultInfo {
+        ResolutionTier tier = ResolutionTier::Exact;
+        double epsilon = 0.0; ///< achieved additive error bound (0 = exact)
+        double delta = 0.0;   ///< failure probability of that bound
+        count samples = 0;    ///< samples/pivots drawn (0 for exact tiers)
+        bool cacheHit = false;
+        count diffEdges = 0;  ///< diff size consumed by a Dynamic update
+    };
+
+    MeasureEngine() = default;
+    explicit MeasureEngine(const Options& opts) : opts_(opts) {}
+
+    /// Scores of @p m on @p g under @p req; @p info (if non-null) reports
+    /// the resolution tier and achieved bounds.
+    const std::vector<double>& scores(const Graph& g, Measure m, const Request& req,
+                                      ResultInfo* info = nullptr);
+
+    /// Legacy entry: exact read, or (degraded) the stale-first ladder the
+    /// serving layer used before DegradeLevel existed.
     const std::vector<double>& scores(const Graph& g, Measure m,
                                       bool* cacheHit = nullptr,
                                       bool degraded = false);
 
-    /// Drops the snapshot and every cached result.
+    /// Feeds the engine the edge diff that moved @p g from @p fromVersion
+    /// to its current version (DynamicRin::lastAdded/lastRemoved). Diffs
+    /// compose across calls; a version gap invalidates the dynamic state
+    /// (next exact read re-primes it).
+    void noteDiff(const Graph& g, std::uint64_t fromVersion,
+                  const std::vector<std::pair<node, node>>& added,
+                  const std::vector<std::pair<node, node>>& removed);
+
+    /// Drops all dynamic state (graph rebuilt / diff unavailable).
+    void invalidateDynamic();
+
+    /// Drops the snapshot, every cached result, and all dynamic state.
     void reset();
 
+    const Options& options() const { return opts_; }
+
 private:
-    struct Entry {
+    struct Slot {
         std::vector<double> scores;
         std::uint64_t version = 0;
         const Graph* g = nullptr;
         bool valid = false;
-        bool approx = false; ///< degraded substitute; a miss for exact reads
+        double eps = 0.0;   ///< guaranteed additive error (0 = exact)
+        double delta = 0.0;
+        count samples = 0;
     };
 
+    /// Chain bookkeeping for one dynamic kernel (the kernel itself stores
+    /// the per-source state).
+    struct DynMeta {
+        bool chainValid = false; ///< pending diff leads kernel -> current
+        bool hasPending = false;
+        std::uint64_t target = 0; ///< version the pending diff produces
+        std::vector<std::pair<node, node>> pendAdd, pendRem;
+        count n = 0;              ///< node count the kernel was primed on
+        double ewmaDyn = -1.0;    ///< EWMA of update cost (ms)
+        double ewmaExact = -1.0;  ///< EWMA of exact/prime cost (ms)
+    };
+
+    /// kDynKadabra is the sampled sibling of the exact kernels: the approx
+    /// tier's betweenness state, diff-maintained like the others but served
+    /// with an (epsilon, delta) bound instead of exactness.
+    enum DynKernel {
+        kDynCloseness = 0,
+        kDynBetweenness = 1,
+        kDynCore = 2,
+        kDynKadabra = 3,
+    };
+    static constexpr int kNumDynKernels = 4;
+
+    /// Dynamic kernel index for @p m, or -1 when it has none.
+    static int dynKernelFor(Measure m);
+
+    void chainDiff(DynMeta& meta, std::uint64_t kernelVersion, std::uint64_t fromVersion,
+                   std::uint64_t toVersion,
+                   const std::vector<std::pair<node, node>>& added,
+                   const std::vector<std::pair<node, node>>& removed);
+
+    bool dynStateCurrent(int k, const Graph& g) const;
+    bool dynUpdateEligible(int k, const Graph& g) const;
+    std::vector<double> dynScores(int k, Measure m) const;
+    bool dynPrimed(int k) const;
+    std::uint64_t dynVersion(int k) const;
+
+    Options opts_{};
     CsrSnapshot snapshot_;
-    std::array<Entry, 13> cache_{};
+    std::array<Slot, kNumMeasures> exact_{};
+    std::array<Slot, kNumMeasures> approx_{};
+
+    dyn::DynCloseness dynClose_;
+    dyn::DynBetweenness dynBet_;
+    dyn::DynCoreDecomposition dynCore_;
+    dyn::DynKadabra dynKad_;
+    std::array<DynMeta, kNumDynKernels> dynMeta_{};
 };
 
 } // namespace rinkit::viz

@@ -85,14 +85,17 @@ SessionRecorder::PhaseStats SessionRecorder::phaseStats(const std::string& phase
 
 void SessionRecorder::writeCsv(std::ostream& out) const {
     out << "event,detail,network_ms,layout_ms,measure_ms,scene_ms,serialize_ms,"
-           "client_ms,total_ms,edges_added,edges_removed,edges_total,wire_bytes\n";
+           "client_ms,total_ms,edges_added,edges_removed,edges_total,wire_bytes,"
+           "measure_tier,measure_eps,measure_samples\n";
     for (const auto& e : events_) {
         const auto& t = e.timing;
         out << eventKindName(e.kind) << ',' << e.detail << ',' << t.networkUpdateMs
             << ',' << t.layoutMs << ',' << t.measureMs << ',' << t.sceneBuildMs << ','
             << t.serializeMs << ',' << t.clientMs << ',' << t.totalMs() << ','
             << t.edgeStats.edgesAdded << ',' << t.edgeStats.edgesRemoved << ','
-            << t.edgeStats.edgesTotal << ',' << t.wireBytes << '\n';
+            << t.edgeStats.edgesTotal << ',' << t.wireBytes << ','
+            << tierName(t.measureTier) << ',' << t.measureEps << ','
+            << t.measureSamples << '\n';
     }
 }
 

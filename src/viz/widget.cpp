@@ -13,9 +13,22 @@ namespace rinkit::viz {
 // of clock reads per phase), so the trace a request exports and the
 // timing struct the serving layer aggregates can never disagree.
 
+namespace {
+
+MeasureEngine::Options engineOptions(const RinWidgetOptions& o) {
+    MeasureEngine::Options e;
+    e.dynamicMeasures = o.dynamicMeasures;
+    e.dynStateMaxNodes = o.dynStateMaxNodes;
+    e.seed = o.seed;
+    return e;
+}
+
+} // namespace
+
 RinWidget::RinWidget(const md::Trajectory& traj, Options options)
     : options_(options),
       rin_(traj, options.criterion, options.initialCutoff, options.initialFrame),
+      engine_(engineOptions(options)),
       measure_(options.initialMeasure),
       wireEncoder_(wire::DeltaEncoderOptions{options.wireKeyframeInterval}) {
     refresh();
@@ -49,7 +62,7 @@ void RinWidget::recomputeLayout(UpdateTiming& t) {
         MaxentStress::Parameters params;
         // Degraded mode gives up layout quality for latency: only the short
         // warm-start polish runs even on a cold start.
-        params.iterations = degraded_ && options_.layoutWarmStartIterations > 0
+        params.iterations = degraded() && options_.layoutWarmStartIterations > 0
                                 ? std::min(options_.layoutIterations,
                                            options_.layoutWarmStartIterations)
                                 : options_.layoutIterations;
@@ -77,10 +90,23 @@ void RinWidget::recomputeMeasure(UpdateTiming& t) {
     if (!measure_) return;
     obs::ScopedSpan span("widget.measure");
     if (!scores_.empty()) buffer_ = scores_; // keep the most recent result
-    scores_ = engine_.scores(rin_.graph(), *measure_, &t.measureCacheHit, degraded_);
+    MeasureEngine::Request req;
+    req.tolerance = options_.measureErrorTolerance;
+    req.degrade = degradeLevel_;
+    MeasureEngine::ResultInfo resultInfo;
+    scores_ = engine_.scores(rin_.graph(), *measure_, req, &resultInfo);
+    t.measureCacheHit = resultInfo.cacheHit;
+    t.measureTier = resultInfo.tier;
+    t.measureEps = resultInfo.epsilon;
+    t.measureDelta = resultInfo.delta;
+    t.measureSamples = resultInfo.samples;
+    t.measureDiffEdges = resultInfo.diffEdges;
     span.attr("measure", measureName(*measure_));
     span.attr("cache_hit", t.measureCacheHit);
-    span.attr("degraded", degraded_);
+    span.attr("degraded", degraded());
+    span.attr("tier", tierName(resultInfo.tier));
+    if (resultInfo.epsilon > 0.0) span.attr("eps", resultInfo.epsilon);
+    if (resultInfo.samples > 0) span.attr("samples", resultInfo.samples);
     t.measureMs = span.finishMs();
 }
 
@@ -94,7 +120,7 @@ std::vector<double> RinWidget::displayedScores() const {
 void RinWidget::renderAndShip(UpdateTiming& t, bool fullClientUpdate, bool markersOnly,
                               EdgeDelta edgeDelta) {
     const Graph& g = rin_.graph();
-    t.degraded = degraded_;
+    t.degraded = degraded();
     const bool binary = options_.wireFormat == WireFormat::Binary;
 
     obs::ScopedSpan buildSpan("widget.scene_build");
@@ -211,6 +237,7 @@ RinWidget::UpdateTiming RinWidget::setFrame(index frame) {
     span.attr("frame", static_cast<double>(frame));
     UpdateTiming t;
     edgeTracesValid_ = false; // node positions move
+    const std::uint64_t preVersion = rin_.graph().version();
     {
         obs::ScopedSpan net("widget.network_update");
         t.edgeStats = rin_.setFrame(frame);
@@ -219,6 +246,9 @@ RinWidget::UpdateTiming RinWidget::setFrame(index frame) {
         net.attr("edges_total", t.edgeStats.edgesTotal);
         t.networkUpdateMs = net.finishMs();
     }
+    // Hand the exact edge diff to the measure engine so the dynamic
+    // kernels can repair their state instead of recomputing.
+    engine_.noteDiff(rin_.graph(), preVersion, rin_.lastAdded(), rin_.lastRemoved());
 
     recomputeLayout(t);
     if (options_.autoRecompute) recomputeMeasure(t);
@@ -226,7 +256,7 @@ RinWidget::UpdateTiming RinWidget::setFrame(index frame) {
     // mode); the wire encoder ships the exact edge diff + moved positions.
     renderAndShip(t, /*fullClientUpdate=*/true, /*markersOnly=*/false,
                   EdgeDelta::Diffed);
-    span.attr("degraded", degraded_);
+    span.attr("degraded", degraded());
     return t;
 }
 
@@ -235,6 +265,7 @@ RinWidget::UpdateTiming RinWidget::setCutoff(double cutoff) {
     span.attr("cutoff", cutoff);
     UpdateTiming t;
     edgeTracesValid_ = false; // edge set changes
+    const std::uint64_t preVersion = rin_.graph().version();
     {
         obs::ScopedSpan net("widget.network_update");
         t.edgeStats = rin_.setCutoff(cutoff);
@@ -243,6 +274,7 @@ RinWidget::UpdateTiming RinWidget::setCutoff(double cutoff) {
         net.attr("edges_total", t.edgeStats.edgesTotal);
         t.networkUpdateMs = net.finishMs();
     }
+    engine_.noteDiff(rin_.graph(), preVersion, rin_.lastAdded(), rin_.lastRemoved());
 
     recomputeLayout(t);
     if (options_.autoRecompute) recomputeMeasure(t);
@@ -250,7 +282,7 @@ RinWidget::UpdateTiming RinWidget::setCutoff(double cutoff) {
     // client only updates edge elements (paper: ~100 ms vs ~200 ms).
     renderAndShip(t, /*fullClientUpdate=*/false, /*markersOnly=*/false,
                   EdgeDelta::Diffed);
-    span.attr("degraded", degraded_);
+    span.attr("degraded", degraded());
     return t;
 }
 
@@ -262,7 +294,7 @@ RinWidget::UpdateTiming RinWidget::setMeasure(Measure measure) {
     recomputeMeasure(t);
     // Only marker colors change; the edge set is untouched.
     renderAndShip(t, /*fullClientUpdate=*/true, /*markersOnly=*/true, EdgeDelta::None);
-    span.attr("degraded", degraded_);
+    span.attr("degraded", degraded());
     return t;
 }
 
@@ -276,11 +308,13 @@ RinWidget::UpdateTiming RinWidget::refresh() {
         net.attr("edges_total", rin_.graph().numberOfEdges());
         t.networkUpdateMs = net.finishMs();
     }
+    // A rebuild has no diff: the dynamic measure state cannot be repaired.
+    engine_.invalidateDynamic();
     recomputeLayout(t);
     recomputeMeasure(t);
     // A rebuild invalidates any incremental diff: ship the full edge list.
     renderAndShip(t, /*fullClientUpdate=*/true, /*markersOnly=*/false, EdgeDelta::Full);
-    span.attr("degraded", degraded_);
+    span.attr("degraded", degraded());
     return t;
 }
 

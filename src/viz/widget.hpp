@@ -57,6 +57,18 @@ struct RinWidgetOptions {
     /// Binary mode: frames per keyframe epoch (see
     /// wire::DeltaEncoderOptions::keyframeInterval).
     count wireKeyframeInterval = 64;
+    /// Additive error the measure engine may trade for latency (0 demands
+    /// exact results). With a positive tolerance, heavy measures switch to
+    /// sampling (adaptive betweenness, pivot closeness) whose achieved
+    /// (epsilon, delta) is reported in UpdateTiming.
+    double measureErrorTolerance = 0.0;
+    /// Diff-driven dynamic measure updates (MeasureEngine tier 2): keep
+    /// per-source BFS state and repair it from DynamicRin's edge diffs
+    /// instead of recomputing.
+    bool dynamicMeasures = true;
+    /// The dynamic state is O(n^2); graphs above this node count are never
+    /// primed (see MeasureEngine::Options::dynStateMaxNodes).
+    count dynStateMaxNodes = 1536;
 };
 
 class RinWidget {
@@ -85,6 +97,12 @@ public:
                                       ///< result cache (no recomputation)
         bool degraded = false; ///< update ran in degraded mode (stale cache /
                                ///< approximate measure, layout polish only)
+        ResolutionTier measureTier = ResolutionTier::Exact; ///< how the scores
+                                                            ///< were produced
+        double measureEps = 0.0;    ///< achieved additive error (0 = exact)
+        double measureDelta = 0.0;  ///< failure probability of that bound
+        count measureSamples = 0;   ///< samples/pivots drawn (approx tier)
+        count measureDiffEdges = 0; ///< diff consumed by a dynamic update
 
         double serverMs() const {
             return networkUpdateMs + layoutMs + measureMs + sceneBuildMs + serializeMs;
@@ -127,11 +145,19 @@ public:
     /// Stores the current scores as the delta baseline.
     void snapshotBuffer() { buffer_ = scores_; }
 
-    /// Degraded service mode (the serving layer's shed/deadline path):
-    /// measure recomputation may serve stale cached scores or a sampling
-    /// approximation, and the layout runs only the warm-start polish.
-    void setDegraded(bool enabled) { degraded_ = enabled; }
-    bool degraded() const { return degraded_; }
+    /// Degraded service mode (the serving layer's shed/deadline ladder).
+    /// Approx lets the measure engine substitute sampled results with a
+    /// stated error bound; Stale additionally allows serving results for an
+    /// older graph version. Both cap the layout at the warm-start polish.
+    void setDegradeLevel(DegradeLevel level) { degradeLevel_ = level; }
+    DegradeLevel degradeLevel() const { return degradeLevel_; }
+
+    /// Legacy boolean degrade toggle: maps to the ladder's last rung
+    /// (Stale), the pre-ladder behavior.
+    void setDegraded(bool enabled) {
+        degradeLevel_ = enabled ? DegradeLevel::Stale : DegradeLevel::None;
+    }
+    bool degraded() const { return degradeLevel_ != DegradeLevel::None; }
 
     // -- state ------------------------------------------------------------
 
@@ -207,7 +233,7 @@ private:
     wire::FrameDecoder wireClient_;
     wire::Bytes wireFrame_;
     bool deltaMode_ = false;
-    bool degraded_ = false;
+    DegradeLevel degradeLevel_ = DegradeLevel::None;
 };
 
 } // namespace rinkit::viz

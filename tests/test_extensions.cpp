@@ -3,8 +3,10 @@
 // recorder, and the gateway ACL firewall.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
+#include <vector>
 
 #include "src/centrality/local_clustering.hpp"
 #include "src/cloud/gateway.hpp"
@@ -213,16 +215,27 @@ TEST(SessionRecorder, CsvShape) {
     std::string line;
     std::getline(ss, line);
     EXPECT_NE(line.find("total_ms"), std::string::npos);
-    // The wire_bytes column (payload bytes shipped per event) is last.
-    EXPECT_EQ(line.rfind(",wire_bytes"), line.size() - std::string(",wire_bytes").size());
+    EXPECT_NE(line.find(",wire_bytes,"), std::string::npos);
+    // The measure-resolution columns (tier / achieved bound / samples) are
+    // last, after the wire payload column.
+    const std::string tail = ",wire_bytes,measure_tier,measure_eps,measure_samples";
+    EXPECT_EQ(line.rfind(tail), line.size() - tail.size());
+    const auto headerCommas =
+        static_cast<count>(std::count(line.begin(), line.end(), ','));
     count rows = 0;
     while (std::getline(ss, line)) {
         if (!line.empty()) ++rows;
         if (rows == 1) {
             EXPECT_EQ(line.rfind("cutoff,", 0), 0u);
-            // JSON mode ships the figure itself: a nonzero byte count.
-            const auto lastComma = line.rfind(',');
-            EXPECT_GT(std::stoull(line.substr(lastComma + 1)), 0u);
+            EXPECT_EQ(static_cast<count>(std::count(line.begin(), line.end(), ',')),
+                      headerCommas);
+            // JSON mode ships the figure itself: a nonzero byte count in
+            // the wire_bytes column (4th from the end).
+            std::vector<std::string> cells;
+            std::stringstream row(line);
+            for (std::string cell; std::getline(row, cell, ',');)
+                cells.push_back(cell);
+            EXPECT_GT(std::stoull(cells[cells.size() - 4]), 0u);
         }
     }
     EXPECT_EQ(rows, 2u);

@@ -341,6 +341,97 @@ TEST(SessionService, DeepBacklogShedsToDegraded) {
     expectCounterInvariant(snap);
 }
 
+// The degradation ladder's order: beyond degradeQueueDepth a request runs
+// with DegradeLevel::Approx (sampled measures, stated bound); only beyond
+// staleQueueDepth does it escalate to Stale (older graph version). The
+// tier each request was actually served at is visible in the outcome and
+// the measure_tier_* counters.
+TEST(SessionService, LadderEscalatesApproxThenStale) {
+    const auto traj = slowTrajectory();
+    SessionService::Options options;
+    options.workers = 1;
+    options.degradeQueueDepth = 0; // 1+ waiters behind -> Approx
+    options.staleQueueDepth = 1;   // 2+ waiters behind -> Stale
+    SessionService service(options);
+    const auto id = service.openSession(traj);
+
+    // FIFO pops while the setFrame executes: setCutoff sees 2 waiters
+    // behind (Stale), setMeasure(Betweenness) sees 1 (Approx -> the engine
+    // samples with its degradeEpsilon floor), refresh sees 0 (exact).
+    std::vector<std::future<RequestOutcome>> futures;
+    futures.push_back(service.submit(id, SliderEvent::setFrame(1)));
+    futures.push_back(service.submit(id, SliderEvent::setCutoff(5.0)));
+    futures.push_back(service.submit(id, SliderEvent::setMeasure(viz::Measure::Betweenness)));
+    futures.push_back(service.submit(id, SliderEvent::refresh()));
+
+    count staleServed = 0;
+    count approxServed = 0;
+    for (auto& f : futures) {
+        const auto outcome = f.get();
+        EXPECT_TRUE(outcome.accepted());
+        if (outcome.timing.measureTier == viz::ResolutionTier::Stale) ++staleServed;
+        if (outcome.timing.measureTier == viz::ResolutionTier::Approx) {
+            ++approxServed;
+            // An approximate answer always states its achieved bound.
+            EXPECT_GT(outcome.timing.measureEps, 0.0);
+            EXPECT_LE(outcome.timing.measureEps, 0.1);
+            EXPECT_GT(outcome.timing.measureSamples, 0u);
+        }
+        // Any non-exact tier must have been flagged degraded.
+        if (outcome.timing.measureTier != viz::ResolutionTier::Exact &&
+            outcome.timing.measureTier != viz::ResolutionTier::Dynamic) {
+            EXPECT_TRUE(outcome.degraded());
+        }
+    }
+    service.drain();
+    EXPECT_GE(staleServed, 1u);
+    EXPECT_GE(approxServed, 1u);
+
+    const auto snap = service.metrics();
+    EXPECT_GE(snap.counter("shed_stale"), 1u);
+    EXPECT_GE(snap.counter("shed_degraded"), snap.counter("shed_stale"));
+    EXPECT_GE(snap.counter("measure_tier_stale"), staleServed);
+    EXPECT_GE(snap.counter("measure_tier_approx"), approxServed);
+    // Every completed request lands in exactly one tier bucket.
+    EXPECT_EQ(snap.counter("measure_tier_exact") + snap.counter("measure_tier_dynamic") +
+                  snap.counter("measure_tier_approx") + snap.counter("measure_tier_stale"),
+              snap.counter("completed"));
+    expectCounterInvariant(snap);
+}
+
+// Moderate overload must stop at the Approx rung: with the stale threshold
+// out of reach, no request may be served from an old graph version no
+// matter how many degrade. Approximate-with-bounds ranks above stale.
+TEST(SessionService, ModerateBacklogNeverServesStale) {
+    const auto traj = slowTrajectory();
+    SessionService::Options options;
+    options.workers = 1;
+    options.degradeQueueDepth = 0;
+    // staleQueueDepth stays at its default (6): four distinct event kinds
+    // can never stack that deep, so the last rung is unreachable here.
+    SessionService service(options);
+    const auto id = service.openSession(traj);
+
+    std::vector<std::future<RequestOutcome>> futures;
+    futures.push_back(service.submit(id, SliderEvent::setFrame(1)));
+    futures.push_back(service.submit(id, SliderEvent::setCutoff(5.0)));
+    futures.push_back(service.submit(id, SliderEvent::setMeasure(viz::Measure::Betweenness)));
+    futures.push_back(service.submit(id, SliderEvent::refresh()));
+
+    for (auto& f : futures) {
+        const auto outcome = f.get();
+        EXPECT_TRUE(outcome.accepted());
+        EXPECT_NE(outcome.timing.measureTier, viz::ResolutionTier::Stale);
+    }
+    service.drain();
+
+    const auto snap = service.metrics();
+    EXPECT_GE(snap.counter("shed_degraded"), 1u);
+    EXPECT_EQ(snap.counter("shed_stale"), 0u);
+    EXPECT_EQ(snap.counter("measure_tier_stale"), 0u);
+    expectCounterInvariant(snap);
+}
+
 TEST(SessionService, BlownDeadlineIsFlaggedAndServedDegraded) {
     const auto traj = slowTrajectory();
     SessionService::Options options;
