@@ -1,0 +1,261 @@
+// Replicated serving — throughput/latency/shed curves vs replica count,
+// driven OPEN-LOOP (Poisson arrivals that do not slow down when the
+// service struggles; the closed-loop companion is bench_cloud_scaling).
+//
+// Method: the per-request service time is first CALIBRATED by draining a
+// few hundred mixed slider events through a real SessionService and
+// reading its server_ms histogram. The scaling curves then come from
+// LoadGenerator::simulateCluster — a virtual-time discrete-event run over
+// that calibrated cost model which reuses the real ConsistentHashRing for
+// routing and the real Autoscaler policy for scaling, and mirrors
+// SessionService's scheduling semantics (per-session FIFO, latest-wins
+// coalescing, admission bound, degrade thresholds). Virtual time makes
+// the curves a function of the model, not of how many cores the CI box
+// happens to have: a 1-core runner cannot host 4 real 10-worker pods.
+// A real-time open-loop smoke against a live ReplicaSet rides along to
+// keep the simulated path honest end to end.
+//
+// Headline numbers (BENCH_cluster_scaling.json):
+//  - shed_rate / p99_ms per (replicas, offered-rate) grid point;
+//  - sustainable_per_sec per replica count — the highest offered rate the
+//    fleet serves with <= 1% shed (acceptance: >= 3x at 4 replicas vs 1);
+//  - the flash-crowd run: overload detected, scale-ups fired, p99 back
+//    under the interactivity deadline (recovered_at_sec).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <string>
+
+#include "bench/bench_common.hpp"
+
+#include "src/md/synthetic.hpp"
+#include "src/md/trajectory.hpp"
+#include "src/serve/load_generator.hpp"
+#include "src/serve/replica_set.hpp"
+#include "src/serve/session_service.hpp"
+
+namespace {
+
+using rinkit::count;
+namespace md = rinkit::md;
+namespace serve = rinkit::serve;
+namespace viz = rinkit::viz;
+
+md::Trajectory benchTrajectory() {
+    md::TrajectoryGenerator::Parameters params;
+    params.frames = 4;
+    return md::TrajectoryGenerator(params).generate(md::helixBundle(200));
+}
+
+/// Measures the mean per-request service cost on a real SessionService by
+/// replaying the load generator's interaction mix (5 frame : 2 cutoff :
+/// 2 measure : 1 refresh) serially and reading the server_ms histogram.
+/// Cached: every simulated grid point below rests on the same measured
+/// cost, so the curves differ only in fleet shape.
+const serve::SimServiceModel& calibratedModel() {
+    static const serve::SimServiceModel model = [] {
+        const auto traj = benchTrajectory();
+        serve::SessionServiceOptions opts;
+        opts.workers = 1; // serial drain: no queueing noise in server_ms
+        serve::SessionService service(opts);
+        const auto id = service.openSession(traj);
+        service.submit(id, serve::SliderEvent::refresh()).get(); // warm caches
+        for (count cycle = 0; cycle < 20; ++cycle) {
+            for (count f = 0; f < 5; ++f)
+                service.submit(id, serve::SliderEvent::setFrame((cycle + f) % 4)).get();
+            service.submit(id, serve::SliderEvent::setCutoff(4.0 + 0.1 * (cycle % 10))).get();
+            service.submit(id, serve::SliderEvent::setCutoff(4.5 + 0.1 * (cycle % 5))).get();
+            service.submit(id, serve::SliderEvent::setMeasure(cycle % 2 == 0
+                                                                  ? viz::Measure::Degree
+                                                                  : viz::Measure::Closeness))
+                .get();
+            service.submit(id, serve::SliderEvent::setMeasure(viz::Measure::Closeness)).get();
+            service.submit(id, serve::SliderEvent::refresh()).get();
+        }
+        const auto snap = service.metrics();
+        serve::SimServiceModel m;
+        const auto it = snap.histograms.find("server_ms");
+        if (it != snap.histograms.end() && it->second.samples > 0)
+            m.meanServiceMs = std::max(0.05, it->second.meanMs);
+        return m;
+    }();
+    return model;
+}
+
+/// One replica's service rate under the calibrated model, requests/sec.
+double replicaCapacityPerSec(const serve::SimServiceModel& model) {
+    return static_cast<double>(model.workersPerReplica) * 1000.0 / model.meanServiceMs;
+}
+
+serve::LoadGenOptions gridOptions(double ratePerSec) {
+    serve::LoadGenOptions o;
+    o.schedule = serve::LoadSchedule::Constant;
+    o.baseRatePerSec = ratePerSec;
+    o.durationSec = 4.0;
+    // Enough sticky users that worker count — not per-session FIFO
+    // serialization — binds fleet capacity even at 8 replicas.
+    o.sessions = 256;
+    o.deadlineMs = 100.0; // the paper's interactivity bar
+    return o;
+}
+
+void addReportCounters(benchmark::State& state, const serve::LoadReport& rep) {
+    state.counters["offered"] = static_cast<double>(rep.offered);
+    state.counters["completed"] = static_cast<double>(rep.completed);
+    state.counters["rejected"] = static_cast<double>(rep.rejected);
+    state.counters["degraded"] = static_cast<double>(rep.degraded);
+    state.counters["deadline_missed"] = static_cast<double>(rep.deadlineMissed);
+    state.counters["coalesced"] = static_cast<double>(rep.coalesced);
+    state.counters["offered_per_sec"] = rep.achievedPerSec;
+    state.counters["shed_rate"] = rep.shedRate();
+    state.counters["p50_ms"] = rep.p50Ms;
+    state.counters["p99_ms"] = rep.p99Ms;
+    state.counters["replicas_final"] = static_cast<double>(rep.replicasFinal);
+}
+
+/// Shed/latency at one (replicas, load-factor) grid point. The load axis
+/// is a percentage of ONE replica's calibrated capacity, so `400` offered
+/// to 1 replica is the same arrival process as `400` offered to 4 — the
+/// curves answer "what does adding pods buy at this offered rate".
+void BM_ClusterShedCurve(benchmark::State& state) {
+    const count replicas = static_cast<count>(state.range(0));
+    const double loadFactor = static_cast<double>(state.range(1)) / 100.0;
+    const auto& model = calibratedModel();
+    const double rate = loadFactor * replicaCapacityPerSec(model);
+
+    serve::LoadGenerator gen(gridOptions(rate));
+    serve::SimOptions sim;
+    sim.initialReplicas = replicas;
+    serve::LoadReport rep;
+    for (auto _ : state) rep = gen.simulateCluster(model, sim);
+
+    addReportCounters(state, rep);
+    state.counters["service_mean_ms"] = model.meanServiceMs;
+    state.counters["rate_per_sec"] = rate;
+}
+
+/// Highest offered rate a fleet of N replicas serves with <= 1% shed:
+/// walk the offered rate up in 10% steps until the sim sheds more, report
+/// the last sustainable rung. The 4-vs-1 ratio of sustainable_per_sec is
+/// the PR's acceptance number.
+void BM_ClusterSustainableRate(benchmark::State& state) {
+    const count replicas = static_cast<count>(state.range(0));
+    const auto& model = calibratedModel();
+    const double unit = replicaCapacityPerSec(model);
+
+    double sustainable = 0.0;
+    double shedAtNext = 0.0;
+    for (auto _ : state) {
+        serve::SimOptions sim;
+        sim.initialReplicas = replicas;
+        double rate = 0.25 * unit;
+        sustainable = 0.0;
+        while (rate < 4.0 * unit * static_cast<double>(replicas)) {
+            serve::LoadGenerator gen(gridOptions(rate));
+            const auto rep = gen.simulateCluster(model, sim);
+            if (rep.shedRate() > 0.01) {
+                shedAtNext = rep.shedRate();
+                break;
+            }
+            sustainable = rate;
+            rate *= 1.1;
+        }
+    }
+    state.counters["sustainable_per_sec"] = sustainable;
+    state.counters["sustainable_per_replica"] =
+        sustainable / static_cast<double>(replicas);
+    state.counters["shed_at_next_rung"] = shedAtNext;
+    state.counters["service_mean_ms"] = model.meanServiceMs;
+}
+
+/// Flash crowd against a 1-replica fleet with the autoscaler live: the
+/// arrival rate jumps 4x mid-run; the Prometheus-signal-driven policy has
+/// to detect the overload, add pods, and bring windowed p99 back under
+/// the interactivity deadline before the run ends.
+void BM_ClusterFlashAutoscale(benchmark::State& state) {
+    const auto& model = calibratedModel();
+    const double unit = replicaCapacityPerSec(model);
+
+    serve::LoadGenOptions o = gridOptions(0.6 * unit);
+    o.schedule = serve::LoadSchedule::FlashCrowd;
+    o.flashMultiplier = 4.0;
+    o.durationSec = 20.0;
+    o.flashBeginFrac = 0.2;
+    o.flashEndFrac = 0.8;
+    o.tickIntervalSec = 0.25;
+    o.deadlineMs = 40.0;
+
+    serve::SimOptions sim;
+    sim.initialReplicas = 1;
+    sim.autoscale = true;
+    sim.autoscaler.maxReplicas = 8;
+
+    serve::LoadGenerator gen(o);
+    serve::LoadReport rep;
+    for (auto _ : state) rep = gen.simulateCluster(model, sim);
+
+    addReportCounters(state, rep);
+    state.counters["overloaded"] = rep.overloaded ? 1.0 : 0.0;
+    state.counters["recovered_at_sec"] = rep.recoveredAtSec;
+    state.counters["scale_ups"] = static_cast<double>(rep.scaleUps);
+    state.counters["scale_downs"] = static_cast<double>(rep.scaleDowns);
+    state.counters["replicas_max"] = static_cast<double>(rep.replicasMax);
+    state.counters["end_p99_ms"] = rep.endWindowP99Ms;
+    state.counters["end_shed_rate"] = rep.endWindowShedRate;
+}
+
+/// Real-time smoke: the same open-loop generator driving a LIVE
+/// two-replica ReplicaSet (real sessions, real futures, real ticks) at a
+/// rate a 1-core runner can absorb. Keeps the virtual-time results above
+/// anchored to an end-to-end run of the real serving path.
+void BM_ClusterRealOpenLoop(benchmark::State& state) {
+    const auto traj = benchTrajectory();
+
+    serve::LoadGenOptions o;
+    o.baseRatePerSec = 40.0;
+    o.durationSec = 1.0;
+    o.sessions = 8;
+    o.deadlineMs = 500.0;
+
+    serve::LoadReport rep;
+    for (auto _ : state) {
+        serve::ReplicaSetOptions opts;
+        opts.initialReplicas = 2;
+        opts.serviceTemplate.workers = 2;
+        serve::ReplicaSet fleet(opts);
+        serve::LoadGenerator gen(o);
+        rep = gen.run(fleet, traj, [&](double) { fleet.tick(); });
+    }
+    addReportCounters(state, rep);
+}
+
+BENCHMARK(BM_ClusterShedCurve)
+    ->ArgNames({"replicas", "load_pct"})
+    ->ArgsProduct({{1, 2, 4}, {50, 100, 200, 300, 400, 600}})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Iterations(1);
+
+BENCHMARK(BM_ClusterSustainableRate)
+    ->ArgName("replicas")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Iterations(1);
+
+BENCHMARK(BM_ClusterFlashAutoscale)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Iterations(1);
+
+BENCHMARK(BM_ClusterRealOpenLoop)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Iterations(1);
+
+} // namespace
+
+RINKIT_BENCH_MAIN()

@@ -5,11 +5,12 @@
 // source-balanced prefix routing.
 //
 // Each admitted user then drives a real widget workload through the
-// serving layer: the hub dispatches slider events into a shared
-// serve::SessionService (fixed worker pool, latest-wins coalescing,
-// admission control, deadlines), and the run ends with the service's
-// latency histograms — the paper's interactivity numbers, but under
-// multi-user contention.
+// serving layer: the hub dispatches slider events into a
+// serve::ReplicaSet — SessionService replicas sharded across cluster
+// pods behind one endpoint, with consistent-hash sticky sessions — and
+// the run ends with the fleet's aggregated latency histograms (the
+// paper's interactivity numbers, but under multi-user contention) plus
+// a live scale-down whose sessions migrate loss-free between replicas.
 //
 // The run is traced end to end: pass --trace <path> to write a Chrome
 // trace-event file (open in Perfetto / chrome://tracing) of every request's
@@ -29,6 +30,7 @@
 #include "src/md/trajectory.hpp"
 #include "src/obs/exporters.hpp"
 #include "src/obs/trace.hpp"
+#include "src/serve/replica_set.hpp"
 #include "src/serve/session_service.hpp"
 #include "src/support/timer.hpp"
 
@@ -66,13 +68,21 @@ int main(int argc, char** argv) {
     genParams.frames = 5;
     const auto traj = md::TrajectoryGenerator(genParams).generate(md::alpha3D());
 
-    serve::SessionService::Options serveOptions;
-    serveOptions.budget = hub.config().userPodLimit;
-    serveOptions.defaultDeadlineMs = 500.0;
-    serve::SessionService service(serveOptions);
-    hub.attachService(service, traj);
-    std::cout << "serving layer: " << service.workerCount() << " workers, queue bound "
-              << service.options().maxQueuedPerSession << " per session\n\n";
+    // The serving layer is a replicated fleet: each replica is one
+    // SessionService sized to the per-pod budget, backed by a pod of the
+    // rin-serve deployment on this same cluster.
+    serve::ReplicaSetOptions fleetOptions;
+    fleetOptions.initialReplicas = 2;
+    fleetOptions.serviceTemplate.budget = hub.config().userPodLimit;
+    fleetOptions.serviceTemplate.defaultDeadlineMs = 500.0;
+    fleetOptions.cluster = &cluster;
+    serve::ReplicaSet fleet(fleetOptions);
+    hub.attachService(fleet, traj);
+    std::cout << "serving layer: " << fleet.replicaCount() << " replicas ("
+              << cluster.deploymentReplicas(fleetOptions.clusterNamespace,
+                                            fleetOptions.deploymentName)
+              << " pods of deployment '" << fleetOptions.deploymentName << "'), budget "
+              << fleetOptions.serviceTemplate.budget.toString() << " per replica\n\n";
 
     count admitted = 0;
     for (count u = 0; u < users; ++u) {
@@ -83,7 +93,8 @@ int main(int argc, char** argv) {
         }
         ++admitted;
         const auto pod = hub.routeUserRequest(user, "192.168.1." + std::to_string(u + 2));
-        std::cout << user << ": pod uid " << *pod << " via /user/" << user << "\n";
+        std::cout << user << ": pod uid " << *pod << " via /user/" << user
+                  << ", widget session on replica " << fleet.routeOf(user) << "\n";
     }
 
     // Every admitted user drags the sliders: a burst of events per user,
@@ -111,11 +122,24 @@ int main(int argc, char** argv) {
         case serve::RequestStatus::Rejected: ++rejected; break;
         }
     }
-    service.drain();
+    fleet.drain();
     std::cout << "\nserved " << inflight.size() << " slider events in " << t.elapsedMs()
               << " ms: " << ok << " exact, " << degraded << " degraded, " << rejected
-              << " rejected (" << service.metrics().counter("coalesced")
+              << " rejected (" << fleet.metrics().counter("coalesced")
               << " stale events coalesced away)\n";
+
+    // Scale the fleet down under live sessions: the retiring replica's
+    // sessions are quiesced, handed off with their queued work, and
+    // resynced on the wire with a forced keyframe — no future is dropped.
+    const count sessionsBefore = fleet.activeSessions();
+    if (fleet.scaleDown()) {
+        const auto aggregate = fleet.metrics();
+        std::cout << "scaled down to " << fleet.replicaCount() << " replica(s): "
+                  << aggregate.counter("sessions_adopted") << " session(s) migrated, "
+                  << fleet.activeSessions() << "/" << sessionsBefore
+                  << " sessions intact (" << aggregate.counter("adopted")
+                  << " queued requests handed off)\n";
+    }
 
     std::cout << "\nadmitted " << admitted << "/" << users << " users; allocated "
               << cluster.totalAllocated().toString() << " on workers\n";
@@ -125,7 +149,8 @@ int main(int argc, char** argv) {
     std::cout << "after hub restart: " << hub.activeSessions()
               << " sessions recovered from the PV\n";
 
-    std::cout << "\nserving metrics:\n" << service.metrics().toJson() << "\n";
+    std::cout << "\nserving metrics (fleet aggregate):\n" << fleet.metrics().toJson()
+              << "\n";
 
     // The same registry, as a Prometheus scraper sees it: through the
     // /metrics ingress route, with the gateway ACL-filtering the response
@@ -133,6 +158,8 @@ int main(int argc, char** argv) {
     cloud::Gateway gateway;
     gateway.addRule({cloud::Gateway::Action::Allow, "192.168.", 443, "prometheus scraper"});
     hub.attachGateway(gateway);
+    // Per-replica series ride along under the `replica` label; the
+    // unlabeled aggregate keeps pre-replication dashboards working.
     if (const auto exposition = hub.scrapeMetrics("192.168.1.100")) {
         std::cout << "\nGET /metrics (Prometheus exposition, "
                   << gateway.allowedBytes() << " bytes through the gateway):\n"

@@ -3,7 +3,7 @@
 # memory-heavy suites (cell list / octree rewrites are pointer-and-offset
 # code; the sanitizers are what catches an off-by-one in the CSR layout).
 #
-# Usage: scripts/verify.sh [--skip-sanitizers | --tsan | --serve-stress | --obs | --layout | --wire | --dynamic]
+# Usage: scripts/verify.sh [--skip-sanitizers | --tsan | --serve-stress | --obs | --layout | --wire | --dynamic | --cluster]
 #   --tsan  additionally builds the parallel kernels (centrality /
 #           community: OpenMP array reductions, batched MS-BFS, atomic
 #           local moving), the dynamic-measure kernels (test_dyn: parallel
@@ -29,6 +29,12 @@
 #           against from-scratch recomputation over randomized diff
 #           sequences) plus the engine-facing widget suite under
 #           ASan/UBSan, then a release smoke run of bench_measures_dynamic.
+#   --cluster  runs the replicated-serving suite (ctest label cluster:
+#           hash-ring stability, autoscaler hysteresis, scale-down
+#           migration with concurrent submitters) under both TSan — the
+#           routing-lock/extract/adopt protocol is concurrency code — and
+#           ASan/UBSan, then a release smoke run of the open-loop cluster
+#           scaling benchmark (bench_cluster_scaling).
 #   --wire  runs the binary wire-protocol suite (ctest label wire:
 #           truncation sweep, byte-flip corruption fuzz, delta bit-identity)
 #           plus the widget suite under ASan/UBSan — the decoder parses
@@ -149,6 +155,35 @@ if [[ "${1:-}" == "--dynamic" ]]; then
         --benchmark_filter='BM_FrameSweepDynamic' \
         --benchmark_min_time=0.05
     echo "== dynamic OK =="
+    exit 0
+fi
+
+if [[ "${1:-}" == "--cluster" ]]; then
+    echo "== cluster serving suite under TSan =="
+    TSAN_FLAGS="-fsanitize=thread -g -O1"
+    cmake -B build-tsan -S . \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DCMAKE_CXX_FLAGS="$TSAN_FLAGS" \
+        -DCMAKE_EXE_LINKER_FLAGS="$TSAN_FLAGS" >/dev/null
+    cmake --build build-tsan -j --target test_cluster_serve
+    ./build-tsan/tests/test_cluster_serve
+
+    echo "== cluster serving suite under ASan/UBSan =="
+    SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -g -O1"
+    cmake -B build-asan -S . \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DCMAKE_CXX_FLAGS="$SAN_FLAGS" \
+        -DCMAKE_EXE_LINKER_FLAGS="$SAN_FLAGS" >/dev/null
+    cmake --build build-asan -j --target test_cluster_serve
+    ./build-asan/tests/test_cluster_serve
+
+    echo "== cluster scaling bench smoke (release) =="
+    cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+    cmake --build build-release -j --target bench_cluster_scaling
+    ./build-release/bench/bench_cluster_scaling \
+        --benchmark_filter='BM_Cluster(FlashAutoscale|RealOpenLoop)' \
+        --benchmark_min_time=0.05
+    echo "== cluster OK =="
     exit 0
 fi
 

@@ -95,22 +95,83 @@ void Cluster::apply(const std::string& namespaceName, const Deployment& deployme
         throw std::out_of_range("Cluster: no namespace " + namespaceName);
     }
     it->second.deployments[deployment.name] = deployment;
-    for (count r = 0; r < deployment.replicas; ++r) {
-        Pod pod;
-        pod.spec = deployment.podTemplate;
-        pod.spec.name = deployment.name + "-" + std::to_string(r);
-        pod.namespaceName = namespaceName;
-        pod.uid = nextUid_++;
-        if (auto nodeName = schedule(pod.spec.request)) {
-            pod.nodeName = *nodeName;
-            pod.phase = PodPhase::Running;
-            logEvent("pod scheduled: " + namespaceName + "/" + pod.spec.name + " -> " +
-                     *nodeName);
-        } else {
-            logEvent("pod pending (unschedulable): " + namespaceName + "/" + pod.spec.name);
-        }
-        pods_.push_back(std::move(pod));
+    for (count r = 0; r < deployment.replicas; ++r)
+        startReplica(namespaceName, it->second, deployment);
+}
+
+count Cluster::startReplica(const std::string& namespaceName, NamespaceState& ns,
+                            const Deployment& deployment) {
+    Pod pod;
+    pod.spec = deployment.podTemplate;
+    pod.spec.name = deployment.name + "-" + std::to_string(ns.nextOrdinal[deployment.name]++);
+    pod.namespaceName = namespaceName;
+    pod.uid = nextUid_++;
+    if (auto nodeName = schedule(pod.spec.request)) {
+        pod.nodeName = *nodeName;
+        pod.phase = PodPhase::Running;
+        logEvent("pod scheduled: " + namespaceName + "/" + pod.spec.name + " -> " +
+                 *nodeName);
+    } else {
+        logEvent("pod pending (unschedulable): " + namespaceName + "/" + pod.spec.name);
     }
+    const count uid = pod.uid;
+    pods_.push_back(std::move(pod));
+    return uid;
+}
+
+void Cluster::terminatePod(Pod& pod) {
+    if (pod.phase == PodPhase::Running) {
+        for (auto& n : nodes_) {
+            if (n.name == pod.nodeName) n.allocated -= pod.spec.request;
+        }
+    }
+    pod.phase = PodPhase::Terminated;
+}
+
+std::vector<count> Cluster::scaleDeployment(const std::string& namespaceName,
+                                            const std::string& name, count replicas) {
+    auto nsIt = namespaces_.find(namespaceName);
+    if (nsIt == namespaces_.end())
+        throw std::out_of_range("Cluster: no namespace " + namespaceName);
+    auto depIt = nsIt->second.deployments.find(name);
+    if (depIt == nsIt->second.deployments.end())
+        throw std::out_of_range("Cluster: no deployment " + namespaceName + "/" + name);
+    Deployment& dep = depIt->second;
+
+    std::vector<count> touched;
+    if (replicas > dep.replicas) {
+        for (count r = dep.replicas; r < replicas; ++r)
+            touched.push_back(startReplica(namespaceName, nsIt->second, dep));
+    } else if (replicas < dep.replicas) {
+        // Highest-ordinal live pods go first (reverse creation order), so
+        // long-lived low-ordinal replicas stay stable across scale cycles.
+        const std::string prefix = name + "-";
+        count toRemove = dep.replicas - replicas;
+        for (auto it = pods_.rbegin(); it != pods_.rend() && toRemove > 0; ++it) {
+            if (it->namespaceName != namespaceName || it->phase == PodPhase::Terminated)
+                continue;
+            if (it->spec.name.rfind(prefix, 0) != 0) continue;
+            terminatePod(*it);
+            logEvent("pod scaled down: " + namespaceName + "/" + it->spec.name);
+            touched.push_back(it->uid);
+            --toRemove;
+        }
+    }
+    dep.replicas = replicas;
+    logEvent("deployment scaled: " + namespaceName + "/" + name + " -> " +
+             std::to_string(replicas));
+    return touched;
+}
+
+count Cluster::deploymentReplicas(const std::string& namespaceName,
+                                  const std::string& name) const {
+    auto nsIt = namespaces_.find(namespaceName);
+    if (nsIt == namespaces_.end())
+        throw std::out_of_range("Cluster: no namespace " + namespaceName);
+    auto depIt = nsIt->second.deployments.find(name);
+    if (depIt == nsIt->second.deployments.end())
+        throw std::out_of_range("Cluster: no deployment " + namespaceName + "/" + name);
+    return depIt->second.replicas;
 }
 
 std::optional<count> Cluster::spawnPod(const std::string& namespaceName,
@@ -144,11 +205,24 @@ void Cluster::deletePod(const std::string& namespaceName, const std::string& acc
     for (auto& pod : pods_) {
         if (pod.uid == uid && pod.namespaceName == namespaceName &&
             pod.phase == PodPhase::Running) {
-            for (auto& n : nodes_) {
-                if (n.name == pod.nodeName) n.allocated -= pod.spec.request;
-            }
-            pod.phase = PodPhase::Terminated;
+            terminatePod(pod);
             logEvent("pod deleted: " + namespaceName + "/" + pod.spec.name);
+            // Reconcile the owning deployment (if any): a terminated pod
+            // leaves the desired replica count, otherwise every observer of
+            // Deployment::replicas — the autoscaler above all — acts on a
+            // count that includes dead pods.
+            auto nsIt = namespaces_.find(namespaceName);
+            if (nsIt != namespaces_.end()) {
+                for (auto& [depName, dep] : nsIt->second.deployments) {
+                    if (pod.spec.name == depName ||
+                        pod.spec.name.rfind(depName + "-", 0) == 0) {
+                        if (dep.replicas > 0) --dep.replicas;
+                        logEvent("deployment reconciled: " + namespaceName + "/" + depName +
+                                 " -> " + std::to_string(dep.replicas));
+                        break;
+                    }
+                }
+            }
             return;
         }
     }

@@ -111,6 +111,21 @@ public:
     /// Throws if the namespace does not exist.
     void apply(const std::string& namespaceName, const Deployment& deployment);
 
+    /// Scales an applied deployment to @p replicas (the controller path —
+    /// no RBAC, like apply). Scale-up spawns pods under fresh ordinals
+    /// (names never reused, StatefulSet-style); scale-down terminates the
+    /// highest-ordinal running pods first. Returns the uids of pods the
+    /// call started or terminated, in order. Throws std::out_of_range for
+    /// an unknown deployment.
+    std::vector<count> scaleDeployment(const std::string& namespaceName,
+                                       const std::string& name, count replicas);
+
+    /// Desired replica count of an applied deployment. Stays reconciled
+    /// with pod lifecycle: deletePod on a deployment-owned pod decrements
+    /// it. Throws std::out_of_range for an unknown deployment.
+    count deploymentReplicas(const std::string& namespaceName,
+                             const std::string& name) const;
+
     /// Spawns a single pod (the KubeSpawner path). Requires @p account to
     /// hold SpawnPods in the namespace; returns the pod uid.
     /// Throws std::runtime_error on permission failure; returns nullopt if
@@ -148,12 +163,23 @@ private:
     struct NamespaceState {
         std::map<std::string, std::vector<Permission>> serviceAccounts;
         std::map<std::string, Deployment> deployments;
+        /// Next pod ordinal per deployment — pod names are never reused
+        /// across scale-down/scale-up cycles.
+        std::map<std::string, count> nextOrdinal;
         std::map<std::string, Service> services;
         std::vector<Ingress> ingresses;
     };
 
     /// Least-allocated-first scheduling across workers.
     std::optional<std::string> schedule(const Resources& request);
+
+    /// Schedules one pod of @p deployment under the next ordinal; appends
+    /// to pods_ (Running or Pending) and returns its uid.
+    count startReplica(const std::string& namespaceName, NamespaceState& ns,
+                       const Deployment& deployment);
+
+    /// Frees the pod's node resources and marks it Terminated.
+    void terminatePod(Pod& pod);
 
     void logEvent(std::string msg) { events_.push_back(std::move(msg)); }
 

@@ -71,8 +71,8 @@ void JupyterHub::logout(const std::string& user) {
     }
 }
 
-void JupyterHub::attachService(serve::SessionService& service, const md::Trajectory& traj) {
-    service_ = &service;
+void JupyterHub::attachService(serve::ServiceEndpoint& endpoint, const md::Trajectory& traj) {
+    service_ = &endpoint;
     serveTraj_ = &traj;
 }
 
@@ -83,7 +83,14 @@ std::optional<std::string> JupyterHub::scrapeMetrics(const std::string& scraperI
     // The scrape takes the normal ingress path: longest-prefix match on
     // /metrics must resolve to a running hub pod.
     if (!cluster_.route(scraperIp, "/metrics")) return std::nullopt;
-    std::string body = obs::toPrometheusText(service_->metrics());
+    // Aggregate first (pre-replication keys, unlabeled), then the
+    // per-replica breakdown when the endpoint actually has replicas.
+    std::vector<serve::MetricsSnapshot> snaps{service_->metrics()};
+    if (service_->replicaCount() > 1) {
+        const auto perReplica = service_->perReplicaMetrics();
+        snaps.insert(snaps.end(), perReplica.begin(), perReplica.end());
+    }
+    std::string body = obs::toPrometheusText(snaps);
     // The response leaves the cluster: the gateway's ACL decides whether
     // the scraper may see it, and accounts the bytes either way.
     if (gateway_ && !gateway_->egress(scraperIp, 443, body.size())) return std::nullopt;
@@ -99,7 +106,7 @@ JupyterHub::routeUserRequest(const std::string& user, const std::string& sourceI
 
     auto it = serveSessions_.find(user);
     if (it == serveSessions_.end()) {
-        const auto id = service_->openSession(*serveTraj_);
+        const auto id = service_->openSession(*serveTraj_, {}, user);
         it = serveSessions_.emplace(user, id).first;
     }
     return service_->submit(it->second, event);

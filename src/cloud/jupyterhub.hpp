@@ -7,7 +7,7 @@
 
 #include "src/cloud/cluster.hpp"
 #include "src/cloud/gateway.hpp"
-#include "src/serve/session_service.hpp"
+#include "src/serve/service_endpoint.hpp"
 
 namespace rinkit::cloud {
 
@@ -50,10 +50,14 @@ public:
     std::optional<count> routeUserRequest(const std::string& user,
                                           const std::string& sourceIp) const;
 
-    /// Attaches the serving layer: slider routes for logged-in users
-    /// dispatch into @p service, each user getting one widget session over
-    /// @p traj (both must outlive the hub's use of them).
-    void attachService(serve::SessionService& service, const md::Trajectory& traj);
+    /// Attaches the serving layer behind its endpoint interface: slider
+    /// routes for logged-in users dispatch into @p endpoint, each user
+    /// getting one widget session over @p traj (both must outlive the
+    /// hub's use of them). The user name is the sticky routing key, so a
+    /// replicated endpoint (serve::ReplicaSet) keeps each user on one
+    /// replica; a single-instance serve::SessionService attaches the same
+    /// way and ignores the key.
+    void attachService(serve::ServiceEndpoint& endpoint, const md::Trajectory& traj);
 
     /// Attaches the cluster's gateway node: responses that leave the
     /// cluster (the /metrics scrape below) are ACL-filtered and accounted
@@ -61,14 +65,16 @@ public:
     void attachGateway(Gateway& gateway);
 
     /// Serves GET /metrics through the hub's ingress: the attached
-    /// SessionService's registry in Prometheus text exposition format.
+    /// endpoint's metrics in Prometheus text exposition format — the
+    /// aggregate (unlabeled, pre-replication keys) plus one replica="N"
+    /// labeled sample set per replica when the endpoint is replicated.
     /// Returns nullopt if no service is attached, the ingress route does
     /// not resolve, or the attached gateway denies the response egress to
     /// @p scraperIp (port 443).
     std::optional<std::string> scrapeMetrics(const std::string& scraperIp);
 
     /// Routes a widget interaction for @p user through the load balancer
-    /// into the attached SessionService (the user's serve session is
+    /// into the attached endpoint (the user's serve session is
     /// opened lazily on first interaction). Returns nullopt if the user
     /// has no pod or no service is attached; otherwise the service's
     /// outcome future (which may still resolve Rejected under
@@ -98,7 +104,7 @@ private:
     Config config_;
     std::map<std::string, count> sessions_; ///< user -> pod uid
     std::map<std::string, std::string> pv_; ///< persisted config + user db
-    serve::SessionService* service_ = nullptr; ///< attached serving layer
+    serve::ServiceEndpoint* service_ = nullptr; ///< attached serving layer
     const md::Trajectory* serveTraj_ = nullptr;
     Gateway* gateway_ = nullptr; ///< egress filter for scrape responses
     std::map<std::string, serve::SessionId> serveSessions_; ///< user -> widget session

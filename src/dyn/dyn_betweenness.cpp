@@ -170,9 +170,11 @@ count repairSource(const CsrView& v, node s, std::uint16_t* lv, double* sg, doub
         }
     }
     for (std::uint32_t d = 1; d <= w.maxLevel && d < w.buckets.size(); ++d) {
-        auto& bucket = w.buckets[d];
-        for (size_t i = 0; i < bucket.size(); ++i) {
-            const node x = bucket[i];
+        // Re-index w.buckets[d] on every access: the cascade seeds level
+        // d+1, and seed() may resize the outer bucket vector — a cached
+        // reference to this bucket would dangle.
+        for (size_t i = 0; i < w.buckets[d].size(); ++i) {
+            const node x = w.buckets[d][i];
             if (x == s || w.doneStamp[x] == w.epoch || lv[x] != d) continue;
             w.doneStamp[x] = w.epoch;
             if (++processed > budget) return kRepairAborted;
@@ -188,7 +190,7 @@ count repairSource(const CsrView& v, node s, std::uint16_t* lv, double* sg, doub
                 });
             }
         }
-        bucket.clear();
+        w.buckets[d].clear();
     }
 
     // ---- Phase C: dependency repair, descending new-level order. Seeds:
@@ -223,9 +225,11 @@ count repairSource(const CsrView& v, node s, std::uint16_t* lv, double* sg, doub
     }
     for (std::uint32_t d = std::min<std::uint32_t>(w.maxLevel, w.buckets.size() - 1);
          d >= 1; --d) {
-        auto& bucket = w.buckets[d];
-        for (size_t i = 0; i < bucket.size(); ++i) {
-            const node x = bucket[i];
+        // This descending pass only seeds shallower levels, so seed()
+        // cannot grow w.buckets here — but keep the same re-indexing
+        // discipline as the ascending cascade rather than proving it safe.
+        for (size_t i = 0; i < w.buckets[d].size(); ++i) {
+            const node x = w.buckets[d][i];
             if (x == s || w.doneStamp[x] == w.epoch || lv[x] != d) continue;
             w.doneStamp[x] = w.epoch;
             if (++processed > budget) return kRepairAborted;
@@ -244,7 +248,7 @@ count repairSource(const CsrView& v, node s, std::uint16_t* lv, double* sg, doub
                 });
             }
         }
-        bucket.clear();
+        w.buckets[d].clear();
     }
     return processed;
 }

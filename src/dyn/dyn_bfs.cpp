@@ -61,9 +61,11 @@ count LevelRepairer::repair(const CsrView& v, node s, std::uint16_t* lvl,
     }
     for (std::uint32_t d = 1; d <= candMax_; ++d) {
         if (d >= candBuckets_.size()) break;
-        auto& bucket = candBuckets_[d];
-        for (size_t i = 0; i < bucket.size(); ++i) { // cascade appends to deeper buckets only
-            const node x = bucket[i];
+        // Re-index candBuckets_[d] on every access: the cascade pushes into
+        // deeper buckets, and pushCandidate may resize the outer vector —
+        // a cached reference to this bucket would dangle.
+        for (size_t i = 0; i < candBuckets_[d].size(); ++i) {
+            const node x = candBuckets_[d][i];
             if (checkedStamp_[x] == epoch_) continue;
             checkedStamp_[x] = epoch_;
             if (lvl[x] != d) continue; // duplicate seed at a stale level
@@ -79,7 +81,7 @@ count LevelRepairer::repair(const CsrView& v, node s, std::uint16_t* lvl,
                 if (lvl[z] == d + 1) pushCandidate(z, d + 1);
             });
         }
-        bucket.clear();
+        candBuckets_[d].clear();
     }
     // Clear any buckets past candMax_ left over from cascade pushes.
     for (std::uint32_t d = 0; d < candBuckets_.size(); ++d) candBuckets_[d].clear();
@@ -107,9 +109,10 @@ count LevelRepairer::repair(const CsrView& v, node s, std::uint16_t* lvl,
     }
     for (std::uint32_t d = 1; d <= settleMax_; ++d) {
         if (d >= settleBuckets_.size()) break;
-        auto& bucket = settleBuckets_[d];
-        for (size_t i = 0; i < bucket.size(); ++i) {
-            const node x = bucket[i];
+        // Same re-indexing discipline as the candidate cascade: pushSettle
+        // can reallocate settleBuckets_ mid-iteration.
+        for (size_t i = 0; i < settleBuckets_[d].size(); ++i) {
+            const node x = settleBuckets_[d][i];
             if (d >= lvl[x] || x == s) continue; // already settled at <= d
             recordOrig(x, lvl[x]);
             lvl[x] = static_cast<std::uint16_t>(d);
@@ -117,7 +120,7 @@ count LevelRepairer::repair(const CsrView& v, node s, std::uint16_t* lvl,
                 if (d + 1 < lvl[y]) pushSettle(y, d + 1);
             });
         }
-        bucket.clear();
+        settleBuckets_[d].clear();
     }
     for (std::uint32_t d = 0; d < settleBuckets_.size(); ++d) settleBuckets_[d].clear();
 

@@ -101,36 +101,61 @@ std::string label(std::string_view key, std::string_view value) {
 
 } // namespace
 
-std::string toPrometheusText(const serve::MetricsSnapshot& snapshot,
+std::string toPrometheusText(const std::vector<serve::MetricsSnapshot>& snapshots,
                              std::string_view prefix) {
     std::string out;
-    out.reserve(1024);
+    out.reserve(1024 * std::max<std::size_t>(1, snapshots.size()));
     const std::string p(prefix);
+
+    // The exposition format requires every sample of a metric family to be
+    // consecutive, so each family loops over all snapshots (one HELP/TYPE
+    // header per family, not per snapshot). A snapshot with a replica label
+    // contributes it as an extra label on every sample; unlabeled
+    // (single-instance or aggregate) snapshots emit the pre-replication
+    // keys unchanged.
+    const auto withReplica = [](const serve::MetricsSnapshot& snap, std::string labels) {
+        if (snap.replica.empty()) return labels;
+        std::string rep = label("replica", snap.replica);
+        if (labels.empty()) return rep;
+        return labels + "," + rep;
+    };
 
     const std::string lat = p + "_phase_latency_ms";
     out += "# HELP " + lat + " Serving-layer per-phase latency (log-binned histogram).\n";
     out += "# TYPE " + lat + " summary\n";
-    for (const auto& [phase, s] : snapshot.histograms) {
-        const std::string ph = label("phase", phase);
-        sample(out, lat, ph + ",quantile=\"0.5\"", s.p50Ms);
-        sample(out, lat, ph + ",quantile=\"0.95\"", s.p95Ms);
-        sample(out, lat, ph + ",quantile=\"0.99\"", s.p99Ms);
-        sample(out, lat + "_sum", ph, s.meanMs * static_cast<double>(s.samples));
-        sample(out, lat + "_count", ph, static_cast<double>(s.samples));
-        sample(out, lat + "_max", ph, s.maxMs);
+    for (const auto& snap : snapshots) {
+        for (const auto& [phase, s] : snap.histograms) {
+            const std::string ph = withReplica(snap, label("phase", phase));
+            sample(out, lat, ph + ",quantile=\"0.5\"", s.p50Ms);
+            sample(out, lat, ph + ",quantile=\"0.95\"", s.p95Ms);
+            sample(out, lat, ph + ",quantile=\"0.99\"", s.p99Ms);
+            sample(out, lat + "_sum", ph, s.meanMs * static_cast<double>(s.samples));
+            sample(out, lat + "_count", ph, static_cast<double>(s.samples));
+            sample(out, lat + "_max", ph, s.maxMs);
+        }
     }
 
     const std::string ev = p + "_events_total";
     out += "# HELP " + ev + " Serving-layer lifecycle events.\n";
     out += "# TYPE " + ev + " counter\n";
-    for (const auto& [name, v] : snapshot.counters)
-        sample(out, ev, label("event", name), static_cast<double>(v));
+    for (const auto& snap : snapshots)
+        for (const auto& [name, v] : snap.counters)
+            sample(out, ev, withReplica(snap, label("event", name)), static_cast<double>(v));
 
     out += "# TYPE " + p + "_queue_depth gauge\n";
-    sample(out, p + "_queue_depth", "", static_cast<double>(snapshot.queueDepth));
+    for (const auto& snap : snapshots)
+        sample(out, p + "_queue_depth", withReplica(snap, ""),
+               static_cast<double>(snap.queueDepth));
     out += "# TYPE " + p + "_queue_depth_max gauge\n";
-    sample(out, p + "_queue_depth_max", "", static_cast<double>(snapshot.queueDepthMax));
+    for (const auto& snap : snapshots)
+        sample(out, p + "_queue_depth_max", withReplica(snap, ""),
+               static_cast<double>(snap.queueDepthMax));
     return out;
+}
+
+std::string toPrometheusText(const serve::MetricsSnapshot& snapshot,
+                             std::string_view prefix) {
+    return toPrometheusText(std::vector<serve::MetricsSnapshot>{snapshot}, prefix);
 }
 
 std::map<std::string, double> parsePrometheusText(std::string_view text) {

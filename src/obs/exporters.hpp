@@ -38,6 +38,15 @@ std::string promEscape(std::string_view labelValue);
 std::string toPrometheusText(const serve::MetricsSnapshot& snapshot,
                              std::string_view prefix = "rinkit");
 
+/// Multi-snapshot exposition for a replicated endpoint: one text with each
+/// metric family's HELP/TYPE emitted once and every snapshot's samples
+/// under it. A snapshot whose `replica` label is non-empty contributes a
+/// `replica="N"` label on every sample; unlabeled snapshots (the aggregate
+/// view) keep the exact pre-replication keys, so existing dashboards and
+/// parsers keep working on the first (aggregate) entry.
+std::string toPrometheusText(const std::vector<serve::MetricsSnapshot>& snapshots,
+                             std::string_view prefix = "rinkit");
+
 /// Minimal exposition-format reader for round-trip tests and scrapers in
 /// the cloud simulator: returns every sample line as
 /// "name{label=\"value\",...}" → numeric value ('#' lines skipped).

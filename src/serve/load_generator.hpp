@@ -1,0 +1,145 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "src/md/trajectory.hpp"
+#include "src/serve/replica_set.hpp"
+#include "src/serve/service_endpoint.hpp"
+
+namespace rinkit::serve {
+
+/// Arrival-rate schedules for the open-loop generator. Open-loop means
+/// arrivals follow the schedule regardless of how the service is coping —
+/// unlike the closed-loop bench (bench_cloud_scaling), where clients wait
+/// for responses and therefore self-throttle exactly when the service is
+/// saturated. Overload behavior only shows open-loop.
+enum class LoadSchedule {
+    Constant,   ///< lambda(t) = base
+    Diurnal,    ///< one sinusoidal day over the run: base * (1 + A sin)
+    FlashCrowd, ///< base, multiplied by flashMultiplier inside a window
+};
+
+/// Load-generation configuration. Namespace-scope NSDMI defaults — the one
+/// LoadGenerator constructor takes this struct.
+struct LoadGenOptions {
+    LoadSchedule schedule = LoadSchedule::Constant;
+    double baseRatePerSec = 50.0; ///< lambda of the Poisson arrival process
+    double durationSec = 2.0;
+    count sessions = 16; ///< sticky users, routing keys "user-<i>"
+    /// Deadline stamped on every event (0 = none). Also the interactivity
+    /// bar recovery is judged against in flash-crowd runs.
+    double deadlineMs = 100.0;
+    double diurnalAmplitude = 0.6;
+    double flashMultiplier = 8.0;
+    double flashBeginFrac = 0.4; ///< flash window, as fractions of the run
+    double flashEndFrac = 0.6;
+    double tickIntervalSec = 0.1; ///< autoscaler/observer cadence
+    std::uint64_t seed = 7;
+    count frames = 4; ///< frame-slider range for Frame events
+};
+
+/// lambda(t) of a schedule at @p tSec into the run (events per second).
+double rateAt(const LoadGenOptions& options, double tSec);
+
+/// What one load-generation run produced. shedRate() is the acceptance
+/// metric: the fraction of offered events the service refused or served
+/// degraded.
+struct LoadReport {
+    count offered = 0;   ///< events submitted (open-loop arrivals)
+    count completed = 0; ///< futures resolved Ok or OkDegraded
+    count rejected = 0;
+    count degraded = 0;
+    count deadlineMissed = 0;
+    count coalesced = 0; ///< arrivals absorbed into a queued same-kind slot
+
+    double durationSec = 0.0;
+    double achievedPerSec = 0.0; ///< offered / duration
+
+    /// Client-observed request latency (queue wait + full update), ms.
+    double p50Ms = 0.0;
+    double p95Ms = 0.0;
+    double p99Ms = 0.0;
+    double maxMs = 0.0;
+
+    // Autoscaling trace (zeros when the run had a fixed fleet).
+    count scaleUps = 0;
+    count scaleDowns = 0;
+    count replicasFinal = 0;
+    count replicasMax = 0;
+    /// First tick at/after the flash where the windowed p99 returned below
+    /// the deadline after having blown it (-1 = never overloaded or never
+    /// recovered; see recovered).
+    double recoveredAtSec = -1.0;
+    bool overloaded = false; ///< some tick's windowed p99 blew the deadline
+    double endWindowP99Ms = 0.0;
+    double endWindowShedRate = 0.0;
+
+    double shedRate() const {
+        return offered == 0
+                   ? 0.0
+                   : static_cast<double>(rejected + degraded) / static_cast<double>(offered);
+    }
+
+    std::string toJson() const;
+};
+
+/// Per-replica capacity model for the virtual-time simulation: worker
+/// count and the measured per-request service time. meanServiceMs is meant
+/// to be *calibrated* — measure it by draining real events through a real
+/// SessionService and reading its server_ms histogram (the cluster bench
+/// does exactly that), so the simulated curves rest on real execution
+/// costs. The scheduling semantics (per-session FIFO, latest-wins
+/// coalescing, admission bound, degrade thresholds) mirror SessionService.
+struct SimServiceModel {
+    count workersPerReplica = 10; ///< paper pod: 10 vCores, one worker each
+    double meanServiceMs = 1.0;
+    double serviceJitterFrac = 0.2;  ///< uniform +- fraction around the mean
+    double degradedCostFactor = 0.5; ///< Approx tier skips the exact path
+    count maxQueuedPerSession = 8;
+    count degradeQueueDepth = 2;
+};
+
+/// Fleet shape for the virtual-time simulation.
+struct SimOptions {
+    count initialReplicas = 1;
+    bool autoscale = false;
+    AutoscalerOptions autoscaler{};
+    count vnodesPerReplica = 64;
+};
+
+/// Open-loop Poisson load generator.
+///
+/// Two modes:
+///  - run(): wall-clock drive of a live ServiceEndpoint — real sessions,
+///    real futures, real migration. Use for smoke tests and correctness.
+///  - simulateCluster(): the same arrival process in virtual time against
+///    the calibrated capacity model, with the real ConsistentHashRing for
+///    routing and the real Autoscaler policy for scaling. Use for
+///    throughput/latency/shed curves vs replica count: virtual time makes
+///    the curves a function of the model, not of how many cores the CI box
+///    happens to have (a 1-core runner cannot host 4 real pods).
+class LoadGenerator {
+public:
+    using Options = LoadGenOptions;
+
+    explicit LoadGenerator(Options options = {}) : options_(options) {}
+
+    /// Drives @p endpoint open-loop in real time. @p onTick (optional)
+    /// fires every tickIntervalSec with the elapsed seconds — wire it to
+    /// ReplicaSet::tick for live autoscaling. Ends by draining the
+    /// endpoint and harvesting every outstanding future.
+    LoadReport run(ServiceEndpoint& endpoint, const md::Trajectory& traj,
+                   const std::function<void(double)>& onTick = {});
+
+    /// Virtual-time discrete-event run against the capacity model.
+    LoadReport simulateCluster(const SimServiceModel& model, const SimOptions& sim) const;
+
+    const Options& options() const { return options_; }
+
+private:
+    Options options_;
+};
+
+} // namespace rinkit::serve

@@ -29,6 +29,15 @@ void LatencyHistogram::record(double ms) {
     maxMs_ = std::max(maxMs_, ms);
 }
 
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+    if (other.count_ == 0) return;
+    for (std::size_t bin = 0; bin < kBins; ++bin) bins_[bin] += other.bins_[bin];
+    minMs_ = count_ == 0 ? other.minMs_ : std::min(minMs_, other.minMs_);
+    count_ += other.count_;
+    sumMs_ += other.sumMs_;
+    maxMs_ = std::max(maxMs_, other.maxMs_);
+}
+
 double LatencyHistogram::percentile(double p) const {
     if (count_ == 0) return 0.0;
     p = std::clamp(p, 0.0, 100.0);
@@ -73,6 +82,34 @@ void MetricsRegistry::gaugeQueueDepth(count depth) {
     queueDepthMax_ = std::max(queueDepthMax_, depth);
 }
 
+void MetricsRegistry::setReplicaLabel(std::string label) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    replicaLabel_ = std::move(label);
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+    if (&other == this) return;
+    // Copy the source under its own lock, then fold in under ours — never
+    // both locks at once, so there is no ordering to get wrong when two
+    // registries merge concurrently.
+    std::map<std::string, LatencyHistogram, std::less<>> histograms;
+    std::map<std::string, count, std::less<>> counters;
+    count depth = 0;
+    count depthMax = 0;
+    {
+        std::lock_guard<std::mutex> lock(other.mutex_);
+        histograms = other.histograms_;
+        counters = other.counters_;
+        depth = other.queueDepth_;
+        depthMax = other.queueDepthMax_;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [name, h] : histograms) histograms_[name].merge(h);
+    for (const auto& [name, v] : counters) counters_[name] += v;
+    queueDepth_ += depth;
+    queueDepthMax_ += depthMax;
+}
+
 MetricsSnapshot MetricsRegistry::snapshot() const {
     std::lock_guard<std::mutex> lock(mutex_);
     MetricsSnapshot snap;
@@ -89,6 +126,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
     snap.counters = {counters_.begin(), counters_.end()};
     snap.queueDepth = queueDepth_;
     snap.queueDepthMax = queueDepthMax_;
+    snap.replica = replicaLabel_;
     return snap;
 }
 
@@ -112,6 +150,7 @@ std::string MetricsSnapshot::toJson() const {
     w.endObject();
     w.kv("queue_depth", queueDepth);
     w.kv("queue_depth_max", queueDepthMax);
+    if (!replica.empty()) w.kv("replica", replica);
     w.endObject();
     return w.str();
 }

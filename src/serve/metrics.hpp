@@ -27,6 +27,11 @@ public:
     /// Records one latency sample (negative values clamp to 0).
     void record(double ms);
 
+    /// Folds @p other into this histogram at raw-bin granularity, so
+    /// percentiles over the merged distribution are as accurate as if every
+    /// sample had been recorded here (no stats-level approximation).
+    void merge(const LatencyHistogram& other);
+
     /// Value at percentile @p p in [0, 100] (0 with no samples).
     double percentile(double p) const;
 
@@ -61,6 +66,10 @@ struct MetricsSnapshot {
     std::map<std::string, count> counters;
     count queueDepth = 0;    ///< total queued requests at snapshot time
     count queueDepthMax = 0; ///< high-water mark since construction
+    /// Which replica this snapshot describes ("0", "1", ...). Empty for a
+    /// single-instance service and for the aggregate view over a replica
+    /// set, so pre-replication consumers see unchanged output.
+    std::string replica;
 
     count counter(const std::string& name) const {
         auto it = counters.find(name);
@@ -68,7 +77,9 @@ struct MetricsSnapshot {
     }
 
     /// One JSON object: {"histograms": {...}, "counters": {...},
-    /// "queue_depth": n, "queue_depth_max": n}.
+    /// "queue_depth": n, "queue_depth_max": n} plus a "replica" key when
+    /// the label is non-empty (absent otherwise — existing consumers see
+    /// byte-identical output).
     std::string toJson() const;
 };
 
@@ -88,6 +99,17 @@ public:
     /// Sets the current total queue depth; tracks the maximum seen.
     void gaugeQueueDepth(count depth);
 
+    /// Stamps every snapshot this registry produces with a replica id.
+    void setReplicaLabel(std::string label);
+
+    /// Folds @p other into this registry: counters sum, histograms merge at
+    /// raw-bin granularity, queue depths add (the aggregate backlog is the
+    /// sum of the replicas'; the merged high-water is the sum of per-source
+    /// high-waters — an upper bound, since the maxima need not coincide).
+    /// The replica label is NOT merged: an aggregate stays aggregate.
+    /// @p other may be under concurrent use; self-merge is a no-op.
+    void merge(const MetricsRegistry& other);
+
     MetricsSnapshot snapshot() const;
 
 private:
@@ -96,6 +118,7 @@ private:
     std::map<std::string, count, std::less<>> counters_;
     count queueDepth_ = 0;
     count queueDepthMax_ = 0;
+    std::string replicaLabel_;
 };
 
 } // namespace rinkit::serve

@@ -1,0 +1,118 @@
+#pragma once
+
+#include <future>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/md/trajectory.hpp"
+#include "src/serve/metrics.hpp"
+#include "src/viz/widget.hpp"
+
+namespace rinkit::serve {
+
+/// Opaque handle to one user's widget session.
+using SessionId = count;
+
+/// One interaction from a client: a widget slider move (or a refresh
+/// button press) plus an optional latency deadline.
+struct SliderEvent {
+    enum class Kind { Frame, Cutoff, Measure, Refresh };
+
+    Kind kind = Kind::Refresh;
+    index frame = 0;
+    double cutoff = 4.5;
+    viz::Measure measure = viz::Measure::Degree;
+    /// Queue-time budget in ms; a request that waits longer is executed
+    /// degraded and flagged. 0 = use the service default.
+    double deadlineMs = 0.0;
+
+    static SliderEvent setFrame(index frame, double deadlineMs = 0.0);
+    static SliderEvent setCutoff(double cutoff, double deadlineMs = 0.0);
+    static SliderEvent setMeasure(viz::Measure measure, double deadlineMs = 0.0);
+    static SliderEvent refresh(double deadlineMs = 0.0);
+};
+
+/// Stable lowercase name of an event kind ("frame", "cutoff", "measure",
+/// "refresh") — span attributes and logs.
+std::string_view kindName(SliderEvent::Kind kind);
+
+enum class RequestStatus {
+    Ok,         ///< served exactly
+    OkDegraded, ///< served, but shed to the degraded path
+    Rejected,   ///< admission control refused it (queue at budget / session closed)
+};
+
+/// What a submitted request resolved to. Every accepted request's future
+/// resolves exactly once — coalesced requests resolve with the outcome of
+/// the event that superseded them.
+struct RequestOutcome {
+    RequestStatus status = RequestStatus::Ok;
+    viz::RinWidget::UpdateTiming timing; ///< zeros when Rejected
+    double queueMs = 0.0;                ///< time spent waiting for a worker
+    count coalescedEvents = 0;           ///< older queued events this one absorbed
+    bool deadlineMissed = false;         ///< queue wait exceeded the deadline
+
+    bool accepted() const { return status != RequestStatus::Rejected; }
+    bool degraded() const { return status == RequestStatus::OkDegraded; }
+};
+
+/// The serving API boundary: what a gateway (JupyterHub) needs from the
+/// layer that executes widget sessions, and nothing more. Both the
+/// single-instance SessionService and the replicated ReplicaSet implement
+/// it, so "one pod" and "N pods behind a hash ring" are swappable without
+/// any caller change.
+///
+/// Contract highlights:
+///  - openSession's @p routingKey is the sticky-session identity (a user
+///    name, a client IP): implementations that shard sessions hash it onto
+///    their replica ring, and the same key keeps routing to the same
+///    replica while the replica set is stable. Single-instance
+///    implementations may ignore it. An empty key means "derive one from
+///    the session id".
+///  - submit never blocks on computation and its future always resolves
+///    (Ok, OkDegraded, or Rejected), even across replica scale-down:
+///    queued requests are migrated with their session, not dropped.
+///  - metrics() is the aggregate view over all replicas (counters summed,
+///    histograms merged), so dashboards written against a single instance
+///    keep working; perReplicaMetrics() exposes the per-replica breakdown.
+class ServiceEndpoint {
+public:
+    virtual ~ServiceEndpoint() = default;
+
+    /// Opens a widget session over @p traj (which must outlive the
+    /// session). Returns the id used for submit/close.
+    virtual SessionId openSession(const md::Trajectory& traj,
+                                  viz::RinWidget::Options widgetOptions = {},
+                                  std::string_view routingKey = {}) = 0;
+
+    /// Closes a session: queued requests resolve Rejected, an in-flight
+    /// request finishes normally. Unknown ids are ignored.
+    virtual void closeSession(SessionId id) = 0;
+
+    /// Submits one slider event; never blocks on computation. The returned
+    /// future always resolves. Throws std::invalid_argument for an unknown
+    /// session id.
+    virtual std::future<RequestOutcome> submit(SessionId id, SliderEvent event) = 0;
+
+    /// Blocks until every queue is empty and no request is in flight.
+    virtual void drain() = 0;
+
+    /// Rejects everything queued and closes every session; the endpoint
+    /// stays alive but serves nothing until sessions are reopened.
+    virtual void shutdown() = 0;
+
+    virtual count activeSessions() const = 0;
+
+    /// Point-in-time aggregate of all serving metrics (all replicas).
+    virtual MetricsSnapshot metrics() const = 0;
+
+    /// Per-replica metric snapshots, each labeled with its replica id.
+    /// Single-instance endpoints return their one (unlabeled) snapshot.
+    virtual std::vector<MetricsSnapshot> perReplicaMetrics() const { return {metrics()}; }
+
+    /// Number of serving replicas behind this endpoint.
+    virtual count replicaCount() const { return 1; }
+};
+
+} // namespace rinkit::serve

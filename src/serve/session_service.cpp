@@ -66,22 +66,25 @@ obs::SpanAttr strAttr(std::string_view key, std::string_view v) {
 
 } // namespace
 
-SessionService::SessionService(Options options) : options_(options) {
+SessionService::SessionService(Options options) : options_(std::move(options)) {
     if (options_.workers == 0)
         options_.workers = std::max<count>(1, options_.budget.cpuMillis / 1000);
     if (options_.maxQueuedPerSession == 0)
         options_.maxQueuedPerSession = std::max<count>(2, options_.budget.memoryMb / 2048);
+    registry_.setReplicaLabel(options_.replicaLabel);
     // Pre-seed the lifecycle counters so every snapshot (and its JSON)
     // carries the full set, zeros included. The wire_* counters track the
     // shipped payloads: bytes in whichever format the session uses, and
     // the keyframe/delta split for binary-wire sessions (JSON payloads
     // count frames and bytes but neither wire_keyframes nor
     // wire_delta_frames, so delta ratio = wire_delta_frames / frames_shipped
-    // is meaningful per-format).
+    // is meaningful per-format). handed_off/adopted account migration:
+    // pending queue slots leaving / arriving with a migrated session.
     for (const char* name : {"submitted", "completed", "coalesced", "rejected",
                              "shed_degraded", "shed_stale", "deadline_missed",
                              "sessions_opened", "frames_shipped", "wire_bytes",
                              "wire_keyframes", "wire_delta_frames",
+                             "handed_off", "adopted", "sessions_adopted",
                              "measure_tier_exact", "measure_tier_dynamic",
                              "measure_tier_approx", "measure_tier_stale"})
         registry_.increment(name, 0);
@@ -92,30 +95,33 @@ SessionService::~SessionService() {
     // Reject everything still queued so no future dangles, and clear the
     // session map so finishing workers do not re-enqueue; then join the
     // pool while all other members are still alive.
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        for (auto& [id, session] : sessions_) {
-            for (auto& request : session->queue) {
-                // One slot = one "rejected" tick: the coalesced waiters of
-                // this slot were already accounted under "coalesced", so
-                // per-slot counting keeps the invariant
-                // submitted == completed + coalesced + rejected.
-                registry_.increment("rejected");
-                RequestOutcome outcome;
-                outcome.status = RequestStatus::Rejected;
-                resolveAll(request, outcome);
-            }
-            totalQueued_ -= session->queue.size();
-            session->queue.clear();
-        }
-        sessions_.clear();
-        registry_.gaugeQueueDepth(totalQueued_);
-    }
+    shutdown();
     pool_.reset();
 }
 
+void SessionService::shutdown() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [id, session] : sessions_) {
+        for (auto& request : session->queue) {
+            // One slot = one "rejected" tick: the coalesced waiters of
+            // this slot were already accounted under "coalesced", so
+            // per-slot counting keeps the invariant
+            // submitted + adopted == completed + coalesced + rejected + handed_off.
+            registry_.increment("rejected");
+            RequestOutcome outcome;
+            outcome.status = RequestStatus::Rejected;
+            resolveAll(request, outcome);
+        }
+        totalQueued_ -= session->queue.size();
+        session->queue.clear();
+    }
+    sessions_.clear();
+    registry_.gaugeQueueDepth(totalQueued_);
+}
+
 SessionId SessionService::openSession(const md::Trajectory& traj,
-                                      viz::RinWidget::Options widgetOptions) {
+                                      viz::RinWidget::Options widgetOptions,
+                                      std::string_view /*routingKey*/) {
     // Widget construction runs the initial update cycle — keep it off the
     // service lock.
     auto session = std::make_shared<Session>();
@@ -135,7 +141,7 @@ void SessionService::closeSession(SessionId id) {
     if (it == sessions_.end()) return;
     Session& session = *it->second;
     for (auto& request : session.queue) {
-        registry_.increment("rejected"); // per slot; see ~SessionService
+        registry_.increment("rejected"); // per slot; see shutdown()
         RequestOutcome outcome;
         outcome.status = RequestStatus::Rejected;
         resolveAll(request, outcome);
@@ -197,7 +203,7 @@ std::future<RequestOutcome> SessionService::submit(SessionId id, SliderEvent eve
         return future;
     }
 
-    Request request;
+    detail::QueuedRequest request;
     request.event = event;
     request.waiters.push_back(std::move(promise));
     // Mint the request's trace on the submitting (service) thread; the
@@ -236,20 +242,76 @@ std::vector<SliderEvent::Kind> SessionService::appliedEvents(SessionId id) const
     return it->second->appliedLog;
 }
 
+const viz::RinWidget* SessionService::sessionWidget(SessionId id) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = sessions_.find(id);
+    return it == sessions_.end() ? nullptr : it->second->widget.get();
+}
+
+SessionService::DetachedSession SessionService::extractSession(SessionId id) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    auto it = sessions_.find(id);
+    if (it == sessions_.end())
+        throw std::invalid_argument("SessionService: unknown session id " + std::to_string(id));
+    std::shared_ptr<Session> session = it->second;
+
+    // Quiesce: freeze scheduling (pumpLocked skips frozen sessions) and
+    // wait out the in-flight request. Its waiters resolve normally on this
+    // replica — only *unexecuted* work is handed off.
+    session->frozen = true;
+    idle_.wait(lock, [&] { return !session->busy; });
+
+    DetachedSession detached;
+    detached.widget_ = std::move(session->widget);
+    detached.appliedLog_ = std::move(session->appliedLog);
+    detached.queue_ = std::move(session->queue);
+    for (count i = 0; i < detached.queue_.size(); ++i) registry_.increment("handed_off");
+    totalQueued_ -= detached.queue_.size();
+    sessions_.erase(id);
+    registry_.gaugeQueueDepth(totalQueued_);
+    if (totalQueued_ == 0 && inFlight_ == 0) idle_.notify_all();
+    return detached;
+}
+
+SessionId SessionService::adoptSession(DetachedSession&& detached) {
+    if (!detached.valid())
+        throw std::invalid_argument("SessionService: adopting an empty DetachedSession");
+    // The client's wire stream is re-homed onto this replica: force the
+    // next frame to be a keyframe (the resync rule), so the decoder
+    // continues from a self-contained state instead of a delta against
+    // frames the new replica never shipped.
+    detached.widget_->forceWireResync();
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto session = std::make_shared<Session>();
+    session->id = nextId_++;
+    session->widget = std::move(detached.widget_);
+    session->appliedLog = std::move(detached.appliedLog_);
+    session->queue = std::move(detached.queue_);
+    for (count i = 0; i < session->queue.size(); ++i) registry_.increment("adopted");
+    totalQueued_ += session->queue.size();
+    registry_.increment("sessions_adopted");
+    registry_.gaugeQueueDepth(totalQueued_);
+    const SessionId id = session->id;
+    sessions_.emplace(id, session);
+    pumpLocked(session);
+    return id;
+}
+
 void SessionService::pumpLocked(const std::shared_ptr<Session>& session) {
-    if (session->busy || session->queue.empty()) return;
+    if (session->busy || session->frozen || session->queue.empty()) return;
     session->busy = true;
     ++inFlight_;
     pool_->submit([this, session] { runNext(session); });
 }
 
-void SessionService::resolveAll(Request& request, const RequestOutcome& outcome) {
+void SessionService::resolveAll(detail::QueuedRequest& request, const RequestOutcome& outcome) {
     for (auto& waiter : request.waiters) waiter.set_value(outcome);
     request.waiters.clear();
 }
 
 void SessionService::runNext(std::shared_ptr<Session> session) {
-    Request request;
+    detail::QueuedRequest request;
     count depthBehind = 0;
     {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -257,7 +319,7 @@ void SessionService::runNext(std::shared_ptr<Session> session) {
             // closeSession rejected the backlog between scheduling and now.
             session->busy = false;
             --inFlight_;
-            if (totalQueued_ == 0 && inFlight_ == 0) idle_.notify_all();
+            idle_.notify_all();
             return;
         }
         request = std::move(session->queue.front());
@@ -322,6 +384,7 @@ void SessionService::runNext(std::shared_ptr<Session> session) {
         exec.attr("session", static_cast<double>(session->id));
         exec.attr("kind", kindName(request.event.kind));
         exec.attr("degraded", degraded);
+        if (!options_.replicaLabel.empty()) exec.attr("replica", options_.replicaLabel);
         switch (request.event.kind) {
         case SliderEvent::Kind::Frame:
             timing = widget.setFrame(request.event.frame);
@@ -381,7 +444,9 @@ void SessionService::runNext(std::shared_ptr<Session> session) {
     // Re-enqueue through the pool's FIFO rather than looping here, so a
     // chatty session yields to the others between requests.
     if (sessions_.count(session->id) != 0) pumpLocked(session);
-    if (totalQueued_ == 0 && inFlight_ == 0) idle_.notify_all();
+    // Wake both drain() (all-idle) and extractSession() (this session
+    // quiesced); the predicates re-check under the lock.
+    idle_.notify_all();
 }
 
 } // namespace rinkit::serve

@@ -12,63 +12,42 @@
 #include "src/md/trajectory.hpp"
 #include "src/obs/trace.hpp"
 #include "src/serve/metrics.hpp"
+#include "src/serve/service_endpoint.hpp"
 #include "src/support/thread_pool.hpp"
 #include "src/support/timer.hpp"
 #include "src/viz/widget.hpp"
 
 namespace rinkit::serve {
 
-/// Opaque handle to one user's widget session.
-using SessionId = count;
+namespace detail {
 
-/// One interaction from a client: a widget slider move (or a refresh
-/// button press) plus an optional latency deadline.
-struct SliderEvent {
-    enum class Kind { Frame, Cutoff, Measure, Refresh };
-
-    Kind kind = Kind::Refresh;
-    index frame = 0;
-    double cutoff = 4.5;
-    viz::Measure measure = viz::Measure::Degree;
-    /// Queue-time budget in ms; a request that waits longer is executed
-    /// degraded and flagged. 0 = use the service default.
-    double deadlineMs = 0.0;
-
-    static SliderEvent setFrame(index frame, double deadlineMs = 0.0);
-    static SliderEvent setCutoff(double cutoff, double deadlineMs = 0.0);
-    static SliderEvent setMeasure(viz::Measure measure, double deadlineMs = 0.0);
-    static SliderEvent refresh(double deadlineMs = 0.0);
+/// One queued slot of a session's FIFO: the (possibly coalesced) event,
+/// every waiter it will resolve, and the trace identity minted at submit.
+/// Namespace-scope (not nested in SessionService) so a DetachedSession can
+/// carry the pending queue across replicas during migration.
+struct QueuedRequest {
+    SliderEvent event;
+    std::vector<std::promise<RequestOutcome>> waiters;
+    Timer queued;        ///< started at submit of the *oldest* waiter
+    count absorbed = 0;  ///< events coalesced into this slot
+    /// Trace identity minted at submit; the worker adopts it so the
+    /// request's spans — enqueue on the service thread, queue wait,
+    /// execution on a worker — form one connected tree.
+    obs::SpanContext traceCtx;
+    double submittedUs = 0.0; ///< tracer clock at submit (root span start)
 };
 
-/// Stable lowercase name of an event kind ("frame", "cutoff", "measure",
-/// "refresh") — span attributes and logs.
-std::string_view kindName(SliderEvent::Kind kind);
-
-enum class RequestStatus {
-    Ok,         ///< served exactly
-    OkDegraded, ///< served, but shed to the degraded path
-    Rejected,   ///< admission control refused it (queue at budget / session closed)
-};
-
-/// What a submitted request resolved to. Every accepted request's future
-/// resolves exactly once — coalesced requests resolve with the outcome of
-/// the event that superseded them.
-struct RequestOutcome {
-    RequestStatus status = RequestStatus::Ok;
-    viz::RinWidget::UpdateTiming timing; ///< zeros when Rejected
-    double queueMs = 0.0;                ///< time spent waiting for a worker
-    count coalescedEvents = 0;           ///< older queued events this one absorbed
-    bool deadlineMissed = false;         ///< queue wait exceeded the deadline
-
-    bool accepted() const { return status != RequestStatus::Rejected; }
-    bool degraded() const { return status == RequestStatus::OkDegraded; }
-};
+} // namespace detail
 
 /// SessionService configuration. Namespace-scope (not nested) so its
 /// defaults can serve the service's single defaulted-Options constructor.
 struct SessionServiceOptions {
-    /// Resource budget the service admits work against — defaults to the
-    /// paper's per-instance cgroup limit (10 vCores / 16 GB).
+    /// Resource budget the service admits work against. This is the budget
+    /// of *this instance* (one pod): in a replicated deployment every
+    /// replica gets its own per-pod share (ReplicaSet fills this in from
+    /// its pod budget) — the fleet budget is split across pods, never
+    /// duplicated into each one. Defaults to the paper's per-instance
+    /// cgroup limit (10 vCores / 16 GB).
     cloud::Resources budget = cloud::kPaperInstanceLimit;
     /// Worker threads. 0 = one per budgeted vCore (budget.cpuMillis/1000).
     count workers = 0;
@@ -91,6 +70,10 @@ struct SessionServiceOptions {
     /// deadline is traced even when it lost the head-sampling draw, so the
     /// requests most worth debugging always leave a span tree.
     bool sampleOnDeadlineMiss = true;
+    /// Replica identity stamped on every metrics snapshot and span this
+    /// instance emits ("0", "1", ... in a ReplicaSet). Empty for a
+    /// standalone single-instance service.
+    std::string replicaLabel;
 };
 
 /// Concurrent multi-session RIN service: runs many RinWidget sessions on a
@@ -119,64 +102,110 @@ struct SessionServiceOptions {
 /// Sessions are independent: the pool interleaves them, and a session
 /// re-enqueues itself after each request so a chatty client cannot starve
 /// the others. All slider submissions and metric reads are thread-safe.
-class SessionService {
+class SessionService : public ServiceEndpoint {
 public:
     using Options = SessionServiceOptions;
 
+    /// Everything a live session is, detached for migration: the widget
+    /// (whose caches, dynamic measure state, and wire encoder/decoder
+    /// state all travel with it), the applied-event log, and the pending
+    /// request queue — every queued future is handed off, none dropped.
+    /// Produced by extractSession on the draining replica, consumed by
+    /// adoptSession on the target.
+    class DetachedSession {
+    public:
+        DetachedSession() = default;
+        DetachedSession(DetachedSession&&) = default;
+        DetachedSession& operator=(DetachedSession&&) = default;
+
+        count queuedRequests() const { return queue_.size(); }
+        bool valid() const { return widget_ != nullptr; }
+
+    private:
+        friend class SessionService;
+        std::unique_ptr<viz::RinWidget> widget_;
+        std::vector<SliderEvent::Kind> appliedLog_;
+        std::deque<detail::QueuedRequest> queue_;
+    };
+
     explicit SessionService(Options options = {});
-    ~SessionService();
+    ~SessionService() override;
 
     SessionService(const SessionService&) = delete;
     SessionService& operator=(const SessionService&) = delete;
 
     /// Opens a widget session over @p traj (which must outlive the
-    /// session). Returns the id used for submit/close.
+    /// session). The routing key is unused by the single-instance service
+    /// (there is nothing to shard); see ServiceEndpoint.
     SessionId openSession(const md::Trajectory& traj,
-                          viz::RinWidget::Options widgetOptions = {});
+                          viz::RinWidget::Options widgetOptions = {},
+                          std::string_view routingKey = {}) override;
 
     /// Closes a session: queued requests resolve Rejected, an in-flight
     /// request finishes normally. Unknown ids are ignored.
-    void closeSession(SessionId id);
+    void closeSession(SessionId id) override;
 
     /// Submits one slider event; never blocks on computation. The returned
     /// future always resolves (Ok, OkDegraded, or Rejected). Throws
     /// std::invalid_argument for an unknown session id.
-    std::future<RequestOutcome> submit(SessionId id, SliderEvent event);
+    std::future<RequestOutcome> submit(SessionId id, SliderEvent event) override;
 
     /// Blocks until every queue is empty and no request is in flight.
-    void drain();
+    void drain() override;
 
-    count activeSessions() const;
+    /// Rejects every queued request and closes every session (the worker
+    /// pool stays up, so new sessions can be opened afterwards).
+    void shutdown() override;
+
+    count activeSessions() const override;
+
+    // -- migration (replica scale-down) -----------------------------------
+
+    /// Quiesces and removes one session for hand-off: stops scheduling its
+    /// queue, waits for the in-flight request (if any) to finish, then
+    /// returns the widget plus the *unexecuted* pending queue. Every
+    /// pending slot ticks the "handed_off" counter, keeping this replica's
+    /// accounting invariant
+    ///   submitted + adopted == completed + coalesced + rejected + handed_off
+    /// intact. The caller must guarantee no concurrent submit() for this
+    /// id (the ReplicaSet's routing lock does). Throws
+    /// std::invalid_argument for an unknown id.
+    DetachedSession extractSession(SessionId id);
+
+    /// Adopts a migrated session under a fresh id: the pending queue is
+    /// re-enqueued (each slot ticks "adopted") and execution resumes in
+    /// order. The wire stream is resynced with a forced keyframe so a
+    /// binary-wire client reconnecting to this replica decodes a valid
+    /// stream continuation.
+    SessionId adoptSession(DetachedSession&& detached);
 
     /// In-submission-order log of the event kinds actually applied to the
     /// session's widget (coalesced-away events never appear). Test hook
     /// for the per-session ordering guarantee.
     std::vector<SliderEvent::Kind> appliedEvents(SessionId id) const;
 
+    /// The session's widget, for tests and diagnostics (nullptr for an
+    /// unknown id). The pointer is owned by the service and only safe to
+    /// read while no request of this session is executing (e.g. after
+    /// drain()).
+    const viz::RinWidget* sessionWidget(SessionId id) const;
+
     /// Point-in-time copy of all serving metrics.
-    MetricsSnapshot metrics() const { return registry_.snapshot(); }
+    MetricsSnapshot metrics() const override { return registry_.snapshot(); }
+
+    /// The live registry (ReplicaSet merges replica registries through it).
+    const MetricsRegistry& registry() const { return registry_; }
 
     const Options& options() const { return options_; }
     count workerCount() const { return pool_->size(); }
 
 private:
-    struct Request {
-        SliderEvent event;
-        std::vector<std::promise<RequestOutcome>> waiters;
-        Timer queued;        ///< started at submit of the *oldest* waiter
-        count absorbed = 0;  ///< events coalesced into this slot
-        /// Trace identity minted at submit; the worker adopts it so the
-        /// request's spans — enqueue on the service thread, queue wait,
-        /// execution on a worker — form one connected tree.
-        obs::SpanContext traceCtx;
-        double submittedUs = 0.0; ///< tracer clock at submit (root span start)
-    };
-
     struct Session {
         SessionId id = 0;
         std::unique_ptr<viz::RinWidget> widget;
-        std::deque<Request> queue;
-        bool busy = false; ///< a request of this session is executing
+        std::deque<detail::QueuedRequest> queue;
+        bool busy = false;   ///< a request of this session is executing
+        bool frozen = false; ///< migration in progress: do not schedule
         std::vector<SliderEvent::Kind> appliedLog;
     };
 
@@ -187,7 +216,7 @@ private:
     /// Worker-side: pops and executes the session's next request.
     void runNext(std::shared_ptr<Session> session);
 
-    static void resolveAll(Request& request, const RequestOutcome& outcome);
+    static void resolveAll(detail::QueuedRequest& request, const RequestOutcome& outcome);
 
     Options options_;
     std::unique_ptr<ThreadPool> pool_;

@@ -197,6 +197,12 @@ public:
     /// resyncs with a keyframe.
     void dropWireClient() { wireClient_.reset(); }
 
+    /// Forces the next shipped frame to be a keyframe. Session migration
+    /// calls this when a widget is re-homed onto another replica: the
+    /// resync keyframe is self-contained, so the client's stream continues
+    /// without depending on deltas the new replica never produced.
+    void forceWireResync() { wireEncoder_.forceKeyframe(); }
+
 private:
     /// How renderAndShip learns what happened to the edge set: nothing
     /// (measure switch), an exact DynamicRin diff (cutoff/frame switch),

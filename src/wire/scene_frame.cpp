@@ -480,8 +480,12 @@ void DeltaEncoder::rebuildViewState(count viewIdx, const viz::Scene& scene,
     }
     view.qpos.resize(n);
     for (count i = 0; i < n; ++i) view.qpos[i] = view.grid.quantize(scene.nodePositions[i]);
-    view.palette.clear();
-    paletteLookup_[viewIdx].clear();
+    // Sticky palettes, for the same reason as sticky grids: the delta path
+    // only ever appends, so a keyframe that kept the accumulated palette
+    // decodes to exactly the delta-accumulated client state — which is
+    // what makes a migration resync byte-identical to an unmigrated
+    // stream. Entries cost 3 bytes each, so retaining stale colors across
+    // epochs is noise next to re-keying the color indices.
     view.colorIndex.resize(n);
     for (count i = 0; i < n; ++i)
         view.colorIndex[i] = paletteIndexOf(viewIdx, scene.nodeColors[i]);
