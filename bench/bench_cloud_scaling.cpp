@@ -15,7 +15,9 @@
 // (admission control) and the shed/coalesce counters pick up the slack.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
+#include <memory>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -26,6 +28,8 @@
 #include "src/cloud/jupyterhub.hpp"
 #include "src/md/synthetic.hpp"
 #include "src/md/trajectory.hpp"
+#include "src/obs/slo.hpp"
+#include "src/obs/tail_sampler.hpp"
 #include "src/serve/session_service.hpp"
 
 namespace {
@@ -124,7 +128,21 @@ void BM_ClosedLoopSessions(benchmark::State& state, count clients, double thinkM
     // counters so one --json artifact cross-checks the other.
     rinkit::benchsupport::SpanWindow window;
     serve::MetricsSnapshot snap;
+    double sloAttainment = 1.0;
+    double sloFastBurn = 0.0;
+    bool sloAlert = false;
+    count tracesRetained = 0;
     for (auto _ : state) {
+        // Per-run SLO engine + tail sampler, like a production instance
+        // carries. The SpanWindow above keeps the tracer on, so the
+        // sampler takes a retention verdict per request (degraded/shed/
+        // baseline keeps show up in traces_retained) — but it is not
+        // installed as the span sink, so no per-span buffering rides on
+        // the closed-loop timing.
+        auto slo = std::make_shared<rinkit::obs::SloEngine>();
+        auto sampler = std::make_shared<rinkit::obs::TailSampler>();
+        options.slo = slo;
+        options.tailSampler = sampler;
         serve::SessionService service(options);
         std::vector<serve::SessionId> sessions;
         sessions.reserve(clients);
@@ -144,11 +162,21 @@ void BM_ClosedLoopSessions(benchmark::State& state, count clients, double thinkM
         for (auto& t : threads) t.join();
         service.drain();
         snap = service.metrics();
+        const auto status = slo->evaluate();
+        sloAttainment = 1.0;
+        for (const auto& s : status) sloAttainment = std::min(sloAttainment, s.attainment);
+        sloFastBurn = slo->fastBurnRate();
+        sloAlert = slo->worstState() != rinkit::obs::SloState::Healthy;
+        tracesRetained = sampler->stats().retainedTotal();
     }
 
     rinkit::benchsupport::addSnapshotCounters(state, snap);
     state.counters["clients"] = static_cast<double>(clients);
     state.counters["think_ms"] = thinkMs;
+    state.counters["slo_attainment"] = sloAttainment;
+    state.counters["slo_fast_burn"] = sloFastBurn;
+    state.counters["slo_alert_fired"] = sloAlert ? 1.0 : 0.0;
+    state.counters["traces_retained"] = static_cast<double>(tracesRetained);
     state.counters["span_queue_wait_ms"] = window.phaseMeanMs("serve.queue_wait");
     state.counters["span_execute_ms"] = window.phaseMeanMs("serve.execute");
     state.counters["span_coalesced"] =

@@ -24,12 +24,16 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <memory>
 #include <string>
 
 #include "bench/bench_common.hpp"
 
 #include "src/md/synthetic.hpp"
 #include "src/md/trajectory.hpp"
+#include "src/obs/slo.hpp"
+#include "src/obs/tail_sampler.hpp"
+#include "src/obs/trace.hpp"
 #include "src/serve/load_generator.hpp"
 #include "src/serve/replica_set.hpp"
 #include "src/serve/session_service.hpp"
@@ -111,6 +115,12 @@ void addReportCounters(benchmark::State& state, const serve::LoadReport& rep) {
     state.counters["p50_ms"] = rep.p50Ms;
     state.counters["p99_ms"] = rep.p99Ms;
     state.counters["replicas_final"] = static_cast<double>(rep.replicasFinal);
+    // SLO summary: worst objective attainment over the longest window,
+    // peak fast burn rate, and whether multi-window alerting ever fired.
+    state.counters["slo_attainment"] = rep.sloAttainment;
+    state.counters["slo_fast_burn_peak"] = rep.sloFastBurnPeak;
+    state.counters["slo_alert_fired"] = rep.sloAlertFired ? 1.0 : 0.0;
+    state.counters["slo_state_changes"] = static_cast<double>(rep.sloStateChanges);
 }
 
 /// Shed/latency at one (replicas, load-factor) grid point. The load axis
@@ -222,11 +232,24 @@ void BM_ClusterRealOpenLoop(benchmark::State& state) {
         serve::ReplicaSetOptions opts;
         opts.initialReplicas = 2;
         opts.serviceTemplate.workers = 2;
+        // Full observability stack on the live path: SLO scoring and
+        // tail-based retention, like a production fleet runs it.
+        opts.serviceTemplate.slo = std::make_shared<rinkit::obs::SloEngine>();
+        auto sampler = std::make_shared<rinkit::obs::TailSampler>();
+        sampler->install();
+        opts.serviceTemplate.tailSampler = sampler;
+        auto& tracer = rinkit::obs::Tracer::global();
+        const bool wasEnabled = tracer.enabled();
+        tracer.setEnabled(true);
+        tracer.setSampleEvery(0); // tail config: only forced request roots
         serve::ReplicaSet fleet(opts);
         serve::LoadGenerator gen(o);
         rep = gen.run(fleet, traj, [&](double) { fleet.tick(); });
+        sampler->uninstall();
+        tracer.setEnabled(wasEnabled);
     }
     addReportCounters(state, rep);
+    state.counters["traces_retained"] = static_cast<double>(rep.tracesRetained);
 }
 
 BENCHMARK(BM_ClusterShedCurve)

@@ -7,6 +7,13 @@
 // *interleaved* (off, on, off, on, ...) so thermal / frequency drift hits
 // both modes equally, and compares medians.
 //
+// The "on" mode carries the full serving-path observability stack, not
+// just span recording: every cycle runs under a Force-sampled request
+// root whose spans are buffered by an installed TailSampler (span-sink
+// copy per span), gets a retention verdict at completion, and stamps an
+// exemplar into a latency histogram — so the ≤threshold gate covers tail
+// buffering and exemplar stamping too.
+//
 //   bench_obs_overhead [threshold_pct] [cycles_per_mode]
 //
 // Exit status 1 if the enabled median exceeds the disabled median by more
@@ -19,7 +26,9 @@
 
 #include "src/md/synthetic.hpp"
 #include "src/md/trajectory.hpp"
+#include "src/obs/tail_sampler.hpp"
 #include "src/obs/trace.hpp"
+#include "src/serve/metrics.hpp"
 #include "src/viz/widget.hpp"
 
 namespace {
@@ -46,6 +55,13 @@ int main(int argc, char** argv) {
     auto& tracer = obs::Tracer::global();
     tracer.setSampleEvery(1); // worst case: every cycle fully recorded
 
+    // The serving-path tail stack, active whenever tracing is on: the
+    // sampler's span sink sees every recorded span, and each cycle pays a
+    // retention verdict plus an exemplar-stamped histogram record.
+    obs::TailSampler sampler;
+    sampler.install();
+    serve::LatencyHistogram hist;
+
     // Warm up both code paths (first cycles pay allocator + cache warmup).
     bool high = false;
     for (int i = 0; i < 4; ++i) {
@@ -58,13 +74,25 @@ int main(int argc, char** argv) {
     // directions cost very different amounts (cutoff increase adds edges,
     // decrease is a pure filter), so each mode must always measure both —
     // and the sum keeps the sample distribution unimodal, which makes the
-    // median stable.
-    auto measurePair = [&] {
+    // median stable. The "on" half runs each switch as a tail-sampled
+    // request root, exactly like the serving layer does.
+    auto measurePair = [&](bool tracingOn) {
         double pairMs = 0.0;
         for (int direction = 0; direction < 2; ++direction) {
             high = !high;
-            const auto t = widget.setCutoff(high ? 7.5 : 4.5);
-            pairMs += t.serverMs();
+            if (tracingOn) {
+                const auto ctx = tracer.makeRootContext(obs::Sample::Force);
+                obs::ContextScope scope(ctx);
+                sampler.open(ctx.traceId);
+                const auto t = widget.setCutoff(high ? 7.5 : 4.5);
+                const double ms = t.serverMs();
+                sampler.finish(ctx.traceId, {ms, false, false, false});
+                hist.record(ms, ctx.traceId, tracer.nowUs());
+                pairMs += ms;
+            } else {
+                const auto t = widget.setCutoff(high ? 7.5 : 4.5);
+                pairMs += t.serverMs();
+            }
         }
         return pairMs;
     };
@@ -81,9 +109,9 @@ int main(int argc, char** argv) {
     for (count i = 0; i < cyclesPerMode; ++i) {
         const bool onFirst = i % 2 == 1;
         tracer.setEnabled(onFirst);
-        const double first = measurePair();
+        const double first = measurePair(onFirst);
         tracer.setEnabled(!onFirst);
-        const double second = measurePair();
+        const double second = measurePair(!onFirst);
         const double off = onFirst ? second : first;
         const double on = onFirst ? first : second;
         offMs.push_back(off);
@@ -97,6 +125,10 @@ int main(int argc, char** argv) {
     const double regressionPct = off > 0.0 ? median(deltaMs) / off * 100.0 : 0.0;
     std::printf("obs overhead guard: 1000-residue cutoff up+down pairs, %llu pairs/mode\n",
                 static_cast<unsigned long long>(cyclesPerMode));
+    const auto tailStats = sampler.stats();
+    std::printf("  tail stack in 'on' mode: %llu roots buffered+ruled, %llu retained\n",
+                static_cast<unsigned long long>(tailStats.finished),
+                static_cast<unsigned long long>(tailStats.retainedTotal()));
     std::printf("  median pair server_ms tracing off: %.3f\n", off);
     std::printf("  median pair server_ms tracing on:  %.3f\n", on);
     std::printf("  median paired delta: %+.2f%% of off median (threshold %.2f%%)\n",

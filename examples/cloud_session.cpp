@@ -28,7 +28,10 @@
 #include "src/cloud/jupyterhub.hpp"
 #include "src/md/synthetic.hpp"
 #include "src/md/trajectory.hpp"
+#include "src/obs/event_log.hpp"
 #include "src/obs/exporters.hpp"
+#include "src/obs/slo.hpp"
+#include "src/obs/tail_sampler.hpp"
 #include "src/obs/trace.hpp"
 #include "src/serve/replica_set.hpp"
 #include "src/serve/session_service.hpp"
@@ -47,10 +50,12 @@ int main(int argc, char** argv) {
         else
             users = std::stoull(arg);
     }
-    if (!tracePath.empty()) {
-        obs::Tracer::global().setEnabled(true);
-        obs::Tracer::global().setSampleEvery(1); // demo run: record every request
-    }
+    // Tail-sampling configuration: the tracer is on but head sampling is
+    // off (setSampleEvery(0)) — the serving layer forces every request
+    // root and the TailSampler decides at completion which trees to keep.
+    // --trace additionally records everything for the Chrome export.
+    obs::Tracer::global().setEnabled(true);
+    obs::Tracer::global().setSampleEvery(tracePath.empty() ? 0 : 1);
 
     auto cluster =
         cloud::Cluster::paperReferenceCluster(/*workers=*/2, {64000, 262144});
@@ -76,6 +81,14 @@ int main(int argc, char** argv) {
     fleetOptions.serviceTemplate.budget = hub.config().userPodLimit;
     fleetOptions.serviceTemplate.defaultDeadlineMs = 500.0;
     fleetOptions.cluster = &cluster;
+    // Observability: one SLO engine and one tail sampler shared by every
+    // replica. The engine scores each request against the deployment's
+    // objectives; the sampler keeps the span trees worth reading.
+    auto slo = std::make_shared<obs::SloEngine>();
+    fleetOptions.serviceTemplate.slo = slo;
+    auto sampler = std::make_shared<obs::TailSampler>();
+    sampler->install();
+    fleetOptions.serviceTemplate.tailSampler = sampler;
     serve::ReplicaSet fleet(fleetOptions);
     hub.attachService(fleet, traj);
     std::cout << "serving layer: " << fleet.replicaCount() << " replicas ("
@@ -155,6 +168,10 @@ int main(int argc, char** argv) {
     // The same registry, as a Prometheus scraper sees it: through the
     // /metrics ingress route, with the gateway ACL-filtering the response
     // on its way out of the cluster.
+    // Evaluate the SLO engine before the scrape so the burn-rate gauges
+    // carry this run's numbers (a live deployment evaluates every
+    // autoscaler tick).
+    slo->evaluate();
     cloud::Gateway gateway;
     gateway.addRule({cloud::Gateway::Action::Allow, "192.168.", 443, "prometheus scraper"});
     hub.attachGateway(gateway);
@@ -164,6 +181,28 @@ int main(int argc, char** argv) {
         std::cout << "\nGET /metrics (Prometheus exposition, "
                   << gateway.allowedBytes() << " bytes through the gateway):\n"
                   << *exposition;
+    }
+
+    // The run's SLO verdict and the ops event log, through the same
+    // ingress + gateway path as the scrape (/debug/slo, /debug/events).
+    if (const auto sloBody = hub.debugSlo("192.168.1.100"))
+        std::cout << "\nGET /debug/slo:\n" << *sloBody << "\n";
+    if (const auto events = hub.debugEvents("192.168.1.100"))
+        std::cout << "\nGET /debug/events (" << obs::EventLog::global().size()
+                  << " ops events):\n" << *events;
+
+    // What the tail sampler decided was worth keeping: every retained id
+    // here resolves to a complete span tree (and is the only kind of id
+    // the histogram exemplars above may name).
+    const auto kept = sampler->retained();
+    std::cout << "\ntail sampler kept " << kept.size() << " of "
+              << sampler->stats().finished << " request traces:\n";
+    count shown = 0;
+    for (const auto& tr : kept) {
+        std::cout << "  trace " << tr.traceId << ": "
+                  << obs::retainReasonName(tr.reason) << ", " << tr.spans.size()
+                  << " spans, " << tr.durationMs << " ms\n";
+        if (++shown == 5) break;
     }
 
     if (!tracePath.empty()) {

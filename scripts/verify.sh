@@ -14,11 +14,16 @@
 #           (test_serve_stress, ctest labels serve;slow) under both TSan
 #           and ASan/UBSan.
 #   --obs   runs the observability suite (ctest label obs: span trees,
-#           cross-thread propagation, exporters) under TSan — the tracer's
-#           ring buffers and context propagation are concurrency code —
-#           then the tracing-overhead guard: a release build of
-#           bench_obs_overhead fails if tracing regresses the 1000-residue
-#           update-cycle median by more than 3%.
+#           cross-thread propagation, exporters, SLO burn-rate engine,
+#           tail-sampler retention) under TSan — the tracer's ring
+#           buffers, context propagation, and the tail sampler's
+#           retain/evict/export path are concurrency code — with extra
+#           repeats of the concurrent retain/evict/export stress, then
+#           the tracing-overhead guard: a release build of
+#           bench_obs_overhead fails if the full on-path stack (span
+#           recording + tail buffering + retention verdicts + exemplar
+#           stamping) regresses the 1000-residue update-cycle median by
+#           more than 3%.
 #   --layout  runs the layout suite (ctest label layout: octree, coarsening
 #           invariants, multilevel V-cycle determinism) under ASan/UBSan,
 #           then a release smoke run of the cold/warm layout ablation
@@ -108,6 +113,13 @@ if [[ "${1:-}" == "--obs" ]]; then
         -DCMAKE_EXE_LINKER_FLAGS="$TSAN_FLAGS" >/dev/null
     cmake --build build-tsan -j --target test_obs
     (cd build-tsan && ctest -L obs --output-on-failure)
+
+    # The tail sampler's retain/evict/export path is hit from worker,
+    # autoscaler, and scraper threads at once in production; repeat the
+    # dedicated stress so TSan sees more interleavings than one run gives.
+    ./build-tsan/tests/test_obs \
+        --gtest_filter='ObsTest.TailSamplerConcurrentRetainEvictExport' \
+        --gtest_repeat=5
 
     echo "== tracing-overhead guard (release) =="
     cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null

@@ -2,7 +2,9 @@
 
 #include <stdexcept>
 
+#include "src/obs/event_log.hpp"
 #include "src/obs/exporters.hpp"
+#include "src/obs/slo.hpp"
 
 namespace rinkit::cloud {
 
@@ -26,6 +28,10 @@ JupyterHub::JupyterHub(Cluster& cluster, Config config)
     // Observability scrape endpoint: Prometheus pulls the serving-layer
     // metrics through the same ingress the users come in on.
     cluster_.createIngress(config_.namespaceName, {"/metrics", "hub-svc"});
+    // Debug surfaces beside the scrape: the ops event log (JSON lines)
+    // and the SLO engine state (JSON), same routing and egress rules.
+    cluster_.createIngress(config_.namespaceName, {"/debug/events", "hub-svc"});
+    cluster_.createIngress(config_.namespaceName, {"/debug/slo", "hub-svc"});
 
     pv_["jupyterhub_config.py"] =
         "c.KubeSpawner.image = '" + config_.image + "'\n" +
@@ -91,8 +97,27 @@ std::optional<std::string> JupyterHub::scrapeMetrics(const std::string& scraperI
         snaps.insert(snaps.end(), perReplica.begin(), perReplica.end());
     }
     std::string body = obs::toPrometheusText(snaps);
+    // SLO state rides the same scrape so burn rates and the metrics they
+    // are computed from always come from one consistent pull.
+    if (const obs::SloEngine* engine = service_->sloEngine())
+        body += obs::sloToPrometheusText(engine->status());
     // The response leaves the cluster: the gateway's ACL decides whether
     // the scraper may see it, and accounts the bytes either way.
+    if (gateway_ && !gateway_->egress(scraperIp, 443, body.size())) return std::nullopt;
+    return body;
+}
+
+std::optional<std::string> JupyterHub::debugEvents(const std::string& scraperIp) {
+    if (!cluster_.route(scraperIp, "/debug/events")) return std::nullopt;
+    std::string body = obs::EventLog::global().toJsonLines();
+    if (gateway_ && !gateway_->egress(scraperIp, 443, body.size())) return std::nullopt;
+    return body;
+}
+
+std::optional<std::string> JupyterHub::debugSlo(const std::string& scraperIp) {
+    if (!service_) return std::nullopt;
+    if (!cluster_.route(scraperIp, "/debug/slo")) return std::nullopt;
+    std::string body = service_->sloJson();
     if (gateway_ && !gateway_->egress(scraperIp, 443, body.size())) return std::nullopt;
     return body;
 }

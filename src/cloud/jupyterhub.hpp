@@ -70,8 +70,22 @@ public:
     /// labeled sample set per replica when the endpoint is replicated.
     /// Returns nullopt if no service is attached, the ingress route does
     /// not resolve, or the attached gateway denies the response egress to
-    /// @p scraperIp (port 443).
+    /// @p scraperIp (port 443). When the endpoint has an SLO engine, the
+    /// engine's burn-rate/attainment/state gauges are appended to the same
+    /// body (one scrape, one consistent view).
     std::optional<std::string> scrapeMetrics(const std::string& scraperIp);
+
+    /// Serves GET /debug/events: the process-wide ops event log
+    /// (obs::EventLog::global()) as JSON lines, oldest first — autoscale
+    /// decisions, migrations, degradation transitions, wire resyncs, SLO
+    /// state changes, each stamped with the trace active when it was
+    /// emitted. Same routing/egress rules as scrapeMetrics.
+    std::optional<std::string> debugEvents(const std::string& scraperIp);
+
+    /// Serves GET /debug/slo: the attached endpoint's SLO engine state as
+    /// JSON (objective attainment, per-window burn rates, alert states).
+    /// Same routing/egress rules as scrapeMetrics.
+    std::optional<std::string> debugSlo(const std::string& scraperIp);
 
     /// Routes a widget interaction for @p user through the load balancer
     /// into the attached endpoint (the user's serve session is

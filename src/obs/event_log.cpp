@@ -1,0 +1,90 @@
+#include "src/obs/event_log.hpp"
+
+#include "src/obs/trace.hpp"
+#include "src/support/json.hpp"
+
+namespace rinkit::obs {
+
+EventLog& EventLog::global() {
+    static EventLog log;
+    return log;
+}
+
+void EventLog::log(std::string_view type, std::string_view detail, std::uint64_t traceId,
+                   std::string_view replica) {
+    Tracer& tracer = Tracer::global();
+    OpsEvent event;
+    event.tUs = tracer.nowUs();
+    event.type.assign(type);
+    event.detail.assign(detail);
+    // Correlation for free: an event emitted on a thread that is inside a
+    // request's span tree inherits that request's trace id.
+    event.traceId = traceId != 0 ? traceId : tracer.currentContext().traceId;
+    event.replica.assign(replica);
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    ring_.push_back(std::move(event));
+    ++total_;
+    while (ring_.size() > capacity_) ring_.pop_front();
+}
+
+std::vector<OpsEvent> EventLog::snapshot() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return {ring_.begin(), ring_.end()};
+}
+
+std::size_t EventLog::size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return ring_.size();
+}
+
+count EventLog::totalLogged() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return total_;
+}
+
+count EventLog::countOf(std::string_view type) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    count n = 0;
+    for (const auto& e : ring_)
+        if (e.type == type) ++n;
+    return n;
+}
+
+void EventLog::setCapacity(std::size_t capacity) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    capacity_ = std::max<std::size_t>(1, capacity);
+    while (ring_.size() > capacity_) ring_.pop_front();
+}
+
+void EventLog::clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ring_.clear();
+}
+
+void EventLog::clearAll() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ring_.clear();
+    total_ = 0;
+}
+
+std::string EventLog::toJsonLines() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::string out;
+    out.reserve(96 * ring_.size());
+    for (const auto& e : ring_) {
+        JsonWriter w;
+        w.beginObject();
+        w.kv("t_us", e.tUs);
+        w.kv("type", e.type);
+        w.kv("detail", e.detail);
+        w.kv("trace_id", static_cast<unsigned long long>(e.traceId));
+        if (!e.replica.empty()) w.kv("replica", e.replica);
+        w.endObject();
+        out += w.str();
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace rinkit::obs

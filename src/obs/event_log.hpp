@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/support/types.hpp"
+
+namespace rinkit::obs {
+
+/// One structured ops lifecycle event: what happened, when (tracer clock),
+/// and — when the emitting code ran inside a request — which trace it
+/// happened on, so a scale-up or a degradation transition in the log links
+/// straight to the retained span tree that triggered it.
+struct OpsEvent {
+    double tUs = 0.0;          ///< tracer clock at emit (us since epoch)
+    std::string type;          ///< "autoscale_up", "degrade_transition", ...
+    std::string detail;        ///< free-form human detail ("replicas 2->3")
+    std::uint64_t traceId = 0; ///< active trace at emit (0 = none)
+    std::string replica;       ///< replica label when known ("" otherwise)
+};
+
+/// Bounded ring of JSON-lines lifecycle events — the fleet's flight
+/// recorder. The serving layer appends autoscale decisions, session
+/// migrations, degradation transitions, wire resync keyframes, and SLO
+/// state changes; cloud::JupyterHub serves the ring as the /debug/events
+/// ingress route. Appends are cheap (one mutex, one deque push) and the
+/// ring never grows past its capacity, so it is safe to leave enabled in
+/// production the way the tracer's ring buffers are.
+///
+/// Event types emitted by the stack (one vocabulary, greppable):
+///   autoscale_up / autoscale_down   ReplicaSet scaling decisions
+///   session_migrated                scale-down/rebalance hand-off
+///   degrade_transition              service-wide served-level change
+///   slo_degrade_enter / _exit       SLO burn forcing the Approx rung
+///   wire_resync                     forced keyframe on session adoption
+///   slo_state_change                an objective left/entered Healthy
+class EventLog {
+public:
+    static constexpr std::size_t kDefaultCapacity = 1024;
+
+    /// The process-wide log every layer appends to (same pattern as
+    /// Tracer::global()).
+    static EventLog& global();
+
+    /// Appends one event. A zero @p traceId is replaced by the calling
+    /// thread's current trace context (if any), so events emitted while a
+    /// request executes are stamped with that request's trace for free.
+    void log(std::string_view type, std::string_view detail, std::uint64_t traceId = 0,
+             std::string_view replica = {});
+
+    /// Oldest-first copy of the ring.
+    std::vector<OpsEvent> snapshot() const;
+
+    /// Events currently held (<= capacity).
+    std::size_t size() const;
+
+    /// Monotonic count of everything ever logged (survives ring wrap).
+    count totalLogged() const;
+
+    /// Number of events of @p type currently in the ring.
+    count countOf(std::string_view type) const;
+
+    /// Resizes the ring (oldest events drop if shrinking).
+    void setCapacity(std::size_t capacity);
+
+    /// Drops all events (capacity and total count keep; tests reset with
+    /// clearAll()).
+    void clear();
+
+    /// clear() plus totalLogged reset — test isolation.
+    void clearAll();
+
+    /// The ring as JSON lines, oldest first: one object per line with keys
+    /// t_us, type, detail, trace_id, and replica (when non-empty). This is
+    /// the /debug/events response body.
+    std::string toJsonLines() const;
+
+private:
+    mutable std::mutex mutex_;
+    std::deque<OpsEvent> ring_;
+    std::size_t capacity_ = kDefaultCapacity;
+    count total_ = 0;
+};
+
+} // namespace rinkit::obs

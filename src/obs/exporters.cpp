@@ -77,8 +77,10 @@ namespace {
 
 /// One sample line: name{labels} value. Values share the JSON number
 /// formatter so exposition and JSON snapshots of the same registry agree
-/// bit-for-bit.
-void sample(std::string& out, std::string_view name, std::string_view labels, double value) {
+/// bit-for-bit. A valid @p ex appends the OpenMetrics exemplar suffix
+/// " # {trace_id=\"N\"} value timestampSec".
+void sampleLine(std::string& out, std::string_view name, std::string_view labels, double value,
+            const serve::Exemplar& ex = {}) {
     out += name;
     if (!labels.empty()) {
         out += '{';
@@ -87,6 +89,14 @@ void sample(std::string& out, std::string_view name, std::string_view labels, do
     }
     out += ' ';
     appendJsonNumber(out, value);
+    if (ex.valid()) {
+        out += " # {trace_id=\"";
+        out += std::to_string(ex.traceId);
+        out += "\"} ";
+        appendJsonNumber(out, ex.valueMs);
+        out += ' ';
+        appendJsonNumber(out, ex.timestampUs / 1e6);
+    }
     out += '\n';
 }
 
@@ -126,12 +136,12 @@ std::string toPrometheusText(const std::vector<serve::MetricsSnapshot>& snapshot
     for (const auto& snap : snapshots) {
         for (const auto& [phase, s] : snap.histograms) {
             const std::string ph = withReplica(snap, label("phase", phase));
-            sample(out, lat, ph + ",quantile=\"0.5\"", s.p50Ms);
-            sample(out, lat, ph + ",quantile=\"0.95\"", s.p95Ms);
-            sample(out, lat, ph + ",quantile=\"0.99\"", s.p99Ms);
-            sample(out, lat + "_sum", ph, s.meanMs * static_cast<double>(s.samples));
-            sample(out, lat + "_count", ph, static_cast<double>(s.samples));
-            sample(out, lat + "_max", ph, s.maxMs);
+            sampleLine(out, lat, ph + ",quantile=\"0.5\"", s.p50Ms, s.p50Ex);
+            sampleLine(out, lat, ph + ",quantile=\"0.95\"", s.p95Ms, s.p95Ex);
+            sampleLine(out, lat, ph + ",quantile=\"0.99\"", s.p99Ms, s.p99Ex);
+            sampleLine(out, lat + "_sum", ph, s.meanMs * static_cast<double>(s.samples));
+            sampleLine(out, lat + "_count", ph, static_cast<double>(s.samples));
+            sampleLine(out, lat + "_max", ph, s.maxMs);
         }
     }
 
@@ -140,15 +150,15 @@ std::string toPrometheusText(const std::vector<serve::MetricsSnapshot>& snapshot
     out += "# TYPE " + ev + " counter\n";
     for (const auto& snap : snapshots)
         for (const auto& [name, v] : snap.counters)
-            sample(out, ev, withReplica(snap, label("event", name)), static_cast<double>(v));
+            sampleLine(out, ev, withReplica(snap, label("event", name)), static_cast<double>(v));
 
     out += "# TYPE " + p + "_queue_depth gauge\n";
     for (const auto& snap : snapshots)
-        sample(out, p + "_queue_depth", withReplica(snap, ""),
+        sampleLine(out, p + "_queue_depth", withReplica(snap, ""),
                static_cast<double>(snap.queueDepth));
     out += "# TYPE " + p + "_queue_depth_max gauge\n";
     for (const auto& snap : snapshots)
-        sample(out, p + "_queue_depth_max", withReplica(snap, ""),
+        sampleLine(out, p + "_queue_depth_max", withReplica(snap, ""),
                static_cast<double>(snap.queueDepthMax));
     return out;
 }
@@ -157,6 +167,67 @@ std::string toPrometheusText(const serve::MetricsSnapshot& snapshot,
                              std::string_view prefix) {
     return toPrometheusText(std::vector<serve::MetricsSnapshot>{snapshot}, prefix);
 }
+
+namespace {
+
+/// One sample line split into parts. exemplar is the text after the
+/// OpenMetrics " # " marker (empty when absent).
+struct SplitLine {
+    std::string_view key;      ///< name{labels}
+    std::string_view value;    ///< numeric text
+    std::string_view exemplar; ///< {trace_id="..."} value [timestamp]
+};
+
+double parseDouble(std::string_view text, std::string_view line, const char* what) {
+    double v = 0.0;
+    const auto res = std::from_chars(text.data(), text.data() + text.size(), v);
+    if (res.ec != std::errc() || res.ptr != text.data() + text.size())
+        throw std::runtime_error(std::string("parsePrometheusText: bad ") + what +
+                                 " in line: " + std::string(line));
+    return v;
+}
+
+SplitLine splitSampleLine(std::string_view line) {
+    // An unquoted '#' begins the exemplar section; everything before is
+    // the classic "key value" sample. Label values may contain escaped
+    // quotes, so scan with a tiny state machine tracking the last
+    // unquoted space (the key/value split) as we go.
+    std::string_view body = line;
+    std::string_view exemplar;
+    bool inQuotes = false;
+    std::size_t valueAt = std::string_view::npos;
+    std::size_t prevSpaceAt = std::string_view::npos;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+        const char c = line[i];
+        if (inQuotes) {
+            if (c == '\\')
+                ++i; // skip escaped char
+            else if (c == '"')
+                inQuotes = false;
+        } else if (c == '"') {
+            inQuotes = true;
+        } else if (c == '#') {
+            body = line.substr(0, i);
+            while (!body.empty() && body.back() == ' ') body.remove_suffix(1);
+            // The last space seen was the one separating value from '#';
+            // the key/value split is the space before that.
+            if (valueAt != std::string_view::npos && valueAt >= body.size())
+                valueAt = prevSpaceAt;
+            exemplar = line.substr(i + 1);
+            while (!exemplar.empty() && exemplar.front() == ' ') exemplar.remove_prefix(1);
+            break;
+        } else if (c == ' ') {
+            prevSpaceAt = valueAt;
+            valueAt = i; // last unquoted space (within the body) wins
+        }
+    }
+    if (valueAt == std::string_view::npos || valueAt + 1 >= body.size())
+        throw std::runtime_error("parsePrometheusText: malformed sample line: " +
+                                 std::string(line));
+    return {body.substr(0, valueAt), body.substr(valueAt + 1), exemplar};
+}
+
+} // namespace
 
 std::map<std::string, double> parsePrometheusText(std::string_view text) {
     std::map<std::string, double> samples;
@@ -167,37 +238,93 @@ std::map<std::string, double> parsePrometheusText(std::string_view text) {
         const std::string_view line = text.substr(pos, eol - pos);
         pos = eol + 1;
         if (line.empty() || line.front() == '#') continue;
-
-        // The value is everything after the last space outside braces; the
-        // key (name + label set) is everything before. Label values may
-        // contain escaped quotes, so scan with a tiny state machine.
-        bool inQuotes = false;
-        std::size_t valueAt = std::string_view::npos;
-        for (std::size_t i = 0; i < line.size(); ++i) {
-            const char c = line[i];
-            if (inQuotes) {
-                if (c == '\\')
-                    ++i; // skip escaped char
-                else if (c == '"')
-                    inQuotes = false;
-            } else if (c == '"') {
-                inQuotes = true;
-            } else if (c == ' ') {
-                valueAt = i; // last unquoted space wins
-            }
-        }
-        if (valueAt == std::string_view::npos || valueAt + 1 >= line.size())
-            throw std::runtime_error("parsePrometheusText: malformed sample line: " +
-                                     std::string(line));
-        const std::string_view value = line.substr(valueAt + 1);
-        double v = 0.0;
-        const auto res = std::from_chars(value.data(), value.data() + value.size(), v);
-        if (res.ec != std::errc() || res.ptr != value.data() + value.size())
-            throw std::runtime_error("parsePrometheusText: bad value in line: " +
-                                     std::string(line));
-        samples.emplace(std::string(line.substr(0, valueAt)), v);
+        const SplitLine parts = splitSampleLine(line);
+        samples.emplace(std::string(parts.key), parseDouble(parts.value, line, "value"));
     }
     return samples;
+}
+
+std::map<std::string, PromExemplar> parsePrometheusExemplars(std::string_view text) {
+    std::map<std::string, PromExemplar> exemplars;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        std::size_t eol = text.find('\n', pos);
+        if (eol == std::string_view::npos) eol = text.size();
+        const std::string_view line = text.substr(pos, eol - pos);
+        pos = eol + 1;
+        if (line.empty() || line.front() == '#') continue;
+        const SplitLine parts = splitSampleLine(line);
+        if (parts.exemplar.empty()) continue;
+
+        // {trace_id="N"} value [timestampSec]
+        std::string_view ex = parts.exemplar;
+        const std::size_t close = ex.find('}');
+        if (ex.empty() || ex.front() != '{' || close == std::string_view::npos)
+            throw std::runtime_error("parsePrometheusText: malformed exemplar in line: " +
+                                     std::string(line));
+        const std::string_view labels = ex.substr(1, close - 1);
+        PromExemplar parsed;
+        const std::size_t idAt = labels.find("trace_id=\"");
+        if (idAt != std::string_view::npos) {
+            std::string_view id = labels.substr(idAt + 10);
+            id = id.substr(0, id.find('"'));
+            std::uint64_t traceId = 0;
+            const auto res = std::from_chars(id.data(), id.data() + id.size(), traceId);
+            if (res.ec == std::errc()) parsed.traceId = traceId;
+        }
+        std::string_view rest = ex.substr(close + 1);
+        while (!rest.empty() && rest.front() == ' ') rest.remove_prefix(1);
+        const std::size_t space = rest.find(' ');
+        const std::string_view value = rest.substr(0, space);
+        parsed.value = parseDouble(value, line, "exemplar value");
+        if (space != std::string_view::npos) {
+            std::string_view ts = rest.substr(space + 1);
+            while (!ts.empty() && ts.back() == ' ') ts.remove_suffix(1);
+            if (!ts.empty()) parsed.timestampSec = parseDouble(ts, line, "exemplar timestamp");
+        }
+        exemplars.emplace(std::string(parts.key), parsed);
+    }
+    return exemplars;
+}
+
+std::string sloToPrometheusText(const std::vector<SloObjectiveStatus>& statuses,
+                                std::string_view prefix) {
+    std::string out;
+    out.reserve(256 + 256 * statuses.size());
+    const std::string p(prefix);
+
+    out += "# HELP " + p + "_slo_attainment Good fraction over the longest window.\n";
+    out += "# TYPE " + p + "_slo_attainment gauge\n";
+    for (const auto& s : statuses)
+        sampleLine(out, p + "_slo_attainment", label("objective", s.name), s.attainment);
+
+    out += "# HELP " + p +
+           "_slo_state Alert state (0 healthy, 1 slow burn, 2 fast burn).\n";
+    out += "# TYPE " + p + "_slo_state gauge\n";
+    for (const auto& s : statuses)
+        sampleLine(out, p + "_slo_state", label("objective", s.name),
+               static_cast<double>(static_cast<int>(s.state)));
+
+    out += "# HELP " + p + "_slo_burn_rate Error-budget burn rate per window.\n";
+    out += "# TYPE " + p + "_slo_burn_rate gauge\n";
+    for (const auto& s : statuses) {
+        for (const auto& w : s.windows) {
+            const std::string base =
+                label("objective", s.name) + "," + label("window", w.window);
+            sampleLine(out, p + "_slo_burn_rate", base + "," + label("horizon", "short"),
+                   w.shortBurn);
+            sampleLine(out, p + "_slo_burn_rate", base + "," + label("horizon", "long"),
+                   w.longBurn);
+        }
+    }
+
+    out += "# TYPE " + p + "_slo_firing gauge\n";
+    for (const auto& s : statuses)
+        for (const auto& w : s.windows)
+            sampleLine(out, p + "_slo_firing",
+                   label("objective", s.name) + "," + label("window", w.window),
+                   w.firing ? 1.0 : 0.0);
+    return out;
 }
 
 double spanTotalMs(const std::vector<SpanRecord>& spans, std::string_view name) {

@@ -1,10 +1,12 @@
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "src/obs/slo.hpp"
 #include "src/obs/trace.hpp"
 #include "src/serve/metrics.hpp"
 
@@ -35,6 +37,13 @@ std::string promEscape(std::string_view labelValue);
 ///   <prefix>_queue_depth / <prefix>_queue_depth_max        gauges.
 /// Numbers use the shared shortest-round-trip formatter, so the text
 /// parses back to exactly the snapshot's doubles.
+///
+/// Quantile lines whose histogram carries a (retained) exemplar get the
+/// OpenMetrics exemplar suffix appended:
+///   ... quantile="0.99"} 40.2 # {trace_id="1234"} 40.2 12.345678
+/// (exemplar value = the cited sample in ms, then its timestamp in
+/// seconds). parsePrometheusText tolerates and strips the suffix;
+/// parsePrometheusExemplars reads it back.
 std::string toPrometheusText(const serve::MetricsSnapshot& snapshot,
                              std::string_view prefix = "rinkit");
 
@@ -49,9 +58,32 @@ std::string toPrometheusText(const std::vector<serve::MetricsSnapshot>& snapshot
 
 /// Minimal exposition-format reader for round-trip tests and scrapers in
 /// the cloud simulator: returns every sample line as
-/// "name{label=\"value\",...}" → numeric value ('#' lines skipped).
+/// "name{label=\"value\",...}" → numeric value ('#' comment lines skipped,
+/// OpenMetrics " # {...}" exemplar suffixes stripped).
 /// Throws std::runtime_error on a malformed sample line.
 std::map<std::string, double> parsePrometheusText(std::string_view text);
+
+/// One parsed OpenMetrics exemplar.
+struct PromExemplar {
+    std::uint64_t traceId = 0;
+    double value = 0.0;        ///< the cited sample (ms for latency lines)
+    double timestampSec = 0.0; ///< seconds (tracer clock / 1e6)
+};
+
+/// The exemplars of @p text, keyed exactly like parsePrometheusText keys
+/// its samples. Lines without an exemplar suffix are absent.
+std::map<std::string, PromExemplar> parsePrometheusExemplars(std::string_view text);
+
+/// Prometheus exposition of SLO engine state (appended to the /metrics
+/// body when the endpoint has an engine):
+///   <prefix>_slo_attainment{objective="..."}                     gauge,
+///   <prefix>_slo_state{objective="..."}                          gauge
+///     (0 healthy, 1 slow burn, 2 fast burn),
+///   <prefix>_slo_burn_rate{objective=...,window=...,horizon=...} gauge
+///     (horizon "short"/"long"),
+///   <prefix>_slo_firing{objective=...,window=...}                gauge.
+std::string sloToPrometheusText(const std::vector<SloObjectiveStatus>& statuses,
+                                std::string_view prefix = "rinkit");
 
 /// Sum of durations of all spans named @p name, in ms (bench breakdowns).
 double spanTotalMs(const std::vector<SpanRecord>& spans, std::string_view name);

@@ -82,9 +82,31 @@ Tracer::ThreadBuffer& Tracer::localBuffer() {
     return *local;
 }
 
+void Tracer::setSpanSink(std::shared_ptr<SpanSink> sink) {
+    std::lock_guard<std::mutex> lock(sinkMutex_);
+    sink_ = std::move(sink);
+    sinkInstalled_.store(sink_ != nullptr, std::memory_order_release);
+}
+
+std::shared_ptr<SpanSink> Tracer::spanSink() const {
+    std::lock_guard<std::mutex> lock(sinkMutex_);
+    return sink_;
+}
+
 void Tracer::push(SpanRecord&& record) {
     ThreadBuffer& buffer = localBuffer();
     record.tid = buffer.tid;
+    if (sinkInstalled_.load(std::memory_order_acquire)) {
+        // Copy the handle under its own mutex so a concurrent uninstall
+        // cannot free the sink mid-call; deliver before the record is
+        // moved into the ring.
+        std::shared_ptr<SpanSink> sink;
+        {
+            std::lock_guard<std::mutex> sinkLock(sinkMutex_);
+            sink = sink_;
+        }
+        if (sink) sink->onSpan(record);
+    }
     std::lock_guard<std::mutex> lock(buffer.mutex);
     buffer.ring[buffer.next] = std::move(record);
     buffer.next = (buffer.next + 1) % buffer.ring.size();

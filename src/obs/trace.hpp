@@ -50,8 +50,21 @@ struct SpanRecord {
 };
 
 /// Whether a new root span inherits the head-sampling policy or is kept
-/// unconditionally (the serving layer's always-sample-on-deadline-miss).
+/// unconditionally. The serving layer forces every request root while a
+/// tail sampler is attached: the keep/drop decision then happens at the
+/// *tail* (TailSampler::finish, when the outcome is known) instead of at
+/// the head.
 enum class Sample { Inherit, Force };
+
+/// Observer of every span the tracer records. The tail sampler implements
+/// this to buffer complete per-request span trees; onSpan() runs on the
+/// recording thread, inside the hot path, so implementations must be
+/// cheap and must not call back into the tracer's recording API.
+class SpanSink {
+public:
+    virtual ~SpanSink() = default;
+    virtual void onSpan(const SpanRecord& record) = 0;
+};
 
 /// Process-wide tracer: allocates span/trace ids, holds the per-thread
 /// ring buffers finished spans land in, and makes the head-based sampling
@@ -79,6 +92,15 @@ public:
     /// Head sampling: keep every @p n -th trace root (1 = all, 0 = none
     /// except Sample::Force roots). The decision is made once at root
     /// creation and inherited by every descendant, on any thread.
+    ///
+    /// Interaction with tail sampling: a Sample::Force root short-circuits
+    /// *before* the head counter draw, so forcing neither consumes nor
+    /// skips a head slot — the 1-in-n cadence of Inherit roots is
+    /// unaffected, and a forced root is counted exactly once (no
+    /// double-sampling when the serving layer later flips the same
+    /// context's flag on a deadline miss: the flag is already set).
+    /// setSampleEvery(0) + Force is the tail-sampling configuration:
+    /// request roots record, everything else stays dark.
     void setSampleEvery(count n) { sampleEvery_.store(n, std::memory_order_relaxed); }
     count sampleEvery() const { return sampleEvery_.load(std::memory_order_relaxed); }
 
@@ -114,6 +136,11 @@ public:
     /// Drops all recorded spans (buffers stay registered).
     void clear();
 
+    /// Installs @p sink to observe every recorded span (nullptr removes).
+    /// The fast path pays one relaxed atomic load when no sink is set.
+    void setSpanSink(std::shared_ptr<SpanSink> sink);
+    std::shared_ptr<SpanSink> spanSink() const;
+
     /// Microseconds since the tracer's epoch (steady clock).
     double nowUs() const;
 
@@ -148,6 +175,10 @@ private:
     mutable std::mutex registryMutex_;
     std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
     std::size_t ringCapacity_ = 8192;
+
+    std::atomic<bool> sinkInstalled_{false};
+    mutable std::mutex sinkMutex_;
+    std::shared_ptr<SpanSink> sink_;
 };
 
 /// Installs a remote parent context on this thread for the current scope —

@@ -9,6 +9,8 @@
 #include <thread>
 #include <vector>
 
+#include "src/obs/slo.hpp"
+#include "src/obs/tail_sampler.hpp"
 #include "src/serve/metrics.hpp"
 #include "src/support/json.hpp"
 #include "src/support/random.hpp"
@@ -60,6 +62,11 @@ std::string LoadReport::toJson() const {
     w.kv("recovered_at_s", recoveredAtSec);
     w.kv("end_window_p99_ms", endWindowP99Ms);
     w.kv("end_window_shed_rate", endWindowShedRate);
+    w.kv("slo_attainment", sloAttainment);
+    w.kv("slo_fast_burn_peak", sloFastBurnPeak);
+    w.kv("slo_alert_fired", sloAlertFired);
+    w.kv("slo_state_changes", sloStateChanges);
+    w.kv("traces_retained", tracesRetained);
     w.endObject();
     return w.str();
 }
@@ -70,6 +77,20 @@ namespace {
 double expGap(Rng& rng, double ratePerSec) {
     const double u = rng.real01();
     return -std::log(1.0 - u) / std::max(ratePerSec, 1e-9);
+}
+
+/// Folds one evaluate() result into the report's SLO trace: peak fast burn
+/// and whether any objective left Healthy.
+void observeSloTick(LoadReport& rep, const obs::SloEngine& engine,
+                    const std::vector<obs::SloObjectiveStatus>& status) {
+    rep.sloFastBurnPeak = std::max(rep.sloFastBurnPeak, engine.fastBurnRate());
+    for (const auto& s : status)
+        if (s.state != obs::SloState::Healthy) rep.sloAlertFired = true;
+}
+
+/// End-of-run attainment: the worst objective over its longest window.
+void finishSloReport(LoadReport& rep, const std::vector<obs::SloObjectiveStatus>& status) {
+    for (const auto& s : status) rep.sloAttainment = std::min(rep.sloAttainment, s.attainment);
 }
 
 SliderEvent sampleEvent(Rng& rng, const LoadGenOptions& o) {
@@ -97,6 +118,13 @@ LoadReport LoadGenerator::run(ServiceEndpoint& endpoint, const md::Trajectory& t
     LatencyHistogram hist;
 
     const count coalescedBefore = endpoint.metrics().counter("coalesced");
+
+    // SLO/tail-sampling hooks: both optional, both deltas so a reused
+    // engine/sampler reports only what this run contributed.
+    obs::SloEngine* slo = endpoint.sloEngine();
+    obs::TailSampler* sampler = endpoint.tailSampler();
+    const count sloChangesBefore = slo ? slo->stateChanges() : 0;
+    const count retainedBefore = sampler ? sampler->stats().retainedTotal() : 0;
 
     std::vector<SessionId> sessions;
     sessions.reserve(o.sessions);
@@ -145,6 +173,7 @@ LoadReport LoadGenerator::run(ServiceEndpoint& endpoint, const md::Trajectory& t
         if (nextTick < nextArrival || !arrivalsLeft) {
             sleepUntil(nextTick);
             if (onTick) onTick(nextTick);
+            if (slo) observeSloTick(rep, *slo, slo->evaluate());
             rep.replicasMax = std::max(rep.replicasMax, endpoint.replicaCount());
             harvestReady();
             nextTick += o.tickIntervalSec;
@@ -170,6 +199,16 @@ LoadReport LoadGenerator::run(ServiceEndpoint& endpoint, const md::Trajectory& t
     rep.maxMs = hist.maxMs();
     rep.replicasFinal = endpoint.replicaCount();
     rep.replicasMax = std::max(rep.replicasMax, rep.replicasFinal);
+
+    if (slo) {
+        // One final evaluate after the drain so the report's attainment
+        // covers every harvested request.
+        const auto status = slo->evaluate();
+        observeSloTick(rep, *slo, status);
+        finishSloReport(rep, status);
+        rep.sloStateChanges = slo->stateChanges() - sloChangesBefore;
+    }
+    if (sampler) rep.tracesRetained = sampler->stats().retainedTotal() - retainedBefore;
 
     for (const SessionId id : sessions) endpoint.closeSession(id);
     return rep;
@@ -299,6 +338,14 @@ LoadReport LoadGenerator::simulateCluster(const SimServiceModel& model,
     };
 
     Autoscaler autoscaler(sim.autoscaler);
+    // Virtual-time SLO engine: timeScale maps the fast pair's 1 h long
+    // window onto half the run, so multi-window multi-burn-rate alerting
+    // plays out in simulated seconds. The engine only ever sees sim time,
+    // which keeps the whole report deterministic.
+    obs::SloConfig sloConfig;
+    sloConfig.timeScale = o.durationSec / 7200.0;
+    obs::SloEngine slo(sloConfig);
+    double simEnd = 0.0;
     LatencyHistogram windowHist;
     count windowOffered = 0;
     count windowShed = 0;
@@ -314,6 +361,7 @@ LoadReport LoadGenerator::simulateCluster(const SimServiceModel& model,
         const double tTick = ticking ? nextTick : kInf;
         const double now = std::min({tArr, tDep, tTick});
         if (now == kInf) break;
+        simEnd = now;
 
         if (now == tTick) {
             count queued = 0;
@@ -326,6 +374,8 @@ LoadReport LoadGenerator::simulateCluster(const SimServiceModel& model,
             signals.shedRate = windowOffered == 0 ? 0.0
                                                   : static_cast<double>(windowShed) /
                                                         static_cast<double>(windowOffered);
+            observeSloTick(rep, slo, slo.evaluate(now));
+            signals.sloFastBurnRate = slo.fastBurnRate();
             if (windowHist.samples() > 0) {
                 rep.endWindowP99Ms = signals.p99LatencyMs;
                 rep.endWindowShedRate = signals.shedRate;
@@ -377,9 +427,15 @@ LoadReport LoadGenerator::simulateCluster(const SimServiceModel& model,
             }
             if (dep.deadlineMissed) rep.deadlineMissed += dep.waiters;
             const double latencyMs = dep.waitMs + dep.serviceMs;
+            // Degraded answers map to the Approx tier's nominal eps, which
+            // sits inside the default 0.1 staleness budget (good) — the
+            // latency objective is what the flash crowd burns.
+            const obs::SloSample verdict{false, latencyMs, o.deadlineMs, false,
+                                         dep.degraded ? 0.05 : 0.0};
             for (count wtr = 0; wtr < dep.waiters; ++wtr) {
                 hist.record(latencyMs);
                 windowHist.record(latencyMs);
+                slo.record(now, verdict);
             }
             ses.busy = false;
             auto it = replicas.find(dep.replica);
@@ -417,6 +473,9 @@ LoadReport LoadGenerator::simulateCluster(const SimServiceModel& model,
             if (ses.queue.size() >= model.maxQueuedPerSession) {
                 ++rep.rejected;
                 ++windowShed;
+                obs::SloSample shedVerdict;
+                shedVerdict.rejected = true;
+                slo.record(now, shedVerdict);
             } else {
                 ses.queue.push_back({event.kind, now, 1});
                 tryDispatch(s, now);
@@ -433,6 +492,12 @@ LoadReport LoadGenerator::simulateCluster(const SimServiceModel& model,
     rep.maxMs = hist.maxMs();
     rep.replicasFinal = replicas.size();
     rep.replicasMax = std::max(rep.replicasMax, rep.replicasFinal);
+    {
+        const auto status = slo.evaluate(simEnd);
+        observeSloTick(rep, slo, status);
+        finishSloReport(rep, status);
+        rep.sloStateChanges = slo.stateChanges();
+    }
     return rep;
 }
 

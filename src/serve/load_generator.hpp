@@ -76,6 +76,18 @@ struct LoadReport {
     double endWindowP99Ms = 0.0;
     double endWindowShedRate = 0.0;
 
+    // SLO trace (defaults when the endpoint/simulation had no SLO engine).
+    /// Worst per-objective attainment over the longest window at run end.
+    double sloAttainment = 1.0;
+    /// Peak SloEngine::fastBurnRate() seen at any tick.
+    double sloFastBurnPeak = 0.0;
+    /// Some tick's evaluate() left an objective in SlowBurn or FastBurn.
+    bool sloAlertFired = false;
+    /// SloEngine::stateChanges() over the run (alert-state transitions).
+    count sloStateChanges = 0;
+    /// TailSampler retention verdicts over the run (run() mode only).
+    count tracesRetained = 0;
+
     double shedRate() const {
         return offered == 0
                    ? 0.0
@@ -129,11 +141,18 @@ public:
     /// Drives @p endpoint open-loop in real time. @p onTick (optional)
     /// fires every tickIntervalSec with the elapsed seconds — wire it to
     /// ReplicaSet::tick for live autoscaling. Ends by draining the
-    /// endpoint and harvesting every outstanding future.
+    /// endpoint and harvesting every outstanding future. When the endpoint
+    /// exposes an SLO engine it is evaluated each tick (burn peak / alert
+    /// flags land in the report); a tail sampler's retention totals are
+    /// harvested at the end.
     LoadReport run(ServiceEndpoint& endpoint, const md::Trajectory& traj,
                    const std::function<void(double)>& onTick = {});
 
-    /// Virtual-time discrete-event run against the capacity model.
+    /// Virtual-time discrete-event run against the capacity model. A local
+    /// SLO engine (windows compressed so the fast pair's long window spans
+    /// half the run) scores every departure/rejection; its fast burn rate
+    /// feeds the autoscaler signal, so simulated fleets scale on budget
+    /// burn exactly like live ones.
     LoadReport simulateCluster(const SimServiceModel& model, const SimOptions& sim) const;
 
     const Options& options() const { return options_; }

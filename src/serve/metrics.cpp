@@ -11,8 +11,7 @@ double LatencyHistogram::upperEdgeMs(std::size_t bin) {
     return kFirstUpperMs * std::pow(kGrowth, static_cast<double>(bin));
 }
 
-void LatencyHistogram::record(double ms) {
-    ms = std::max(ms, 0.0);
+std::size_t LatencyHistogram::binOf(double ms) {
     // Direct index computation: bin i holds [upper(i-1), upper(i)).
     std::size_t bin = 0;
     if (ms >= kFirstUpperMs) {
@@ -22,16 +21,44 @@ void LatencyHistogram::record(double ms) {
         while (bin > 0 && ms < upperEdgeMs(bin - 1)) --bin;
         while (bin + 1 < kBins && ms >= upperEdgeMs(bin)) ++bin;
     }
+    return bin;
+}
+
+void LatencyHistogram::record(double ms) { record(ms, 0, 0.0); }
+
+void LatencyHistogram::record(double ms, std::uint64_t traceId, double timestampUs) {
+    ms = std::max(ms, 0.0);
+    const std::size_t bin = binOf(ms);
     ++bins_[bin];
+    if (traceId != 0) exemplars_[bin] = Exemplar{traceId, ms, timestampUs};
     minMs_ = count_ == 0 ? ms : std::min(minMs_, ms);
     ++count_;
     sumMs_ += ms;
     maxMs_ = std::max(maxMs_, ms);
 }
 
+Exemplar LatencyHistogram::exemplarNear(double ms) const {
+    const std::size_t bin = binOf(std::max(ms, 0.0));
+    // Scan outward from the target bucket; nearest wins, lower bin on tie
+    // (a slightly-faster exemplar is a fairer citation than a slower one).
+    for (std::size_t d = 0; d < kBins; ++d) {
+        if (bin >= d && exemplars_[bin - d].valid()) return exemplars_[bin - d];
+        if (bin + d < kBins && exemplars_[bin + d].valid()) return exemplars_[bin + d];
+    }
+    return {};
+}
+
 void LatencyHistogram::merge(const LatencyHistogram& other) {
     if (other.count_ == 0) return;
-    for (std::size_t bin = 0; bin < kBins; ++bin) bins_[bin] += other.bins_[bin];
+    for (std::size_t bin = 0; bin < kBins; ++bin) {
+        bins_[bin] += other.bins_[bin];
+        // Per-bucket last-write-wins carries over: the newer exemplar is
+        // the one a dashboard should cite.
+        if (other.exemplars_[bin].valid() &&
+            (!exemplars_[bin].valid() ||
+             other.exemplars_[bin].timestampUs > exemplars_[bin].timestampUs))
+            exemplars_[bin] = other.exemplars_[bin];
+    }
     minMs_ = count_ == 0 ? other.minMs_ : std::min(minMs_, other.minMs_);
     count_ += other.count_;
     sumMs_ += other.sumMs_;
@@ -61,10 +88,15 @@ double LatencyHistogram::percentile(double p) const {
 }
 
 void MetricsRegistry::recordLatency(std::string_view phase, double ms) {
+    recordLatency(phase, ms, 0, 0.0);
+}
+
+void MetricsRegistry::recordLatency(std::string_view phase, double ms, std::uint64_t traceId,
+                                    double timestampUs) {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = histograms_.find(phase);
     if (it == histograms_.end()) it = histograms_.emplace(std::string(phase), LatencyHistogram{}).first;
-    it->second.record(ms);
+    it->second.record(ms, traceId, timestampUs);
 }
 
 void MetricsRegistry::increment(std::string_view counterName, count by) {
@@ -85,6 +117,11 @@ void MetricsRegistry::gaugeQueueDepth(count depth) {
 void MetricsRegistry::setReplicaLabel(std::string label) {
     std::lock_guard<std::mutex> lock(mutex_);
     replicaLabel_ = std::move(label);
+}
+
+void MetricsRegistry::setExemplarFilter(std::function<bool(std::uint64_t)> keep) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    exemplarFilter_ = std::move(keep);
 }
 
 void MetricsRegistry::merge(const MetricsRegistry& other) {
@@ -113,6 +150,10 @@ void MetricsRegistry::merge(const MetricsRegistry& other) {
 MetricsSnapshot MetricsRegistry::snapshot() const {
     std::lock_guard<std::mutex> lock(mutex_);
     MetricsSnapshot snap;
+    const auto filtered = [this](Exemplar ex) {
+        if (ex.valid() && exemplarFilter_ && !exemplarFilter_(ex.traceId)) return Exemplar{};
+        return ex;
+    };
     for (const auto& [name, h] : histograms_) {
         MetricsSnapshot::HistogramStats s;
         s.samples = h.samples();
@@ -121,6 +162,9 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
         s.p50Ms = h.percentile(50.0);
         s.p95Ms = h.percentile(95.0);
         s.p99Ms = h.percentile(99.0);
+        s.p50Ex = filtered(h.exemplarNear(s.p50Ms));
+        s.p95Ex = filtered(h.exemplarNear(s.p95Ms));
+        s.p99Ex = filtered(h.exemplarNear(s.p99Ms));
         snap.histograms.emplace(name, s);
     }
     snap.counters = {counters_.begin(), counters_.end()};
@@ -142,6 +186,17 @@ std::string MetricsSnapshot::toJson() const {
         w.kv("p50_ms", s.p50Ms);
         w.kv("p95_ms", s.p95Ms);
         w.kv("p99_ms", s.p99Ms);
+        const auto exemplar = [&w](const char* k, const Exemplar& ex) {
+            if (!ex.valid()) return;
+            w.key(k).beginObject();
+            w.kv("trace_id", static_cast<unsigned long long>(ex.traceId));
+            w.kv("value_ms", ex.valueMs);
+            w.kv("t_us", ex.timestampUs);
+            w.endObject();
+        };
+        exemplar("p50_exemplar", s.p50Ex);
+        exemplar("p95_exemplar", s.p95Ex);
+        exemplar("p99_exemplar", s.p99Ex);
         w.endObject();
     }
     w.endObject();

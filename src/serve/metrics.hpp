@@ -1,6 +1,8 @@
 #pragma once
 
 #include <array>
+#include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <string>
@@ -9,6 +11,18 @@
 #include "src/support/types.hpp"
 
 namespace rinkit::serve {
+
+/// OpenMetrics-style exemplar: one concrete trace that landed in a
+/// histogram bucket, so a percentile line on a dashboard links to an
+/// actual retained span tree ("p99 is 40 ms — *this request* was 40 ms").
+/// Last write per bucket wins; a zero trace id means no exemplar.
+struct Exemplar {
+    std::uint64_t traceId = 0;
+    double valueMs = 0.0;    ///< the recorded sample
+    double timestampUs = 0.0; ///< tracer clock at record time
+
+    bool valid() const { return traceId != 0; }
+};
 
 /// Fixed-memory latency histogram with logarithmically scaled bins.
 ///
@@ -27,6 +41,10 @@ public:
     /// Records one latency sample (negative values clamp to 0).
     void record(double ms);
 
+    /// record() plus an exemplar: the sample's bucket remembers this trace
+    /// id (last write wins). A zero @p traceId records without exemplar.
+    void record(double ms, std::uint64_t traceId, double timestampUs);
+
     /// Folds @p other into this histogram at raw-bin granularity, so
     /// percentiles over the merged distribution are as accurate as if every
     /// sample had been recorded here (no stats-level approximation).
@@ -40,10 +58,18 @@ public:
     double maxMs() const { return maxMs_; }
     double minMs() const { return count_ == 0 ? 0.0 : minMs_; }
 
+    /// The exemplar nearest to @p ms: the exemplar of ms's own bucket if
+    /// it has one, else of the closest bucket that does (invalid Exemplar
+    /// when none). This is how quantile exposition lines pick the trace to
+    /// cite for p50/p95/p99.
+    Exemplar exemplarNear(double ms) const;
+
 private:
     static double upperEdgeMs(std::size_t bin);
+    static std::size_t binOf(double ms);
 
     std::array<count, kBins> bins_{};
+    std::array<Exemplar, kBins> exemplars_{};
     count count_ = 0;
     double sumMs_ = 0.0;
     double maxMs_ = 0.0;
@@ -60,6 +86,11 @@ struct MetricsSnapshot {
         double p50Ms = 0.0;
         double p95Ms = 0.0;
         double p99Ms = 0.0;
+        /// Exemplars near each quantile (invalid when the buckets have
+        /// none, or the registry's exemplar filter rejected them).
+        Exemplar p50Ex;
+        Exemplar p95Ex;
+        Exemplar p99Ex;
     };
 
     std::map<std::string, HistogramStats> histograms; ///< keyed by phase name
@@ -94,6 +125,9 @@ struct MetricsSnapshot {
 class MetricsRegistry {
 public:
     void recordLatency(std::string_view phase, double ms);
+    /// recordLatency() plus an exemplar (zero @p traceId = no exemplar).
+    void recordLatency(std::string_view phase, double ms, std::uint64_t traceId,
+                       double timestampUs);
     void increment(std::string_view counterName, count by = 1);
 
     /// Sets the current total queue depth; tracks the maximum seen.
@@ -101,6 +135,14 @@ public:
 
     /// Stamps every snapshot this registry produces with a replica id.
     void setReplicaLabel(std::string label);
+
+    /// Snapshot-time exemplar gate: an exemplar whose trace id fails
+    /// @p keep is dropped from HistogramStats (the buckets keep theirs).
+    /// The serving layer wires this to TailSampler::isRetained, which
+    /// makes "every exported exemplar names a retained trace" structural —
+    /// an evicted trace's exemplars vanish at the next scrape instead of
+    /// dangling.
+    void setExemplarFilter(std::function<bool(std::uint64_t)> keep);
 
     /// Folds @p other into this registry: counters sum, histograms merge at
     /// raw-bin granularity, queue depths add (the aggregate backlog is the
@@ -119,6 +161,7 @@ private:
     count queueDepth_ = 0;
     count queueDepthMax_ = 0;
     std::string replicaLabel_;
+    std::function<bool(std::uint64_t)> exemplarFilter_;
 };
 
 } // namespace rinkit::serve

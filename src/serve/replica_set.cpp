@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "src/obs/event_log.hpp"
+
 namespace rinkit::serve {
 
 // -- ConsistentHashRing -------------------------------------------------------
@@ -54,11 +56,14 @@ Autoscaler::Decision Autoscaler::evaluate(const AutoscalerSignals& s) {
     const bool hot =
         s.queueDepthPerReplica > o.queueDepthHighWater ||
         (o.p99LatencyMsHigh > 0.0 && s.p99LatencyMs > o.p99LatencyMsHigh) ||
-        s.shedRate > o.shedRateHigh;
+        s.shedRate > o.shedRateHigh ||
+        (o.sloBurnRateHigh > 0.0 && s.sloFastBurnRate > o.sloBurnRateHigh);
     const bool cold =
         s.queueDepthPerReplica < o.lowLoadFraction * o.queueDepthHighWater &&
         (o.p99LatencyMsHigh <= 0.0 || s.p99LatencyMs < o.lowLoadFraction * o.p99LatencyMsHigh) &&
-        s.shedRate < o.lowLoadFraction * o.shedRateHigh;
+        s.shedRate < o.lowLoadFraction * o.shedRateHigh &&
+        (o.sloBurnRateHigh <= 0.0 ||
+         s.sloFastBurnRate < o.lowLoadFraction * o.sloBurnRateHigh);
 
     if (hot) {
         ++upStreak_;
@@ -121,6 +126,10 @@ ReplicaSet::Replica& ReplicaSet::addReplicaLocked() {
     SessionServiceOptions opts = options_.serviceTemplate;
     opts.replicaLabel = std::to_string(replica.id);
     replica.service = std::make_unique<SessionService>(opts);
+    // A replica born while the fleet sheds inherits the floor — otherwise
+    // the fresh pod would serve exact answers while its siblings degrade.
+    if (sloDegradeActive_)
+        replica.service->setMinimumDegradeLevel(viz::DegradeLevel::Approx);
     ring_.add(replica.id);
     replicas_.push_back(std::move(replica));
     return replicas_.back();
@@ -195,9 +204,28 @@ count ReplicaSet::activeSessions() const {
 MetricsSnapshot ReplicaSet::metrics() const {
     std::lock_guard<std::mutex> lock(mutex_);
     MetricsRegistry aggregate;
+    // The fold-in loses the per-replica exemplar filters, so re-arm the
+    // aggregate with the shared sampler: fleet-level exemplars obey the
+    // same "retained traces only" rule the replicas do.
+    if (options_.serviceTemplate.tailSampler) {
+        aggregate.setExemplarFilter(
+            [sampler = options_.serviceTemplate.tailSampler](std::uint64_t traceId) {
+                return sampler->isRetained(traceId);
+            });
+    }
     aggregate.merge(retired_);
     for (const auto& r : replicas_) aggregate.merge(r.service->registry());
     return aggregate.snapshot();
+}
+
+std::string ReplicaSet::sloJson() const {
+    obs::SloEngine* engine = options_.serviceTemplate.slo.get();
+    return engine ? engine->toJson() : std::string("{\"objectives\":[]}");
+}
+
+bool ReplicaSet::sloDegradeActive() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return sloDegradeActive_;
 }
 
 std::vector<MetricsSnapshot> ReplicaSet::perReplicaMetrics() const {
@@ -233,10 +261,14 @@ const viz::RinWidget* ReplicaSet::sessionWidget(SessionId id) const {
     return serviceOf(it->second.replicaId).sessionWidget(it->second.localId);
 }
 
-void ReplicaSet::migrateLocked(SessionId /*globalId*/, Route& route,
+void ReplicaSet::migrateLocked(SessionId globalId, Route& route,
                                count targetReplicaId) {
     SessionService::DetachedSession detached =
         serviceOf(route.replicaId).extractSession(route.localId);
+    obs::EventLog::global().log("session_migrated",
+                                "session " + std::to_string(globalId) + ": replica " +
+                                    std::to_string(route.replicaId) + " -> " +
+                                    std::to_string(targetReplicaId));
     route.localId = serviceOf(targetReplicaId).adoptSession(std::move(detached));
     route.replicaId = targetReplicaId;
 }
@@ -263,13 +295,16 @@ bool ReplicaSet::scaleUp() {
     }
 
     const count newId = addReplicaLocked().id;
+    obs::EventLog::global().log("autoscale_up",
+                                "replicas " + std::to_string(replicas_.size() - 1) + " -> " +
+                                    std::to_string(replicas_.size()) + " (new replica " +
+                                    std::to_string(newId) + ")");
     // Rebalance: only sessions whose arc the new replica's vnodes took
     // over move (~K/N of them); everyone else stays sticky.
     for (auto& [id, route] : routes_) {
         const count owner = ring_.route(route.key);
         if (owner != route.replicaId) migrateLocked(id, route, owner);
     }
-    (void)newId;
     return true;
 }
 
@@ -281,6 +316,10 @@ bool ReplicaSet::scaleDown() {
     Replica victim = std::move(replicas_.back());
     replicas_.pop_back();
     ring_.remove(victim.id);
+    obs::EventLog::global().log("autoscale_down",
+                                "replicas " + std::to_string(replicas_.size() + 1) + " -> " +
+                                    std::to_string(replicas_.size()) + " (retiring replica " +
+                                    std::to_string(victim.id) + ")");
 
     // Drain the victim's sessions onto their new ring owners. Extract
     // waits out in-flight work per session, adopt re-enqueues the pending
@@ -290,6 +329,10 @@ bool ReplicaSet::scaleDown() {
         SessionService::DetachedSession detached =
             victim.service->extractSession(route.localId);
         const count owner = ring_.route(route.key);
+        obs::EventLog::global().log("session_migrated",
+                                    "session " + std::to_string(id) + ": replica " +
+                                        std::to_string(victim.id) + " -> " +
+                                        std::to_string(owner));
         route.localId = serviceOf(owner).adoptSession(std::move(detached));
         route.replicaId = owner;
     }
@@ -306,6 +349,11 @@ bool ReplicaSet::scaleDown() {
 }
 
 Autoscaler::Decision ReplicaSet::tick() {
+    // Advance the SLO engine first (its own lock; may log state-change
+    // events) so this tick's burn rates reflect everything recorded so far.
+    obs::SloEngine* engine = options_.serviceTemplate.slo.get();
+    if (engine) engine->evaluate();
+
     AutoscalerSignals signals;
     {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -330,6 +378,29 @@ Autoscaler::Decision ReplicaSet::tick() {
         lastShed_ = shed;
         if (dOffered > 0)
             signals.shedRate = static_cast<double>(dShed) / static_cast<double>(dOffered);
+
+        if (engine) {
+            signals.sloFastBurnRate = engine->fastBurnRate();
+
+            // SLO → ladder coupling with hysteresis: enter the Approx
+            // floor on FastBurn, leave it only on full recovery (Healthy),
+            // so a burn oscillating around the threshold does not flap the
+            // served quality.
+            const obs::SloState latency = engine->stateOf(obs::SloKind::DeadlineAttainment);
+            if (!sloDegradeActive_ && latency == obs::SloState::FastBurn) {
+                sloDegradeActive_ = true;
+                for (auto& r : replicas_)
+                    r.service->setMinimumDegradeLevel(viz::DegradeLevel::Approx);
+                obs::EventLog::global().log(
+                    "slo_degrade_enter", "latency budget fast-burning: floor=approx");
+            } else if (sloDegradeActive_ && latency == obs::SloState::Healthy) {
+                sloDegradeActive_ = false;
+                for (auto& r : replicas_)
+                    r.service->setMinimumDegradeLevel(viz::DegradeLevel::None);
+                obs::EventLog::global().log("slo_degrade_exit",
+                                            "latency budget recovered: floor=none");
+            }
+        }
     }
 
     const Autoscaler::Decision decision = autoscaler_.evaluate(signals);

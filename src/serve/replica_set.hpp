@@ -57,6 +57,14 @@ struct AutoscalerOptions {
     /// Scale-up pressure when the shed rate (rejected + degraded over
     /// offered) exceeds this fraction.
     double shedRateHigh = 0.01;
+    /// Scale-up pressure when the SLO engine's fast burn rate (max short-
+    /// window burn of the page pair, see obs::SloEngine::fastBurnRate)
+    /// exceeds this. Defaults to the page threshold, so the fleet scales
+    /// on *budget burn* — before queues visibly back up — whenever an SLO
+    /// engine feeds the signal. 0 disables it; deployments without an
+    /// engine leave the signal at 0, which neither triggers scale-up nor
+    /// blocks scale-down.
+    double sloBurnRateHigh = 14.4;
     /// Scale-down eligibility: every signal below this fraction of its
     /// high threshold.
     double lowLoadFraction = 0.25;
@@ -75,6 +83,8 @@ struct AutoscalerSignals {
     double queueDepthPerReplica = 0.0;
     double p99LatencyMs = 0.0;
     double shedRate = 0.0;
+    /// SloEngine::fastBurnRate() at this tick (0 without an engine).
+    double sloFastBurnRate = 0.0;
     count replicas = 1;
 };
 
@@ -170,6 +180,16 @@ public:
 
     count replicaCount() const override;
 
+    obs::SloEngine* sloEngine() const override { return options_.serviceTemplate.slo.get(); }
+    obs::TailSampler* tailSampler() const override {
+        return options_.serviceTemplate.tailSampler.get();
+    }
+    std::string sloJson() const override;
+
+    /// True while the SLO controller is flooring every replica at Approx
+    /// (latency budget fast-burning; see tick()).
+    bool sloDegradeActive() const;
+
     // -- scaling ------------------------------------------------------------
 
     /// Adds one replica (backed by a cluster pod when bound) and rebalances:
@@ -182,10 +202,15 @@ public:
     /// minReplicas.
     bool scaleDown();
 
-    /// One autoscaler step: samples the fleet signals (queue depth per
-    /// replica, cumulative p99 total latency, shed rate since the last
-    /// tick), evaluates the policy, applies Up/Down, and returns the
-    /// decision. Call at a fixed cadence from one thread.
+    /// One autoscaler step: evaluates the SLO engine (when configured),
+    /// samples the fleet signals (queue depth per replica, cumulative p99
+    /// total latency, shed rate since the last tick, SLO fast burn rate),
+    /// evaluates the policy, applies Up/Down, and returns the decision.
+    /// Also drives the SLO → ladder coupling: the latency objective
+    /// entering FastBurn floors every replica at DegradeLevel::Approx
+    /// (logged as "slo_degrade_enter"); returning to Healthy lifts the
+    /// floor ("slo_degrade_exit"). Call at a fixed cadence from one
+    /// thread.
     Autoscaler::Decision tick();
 
     /// Which replica currently owns @p routingKey (diagnostics, tests).
@@ -238,6 +263,9 @@ private:
     /// Shed-rate window state: counter values at the previous tick.
     count lastOffered_ = 0;
     count lastShed_ = 0;
+    /// SLO → ladder coupling state: true while every replica is floored at
+    /// Approx because the latency budget fast-burns.
+    bool sloDegradeActive_ = false;
 };
 
 } // namespace rinkit::serve

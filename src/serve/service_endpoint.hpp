@@ -9,6 +9,11 @@
 #include "src/serve/metrics.hpp"
 #include "src/viz/widget.hpp"
 
+namespace rinkit::obs {
+class SloEngine;
+class TailSampler;
+} // namespace rinkit::obs
+
 namespace rinkit::serve {
 
 /// Opaque handle to one user's widget session.
@@ -43,6 +48,13 @@ enum class RequestStatus {
     Rejected,   ///< admission control refused it (queue at budget / session closed)
 };
 
+/// How a request fared against the deployment's SLOs (see obs::SloEngine):
+/// Ok = inside every budget, DeadlineMissed = finished past its latency
+/// deadline, Rejected = shed by admission control.
+enum class SloVerdict { Ok, DeadlineMissed, Rejected };
+
+std::string_view sloVerdictName(SloVerdict verdict);
+
 /// What a submitted request resolved to. Every accepted request's future
 /// resolves exactly once — coalesced requests resolve with the outcome of
 /// the event that superseded them.
@@ -52,6 +64,9 @@ struct RequestOutcome {
     double queueMs = 0.0;                ///< time spent waiting for a worker
     count coalescedEvents = 0;           ///< older queued events this one absorbed
     bool deadlineMissed = false;         ///< queue wait exceeded the deadline
+    std::uint64_t traceId = 0;           ///< this request's trace (0 if untraced)
+    bool traceRetained = false;          ///< tail sampler kept the span tree
+    SloVerdict sloVerdict = SloVerdict::Ok;
 
     bool accepted() const { return status != RequestStatus::Rejected; }
     bool degraded() const { return status == RequestStatus::OkDegraded; }
@@ -113,6 +128,16 @@ public:
 
     /// Number of serving replicas behind this endpoint.
     virtual count replicaCount() const { return 1; }
+
+    /// The deployment's SLO engine (nullptr when none is configured).
+    virtual obs::SloEngine* sloEngine() const { return nullptr; }
+
+    /// The deployment's tail sampler (nullptr when none is configured).
+    virtual obs::TailSampler* tailSampler() const { return nullptr; }
+
+    /// JSON body of the /debug/slo route: the engine's objective statuses,
+    /// "[]"-like empty object when no engine is configured.
+    virtual std::string sloJson() const { return "{\"objectives\":[]}"; }
 };
 
 } // namespace rinkit::serve

@@ -4,7 +4,18 @@
 #include <stdexcept>
 #include <string>
 
+#include "src/obs/event_log.hpp"
+
 namespace rinkit::serve {
+
+std::string_view sloVerdictName(SloVerdict verdict) {
+    switch (verdict) {
+    case SloVerdict::Ok: return "ok";
+    case SloVerdict::DeadlineMissed: return "deadline_missed";
+    case SloVerdict::Rejected: return "rejected";
+    }
+    return "unknown";
+}
 
 SliderEvent SliderEvent::setFrame(index frame, double deadlineMs) {
     SliderEvent e;
@@ -64,6 +75,15 @@ obs::SpanAttr strAttr(std::string_view key, std::string_view v) {
     return a;
 }
 
+const char* degradeLevelName(viz::DegradeLevel level) {
+    switch (level) {
+    case viz::DegradeLevel::None: return "none";
+    case viz::DegradeLevel::Approx: return "approx";
+    case viz::DegradeLevel::Stale: return "stale";
+    }
+    return "?";
+}
+
 } // namespace
 
 SessionService::SessionService(Options options) : options_(std::move(options)) {
@@ -86,8 +106,18 @@ SessionService::SessionService(Options options) : options_(std::move(options)) {
                              "wire_keyframes", "wire_delta_frames",
                              "handed_off", "adopted", "sessions_adopted",
                              "measure_tier_exact", "measure_tier_dynamic",
-                             "measure_tier_approx", "measure_tier_stale"})
+                             "measure_tier_approx", "measure_tier_stale",
+                             "slo_degraded"})
         registry_.increment(name, 0);
+    // Structural exemplar hygiene: exemplars whose trace the sampler has
+    // since evicted are dropped at snapshot time, so an exported exemplar
+    // id always resolves to a retained span tree.
+    if (options_.tailSampler) {
+        registry_.setExemplarFilter(
+            [sampler = options_.tailSampler](std::uint64_t traceId) {
+                return sampler->isRetained(traceId);
+            });
+    }
     pool_ = std::make_unique<ThreadPool>(options_.workers);
 }
 
@@ -185,13 +215,21 @@ std::future<RequestOutcome> SessionService::submit(SessionId id, SliderEvent eve
         }
     }
 
+    // Tail sampling replaces head sampling for request roots: with a
+    // sampler attached every root is forced (recorded + buffered) and the
+    // keep/drop call happens at finish(), when the outcome is known.
+    obs::TailSampler* sampler = options_.tailSampler.get();
+    const bool tail = sampler != nullptr && tracer.enabled();
+
     // Admission control: beyond the budgeted backlog nothing coalescible
     // is left, so refuse instead of queueing unboundedly. Rejections get a
     // root-only trace so overload is visible per request, not only as a
-    // counter.
+    // counter — and under tail sampling the shed root is retained.
     if (session.queue.size() >= options_.maxQueuedPerSession) {
         registry_.increment("rejected");
-        const obs::SpanContext ctx = tracer.makeRootContext();
+        const obs::SpanContext ctx =
+            tail ? tracer.makeRootContext(obs::Sample::Force) : tracer.makeRootContext();
+        if (tail && ctx.sampled) sampler->open(ctx.traceId);
         const double now = tracer.nowUs();
         tracer.recordSpan("serve.request", ctx, ctx.spanId, 0, now, now,
                           {strAttr("kind", kindName(event.kind)),
@@ -199,6 +237,19 @@ std::future<RequestOutcome> SessionService::submit(SessionId id, SliderEvent eve
                            numAttr("session", static_cast<double>(id))});
         RequestOutcome outcome;
         outcome.status = RequestStatus::Rejected;
+        outcome.sloVerdict = SloVerdict::Rejected;
+        if (ctx.sampled) outcome.traceId = ctx.traceId;
+        if (tail && ctx.sampled) {
+            obs::TailVerdict verdict;
+            verdict.rejected = true;
+            outcome.traceRetained =
+                sampler->finish(ctx.traceId, verdict) != obs::RetainReason::None;
+        }
+        if (options_.slo) {
+            obs::SloSample s;
+            s.rejected = true;
+            options_.slo->record(s);
+        }
         promise.set_value(outcome);
         return future;
     }
@@ -208,7 +259,9 @@ std::future<RequestOutcome> SessionService::submit(SessionId id, SliderEvent eve
     request.waiters.push_back(std::move(promise));
     // Mint the request's trace on the submitting (service) thread; the
     // root span itself is emitted at completion with this start time.
-    request.traceCtx = tracer.makeRootContext();
+    request.traceCtx =
+        tail ? tracer.makeRootContext(obs::Sample::Force) : tracer.makeRootContext();
+    if (tail && request.traceCtx.sampled) sampler->open(request.traceCtx.traceId);
     request.submittedUs = tracer.nowUs();
     {
         obs::ContextScope adopt(request.traceCtx);
@@ -281,6 +334,11 @@ SessionId SessionService::adoptSession(DetachedSession&& detached) {
     // continues from a self-contained state instead of a delta against
     // frames the new replica never shipped.
     detached.widget_->forceWireResync();
+    obs::EventLog::global().log(
+        "wire_resync",
+        "forced keyframe on adoption (" + std::to_string(detached.queuedRequests()) +
+            " queued requests)",
+        0, options_.replicaLabel);
 
     std::lock_guard<std::mutex> lock(mutex_);
     auto session = std::make_shared<Session>();
@@ -296,6 +354,18 @@ SessionId SessionService::adoptSession(DetachedSession&& detached) {
     sessions_.emplace(id, session);
     pumpLocked(session);
     return id;
+}
+
+std::string SessionService::sloJson() const {
+    return options_.slo ? options_.slo->toJson() : std::string("{\"objectives\":[]}");
+}
+
+void SessionService::setMinimumDegradeLevel(viz::DegradeLevel level) {
+    minDegradeRank_.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+viz::DegradeLevel SessionService::minimumDegradeLevel() const {
+    return static_cast<viz::DegradeLevel>(minDegradeRank_.load(std::memory_order_relaxed));
 }
 
 void SessionService::pumpLocked(const std::shared_ptr<Session>& session) {
@@ -357,9 +427,34 @@ void SessionService::runNext(std::shared_ptr<Session> session) {
         // Deadline misses are exactly the requests worth a trace: override
         // a lost head-sampling draw before any execution span opens. The
         // submit-side enqueue span was not recorded, but queue wait,
-        // execution, and the root are all still ahead.
+        // execution, and the root are all still ahead. Under tail sampling
+        // the root was already forced at submit, so this flip is a no-op —
+        // the force happens exactly once per root, never twice.
         if (options_.sampleOnDeadlineMiss && !request.traceCtx.sampled && tracer.enabled())
             request.traceCtx.sampled = true;
+    }
+
+    // SLO → ladder coupling: while the latency budget fast-burns the
+    // controller floors every request at Approx, shedding load *before*
+    // queues build instead of after. The queue-depth rungs still escalate
+    // above the floor.
+    const auto floorLevel =
+        static_cast<viz::DegradeLevel>(minDegradeRank_.load(std::memory_order_relaxed));
+    if (static_cast<int>(floorLevel) > static_cast<int>(level)) {
+        level = floorLevel;
+        registry_.increment("slo_degraded");
+    }
+
+    // Edge-detect the service-wide served level so the ops log shows one
+    // "degrade_transition" per change, not one per degraded request.
+    const int prevRank = lastServedRank_.exchange(static_cast<int>(level),
+                                                  std::memory_order_relaxed);
+    if (prevRank != static_cast<int>(level)) {
+        obs::EventLog::global().log(
+            "degrade_transition",
+            std::string(degradeLevelName(static_cast<viz::DegradeLevel>(prevRank))) + " -> " +
+                degradeLevelName(level),
+            request.traceCtx.sampled ? request.traceCtx.traceId : 0, options_.replicaLabel);
     }
 
     if (request.traceCtx.sampled) {
@@ -404,20 +499,11 @@ void SessionService::runNext(std::shared_ptr<Session> session) {
         if (timing.measureEps > 0.0) exec.attr("measure_eps", timing.measureEps);
     }
 
-    registry_.recordLatency("queue_ms", queueMs);
-    registry_.recordLatency("network_update_ms", timing.networkUpdateMs);
-    registry_.recordLatency("layout_ms", timing.layoutMs);
-    registry_.recordLatency("measure_ms", timing.measureMs);
-    registry_.recordLatency("scene_build_ms", timing.sceneBuildMs);
-    registry_.recordLatency("serialize_ms", timing.serializeMs);
-    registry_.recordLatency("server_ms", timing.serverMs());
-    registry_.recordLatency("total_ms", queueMs + timing.totalMs());
-    registry_.increment("completed");
-    registry_.increment(std::string("measure_tier_") + viz::tierName(timing.measureTier));
-    registry_.increment("frames_shipped");
-    registry_.increment("wire_bytes", timing.wireBytes);
-    if (timing.binaryWire)
-        registry_.increment(timing.wireKeyframe ? "wire_keyframes" : "wire_delta_frames");
+    // The latency the user saw: queue wait plus the full update cycle.
+    // This (not just queue wait) is what the deadline-attainment SLO and
+    // the tail sampler's verdict judge.
+    const double latencyMs = queueMs + timing.totalMs();
+    const bool sloMissed = deadlineMs > 0.0 && latencyMs > deadlineMs;
 
     if (request.traceCtx.sampled) {
         tracer.recordSpan(
@@ -430,12 +516,56 @@ void SessionService::runNext(std::shared_ptr<Session> session) {
              numAttr("deadline_missed", deadlineMissed ? 1.0 : 0.0)});
     }
 
+    // Retention verdict after the root span landed (so the retained tree
+    // is complete), before exemplar stamping (so the stamped id is already
+    // known-retained).
+    bool retained = false;
+    obs::TailSampler* sampler = options_.tailSampler.get();
+    if (sampler != nullptr && request.traceCtx.sampled) {
+        obs::TailVerdict verdict;
+        verdict.durationMs = latencyMs;
+        verdict.deadlineMissed = deadlineMissed || sloMissed;
+        verdict.degraded = degraded;
+        retained = sampler->finish(request.traceCtx.traceId, verdict) !=
+                   obs::RetainReason::None;
+    }
+
+    if (options_.slo) {
+        obs::SloSample s;
+        s.latencyMs = latencyMs;
+        s.deadlineMs = deadlineMs;
+        s.servedStale = timing.measureTier == viz::ResolutionTier::Stale;
+        s.eps = timing.measureEps;
+        options_.slo->record(s);
+    }
+
+    const std::uint64_t exemplarId = retained ? request.traceCtx.traceId : 0;
+    const double exemplarUs = tracer.nowUs();
+    registry_.recordLatency("queue_ms", queueMs, exemplarId, exemplarUs);
+    registry_.recordLatency("network_update_ms", timing.networkUpdateMs, exemplarId, exemplarUs);
+    registry_.recordLatency("layout_ms", timing.layoutMs, exemplarId, exemplarUs);
+    registry_.recordLatency("measure_ms", timing.measureMs, exemplarId, exemplarUs);
+    registry_.recordLatency("scene_build_ms", timing.sceneBuildMs, exemplarId, exemplarUs);
+    registry_.recordLatency("serialize_ms", timing.serializeMs, exemplarId, exemplarUs);
+    registry_.recordLatency("server_ms", timing.serverMs(), exemplarId, exemplarUs);
+    registry_.recordLatency("total_ms", latencyMs, exemplarId, exemplarUs);
+    registry_.increment("completed");
+    registry_.increment(std::string("measure_tier_") + viz::tierName(timing.measureTier));
+    registry_.increment("frames_shipped");
+    registry_.increment("wire_bytes", timing.wireBytes);
+    if (timing.binaryWire)
+        registry_.increment(timing.wireKeyframe ? "wire_keyframes" : "wire_delta_frames");
+
     RequestOutcome outcome;
     outcome.status = degraded ? RequestStatus::OkDegraded : RequestStatus::Ok;
     outcome.timing = timing;
     outcome.queueMs = queueMs;
     outcome.coalescedEvents = request.absorbed;
     outcome.deadlineMissed = deadlineMissed;
+    if (request.traceCtx.sampled) outcome.traceId = request.traceCtx.traceId;
+    outcome.traceRetained = retained;
+    outcome.sloVerdict = (deadlineMissed || sloMissed) ? SloVerdict::DeadlineMissed
+                                                       : SloVerdict::Ok;
     resolveAll(request, outcome);
 
     std::lock_guard<std::mutex> lock(mutex_);

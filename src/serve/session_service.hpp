@@ -8,8 +8,12 @@
 #include <mutex>
 #include <vector>
 
+#include <atomic>
+
 #include "src/cloud/resources.hpp"
 #include "src/md/trajectory.hpp"
+#include "src/obs/slo.hpp"
+#include "src/obs/tail_sampler.hpp"
 #include "src/obs/trace.hpp"
 #include "src/serve/metrics.hpp"
 #include "src/serve/service_endpoint.hpp"
@@ -74,6 +78,15 @@ struct SessionServiceOptions {
     /// instance emits ("0", "1", ... in a ReplicaSet). Empty for a
     /// standalone single-instance service.
     std::string replicaLabel;
+    /// Deployment-shared SLO engine this instance records one verdict per
+    /// request into (rejections included). A ReplicaSet passes the same
+    /// engine to every replica so burn rates are fleet-wide. nullptr = off.
+    std::shared_ptr<obs::SloEngine> slo;
+    /// Deployment-shared tail sampler. When set, every request root is
+    /// minted with Sample::Force (tail retention replaces head sampling
+    /// for request roots), opened at submit, and finished with its outcome
+    /// at completion; retained trace ids feed the exemplar filter.
+    std::shared_ptr<obs::TailSampler> tailSampler;
 };
 
 /// Concurrent multi-session RIN service: runs many RinWidget sessions on a
@@ -196,6 +209,18 @@ public:
     /// The live registry (ReplicaSet merges replica registries through it).
     const MetricsRegistry& registry() const { return registry_; }
 
+    obs::SloEngine* sloEngine() const override { return options_.slo.get(); }
+    obs::TailSampler* tailSampler() const override { return options_.tailSampler.get(); }
+    std::string sloJson() const override;
+
+    /// SLO → ladder coupling: a floor under the degradation rung every
+    /// subsequent request executes at. The ReplicaSet raises it to Approx
+    /// while the latency budget fast-burns and drops it back on recovery;
+    /// requests shed this way tick the "slo_degraded" counter. The queue-
+    /// depth ladder still escalates above the floor.
+    void setMinimumDegradeLevel(viz::DegradeLevel level);
+    viz::DegradeLevel minimumDegradeLevel() const;
+
     const Options& options() const { return options_; }
     count workerCount() const { return pool_->size(); }
 
@@ -221,6 +246,10 @@ private:
     Options options_;
     std::unique_ptr<ThreadPool> pool_;
     MetricsRegistry registry_;
+    /// viz::DegradeLevel rank; atomics so the SLO controller flips them
+    /// without the service lock.
+    std::atomic<int> minDegradeRank_{0};
+    std::atomic<int> lastServedRank_{0}; ///< degrade_transition edge detect
 
     mutable std::mutex mutex_;
     std::condition_variable idle_;

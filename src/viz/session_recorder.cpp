@@ -17,8 +17,9 @@ std::string eventKindName(SessionRecorder::EventKind kind) {
 }
 
 void SessionRecorder::record(EventKind kind, std::string detail,
-                             RinWidget::UpdateTiming timing) {
-    events_.push_back({kind, std::move(detail), timing});
+                             RinWidget::UpdateTiming timing, std::string sloVerdict,
+                             bool traceRetained) {
+    events_.push_back({kind, std::move(detail), timing, std::move(sloVerdict), traceRetained});
 }
 
 RinWidget::UpdateTiming SessionRecorder::setFrame(RinWidget& w, index f) {
@@ -86,7 +87,7 @@ SessionRecorder::PhaseStats SessionRecorder::phaseStats(const std::string& phase
 void SessionRecorder::writeCsv(std::ostream& out) const {
     out << "event,detail,network_ms,layout_ms,measure_ms,scene_ms,serialize_ms,"
            "client_ms,total_ms,edges_added,edges_removed,edges_total,wire_bytes,"
-           "measure_tier,measure_eps,measure_samples\n";
+           "measure_tier,measure_eps,measure_samples,slo_verdict,trace_retained\n";
     for (const auto& e : events_) {
         const auto& t = e.timing;
         out << eventKindName(e.kind) << ',' << e.detail << ',' << t.networkUpdateMs
@@ -95,7 +96,8 @@ void SessionRecorder::writeCsv(std::ostream& out) const {
             << t.edgeStats.edgesAdded << ',' << t.edgeStats.edgesRemoved << ','
             << t.edgeStats.edgesTotal << ',' << t.wireBytes << ','
             << tierName(t.measureTier) << ',' << t.measureEps << ','
-            << t.measureSamples << '\n';
+            << t.measureSamples << ',' << e.sloVerdict << ','
+            << (e.traceRetained ? 1 : 0) << '\n';
     }
 }
 

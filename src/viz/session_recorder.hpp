@@ -19,6 +19,11 @@ public:
         EventKind kind;
         std::string detail; ///< "frame=5", "cutoff=7.5", "measure=Closeness"
         RinWidget::UpdateTiming timing;
+        /// Serving-layer SLO verdict ("ok", "deadline_missed", "rejected");
+        /// stays "ok" for direct widget drives with no serving layer.
+        std::string sloVerdict = "ok";
+        /// The request's trace survived tail-based retention.
+        bool traceRetained = false;
     };
 
     /// Per-phase aggregate over recorded events of one kind.
@@ -29,7 +34,12 @@ public:
         count samples = 0;
     };
 
-    void record(EventKind kind, std::string detail, RinWidget::UpdateTiming timing);
+    /// Records one update cycle. The two trailing parameters carry the
+    /// serving layer's observability verdicts (serve::RequestOutcome's
+    /// sloVerdict/traceRetained); the defaults keep direct widget drives
+    /// unchanged.
+    void record(EventKind kind, std::string detail, RinWidget::UpdateTiming timing,
+                std::string sloVerdict = "ok", bool traceRetained = false);
 
     // Convenience wrappers that forward to the widget and record.
     RinWidget::UpdateTiming setFrame(RinWidget& w, index f);

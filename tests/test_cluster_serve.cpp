@@ -16,6 +16,11 @@
 #include "src/cloud/cluster.hpp"
 #include "src/md/synthetic.hpp"
 #include "src/md/trajectory.hpp"
+#include "src/obs/event_log.hpp"
+#include "src/obs/exporters.hpp"
+#include "src/obs/slo.hpp"
+#include "src/obs/tail_sampler.hpp"
+#include "src/obs/trace.hpp"
 #include "src/serve/load_generator.hpp"
 #include "src/serve/replica_set.hpp"
 #include "src/serve/session_service.hpp"
@@ -151,6 +156,48 @@ TEST(Autoscaler, NoFlappingUnderSquareWave) {
     EXPECT_GE(replicas, 1u);
     // Direction changes at most once per phase: <= 2 per period.
     EXPECT_LE(transitions, 10u);
+}
+
+TEST(Autoscaler, SloBurnRateAloneDrivesScaleUpAndBlocksScaleDown) {
+    AutoscalerOptions opts; // sloBurnRateHigh = 14.4 (the page threshold)
+    Autoscaler as(opts);
+
+    // The budget is fast-burning but every queue/latency/shed signal is
+    // quiet: the SLO signal alone must page the autoscaler — that is the
+    // whole point of scaling on burn (it fires before queues back up).
+    AutoscalerSignals burning;
+    burning.replicas = 2;
+    burning.sloFastBurnRate = 20.0;
+    EXPECT_EQ(as.evaluate(burning), Autoscaler::Decision::Hold); // streak 1 of 2
+    EXPECT_EQ(as.evaluate(burning), Autoscaler::Decision::Up);
+
+    // A burn above lowLoadFraction * threshold (3.6) is not "cold": it
+    // blocks scale-down indefinitely even though every other signal is at
+    // zero — the budget is still being spent faster than steady state.
+    AutoscalerSignals warm;
+    warm.replicas = 3;
+    warm.sloFastBurnRate = 5.0;
+    for (count t = 0; t < opts.cooldownTicks + 3 * opts.downAfterTicks; ++t)
+        EXPECT_EQ(as.evaluate(warm), Autoscaler::Decision::Hold);
+
+    // Fully cooled burn releases the down path after the usual streak.
+    AutoscalerSignals cold;
+    cold.replicas = 3;
+    cold.sloFastBurnRate = 1.0;
+    Autoscaler::Decision last = Autoscaler::Decision::Hold;
+    for (count t = 0; t < opts.downAfterTicks; ++t) last = as.evaluate(cold);
+    EXPECT_EQ(last, Autoscaler::Decision::Down);
+
+    // sloBurnRateHigh = 0 disables the signal: deployments without an SLO
+    // engine neither page on the (never-set) burn nor block scale-down.
+    AutoscalerOptions off;
+    off.sloBurnRateHigh = 0.0;
+    Autoscaler dark(off);
+    AutoscalerSignals bogus;
+    bogus.replicas = 1;
+    bogus.sloFastBurnRate = 100.0;
+    for (count t = 0; t < 4; ++t)
+        EXPECT_EQ(dark.evaluate(bogus), Autoscaler::Decision::Hold);
 }
 
 // -- cluster deployment reconcile ---------------------------------------------
@@ -501,6 +548,63 @@ TEST(ReplicaSet, ConcurrentSubmitsDuringScaling) {
     EXPECT_EQ(aggregate.counter("handed_off"), aggregate.counter("adopted"));
 }
 
+TEST(ReplicaSet, SloFastBurnFloorsDegradeLadderUntilRecovery) {
+    obs::EventLog::global().clearAll();
+    const auto traj = smallTrajectory();
+
+    // Compressed SLO clock (timeScale 1e-3: the 5m/1h page pair becomes
+    // 0.3s/3.6s) so both fire and recovery happen inside the test without
+    // sleeping — recovery comes from good traffic diluting the bad
+    // fraction below threshold, not from waiting out the window.
+    obs::SloConfig cfg;
+    cfg.objectives = {{"latency", obs::SloKind::DeadlineAttainment, 0.99, 0.1}};
+    cfg.windows = {{"fast", 300.0, 3600.0, 14.4, obs::SloState::FastBurn}};
+    cfg.timeScale = 1e-3;
+    auto slo = std::make_shared<obs::SloEngine>(cfg);
+
+    auto opts = smallFleet(2);
+    opts.autoscaler.maxReplicas = 2; // pin the fleet: this test is about quality, not size
+    opts.serviceTemplate.slo = slo;
+    ReplicaSet fleet(opts);
+    const auto id = fleet.openSession(traj, {}, "user-0");
+
+    // 20 impossible deadlines: every request completes but blows its
+    // budget, so the engine sees a 100% bad fraction (burn 100 >> 14.4).
+    for (count i = 0; i < 20; ++i) {
+        const auto outcome = fleet.submit(id, SliderEvent::setFrame(i % 4, 1e-6)).get();
+        EXPECT_TRUE(outcome.accepted());
+        EXPECT_EQ(outcome.sloVerdict, serve::SloVerdict::DeadlineMissed);
+    }
+
+    // One controller tick trips the coupling: latency FastBurn floors
+    // every replica at Approx and logs the enter edge exactly once.
+    fleet.tick();
+    EXPECT_TRUE(fleet.sloDegradeActive());
+    EXPECT_EQ(obs::EventLog::global().countOf("slo_degrade_enter"), 1u);
+    EXPECT_EQ(obs::EventLog::global().countOf("slo_degrade_exit"), 0u);
+
+    // While floored, a healthy request is still served — degraded.
+    const auto floored = fleet.submit(id, SliderEvent::setCutoff(5.0)).get();
+    EXPECT_EQ(floored.status, serve::RequestStatus::OkDegraded);
+    EXPECT_GT(fleet.metrics().counter("slo_degraded"), 0u);
+
+    // Recovery: enough in-budget traffic drops the long-window bad
+    // fraction under 14.4% of budget, the objective returns to Healthy,
+    // and the floor lifts (hysteresis: exit requires Healthy, not merely
+    // not-firing-fast). The generous deadline matters: an undeadlined
+    // request is *irrelevant* to the latency objective, not good.
+    for (count i = 0; i < 300; ++i)
+        EXPECT_TRUE(fleet.submit(id, SliderEvent::setFrame(i % 4, 500.0)).get().accepted());
+    fleet.tick();
+    EXPECT_FALSE(fleet.sloDegradeActive());
+    EXPECT_EQ(obs::EventLog::global().countOf("slo_degrade_exit"), 1u);
+    const auto lifted = fleet.submit(id, SliderEvent::setCutoff(4.5)).get();
+    EXPECT_EQ(lifted.status, serve::RequestStatus::Ok);
+
+    fleet.drain();
+    expectReplicaInvariant(fleet.metrics());
+}
+
 // -- load generator -----------------------------------------------------------
 
 TEST(LoadGenerator, SchedulesShapeTheRate) {
@@ -616,6 +720,95 @@ TEST(LoadGenerator, FlashCrowdAutoscalerRecoversP99) {
     EXPECT_GE(report.scaleUps, 1u);
     EXPECT_GT(report.recoveredAtSec, 0.0) << "autoscaler never recovered p99";
     EXPECT_LT(report.endWindowP99Ms, o.deadlineMs);
+}
+
+// The PR's end-to-end acceptance: one flash-crowd run on a LIVE fleet must
+// produce a fully correlated observability story — the burn alert fires,
+// the burn signal scales the fleet up, the ops log records the episode,
+// deadline-missed requests are retained by the tail sampler, and every
+// histogram exemplar in the fleet exposition resolves to a retained trace.
+TEST(LoadGenerator, FlashCrowdEndToEndSloCorrelation) {
+    obs::EventLog::global().clearAll();
+    auto& tracer = obs::Tracer::global();
+    tracer.clear();
+    tracer.setEnabled(true);
+    tracer.setSampleEvery(0); // tail mode: the serving layer forces every root
+
+    const auto traj = smallTrajectory();
+
+    // Same compressed clock as the ladder test; latency + shed objectives.
+    obs::SloConfig cfg;
+    cfg.objectives = {{"latency", obs::SloKind::DeadlineAttainment, 0.99, 0.1},
+                      {"shed", obs::SloKind::ShedRate, 0.999, 0.1}};
+    cfg.windows = {{"fast", 300.0, 3600.0, 14.4, obs::SloState::FastBurn}};
+    cfg.timeScale = 1e-3;
+    auto slo = std::make_shared<obs::SloEngine>(cfg);
+    auto sampler = std::make_shared<obs::TailSampler>();
+    sampler->install();
+
+    ReplicaSetOptions opts;
+    opts.initialReplicas = 1;
+    opts.autoscaler.maxReplicas = 4;
+    opts.serviceTemplate.workers = 2;
+    opts.serviceTemplate.slo = slo;
+    opts.serviceTemplate.tailSampler = sampler;
+    ReplicaSet fleet(opts);
+
+    serve::LoadGenOptions o;
+    o.schedule = serve::LoadSchedule::FlashCrowd;
+    o.baseRatePerSec = 150.0;
+    o.flashMultiplier = 6.0;
+    o.durationSec = 2.0;
+    o.flashBeginFrac = 0.2;
+    o.flashEndFrac = 0.7;
+    o.sessions = 16;
+    // An unmeetable budget: every completion blows its deadline, so the
+    // burn is pinned high and the episode is deterministic regardless of
+    // how fast this machine executes a chignolin update.
+    o.deadlineMs = 0.01;
+    o.tickIntervalSec = 0.1;
+
+    serve::LoadGenerator gen(o);
+    const auto report = gen.run(fleet, traj, [&](double) { fleet.tick(); });
+
+    // 1. The burn alert fired and the report says so.
+    EXPECT_TRUE(report.sloAlertFired);
+    EXPECT_GT(report.sloFastBurnPeak, 14.4);
+    EXPECT_GE(report.sloStateChanges, 1u);
+    EXPECT_LT(report.sloAttainment, 0.5);
+
+    // 2. The burn signal (no queue ever needed to back up) scaled the
+    //    fleet, and the ops log recorded it.
+    EXPECT_GT(fleet.replicaCount(), 1u) << "SLO burn signal never scaled the fleet";
+    EXPECT_GE(obs::EventLog::global().countOf("autoscale_up"), 1u);
+
+    // 3. The episode's events correlate to traces: at least one logged
+    //    event carries a live trace id (the degrade edge is logged from
+    //    inside a sampled request).
+    bool eventWithTrace = false;
+    for (const auto& e : obs::EventLog::global().snapshot())
+        if (e.traceId != 0) eventWithTrace = true;
+    EXPECT_TRUE(eventWithTrace);
+
+    // 4. Deadline-missed requests were retained with complete span trees.
+    const auto stats = sampler->stats();
+    EXPECT_GT(stats.retainedDeadlineMiss, 0u);
+    EXPECT_GT(report.tracesRetained, 0u);
+    for (const auto& tr : sampler->retained()) EXPECT_FALSE(tr.spans.empty());
+
+    // 5. Every exemplar the fleet exposes names a retained trace.
+    const auto text = obs::toPrometheusText(fleet.metrics());
+    const auto exemplars = obs::parsePrometheusExemplars(text);
+    EXPECT_FALSE(exemplars.empty());
+    for (const auto& [key, ex] : exemplars)
+        EXPECT_TRUE(sampler->isRetained(ex.traceId)) << key << " cites an evicted trace";
+
+    fleet.drain();
+    expectReplicaInvariant(fleet.metrics());
+    sampler->uninstall();
+    tracer.setEnabled(false);
+    tracer.setSampleEvery(1);
+    tracer.clear();
 }
 
 } // namespace

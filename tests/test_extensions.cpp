@@ -216,9 +216,11 @@ TEST(SessionRecorder, CsvShape) {
     std::getline(ss, line);
     EXPECT_NE(line.find("total_ms"), std::string::npos);
     EXPECT_NE(line.find(",wire_bytes,"), std::string::npos);
-    // The measure-resolution columns (tier / achieved bound / samples) are
-    // last, after the wire payload column.
-    const std::string tail = ",wire_bytes,measure_tier,measure_eps,measure_samples";
+    // The measure-resolution columns (tier / achieved bound / samples) come
+    // after the wire payload column, then the serving-layer observability
+    // verdicts close the row.
+    const std::string tail = ",wire_bytes,measure_tier,measure_eps,measure_samples"
+                             ",slo_verdict,trace_retained";
     EXPECT_EQ(line.rfind(tail), line.size() - tail.size());
     const auto headerCommas =
         static_cast<count>(std::count(line.begin(), line.end(), ','));
@@ -230,12 +232,16 @@ TEST(SessionRecorder, CsvShape) {
             EXPECT_EQ(static_cast<count>(std::count(line.begin(), line.end(), ',')),
                       headerCommas);
             // JSON mode ships the figure itself: a nonzero byte count in
-            // the wire_bytes column (4th from the end).
+            // the wire_bytes column (6th from the end).
             std::vector<std::string> cells;
             std::stringstream row(line);
             for (std::string cell; std::getline(row, cell, ',');)
                 cells.push_back(cell);
-            EXPECT_GT(std::stoull(cells[cells.size() - 4]), 0u);
+            EXPECT_GT(std::stoull(cells[cells.size() - 6]), 0u);
+            // Direct widget drives see no serving layer: verdict columns
+            // hold their defaults.
+            EXPECT_EQ(cells[cells.size() - 2], "ok");
+            EXPECT_EQ(cells.back(), "0");
         }
     }
     EXPECT_EQ(rows, 2u);
