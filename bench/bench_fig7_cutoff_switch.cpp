@@ -90,32 +90,51 @@ void BM_LayoutGeneration(benchmark::State& state) {
 // from the spans the widget emits (the same data the --trace export
 // shows); the wire counters come from the per-update timing fields.
 void BM_ClientPerceivedCutoffSwitch(benchmark::State& state, count residues,
-                                    viz::WireFormat wire) {
+                                    viz::WireFormat wire, bool lod) {
     const auto traj = shortTrajectory(residues);
     viz::RinWidget::Options opts;
     opts.wireFormat = wire;
+    opts.lodScenes = lod;
     viz::RinWidget widget(traj, opts);
 
     benchsupport::SpanWindow window;
     bool high = false;
     double bytes = 0.0, keyframes = 0.0, patchElems = 0.0, cycles = 0.0;
+    double refineMs = 0.0, lodFrames = 0.0, lodNodes = 0.0, kfClientMs = 0.0;
     for (auto _ : state) {
         high = !high;
         const auto t = widget.setCutoff(high ? 7.5 : 4.5);
         bytes += static_cast<double>(t.wireBytes);
         keyframes += t.wireKeyframe ? 1.0 : 0.0;
+        kfClientMs += t.wireKeyframe ? t.clientMs : 0.0;
         patchElems += static_cast<double>(t.wirePatchElements);
+        refineMs += t.clientRefineMs;
+        lodFrames += t.lodCoarse ? 1.0 : 0.0;
+        lodNodes += static_cast<double>(t.lodCoarseNodes);
         cycles += 1.0;
         benchmark::DoNotOptimize(t.totalMs());
     }
     state.counters["edge_ms"] = window.phaseMeanMs("widget.network_update");
     state.counters["layout_ms"] = window.phaseMeanMs("widget.layout");
     state.counters["measure_ms"] = window.phaseMeanMs("widget.measure");
+    // "widget.client" spans the first-pixels apply only; on LOD pairs the
+    // refine delta's client cost is reported separately below.
     state.counters["client_ms"] = window.phaseMeanMs("widget.client");
     state.counters["wire_bytes"] = cycles == 0.0 ? 0.0 : bytes / cycles;
     if (wire == viz::WireFormat::Binary) {
         state.counters["keyframe_rate"] = cycles == 0.0 ? 0.0 : keyframes / cycles;
         state.counters["patch_elements"] = cycles == 0.0 ? 0.0 : patchElems / cycles;
+        // First-pixels cost of just the keyframe cycles: the jump's delta
+        // cycles are identical with and without LOD, so this is the
+        // apples-to-apples column for the LOD time-to-first-pixels claim.
+        state.counters["client_keyframe_ms"] =
+            keyframes == 0.0 ? 0.0 : kfClientMs / keyframes;
+    }
+    if (lod) {
+        state.counters["lod_rate"] = cycles == 0.0 ? 0.0 : lodFrames / cycles;
+        state.counters["client_refine_ms"] = cycles == 0.0 ? 0.0 : refineMs / cycles;
+        state.counters["lod_coarse_nodes"] =
+            lodFrames == 0.0 ? 0.0 : lodNodes / lodFrames;
     }
     // Every cutoff switch mutates the graph (version bump), so the measure
     // cache must miss on each cycle — a nonzero value here is a bug.
@@ -167,23 +186,34 @@ void BM_ClientPerceivedCutoffSweep(benchmark::State& state, count residues,
 }
 
 // Registered at runtime (not via BENCHMARK) because the wire axis comes
-// from the --wire flag, which static registration cannot see.
+// from the --wire flag, which static registration cannot see. The binary
+// format gets an extra `binary+lod` row: the same toggle workload with
+// LOD progressive scenes on, so the cost of a worst-case jump's keyframe
+// can be read with and without the coarse-first path (below the LOD
+// node-count gate the row degenerates to plain binary: lod_rate == 0).
 void registerClientPerceived(const std::vector<std::string>& wires) {
     for (const auto& w : wires) {
         const auto fmt = w == "binary" ? viz::WireFormat::Binary : viz::WireFormat::Json;
-        for (long r : {73L, 250L, 1000L}) {
-            benchmark::RegisterBenchmark(
-                ("BM_ClientPerceivedCutoffSwitch/" + std::to_string(r) + "/wire:" + w)
-                    .c_str(),
-                BM_ClientPerceivedCutoffSwitch, static_cast<count>(r), fmt)
-                ->Unit(benchmark::kMillisecond)
-                ->Iterations(4);
-            benchmark::RegisterBenchmark(
-                ("BM_ClientPerceivedCutoffSweep/" + std::to_string(r) + "/wire:" + w)
-                    .c_str(),
-                BM_ClientPerceivedCutoffSweep, static_cast<count>(r), fmt)
-                ->Unit(benchmark::kMillisecond)
-                ->Iterations(24);
+        for (bool lod : {false, true}) {
+            if (lod && fmt != viz::WireFormat::Binary) continue;
+            const std::string axis = lod ? w + "+lod" : w;
+            for (long r : {73L, 250L, 1000L}) {
+                benchmark::RegisterBenchmark(
+                    ("BM_ClientPerceivedCutoffSwitch/" + std::to_string(r) +
+                     "/wire:" + axis)
+                        .c_str(),
+                    BM_ClientPerceivedCutoffSwitch, static_cast<count>(r), fmt, lod)
+                    ->Unit(benchmark::kMillisecond)
+                    ->Iterations(4);
+                if (lod) continue; // the sweep rarely keyframes: no LOD axis
+                benchmark::RegisterBenchmark(
+                    ("BM_ClientPerceivedCutoffSweep/" + std::to_string(r) +
+                     "/wire:" + axis)
+                        .c_str(),
+                    BM_ClientPerceivedCutoffSweep, static_cast<count>(r), fmt)
+                    ->Unit(benchmark::kMillisecond)
+                    ->Iterations(24);
+            }
         }
     }
 }

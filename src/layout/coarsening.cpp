@@ -171,6 +171,28 @@ std::vector<CoarseningLevel> buildCoarseningHierarchy(const Graph& g,
     return levels;
 }
 
+LodMapping buildLodMapping(const Graph& g, count targetCoarse) {
+    LodMapping lod;
+    lod.fineNodes = g.numberOfNodes();
+    if (lod.fineNodes == 0) return lod;
+    if (targetCoarse < 1) targetCoarse = 1;
+
+    CoarseningOptions options;
+    options.coarsestSize = targetCoarse;
+    const auto levels = buildCoarseningHierarchy(g, options);
+    if (levels.empty()) return lod; // coarseNodes == 0 -> "no LOD available"
+
+    // Compose the per-level fine->coarse maps into one map over g's nodes.
+    lod.fineToCoarse = levels.front().fineToCoarse;
+    for (std::size_t l = 1; l < levels.size(); ++l) {
+        for (node& c : lod.fineToCoarse) c = levels[l].fineToCoarse[c];
+    }
+    lod.levels = levels.size();
+    lod.coarseNodes = levels.back().coarseNodes();
+    lod.coarseEdges = levels.back().graph.edges();
+    return lod;
+}
+
 void prolongCoordinates(const CoarseningLevel& level, const std::vector<Point3>& coarse,
                         std::vector<Point3>& fine, std::uint64_t seed) {
     const count coarseN = level.coarseNodes();

@@ -75,4 +75,24 @@ std::vector<CoarseningLevel> buildCoarseningHierarchy(const Graph& g,
 void prolongCoordinates(const CoarseningLevel& level, const std::vector<Point3>& coarse,
                         std::vector<Point3>& fine, std::uint64_t seed);
 
+/// Flattened multi-level coarsening of one graph, the shape the wire
+/// layer's LOD coarse keyframes ship: a single fine-to-coarse prolongation
+/// map (levels composed), the coarse edge set, and the refine depth. The
+/// coarse node set is a partition of the fine nodes into clusters of size
+/// up to 2^levels.
+struct LodMapping {
+    count fineNodes = 0;
+    count coarseNodes = 0;
+    std::vector<node> fineToCoarse;                  ///< size fineNodes, values < coarseNodes
+    std::vector<std::pair<node, node>> coarseEdges;  ///< coarse-id space, sorted, u < v
+    count levels = 0;                                ///< hierarchy depth composed into the map
+};
+
+/// Builds a LodMapping for @p g by composing buildCoarseningHierarchy
+/// levels until the coarse side is at most @p targetCoarse nodes (or the
+/// hierarchy stalls). Returns a mapping with levels == 0 (identity-free:
+/// coarseNodes == 0) when the graph cannot be coarsened at all — callers
+/// treat that as "no LOD available".
+LodMapping buildLodMapping(const Graph& g, count targetCoarse);
+
 } // namespace rinkit

@@ -153,6 +153,7 @@ void MaxentStress::run() {
     const count n = g_.numberOfNodes();
     iterationsDone_ = 0;
     converged_ = false;
+    aborted_ = false;
     const bool seeded = initial_.size() == n && n > 0;
     initializeCoordinates(params_.seed);
     if (n <= 1) {
@@ -172,6 +173,10 @@ void MaxentStress::run() {
 
     double alpha = params_.alpha0;
     for (count it = 0; it < iterations; ++it) {
+        if (params_.abortCheck && params_.abortCheck()) {
+            aborted_ = true;
+            break;
+        }
         if (it > 0 && it % params_.phaseLength == 0) alpha *= params_.alphaDecay;
         const auto stats = ws.sweep(coordinates_, {alpha, params_.q, params_.theta});
         ++iterationsDone_;

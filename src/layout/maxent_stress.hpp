@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "src/layout/layout.hpp"
@@ -123,6 +124,13 @@ public:
         double convergenceTol = 1e-4;
         std::uint64_t seed = 1;     ///< random init seed
         count warmStartIterations = 0; ///< if > 0, cap iterations when seeded
+        /// Optional cooperative abort, polled before every outer iteration.
+        /// When it returns true the solve stops where it is and aborted()
+        /// reports true. A callback that never fires does not perturb the
+        /// iteration sequence, so two solves with identical parameters and
+        /// inputs stay bit-identical whether or not one carries a (quiet)
+        /// abort check — the property the speculative layout path relies on.
+        std::function<bool()> abortCheck;
     };
 
     /// @p dimensions is kept for NetworKit API fidelity; only 3 is supported.
@@ -142,11 +150,15 @@ public:
     /// Whether the last run() exited early on convergenceTol.
     bool converged() const { return converged_; }
 
+    /// Whether the last run() was stopped by Parameters::abortCheck.
+    bool aborted() const { return aborted_; }
+
 private:
     Parameters params_;
     MaxentWorkspace* external_ = nullptr;
     count iterationsDone_ = 0;
     bool converged_ = false;
+    bool aborted_ = false;
 };
 
 } // namespace rinkit

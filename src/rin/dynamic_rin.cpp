@@ -78,15 +78,96 @@ DynamicRin::UpdateStats DynamicRin::setFrame(index frame) {
     obs::ScopedSpan span("rin.frame_diff");
     span.attr("frame", static_cast<double>(frame));
     frame_ = frame;
-    // Move the conformation in place: topology (names, residue layout) is
-    // frame-invariant, so only atom positions need to change.
-    protein_.setAtomPositions(traj_.frame(frame));
-    ws_.invalidate();
-    contactsCutoff_ = 0.0;
+    if (frameSpeculationReady(frame)) {
+        // Prediction hit: adopt the precomputed conformation + contact
+        // cache by swap — only the edge merge remains.
+        std::swap(protein_, specProtein_);
+        std::swap(ws_, specWs_);
+        std::swap(contacts_, specContacts_);
+        contactsCutoff_ = specCutoff_;
+        specValid_ = false;
+        span.attr("speculated", true);
+    } else {
+        // Move the conformation in place: topology (names, residue layout)
+        // is frame-invariant, so only atom positions need to change.
+        specValid_ = false; // stale prediction; drop rather than age the slot
+        protein_.setAtomPositions(traj_.frame(frame));
+        ws_.invalidate();
+        contactsCutoff_ = 0.0;
+    }
     const UpdateStats stats = applyContacts();
     span.attr("edges_added", stats.edgesAdded);
     span.attr("edges_removed", stats.edgesRemoved);
     return stats;
+}
+
+void DynamicRin::precomputeContacts(double cutoff) {
+    if (cutoff <= 0.0) throw std::invalid_argument("DynamicRin: cutoff must be > 0");
+    if (contactsCover(cutoff)) return;
+    obs::ScopedSpan span("rin.speculate_contacts");
+    span.attr("cutoff", cutoff);
+    builder_.contactsInto(protein_, cutoff, ws_, contacts_);
+    contactsCutoff_ = cutoff;
+}
+
+bool DynamicRin::precomputeFrame(index frame) {
+    if (frame == frame_ || frame >= traj_.frameCount()) {
+        specValid_ = false;
+        return false;
+    }
+    if (specValid_ && specFrame_ == frame && specCutoff_ >= cutoff_) return true;
+    obs::ScopedSpan span("rin.speculate_frame");
+    span.attr("frame", static_cast<double>(frame));
+    specValid_ = false;
+    if (specProtein_.size() != protein_.size()) specProtein_ = protein_;
+    specProtein_.setAtomPositions(traj_.frame(frame));
+    specWs_.invalidate();
+    builder_.contactsInto(specProtein_, cutoff_, specWs_, specContacts_);
+    specFrame_ = frame;
+    specCutoff_ = cutoff_;
+    specValid_ = true;
+    return true;
+}
+
+void DynamicRin::speculateCutoffDiff(double cutoff,
+                                     std::vector<std::pair<node, node>>& added,
+                                     std::vector<std::pair<node, node>>& removed) const {
+    if (!contactsCover(cutoff))
+        throw std::logic_error("DynamicRin: speculateCutoffDiff without contact cover");
+    diffAgainstGraph(contacts_, cutoff, added, removed);
+}
+
+void DynamicRin::speculateFrameDiff(std::vector<std::pair<node, node>>& added,
+                                    std::vector<std::pair<node, node>>& removed) const {
+    if (!specValid_ || specCutoff_ < cutoff_)
+        throw std::logic_error("DynamicRin: speculateFrameDiff without frame slot");
+    diffAgainstGraph(specContacts_, cutoff_, added, removed);
+}
+
+void DynamicRin::diffAgainstGraph(const std::vector<Contact>& contacts, double cutoff,
+                                  std::vector<std::pair<node, node>>& added,
+                                  std::vector<std::pair<node, node>>& removed) const {
+    // Same merge as applyContacts, but into caller buffers and without
+    // touching the graph: the edge diff a hypothetical update would apply.
+    added.clear();
+    removed.clear();
+    const count n = graph_.numberOfNodes();
+    std::size_t ci = 0;
+    for (node u = 0; u < n; ++u) {
+        const auto nb = graph_.neighbors(u);
+        auto it = std::upper_bound(nb.begin(), nb.end(), u);
+        while (ci < contacts.size() && contacts[ci].u == u) {
+            const Contact& c = contacts[ci++];
+            if (c.distance > cutoff) continue;
+            while (it != nb.end() && *it < c.v) removed.emplace_back(u, *it++);
+            if (it != nb.end() && *it == c.v) {
+                ++it;
+            } else {
+                added.emplace_back(u, c.v);
+            }
+        }
+        while (it != nb.end()) removed.emplace_back(u, *it++);
+    }
 }
 
 void DynamicRin::rebuild() {

@@ -60,8 +60,53 @@ public:
     /// Full rebuild (baseline for the ablation bench).
     void rebuild();
 
+    // ---- Speculative precompute (idle-capacity prefetch) -------------
+    //
+    // All of it is side work: nothing below mutates the graph or the
+    // (frame, cutoff) position, so a cancelled or wrong speculation never
+    // changes what a client observes. A correct prediction turns the next
+    // real setCutoff/setFrame into a cached merge.
+
+    /// Extends the current frame's contact cache up to @p cutoff (no-op
+    /// when already covered). A later setCutoff(c) with c <= cutoff is
+    /// then a pure filter — no geometry work on the interactive path.
+    void precomputeContacts(double cutoff);
+
+    /// True when the contact cache already covers @p cutoff.
+    bool contactsCover(double cutoff) const {
+        return ws_.geometryValid && cutoff <= contactsCutoff_;
+    }
+
+    /// Computes frame @p frame's conformation and contact list (at the
+    /// current cutoff) into a side slot, leaving live state untouched.
+    /// A later setFrame(frame) adopts the slot by swapping it in and only
+    /// runs the edge merge. Returns false (and clears the slot) when
+    /// @p frame is the current frame or out of range.
+    bool precomputeFrame(index frame);
+
+    /// True when the side slot holds frame @p frame at a covering cutoff.
+    bool frameSpeculationReady(index frame) const {
+        return specValid_ && specFrame_ == frame && specCutoff_ >= cutoff_;
+    }
+
+    void dropFrameSpeculation() { specValid_ = false; }
+
+    /// Edge diff the graph *would* undergo on setCutoff(@p cutoff),
+    /// without applying it. Requires contactsCover(cutoff); lists come
+    /// back sorted (u < v, lexicographic).
+    void speculateCutoffDiff(double cutoff, std::vector<std::pair<node, node>>& added,
+                             std::vector<std::pair<node, node>>& removed) const;
+
+    /// Edge diff the graph would undergo adopting the precomputed frame
+    /// slot at the current cutoff. Requires a ready frame speculation.
+    void speculateFrameDiff(std::vector<std::pair<node, node>>& added,
+                            std::vector<std::pair<node, node>>& removed) const;
+
 private:
     UpdateStats applyContacts();
+    void diffAgainstGraph(const std::vector<Contact>& contacts, double cutoff,
+                          std::vector<std::pair<node, node>>& added,
+                          std::vector<std::pair<node, node>>& removed) const;
 
     const md::Trajectory& traj_;
     RinBuilder builder_;
@@ -74,6 +119,17 @@ private:
     std::vector<Contact> contacts_;  // sorted contacts at contactsCutoff_
     double contactsCutoff_ = 0.0;    // largest cutoff computed for this frame
     std::vector<std::pair<node, node>> addBuf_, removeBuf_; // diff scratch
+
+    // Speculative frame side slot (precomputeFrame): an alternate
+    // conformation + contact cache that setFrame adopts by swap on a
+    // prediction hit. Owned workspaces keep speculation from clobbering
+    // the live geometry cache.
+    bool specValid_ = false;
+    index specFrame_ = 0;
+    double specCutoff_ = 0.0; // cutoff specContacts_ was computed at
+    md::Protein specProtein_;
+    ContactWorkspace specWs_;
+    std::vector<Contact> specContacts_;
 };
 
 } // namespace rinkit::rin

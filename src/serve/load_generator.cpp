@@ -108,6 +108,61 @@ SliderEvent sampleEvent(Rng& rng, const LoadGenOptions& o) {
     return SliderEvent::refresh(o.deadlineMs);
 }
 
+/// Per-session state of a MonotoneDrag walk.
+struct DragState {
+    bool onCutoff = false;     ///< which slider the user is dragging
+    int dir = 1;               ///< current drag direction
+    std::int64_t frame = 0;    ///< frame slider position
+    std::int64_t cutoffTick = 0; ///< cutoff = min + step * tick
+};
+
+/// One tick of a direction-persistent slider drag: keep walking the
+/// current slider by one step, reflect at the range bounds, occasionally
+/// reverse, switch sliders, or flip the measure.
+SliderEvent sampleDragEvent(Rng& rng, const LoadGenOptions& o, DragState& st) {
+    if (rng.real01() < o.dragMeasureProb)
+        return SliderEvent::setMeasure(
+            rng.chance(0.5) ? viz::Measure::Degree : viz::Measure::Closeness, o.deadlineMs);
+    if (rng.real01() < o.dragSwitchProb) st.onCutoff = !st.onCutoff;
+    if (rng.real01() < o.dragReversalProb) st.dir = -st.dir;
+    if (st.onCutoff) {
+        const auto maxTick = static_cast<std::int64_t>(
+            std::max(0.0, (o.dragCutoffMax - o.dragCutoffMin) / o.dragCutoffStep));
+        std::int64_t next = st.cutoffTick + st.dir;
+        if (next < 0 || next > maxTick) {
+            st.dir = -st.dir;
+            next = st.cutoffTick + st.dir;
+        }
+        st.cutoffTick = std::clamp<std::int64_t>(next, 0, maxTick);
+        return SliderEvent::setCutoff(
+            o.dragCutoffMin + o.dragCutoffStep * static_cast<double>(st.cutoffTick),
+            o.deadlineMs);
+    }
+    const auto maxFrame = static_cast<std::int64_t>(std::max<count>(1, o.frames)) - 1;
+    std::int64_t next = st.frame + st.dir;
+    if (next < 0 || next > maxFrame) {
+        st.dir = -st.dir;
+        next = st.frame + st.dir;
+    }
+    st.frame = std::clamp<std::int64_t>(next, 0, maxFrame);
+    return SliderEvent::setFrame(static_cast<index>(st.frame), o.deadlineMs);
+}
+
+/// Freshly seeded drag states, one per session: staggered start positions
+/// and directions so a fleet of draggers does not move in lockstep.
+std::vector<DragState> initialDragStates(Rng& rng, const LoadGenOptions& o) {
+    std::vector<DragState> drags(o.sessions);
+    const auto maxTick = static_cast<std::int64_t>(
+        std::max(0.0, (o.dragCutoffMax - o.dragCutoffMin) / o.dragCutoffStep));
+    for (auto& st : drags) {
+        st.onCutoff = rng.chance(0.5);
+        st.dir = rng.chance(0.5) ? 1 : -1;
+        st.frame = static_cast<std::int64_t>(rng.pick(std::max<count>(1, o.frames)));
+        st.cutoffTick = static_cast<std::int64_t>(rng.pick(static_cast<count>(maxTick + 1)));
+    }
+    return drags;
+}
+
 } // namespace
 
 LoadReport LoadGenerator::run(ServiceEndpoint& endpoint, const md::Trajectory& traj,
@@ -129,7 +184,9 @@ LoadReport LoadGenerator::run(ServiceEndpoint& endpoint, const md::Trajectory& t
     std::vector<SessionId> sessions;
     sessions.reserve(o.sessions);
     for (count i = 0; i < o.sessions; ++i)
-        sessions.push_back(endpoint.openSession(traj, {}, "user-" + std::to_string(i)));
+        sessions.push_back(endpoint.openSession(traj, widgetOptions_,
+                                                "user-" + std::to_string(i)));
+    std::vector<DragState> drags = initialDragStates(rng, o);
 
     std::vector<std::future<RequestOutcome>> pending;
     const auto harvestOne = [&](RequestOutcome outcome) {
@@ -182,7 +239,10 @@ LoadReport LoadGenerator::run(ServiceEndpoint& endpoint, const md::Trajectory& t
         sleepUntil(nextArrival);
         const count s = static_cast<count>(rng.pick(sessions.size()));
         ++rep.offered;
-        pending.push_back(endpoint.submit(sessions[s], sampleEvent(rng, o)));
+        const SliderEvent event = o.eventModel == LoadEventModel::MonotoneDrag
+                                      ? sampleDragEvent(rng, o, drags[s])
+                                      : sampleEvent(rng, o);
+        pending.push_back(endpoint.submit(sessions[s], event));
         nextArrival += expGap(rng, rateAt(o, nextArrival));
     }
 
@@ -274,6 +334,7 @@ LoadReport LoadGenerator::simulateCluster(const SimServiceModel& model,
         sessions[i].key = "user-" + std::to_string(i);
         sessions[i].replica = ring.route(sessions[i].key);
     }
+    std::vector<DragState> drags = initialDragStates(rng, o);
 
     std::priority_queue<Departure, std::vector<Departure>, std::greater<>> departures;
 
@@ -455,7 +516,9 @@ LoadReport LoadGenerator::simulateCluster(const SimServiceModel& model,
         // Arrival.
         const count s = static_cast<count>(rng.pick(sessions.size()));
         SimSession& ses = sessions[s];
-        const SliderEvent event = sampleEvent(rng, o);
+        const SliderEvent event = o.eventModel == LoadEventModel::MonotoneDrag
+                                      ? sampleDragEvent(rng, o, drags[s])
+                                      : sampleEvent(rng, o);
         ++rep.offered;
         ++windowOffered;
         bool merged = false;

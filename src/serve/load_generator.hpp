@@ -21,10 +21,33 @@ enum class LoadSchedule {
     FlashCrowd, ///< base, multiplied by flashMultiplier inside a window
 };
 
+/// What one arrival looks like.
+enum class LoadEventModel {
+    /// The original memoryless interaction mix: random frames/cutoffs/
+    /// measures/refreshes, independent draw per event.
+    Mixed,
+    /// A user dragging a slider: per-session direction-persistent walks —
+    /// tick after tick of the same step on the same slider, reflecting at
+    /// the range bounds, with occasional direction reversals, control
+    /// switches, and measure flips. This is the workload the speculative
+    /// prefetch path is built for (and what its benches drive).
+    MonotoneDrag,
+};
+
 /// Load-generation configuration. Namespace-scope NSDMI defaults — the one
 /// LoadGenerator constructor takes this struct.
 struct LoadGenOptions {
     LoadSchedule schedule = LoadSchedule::Constant;
+    LoadEventModel eventModel = LoadEventModel::Mixed;
+    /// MonotoneDrag knobs: per-event probabilities of a direction
+    /// reversal, of switching to the other slider, and of an interleaved
+    /// measure flip; the cutoff slider's tick grid.
+    double dragReversalProb = 0.08;
+    double dragSwitchProb = 0.05;
+    double dragMeasureProb = 0.04;
+    double dragCutoffMin = 4.0;
+    double dragCutoffMax = 7.5;
+    double dragCutoffStep = 0.1;
     double baseRatePerSec = 50.0; ///< lambda of the Poisson arrival process
     double durationSec = 2.0;
     count sessions = 16; ///< sticky users, routing keys "user-<i>"
@@ -138,6 +161,13 @@ public:
 
     explicit LoadGenerator(Options options = {}) : options_(options) {}
 
+    /// Widget options every session opened by run() uses — how a bench
+    /// turns on speculation, the binary wire, or LOD scenes for the whole
+    /// generated fleet. Defaults to the widget's defaults.
+    void setWidgetOptions(const viz::RinWidget::Options& options) {
+        widgetOptions_ = options;
+    }
+
     /// Drives @p endpoint open-loop in real time. @p onTick (optional)
     /// fires every tickIntervalSec with the elapsed seconds — wire it to
     /// ReplicaSet::tick for live autoscaling. Ends by draining the
@@ -159,6 +189,7 @@ public:
 
 private:
     Options options_;
+    viz::RinWidget::Options widgetOptions_{};
 };
 
 } // namespace rinkit::serve

@@ -100,6 +100,10 @@ SessionService::SessionService(Options options) : options_(std::move(options)) {
     // wire_delta_frames, so delta ratio = wire_delta_frames / frames_shipped
     // is meaningful per-format). handed_off/adopted account migration:
     // pending queue slots leaving / arriving with a migrated session.
+    // The speculative pipeline keeps its own closed accounting, invisible
+    // to the request counters and the SLO engine:
+    //   speculated == spec_hit + spec_miss + spec_cancelled
+    // once the pipeline is idle (each enqueued task resolves exactly once).
     for (const char* name : {"submitted", "completed", "coalesced", "rejected",
                              "shed_degraded", "shed_stale", "deadline_missed",
                              "sessions_opened", "frames_shipped", "wire_bytes",
@@ -107,7 +111,9 @@ SessionService::SessionService(Options options) : options_(std::move(options)) {
                              "handed_off", "adopted", "sessions_adopted",
                              "measure_tier_exact", "measure_tier_dynamic",
                              "measure_tier_approx", "measure_tier_stale",
-                             "slo_degraded"})
+                             "slo_degraded", "speculated", "spec_hit",
+                             "spec_miss", "spec_cancelled", "spec_cpu_ms",
+                             "lod_pairs_shipped"})
         registry_.increment(name, 0);
     // Structural exemplar hygiene: exemplars whose trace the sampler has
     // since evicted are dropped at snapshot time, so an exported exemplar
@@ -132,6 +138,8 @@ SessionService::~SessionService() {
 void SessionService::shutdown() {
     std::lock_guard<std::mutex> lock(mutex_);
     for (auto& [id, session] : sessions_) {
+        session->specToken.cancel();
+        cancelPendingSpeculationLocked(*session);
         for (auto& request : session->queue) {
             // One slot = one "rejected" tick: the coalesced waiters of
             // this slot were already accounted under "coalesced", so
@@ -143,6 +151,7 @@ void SessionService::shutdown() {
             resolveAll(request, outcome);
         }
         totalQueued_ -= session->queue.size();
+        syncLiveLocked();
         session->queue.clear();
     }
     sessions_.clear();
@@ -170,6 +179,8 @@ void SessionService::closeSession(SessionId id) {
     auto it = sessions_.find(id);
     if (it == sessions_.end()) return;
     Session& session = *it->second;
+    session.specToken.cancel();
+    cancelPendingSpeculationLocked(session);
     for (auto& request : session.queue) {
         registry_.increment("rejected"); // per slot; see shutdown()
         RequestOutcome outcome;
@@ -177,6 +188,7 @@ void SessionService::closeSession(SessionId id) {
         resolveAll(request, outcome);
     }
     totalQueued_ -= session.queue.size();
+    syncLiveLocked();
     session.queue.clear();
     registry_.gaugeQueueDepth(totalQueued_);
     // An in-flight request holds its own shared_ptr and finishes normally;
@@ -195,6 +207,11 @@ std::future<RequestOutcome> SessionService::submit(SessionId id, SliderEvent eve
         throw std::invalid_argument("SessionService: unknown session id " + std::to_string(id));
     Session& session = *it->second;
     registry_.increment("submitted");
+    // Real work preempts speculation: fire the token so an in-flight
+    // speculative task yields its worker at the next phase boundary. A
+    // speculation that already completed stays pending — this very request
+    // will judge it.
+    session.specToken.cancel();
 
     // Latest-wins coalescing: a queued event of the same kind is stale the
     // moment a newer one arrives — overwrite it in place, adopt its
@@ -272,7 +289,15 @@ std::future<RequestOutcome> SessionService::submit(SessionId id, SliderEvent eve
     }
     session.queue.push_back(std::move(request));
     ++totalQueued_;
+    syncLiveLocked();
     registry_.gaugeQueueDepth(totalQueued_);
+    // A real request instantly reclaims the worker its session's
+    // speculation may be holding: firing the token makes the speculative
+    // solve abort at its next per-iteration check, so the request waits at
+    // most ~one layout sweep, never a whole solve. A speculation that
+    // already completed is untouched — it sits pending and this very
+    // request judges it hit or miss.
+    if (session.specQueued) session.specToken.cancel();
     pumpLocked(it->second);
     return future;
 }
@@ -280,6 +305,11 @@ std::future<RequestOutcome> SessionService::submit(SessionId id, SliderEvent eve
 void SessionService::drain() {
     std::unique_lock<std::mutex> lock(mutex_);
     idle_.wait(lock, [this] { return totalQueued_ == 0 && inFlight_ == 0; });
+}
+
+void SessionService::waitSpeculationIdle() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    specIdle_.wait(lock, [this] { return specTasksQueued_ == 0; });
 }
 
 count SessionService::activeSessions() const {
@@ -310,9 +340,15 @@ SessionService::DetachedSession SessionService::extractSession(SessionId id) {
 
     // Quiesce: freeze scheduling (pumpLocked skips frozen sessions) and
     // wait out the in-flight request. Its waiters resolve normally on this
-    // replica — only *unexecuted* work is handed off.
+    // replica — only *unexecuted* work is handed off. Speculation does not
+    // migrate: the token stops a running task, an unjudged result resolves
+    // as cancelled here, and the widget leaves with its side slots empty —
+    // so hit/miss never lands on a replica that never ticked "speculated".
     session->frozen = true;
+    session->specToken.cancel();
     idle_.wait(lock, [&] { return !session->busy; });
+    cancelPendingSpeculationLocked(*session);
+    session->widget->dropSpeculation();
 
     DetachedSession detached;
     detached.widget_ = std::move(session->widget);
@@ -320,6 +356,7 @@ SessionService::DetachedSession SessionService::extractSession(SessionId id) {
     detached.queue_ = std::move(session->queue);
     for (count i = 0; i < detached.queue_.size(); ++i) registry_.increment("handed_off");
     totalQueued_ -= detached.queue_.size();
+    syncLiveLocked();
     sessions_.erase(id);
     registry_.gaugeQueueDepth(totalQueued_);
     if (totalQueued_ == 0 && inFlight_ == 0) idle_.notify_all();
@@ -348,6 +385,7 @@ SessionId SessionService::adoptSession(DetachedSession&& detached) {
     session->queue = std::move(detached.queue_);
     for (count i = 0; i < session->queue.size(); ++i) registry_.increment("adopted");
     totalQueued_ += session->queue.size();
+    syncLiveLocked();
     registry_.increment("sessions_adopted");
     registry_.gaugeQueueDepth(totalQueued_);
     const SessionId id = session->id;
@@ -368,11 +406,104 @@ viz::DegradeLevel SessionService::minimumDegradeLevel() const {
     return static_cast<viz::DegradeLevel>(minDegradeRank_.load(std::memory_order_relaxed));
 }
 
+void SessionService::syncLiveLocked() {
+    interactiveLive_.store(totalQueued_ + inFlight_, std::memory_order_relaxed);
+}
+
 void SessionService::pumpLocked(const std::shared_ptr<Session>& session) {
     if (session->busy || session->frozen || session->queue.empty()) return;
     session->busy = true;
     ++inFlight_;
+    syncLiveLocked();
     pool_->submit([this, session] { runNext(session); });
+}
+
+void SessionService::maybeSpeculateLocked(const std::shared_ptr<Session>& session) {
+    // Only an idle session with nothing pending speculates: a queued or
+    // unjudged speculation means there is nothing new to precompute (the
+    // prediction cannot change until a real event runs).
+    if (session->specQueued || session->specPending || session->busy || session->frozen ||
+        !session->queue.empty())
+        return;
+    // Speculation donates *idle* capacity only. While any real request is
+    // queued or executing anywhere, every worker's next slot belongs to
+    // interactive work — a saturated closed-loop fleet must measure zero
+    // speculative interference, not "a little". (At the runNext tail this
+    // runs after --inFlight_, so a lone interactive session still
+    // speculates in the gap before its next event.)
+    if (totalQueued_ != 0 || inFlight_ != 0) return;
+    if (!session->widget->options().speculate) return;
+    if (!session->widget->predictNext().valid()) return;
+    session->specToken = CancelToken();
+    session->specQueued = true;
+    ++specTasksQueued_;
+    registry_.increment("speculated");
+    pool_->submitBackground(
+        [this, session, token = session->specToken] { runSpeculation(session, token); });
+}
+
+void SessionService::cancelPendingSpeculationLocked(Session& session) {
+    if (!session.specPending) return;
+    session.specPending = false;
+    registry_.increment("spec_cancelled");
+}
+
+void SessionService::runSpeculation(std::shared_ptr<Session> session, CancelToken token) {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        // The world may have moved between enqueue and dequeue: a real
+        // request queued or executing, the session closed or migrating, or
+        // the token already fired. All of it resolves this task as
+        // cancelled — speculation only ever runs on an otherwise idle
+        // session, so it is invisible to interactive latency.
+        if (sessions_.count(session->id) == 0 || session->frozen || session->busy ||
+            !session->queue.empty() || totalQueued_ != 0 || inFlight_ != 0 ||
+            token.cancelled()) {
+            session->specQueued = false;
+            --specTasksQueued_;
+            registry_.increment("spec_cancelled");
+            specIdle_.notify_all();
+            return;
+        }
+        session->busy = true; // same per-session serialization as a request
+    }
+
+    obs::ScopedSpan span("serve.speculate");
+    span.attr("session", static_cast<double>(session->id));
+    if (!options_.replicaLabel.empty()) span.attr("replica", options_.replicaLabel);
+    Timer cpu;
+    // Yield at the next phase boundary (or layout iteration) once real
+    // work exists anywhere in the service — queued on the pool, queued on
+    // a session, or already executing. interactiveLive_ is the lock-free
+    // mirror kept by syncLiveLocked(), so this poll never touches mutex_.
+    const auto cancelled = [this, &token] {
+        return token.cancelled() || pool_->interactivePending() ||
+               interactiveLive_.load(std::memory_order_relaxed) != 0;
+    };
+    const bool completed = session->widget->speculate(cancelled);
+    const double specMs = cpu.elapsedMs();
+    span.attr("completed", completed);
+    span.attr("spec_ms", specMs);
+    registry_.recordLatency("speculate_ms", specMs);
+    registry_.increment("spec_cpu_ms", static_cast<count>(specMs));
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    session->specQueued = false;
+    --specTasksQueued_;
+    session->busy = false;
+    if (completed && sessions_.count(session->id) != 0 && !session->frozen) {
+        // Pending until the next graph-moving request judges it hit/miss.
+        // (A request that arrives mid-compute fires the token and aborts
+        // the solve; one that loses the race to a finished solve lands
+        // here as a normal judge of the completed result.)
+        session->specPending = true;
+    } else {
+        if (completed) session->widget->dropSpeculation();
+        registry_.increment("spec_cancelled");
+    }
+    pumpLocked(session);
+    specIdle_.notify_all();
+    idle_.notify_all(); // extractSession may be waiting out this task
 }
 
 void SessionService::resolveAll(detail::QueuedRequest& request, const RequestOutcome& outcome) {
@@ -389,6 +520,7 @@ void SessionService::runNext(std::shared_ptr<Session> session) {
             // closeSession rejected the backlog between scheduling and now.
             session->busy = false;
             --inFlight_;
+            syncLiveLocked();
             idle_.notify_all();
             return;
         }
@@ -396,6 +528,7 @@ void SessionService::runNext(std::shared_ptr<Session> session) {
         session->queue.pop_front();
         depthBehind = session->queue.size();
         --totalQueued_;
+        syncLiveLocked();
         registry_.gaugeQueueDepth(totalQueued_);
         session->appliedLog.push_back(request.event.kind);
     }
@@ -555,6 +688,10 @@ void SessionService::runNext(std::shared_ptr<Session> session) {
     registry_.increment("wire_bytes", timing.wireBytes);
     if (timing.binaryWire)
         registry_.increment(timing.wireKeyframe ? "wire_keyframes" : "wire_delta_frames");
+    if (timing.lodCoarse) registry_.increment("lod_pairs_shipped");
+    // A graph-moving request judges the pending speculation: exactly one
+    // of spec_hit/spec_miss per speculation that survived to judgement.
+    if (timing.specJudged) registry_.increment(timing.specHit ? "spec_hit" : "spec_miss");
 
     RequestOutcome outcome;
     outcome.status = degraded ? RequestStatus::OkDegraded : RequestStatus::Ok;
@@ -571,9 +708,16 @@ void SessionService::runNext(std::shared_ptr<Session> session) {
     std::lock_guard<std::mutex> lock(mutex_);
     session->busy = false;
     --inFlight_;
+    syncLiveLocked();
+    if (timing.specJudged) session->specPending = false;
     // Re-enqueue through the pool's FIFO rather than looping here, so a
     // chatty session yields to the others between requests.
-    if (sessions_.count(session->id) != 0) pumpLocked(session);
+    if (sessions_.count(session->id) != 0) {
+        pumpLocked(session);
+        // Idle after this request: spend the idle capacity on the
+        // predicted next tick (no-op unless the widget opted in).
+        maybeSpeculateLocked(session);
+    }
     // Wake both drain() (all-idle) and extractSession() (this session
     // quiesced); the predicates re-check under the lock.
     idle_.notify_all();

@@ -166,6 +166,11 @@ public:
     /// Blocks until every queue is empty and no request is in flight.
     void drain() override;
 
+    /// Blocks until no session has a speculative task queued or running
+    /// (tests/benches: make the background pipeline deterministic before
+    /// reading counters or submitting a paced event).
+    void waitSpeculationIdle();
+
     /// Rejects every queued request and closes every session (the worker
     /// pool stays up, so new sessions can be opened afterwards).
     void shutdown() override;
@@ -232,14 +237,36 @@ private:
         bool busy = false;   ///< a request of this session is executing
         bool frozen = false; ///< migration in progress: do not schedule
         std::vector<SliderEvent::Kind> appliedLog;
+        // Speculative pipeline. Every enqueued task ticks "speculated" and
+        // resolves to exactly one of spec_hit / spec_miss / spec_cancelled:
+        // a completed speculation is "pending" until the next graph-moving
+        // request judges it (hit/miss via UpdateTiming), everything else —
+        // token fired, session closed, nothing predictable — is cancelled.
+        CancelToken specToken;   ///< fired by any real submit / close
+        bool specQueued = false; ///< a task is queued or running
+        bool specPending = false; ///< completed, awaiting judgement
     };
 
     /// Schedules the session on the pool if it is idle with pending work.
     /// Caller must hold mutex_.
     void pumpLocked(const std::shared_ptr<Session>& session);
+    /// Refreshes interactiveLive_; must follow every totalQueued_ /
+    /// inFlight_ mutation (all happen under mutex_).
+    void syncLiveLocked();
+
+    /// Enqueues a background speculation task for an idle session when its
+    /// widget opted in and predicts a next event. Caller must hold mutex_.
+    void maybeSpeculateLocked(const std::shared_ptr<Session>& session);
+
+    /// Resolves an unjudged pending speculation as cancelled (session
+    /// closing / migrating / shutting down). Caller must hold mutex_.
+    void cancelPendingSpeculationLocked(Session& session);
 
     /// Worker-side: pops and executes the session's next request.
     void runNext(std::shared_ptr<Session> session);
+
+    /// Background-worker-side: runs one speculation attempt.
+    void runSpeculation(std::shared_ptr<Session> session, CancelToken token);
 
     static void resolveAll(detail::QueuedRequest& request, const RequestOutcome& outcome);
 
@@ -253,10 +280,23 @@ private:
 
     mutable std::mutex mutex_;
     std::condition_variable idle_;
+    std::condition_variable specIdle_; ///< waitSpeculationIdle wakeup
     std::map<SessionId, std::shared_ptr<Session>> sessions_;
     SessionId nextId_ = 1;
     count totalQueued_ = 0;  ///< across sessions (drives the depth gauge)
     count inFlight_ = 0;
+    /// Lock-free mirror of totalQueued_ + inFlight_, refreshed under
+    /// mutex_ wherever either changes (syncLiveLocked). Read by a running
+    /// speculation's abort callback between layout iterations — taking
+    /// mutex_ there would contend with the very requests speculation must
+    /// yield to.
+    std::atomic<count> interactiveLive_{0};
+    /// Speculation tasks enqueued on the pool and not yet finished. Kept
+    /// globally (not derived from the session map) so waitSpeculationIdle
+    /// also covers tasks whose session closed while they sat in the
+    /// background queue — each such orphan still resolves (cancelled)
+    /// when the pool runs it.
+    count specTasksQueued_ = 0;
 };
 
 } // namespace rinkit::serve

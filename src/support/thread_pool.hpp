@@ -1,8 +1,10 @@
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <utility>
@@ -13,7 +15,21 @@
 
 namespace rinkit {
 
-/// Fixed-size worker pool with a FIFO task queue.
+/// Cooperative cancellation token shared between a background task and
+/// whoever may want to stop it. The holder calls cancel(); the task polls
+/// cancelled() at phase boundaries and exits early. Copies share state.
+class CancelToken {
+public:
+    CancelToken() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+    void cancel() const { flag_->store(true, std::memory_order_relaxed); }
+    bool cancelled() const { return flag_->load(std::memory_order_relaxed); }
+
+private:
+    std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// Fixed-size worker pool with a two-priority FIFO task queue.
 ///
 /// This is the serving layer's execution substrate (serve::SessionService
 /// schedules one task per queued widget request), deliberately separate
@@ -22,8 +38,15 @@ namespace rinkit {
 /// gives round-robin fairness across sessions that re-enqueue themselves
 /// after each request.
 ///
-/// Destruction waits for the queue to drain and joins every worker; tasks
-/// submitted after shutdown began are silently dropped.
+/// Besides the interactive queue there is a strictly lower-priority
+/// background queue (submitBackground): workers only dequeue background
+/// tasks while the interactive queue is empty, so speculative work never
+/// delays a queued request. Background tasks are expected to poll a
+/// CancelToken and interactivePending() so a long task yields the worker
+/// shortly after real work arrives.
+///
+/// Destruction waits for both queues to drain and joins every worker;
+/// tasks submitted after shutdown began are silently dropped.
 class ThreadPool {
 public:
     explicit ThreadPool(count threads) {
@@ -63,6 +86,27 @@ public:
         available_.notify_one();
     }
 
+    /// Enqueues @p task on the background queue: it runs only when no
+    /// interactive task is queued at dequeue time. Same context
+    /// propagation as submit().
+    void submitBackground(std::function<void()> task) {
+        const obs::SpanContext ctx = obs::Tracer::global().currentContext();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (stopping_) return;
+            background_.push_back({std::move(task), ctx});
+        }
+        available_.notify_one();
+    }
+
+    /// True while an interactive task is queued (racy snapshot — meant as
+    /// a yield hint for running background tasks, not a synchronization
+    /// primitive).
+    bool interactivePending() const {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return !queue_.empty();
+    }
+
     count size() const { return workers_.size(); }
 
 private:
@@ -76,10 +120,13 @@ private:
             QueuedTask entry;
             {
                 std::unique_lock<std::mutex> lock(mutex_);
-                available_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-                if (queue_.empty()) return; // stopping_ and drained
-                entry = std::move(queue_.front());
-                queue_.pop_front();
+                available_.wait(lock, [this] {
+                    return stopping_ || !queue_.empty() || !background_.empty();
+                });
+                if (queue_.empty() && background_.empty()) return; // stopping_ and drained
+                auto& source = queue_.empty() ? background_ : queue_;
+                entry = std::move(source.front());
+                source.pop_front();
             }
             obs::ContextScope propagate(entry.ctx);
             entry.task();
@@ -88,7 +135,8 @@ private:
 
     std::vector<std::thread> workers_;
     std::deque<QueuedTask> queue_;
-    std::mutex mutex_;
+    std::deque<QueuedTask> background_;
+    mutable std::mutex mutex_;
     std::condition_variable available_;
     bool stopping_ = false;
 };

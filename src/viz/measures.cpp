@@ -225,6 +225,19 @@ void MeasureEngine::noteDiff(const Graph& g, std::uint64_t fromVersion,
     }
 }
 
+void MeasureEngine::storeExact(const Graph& g, Measure m, std::vector<double> scores) {
+    if (scores.size() != g.numberOfNodes())
+        throw std::invalid_argument("MeasureEngine: storeExact size mismatch");
+    Slot& ex = exact_[static_cast<size_t>(m)];
+    ex.scores = std::move(scores);
+    ex.version = g.version();
+    ex.g = &g;
+    ex.valid = true;
+    ex.eps = 0.0;
+    ex.delta = 0.0;
+    ex.samples = 0;
+}
+
 void MeasureEngine::invalidateDynamic() {
     dynClose_.reset();
     dynBet_.reset();

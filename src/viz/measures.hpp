@@ -163,6 +163,16 @@ public:
                                       bool* cacheHit = nullptr,
                                       bool degraded = false);
 
+    /// Installs an externally computed *exact* result for @p m at @p g's
+    /// current version into the exact cache slot — the speculative
+    /// precompute adoption hook. The caller guarantees @p scores equals
+    /// what an exact recompute on @p g would produce (the speculation ran
+    /// computeMeasure on an identical edge set); the next scores() read at
+    /// this version is then an O(1) cached-exact hit. Does not prime the
+    /// dynamic kernels — a later cache miss falls through the normal
+    /// ladder unchanged.
+    void storeExact(const Graph& g, Measure m, std::vector<double> scores);
+
     /// Feeds the engine the edge diff that moved @p g from @p fromVersion
     /// to its current version (DynamicRin::lastAdded/lastRemoved). Diffs
     /// compose across calls; a version gap invalidates the dynamic state

@@ -87,7 +87,8 @@ SessionRecorder::PhaseStats SessionRecorder::phaseStats(const std::string& phase
 void SessionRecorder::writeCsv(std::ostream& out) const {
     out << "event,detail,network_ms,layout_ms,measure_ms,scene_ms,serialize_ms,"
            "client_ms,total_ms,edges_added,edges_removed,edges_total,wire_bytes,"
-           "measure_tier,measure_eps,measure_samples,slo_verdict,trace_retained\n";
+           "measure_tier,measure_eps,measure_samples,slo_verdict,trace_retained,"
+           "spec_judged,spec_hit,lod_coarse,client_refine_ms\n";
     for (const auto& e : events_) {
         const auto& t = e.timing;
         out << eventKindName(e.kind) << ',' << e.detail << ',' << t.networkUpdateMs
@@ -97,7 +98,9 @@ void SessionRecorder::writeCsv(std::ostream& out) const {
             << t.edgeStats.edgesTotal << ',' << t.wireBytes << ','
             << tierName(t.measureTier) << ',' << t.measureEps << ','
             << t.measureSamples << ',' << e.sloVerdict << ','
-            << (e.traceRetained ? 1 : 0) << '\n';
+            << (e.traceRetained ? 1 : 0) << ',' << (t.specJudged ? 1 : 0) << ','
+            << (t.specHit ? 1 : 0) << ',' << (t.lodCoarse ? 1 : 0) << ','
+            << t.clientRefineMs << '\n';
     }
 }
 

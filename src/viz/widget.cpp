@@ -1,6 +1,7 @@
 #include "src/viz/widget.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "src/layout/multilevel_maxent_stress.hpp"
 #include "src/obs/trace.hpp"
@@ -31,6 +32,9 @@ RinWidget::RinWidget(const md::Trajectory& traj, Options options)
       engine_(engineOptions(options)),
       measure_(options.initialMeasure),
       wireEncoder_(wire::DeltaEncoderOptions{options.wireKeyframeInterval}) {
+    Predictor::Options pred;
+    pred.frameCount = traj.frameCount();
+    predictor_ = Predictor(pred);
     refresh();
 }
 
@@ -110,6 +114,161 @@ void RinWidget::recomputeMeasure(UpdateTiming& t) {
     t.measureMs = span.finishMs();
 }
 
+bool RinWidget::speculate(const std::function<bool()>& cancelled) {
+    const Prediction pred = predictor_.predict();
+    if (!pred.valid()) return false;
+    const std::uint64_t version = rin_.graph().version();
+    if (spec_.valid && spec_.baseVersion == version && spec_.pred.kind == pred.kind &&
+        spec_.pred.frame == pred.frame && spec_.pred.cutoff == pred.cutoff &&
+        spec_.measure == measure_)
+        return true; // exactly this speculation is already pending
+    spec_.valid = false;
+
+    obs::ScopedSpan span("widget.speculate");
+    span.attr("kind", pred.kind == Prediction::Kind::Frame ? "frame" : "cutoff");
+    const auto aborted = [&] { return cancelled && cancelled(); };
+
+    // Phase 1 — network side work. Both branches are pure cache warming on
+    // DynamicRin (an extended contact cache, a frame side slot): legal to
+    // keep even when a later phase aborts, never visible to the client.
+    Speculation spec;
+    spec.pred = pred;
+    spec.baseVersion = version;
+    if (pred.kind == Prediction::Kind::Frame) {
+        if (!rin_.precomputeFrame(pred.frame)) return false;
+        rin_.speculateFrameDiff(spec.added, spec.removed);
+    } else {
+        if (pred.cutoff > rin_.cutoff()) rin_.precomputeContacts(pred.cutoff);
+        if (!rin_.contactsCover(pred.cutoff)) return false;
+        rin_.speculateCutoffDiff(pred.cutoff, spec.added, spec.removed);
+    }
+    if (aborted()) {
+        span.attr("cancelled", true);
+        return false;
+    }
+
+    // Phase 2 — the predicted graph, as a copy the live graph never sees.
+    Graph predicted = rin_.graph();
+    for (auto [u, v] : spec.removed) predicted.removeEdge(u, v);
+    for (auto [u, v] : spec.added) predicted.addEdge(u, v);
+    if (aborted()) {
+        span.attr("cancelled", true);
+        return false;
+    }
+
+    // Phase 3 — the exact warm-start solve the real update would run on
+    // this graph (same parameters, seed, and initial coordinates), so
+    // adopting the result and skipping the real polish changes nothing.
+    // A dedicated workspace keeps the live rho/octree cache untouched.
+    MaxentStress::Parameters params;
+    params.iterations = options_.layoutIterations;
+    params.warmStartIterations = options_.layoutWarmStartIterations;
+    params.seed = options_.seed;
+    // Cooperative abort per outer iteration: speculation must yield to
+    // interactive work within ~one sweep, not one whole solve. The check
+    // never fires on the adopted path, so the solve stays bit-identical
+    // to the real update's (see Parameters::abortCheck).
+    params.abortCheck = aborted;
+    MaxentStress layout(predicted, 3, params);
+    layout.setWorkspace(&specLayoutWorkspace_);
+    if (maxentCoords_.size() == predicted.numberOfNodes())
+        layout.setInitialCoordinates(maxentCoords_);
+    layout.run();
+    if (layout.aborted()) {
+        span.attr("cancelled", true);
+        return false;
+    }
+    spec.coords = layout.getCoordinates();
+    if (aborted()) {
+        span.attr("cancelled", true);
+        return false;
+    }
+
+    // Phase 4 — the current measure, exact, on the predicted graph.
+    if (measure_) {
+        spec.measure = measure_;
+        spec.scores = computeMeasure(predicted, CsrView::fromGraph(predicted), *measure_);
+        if (aborted()) {
+            span.attr("cancelled", true);
+            return false;
+        }
+    }
+
+    // Phase 5 — pre-serialize the JSON edge traces of the predicted scene
+    // (cutoff predictions only: the protein view's positions are the
+    // current frame's, which a cutoff tick never moves). Edge traces are a
+    // pure function of edge set + positions, both proven identical on
+    // adoption, so installing these strings is byte-identical to
+    // rebuilding them — and they are the dominant serialization cost of a
+    // cutoff tick, the difference between a spec-hit and a markers-only
+    // update. Community scenes skip this (their traces are rebuilt with
+    // community colors).
+    if (pred.kind == Prediction::Kind::Cutoff && options_.wireFormat == WireFormat::Json &&
+        !(spec.measure && isCommunityMeasure(*spec.measure))) {
+        std::vector<double> zeros;
+        if (spec.scores.empty()) zeros.assign(predicted.numberOfNodes(), 0.0);
+        const std::vector<double>& shown = spec.scores.empty() ? zeros : spec.scores;
+        const Scene left = makeScene(predicted, rin_.protein().alphaCarbons(), shown,
+                                     options_.palette, "protein layout", true);
+        const Scene right = makeScene(predicted, spec.coords, shown, options_.palette,
+                                      "Maxent-Stress layout", true);
+        spec.edgeTraces[0] = Figure::edgeTraceJson(left, 0);
+        spec.edgeTraces[1] = Figure::edgeTraceJson(right, 1);
+        spec.haveEdgeTraces = true;
+        if (aborted()) {
+            span.attr("cancelled", true);
+            return false;
+        }
+    }
+    spec_ = std::move(spec);
+    spec_.valid = true;
+    span.attr("complete", true);
+    return true;
+}
+
+bool RinWidget::adoptSpeculation(UpdateTiming& t, Prediction::Kind kind, index frame,
+                                 double cutoff, std::uint64_t preVersion) {
+    if (!spec_.valid) return false;
+    t.specJudged = true;
+    Speculation spec = std::move(spec_);
+    spec_.valid = false;
+    const bool target =
+        spec.pred.kind == kind && spec.baseVersion == preVersion &&
+        (kind == Prediction::Kind::Frame ? spec.pred.frame == frame
+                                         : std::abs(spec.pred.cutoff - cutoff) <= 1e-9);
+    // Adoption proof: the speculation must have acted on the exact edge
+    // diff the real event just applied to the same base graph. Equal diffs
+    // mean identical post-event graphs — this subsumes any floating-point
+    // wobble between the predicted and the submitted cutoff value.
+    if (!target || rin_.lastAdded() != spec.added || rin_.lastRemoved() != spec.removed)
+        return false;
+    t.specHit = true;
+    if (spec.measure && measure_ == spec.measure)
+        engine_.storeExact(rin_.graph(), *measure_, std::move(spec.scores));
+    maxentCoords_ = std::move(spec.coords);
+    if (spec.haveEdgeTraces) {
+        // Same edge set, same positions — the pre-serialized traces are
+        // byte-identical to what renderAndShip would rebuild, so the hit's
+        // render path costs the same as a markers-only update.
+        edgeTraceCache_[0] = std::move(spec.edgeTraces[0]);
+        edgeTraceCache_[1] = std::move(spec.edgeTraces[1]);
+        edgeTracesValid_ = true;
+    }
+    return true;
+}
+
+const LodMapping* RinWidget::lodMappingFor() {
+    const Graph& g = rin_.graph();
+    if (g.numberOfNodes() < options_.lodMinNodes) return nullptr;
+    if (!lodValid_ || lodVersion_ != g.version()) {
+        const count divisor = std::max<count>(2, options_.lodFactor);
+        lodMapping_ = buildLodMapping(g, std::max<count>(2, g.numberOfNodes() / divisor));
+        lodVersion_ = g.version();
+        lodValid_ = true;
+    }
+    return lodMapping_.coarseNodes > 0 ? &lodMapping_ : nullptr;
+}
+
 std::vector<double> RinWidget::displayedScores() const {
     if (!deltaMode_ || buffer_.size() != scores_.size()) return scores_;
     std::vector<double> delta(scores_.size());
@@ -168,20 +327,43 @@ void RinWidget::renderAndShip(UpdateTiming& t, bool fullClientUpdate, bool marke
             break; // no hint: the scenes carry the full edge list
         }
         const wire::EdgeDiffHint* hintPtr = edgeDelta == EdgeDelta::Full ? nullptr : &hint;
-        wireFrame_ = wireEncoder_.encode({&left, &right}, shown, wireClient_.ack(), hintPtr);
+        wire::DeltaEncoder::LodProvider lodProvider;
+        if (options_.lodScenes)
+            lodProvider = [this]() { return lodMappingFor(); };
+        wireFrame_ =
+            wireEncoder_.encode({&left, &right}, shown, wireClient_.ack(), hintPtr, lodProvider);
         const auto& frameStats = wireEncoder_.lastStats();
         t.wireBytes = wireFrame_.size();
         t.binaryWire = true;
         t.wireKeyframe = frameStats.keyframe;
+        t.lodCoarse = frameStats.lodCoarse;
+        t.lodCoarseNodes = frameStats.lodCoarseNodes;
+        // An LOD keyframe is a pair: the coarse frame in wireFrame_ plus a
+        // refine delta shipped right behind it. Both count as shipped
+        // bytes; the client applies them back to back, so clientMs (time
+        // to first pixels) covers the coarse frame only.
+        wireRefineFrame_.clear();
+        if (wireEncoder_.hasRefineFrame()) {
+            wireRefineFrame_ = wireEncoder_.takeRefineFrame();
+            t.wireBytes += wireRefineFrame_.size();
+        }
         serializeSpan.attr("format", "binary");
         serializeSpan.attr("wire_bytes", static_cast<double>(t.wireBytes));
         serializeSpan.attr("wire_keyframe", frameStats.keyframe);
         serializeSpan.attr("wire_reason", std::string_view(frameStats.reason));
+        if (t.lodCoarse)
+            serializeSpan.attr("lod_coarse_nodes", static_cast<double>(t.lodCoarseNodes));
         t.serializeMs = serializeSpan.finishMs();
 
         wire::PatchStats patch;
         t.clientMs = client_.processWirePatch(wireFrame_, wireClient_, &patch);
         t.wirePatchElements = patch.elementsTouched();
+        if (!wireRefineFrame_.empty()) {
+            wire::PatchStats refinePatch;
+            t.clientRefineMs =
+                client_.processWirePatch(wireRefineFrame_, wireClient_, &refinePatch);
+            t.wirePatchElements += refinePatch.elementsTouched();
+        }
     } else {
         obs::ScopedSpan serializeSpan("widget.serialize");
         if (!edgeTracesValid_) {
@@ -227,6 +409,12 @@ void RinWidget::renderAndShip(UpdateTiming& t, bool fullClientUpdate, bool marke
             attrs[2].key = "patch_elements";
             attrs[2].num = static_cast<double>(t.wirePatchElements);
         }
+        if (t.clientRefineMs > 0.0) {
+            obs::SpanAttr refine;
+            refine.key = "refine_ms";
+            refine.num = t.clientRefineMs;
+            attrs.push_back(refine);
+        }
         tracer.recordSpan("widget.client", ctx, tracer.nextId(), ctx.spanId, start,
                           start + t.clientMs * 1000.0, std::move(attrs));
     }
@@ -249,14 +437,23 @@ RinWidget::UpdateTiming RinWidget::setFrame(index frame) {
     // Hand the exact edge diff to the measure engine so the dynamic
     // kernels can repair their state instead of recomputing.
     engine_.noteDiff(rin_.graph(), preVersion, rin_.lastAdded(), rin_.lastRemoved());
+    predictor_.observeFrame(frame);
 
-    recomputeLayout(t);
+    if (adoptSpeculation(t, Prediction::Kind::Frame, frame, 0.0, preVersion)) {
+        obs::ScopedSpan layoutSpan("widget.layout");
+        layoutSpan.attr("speculated", true);
+        t.layoutMs = layoutSpan.finishMs();
+    } else {
+        recomputeLayout(t);
+    }
     if (options_.autoRecompute) recomputeMeasure(t);
     // Node positions changed: the client rebuilds every DOM element (JSON
     // mode); the wire encoder ships the exact edge diff + moved positions.
     renderAndShip(t, /*fullClientUpdate=*/true, /*markersOnly=*/false,
                   EdgeDelta::Diffed);
     span.attr("degraded", degraded());
+    span.attr("spec_judged", t.specJudged);
+    span.attr("spec_hit", t.specHit);
     return t;
 }
 
@@ -275,14 +472,23 @@ RinWidget::UpdateTiming RinWidget::setCutoff(double cutoff) {
         t.networkUpdateMs = net.finishMs();
     }
     engine_.noteDiff(rin_.graph(), preVersion, rin_.lastAdded(), rin_.lastRemoved());
+    predictor_.observeCutoff(cutoff);
 
-    recomputeLayout(t);
+    if (adoptSpeculation(t, Prediction::Kind::Cutoff, 0, cutoff, preVersion)) {
+        obs::ScopedSpan layoutSpan("widget.layout");
+        layoutSpan.attr("speculated", true);
+        t.layoutMs = layoutSpan.finishMs();
+    } else {
+        recomputeLayout(t);
+    }
     if (options_.autoRecompute) recomputeMeasure(t);
     // Protein-view node positions are unchanged between cutoffs: the
     // client only updates edge elements (paper: ~100 ms vs ~200 ms).
     renderAndShip(t, /*fullClientUpdate=*/false, /*markersOnly=*/false,
                   EdgeDelta::Diffed);
     span.attr("degraded", degraded());
+    span.attr("spec_judged", t.specJudged);
+    span.attr("spec_hit", t.specHit);
     return t;
 }
 
@@ -302,6 +508,15 @@ RinWidget::UpdateTiming RinWidget::refresh() {
     obs::ScopedSpan span("widget.refresh");
     UpdateTiming t;
     edgeTracesValid_ = false;
+    // A rebuild moves the graph without matching any prediction: judge a
+    // pending speculation a miss, drop the side slots, stop predicting
+    // until the sliders move again.
+    if (spec_.valid) {
+        t.specJudged = true;
+        spec_.valid = false;
+    }
+    rin_.dropFrameSpeculation();
+    predictor_.reset();
     {
         obs::ScopedSpan net("widget.network_update");
         rin_.rebuild();

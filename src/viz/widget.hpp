@@ -1,6 +1,7 @@
 #pragma once
 
 #include <array>
+#include <functional>
 #include <optional>
 #include <string>
 
@@ -8,6 +9,7 @@
 #include "src/rin/dynamic_rin.hpp"
 #include "src/viz/client_model.hpp"
 #include "src/viz/measures.hpp"
+#include "src/viz/predictor.hpp"
 #include "src/viz/scene.hpp"
 #include "src/wire/scene_frame.hpp"
 
@@ -69,6 +71,26 @@ struct RinWidgetOptions {
     /// The dynamic state is O(n^2); graphs above this node count are never
     /// primed (see MeasureEngine::Options::dynStateMaxNodes).
     count dynStateMaxNodes = 1536;
+    /// Speculative precompute: the serving layer may call speculate()
+    /// between requests to precompute the predicted next slider tick
+    /// (contact diff, layout warm start, measure result) into side slots.
+    /// A correct prediction turns the next setFrame/setCutoff into cache
+    /// hits on every phase; a wrong one costs nothing on the interactive
+    /// path. The flag only gates the serving layer's idle-time scheduling
+    /// — calling speculate() directly ignores it.
+    bool speculate = false;
+    /// Level-of-detail progressive scenes (binary wire only): keyframes
+    /// ship as a coarse keyframe (coarsened node/edge set + prolongation
+    /// map, drawn immediately) followed by an ordinary refine delta that
+    /// expands it to the full scene. Cuts modeled time-to-first-pixels on
+    /// worst-case cutoff jumps at the price of one extra (small) frame.
+    bool lodScenes = false;
+    /// LOD is skipped below this node count (the coarse frame would not
+    /// pay for its own overhead on small scenes).
+    count lodMinNodes = 256;
+    /// Coarse target size divisor: the coarse node set targets
+    /// numberOfNodes() / lodFactor clusters.
+    count lodFactor = 4;
 };
 
 class RinWidget {
@@ -103,11 +125,20 @@ public:
         double measureDelta = 0.0;  ///< failure probability of that bound
         count measureSamples = 0;   ///< samples/pivots drawn (approx tier)
         count measureDiffEdges = 0; ///< diff consumed by a dynamic update
+        bool specJudged = false; ///< a pending speculation was judged by
+                                 ///< this event (hit or miss)
+        bool specHit = false;    ///< ... and matched: precomputed results
+                                 ///< were adopted instead of recomputed
+        bool lodCoarse = false;  ///< binary wire: keyframe shipped as a
+                                 ///< coarse + refine LOD pair
+        count lodCoarseNodes = 0;    ///< coarse node count of that pair
+        double clientRefineMs = 0.0; ///< client time applying the refine
+                                     ///< delta (clientMs = first pixels)
 
         double serverMs() const {
             return networkUpdateMs + layoutMs + measureMs + sceneBuildMs + serializeMs;
         }
-        double totalMs() const { return serverMs() + clientMs; }
+        double totalMs() const { return serverMs() + clientMs + clientRefineMs; }
     };
 
     explicit RinWidget(const md::Trajectory& traj, Options options = {});
@@ -131,6 +162,39 @@ public:
     /// Recomputes everything (initial draw / "recompute" button in
     /// on-demand mode).
     UpdateTiming refresh();
+
+    // -- speculative precompute (idle-capacity prefetch) ------------------
+
+    /// The predicted next slider event (Kind::None when the interaction
+    /// history supports no prediction). Safe to call between requests.
+    Prediction predictNext() const { return predictor_.predict(); }
+
+    /// Precomputes the predicted next tick into side slots: the contact
+    /// diff (DynamicRin side work), a warm-started layout of the predicted
+    /// graph, and the current measure's exact scores on it. Nothing
+    /// observable changes — live graph, coords, scores, and wire state are
+    /// untouched — so a wrong or cancelled speculation never alters what a
+    /// client sees. The next matching setFrame/setCutoff adopts the slots
+    /// (UpdateTiming::specHit); any other graph-moving event judges the
+    /// speculation a miss and drops it.
+    ///
+    /// @p cancelled is polled between phases; returning true abandons the
+    /// speculation (partial side work such as an extended contact cache is
+    /// kept — it is legal cache warming either way). Returns true when a
+    /// complete speculation is pending afterwards. The caller (serving
+    /// layer) must serialize this with the widget's slider events exactly
+    /// like any other request — the widget itself is not thread-safe.
+    bool speculate(const std::function<bool()>& cancelled);
+
+    /// A completed speculation awaits judgement by the next event.
+    bool speculationPending() const { return spec_.valid; }
+
+    /// Drops any pending speculation and DynamicRin's side slot (session
+    /// migration: the speculation's accounting stays on this replica).
+    void dropSpeculation() {
+        spec_.valid = false;
+        rin_.dropFrameSpeculation();
+    }
 
     // -- quality-of-life toggles (paper: "misc. components") -------------
 
@@ -165,6 +229,7 @@ public:
     index frame() const { return rin_.frame(); }
     double cutoff() const { return rin_.cutoff(); }
     std::optional<Measure> measure() const { return measure_; }
+    const Options& options() const { return options_; }
 
     /// Scores of the current measure (empty until a measure ran).
     const std::vector<double>& scores() const { return scores_; }
@@ -181,8 +246,13 @@ public:
 
     // -- binary wire protocol (WireFormat::Binary) ------------------------
 
-    /// The last shipped wire frame (empty in JSON mode).
+    /// The last shipped wire frame (empty in JSON mode). When the last
+    /// update shipped an LOD pair this is the *coarse* keyframe; the
+    /// refine delta is in wireRefineFrame().
     const wire::Bytes& wireFrame() const { return wireFrame_; }
+
+    /// The refine delta of the last LOD pair (empty otherwise).
+    const wire::Bytes& wireRefineFrame() const { return wireRefineFrame_; }
 
     /// The simulated client's decoder state (what the browser holds).
     const wire::FrameDecoder& wireClient() const { return wireClient_; }
@@ -209,10 +279,39 @@ private:
     /// or an unknown change requiring the full edge list (refresh).
     enum class EdgeDelta { None, Diffed, Full };
 
+    /// A completed speculation awaiting judgement: everything the widget
+    /// would compute for the predicted event, held in side buffers. Live
+    /// state is never touched until a real event proves the prediction
+    /// right (adoption) — there is nothing to roll back on a miss.
+    struct Speculation {
+        bool valid = false;
+        Prediction pred;
+        std::uint64_t baseVersion = 0; ///< live graph version it assumed
+        std::optional<Measure> measure; ///< measure the scores are for
+        std::vector<double> scores;     ///< exact scores on the predicted graph
+        std::vector<Point3> coords;     ///< warm-started layout of it
+        std::vector<std::pair<node, node>> added, removed; ///< predicted diff
+        /// Pre-serialized JSON edge traces of the predicted scene (cutoff
+        /// predictions, JSON wire mode): built from byte-identical inputs,
+        /// so a hit installs them into the edge-trace cache and the render
+        /// path costs the same as a markers-only update.
+        std::array<std::string, 2> edgeTraces;
+        bool haveEdgeTraces = false;
+    };
+
     void recomputeLayout(UpdateTiming& t);
     void recomputeMeasure(UpdateTiming& t);
     void renderAndShip(UpdateTiming& t, bool fullClientUpdate, bool markersOnly,
                        EdgeDelta edgeDelta);
+    /// Judges the pending speculation against the real event that just ran
+    /// its network update (diffs must match exactly); on a hit installs the
+    /// precomputed scores into the engine's exact cache and adopts the
+    /// precomputed coordinates. Returns true on adoption.
+    bool adoptSpeculation(UpdateTiming& t, Prediction::Kind kind, index frame,
+                          double cutoff, std::uint64_t preVersion);
+    /// Version-keyed LOD mapping of the current graph; nullptr when LOD is
+    /// off, the graph is too small, or it cannot be coarsened.
+    const LodMapping* lodMappingFor();
 
     Options options_;
     rin::DynamicRin rin_;
@@ -238,8 +337,20 @@ private:
     wire::DeltaEncoder wireEncoder_;
     wire::FrameDecoder wireClient_;
     wire::Bytes wireFrame_;
+    wire::Bytes wireRefineFrame_;
     bool deltaMode_ = false;
     DegradeLevel degradeLevel_ = DegradeLevel::None;
+    // Speculative precompute: prediction model fed by the slider events,
+    // the pending side-slot result, and a dedicated layout workspace so
+    // speculation never perturbs the live rho/octree cache.
+    Predictor predictor_;
+    Speculation spec_;
+    MaxentWorkspace specLayoutWorkspace_;
+    // LOD mapping cache, keyed on the graph version like the measure and
+    // rho caches (rebuilt only when a keyframe fires on a moved graph).
+    LodMapping lodMapping_;
+    std::uint64_t lodVersion_ = 0;
+    bool lodValid_ = false;
 };
 
 } // namespace rinkit::viz

@@ -105,6 +105,38 @@ double sceneNodeSize(const viz::Scene& s) {
     return s.nodeSizes.size() == 1 ? s.nodeSizes[0] : 6.0;
 }
 
+/// Representative fine node per coarse cluster: the smallest member. Both
+/// sides of the wire derive this from the fine-to-coarse map (it is never
+/// shipped), so encoder shadow and decoder state agree on which fine node
+/// a coarse edge endpoint maps to. Throws when a coarse id has no member —
+/// such a map cannot come from a valid coarsening.
+std::vector<node> representativesFromMap(const std::vector<node>& fineToCoarse,
+                                         count coarseNodes) {
+    std::vector<node> rep(coarseNodes, none);
+    for (node i = 0; i < fineToCoarse.size(); ++i) {
+        const node c = fineToCoarse[i];
+        if (rep[c] == none) rep[c] = i;
+    }
+    for (const node r : rep) {
+        if (r == none) throw WireError("empty coarse cluster");
+    }
+    return rep;
+}
+
+/// Maps coarse-space edges into fine space via cluster representatives
+/// (normalized u < v, sorted). Injective because representatives are.
+std::vector<Edge> skeletonEdges(const std::vector<Edge>& coarseEdges,
+                                const std::vector<node>& rep) {
+    std::vector<Edge> out;
+    out.reserve(coarseEdges.size());
+    for (const auto& [cu, cv] : coarseEdges) {
+        const node u = rep[cu], v = rep[cv];
+        out.emplace_back(std::min(u, v), std::max(u, v));
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
 } // namespace
 
 // ---------------------------------------------------------------- QuantGrid
@@ -184,8 +216,11 @@ PatchStats FrameDecoder::applyChecked(ByteReader& r, std::size_t frameBytes) {
     if (r.u32() != kFrameMagic) throw WireError("bad magic");
     if (r.u8() != kFrameVersion) throw WireError("unsupported version");
     const std::uint8_t flags = r.u8();
-    if ((flags & ~std::uint8_t{1}) != 0) throw WireError("unknown flags");
-    const bool keyframe = (flags & 1u) != 0;
+    if ((flags & ~std::uint8_t{kFlagKeyframe | kFlagLodCoarse}) != 0)
+        throw WireError("unknown flags");
+    const bool keyframe = (flags & kFlagKeyframe) != 0;
+    const bool lodCoarse = (flags & kFlagLodCoarse) != 0;
+    if (lodCoarse && !keyframe) throw WireError("lod flag without keyframe");
     const std::uint32_t epoch = r.u32();
     const std::uint32_t seq = r.u32();
     const std::uint64_t nodeCount = r.varint();
@@ -196,7 +231,44 @@ PatchStats FrameDecoder::applyChecked(ByteReader& r, std::size_t frameBytes) {
     PatchStats stats;
     stats.frameBytes = frameBytes;
     stats.keyframe = keyframe;
+    stats.lodCoarse = lodCoarse;
     stats.viewCount = viewCount;
+
+    if (lodCoarse) {
+        if (epoch == 0) throw WireError("keyframe epoch 0");
+        // Each fine node takes at least one prolongation-map varint byte.
+        r.boundedCount(nodeCount, 1, "nodes");
+        hasState_ = false; // a partial decode must not look committed
+        const std::uint64_t coarseCount = r.varint();
+        if (coarseCount == 0 || coarseCount > nodeCount)
+            throw WireError("coarse node count out of range");
+        std::vector<node> fineToCoarse(nodeCount);
+        for (auto& c : fineToCoarse) {
+            const std::uint64_t ci = r.varint();
+            if (ci >= coarseCount) throw WireError("prolongation map out of range");
+            c = static_cast<node>(ci);
+        }
+        const auto rep = representativesFromMap(fineToCoarse, coarseCount);
+        const std::uint64_t mc = r.boundedCount(r.varint(), 2, "edges");
+        readEdgeList(r, coarseCount, mc, addScratch_);
+        edges_ = skeletonEdges(addScratch_, rep);
+        // Coarse scores, expanded so every member inherits its cluster's.
+        std::vector<float> coarseScores(coarseCount);
+        for (auto& s : coarseScores) s = r.f32();
+        scores_.resize(nodeCount);
+        for (count i = 0; i < nodeCount; ++i) scores_[i] = coarseScores[fineToCoarse[i]];
+        views_.resize(viewCount);
+        for (auto& view : views_)
+            readLodKeyframeView(r, view, nodeCount, fineToCoarse, coarseCount);
+        r.expectEnd();
+        epoch_ = epoch;
+        seq_ = seq;
+        hasState_ = true;
+        stats.nodeCount = nodeCount;
+        stats.edgeCount = edges_.size();
+        stats.lodCoarseNodes = coarseCount;
+        return stats;
+    }
 
     if (keyframe) {
         if (epoch == 0) throw WireError("keyframe epoch 0");
@@ -278,6 +350,42 @@ void FrameDecoder::readKeyframeView(ByteReader& r, ViewState& view, count nodes)
         const std::uint64_t pi = r.varint();
         if (pi >= paletteSize) throw WireError("palette index out of range");
         ci = static_cast<std::uint32_t>(pi);
+    }
+}
+
+void FrameDecoder::readLodKeyframeView(ByteReader& r, ViewState& view, count nodes,
+                                       const std::vector<node>& fineToCoarse,
+                                       count coarseNodes) {
+    view.title = r.string(1 << 16);
+    view.grid.lo = {r.f64(), r.f64(), r.f64()};
+    view.grid.hi = {r.f64(), r.f64(), r.f64()};
+    if (!(view.grid.lo.x <= view.grid.hi.x && view.grid.lo.y <= view.grid.hi.y &&
+          view.grid.lo.z <= view.grid.hi.z)) {
+        throw WireError("invalid quantization grid");
+    }
+    view.nodeSize = r.f64();
+    // Coarse positions / colors, expanded through the prolongation map so
+    // the state is fine-shaped (the refine frame is an ordinary delta).
+    std::vector<std::array<std::uint16_t, 3>> coarseQ(coarseNodes);
+    for (auto& q : coarseQ) q = {r.u16(), r.u16(), r.u16()};
+    const std::uint64_t paletteSize = r.boundedCount(r.varint(), 3, "palette");
+    view.palette.resize(paletteSize);
+    for (auto& c : view.palette) {
+        c.r = r.u8();
+        c.g = r.u8();
+        c.b = r.u8();
+    }
+    std::vector<std::uint32_t> coarseCi(coarseNodes);
+    for (auto& ci : coarseCi) {
+        const std::uint64_t pi = r.varint();
+        if (pi >= paletteSize) throw WireError("palette index out of range");
+        ci = static_cast<std::uint32_t>(pi);
+    }
+    view.qpos.resize(nodes);
+    view.colorIndex.resize(nodes);
+    for (count i = 0; i < nodes; ++i) {
+        view.qpos[i] = coarseQ[fineToCoarse[i]];
+        view.colorIndex[i] = coarseCi[fineToCoarse[i]];
     }
 }
 
@@ -372,9 +480,16 @@ const char* DeltaEncoder::keyframeReason(const std::vector<const viz::Scene*>& v
     return nullptr;
 }
 
+Bytes DeltaEncoder::takeRefineFrame() {
+    if (!hasRefine_) throw std::logic_error("DeltaEncoder: no refine frame pending");
+    hasRefine_ = false;
+    return std::move(refineFrame_);
+}
+
 Bytes DeltaEncoder::encode(const std::vector<const viz::Scene*>& views,
                            const std::vector<double>& scores, Ack clientAck,
-                           const EdgeDiffHint* edgeDiff) {
+                           const EdgeDiffHint* edgeDiff,
+                           const LodProvider& lodProvider) {
     if (views.empty()) throw std::invalid_argument("DeltaEncoder: no views");
     for (const auto* v : views) {
         if (v == nullptr) throw std::invalid_argument("DeltaEncoder: null view");
@@ -385,13 +500,33 @@ Bytes DeltaEncoder::encode(const std::vector<const viz::Scene*>& views,
         throw std::invalid_argument("DeltaEncoder: scores size != node count");
     if (!hasState_ && edgeDiff != nullptr)
         throw std::logic_error("DeltaEncoder: edge diff hint without encoder state");
+    if (hasRefine_)
+        throw std::logic_error("DeltaEncoder: refine frame not taken before next encode");
 
     stats_ = FrameStats{};
     const char* reason = keyframeReason(views, clientAck);
     resolveEdges(views, edgeDiff);
 
+    // A keyframe about to fire is the one moment the (lazy) LOD mapping is
+    // worth computing: a usable coarsening turns the keyframe into the
+    // coarse+refine pair.
+    const LodMapping* lod = nullptr;
+    if (reason != nullptr && lodProvider) {
+        lod = lodProvider();
+        if (lod != nullptr &&
+            (lod->coarseNodes == 0 || lod->fineNodes != views[0]->nodeCount() ||
+             lod->coarseNodes >= lod->fineNodes ||
+             lod->fineToCoarse.size() != lod->fineNodes)) {
+            lod = nullptr; // mapping absent or does not coarsen: full keyframe
+        }
+    }
+
     Bytes out;
-    if (reason != nullptr) {
+    if (reason != nullptr && lod != nullptr) {
+        stats_.keyframe = true;
+        stats_.reason = reason;
+        out = encodeLodPair(views, scores, *lod);
+    } else if (reason != nullptr) {
         stats_.keyframe = true;
         stats_.reason = reason;
         out = encodeKeyframe(views, scores);
@@ -412,7 +547,20 @@ Bytes DeltaEncoder::encode(const std::vector<const viz::Scene*>& views,
         if (deltaCost >= keyframeCost) {
             stats_.keyframe = true;
             stats_.reason = "cost";
-            out = encodeKeyframe(views, scores);
+            // The cost trigger is only discovered here, after the delta
+            // attempt — fetch the LOD mapping now. This is the fig 7
+            // worst-case jump the coarse-first path exists for.
+            if (lodProvider) {
+                lod = lodProvider();
+                if (lod != nullptr &&
+                    (lod->coarseNodes == 0 || lod->fineNodes != views[0]->nodeCount() ||
+                     lod->coarseNodes >= lod->fineNodes ||
+                     lod->fineToCoarse.size() != lod->fineNodes)) {
+                    lod = nullptr;
+                }
+            }
+            out = lod != nullptr ? encodeLodPair(views, scores, *lod)
+                                 : encodeKeyframe(views, scores);
         }
     }
     stats_.bytes = out.size();
@@ -541,6 +689,135 @@ Bytes DeltaEncoder::encodeKeyframe(const std::vector<const viz::Scene*>& views,
         for (const auto ci : view.colorIndex) w.varint(ci);
     }
     return w.take();
+}
+
+Bytes DeltaEncoder::encodeLodPair(const std::vector<const viz::Scene*>& views,
+                                  const std::vector<double>& scores,
+                                  const LodMapping& lod) {
+    const count n = views[0]->nodeCount();
+    const count nc = lod.coarseNodes;
+    const auto rep = representativesFromMap(lod.fineToCoarse, nc);
+
+    // resolveEdges already advanced edges_ to the true fine set; keep it
+    // aside — the coarse frame ships the skeleton and the refine delta
+    // moves the client from skeleton to fine.
+    lodFineEdges_ = edges_;
+
+    // Build the *fine* shadow first (grids, sticky palettes, fine qpos /
+    // color indices), exactly as a full keyframe would: the coarse arrays
+    // are derived from it, and the palette shipped in the coarse frame is
+    // already complete so the refine delta grows it by nothing.
+    const bool tryReuseGrid = hasState_ && views.size() == shadow_.size();
+    shadow_.resize(views.size());
+    paletteLookup_.resize(views.size());
+    epoch_ += 1;
+    seq_ = 0;
+    scores_.resize(n);
+    for (count i = 0; i < n; ++i) scores_[i] = static_cast<float>(scores[i]);
+    for (count v = 0; v < views.size(); ++v) rebuildViewState(v, *views[v], tryReuseGrid);
+
+    // Coarse per-node data: score/color from the cluster representative,
+    // position from the cluster centroid (quantized in the view's grid —
+    // centroids of in-grid points stay in-grid).
+    std::vector<float> coarseScores(nc);
+    for (count c = 0; c < nc; ++c) coarseScores[c] = scores_[rep[c]];
+    std::vector<count> clusterSize(nc, 0);
+    for (count i = 0; i < n; ++i) ++clusterSize[lod.fineToCoarse[i]];
+    std::vector<std::vector<std::array<std::uint16_t, 3>>> coarseQ(views.size());
+    std::vector<std::vector<std::uint32_t>> coarseCi(views.size());
+    std::vector<Point3> centroid(nc);
+    for (count v = 0; v < views.size(); ++v) {
+        const viz::Scene& scene = *views[v];
+        std::fill(centroid.begin(), centroid.end(), Point3{0.0, 0.0, 0.0});
+        for (count i = 0; i < n; ++i) {
+            const Point3& p = scene.nodePositions[i];
+            Point3& acc = centroid[lod.fineToCoarse[i]];
+            acc = acc + p;
+        }
+        coarseQ[v].resize(nc);
+        coarseCi[v].resize(nc);
+        for (count c = 0; c < nc; ++c) {
+            const Point3 mean = centroid[c] * (1.0 / static_cast<double>(clusterSize[c]));
+            coarseQ[v][c] = shadow_[v].grid.quantize(mean);
+            coarseCi[v][c] = shadow_[v].colorIndex[rep[c]];
+        }
+    }
+
+    // Coarse keyframe bytes.
+    ByteWriter w;
+    w.reserve(64 + n + lod.coarseEdges.size() * 4 +
+              views.size() * (nc * 12 + 128));
+    w.u32(kFrameMagic);
+    w.u8(kFrameVersion);
+    w.u8(kFlagKeyframe | kFlagLodCoarse);
+    w.u32(epoch_);
+    w.u32(seq_);
+    w.varint(n);
+    w.varint(views.size());
+    w.varint(nc);
+    for (count i = 0; i < n; ++i) w.varint(lod.fineToCoarse[i]);
+    w.varint(lod.coarseEdges.size());
+    writeEdgeList(w, lod.coarseEdges);
+    for (const float s : coarseScores) w.f32(s);
+    for (count v = 0; v < views.size(); ++v) {
+        const ViewState& view = shadow_[v];
+        w.string(view.title);
+        w.f64(view.grid.lo.x);
+        w.f64(view.grid.lo.y);
+        w.f64(view.grid.lo.z);
+        w.f64(view.grid.hi.x);
+        w.f64(view.grid.hi.y);
+        w.f64(view.grid.hi.z);
+        w.f64(view.nodeSize);
+        for (const auto& q : coarseQ[v]) {
+            w.u16(q[0]);
+            w.u16(q[1]);
+            w.u16(q[2]);
+        }
+        w.varint(view.palette.size());
+        for (const auto& c : view.palette) {
+            w.u8(static_cast<std::uint8_t>(c.r));
+            w.u8(static_cast<std::uint8_t>(c.g));
+            w.u8(static_cast<std::uint8_t>(c.b));
+        }
+        for (const auto ci : coarseCi[v]) w.varint(ci);
+    }
+    Bytes coarseFrame = w.take();
+
+    // Mirror the decoder: expand the shadow to the coarse-inherited fine
+    // state, so the refine frame is an ordinary delta against it.
+    for (count i = 0; i < n; ++i) scores_[i] = coarseScores[lod.fineToCoarse[i]];
+    for (count v = 0; v < views.size(); ++v) {
+        ViewState& view = shadow_[v];
+        for (count i = 0; i < n; ++i) {
+            view.qpos[i] = coarseQ[v][lod.fineToCoarse[i]];
+            view.colorIndex[i] = coarseCi[v][lod.fineToCoarse[i]];
+        }
+    }
+    edges_ = skeletonEdges(lod.coarseEdges, rep);
+
+    stats_.lodCoarse = true;
+    stats_.lodCoarseNodes = nc;
+    stats_.lodLevels = lod.levels;
+
+    // Refine delta: skeleton -> fine edges, inherited -> true positions /
+    // colors / scores. encodeDelta consumes pending edge lists and updates
+    // the shadow to the true fine state.
+    const FrameStats coarseStats = stats_;
+    stats_ = FrameStats{};
+    diffSorted(edges_, lodFineEdges_, addScratch_, removeScratch_);
+    pendingAdded_ = &addScratch_;
+    pendingRemoved_ = &removeScratch_;
+    stats_.edgesAdded = pendingAdded_->size();
+    stats_.edgesRemoved = pendingRemoved_->size();
+    edges_ = lodFineEdges_;
+    refineFrame_ = encodeDelta(views, scores);
+    stats_.reason = "lod_refine";
+    stats_.bytes = refineFrame_.size();
+    refineStats_ = stats_;
+    stats_ = coarseStats;
+    hasRefine_ = true;
+    return coarseFrame;
 }
 
 Bytes DeltaEncoder::encodeDelta(const std::vector<const viz::Scene*>& views,

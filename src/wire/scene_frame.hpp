@@ -2,9 +2,11 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 #include <vector>
 
+#include "src/layout/coarsening.hpp"
 #include "src/support/point3.hpp"
 #include "src/support/types.hpp"
 #include "src/viz/scene.hpp"
@@ -15,6 +17,17 @@ namespace rinkit::wire {
 /// "RWF1" little-endian.
 inline constexpr std::uint32_t kFrameMagic = 0x31465752u;
 inline constexpr std::uint8_t kFrameVersion = 1;
+
+/// Frame flag bits. A level-of-detail (LOD) coarse keyframe
+/// (kFlagKeyframe | kFlagLodCoarse) opens an epoch like a keyframe but
+/// ships the coarsened node/edge set plus the fine-to-coarse prolongation
+/// map; the decoder expands it to full fine-shaped state (every fine node
+/// inherits its cluster's position/color/score), so the immediately
+/// following frame is an *ordinary* delta — the refine frame — that moves
+/// members to their true values. First pixels therefore cost O(coarse)
+/// while refinement rides the existing delta machinery.
+inline constexpr std::uint8_t kFlagKeyframe = 1;
+inline constexpr std::uint8_t kFlagLodCoarse = 2;
 
 /// The client's view of the stream position: which (epoch, seq) frame it
 /// last applied. The server compares this against its own position and
@@ -70,6 +83,8 @@ struct ViewState {
 /// parse+patch client cost model charges for.
 struct PatchStats {
     bool keyframe = false;
+    bool lodCoarse = false;   ///< LOD coarse keyframe (coarse node/edge set)
+    count lodCoarseNodes = 0; ///< coarse cluster count when lodCoarse
     std::size_t frameBytes = 0;
     count viewCount = 0;
     count nodeCount = 0; ///< shared node table size
@@ -81,9 +96,12 @@ struct PatchStats {
 
     /// DOM elements the simulated client touches applying this frame: a
     /// keyframe rebuilds every marker and edge segment in every view; a
-    /// delta touches only changed markers plus changed edge segments.
+    /// delta touches only changed markers plus changed edge segments. An
+    /// LOD coarse keyframe draws one marker per *cluster* (members share a
+    /// position, so they are a single visible marker) plus the coarse edge
+    /// skeleton — the O(coarse) first-pixels cost.
     count elementsTouched() const {
-        if (keyframe) return viewCount * (nodeCount + edgeCount);
+        if (keyframe) return viewCount * ((lodCoarse ? lodCoarseNodes : nodeCount) + edgeCount);
         return markersTouched + viewCount * (edgesAdded + edgesRemoved);
     }
 };
@@ -117,6 +135,8 @@ public:
 private:
     PatchStats applyChecked(ByteReader& r, std::size_t frameBytes);
     void readKeyframeView(ByteReader& r, ViewState& view, count nodes);
+    void readLodKeyframeView(ByteReader& r, ViewState& view, count nodes,
+                             const std::vector<node>& fineToCoarse, count coarseNodes);
     count readDeltaView(ByteReader& r, ViewState& view, count nodes);
 
     bool hasState_ = false;
@@ -172,6 +192,7 @@ class DeltaEncoder {
 public:
     struct FrameStats {
         bool keyframe = false;
+        bool lodCoarse = false; ///< this keyframe shipped as an LOD pair
         std::size_t bytes = 0;
         const char* reason = ""; ///< "delta" or which keyframe trigger fired
         count edgesAdded = 0;
@@ -179,7 +200,17 @@ public:
         count positionsChanged = 0; ///< summed over views (delta frames)
         count colorsChanged = 0;    ///< summed over views (delta frames)
         count scoresChanged = 0;
+        count lodCoarseNodes = 0; ///< clusters in the coarse keyframe
+        count lodLevels = 0;      ///< refine depth (composed hierarchy levels)
     };
+
+    /// Lazily supplies the coarsening of the *current* scene graph; only
+    /// invoked when a keyframe is about to fire, so callers can skip
+    /// building (or cache-key by graph version) the mapping on the delta
+    /// fast path. Returning nullptr (or a mapping that does not coarsen:
+    /// coarseNodes == 0 or >= fine node count) falls back to the full
+    /// keyframe.
+    using LodProvider = std::function<const LodMapping*()>;
 
     explicit DeltaEncoder(DeltaEncoderOptions options = {}) : options_(options) {}
 
@@ -188,9 +219,16 @@ public:
     /// across calls). @p scores is the shared per-node score vector (size
     /// = node count); @p clientAck is the client's last applied (epoch,
     /// seq); @p edgeDiff as documented on EdgeDiffHint.
+    ///
+    /// When @p lodProvider is set and a keyframe fires, the keyframe is
+    /// emitted as an LOD pair instead: the returned bytes are the coarse
+    /// keyframe (first pixels) and the refine delta is stashed — fetch it
+    /// with takeRefineFrame() and ship it right after. The pair is one
+    /// logical keyframe: (epoch+1, seq 0) then (epoch+1, seq 1).
     Bytes encode(const std::vector<const viz::Scene*>& views,
                  const std::vector<double>& scores, Ack clientAck,
-                 const EdgeDiffHint* edgeDiff);
+                 const EdgeDiffHint* edgeDiff,
+                 const LodProvider& lodProvider = nullptr);
 
     /// Forces the next encode() to emit a keyframe (reusing the current
     /// quantization grids when they still fit, so decoding it matches the
@@ -198,6 +236,18 @@ public:
     void forceKeyframe() { forceKeyframe_ = true; }
 
     const FrameStats& lastStats() const { return stats_; }
+
+    /// True when the last encode() emitted an LOD pair and the refine
+    /// delta has not been taken yet.
+    bool hasRefineFrame() const { return hasRefine_; }
+
+    /// Moves out the stashed refine delta (second half of the LOD pair).
+    /// Must be shipped to the client before the next encode() — the next
+    /// frame is encoded against post-refine state.
+    Bytes takeRefineFrame();
+
+    /// Stats of the stashed/last refine delta.
+    const FrameStats& refineStats() const { return refineStats_; }
 
     /// The (epoch, seq) of the last emitted frame.
     Ack current() const { return {epoch_, seq_}; }
@@ -209,6 +259,8 @@ private:
                       const EdgeDiffHint* edgeDiff);
     Bytes encodeKeyframe(const std::vector<const viz::Scene*>& views,
                          const std::vector<double>& scores);
+    Bytes encodeLodPair(const std::vector<const viz::Scene*>& views,
+                        const std::vector<double>& scores, const LodMapping& lod);
     Bytes encodeDelta(const std::vector<const viz::Scene*>& views,
                       const std::vector<double>& scores);
     void rebuildViewState(count viewIdx, const viz::Scene& scene, bool tryReuseGrid);
@@ -232,6 +284,11 @@ private:
     std::vector<std::uint32_t> colorIdxScratch_;
     std::vector<std::array<std::uint16_t, 3>> qScratch_;
     FrameStats stats_;
+    // LOD pair state: the stashed refine delta and its stats.
+    Bytes refineFrame_;
+    bool hasRefine_ = false;
+    FrameStats refineStats_;
+    std::vector<std::pair<node, node>> lodFineEdges_; // true edge set during pair encode
 };
 
 } // namespace rinkit::wire

@@ -220,7 +220,8 @@ TEST(SessionRecorder, CsvShape) {
     // after the wire payload column, then the serving-layer observability
     // verdicts close the row.
     const std::string tail = ",wire_bytes,measure_tier,measure_eps,measure_samples"
-                             ",slo_verdict,trace_retained";
+                             ",slo_verdict,trace_retained"
+                             ",spec_judged,spec_hit,lod_coarse,client_refine_ms";
     EXPECT_EQ(line.rfind(tail), line.size() - tail.size());
     const auto headerCommas =
         static_cast<count>(std::count(line.begin(), line.end(), ','));
@@ -232,15 +233,21 @@ TEST(SessionRecorder, CsvShape) {
             EXPECT_EQ(static_cast<count>(std::count(line.begin(), line.end(), ',')),
                       headerCommas);
             // JSON mode ships the figure itself: a nonzero byte count in
-            // the wire_bytes column (6th from the end).
+            // the wire_bytes column (10th from the end, ahead of the
+            // measure-resolution, verdict, and speculation/LOD columns).
             std::vector<std::string> cells;
             std::stringstream row(line);
             for (std::string cell; std::getline(row, cell, ',');)
                 cells.push_back(cell);
-            EXPECT_GT(std::stoull(cells[cells.size() - 6]), 0u);
+            EXPECT_GT(std::stoull(cells[cells.size() - 10]), 0u);
             // Direct widget drives see no serving layer: verdict columns
             // hold their defaults.
-            EXPECT_EQ(cells[cells.size() - 2], "ok");
+            EXPECT_EQ(cells[cells.size() - 6], "ok");
+            EXPECT_EQ(cells[cells.size() - 5], "0");
+            // ... and no speculation or LOD ran: flag columns all zero.
+            EXPECT_EQ(cells[cells.size() - 4], "0");
+            EXPECT_EQ(cells[cells.size() - 3], "0");
+            EXPECT_EQ(cells[cells.size() - 2], "0");
             EXPECT_EQ(cells.back(), "0");
         }
     }

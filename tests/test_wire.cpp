@@ -11,6 +11,7 @@
 #include <limits>
 #include <random>
 
+#include "src/layout/coarsening.hpp"
 #include "src/viz/scene.hpp"
 #include "src/wire/scene_frame.hpp"
 #include "src/wire/wire_format.hpp"
@@ -554,6 +555,208 @@ TEST(SceneFrame, HostileCountsRejected) {
     views.varint(1);
     views.varint(65); // view count above the cap
     EXPECT_THROW(dec.apply(views.take()), WireError);
+}
+
+// ------------------------------------------------- LOD progressive scenes
+
+/// Fixed synthetic coarsening of the TestWorld graph: clusters of 4
+/// consecutive fine nodes, coarse edges = fine edges mapped into cluster
+/// space (self-loops dropped, deduplicated, sorted). Shape-compatible with
+/// what buildLodMapping produces, but independent of the matching
+/// heuristics so the wire tests pin their own ground truth.
+LodMapping testMapping(const TestWorld& w) {
+    LodMapping lod;
+    lod.fineNodes = TestWorld::kNodes;
+    lod.coarseNodes = TestWorld::kNodes / 4;
+    lod.levels = 2;
+    for (node u = 0; u < TestWorld::kNodes; ++u) lod.fineToCoarse.push_back(u / 4);
+    for (const auto& [u, v] : w.edges) {
+        const node cu = lod.fineToCoarse[u], cv = lod.fineToCoarse[v];
+        if (cu != cv) lod.coarseEdges.push_back({std::min(cu, cv), std::max(cu, cv)});
+    }
+    std::sort(lod.coarseEdges.begin(), lod.coarseEdges.end());
+    lod.coarseEdges.erase(std::unique(lod.coarseEdges.begin(), lod.coarseEdges.end()),
+                          lod.coarseEdges.end());
+    return lod;
+}
+
+Bytes encodeWorldLod(DeltaEncoder& enc, const TestWorld& w, Ack ack, const LodMapping* lod,
+                     const EdgeDiffHint* hint = nullptr) {
+    const auto a = w.sceneA();
+    const auto b = w.sceneB();
+    return enc.encode({&a, &b}, w.scores, ack, hint, [lod] { return lod; });
+}
+
+TEST(SceneFrameLod, CoarsePlusRefineEqualsFullKeyframeState) {
+    TestWorld w;
+    const LodMapping lod = testMapping(w);
+
+    // Reference: the same state shipped as a plain full keyframe.
+    DeltaEncoder plainEnc;
+    FrameDecoder plain;
+    plain.apply(encodeWorld(plainEnc, w, Ack{}));
+
+    DeltaEncoder enc;
+    FrameDecoder dec;
+    const Bytes coarse = encodeWorldLod(enc, w, Ack{}, &lod);
+    EXPECT_TRUE(enc.lastStats().keyframe);
+    EXPECT_TRUE(enc.lastStats().lodCoarse);
+    EXPECT_EQ(enc.lastStats().lodCoarseNodes, lod.coarseNodes);
+    EXPECT_EQ(enc.lastStats().lodLevels, lod.levels);
+    ASSERT_TRUE(enc.hasRefineFrame());
+
+    const PatchStats coarseStats = dec.apply(coarse);
+    EXPECT_TRUE(coarseStats.keyframe);
+    EXPECT_TRUE(coarseStats.lodCoarse);
+    EXPECT_EQ(coarseStats.lodCoarseNodes, lod.coarseNodes);
+    // First pixels are cheap: the coarse frame touches the skeleton, not
+    // the full scene (the full keyframe touches every node and edge in
+    // every view).
+    EXPECT_LT(coarseStats.elementsTouched(), 2 * (TestWorld::kNodes + w.edges.size()));
+
+    const PatchStats refineStats = dec.apply(enc.takeRefineFrame());
+    EXPECT_FALSE(enc.hasRefineFrame());
+    EXPECT_FALSE(refineStats.keyframe); // the refine half is an ordinary delta
+
+    // Post-refine client state must equal the full-keyframe client state
+    // exactly: same edges, scores, quantized positions, resolved colors.
+    EXPECT_EQ(dec.edges(), plain.edges());
+    EXPECT_EQ(dec.scores(), plain.scores());
+    ASSERT_EQ(dec.views().size(), plain.views().size());
+    for (count v = 0; v < dec.views().size(); ++v) {
+        EXPECT_EQ(dec.views()[v].grid, plain.views()[v].grid) << "view " << v;
+        EXPECT_EQ(dec.views()[v].qpos, plain.views()[v].qpos) << "view " << v;
+        EXPECT_EQ(dec.views()[v].resolvedColors(), plain.views()[v].resolvedColors());
+        EXPECT_EQ(dec.views()[v].title, plain.views()[v].title);
+    }
+    // The pair is one logical keyframe: (epoch, 0) then (epoch, 1).
+    EXPECT_EQ(dec.ack(), (Ack{1, 1}));
+}
+
+TEST(SceneFrameLod, DeltaStreamContinuesAfterLodPair) {
+    TestWorld w;
+    const LodMapping lod = testMapping(w);
+    DeltaEncoder enc;
+    FrameDecoder dec;
+    dec.apply(encodeWorldLod(enc, w, Ack{}, &lod));
+    dec.apply(enc.takeRefineFrame());
+
+    // Ordinary deltas ride on post-refine state; final state must match a
+    // forced full keyframe of the same world bit for bit.
+    for (int i = 0; i < 4; ++i) {
+        w.step();
+        const PatchStats stats = dec.apply(encodeWorldLod(enc, w, dec.ack(), &lod));
+        EXPECT_FALSE(stats.keyframe) << "step " << i;
+    }
+    enc.forceKeyframe();
+    FrameDecoder fresh;
+    // No LOD provider on this encode: force the plain keyframe reference.
+    fresh.apply(encodeWorld(enc, w, dec.ack()));
+    EXPECT_EQ(fresh.edges(), dec.edges());
+    EXPECT_EQ(fresh.scores(), dec.scores());
+    for (count v = 0; v < fresh.views().size(); ++v)
+        EXPECT_EQ(fresh.views()[v].qpos, dec.views()[v].qpos) << "view " << v;
+}
+
+TEST(SceneFrameLod, UncoarsenableMappingFallsBackToFullKeyframe) {
+    TestWorld w;
+    LodMapping lod; // coarseNodes == 0: "no LOD available"
+    DeltaEncoder enc;
+    FrameDecoder dec;
+    dec.apply(encodeWorldLod(enc, w, Ack{}, &lod));
+    EXPECT_TRUE(enc.lastStats().keyframe);
+    EXPECT_FALSE(enc.lastStats().lodCoarse);
+    EXPECT_FALSE(enc.hasRefineFrame());
+    EXPECT_EQ(dec.edges(), w.edges);
+
+    // A stale mapping (wrong fine node count) must also fall back.
+    TestWorld w2;
+    LodMapping stale = testMapping(w2);
+    stale.fineNodes = TestWorld::kNodes + 1;
+    DeltaEncoder enc2;
+    FrameDecoder dec2;
+    dec2.apply(encodeWorldLod(enc2, w2, Ack{}, &stale));
+    EXPECT_FALSE(enc2.lastStats().lodCoarse);
+    EXPECT_FALSE(enc2.hasRefineFrame());
+}
+
+TEST(SceneFrameLod, RefineMustBeTakenBeforeNextEncode) {
+    TestWorld w;
+    const LodMapping lod = testMapping(w);
+    DeltaEncoder enc;
+    encodeWorldLod(enc, w, Ack{}, &lod);
+    ASSERT_TRUE(enc.hasRefineFrame());
+    // Encoding the next frame while the refine half is still pending would
+    // desynchronize the shadow state from the client.
+    EXPECT_THROW(encodeWorldLod(enc, w, Ack{}, &lod), std::logic_error);
+    enc.takeRefineFrame();
+    EXPECT_THROW(enc.takeRefineFrame(), std::logic_error); // already taken
+}
+
+TEST(SceneFrameLod, CorruptCoarseFramesRejected) {
+    TestWorld w;
+    const LodMapping lod = testMapping(w);
+    DeltaEncoder enc;
+    const Bytes coarse = encodeWorldLod(enc, w, Ack{}, &lod);
+    enc.takeRefineFrame();
+
+    // Every truncated prefix must throw and leave no committed state.
+    for (std::size_t len = 0; len < coarse.size(); ++len) {
+        FrameDecoder dec;
+        EXPECT_THROW(dec.apply(Bytes(coarse.begin(), coarse.begin() + len)), WireError)
+            << "coarse prefix " << len;
+        EXPECT_FALSE(dec.hasState());
+    }
+
+    // A prolongation-map entry pointing past the coarse node count must be
+    // rejected. Header: magic(4) version(1) flags(1) epoch(4) seq(4), then
+    // varint node count, varint view count, varint coarse count, then the
+    // map (all counts here are < 128: one varint byte each).
+    Bytes evil = coarse;
+    ByteReader r(evil);
+    r.u32();
+    r.u8();
+    r.u8();
+    r.u32();
+    r.u32();
+    r.varint(); // node count
+    r.varint(); // view count
+    const std::size_t ncAt = coarse.size() - r.remaining();
+    ASSERT_EQ(evil[ncAt], static_cast<std::uint8_t>(lod.coarseNodes));
+    evil[ncAt + 1] = static_cast<std::uint8_t>(lod.coarseNodes); // f2c[0] == nc
+    FrameDecoder dec;
+    EXPECT_THROW(dec.apply(evil), WireError);
+
+    // LOD flag without the keyframe flag is malformed by construction.
+    Bytes badFlags = coarse;
+    badFlags[5] = kFlagLodCoarse;
+    FrameDecoder dec2;
+    EXPECT_THROW(dec2.apply(badFlags), WireError);
+}
+
+TEST(SceneFrameLod, BuiltMappingRoundTripsOnRealCoarsening) {
+    // End-to-end with the real coarsening stack: a mapping built by
+    // buildLodMapping on a graph shaped like the scene's edge set must
+    // encode/decode exactly like the synthetic one.
+    TestWorld w;
+    Graph g(TestWorld::kNodes, true);
+    for (const auto& [u, v] : w.edges) g.addEdge(u, v, 1.0);
+    const LodMapping lod = buildLodMapping(g, TestWorld::kNodes / 4);
+    ASSERT_GT(lod.coarseNodes, 0u);
+    ASSERT_LT(lod.coarseNodes, lod.fineNodes);
+
+    DeltaEncoder plainEnc;
+    FrameDecoder plain;
+    plain.apply(encodeWorld(plainEnc, w, Ack{}));
+
+    DeltaEncoder enc;
+    FrameDecoder dec;
+    dec.apply(encodeWorldLod(enc, w, Ack{}, &lod));
+    dec.apply(enc.takeRefineFrame());
+    EXPECT_EQ(dec.edges(), plain.edges());
+    EXPECT_EQ(dec.scores(), plain.scores());
+    for (count v = 0; v < dec.views().size(); ++v)
+        EXPECT_EQ(dec.views()[v].qpos, plain.views()[v].qpos) << "view " << v;
 }
 
 } // namespace
